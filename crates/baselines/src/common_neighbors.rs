@@ -1,0 +1,109 @@
+//! The common-neighbors measure.
+//!
+//! `cn(q, v) = |N(q) ∩ N(v)|` — the simplest of the "special case"
+//! measures §4.3 names. It counts length-2 walks, i.e. the entry of `A²`,
+//! so it is trivially sensitive to relationship reorganization (reifying an
+//! edge into a node empties the direct neighborhood intersection).
+
+use repsim_graph::{Graph, LabelId, NodeId};
+
+use crate::ranking::{RankedList, SimilarityAlgorithm};
+
+/// Common-neighbor counting over one database.
+pub struct CommonNeighbors<'g> {
+    g: &'g Graph,
+}
+
+impl<'g> CommonNeighbors<'g> {
+    /// Binds to a database.
+    pub fn new(g: &'g Graph) -> Self {
+        CommonNeighbors { g }
+    }
+
+    /// `|N(a) ∩ N(b)|` via a sorted-merge over the adjacency lists.
+    pub fn score(&self, a: NodeId, b: NodeId) -> f64 {
+        let (na, nb) = (self.g.neighbors(a), self.g.neighbors(b));
+        let (mut i, mut j, mut count) = (0, 0, 0u32);
+        while i < na.len() && j < nb.len() {
+            match na[i].cmp(&nb[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    count += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        count as f64
+    }
+}
+
+impl SimilarityAlgorithm for CommonNeighbors<'_> {
+    fn name(&self) -> String {
+        "CommonNeighbors".to_owned()
+    }
+
+    fn rank(&mut self, query: NodeId, target_label: LabelId, k: usize) -> RankedList {
+        RankedList::from_scores(
+            self.g,
+            self.g
+                .nodes_of_label(target_label)
+                .iter()
+                .map(|&n| (n, self.score(query, n))),
+            query,
+            k,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use repsim_graph::GraphBuilder;
+
+    #[test]
+    fn counts_shared_neighbors() {
+        let mut b = GraphBuilder::new();
+        let film = b.entity_label("film");
+        let actor = b.entity_label("actor");
+        let f1 = b.entity(film, "f1");
+        let f2 = b.entity(film, "f2");
+        let f3 = b.entity(film, "f3");
+        let a1 = b.entity(actor, "a1");
+        let a2 = b.entity(actor, "a2");
+        for (f, a) in [(f1, a1), (f1, a2), (f2, a1), (f2, a2), (f3, a2)] {
+            b.edge(f, a).unwrap();
+        }
+        let g = b.build();
+        let cn = CommonNeighbors::new(&g);
+        assert_eq!(cn.score(f1, f2), 2.0);
+        assert_eq!(cn.score(f1, f3), 1.0);
+        assert_eq!(cn.score(f2, f3), 1.0);
+
+        let mut cn = CommonNeighbors::new(&g);
+        let film = g.labels().get("film").unwrap();
+        assert_eq!(cn.rank(f1, film, 10).nodes(), vec![f2, f3]);
+    }
+
+    #[test]
+    fn reification_destroys_common_neighbors() {
+        // The same relationship via a starring node: direct neighborhoods
+        // no longer intersect — the §4.3 fragility in miniature.
+        let mut b = GraphBuilder::new();
+        let film = b.entity_label("film");
+        let actor = b.entity_label("actor");
+        let st = b.relationship_label("starring");
+        let f1 = b.entity(film, "f1");
+        let f2 = b.entity(film, "f2");
+        let a1 = b.entity(actor, "a1");
+        for f in [f1, f2] {
+            let s = b.relationship(st);
+            b.edge(f, s).unwrap();
+            b.edge(s, a1).unwrap();
+        }
+        let g = b.build();
+        let cn = CommonNeighbors::new(&g);
+        assert_eq!(cn.score(f1, f2), 0.0);
+    }
+}

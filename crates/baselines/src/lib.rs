@@ -1,0 +1,48 @@
+#![warn(missing_docs)]
+
+//! Baseline similarity search algorithms (§4.3's survey).
+//!
+//! The paper groups the state of the art into three frameworks and shows
+//! all of them are representation dependent:
+//!
+//! * random walk: [`rwr::Rwr`] (Random Walk with Restart, Tong et al.);
+//! * pairwise random walk: [`simrank::SimRank`] (Jeh & Widom), with a
+//!   fingerprint Monte-Carlo estimator [`simrank_mc::SimRankMc`] for graphs
+//!   where the exact quadratic computation is infeasible;
+//! * relationship-constrained: [`pathsim::PathSim`] (Sun et al.), which
+//!   R-PathSim (in `repsim-core`) extends, and [`hetesim::HeteSim`]
+//!   (Shi et al.), the framework's other member.
+//!
+//! It also names *common neighbors* and the *Katz-β* measure as special
+//! cases of these heuristics; both are implemented
+//! ([`common_neighbors::CommonNeighbors`], [`katz::Katz`]), as is the
+//! cited SimRank++ variant ([`simrank_pp::SimRankPlusPlus`]), so the claim
+//! that they inherit the frameworks' representation dependence can be
+//! checked empirically.
+//!
+//! All algorithms implement [`ranking::SimilarityAlgorithm`]: given a query
+//! entity they return a [`ranking::RankedList`] of entities of a target
+//! label, ordered by score with **representation-independent
+//! tie-breaking** (ties broken by `(label, value)`, never by internal node
+//! ids — otherwise identical scores could order differently across
+//! representations and pollute the robustness measurements).
+
+pub mod common_neighbors;
+pub mod hetesim;
+pub mod katz;
+pub mod pathsim;
+pub mod ranking;
+pub mod rwr;
+pub mod simrank;
+pub mod simrank_mc;
+pub mod simrank_pp;
+
+pub use common_neighbors::CommonNeighbors;
+pub use hetesim::HeteSim;
+pub use katz::Katz;
+pub use pathsim::PathSim;
+pub use ranking::{RankedList, SimilarityAlgorithm};
+pub use rwr::Rwr;
+pub use simrank::SimRank;
+pub use simrank_mc::SimRankMc;
+pub use simrank_pp::SimRankPlusPlus;

@@ -1,0 +1,191 @@
+//! PathSim (Sun, Han, Yan, Yu & Wu, VLDB 2011).
+//!
+//! Given a meta-walk `p` from a label back to itself, PathSim scores
+//!
+//! ```text
+//! s(e, f) = 2·|p(e,f,D)| / (|p(e,e,D)| + |p(f,f,D)|)
+//! ```
+//!
+//! counting *all* instances — informative or not — via the commuting matrix
+//! `M_p` (§4.3). That choice is exactly what makes PathSim representation
+//! dependent on meta-walks with equal adjacent entity labels (Theorem 4.2's
+//! hypothesis fails, Figure 4); R-PathSim in `repsim-core` differs only in
+//! counting informative instances.
+
+use repsim_graph::{Graph, LabelId, NodeId};
+use repsim_metawalk::commuting::plain_commuting;
+use repsim_metawalk::MetaWalk;
+use repsim_sparse::Csr;
+
+use crate::ranking::{RankedList, SimilarityAlgorithm};
+
+/// PathSim over one database and one symmetric meta-walk.
+pub struct PathSim<'g> {
+    g: &'g Graph,
+    mw: MetaWalk,
+    m: Csr,
+}
+
+impl<'g> PathSim<'g> {
+    /// Builds the commuting matrix for `mw`, which must start and end at
+    /// the same label (PathSim compares peers of one semantic type).
+    ///
+    /// # Panics
+    /// If `mw`'s endpoints differ or it contains a \*-label.
+    pub fn new(g: &'g Graph, mw: MetaWalk) -> Self {
+        assert_eq!(
+            mw.source(),
+            mw.target(),
+            "PathSim meta-walks must start and end at the same label"
+        );
+        let m = plain_commuting(g, &mw);
+        PathSim { g, mw, m }
+    }
+
+    /// The meta-walk this instance scores over.
+    pub fn meta_walk(&self) -> &MetaWalk {
+        &self.mw
+    }
+
+    /// The PathSim score of a pair.
+    pub fn score(&self, e: NodeId, f: NodeId) -> f64 {
+        let (i, j) = (self.g.index_in_label(e), self.g.index_in_label(f));
+        pathsim_score(&self.m, i, j)
+    }
+}
+
+/// The PathSim normalization applied to a commuting matrix.
+pub(crate) fn pathsim_score(m: &Csr, i: usize, j: usize) -> f64 {
+    let denom = m.get(i, i) + m.get(j, j);
+    if denom == 0.0 {
+        0.0
+    } else {
+        2.0 * m.get(i, j) / denom
+    }
+}
+
+impl SimilarityAlgorithm for PathSim<'_> {
+    fn name(&self) -> String {
+        "PathSim".to_owned()
+    }
+
+    fn rank(&mut self, query: NodeId, target_label: LabelId, k: usize) -> RankedList {
+        assert_eq!(
+            target_label,
+            self.mw.target(),
+            "PathSim ranks entities of its meta-walk's endpoint label"
+        );
+        assert_eq!(
+            self.g.label_of(query),
+            self.mw.source(),
+            "query label mismatch"
+        );
+        let qi = self.g.index_in_label(query);
+        RankedList::from_scores(
+            self.g,
+            self.g
+                .nodes_of_label(target_label)
+                .iter()
+                .map(|&n| (n, pathsim_score(&self.m, qi, self.g.index_in_label(n)))),
+            query,
+            k,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use repsim_graph::GraphBuilder;
+
+    /// Films with actor overlap: f1 ∩ f2 = {a1, a2}, f1 ∩ f3 = {a1}.
+    fn movie_graph() -> (Graph, [NodeId; 3]) {
+        let mut b = GraphBuilder::new();
+        let film = b.entity_label("film");
+        let actor = b.entity_label("actor");
+        let f1 = b.entity(film, "f1");
+        let f2 = b.entity(film, "f2");
+        let f3 = b.entity(film, "f3");
+        let a1 = b.entity(actor, "a1");
+        let a2 = b.entity(actor, "a2");
+        let a3 = b.entity(actor, "a3");
+        for (f, a) in [(f1, a1), (f1, a2), (f2, a1), (f2, a2), (f3, a1), (f3, a3)] {
+            b.edge(f, a).unwrap();
+        }
+        (b.build(), [f1, f2, f3])
+    }
+
+    #[test]
+    fn hand_computed_scores() {
+        let (g, [f1, f2, f3]) = movie_graph();
+        let mw = MetaWalk::parse_in(&g, "film actor film").unwrap();
+        let ps = PathSim::new(&g, mw);
+        // |p(f1,f2)| = 2, |p(f1,f1)| = 2, |p(f2,f2)| = 2 → 2·2/(2+2) = 1.
+        assert_eq!(ps.score(f1, f2), 1.0);
+        // |p(f1,f3)| = 1, |p(f3,f3)| = 2 → 2·1/(2+2) = 0.5.
+        assert_eq!(ps.score(f1, f3), 0.5);
+        assert_eq!(ps.score(f1, f1), 1.0, "self-similarity is 1");
+        assert_eq!(ps.score(f2, f3), 0.5);
+    }
+
+    #[test]
+    fn ranking_by_score() {
+        let (g, [f1, f2, f3]) = movie_graph();
+        let mw = MetaWalk::parse_in(&g, "film actor film").unwrap();
+        let mut ps = PathSim::new(&g, mw);
+        let film = g.labels().get("film").unwrap();
+        assert_eq!(ps.rank(f1, film, 10).nodes(), vec![f2, f3]);
+    }
+
+    #[test]
+    fn degree_balance_property() {
+        // PathSim's hallmark: a hub connected to everything does not
+        // dominate — it is penalized by its own large self-count.
+        let mut b = GraphBuilder::new();
+        let film = b.entity_label("film");
+        let actor = b.entity_label("actor");
+        let q = b.entity(film, "q");
+        let twin = b.entity(film, "twin");
+        let hub = b.entity(film, "hub");
+        let a1 = b.entity(actor, "a1");
+        let a2 = b.entity(actor, "a2");
+        b.edge(q, a1).unwrap();
+        b.edge(q, a2).unwrap();
+        b.edge(twin, a1).unwrap();
+        b.edge(twin, a2).unwrap();
+        // Hub shares q's actors but also many others.
+        b.edge(hub, a1).unwrap();
+        b.edge(hub, a2).unwrap();
+        for i in 0..8 {
+            let extra = b.entity(actor, &format!("x{i}"));
+            b.edge(hub, extra).unwrap();
+        }
+        let g = b.build();
+        let mw = MetaWalk::parse_in(&g, "film actor film").unwrap();
+        let ps = PathSim::new(&g, mw);
+        assert!(ps.score(q, twin) > ps.score(q, hub));
+    }
+
+    #[test]
+    fn disconnected_pair_scores_zero() {
+        let (g, [f1, ..]) = movie_graph();
+        let mut b = GraphBuilder::from_graph(&g);
+        let film = g.labels().get("film").unwrap();
+        let actor = g.labels().get("actor").unwrap();
+        let f4 = b.entity(film, "f4");
+        let a9 = b.entity(actor, "a9");
+        b.edge(f4, a9).unwrap();
+        let g2 = b.build();
+        let mw = MetaWalk::parse_in(&g2, "film actor film").unwrap();
+        let ps = PathSim::new(&g2, mw);
+        assert_eq!(ps.score(f1, f4), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "same label")]
+    fn asymmetric_meta_walk_rejected() {
+        let (g, _) = movie_graph();
+        let mw = MetaWalk::parse_in(&g, "film actor").unwrap();
+        let _ = PathSim::new(&g, mw);
+    }
+}

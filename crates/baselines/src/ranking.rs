@@ -1,0 +1,148 @@
+//! Ranked answer lists and the algorithm trait.
+
+use repsim_graph::{Graph, LabelId, NodeId};
+
+/// A ranked similarity answer list: `(entity, score)` pairs in
+/// descending-score order, score ties broken ascending by the entity's
+/// representation-independent `(label, value)` sort key.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RankedList {
+    entries: Vec<(NodeId, f64)>,
+}
+
+impl RankedList {
+    /// Ranks `scores` over `candidates`, excluding the query node itself
+    /// (queries ask for entities *other than* the query, §2.2), keeping the
+    /// top `k` (all, if `k == usize::MAX`).
+    ///
+    /// Candidates with non-finite scores are dropped (an algorithm that
+    /// diverges must not silently rank garbage).
+    pub fn from_scores(
+        g: &Graph,
+        candidates: impl IntoIterator<Item = (NodeId, f64)>,
+        query: NodeId,
+        k: usize,
+    ) -> RankedList {
+        let mut entries: Vec<(NodeId, f64)> = candidates
+            .into_iter()
+            .filter(|&(n, s)| n != query && s.is_finite())
+            .collect();
+        entries.sort_by(|&(a, sa), &(b, sb)| {
+            sb.partial_cmp(&sa)
+                .expect("scores are finite")
+                .then_with(|| g.sort_key(a).cmp(&g.sort_key(b)))
+        });
+        entries.truncate(k);
+        RankedList { entries }
+    }
+
+    /// The `(entity, score)` entries, best first.
+    pub fn entries(&self) -> &[(NodeId, f64)] {
+        &self.entries
+    }
+
+    /// Just the entities, best first.
+    pub fn nodes(&self) -> Vec<NodeId> {
+        self.entries.iter().map(|&(n, _)| n).collect()
+    }
+
+    /// The `(label, value, score)` view — the representation-independent
+    /// form used to compare rankings across databases.
+    pub fn keyed(&self, g: &Graph) -> Vec<(String, String, f64)> {
+        self.entries
+            .iter()
+            .map(|&(n, s)| {
+                let (l, v) = g.sort_key(n);
+                (l, v, s)
+            })
+            .collect()
+    }
+
+    /// Number of answers.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Keeps only the first `k` answers.
+    pub fn truncated(&self, k: usize) -> RankedList {
+        RankedList {
+            entries: self.entries.iter().take(k).copied().collect(),
+        }
+    }
+}
+
+/// A similarity search algorithm bound to one database.
+///
+/// Implementations may cache per-graph state (SimRank's score matrix,
+/// PathSim's commuting matrices) across queries; `rank` therefore takes
+/// `&mut self`.
+pub trait SimilarityAlgorithm {
+    /// Short algorithm name for reports.
+    fn name(&self) -> String;
+
+    /// Ranks entities of `target_label` by similarity to `query`,
+    /// returning the top `k`.
+    fn rank(&mut self, query: NodeId, target_label: LabelId, k: usize) -> RankedList;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use repsim_graph::GraphBuilder;
+
+    #[test]
+    fn ranking_sorts_excludes_and_truncates() {
+        let mut b = GraphBuilder::new();
+        let film = b.entity_label("film");
+        let q = b.entity(film, "q");
+        let x = b.entity(film, "x");
+        let y = b.entity(film, "y");
+        let z = b.entity(film, "z");
+        let g = b.build();
+        let list = RankedList::from_scores(&g, vec![(q, 9.0), (x, 1.0), (y, 3.0), (z, 2.0)], q, 2);
+        assert_eq!(list.nodes(), vec![y, z]);
+        assert_eq!(list.len(), 2);
+        assert_eq!(list.truncated(1).nodes(), vec![y]);
+    }
+
+    #[test]
+    fn ties_break_by_value_not_node_id() {
+        let mut b = GraphBuilder::new();
+        let film = b.entity_label("film");
+        let q = b.entity(film, "q");
+        // Insertion order deliberately reversed relative to value order.
+        let zeta = b.entity(film, "zeta");
+        let alpha = b.entity(film, "alpha");
+        let g = b.build();
+        let list = RankedList::from_scores(&g, vec![(zeta, 1.0), (alpha, 1.0)], q, 10);
+        assert_eq!(list.nodes(), vec![alpha, zeta]);
+    }
+
+    #[test]
+    fn non_finite_scores_dropped() {
+        let mut b = GraphBuilder::new();
+        let film = b.entity_label("film");
+        let q = b.entity(film, "q");
+        let x = b.entity(film, "x");
+        let y = b.entity(film, "y");
+        let g = b.build();
+        let list = RankedList::from_scores(&g, vec![(x, f64::NAN), (y, 0.5)], q, 10);
+        assert_eq!(list.nodes(), vec![y]);
+    }
+
+    #[test]
+    fn keyed_view_is_value_based() {
+        let mut b = GraphBuilder::new();
+        let film = b.entity_label("film");
+        let q = b.entity(film, "q");
+        let x = b.entity(film, "x");
+        let g = b.build();
+        let list = RankedList::from_scores(&g, vec![(x, 2.0)], q, 10);
+        assert_eq!(list.keyed(&g), vec![("film".into(), "x".into(), 2.0)]);
+    }
+}

@@ -1,0 +1,191 @@
+//! Random Walk with Restart (Tong, Faloutsos & Pan, ICDM 2006).
+//!
+//! The relevance of `v` to query `q` is the stationary probability of a
+//! random surfer that, at each step, restarts at `q` with probability `c`
+//! and otherwise moves to a uniformly random neighbor:
+//!
+//! ```text
+//! r = c · e_q + (1 − c) · Wᵀ r
+//! ```
+//!
+//! with `W` the row-normalized adjacency matrix. The paper sets the restart
+//! probability to 0.8 in its experiments (§6.1).
+
+use repsim_graph::{Graph, LabelId, NodeId};
+use repsim_sparse::ops::vecmat;
+use repsim_sparse::vector::max_abs_diff;
+use repsim_sparse::Csr;
+
+use crate::ranking::{RankedList, SimilarityAlgorithm};
+
+/// Random Walk with Restart over one database.
+pub struct Rwr<'g> {
+    g: &'g Graph,
+    /// Restart probability `c` (paper: 0.8).
+    restart: f64,
+    /// Convergence tolerance on the max-norm of successive iterates.
+    tol: f64,
+    /// Iteration cap.
+    max_iter: usize,
+    /// Row-normalized adjacency over all nodes.
+    walk: Csr,
+}
+
+impl<'g> Rwr<'g> {
+    /// Paper defaults: restart 0.8, tolerance 1e-10, 200 iterations max.
+    pub fn new(g: &'g Graph) -> Self {
+        Rwr::with_params(g, 0.8, 1e-10, 200)
+    }
+
+    /// Fully parameterized constructor.
+    pub fn with_params(g: &'g Graph, restart: f64, tol: f64, max_iter: usize) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&restart),
+            "restart must be a probability"
+        );
+        let n = g.num_nodes();
+        let mut rows: Vec<Vec<(u32, f64)>> = Vec::with_capacity(n);
+        for u in g.node_ids() {
+            let nbrs = g.neighbors(u);
+            let w = if nbrs.is_empty() {
+                0.0
+            } else {
+                1.0 / nbrs.len() as f64
+            };
+            rows.push(nbrs.iter().map(|&v| (v.0, w)).collect());
+        }
+        let walk = Csr::from_rows(n, &rows);
+        Rwr {
+            g,
+            restart,
+            tol,
+            max_iter,
+            walk,
+        }
+    }
+
+    /// The full RWR score vector for a query node (indexed by node id).
+    pub fn scores(&self, query: NodeId) -> Vec<f64> {
+        let n = self.g.num_nodes();
+        let mut r = vec![0.0; n];
+        r[query.index()] = 1.0;
+        for _ in 0..self.max_iter {
+            // rᵀ·W propagates mass along edges; restart re-injects at q.
+            let mut next = vecmat(&r, &self.walk);
+            for v in next.iter_mut() {
+                *v *= 1.0 - self.restart;
+            }
+            next[query.index()] += self.restart;
+            let delta = max_abs_diff(&r, &next);
+            r = next;
+            if delta < self.tol {
+                break;
+            }
+        }
+        r
+    }
+}
+
+impl SimilarityAlgorithm for Rwr<'_> {
+    fn name(&self) -> String {
+        "RWR".to_owned()
+    }
+
+    fn rank(&mut self, query: NodeId, target_label: LabelId, k: usize) -> RankedList {
+        let scores = self.scores(query);
+        RankedList::from_scores(
+            self.g,
+            self.g
+                .nodes_of_label(target_label)
+                .iter()
+                .map(|&n| (n, scores[n.index()])),
+            query,
+            k,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use repsim_graph::GraphBuilder;
+
+    /// q–a–b path plus isolated-ish c: closer nodes score higher.
+    fn path_graph() -> (Graph, [NodeId; 4]) {
+        let mut b = GraphBuilder::new();
+        let film = b.entity_label("film");
+        let q = b.entity(film, "q");
+        let a = b.entity(film, "a");
+        let c = b.entity(film, "c");
+        let d = b.entity(film, "d");
+        b.edge(q, a).unwrap();
+        b.edge(a, c).unwrap();
+        b.edge(c, d).unwrap();
+        (b.build(), [q, a, c, d])
+    }
+
+    #[test]
+    fn scores_sum_to_one_and_decay_with_distance() {
+        let (g, [q, a, c, d]) = path_graph();
+        let rwr = Rwr::new(&g);
+        let s = rwr.scores(q);
+        let total: f64 = s.iter().sum();
+        assert!(
+            (total - 1.0).abs() < 1e-6,
+            "stationary distribution sums to 1, got {total}"
+        );
+        assert!(s[q.index()] > s[a.index()]);
+        assert!(s[a.index()] > s[c.index()]);
+        assert!(s[c.index()] > s[d.index()]);
+        assert!(s[d.index()] > 0.0);
+    }
+
+    #[test]
+    fn ranking_excludes_query_and_orders_by_proximity() {
+        let (g, [q, a, c, d]) = path_graph();
+        let mut rwr = Rwr::new(&g);
+        let film = g.labels().get("film").unwrap();
+        let list = rwr.rank(q, film, 10);
+        assert_eq!(list.nodes(), vec![a, c, d]);
+        assert_eq!(rwr.rank(q, film, 1).nodes(), vec![a]);
+    }
+
+    #[test]
+    fn restart_one_keeps_all_mass_at_query() {
+        let (g, [q, a, ..]) = path_graph();
+        let rwr = Rwr::with_params(&g, 1.0, 1e-12, 50);
+        let s = rwr.scores(q);
+        assert_eq!(s[q.index()], 1.0);
+        assert_eq!(s[a.index()], 0.0);
+    }
+
+    #[test]
+    fn dangling_nodes_do_not_diverge() {
+        let mut b = GraphBuilder::new();
+        let film = b.entity_label("film");
+        let q = b.entity(film, "q");
+        let _lone = b.entity(film, "lone");
+        let a = b.entity(film, "a");
+        b.edge(q, a).unwrap();
+        let g = b.build();
+        let rwr = Rwr::new(&g);
+        let s = rwr.scores(q);
+        assert!(s.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn symmetric_neighbors_tie_broken_by_value() {
+        let mut b = GraphBuilder::new();
+        let film = b.entity_label("film");
+        let q = b.entity(film, "q");
+        let z = b.entity(film, "zeta");
+        let a = b.entity(film, "alpha");
+        b.edge(q, z).unwrap();
+        b.edge(q, a).unwrap();
+        let g = b.build();
+        let mut rwr = Rwr::new(&g);
+        let film = g.labels().get("film").unwrap();
+        let list = rwr.rank(q, film, 2);
+        assert_eq!(list.nodes(), vec![a, z], "equal scores → value order");
+    }
+}

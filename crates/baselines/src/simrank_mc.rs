@@ -1,0 +1,189 @@
+//! Monte-Carlo SimRank via walk fingerprints (Fogaras & Rácz style).
+//!
+//! Exact SimRank needs Θ(n²) space and the paper notes this capped its own
+//! experiment sizes. The estimator stores, for every node, `R` independent
+//! random walks of length `L` ("fingerprints"); `s(a,b)` is estimated as
+//! the empirical mean of `Cᵗ` over paired fingerprints, where `t` is the
+//! first step at which walk `r` of `a` meets walk `r` of `b` (0 if they
+//! never meet within `L`). Sampling is seeded, so rankings are
+//! reproducible.
+//!
+//! This is an *ablation* implementation: `repsim-bench` compares its
+//! accuracy and latency against exact SimRank (DESIGN.md, ablations).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use repsim_graph::{Graph, LabelId, NodeId};
+
+use crate::ranking::{RankedList, SimilarityAlgorithm};
+
+/// Fingerprint-based SimRank estimator.
+pub struct SimRankMc<'g> {
+    g: &'g Graph,
+    damping: f64,
+    walks_per_node: usize,
+    walk_len: usize,
+    /// `fingerprints[node][r * walk_len + t]` = node visited at step `t+1`
+    /// of walk `r`; `u32::MAX` marks a halted walk (dangling node).
+    fingerprints: Vec<Vec<u32>>,
+}
+
+impl<'g> SimRankMc<'g> {
+    /// Builds fingerprints with the paper-matched damping of 0.8,
+    /// 100 walks of length 5 per node.
+    pub fn new(g: &'g Graph, seed: u64) -> Self {
+        SimRankMc::with_params(g, 0.8, 100, 5, seed)
+    }
+
+    /// Fully parameterized constructor.
+    pub fn with_params(
+        g: &'g Graph,
+        damping: f64,
+        walks_per_node: usize,
+        walk_len: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(
+            walk_len > 0 && walks_per_node > 0,
+            "need at least one step and walk"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut fingerprints = Vec::with_capacity(g.num_nodes());
+        for start in g.node_ids() {
+            let mut fp = Vec::with_capacity(walks_per_node * walk_len);
+            for _ in 0..walks_per_node {
+                let mut cur = start;
+                let mut halted = false;
+                for _ in 0..walk_len {
+                    if halted {
+                        fp.push(u32::MAX);
+                        continue;
+                    }
+                    let nbrs = self::neighbors(g, cur);
+                    if nbrs.is_empty() {
+                        halted = true;
+                        fp.push(u32::MAX);
+                        continue;
+                    }
+                    cur = nbrs[rng.random_range(0..nbrs.len())];
+                    fp.push(cur.0);
+                }
+            }
+            fingerprints.push(fp);
+        }
+        SimRankMc {
+            g,
+            damping,
+            walks_per_node,
+            walk_len,
+            fingerprints,
+        }
+    }
+
+    /// The estimated SimRank score of a pair.
+    pub fn score(&self, a: NodeId, b: NodeId) -> f64 {
+        if a == b {
+            return 1.0;
+        }
+        let fa = &self.fingerprints[a.index()];
+        let fb = &self.fingerprints[b.index()];
+        let mut total = 0.0;
+        for r in 0..self.walks_per_node {
+            let base = r * self.walk_len;
+            for t in 0..self.walk_len {
+                let x = fa[base + t];
+                if x != u32::MAX && x == fb[base + t] {
+                    total += self.damping.powi(t as i32 + 1);
+                    break;
+                }
+            }
+        }
+        total / self.walks_per_node as f64
+    }
+}
+
+fn neighbors(g: &Graph, n: NodeId) -> &[NodeId] {
+    g.neighbors(n)
+}
+
+impl SimilarityAlgorithm for SimRankMc<'_> {
+    fn name(&self) -> String {
+        "SimRank-MC".to_owned()
+    }
+
+    fn rank(&mut self, query: NodeId, target_label: LabelId, k: usize) -> RankedList {
+        RankedList::from_scores(
+            self.g,
+            self.g
+                .nodes_of_label(target_label)
+                .iter()
+                .map(|&n| (n, self.score(query, n))),
+            query,
+            k,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simrank::SimRank;
+    use repsim_graph::GraphBuilder;
+
+    fn movie_graph() -> (Graph, [NodeId; 3]) {
+        let mut b = GraphBuilder::new();
+        let film = b.entity_label("film");
+        let actor = b.entity_label("actor");
+        let f1 = b.entity(film, "f1");
+        let f2 = b.entity(film, "f2");
+        let f3 = b.entity(film, "f3");
+        let shared = b.entity(actor, "shared");
+        let solo = b.entity(actor, "solo");
+        b.edge(f1, shared).unwrap();
+        b.edge(f2, shared).unwrap();
+        b.edge(f3, solo).unwrap();
+        (b.build(), [f1, f2, f3])
+    }
+
+    #[test]
+    fn estimator_tracks_exact_on_small_graph() {
+        let (g, [f1, f2, f3]) = movie_graph();
+        let mc = SimRankMc::with_params(&g, 0.8, 2000, 5, 7);
+        let mut exact = SimRank::new(&g);
+        let err12 = (mc.score(f1, f2) - exact.score(f1, f2)).abs();
+        assert!(err12 < 0.05, "estimate off by {err12}");
+        assert_eq!(mc.score(f1, f3), 0.0, "different components never meet");
+        assert_eq!(mc.score(f1, f1), 1.0);
+    }
+
+    #[test]
+    fn seeded_runs_are_reproducible() {
+        let (g, [f1, f2, _]) = movie_graph();
+        let a = SimRankMc::new(&g, 42).score(f1, f2);
+        let b = SimRankMc::new(&g, 42).score(f1, f2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ranking_prefers_connected_candidates() {
+        let (g, [f1, f2, f3]) = movie_graph();
+        let mut mc = SimRankMc::new(&g, 1);
+        let film = g.labels().get("film").unwrap();
+        let list = mc.rank(f1, film, 10);
+        assert_eq!(list.nodes(), vec![f2, f3]);
+    }
+
+    #[test]
+    fn dangling_nodes_halt_walks() {
+        let mut b = GraphBuilder::new();
+        let film = b.entity_label("film");
+        let q = b.entity(film, "q");
+        let lone = b.entity(film, "lone");
+        let a = b.entity(film, "a");
+        b.edge(q, a).unwrap();
+        let g = b.build();
+        let mc = SimRankMc::new(&g, 3);
+        assert_eq!(mc.score(q, lone), 0.0);
+        assert!(mc.score(q, a).is_finite());
+    }
+}

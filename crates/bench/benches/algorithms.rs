@@ -1,0 +1,86 @@
+//! Per-query latency of each similarity algorithm — the runtime behind
+//! Tables 1–4 (one rank call per query per representation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use repsim_baselines::ranking::SimilarityAlgorithm;
+use repsim_baselines::{CommonNeighbors, Katz, PathSim, Rwr, SimRank, SimRankMc};
+use repsim_bench::{citations_tiny_dblp, movies_small, movies_tiny};
+use repsim_core::RPathSim;
+use repsim_graph::Graph;
+use repsim_metawalk::MetaWalk;
+use std::hint::black_box;
+
+fn query_of(g: &Graph) -> (repsim_graph::NodeId, repsim_graph::LabelId) {
+    let film = g.labels().get("film").expect("movies");
+    (g.nodes_of_label(film)[0], film)
+}
+
+fn bench_rank_latency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithms/rank");
+    for (scale, g) in [("tiny", movies_tiny()), ("small", movies_small())] {
+        let (q, film) = query_of(&g);
+        let mw = MetaWalk::parse_in(&g, "film actor film").expect("parseable");
+
+        let mut rwr = Rwr::new(&g);
+        group.bench_with_input(BenchmarkId::new("rwr", scale), &q, |b, &q| {
+            b.iter(|| black_box(rwr.rank(q, film, 10)))
+        });
+
+        let mut katz = Katz::new(&g);
+        group.bench_with_input(BenchmarkId::new("katz", scale), &q, |b, &q| {
+            b.iter(|| black_box(katz.rank(q, film, 10)))
+        });
+
+        let mut cn = CommonNeighbors::new(&g);
+        group.bench_with_input(BenchmarkId::new("common-neighbors", scale), &q, |b, &q| {
+            b.iter(|| black_box(cn.rank(q, film, 10)))
+        });
+
+        let mut ps = PathSim::new(&g, mw.clone());
+        group.bench_with_input(BenchmarkId::new("pathsim", scale), &q, |b, &q| {
+            b.iter(|| black_box(ps.rank(q, film, 10)))
+        });
+
+        let mut rps = RPathSim::new(&g, mw);
+        group.bench_with_input(BenchmarkId::new("rpathsim", scale), &q, |b, &q| {
+            b.iter(|| black_box(rps.rank(q, film, 10)))
+        });
+
+        // SimRank's cost is the one-off matrix; the per-query rank after
+        // warm-up is what Tables 1–4 pay per query.
+        let mut sr = SimRank::new(&g);
+        let _ = sr.rank(q, film, 1); // warm the cache
+        group.bench_with_input(BenchmarkId::new("simrank-warm", scale), &q, |b, &q| {
+            b.iter(|| black_box(sr.rank(q, film, 10)))
+        });
+
+        let mut mc = SimRankMc::new(&g, 7);
+        group.bench_with_input(BenchmarkId::new("simrank-mc", scale), &q, |b, &q| {
+            b.iter(|| black_box(mc.rank(q, film, 10)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_build_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithms/build");
+    group.sample_size(10);
+    let g = citations_tiny_dblp();
+    group.bench_function("simrank-exact-matrix", |b| {
+        b.iter(|| {
+            let mut sr = SimRank::new(&g);
+            black_box(sr.score_matrix().nrows())
+        })
+    });
+    group.bench_function("simrank-mc-fingerprints", |b| {
+        b.iter(|| black_box(SimRankMc::new(&g, 7)))
+    });
+    let mw = MetaWalk::parse_in(&g, "paper cite paper cite paper").expect("parseable");
+    group.bench_function("rpathsim-matrix", |b| {
+        b.iter(|| black_box(RPathSim::new(&g, mw.clone())))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_rank_latency, bench_build_cost);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Commuting-matrix construction across meta-walk lengths and modes —
+//! the core machinery behind every (R-)PathSim score (§4.3, §5.2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use repsim_bench::{citations_small_dblp, citations_small_snap, mas_tiny};
+use repsim_metawalk::commuting::{informative_commuting, plain_commuting};
+use repsim_metawalk::MetaWalk;
+use std::hint::black_box;
+
+fn bench_citation_walks(c: &mut Criterion) {
+    let dblp = citations_small_dblp();
+    let snap = citations_small_snap();
+    let mut group = c.benchmark_group("commuting/citations");
+    let cases = [
+        ("dblp-2hop", &dblp, "paper cite paper cite paper"),
+        ("snap-2hop", &snap, "paper paper paper"),
+    ];
+    for (name, g, walk) in cases {
+        let mw = MetaWalk::parse_in(g, walk).expect("parseable");
+        group.bench_with_input(BenchmarkId::new("plain", name), &mw, |b, mw| {
+            b.iter(|| black_box(plain_commuting(g, mw)))
+        });
+        group.bench_with_input(BenchmarkId::new("informative", name), &mw, |b, mw| {
+            b.iter(|| black_box(informative_commuting(g, mw)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_star_walks(c: &mut Criterion) {
+    let g = mas_tiny();
+    let mut group = c.benchmark_group("commuting/star");
+    for (name, walk) in [
+        ("plain-kw", "conf paper dom kw dom paper conf"),
+        ("star-kw", "conf *paper dom kw dom *paper conf"),
+    ] {
+        let mw = MetaWalk::parse_in(&g, walk).expect("parseable");
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(informative_commuting(&g, &mw)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_walk_length(c: &mut Criterion) {
+    let g = citations_small_dblp();
+    let mut group = c.benchmark_group("commuting/length");
+    for hops in 1..=3usize {
+        let mut walk = String::from("paper");
+        for _ in 0..hops {
+            walk.push_str(" cite paper");
+        }
+        let mw = MetaWalk::parse_in(&g, &walk).expect("parseable");
+        group.bench_with_input(BenchmarkId::from_parameter(hops), &mw, |b, mw| {
+            b.iter(|| black_box(informative_commuting(&g, mw)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_citation_walks,
+    bench_star_walks,
+    bench_walk_length
+);
+criterion_main!(benches);

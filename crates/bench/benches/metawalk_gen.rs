@@ -1,0 +1,68 @@
+//! Algorithm 1's meta-walk set generation and FD discovery as the label
+//! count grows — the §5.2 complexity discussion (exponential in |L| in the
+//! worst case, cheap in practice because label counts are small).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use repsim_core::find_meta_walk_set;
+use repsim_graph::{Graph, GraphBuilder};
+use repsim_metawalk::FdSet;
+use std::hint::black_box;
+
+/// A chain-schema database with `n_labels` entity labels where label `i`
+/// functionally determines label `i+1` — the FD-dense worst case for
+/// pattern detection.
+fn chain_db(n_labels: usize, fanout: usize) -> Graph {
+    let mut b = GraphBuilder::new();
+    let labels: Vec<_> = (0..n_labels)
+        .map(|i| b.entity_label(&format!("l{i}")))
+        .collect();
+    // Level i has fanout^(n_labels-1-i) nodes; node j at level i links to
+    // node j/fanout at level i+1.
+    let mut level_sizes = Vec::with_capacity(n_labels);
+    for i in 0..n_labels {
+        level_sizes.push(fanout.pow((n_labels - 1 - i) as u32));
+    }
+    let nodes: Vec<Vec<_>> = (0..n_labels)
+        .map(|i| {
+            (0..level_sizes[i])
+                .map(|j| b.entity(labels[i], &format!("v{i}_{j}")))
+                .collect()
+        })
+        .collect();
+    for i in 0..n_labels - 1 {
+        for j in 0..level_sizes[i] {
+            b.edge(nodes[i][j], nodes[i + 1][j / fanout])
+                .expect("fresh");
+        }
+    }
+    b.build()
+}
+
+fn bench_fd_discovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("metawalk_gen/fd-discovery");
+    for n_labels in [3usize, 4, 5] {
+        let g = chain_db(n_labels, 3);
+        group.bench_with_input(BenchmarkId::from_parameter(n_labels), &g, |b, g| {
+            b.iter(|| black_box(FdSet::discover(g, 3)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_algorithm1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("metawalk_gen/algorithm1");
+    for n_labels in [3usize, 4, 5] {
+        let g = chain_db(n_labels, 3);
+        let fds = FdSet::discover(&g, 3);
+        let query = g.labels().get("l0").expect("first label");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n_labels),
+            &(&g, &fds),
+            |b, (g, fds)| b.iter(|| black_box(find_meta_walk_set(g, fds, query, n_labels + 1))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fd_discovery, bench_algorithm1);
+criterion_main!(benches);

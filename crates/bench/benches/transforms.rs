@@ -1,0 +1,53 @@
+//! Applying and inverting each catalog transformation (§4.2, §5.1).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use repsim_bench::{citations_small_snap, movies_small, movies_small_no_chars};
+use repsim_datasets::bibliographic::{self, BibliographicConfig};
+use repsim_datasets::courses::{self, CourseConfig};
+use repsim_transform::catalog;
+use std::hint::black_box;
+
+fn bench_reorganizing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transforms/reorganizing");
+    let imdb = movies_small();
+    group.bench_function("imdb2fb (triangle→star)", |b| {
+        b.iter(|| black_box(catalog::imdb2fb().apply(&imdb).expect("applies")))
+    });
+    let fb = catalog::imdb2fb().apply(&imdb).expect("applies");
+    group.bench_function("fb2imdb (star→triangle)", |b| {
+        b.iter(|| black_box(catalog::fb2imdb().apply(&fb).expect("applies")))
+    });
+    let imdb_nc = movies_small_no_chars();
+    group.bench_function("imdb2ng (group+reify)", |b| {
+        b.iter(|| black_box(catalog::imdb2ng().apply(&imdb_nc).expect("applies")))
+    });
+    let snap = citations_small_snap();
+    group.bench_function("snap2dblp (reify)", |b| {
+        b.iter(|| black_box(catalog::snap2dblp().apply(&snap).expect("applies")))
+    });
+    let dblp = catalog::snap2dblp().apply(&snap).expect("applies");
+    group.bench_function("dblp2snap (collapse)", |b| {
+        b.iter(|| black_box(catalog::dblp2snap().apply(&dblp).expect("applies")))
+    });
+    group.finish();
+}
+
+fn bench_rearranging(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transforms/rearranging");
+    let dblp = bibliographic::dblp(&BibliographicConfig::small());
+    group.bench_function("dblp2sigm (pull-up)", |b| {
+        b.iter(|| black_box(catalog::dblp2sigm().apply(&dblp).expect("FDs hold")))
+    });
+    let sigm = catalog::dblp2sigm().apply(&dblp).expect("FDs hold");
+    group.bench_function("sigm2dblp (push-down)", |b| {
+        b.iter(|| black_box(catalog::sigm2dblp().apply(&sigm).expect("applies")))
+    });
+    let wsu = courses::wsu(&CourseConfig::paper_scale());
+    group.bench_function("wsu2alch (pull-up)", |b| {
+        b.iter(|| black_box(catalog::wsu2alch().apply(&wsu).expect("FDs hold")))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_reorganizing, bench_rearranging);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Shared fixtures for the Criterion benchmarks.
+//!
+//! Benchmarks operate on the `tiny`/`small` dataset presets so `cargo
+//! bench` completes in minutes; the benched code paths are exactly those
+//! behind the paper's tables (see DESIGN.md's bench index).
+
+use repsim_datasets::citations::{self, CitationConfig};
+use repsim_datasets::mas::{self, MasConfig};
+use repsim_datasets::movies::{self, MoviesConfig};
+use repsim_graph::Graph;
+
+/// The tiny movies database (IMDb form, with characters).
+pub fn movies_tiny() -> Graph {
+    movies::imdb(&MoviesConfig::tiny())
+}
+
+/// The small movies database (IMDb form, with characters).
+pub fn movies_small() -> Graph {
+    movies::imdb(&MoviesConfig::small())
+}
+
+/// The small character-free movies database.
+pub fn movies_small_no_chars() -> Graph {
+    movies::imdb_no_chars(&MoviesConfig::small())
+}
+
+/// The tiny citation database in DBLP form.
+pub fn citations_tiny_dblp() -> Graph {
+    citations::dblp(&CitationConfig::tiny())
+}
+
+/// The small citation database in DBLP form.
+pub fn citations_small_dblp() -> Graph {
+    citations::dblp(&CitationConfig::small())
+}
+
+/// The small citation database in SNAP form.
+pub fn citations_small_snap() -> Graph {
+    citations::snap(&CitationConfig::small())
+}
+
+/// The tiny MAS database (Figure 5a form).
+pub fn mas_tiny() -> Graph {
+    mas::mas(&MasConfig::tiny()).0
+}

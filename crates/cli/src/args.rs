@@ -1,0 +1,153 @@
+//! Hand-rolled argument parsing.
+
+use std::fmt;
+
+/// Errors surfaced to the CLI user.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliError {
+    /// Bad invocation; the message includes usage help.
+    Usage(String),
+    /// A file could not be read or written.
+    Io(String),
+    /// The command ran but failed (unknown label, bad meta-walk, …).
+    Command(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(m) | CliError::Io(m) | CliError::Command(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Parsed command arguments: one optional positional path plus
+/// `--key value` / `-k value` options.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Args {
+    positional: Vec<String>,
+    options: Vec<(String, String)>,
+}
+
+impl Args {
+    /// Parses everything after the command word.
+    pub fn parse(argv: &[String]) -> Result<Args, CliError> {
+        let mut out = Args::default();
+        let mut it = argv.iter();
+        while let Some(a) = it.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                if let Some((k, v)) = key.split_once('=') {
+                    out.options.push((k.to_owned(), v.to_owned()));
+                } else {
+                    let v = it
+                        .next()
+                        .ok_or_else(|| CliError::Usage(format!("--{key} needs a value")))?;
+                    out.options.push((key.to_owned(), v.clone()));
+                }
+            } else if let Some(key) = a.strip_prefix('-') {
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage(format!("-{key} needs a value")))?;
+                out.options.push((expand_short(key).to_owned(), v.clone()));
+            } else {
+                out.positional.push(a.clone());
+            }
+        }
+        Ok(out)
+    }
+
+    /// The `i`-th positional argument.
+    pub fn positional(&self, i: usize) -> Option<&str> {
+        self.positional.get(i).map(String::as_str)
+    }
+
+    /// The first positional argument, required as an input file path.
+    pub fn input_file(&self) -> Result<&str, CliError> {
+        self.positional(0)
+            .ok_or_else(|| CliError::Usage("missing input file".to_owned()))
+    }
+
+    /// An option by long name.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// A required option.
+    pub fn require(&self, key: &str) -> Result<&str, CliError> {
+        self.get(key)
+            .ok_or_else(|| CliError::Usage(format!("missing --{key}")))
+    }
+
+    /// A numeric option with default.
+    pub fn get_usize(&self, key: &str, default: usize) -> Result<usize, CliError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError::Usage(format!("--{key} expects a number, got {v:?}"))),
+        }
+    }
+}
+
+fn expand_short(key: &str) -> &str {
+    match key {
+        "o" => "out",
+        "k" => "k",
+        "n" => "n",
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_owned).collect()
+    }
+
+    #[test]
+    fn parses_positional_and_options() {
+        let a = Args::parse(&argv("movies.graph --label film -k 5 --scale=tiny")).unwrap();
+        assert_eq!(a.positional(0), Some("movies.graph"));
+        assert_eq!(a.get("label"), Some("film"));
+        assert_eq!(a.get("k"), Some("5"));
+        assert_eq!(a.get("scale"), Some("tiny"));
+        assert_eq!(a.get_usize("k", 10).unwrap(), 5);
+        assert_eq!(a.get_usize("missing", 10).unwrap(), 10);
+    }
+
+    #[test]
+    fn short_options_expand() {
+        let a = Args::parse(&argv("-o out.graph -n 20")).unwrap();
+        assert_eq!(a.get("out"), Some("out.graph"));
+        assert_eq!(a.get("n"), Some("20"));
+    }
+
+    #[test]
+    fn missing_values_rejected() {
+        assert!(Args::parse(&argv("--label")).is_err());
+        assert!(Args::parse(&argv("-k")).is_err());
+    }
+
+    #[test]
+    fn require_and_input_file() {
+        let a = Args::parse(&argv("file.graph --x y")).unwrap();
+        assert_eq!(a.input_file().unwrap(), "file.graph");
+        assert_eq!(a.require("x").unwrap(), "y");
+        assert!(a.require("z").is_err());
+        let empty = Args::parse(&[]).unwrap();
+        assert!(empty.input_file().is_err());
+    }
+
+    #[test]
+    fn bad_numbers_rejected() {
+        let a = Args::parse(&argv("--k five")).unwrap();
+        assert!(a.get_usize("k", 1).is_err());
+    }
+}

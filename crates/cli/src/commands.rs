@@ -1,0 +1,509 @@
+//! Command implementations. Each returns the text to print.
+
+use std::fmt::Write as _;
+
+use repsim_core::independence::check_workload;
+use repsim_core::{find_meta_walk_set, CountingMode};
+use repsim_datasets::bibliographic::{self, BibliographicConfig};
+use repsim_datasets::citations::{self, CitationConfig};
+use repsim_datasets::courses::{self, CourseConfig};
+use repsim_datasets::mas::{self, MasConfig};
+use repsim_datasets::movies::{self, MoviesConfig};
+use repsim_eval::spec::AlgorithmSpec;
+use repsim_eval::workload::Workload;
+use repsim_graph::stats::GraphStats;
+use repsim_graph::{io, Graph, NodeId};
+use repsim_metawalk::FdSet;
+use repsim_transform::{apply_with_map, catalog, Transformation};
+
+use crate::args::{Args, CliError};
+
+fn load(path: &str) -> Result<Graph, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Io(format!("cannot read {path}: {e}")))?;
+    io::read(&text).map_err(|e| CliError::Command(format!("cannot parse {path}: {e}")))
+}
+
+fn save_or_print(args: &Args, g: &Graph) -> Result<String, CliError> {
+    let text = io::write(g);
+    match args.get("out") {
+        Some(path) => {
+            std::fs::write(path, &text)
+                .map_err(|e| CliError::Io(format!("cannot write {path}: {e}")))?;
+            Ok(format!(
+                "wrote {} nodes / {} edges to {path}",
+                g.num_nodes(),
+                g.num_edges()
+            ))
+        }
+        None => Ok(text),
+    }
+}
+
+/// `repsim generate --dataset D [--scale S] [-o FILE]`.
+pub fn generate(args: &Args) -> Result<String, CliError> {
+    let dataset = args.require("dataset")?;
+    let scale = args.get("scale").unwrap_or("tiny");
+    let bad_scale = || CliError::Usage(format!("unknown scale {scale:?}"));
+    let g = match dataset {
+        "movies" | "movies-nochar" => {
+            let cfg = match scale {
+                "tiny" => MoviesConfig::tiny(),
+                "small" => MoviesConfig::small(),
+                "paper" => MoviesConfig::paper_scale(),
+                _ => return Err(bad_scale()),
+            };
+            if dataset == "movies" {
+                movies::imdb(&cfg)
+            } else {
+                movies::imdb_no_chars(&cfg)
+            }
+        }
+        "citations-dblp" | "citations-snap" => {
+            let cfg = match scale {
+                "tiny" => CitationConfig::tiny(),
+                "small" => CitationConfig::small(),
+                "paper" => CitationConfig::paper_scale(),
+                _ => return Err(bad_scale()),
+            };
+            if dataset == "citations-dblp" {
+                citations::dblp(&cfg)
+            } else {
+                citations::snap(&cfg)
+            }
+        }
+        "bibliographic" | "sigmod-record" => {
+            let cfg = match scale {
+                "tiny" => BibliographicConfig::tiny(),
+                "small" => BibliographicConfig::small(),
+                "paper" => BibliographicConfig::paper_scale(),
+                _ => return Err(bad_scale()),
+            };
+            if dataset == "bibliographic" {
+                bibliographic::dblp(&cfg)
+            } else {
+                bibliographic::sigmod_record(&cfg)
+            }
+        }
+        "courses" => {
+            let cfg = match scale {
+                "tiny" => CourseConfig::tiny(),
+                "small" | "paper" => CourseConfig::paper_scale(),
+                _ => return Err(bad_scale()),
+            };
+            courses::wsu(&cfg)
+        }
+        "mas" => {
+            let cfg = match scale {
+                "tiny" => MasConfig::tiny(),
+                "small" => MasConfig::small(),
+                "paper" => MasConfig::paper_scale(),
+                _ => return Err(bad_scale()),
+            };
+            mas::mas(&cfg).0
+        }
+        other => return Err(CliError::Usage(format!("unknown dataset {other:?}"))),
+    };
+    save_or_print(args, &g)
+}
+
+/// `repsim stats FILE`.
+pub fn stats(args: &Args) -> Result<String, CliError> {
+    let g = load(args.input_file()?)?;
+    let mut out = GraphStats::of(&g).summary(&g);
+    out.push_str("edges by label pair:\n");
+    for ((a, b), count) in repsim_graph::stats::label_pair_edge_counts(&g) {
+        writeln!(out, "  {a}-{b}: {count}").expect("infallible");
+    }
+    Ok(out)
+}
+
+/// `repsim validate FILE`.
+pub fn validate(args: &Args) -> Result<String, CliError> {
+    let g = load(args.input_file()?)?;
+    let violations = repsim_graph::validate::validate(&g);
+    if violations.is_empty() {
+        Ok("ok: all §2.2 model assumptions hold".to_owned())
+    } else {
+        let mut out = format!("{} violation(s):\n", violations.len());
+        for v in violations {
+            writeln!(out, "  {v:?}").expect("infallible");
+        }
+        Err(CliError::Command(out))
+    }
+}
+
+/// `repsim fds FILE [--max-len N]`.
+pub fn fds(args: &Args) -> Result<String, CliError> {
+    let g = load(args.input_file()?)?;
+    let max_len = args.get_usize("max-len", 3)?;
+    let set = FdSet::discover(&g, max_len);
+    let mut out = String::new();
+    for fd in set.fds() {
+        writeln!(
+            out,
+            "{} -> {}   via ({})",
+            g.labels().name(fd.lhs()),
+            g.labels().name(fd.rhs()),
+            fd.via().display(g.labels())
+        )
+        .expect("infallible");
+    }
+    for chain in set.chains() {
+        let names: Vec<&str> = chain.labels.iter().map(|&l| g.labels().name(l)).collect();
+        writeln!(out, "chain: {}", names.join(" < ")).expect("infallible");
+    }
+    if out.is_empty() {
+        out = "no functional dependencies found".to_owned();
+    }
+    Ok(out)
+}
+
+/// `repsim metawalks FILE --label L [--max-len N]`.
+pub fn metawalks(args: &Args) -> Result<String, CliError> {
+    let g = load(args.input_file()?)?;
+    let label_name = args.require("label")?;
+    let label = g
+        .labels()
+        .get(label_name)
+        .ok_or_else(|| CliError::Command(format!("unknown label {label_name:?}")))?;
+    let max_len = args.get_usize("max-len", 4)?;
+    // --fd-labels a,b,c declares the F_L scope (§6.1.2); default: all.
+    let fd_set = match args.get("fd-labels") {
+        Some(csv) => {
+            let scope: Result<Vec<_>, CliError> = csv
+                .split(',')
+                .map(|n| {
+                    g.labels()
+                        .get(n.trim())
+                        .ok_or_else(|| CliError::Command(format!("unknown label {n:?}")))
+                })
+                .collect();
+            FdSet::discover_among(&g, &scope?, 3)
+        }
+        None => FdSet::discover(&g, 3),
+    };
+    let set = find_meta_walk_set(&g, &fd_set, label, max_len);
+    let mut out = String::new();
+    for mw in set {
+        writeln!(out, "{}", mw.display(g.labels())).expect("infallible");
+    }
+    Ok(out)
+}
+
+fn parse_entity(g: &Graph, spec: &str) -> Result<NodeId, CliError> {
+    let (label, value) = spec
+        .split_once(':')
+        .ok_or_else(|| CliError::Usage(format!("--query expects label:value, got {spec:?}")))?;
+    g.entity_by_name(label, value)
+        .ok_or_else(|| CliError::Command(format!("no entity {spec:?} in the database")))
+}
+
+fn algorithm_spec(args: &Args) -> Result<AlgorithmSpec, CliError> {
+    let name = args.require("algorithm")?;
+    let meta_walk = || -> Result<String, CliError> { Ok(args.require("meta-walk")?.to_owned()) };
+    Ok(match name {
+        "rwr" => AlgorithmSpec::Rwr,
+        "simrank" => AlgorithmSpec::SimRank,
+        "simrank-mc" => AlgorithmSpec::SimRankMc { seed: 7 },
+        "katz" => AlgorithmSpec::Katz,
+        "simrank-pp" => AlgorithmSpec::SimRankPlusPlus,
+        "common-neighbors" => AlgorithmSpec::CommonNeighbors,
+        "pathsim" => AlgorithmSpec::PathSim {
+            meta_walk: meta_walk()?,
+        },
+        "rpathsim" => AlgorithmSpec::RPathSim {
+            meta_walk: meta_walk()?,
+        },
+        "hetesim" => AlgorithmSpec::HeteSim {
+            meta_walk: meta_walk()?,
+        },
+        "aggregated" => AlgorithmSpec::Aggregated {
+            mode: CountingMode::Informative,
+            query_label: args.require("label").map(str::to_owned).or_else(|_| {
+                // Fall back to the query entity's label in `query`.
+                args.get("query")
+                    .and_then(|q| q.split_once(':'))
+                    .map(|(l, _)| l.to_owned())
+                    .ok_or_else(|| CliError::Usage("aggregated needs --label or --query".into()))
+            })?,
+            max_len: args.get_usize("max-len", 4)?,
+            fd_max_len: 3,
+        },
+        other => return Err(CliError::Usage(format!("unknown algorithm {other:?}"))),
+    })
+}
+
+/// `repsim query FILE --algorithm A --query label:value [--meta-walk ...] [-k N]`.
+pub fn query(args: &Args) -> Result<String, CliError> {
+    let g = load(args.input_file()?)?;
+    let q = parse_entity(&g, args.require("query")?)?;
+    let k = args.get_usize("k", 10)?;
+    let spec = algorithm_spec(args)?;
+    if let AlgorithmSpec::Aggregated { query_label, .. } = &spec {
+        let expected = g.labels().name(g.label_of(q));
+        if query_label != expected {
+            return Err(CliError::Usage(format!(
+                "--label {query_label:?} does not match the query entity's label {expected:?}"
+            )));
+        }
+    }
+    let mut alg = spec.build(&g);
+    let list = alg.rank(q, g.label_of(q), k);
+    let mut out = format!("{} answers for {}:\n", spec.name(), g.display_node(q));
+    for &(n, score) in list.entries() {
+        writeln!(out, "  {:<30} {score:.6}", g.display_node(n)).expect("infallible");
+    }
+    Ok(out)
+}
+
+fn catalog_transformation(name: &str) -> Result<Box<dyn Transformation>, CliError> {
+    Ok(match name {
+        "imdb2fb" => catalog::imdb2fb(),
+        "fb2imdb" => catalog::fb2imdb(),
+        "imdb2ng" => catalog::imdb2ng(),
+        "imdb2ng-plus" => catalog::imdb2ng_plus(),
+        "fb2ng" => catalog::fb2ng(),
+        "imdb2fb-nochar" => catalog::imdb2fb_no_chars(),
+        "dblp2snap" => catalog::dblp2snap(),
+        "snap2dblp" => catalog::snap2dblp(),
+        "dblp2sigm" => catalog::dblp2sigm(),
+        "sigm2dblp" => catalog::sigm2dblp(),
+        "wsu2alch" => catalog::wsu2alch(),
+        "alch2wsu" => catalog::alch2wsu(),
+        "mas2alt" => catalog::mas2alt(),
+        "alt2mas" => catalog::alt2mas(),
+        other => return Err(CliError::Usage(format!("unknown transformation {other:?}"))),
+    })
+}
+
+/// `repsim transform FILE --name NAME [-o FILE]`.
+pub fn transform(args: &Args) -> Result<String, CliError> {
+    let g = load(args.input_file()?)?;
+    let t = catalog_transformation(args.require("name")?)?;
+    let tg = t
+        .apply(&g)
+        .map_err(|e| CliError::Command(format!("{}: {e}", t.name())))?;
+    save_or_print(args, &tg)
+}
+
+/// `repsim independence FILE --name T --algorithm A [-n QUERIES]`.
+pub fn independence(args: &Args) -> Result<String, CliError> {
+    let g = load(args.input_file()?)?;
+    let t = catalog_transformation(args.require("name")?)?;
+    let (tg, map) =
+        apply_with_map(&*t, &g).map_err(|e| CliError::Command(format!("{}: {e}", t.name())))?;
+    let spec_d = algorithm_spec(args)?;
+    let spec_t = match (&spec_d, args.get("meta-walk-t")) {
+        (AlgorithmSpec::PathSim { .. }, Some(mw)) => AlgorithmSpec::PathSim {
+            meta_walk: mw.to_owned(),
+        },
+        (AlgorithmSpec::RPathSim { .. }, Some(mw)) => AlgorithmSpec::RPathSim {
+            meta_walk: mw.to_owned(),
+        },
+        (AlgorithmSpec::HeteSim { .. }, Some(mw)) => AlgorithmSpec::HeteSim {
+            meta_walk: mw.to_owned(),
+        },
+        (other, _) => other.clone(),
+    };
+    let n = args.get_usize("n", 20)?;
+    // Query the label of the meta-walk source if given, else the most
+    // populous entity label.
+    let label = match args.get("label") {
+        Some(name) => g
+            .labels()
+            .get(name)
+            .ok_or_else(|| CliError::Command(format!("unknown label {name:?}")))?,
+        None => g
+            .labels()
+            .entity_ids()
+            .max_by_key(|&l| g.nodes_of_label(l).len())
+            .ok_or_else(|| CliError::Command("database has no entities".into()))?,
+    };
+    let queries = Workload::Random { seed: 47 }.queries(&g, label, n);
+    let mut a = spec_d.build(&g);
+    let mut b = spec_t.build(&tg);
+    let verdicts = check_workload(
+        &g,
+        &tg,
+        &|x| map.map(x),
+        a.as_mut(),
+        b.as_mut(),
+        &queries,
+        10,
+    );
+    let ok = verdicts.iter().filter(|v| v.is_independent()).count();
+    Ok(format!(
+        "{} under {}: {ok}/{} queries returned identical top-10 answers ({})",
+        spec_d.name(),
+        t.name(),
+        verdicts.len(),
+        if ok == verdicts.len() {
+            "representation independent on this workload"
+        } else {
+            "NOT representation independent"
+        }
+    ))
+}
+
+/// `repsim export FILE --format <dot|graphml> [-o FILE]`.
+pub fn export(args: &Args) -> Result<String, CliError> {
+    let g = load(args.input_file()?)?;
+    let text = match args.require("format")? {
+        "dot" => repsim_graph::export::to_dot(&g),
+        "graphml" => repsim_graph::export::to_graphml(&g),
+        other => return Err(CliError::Usage(format!("unknown format {other:?}"))),
+    };
+    match args.get("out") {
+        Some(path) => {
+            std::fs::write(path, &text)
+                .map_err(|e| CliError::Io(format!("cannot write {path}: {e}")))?;
+            Ok(format!("wrote {path}"))
+        }
+        None => Ok(text),
+    }
+}
+
+/// `repsim explain FILE --meta-walk "..." --query l:v --candidate l:v [-k N]`.
+pub fn explain(args: &Args) -> Result<String, CliError> {
+    let g = load(args.input_file()?)?;
+    let q = parse_entity(&g, args.require("query")?)?;
+    let c = parse_entity(&g, args.require("candidate")?)?;
+    let mw_text = args.require("meta-walk")?;
+    let mw = repsim_metawalk::MetaWalk::parse_in(&g, mw_text)
+        .ok_or_else(|| CliError::Command(format!("bad meta-walk {mw_text:?}")))?;
+    let k = args.get_usize("k", 10)?;
+    let evidence = repsim_core::explain::explain(&g, &mw, q, c, k);
+    if evidence.is_empty() {
+        return Ok(format!(
+            "no informative walks of ({mw_text}) connect {} and {}",
+            g.display_node(q),
+            g.display_node(c)
+        ));
+    }
+    let mut out = format!(
+        "{} walk(s) connecting {} and {}:\n",
+        evidence.len(),
+        g.display_node(q),
+        g.display_node(c)
+    );
+    for ev in evidence {
+        writeln!(out, "  {}", ev.rendered).expect("infallible");
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Splits on whitespace, but `~` inside a token becomes a space so
+    /// multi-word option values (meta-walks) can be written inline.
+    fn argv(s: &str) -> Args {
+        let tokens: Vec<String> = s.split_whitespace().map(|t| t.replace('~', " ")).collect();
+        Args::parse(&tokens).unwrap()
+    }
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("repsim-cli-tests");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    fn write_movies(name: &str) -> String {
+        let path = tmp(name);
+        let out = generate(&argv(&format!(
+            "--dataset movies --scale tiny --out {path}"
+        )))
+        .unwrap();
+        assert!(out.contains("wrote"));
+        path
+    }
+
+    #[test]
+    fn generate_stats_validate_roundtrip() {
+        let path = write_movies("m1.graph");
+        let s = stats(&argv(&path)).unwrap();
+        assert!(s.contains("film: 30"), "{s}");
+        let v = validate(&argv(&path)).unwrap();
+        assert!(v.contains("ok"));
+    }
+
+    #[test]
+    fn query_command_ranks() {
+        let path = write_movies("m2.graph");
+        let out = query(&argv(&format!(
+            "{path} --algorithm rpathsim --meta-walk=film~actor~film --query film:film00000 -k 3"
+        )))
+        .unwrap_or_else(|e| panic!("{e}"));
+        assert!(out.contains("R-PathSim"), "{out}");
+        assert!(out.lines().count() >= 2, "{out}");
+    }
+
+    #[test]
+    fn transform_and_independence_commands() {
+        let path = write_movies("m3.graph");
+        let fb = tmp("m3_fb.graph");
+        let out = transform(&argv(&format!("{path} --name imdb2fb --out {fb}"))).unwrap();
+        assert!(out.contains("wrote"));
+        let report = independence(&argv(&format!(
+            "{path} --name imdb2fb --algorithm rwr --label film -n 5"
+        )))
+        .unwrap();
+        assert!(report.contains("RWR under IMDB2FB"), "{report}");
+    }
+
+    #[test]
+    fn fds_and_metawalks_commands() {
+        let bib = tmp("bib.graph");
+        generate(&argv(&format!(
+            "--dataset bibliographic --scale tiny --out {bib}"
+        )))
+        .unwrap();
+        let f = fds(&argv(&format!("{bib} --max-len 3"))).unwrap();
+        assert!(f.contains("paper -> proc"), "{f}");
+        assert!(f.contains("chain:"), "{f}");
+        let m = metawalks(&argv(&format!("{bib} --label proc --max-len 4"))).unwrap();
+        assert!(m.contains("proc"), "{m}");
+    }
+
+    #[test]
+    fn export_and_explain_commands() {
+        let path = write_movies("m5.graph");
+        let dot = export(&argv(&format!("{path} --format dot"))).unwrap();
+        assert!(dot.starts_with("graph repsim {"));
+        let gml = export(&argv(&format!("{path} --format graphml"))).unwrap();
+        assert!(gml.contains("<graphml"));
+        assert!(export(&argv(&format!("{path} --format svg"))).is_err());
+
+        // Find two films sharing an actor through the generated data.
+        let report = explain(&argv(&format!(
+            "{path} --meta-walk=film~actor~film --query film:film00000 --candidate film:film00001 -k 3"
+        )));
+        // Either evidence or a clean "no walks" message — never an error.
+        assert!(report.is_ok(), "{report:?}");
+    }
+
+    #[test]
+    fn errors_are_informative() {
+        assert!(matches!(
+            stats(&argv("/no/such/file")),
+            Err(CliError::Io(_))
+        ));
+        assert!(matches!(
+            generate(&argv("--dataset nope")),
+            Err(CliError::Usage(_))
+        ));
+        let path = write_movies("m4.graph");
+        assert!(matches!(
+            query(&argv(&format!(
+                "{path} --algorithm rpathsim --meta-walk=film~actor~film --query film:ghost"
+            ))),
+            Err(CliError::Command(_))
+        ));
+        assert!(matches!(
+            transform(&argv(&format!("{path} --name dblp2snap"))),
+            Err(CliError::Command(_))
+        ));
+    }
+}

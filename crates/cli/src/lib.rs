@@ -1,0 +1,79 @@
+#![warn(missing_docs)]
+
+//! The `repsim` command-line interface.
+//!
+//! A thin, dependency-free front end over the workspace crates:
+//!
+//! ```text
+//! repsim generate --dataset movies --scale tiny -o movies.graph
+//! repsim stats movies.graph
+//! repsim validate movies.graph
+//! repsim fds movies.graph --max-len 3
+//! repsim metawalks movies.graph --label film --max-len 4
+//! repsim query movies.graph --algorithm rpathsim \
+//!        --meta-walk "film actor film" --query film:film00000 -k 5
+//! repsim transform movies.graph --name imdb2fb -o freebase.graph
+//! repsim independence movies.graph --name imdb2fb --algorithm rwr -n 20
+//! ```
+//!
+//! Parsing is hand-rolled (`Args`); every command is a function from
+//! parsed arguments to a `Result<String, CliError>` so the whole surface
+//! is unit-testable without spawning processes.
+
+pub mod args;
+pub mod commands;
+
+pub use args::{Args, CliError};
+
+/// Entry point shared by `main` and the tests: dispatches a full argv
+/// (without the binary name) to a command.
+pub fn run(argv: &[String]) -> Result<String, CliError> {
+    let (command, rest) = argv
+        .split_first()
+        .ok_or_else(|| CliError::Usage(USAGE.to_owned()))?;
+    let args = Args::parse(rest)?;
+    match command.as_str() {
+        "generate" => commands::generate(&args),
+        "stats" => commands::stats(&args),
+        "validate" => commands::validate(&args),
+        "fds" => commands::fds(&args),
+        "metawalks" => commands::metawalks(&args),
+        "query" => commands::query(&args),
+        "transform" => commands::transform(&args),
+        "independence" => commands::independence(&args),
+        "export" => commands::export(&args),
+        "explain" => commands::explain(&args),
+        "help" | "--help" | "-h" => Ok(USAGE.to_owned()),
+        other => Err(CliError::Usage(format!(
+            "unknown command {other:?}\n\n{USAGE}"
+        ))),
+    }
+}
+
+/// The top-level usage text.
+pub const USAGE: &str = "\
+repsim — representation-independent similarity search over graph databases
+
+USAGE: repsim <COMMAND> [ARGS]
+
+COMMANDS:
+  generate     --dataset <movies|movies-nochar|citations-dblp|citations-snap|
+                          bibliographic|sigmod-record|courses|mas>
+               [--scale tiny|small|paper] [-o FILE]
+  stats        FILE                     size and degree statistics
+  validate     FILE                     check the §2.2 model assumptions
+  fds          FILE [--max-len N]       discover functional dependencies
+  metawalks    FILE --label L [--max-len N] [--fd-labels a,b,c]
+                                        Algorithm 1's meta-walk set for L
+  query        FILE --algorithm <rwr|simrank|simrank-mc|simrank-pp|katz|common-neighbors|
+                                 pathsim|rpathsim|hetesim|aggregated>
+               --query label:value [--meta-walk \"...\"] [-k N]
+  transform    FILE --name <imdb2fb|fb2imdb|imdb2ng|imdb2ng-plus|fb2ng|
+                            dblp2snap|snap2dblp|dblp2sigm|sigm2dblp|
+                            wsu2alch|alch2wsu|mas2alt|alt2mas> [-o FILE]
+  independence FILE --name <transformation> --algorithm <algorithm>
+               [--meta-walk \"...\"] [--meta-walk-t \"...\"] [-n QUERIES]
+  export       FILE --format <dot|graphml> [-o FILE]
+  explain      FILE --meta-walk \"...\" --query label:value
+               --candidate label:value [-k N]   show witnessing walks
+";

@@ -1,0 +1,20 @@
+//! The `repsim` binary.
+
+use std::io::Write;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match repsim_cli::run(&argv) {
+        Ok(out) => {
+            // Write without panicking when the consumer closes the pipe
+            // early (`repsim stats f | head`).
+            let stdout = std::io::stdout();
+            let mut lock = stdout.lock();
+            let _ = writeln!(lock, "{out}");
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    }
+}

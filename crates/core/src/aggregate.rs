@@ -1,0 +1,231 @@
+//! Aggregated similarity over a meta-walk set.
+//!
+//! Users who do not know the database structure cannot supply a meta-walk;
+//! §4.3 and §5.2 aggregate instead: compute the (R-)PathSim score over each
+//! meta-walk in a set and average. Definition 7 / Theorem 5.3 guarantee the
+//! set itself maps bijectively across transformations, so the aggregate is
+//! as representation independent as its per-meta-walk scores.
+
+use repsim_graph::{Graph, LabelId, NodeId};
+use repsim_metawalk::commuting::{informative_commuting, plain_commuting};
+use repsim_metawalk::MetaWalk;
+use repsim_sparse::Csr;
+
+use repsim_baselines::ranking::{RankedList, SimilarityAlgorithm};
+
+/// Which instance counts feed the per-meta-walk scores.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CountingMode {
+    /// All instances (aggregated PathSim, the §6.2 baseline).
+    Plain,
+    /// Informative instances with \*-label support (aggregated R-PathSim).
+    Informative,
+}
+
+/// The (weighted) mean of per-meta-walk PathSim-normalized scores over a
+/// set of symmetric meta-walks.
+pub struct AggregatedScorer<'g> {
+    g: &'g Graph,
+    mode: CountingMode,
+    meta_walks: Vec<MetaWalk>,
+    matrices: Vec<Csr>,
+    weights: Vec<f64>,
+}
+
+impl<'g> AggregatedScorer<'g> {
+    /// Precomputes commuting matrices for every meta-walk in the set.
+    ///
+    /// # Panics
+    /// If any meta-walk is not symmetric-endpointed (must start and end at
+    /// the same label, and all at the *same* label across the set), or if a
+    /// \*-label appears in [`CountingMode::Plain`] mode.
+    pub fn new(g: &'g Graph, mode: CountingMode, meta_walks: Vec<MetaWalk>) -> Self {
+        assert!(!meta_walks.is_empty(), "empty meta-walk set");
+        let anchor = meta_walks[0].source();
+        for mw in &meta_walks {
+            assert_eq!(
+                mw.source(),
+                mw.target(),
+                "aggregated meta-walks must be closed"
+            );
+            assert_eq!(
+                mw.source(),
+                anchor,
+                "all meta-walks must share the query label"
+            );
+        }
+        let matrices: Vec<Csr> = meta_walks
+            .iter()
+            .map(|mw| match mode {
+                CountingMode::Plain => plain_commuting(g, mw),
+                CountingMode::Informative => informative_commuting(g, mw),
+            })
+            .collect();
+        let weights = vec![1.0; meta_walks.len()];
+        AggregatedScorer {
+            g,
+            mode,
+            meta_walks,
+            matrices,
+            weights,
+        }
+    }
+
+    /// Replaces the uniform weights with user-supplied ones (§4.3 allows a
+    /// weighted average; weights must be positive and match the set size).
+    /// Weighted aggregation stays representation independent as long as the
+    /// same weights attach to corresponding meta-walks on both sides.
+    pub fn with_weights(mut self, weights: Vec<f64>) -> Self {
+        assert_eq!(
+            weights.len(),
+            self.meta_walks.len(),
+            "one weight per meta-walk"
+        );
+        assert!(weights.iter().all(|&w| w > 0.0), "weights must be positive");
+        self.weights = weights;
+        self
+    }
+
+    /// The meta-walk set.
+    pub fn meta_walks(&self) -> &[MetaWalk] {
+        &self.meta_walks
+    }
+
+    /// The counting mode.
+    pub fn mode(&self) -> CountingMode {
+        self.mode
+    }
+
+    /// The aggregated score: the weighted mean of per-meta-walk PathSim
+    /// scores.
+    pub fn score(&self, e: NodeId, f: NodeId) -> f64 {
+        let (i, j) = (self.g.index_in_label(e), self.g.index_in_label(f));
+        let mut total = 0.0;
+        for (m, &w) in self.matrices.iter().zip(&self.weights) {
+            let denom = m.get(i, i) + m.get(j, j);
+            if denom != 0.0 {
+                total += w * 2.0 * m.get(i, j) / denom;
+            }
+        }
+        total / self.weights.iter().sum::<f64>()
+    }
+}
+
+impl SimilarityAlgorithm for AggregatedScorer<'_> {
+    fn name(&self) -> String {
+        match self.mode {
+            CountingMode::Plain => "PathSim-agg".to_owned(),
+            CountingMode::Informative => "R-PathSim-agg".to_owned(),
+        }
+    }
+
+    fn rank(&mut self, query: NodeId, target_label: LabelId, k: usize) -> RankedList {
+        assert_eq!(
+            target_label,
+            self.meta_walks[0].source(),
+            "aggregated scorer ranks its meta-walks' endpoint label"
+        );
+        RankedList::from_scores(
+            self.g,
+            self.g
+                .nodes_of_label(target_label)
+                .iter()
+                .map(|&n| (n, self.score(query, n))),
+            query,
+            k,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use repsim_graph::GraphBuilder;
+
+    /// Films related through both actors and a genre.
+    fn graph() -> (Graph, [NodeId; 3]) {
+        let mut b = GraphBuilder::new();
+        let film = b.entity_label("film");
+        let actor = b.entity_label("actor");
+        let genre = b.entity_label("genre");
+        let f1 = b.entity(film, "f1");
+        let f2 = b.entity(film, "f2");
+        let f3 = b.entity(film, "f3");
+        let a = b.entity(actor, "a");
+        let g1 = b.entity(genre, "scifi");
+        let g2 = b.entity(genre, "drama");
+        b.edge(f1, a).unwrap();
+        b.edge(f2, a).unwrap();
+        b.edge(f1, g1).unwrap();
+        b.edge(f2, g1).unwrap();
+        b.edge(f3, g2).unwrap();
+        (b.build(), [f1, f2, f3])
+    }
+
+    #[test]
+    fn aggregate_is_mean_of_per_walk_scores() {
+        let (g, [f1, f2, f3]) = graph();
+        let via_actor = MetaWalk::parse_in(&g, "film actor film").unwrap();
+        let via_genre = MetaWalk::parse_in(&g, "film genre film").unwrap();
+        let agg = AggregatedScorer::new(&g, CountingMode::Informative, vec![via_actor, via_genre]);
+        // f1~f2: actor walk score 1.0, genre walk score 1.0 → mean 1.0.
+        assert_eq!(agg.score(f1, f2), 1.0);
+        // f1~f3: no shared actor (f3 has none: actor score 0 with denom 1+0
+        // → count 0), genre differs → 0.
+        assert_eq!(agg.score(f1, f3), 0.0);
+    }
+
+    #[test]
+    fn ranking_combines_evidence() {
+        let (g, [f1, f2, f3]) = graph();
+        let film = g.labels().get("film").unwrap();
+        let mws = vec![
+            MetaWalk::parse_in(&g, "film actor film").unwrap(),
+            MetaWalk::parse_in(&g, "film genre film").unwrap(),
+        ];
+        let mut agg = AggregatedScorer::new(&g, CountingMode::Plain, mws);
+        assert_eq!(agg.rank(f1, film, 10).nodes(), vec![f2, f3]);
+        assert_eq!(agg.name(), "PathSim-agg");
+    }
+
+    #[test]
+    fn weights_shift_the_balance() {
+        let (g, [f1, f2, f3]) = graph();
+        let mws = vec![
+            MetaWalk::parse_in(&g, "film actor film").unwrap(),
+            MetaWalk::parse_in(&g, "film genre film").unwrap(),
+        ];
+        // f3 relates to nothing: scores 0 either way. f2 relates via both.
+        let uniform = AggregatedScorer::new(&g, CountingMode::Informative, mws.clone());
+        let genre_heavy =
+            AggregatedScorer::new(&g, CountingMode::Informative, mws).with_weights(vec![1.0, 3.0]);
+        assert_eq!(uniform.score(f1, f2), 1.0);
+        assert_eq!(genre_heavy.score(f1, f2), 1.0, "both walks agree here");
+        let _ = f3;
+    }
+
+    #[test]
+    #[should_panic(expected = "one weight per meta-walk")]
+    fn mismatched_weights_rejected() {
+        let (g, _) = graph();
+        let mws = vec![MetaWalk::parse_in(&g, "film actor film").unwrap()];
+        let _ = AggregatedScorer::new(&g, CountingMode::Plain, mws).with_weights(vec![1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be closed")]
+    fn open_meta_walk_rejected() {
+        let (g, _) = graph();
+        let open = MetaWalk::parse_in(&g, "film actor").unwrap();
+        let _ = AggregatedScorer::new(&g, CountingMode::Plain, vec![open]);
+    }
+
+    #[test]
+    #[should_panic(expected = "share the query label")]
+    fn mixed_labels_rejected() {
+        let (g, _) = graph();
+        let a = MetaWalk::parse_in(&g, "film actor film").unwrap();
+        let b = MetaWalk::parse_in(&g, "actor film actor").unwrap();
+        let _ = AggregatedScorer::new(&g, CountingMode::Plain, vec![a, b]);
+    }
+}

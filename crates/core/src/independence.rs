@@ -1,0 +1,202 @@
+//! An executable check of Definition 2 (representation independence).
+//!
+//! Given a database `D`, its transformation `T(D)`, the entity bijection
+//! `T` between them, and an algorithm instance over each side, the checker
+//! runs the same query on both sides and verifies that the ranked answers
+//! coincide under the bijection — both membership and order. Entities are
+//! compared by their `(label, value)` identity, never by node ids.
+
+use repsim_graph::{Graph, NodeId};
+
+use repsim_baselines::ranking::{RankedList, SimilarityAlgorithm};
+
+/// The outcome of checking one query against Definition 2.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryVerdict {
+    /// Both conditions of Definition 2 hold for this query.
+    Independent,
+    /// The answer lists have different lengths or contain different
+    /// entities.
+    DifferentAnswers {
+        /// The value-keyed answers over `D`.
+        original: Vec<(String, String)>,
+        /// The value-keyed answers over `T(D)`.
+        transformed: Vec<(String, String)>,
+    },
+    /// The same entities appear in different orders.
+    DifferentOrder {
+        /// First rank at which the lists disagree.
+        position: usize,
+    },
+}
+
+impl QueryVerdict {
+    /// Whether the verdict is [`QueryVerdict::Independent`].
+    pub fn is_independent(&self) -> bool {
+        matches!(self, QueryVerdict::Independent)
+    }
+}
+
+/// Compares one query's rankings over `D` and `T(D)` per Definition 2.
+///
+/// `query` is an entity of `g`; `map` is the transformation's entity
+/// bijection (total on entities). `k` bounds the compared prefix.
+pub fn check_query(
+    g: &Graph,
+    tg: &Graph,
+    map: &dyn Fn(NodeId) -> Option<NodeId>,
+    alg: &mut dyn SimilarityAlgorithm,
+    talg: &mut dyn SimilarityAlgorithm,
+    query: NodeId,
+    k: usize,
+) -> QueryVerdict {
+    let tq = map(query).expect("query-preserving transformations map every entity");
+    let label = g.label_of(query);
+    let tlabel = tg.label_of(tq);
+    let a = alg.rank(query, label, k);
+    let b = talg.rank(tq, tlabel, k);
+    compare_rankings(g, tg, &a, &b)
+}
+
+/// Definition 2's two conditions on a pair of ranked lists, compared by
+/// entity `(label, value)` keys.
+pub fn compare_rankings(g: &Graph, tg: &Graph, a: &RankedList, b: &RankedList) -> QueryVerdict {
+    let ka: Vec<(String, String)> = a.nodes().iter().map(|&n| g.sort_key(n)).collect();
+    let kb: Vec<(String, String)> = b.nodes().iter().map(|&n| tg.sort_key(n)).collect();
+    if ka.len() != kb.len() || {
+        let mut sa = ka.clone();
+        let mut sb = kb.clone();
+        sa.sort();
+        sb.sort();
+        sa != sb
+    } {
+        return QueryVerdict::DifferentAnswers {
+            original: ka,
+            transformed: kb,
+        };
+    }
+    for (pos, (x, y)) in ka.iter().zip(&kb).enumerate() {
+        if x != y {
+            return QueryVerdict::DifferentOrder { position: pos };
+        }
+    }
+    QueryVerdict::Independent
+}
+
+/// Checks a whole workload, returning per-query verdicts.
+#[allow(clippy::too_many_arguments)]
+pub fn check_workload(
+    g: &Graph,
+    tg: &Graph,
+    map: &dyn Fn(NodeId) -> Option<NodeId>,
+    alg: &mut dyn SimilarityAlgorithm,
+    talg: &mut dyn SimilarityAlgorithm,
+    queries: &[NodeId],
+    k: usize,
+) -> Vec<QueryVerdict> {
+    queries
+        .iter()
+        .map(|&q| check_query(g, tg, map, alg, talg, q, k))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rpathsim::RPathSim;
+    use repsim_baselines::CommonNeighbors;
+    use repsim_graph::GraphBuilder;
+    use repsim_metawalk::MetaWalk;
+
+    /// DBLP/SNAP pair with an identity-by-value mapping.
+    fn pair() -> (Graph, Graph) {
+        let mut b = GraphBuilder::new();
+        let paper = b.entity_label("paper");
+        let cite = b.relationship_label("cite");
+        let p: Vec<NodeId> = (1..=4).map(|i| b.entity(paper, &format!("p{i}"))).collect();
+        for (a, bb) in [(0, 2), (1, 2), (2, 3)] {
+            let c = b.relationship(cite);
+            b.edge(p[a], c).unwrap();
+            b.edge(c, p[bb]).unwrap();
+        }
+        let dblp = b.build();
+
+        let mut b = GraphBuilder::new();
+        let paper = b.entity_label("paper");
+        let q: Vec<NodeId> = (1..=4).map(|i| b.entity(paper, &format!("p{i}"))).collect();
+        for (a, bb) in [(0, 2), (1, 2), (2, 3)] {
+            b.edge(q[a], q[bb]).unwrap();
+        }
+        (dblp, b.build())
+    }
+
+    fn value_map(g: &Graph, tg: &Graph) -> impl Fn(NodeId) -> Option<NodeId> + use<> {
+        let pairs: Vec<(NodeId, Option<NodeId>)> = g
+            .node_ids()
+            .map(|n| {
+                let mapped = g
+                    .value_of(n)
+                    .and_then(|v| tg.entity(tg.labels().get("paper").unwrap(), v));
+                (n, mapped)
+            })
+            .collect();
+        move |n: NodeId| pairs.iter().find(|&&(m, _)| m == n).and_then(|&(_, t)| t)
+    }
+
+    #[test]
+    fn rpathsim_passes_definition2() {
+        let (g, tg) = pair();
+        let map = value_map(&g, &tg);
+        let mwd = MetaWalk::parse_in(&g, "paper cite paper cite paper").unwrap();
+        let mws = MetaWalk::parse_in(&tg, "paper paper paper").unwrap();
+        let mut a = RPathSim::new(&g, mwd);
+        let mut b = RPathSim::new(&tg, mws);
+        for q in g.entity_ids().collect::<Vec<_>>() {
+            let verdict = check_query(&g, &tg, &map, &mut a, &mut b, q, 10);
+            assert!(verdict.is_independent(), "query {q:?}: {verdict:?}");
+        }
+    }
+
+    #[test]
+    fn common_neighbors_fails_definition2() {
+        let (g, tg) = pair();
+        let map = value_map(&g, &tg);
+        let mut a = CommonNeighbors::new(&g);
+        let mut b = CommonNeighbors::new(&tg);
+        // In DBLP form p1's only common-neighbor partner is p3 (the shared
+        // cite node); in SNAP form it is p2 and p4 (co-citers of p3).
+        let p1 = g.entity_by_name("paper", "p1").unwrap();
+        let verdict = check_query(&g, &tg, &map, &mut a, &mut b, p1, 10);
+        assert!(
+            !verdict.is_independent(),
+            "reification must break common neighbors: {verdict:?}"
+        );
+    }
+
+    #[test]
+    fn order_difference_detected() {
+        let (g, tg) = pair();
+        let mk = |g: &Graph, names: &[&str]| -> Vec<NodeId> {
+            names
+                .iter()
+                .map(|v| g.entity_by_name("paper", v).unwrap())
+                .collect()
+        };
+        let a = RankedList::from_scores(
+            &g,
+            mk(&g, &["p1", "p2"]).into_iter().zip([2.0, 1.0]),
+            NodeId(u32::MAX - 1),
+            10,
+        );
+        let b = RankedList::from_scores(
+            &tg,
+            mk(&tg, &["p2", "p1"]).into_iter().zip([2.0, 1.0]),
+            NodeId(u32::MAX - 1),
+            10,
+        );
+        assert_eq!(
+            compare_rankings(&g, &tg, &a, &b),
+            QueryVerdict::DifferentOrder { position: 0 }
+        );
+    }
+}

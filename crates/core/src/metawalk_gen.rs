@@ -1,0 +1,354 @@
+//! Algorithm 1 (meta-walk set generation) and Algorithm 2
+//! (`ExtendMetaWalk`) from §5.2.
+//!
+//! Given a query label, Algorithm 1 produces a set of meta-walks whose
+//! aggregated R-PathSim score is equal over every entity rearranging
+//! transformation (Theorem 5.3). It starts from all simple meta-walks
+//! between the query label and every other entity label, finds the maximal
+//! contiguous *FD patterns* inside each (runs of direct-FD edges whose
+//! labels lie in one maximal chain), and replaces each pattern with two
+//! translations:
+//!
+//! * the **\*-variant**: the pattern with every label except its first
+//!   \*-marked — the "existence of a connection" semantics that survives
+//!   rearrangement (the paper's `p′`);
+//! * the **multiplicity variant**: the pattern itself when the chain's
+//!   `≺`-least label `l_min` already occurs in it, else the pattern
+//!   extended by a `l_x → l_min → l_x` detour (Algorithm 2, the paper's
+//!   `p″`) — this reproduces the entity-multiplicity that the rearranged
+//!   representation's meta-walk carries.
+//!
+//! Every combination is closed into `m·m⁻¹` so the result scores entities
+//! of the query label against each other.
+//!
+//! On the \*-placement: the paper's prose stars "all internal labels" while
+//! its worked example stars pattern endpoints (`p₁ = (conf, *paper)` from
+//! `m₁ = (conf, paper)`); the two differ syntactically but — given the
+//! pattern's FDs — produce equal instance counts. We implement the
+//! example's rule (star everything after the pattern's first label), which
+//! is the one Theorem 5.3's count equalities are tested against in
+//! `tests/`.
+
+use std::collections::HashSet;
+
+use repsim_graph::{Graph, LabelId, SchemaGraph};
+use repsim_metawalk::fd::{Chain, FdSet};
+use repsim_metawalk::{MetaWalk, Step};
+
+/// Algorithm 1: the meta-walk set for `query_label`, closed into
+/// `m·m⁻¹` form, using FDs from `fds` and simple meta-walks of node-length
+/// at most `max_len`.
+pub fn find_meta_walk_set(
+    g: &Graph,
+    fds: &FdSet,
+    query_label: LabelId,
+    max_len: usize,
+) -> Vec<MetaWalk> {
+    let schema = SchemaGraph::of(g);
+    let chains = fds.chains();
+    let mut seen: HashSet<Vec<Step>> = HashSet::new();
+    let mut out = Vec::new();
+
+    let related: Vec<LabelId> = g
+        .labels()
+        .entity_ids()
+        .filter(|&l| l != query_label)
+        .collect();
+    for l_r in related {
+        for path in schema.simple_paths(query_label, l_r, max_len) {
+            let m: Vec<Step> = MetaWalk::from_labels(g.labels(), &path).steps().to_vec();
+            for variant in translate(g, &m, fds, &chains) {
+                let closed = close(&variant);
+                if seen.insert(closed.clone()) {
+                    out.push(MetaWalk::new(closed));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Produces all pattern-translated variants of a simple meta-walk
+/// (the ST1 + ST2 phases of Algorithm 1).
+fn translate(g: &Graph, m: &[Step], fds: &FdSet, chains: &[Chain]) -> Vec<Vec<Step>> {
+    let patterns = find_patterns(g, m, fds, chains);
+    // Patterns are disjoint (chains are mutually exclusive); replace from
+    // the right so earlier ranges stay valid.
+    let mut variants: Vec<Vec<Step>> = vec![m.to_vec()];
+    for &(start, end, ref chain) in patterns.iter().rev() {
+        let pattern = &m[start..=end];
+        let mut translations: Vec<Vec<Step>> = Vec::new();
+        push_unique(&mut translations, star_variant(pattern));
+        push_unique(&mut translations, multiplicity_variant(pattern, chain, fds));
+        let mut next = Vec::with_capacity(variants.len() * translations.len());
+        for v in &variants {
+            for t in &translations {
+                let mut copy = Vec::with_capacity(v.len() - (end - start + 1) + t.len());
+                copy.extend_from_slice(&v[..start]);
+                copy.extend_from_slice(t);
+                copy.extend_from_slice(&v[end + 1..]);
+                next.push(copy);
+            }
+        }
+        variants = next;
+    }
+    variants.sort();
+    variants.dedup();
+    variants
+}
+
+fn push_unique(list: &mut Vec<Vec<Step>>, item: Vec<Step>) {
+    if !list.contains(&item) {
+        list.push(item);
+    }
+}
+
+/// Maximal contiguous runs `[start..=end]` of `m` where consecutive labels
+/// are entity labels joined by direct FDs within a single maximal chain.
+fn find_patterns(
+    g: &Graph,
+    m: &[Step],
+    fds: &FdSet,
+    chains: &[Chain],
+) -> Vec<(usize, usize, Chain)> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i + 1 < m.len() {
+        let chain = pattern_chain(g, m, i, fds, chains);
+        match chain {
+            Some(chain) => {
+                let mut j = i;
+                while j + 1 < m.len() && edge_in_chain(g, m, j, fds, &chain) {
+                    j += 1;
+                }
+                out.push((i, j, chain));
+                i = j;
+            }
+            None => i += 1,
+        }
+    }
+    out
+}
+
+fn pattern_chain(g: &Graph, m: &[Step], i: usize, fds: &FdSet, chains: &[Chain]) -> Option<Chain> {
+    chains
+        .iter()
+        .find(|c| edge_in_chain(g, m, i, fds, c))
+        .cloned()
+}
+
+/// Whether positions `i, i+1` of `m` are entity labels in `chain` joined by
+/// a direct FD.
+fn edge_in_chain(g: &Graph, m: &[Step], i: usize, fds: &FdSet, chain: &Chain) -> bool {
+    let (a, b) = (m[i], m[i + 1]);
+    a.is_entity()
+        && b.is_entity()
+        && g.labels().is_entity(a.label())
+        && g.labels().is_entity(b.label())
+        && chain.contains(a.label())
+        && chain.contains(b.label())
+        && fds.direct_between(a.label(), b.label())
+}
+
+/// The \*-variant: star every pattern label except the first.
+fn star_variant(pattern: &[Step]) -> Vec<Step> {
+    let mut out = pattern.to_vec();
+    for s in out.iter_mut().skip(1) {
+        if let Step::Entity { star, .. } = s {
+            *star = true;
+        }
+    }
+    out
+}
+
+/// The multiplicity variant: the pattern itself when `l_min` occurs in it,
+/// else Algorithm 2's extension. Falls back to the unchanged pattern when
+/// the FD set lacks a witnessing `l_min → l_x` meta-walk.
+fn multiplicity_variant(pattern: &[Step], chain: &Chain, fds: &FdSet) -> Vec<Step> {
+    let l_min = chain.min();
+    if pattern.iter().any(|s| s.label() == l_min) {
+        return pattern.to_vec();
+    }
+    extend_meta_walk(pattern, chain, fds).unwrap_or_else(|| pattern.to_vec())
+}
+
+/// Algorithm 2 (`ExtendMetaWalk`): splices a `l_x → l_min → l_x` detour
+/// into `pattern` at the first occurrence of `l_x`, the `≺`-least label of
+/// the pattern within `chain`, using the FD `l_min →y l_x`.
+///
+/// Returns `None` when `fds` holds no such FD.
+pub fn extend_meta_walk(pattern: &[Step], chain: &Chain, fds: &FdSet) -> Option<Vec<Step>> {
+    let l_min = chain.min();
+    // l_x = min_≺ of the pattern's labels = the earliest chain label
+    // present (chain.labels is ≺-ascending).
+    let l_x = chain
+        .labels
+        .iter()
+        .copied()
+        .find(|&l| pattern.iter().any(|s| s.label() == l))?;
+    let y = fds.find(l_min, l_x)?.via().clone();
+    let splice_at = pattern
+        .iter()
+        .position(|s| s.label() == l_x)
+        .expect("l_x occurs in pattern");
+    let down: Vec<Step> = y.reversed().steps()[1..].to_vec(); // l_x → … → l_min
+    let up: Vec<Step> = y.steps()[1..].to_vec(); // l_min → … → l_x
+    let mut out = Vec::with_capacity(pattern.len() + down.len() + up.len());
+    out.extend_from_slice(&pattern[..=splice_at]);
+    out.extend_from_slice(&down);
+    out.extend_from_slice(&up);
+    out.extend_from_slice(&pattern[splice_at + 1..]);
+    Some(out)
+}
+
+/// Keeps only meta-walks whose entity-label count is at most
+/// `max_entities` — §4.3's processing-time cap ("selecting the maximal
+/// meta-walks that contain at most a given number of entities").
+/// Definition 7's bijection matches entity counts across transformations,
+/// so filtering by the same bound on both sides preserves representation
+/// independence of the aggregate.
+pub fn filter_by_entity_count(set: Vec<MetaWalk>, max_entities: usize) -> Vec<MetaWalk> {
+    set.into_iter()
+        .filter(|mw| mw.entity_labels().len() <= max_entities)
+        .collect()
+}
+
+/// The closure `m·m⁻¹` on raw steps (shared junction).
+fn close(m: &[Step]) -> Vec<Step> {
+    let mut out = m.to_vec();
+    out.extend(m.iter().rev().skip(1));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use repsim_graph::GraphBuilder;
+
+    /// The §5.2 worked example's database: conf–paper, conf–dom, dom–kw
+    /// edges; FDs paper→conf, conf→dom (direct) and paper→dom (composed);
+    /// chain paper ≺ conf ≺ dom with l_min = paper.
+    fn example_db() -> Graph {
+        let mut b = GraphBuilder::new();
+        let paper = b.entity_label("paper");
+        let conf = b.entity_label("conf");
+        let dom = b.entity_label("dom");
+        let kw = b.entity_label("kw");
+        let ca = b.entity(conf, "a");
+        let cb = b.entity(conf, "b");
+        let cc = b.entity(conf, "c");
+        let d1 = b.entity(dom, "d1");
+        let d2 = b.entity(dom, "d2");
+        // Shared keyword breaks kw→dom; two kws per dom break dom→kw, so
+        // kw joins no chain (as in real MAS data). Two confs in d1 break
+        // dom→conf.
+        let k_shared = b.entity(kw, "k_shared");
+        let k1 = b.entity(kw, "k1");
+        let k2 = b.entity(kw, "k2");
+        for (d, k) in [(d1, k_shared), (d2, k_shared), (d1, k1), (d2, k2)] {
+            b.edge(d, k).unwrap();
+        }
+        b.edge(ca, d1).unwrap();
+        b.edge(cb, d2).unwrap();
+        b.edge(cc, d1).unwrap();
+        for (i, c) in [(0, ca), (1, ca), (2, cb), (3, cc)] {
+            let p = b.entity(paper, &format!("p{i}"));
+            b.edge(p, c).unwrap();
+        }
+        b.build()
+    }
+
+    fn display_set(g: &Graph, set: &[MetaWalk]) -> Vec<String> {
+        let mut v: Vec<String> = set.iter().map(|m| m.display(g.labels())).collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn worked_example_meta_walks() {
+        let g = example_db();
+        let fds = FdSet::discover(&g, 3);
+        let conf = g.labels().get("conf").unwrap();
+        let set = find_meta_walk_set(&g, &fds, conf, 4);
+        let shown = display_set(&g, &set);
+        // The six closures of §5.2's example (p_i · p_i⁻¹ for i = 1..6).
+        for expected in [
+            "conf *paper conf",
+            "conf paper conf",
+            "conf *dom conf",
+            "conf paper conf dom conf paper conf",
+            "conf *dom kw *dom conf",
+            "conf paper conf dom kw dom conf paper conf",
+        ] {
+            assert!(
+                shown.contains(&expected.to_owned()),
+                "missing {expected:?} in {shown:?}"
+            );
+        }
+        assert_eq!(
+            set.len(),
+            6,
+            "exactly the six example meta-walks: {shown:?}"
+        );
+    }
+
+    #[test]
+    fn extend_splices_detour() {
+        let g = example_db();
+        let fds = FdSet::discover(&g, 3);
+        let chain = fds
+            .chain_of(g.labels().get("conf").unwrap())
+            .expect("paper-conf-dom chain");
+        let pattern = MetaWalk::parse_in(&g, "conf dom").unwrap().steps().to_vec();
+        let ext = extend_meta_walk(&pattern, &chain, &fds).unwrap();
+        let mw = MetaWalk::new(ext);
+        assert_eq!(mw.display(g.labels()), "conf paper conf dom");
+    }
+
+    #[test]
+    fn no_fds_yields_plain_closures() {
+        // Without FDs, Algorithm 1 degrades to closing every simple
+        // meta-walk — no stars, no extensions.
+        let mut b = GraphBuilder::new();
+        let actor = b.entity_label("actor");
+        let film = b.entity_label("film");
+        let a0 = b.entity(actor, "a0");
+        let a1 = b.entity(actor, "a1");
+        let f0 = b.entity(film, "f0");
+        let f1 = b.entity(film, "f1");
+        for (a, f) in [(a0, f0), (a0, f1), (a1, f0), (a1, f1)] {
+            b.edge(a, f).unwrap();
+        }
+        let g = b.build();
+        let fds = FdSet::discover(&g, 3);
+        assert!(fds.is_empty());
+        let film_l = g.labels().get("film").unwrap();
+        let set = find_meta_walk_set(&g, &fds, film_l, 3);
+        assert_eq!(display_set(&g, &set), vec!["film actor film".to_owned()]);
+    }
+
+    #[test]
+    fn entity_count_filter() {
+        let g = example_db();
+        let fds = FdSet::discover(&g, 3);
+        let conf = g.labels().get("conf").unwrap();
+        let set = find_meta_walk_set(&g, &fds, conf, 4);
+        let short = filter_by_entity_count(set.clone(), 3);
+        assert!(short.len() < set.len());
+        assert!(short.iter().all(|mw| mw.entity_labels().len() <= 3));
+        assert!(!short.is_empty());
+        assert_eq!(filter_by_entity_count(set.clone(), 99).len(), set.len());
+    }
+
+    #[test]
+    fn meta_walk_set_is_deduplicated() {
+        let g = example_db();
+        let fds = FdSet::discover(&g, 3);
+        let conf = g.labels().get("conf").unwrap();
+        let set = find_meta_walk_set(&g, &fds, conf, 4);
+        let mut shown = display_set(&g, &set);
+        let before = shown.len();
+        shown.dedup();
+        assert_eq!(shown.len(), before);
+    }
+}

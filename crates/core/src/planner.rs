@@ -1,0 +1,190 @@
+//! A small cost model for choosing the R-PathSim execution strategy.
+//!
+//! Two physical plans answer the same symmetric similarity query:
+//!
+//! * **full closure** ([`crate::rpathsim::RPathSim`]): materialize
+//!   `M̂_{q·q⁻¹}` — best when many queries will hit the same walk and the
+//!   closure stays sparse;
+//! * **half factorization** ([`crate::engine::QueryEngine`]): materialize
+//!   only `M̂_q` and answer per query with sparse row products — best when
+//!   the closure would densify (its nnz can approach `rows²` while the
+//!   half stays thin).
+//!
+//! The planner estimates both costs from biadjacency statistics before
+//!   building anything, mirroring how the PathSim system decides which
+//! commuting matrices to pre-materialize (§4.3's closing paragraph).
+
+use repsim_graph::biadjacency::biadjacency;
+use repsim_graph::{Graph, LabelId, NodeId};
+use repsim_metawalk::MetaWalk;
+
+use repsim_baselines::ranking::{RankedList, SimilarityAlgorithm};
+
+use crate::engine::QueryEngine;
+use crate::rpathsim::RPathSim;
+
+/// The chosen physical plan.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Plan {
+    /// Materialize the full closure matrix.
+    FullClosure,
+    /// Keep only the half matrix; answer queries with row products.
+    HalfFactorized,
+}
+
+/// Estimated nnz of the product chain along `labels`, assuming
+/// independent-ish fan-out: running estimate
+/// `nnz(AB) ≈ min(rows·cols, nnz(A)·nnz(B)/shared_dim)`.
+fn estimate_chain_nnz(g: &Graph, labels: &[LabelId]) -> f64 {
+    let rows = g.nodes_of_label(labels[0]).len() as f64;
+    let mut nnz = rows.max(1.0);
+    for pair in labels.windows(2) {
+        let a = biadjacency(g, pair[0], pair[1]);
+        let shared = g.nodes_of_label(pair[0]).len().max(1) as f64;
+        let cols = g.nodes_of_label(pair[1]).len() as f64;
+        nnz = (nnz * a.nnz() as f64 / shared).min(rows * cols).max(0.0);
+    }
+    nnz
+}
+
+/// Picks a plan for the closure of `half`, given the number of queries the
+/// caller expects to run (`expected_queries`).
+///
+/// Cost model: the full closure pays `closure_nnz` once and `O(row)` per
+/// query; the half factorization pays `half_nnz` once and `O(half_nnz)`
+/// per query (one pass over the half matrix). Estimates only — exactness
+/// is the score's job, not the planner's.
+pub fn choose_plan(g: &Graph, half: &MetaWalk, expected_queries: usize) -> Plan {
+    let labels: Vec<LabelId> = half.steps().iter().map(|s| s.label()).collect();
+    let half_nnz = estimate_chain_nnz(g, &labels);
+    let closure_labels: Vec<LabelId> = half
+        .symmetric_closure()
+        .steps()
+        .iter()
+        .map(|s| s.label())
+        .collect();
+    let closure_nnz = estimate_chain_nnz(g, &closure_labels);
+    let n = g.nodes_of_label(half.source()).len().max(1) as f64;
+    let q = expected_queries.max(1) as f64;
+    // Build cost ≈ nnz to materialize; query cost: closure reads one row
+    // (≈ closure_nnz / n), factorized scans the half matrix once.
+    let full_cost = closure_nnz + q * (closure_nnz / n);
+    let half_cost = half_nnz + q * half_nnz;
+    if half_cost <= full_cost {
+        Plan::HalfFactorized
+    } else {
+        Plan::FullClosure
+    }
+}
+
+/// An R-PathSim ranker that picks its physical plan with [`choose_plan`].
+pub enum AutoRPathSim<'g> {
+    /// Chosen full-closure execution.
+    Full(RPathSim<'g>),
+    /// Chosen half-factorized execution.
+    Half(QueryEngine<'g>),
+}
+
+impl<'g> AutoRPathSim<'g> {
+    /// Builds the cheaper plan for the closure of `half`.
+    pub fn new(g: &'g Graph, half: MetaWalk, expected_queries: usize) -> Self {
+        match choose_plan(g, &half, expected_queries) {
+            Plan::FullClosure => AutoRPathSim::Full(RPathSim::new(g, half.symmetric_closure())),
+            Plan::HalfFactorized => AutoRPathSim::Half(QueryEngine::new(g, half)),
+        }
+    }
+
+    /// Which plan was chosen.
+    pub fn plan(&self) -> Plan {
+        match self {
+            AutoRPathSim::Full(_) => Plan::FullClosure,
+            AutoRPathSim::Half(_) => Plan::HalfFactorized,
+        }
+    }
+
+    /// The R-PathSim score of a pair (plan-independent by construction).
+    pub fn score(&self, e: NodeId, f: NodeId) -> f64 {
+        match self {
+            AutoRPathSim::Full(rp) => rp.score(e, f),
+            AutoRPathSim::Half(qe) => qe.score(e, f),
+        }
+    }
+}
+
+impl SimilarityAlgorithm for AutoRPathSim<'_> {
+    fn name(&self) -> String {
+        "R-PathSim (auto)".to_owned()
+    }
+
+    fn rank(&mut self, query: NodeId, target_label: LabelId, k: usize) -> RankedList {
+        match self {
+            AutoRPathSim::Full(rp) => rp.rank(query, target_label, k),
+            AutoRPathSim::Half(qe) => qe.rank(query, target_label, k),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use repsim_graph::GraphBuilder;
+
+    /// Many films sharing few actors: the closure (film,actor,film)
+    /// densifies (films cluster into near-cliques) while the half stays
+    /// the raw bipartite edges.
+    fn clustered() -> Graph {
+        let mut b = GraphBuilder::new();
+        let film = b.entity_label("film");
+        let actor = b.entity_label("actor");
+        let actors: Vec<_> = (0..3).map(|i| b.entity(actor, &format!("a{i}"))).collect();
+        for i in 0..40 {
+            let f = b.entity(film, &format!("f{i:02}"));
+            b.edge(f, actors[i % 3]).unwrap();
+            b.edge(f, actors[(i + 1) % 3]).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn plans_agree_on_scores_and_rankings() {
+        let g = clustered();
+        let half = MetaWalk::parse_in(&g, "film actor").unwrap();
+        let film = g.labels().get("film").unwrap();
+        let mut full = AutoRPathSim::Full(RPathSim::new(&g, half.symmetric_closure()));
+        let mut half_plan = AutoRPathSim::Half(QueryEngine::new(&g, half));
+        for &q in g.nodes_of_label(film).iter().take(6) {
+            assert_eq!(
+                full.rank(q, film, 10).keyed(&g),
+                half_plan.rank(q, film, 10).keyed(&g)
+            );
+        }
+    }
+
+    #[test]
+    fn dense_closure_prefers_half_plan_for_few_queries() {
+        let g = clustered();
+        let half = MetaWalk::parse_in(&g, "film actor").unwrap();
+        assert_eq!(choose_plan(&g, &half, 1), Plan::HalfFactorized);
+    }
+
+    #[test]
+    fn many_queries_prefer_materialization() {
+        let g = clustered();
+        let half = MetaWalk::parse_in(&g, "film actor").unwrap();
+        // With enough queries, paying the closure build once wins over
+        // scanning the half matrix per query.
+        assert_eq!(choose_plan(&g, &half, 100_000), Plan::FullClosure);
+    }
+
+    #[test]
+    fn auto_builds_and_ranks() {
+        let g = clustered();
+        let half = MetaWalk::parse_in(&g, "film actor").unwrap();
+        let film = g.labels().get("film").unwrap();
+        let mut auto = AutoRPathSim::new(&g, half.clone(), 1);
+        let q = g.nodes_of_label(film)[0];
+        assert!(!auto.rank(q, film, 5).is_empty());
+        let many = AutoRPathSim::new(&g, half, 100_000);
+        assert_ne!(auto.plan(), many.plan(), "workload size flips the plan");
+    }
+}

@@ -1,0 +1,245 @@
+//! R-PathSim: PathSim over informative walks (§4.3, §5.2).
+
+use repsim_graph::{Graph, LabelId, NodeId};
+use repsim_metawalk::commuting::informative_commuting;
+use repsim_metawalk::MetaWalk;
+use repsim_sparse::Csr;
+
+use repsim_baselines::ranking::{RankedList, SimilarityAlgorithm};
+
+/// R-PathSim over one database and one symmetric meta-walk.
+///
+/// Identical to PathSim except that instance counts come from the
+/// *informative* commuting matrix: same-entity-label hops have their
+/// diagonals removed (`M_s − M_s^d`, §4.3) and \*-label segments are
+/// collapsed to connection indicators (§5.2). Theorems 4.3 and 5.2 make
+/// the resulting scores equal across relationship reorganizing and entity
+/// rearranging transformations.
+pub struct RPathSim<'g> {
+    g: &'g Graph,
+    mw: MetaWalk,
+    m: Csr,
+}
+
+impl<'g> RPathSim<'g> {
+    /// Builds the informative commuting matrix for `mw`, which must start
+    /// and end at the same label.
+    ///
+    /// # Panics
+    /// If `mw`'s endpoints differ.
+    pub fn new(g: &'g Graph, mw: MetaWalk) -> Self {
+        assert_eq!(
+            mw.source(),
+            mw.target(),
+            "R-PathSim meta-walks must start and end at the same label"
+        );
+        let m = informative_commuting(g, &mw);
+        RPathSim { g, mw, m }
+    }
+
+    /// The meta-walk this instance scores over.
+    pub fn meta_walk(&self) -> &MetaWalk {
+        &self.mw
+    }
+
+    /// The informative commuting matrix.
+    pub fn matrix(&self) -> &Csr {
+        &self.m
+    }
+
+    /// The R-PathSim score of a pair:
+    /// `2·|p̂(e,f)| / (|p̂(e,e)| + |p̂(f,f)|)`.
+    pub fn score(&self, e: NodeId, f: NodeId) -> f64 {
+        let (i, j) = (self.g.index_in_label(e), self.g.index_in_label(f));
+        let denom = self.m.get(i, i) + self.m.get(j, j);
+        if denom == 0.0 {
+            0.0
+        } else {
+            2.0 * self.m.get(i, j) / denom
+        }
+    }
+
+    /// The raw informative instance count `|p̂(e,f,D)|`.
+    pub fn count(&self, e: NodeId, f: NodeId) -> f64 {
+        self.m
+            .get(self.g.index_in_label(e), self.g.index_in_label(f))
+    }
+}
+
+impl SimilarityAlgorithm for RPathSim<'_> {
+    fn name(&self) -> String {
+        "R-PathSim".to_owned()
+    }
+
+    fn rank(&mut self, query: NodeId, target_label: LabelId, k: usize) -> RankedList {
+        assert_eq!(
+            target_label,
+            self.mw.target(),
+            "R-PathSim ranks entities of its meta-walk's endpoint label"
+        );
+        assert_eq!(
+            self.g.label_of(query),
+            self.mw.source(),
+            "query label mismatch"
+        );
+        let qi = self.g.index_in_label(query);
+        let m = &self.m;
+        RankedList::from_scores(
+            self.g,
+            self.g.nodes_of_label(target_label).iter().map(|&n| {
+                let j = self.g.index_in_label(n);
+                let denom = m.get(qi, qi) + m.get(j, j);
+                let s = if denom == 0.0 {
+                    0.0
+                } else {
+                    2.0 * m.get(qi, j) / denom
+                };
+                (n, s)
+            }),
+            query,
+            k,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use repsim_baselines::PathSim;
+    use repsim_graph::GraphBuilder;
+
+    /// Figure 4a (DBLP form): p1→p3, p2→p3, p3→p4 via cite nodes.
+    fn dblp() -> (Graph, [NodeId; 4]) {
+        let mut b = GraphBuilder::new();
+        let paper = b.entity_label("paper");
+        let cite = b.relationship_label("cite");
+        let p: Vec<NodeId> = (1..=4).map(|i| b.entity(paper, &format!("p{i}"))).collect();
+        for (a, bb) in [(0, 2), (1, 2), (2, 3)] {
+            let c = b.relationship(cite);
+            b.edge(p[a], c).unwrap();
+            b.edge(c, p[bb]).unwrap();
+        }
+        (b.build(), [p[0], p[1], p[2], p[3]])
+    }
+
+    /// Figure 4b (SNAP form): same citations as direct edges.
+    fn snap() -> (Graph, [NodeId; 4]) {
+        let mut b = GraphBuilder::new();
+        let paper = b.entity_label("paper");
+        let p: Vec<NodeId> = (1..=4).map(|i| b.entity(paper, &format!("p{i}"))).collect();
+        for (a, bb) in [(0, 2), (1, 2), (2, 3)] {
+            b.edge(p[a], p[bb]).unwrap();
+        }
+        (b.build(), [p[0], p[1], p[2], p[3]])
+    }
+
+    #[test]
+    fn figure4_rankings_agree_where_pathsim_disagrees() {
+        // The exact §4.3 story. Query p3 over the citation meta-walk:
+        // PathSim ranks p4 above/with p1,p2 on DBLP (spurious back-and-forth
+        // walks) but not on SNAP; R-PathSim gives identical scores on both.
+        let (gd, [d1, d2, d3, d4]) = dblp();
+        let (gs, [s1, s2, s3, s4]) = snap();
+        let mwd = MetaWalk::parse_in(&gd, "paper cite paper cite paper").unwrap();
+        let mws = MetaWalk::parse_in(&gs, "paper paper paper").unwrap();
+
+        let rp_d = RPathSim::new(&gd, mwd.clone());
+        let rp_s = RPathSim::new(&gs, mws.clone());
+        for (dn, sn) in [(d1, s1), (d2, s2), (d3, s3), (d4, s4)] {
+            for (dm, sm) in [(d1, s1), (d2, s2), (d3, s3), (d4, s4)] {
+                assert_eq!(
+                    rp_d.score(dn, dm),
+                    rp_s.score(sn, sm),
+                    "R-PathSim must agree across the representations"
+                );
+                assert_eq!(rp_d.count(dn, dm), rp_s.count(sn, sm));
+            }
+        }
+
+        let ps_d = PathSim::new(&gd, mwd);
+        let ps_s = PathSim::new(&gs, mws);
+        assert_ne!(
+            ps_d.score(d3, d4),
+            ps_s.score(s3, s4),
+            "PathSim must disagree (Figure 4)"
+        );
+    }
+
+    #[test]
+    fn self_score_is_one_when_connected() {
+        let (g, [p1, ..]) = dblp();
+        let mw = MetaWalk::parse_in(&g, "paper cite paper cite paper").unwrap();
+        let rp = RPathSim::new(&g, mw);
+        assert_eq!(rp.score(p1, p1), 1.0);
+    }
+
+    #[test]
+    fn isolated_entity_scores_zero_everywhere() {
+        let (g, [p1, ..]) = dblp();
+        let mut b = GraphBuilder::from_graph(&g);
+        let paper = g.labels().get("paper").unwrap();
+        let lone = b.entity(paper, "lone");
+        let g2 = b.build();
+        let mw = MetaWalk::parse_in(&g2, "paper cite paper cite paper").unwrap();
+        let rp = RPathSim::new(&g2, mw);
+        assert_eq!(rp.score(p1, lone), 0.0);
+        assert_eq!(rp.score(lone, lone), 0.0);
+    }
+
+    #[test]
+    fn ranking_is_representation_independent() {
+        let (gd, [_, _, d3, _]) = dblp();
+        let (gs, [_, _, s3, _]) = snap();
+        let mwd = MetaWalk::parse_in(&gd, "paper cite paper cite paper").unwrap();
+        let mws = MetaWalk::parse_in(&gs, "paper paper paper").unwrap();
+        let paper_d = gd.labels().get("paper").unwrap();
+        let paper_s = gs.labels().get("paper").unwrap();
+        let ld = RPathSim::new(&gd, mwd).rank(d3, paper_d, 10).keyed(&gd);
+        let ls = RPathSim::new(&gs, mws).rank(s3, paper_s, 10).keyed(&gs);
+        assert_eq!(ld, ls, "value-keyed rankings must coincide");
+    }
+
+    #[test]
+    fn star_meta_walk_scores() {
+        // Figure 5-style: confs with unequal paper counts score equally on
+        // keyword-through-domain similarity once paper is starred.
+        let mut b = GraphBuilder::new();
+        let paper = b.entity_label("paper");
+        let conf = b.entity_label("conf");
+        let dom = b.entity_label("dom");
+        let kw = b.entity_label("kw");
+        let ca = b.entity(conf, "a");
+        let cb = b.entity(conf, "b");
+        let cc = b.entity(conf, "c");
+        let d1 = b.entity(dom, "d1");
+        let d2 = b.entity(dom, "d2");
+        let k = b.entity(kw, "k");
+        // a: 3 papers in d1; b: 1 paper in d1; c: 1 paper in d2.
+        for (i, c, d) in [
+            (0, ca, d1),
+            (1, ca, d1),
+            (2, ca, d1),
+            (3, cb, d1),
+            (4, cc, d2),
+        ] {
+            let p = b.entity(paper, &format!("p{i}"));
+            b.edge(p, c).unwrap();
+            b.edge(p, d).unwrap();
+        }
+        b.edge(d1, k).unwrap();
+        b.edge(d2, k).unwrap();
+        let g = b.build();
+        let star = MetaWalk::parse_in(&g, "conf *paper dom kw dom *paper conf").unwrap();
+        let rp = RPathSim::new(&g, star);
+        // All confs share keyword k through their domains: equal scores.
+        assert_eq!(rp.score(ca, cb), 1.0);
+        assert_eq!(rp.score(ca, cc), 1.0);
+        // The unstarred walk is biased by paper counts.
+        let plain = MetaWalk::parse_in(&g, "conf paper dom kw dom paper conf").unwrap();
+        let rp2 = RPathSim::new(&g, plain);
+        assert!(
+            rp2.score(ca, cb) < 1.0,
+            "3 vs 1 papers skews the plain score"
+        );
+    }
+}

@@ -1,0 +1,211 @@
+//! The citation database in its DBLP and SNAP forms (Figure 4; §6.1.1 and
+//! Table 3).
+//!
+//! A preferential-attachment citation graph: paper `i` cites earlier
+//! papers, favouring already-cited ones. The same citation list
+//! materializes either with `cite` relationship nodes (`dblp`) or as
+//! direct paper–paper edges (`snap`) — the two sides of the DBLP-SNAP
+//! transformation.
+
+use rand::Rng;
+use repsim_graph::{Graph, GraphBuilder};
+
+use crate::rng::seeded;
+
+/// Citation generator configuration.
+#[derive(Clone, Debug)]
+pub struct CitationConfig {
+    /// Number of papers.
+    pub papers: usize,
+    /// Number of citations (distinct ordered pairs, stored undirected).
+    pub citations: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl CitationConfig {
+    /// The paper's DBLP citation subset (§6.1.1: 12,591 papers, 49,743
+    /// citations).
+    pub fn paper_scale() -> Self {
+        CitationConfig {
+            papers: 12_591,
+            citations: 49_743,
+            seed: 42,
+        }
+    }
+
+    /// A laptop-friendly preset preserving the density.
+    pub fn small() -> Self {
+        CitationConfig {
+            papers: 900,
+            citations: 3_500,
+            seed: 42,
+        }
+    }
+
+    /// A fixture-sized preset for tests.
+    pub fn tiny() -> Self {
+        CitationConfig {
+            papers: 60,
+            citations: 200,
+            seed: 42,
+        }
+    }
+
+    /// The citation pair list `(citing, cited)` with `cited < citing`,
+    /// deduplicated, deterministic in the seed.
+    fn structure(&self) -> Vec<(usize, usize)> {
+        assert!(self.papers >= 2, "need at least two papers");
+        let mut rng = seeded(self.seed);
+        let mut edges: Vec<(usize, usize)> = Vec::with_capacity(self.citations);
+        let mut seen = std::collections::HashSet::with_capacity(self.citations * 2);
+        // Endpoint pool for preferential attachment (each citation adds
+        // both endpoints, biasing toward well-connected papers).
+        let mut pool: Vec<usize> = (0..self.papers).collect();
+        // A backbone chain guarantees no isolated papers.
+        for i in 1..self.papers {
+            let cited = if i == 1 { 0 } else { rng.random_range(0..i) };
+            if seen.insert((i, cited)) {
+                edges.push((i, cited));
+                pool.push(i);
+                pool.push(cited);
+            }
+        }
+        let mut attempts = 0;
+        while edges.len() < self.citations && attempts < self.citations * 20 {
+            attempts += 1;
+            let citing = pool[rng.random_range(0..pool.len())];
+            if citing == 0 {
+                continue;
+            }
+            let cited = if rng.random_bool(0.5) {
+                pool[rng.random_range(0..pool.len())]
+            } else {
+                rng.random_range(0..citing)
+            };
+            if cited >= citing {
+                continue;
+            }
+            if seen.insert((citing, cited)) {
+                edges.push((citing, cited));
+                pool.push(citing);
+                pool.push(cited);
+            }
+        }
+        edges
+    }
+}
+
+fn paper_name(i: usize) -> String {
+    format!("paper{i:06}")
+}
+
+/// Builds the DBLP form: one `cite` relationship node per citation.
+pub fn dblp(cfg: &CitationConfig) -> Graph {
+    let citations = cfg.structure();
+    let mut b = GraphBuilder::new();
+    let paper = b.entity_label("paper");
+    let cite = b.relationship_label("cite");
+    let papers: Vec<_> = (0..cfg.papers)
+        .map(|i| b.entity(paper, &paper_name(i)))
+        .collect();
+    for &(citing, cited) in &citations {
+        let c = b.relationship(cite);
+        b.edge(papers[citing], c).expect("fresh node");
+        b.edge(c, papers[cited]).expect("fresh node");
+    }
+    b.build()
+}
+
+/// Builds the SNAP form: direct paper–paper edges.
+pub fn snap(cfg: &CitationConfig) -> Graph {
+    let citations = cfg.structure();
+    let mut b = GraphBuilder::new();
+    let paper = b.entity_label("paper");
+    let papers: Vec<_> = (0..cfg.papers)
+        .map(|i| b.entity(paper, &paper_name(i)))
+        .collect();
+    for &(citing, cited) in &citations {
+        b.edge(papers[citing], papers[cited])
+            .expect("deduplicated pairs");
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use repsim_graph::validate::is_valid;
+
+    #[test]
+    fn both_forms_share_the_citation_list() {
+        let cfg = CitationConfig::tiny();
+        let d = dblp(&cfg);
+        let s = snap(&cfg);
+        assert_eq!(
+            s.num_edges() * 2,
+            d.num_edges(),
+            "each cite node doubles its edge"
+        );
+        let cite = d.labels().get("cite").unwrap();
+        assert_eq!(d.nodes_of_label(cite).len(), s.num_edges());
+        // Every direct SNAP edge appears as a cite node in DBLP.
+        for (x, y) in s.edges() {
+            let dx = d.entity_by_name("paper", s.value_of(x).unwrap()).unwrap();
+            let dy = d.entity_by_name("paper", s.value_of(y).unwrap()).unwrap();
+            let linked = d
+                .neighbors(dx)
+                .iter()
+                .any(|&c| d.label_of(c) == cite && d.has_edge(c, dy));
+            assert!(linked);
+        }
+    }
+
+    #[test]
+    fn no_isolated_papers_and_valid() {
+        let cfg = CitationConfig::tiny();
+        for g in [dblp(&cfg), snap(&cfg)] {
+            assert!(g.entity_ids().all(|n| g.degree(n) > 0));
+            assert!(is_valid(&g));
+        }
+    }
+
+    #[test]
+    fn citation_count_close_to_target() {
+        let cfg = CitationConfig::small();
+        let s = snap(&cfg);
+        let achieved = s.num_edges();
+        assert!(
+            achieved >= cfg.citations * 9 / 10,
+            "expected ≈{} citations, got {achieved}",
+            cfg.citations
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = CitationConfig::tiny();
+        assert_eq!(
+            snap(&cfg).edges().collect::<Vec<_>>(),
+            snap(&cfg).edges().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn preferential_attachment_skew() {
+        let g = snap(&CitationConfig::small());
+        let paper = g.labels().get("paper").unwrap();
+        let mut degrees: Vec<usize> = g
+            .nodes_of_label(paper)
+            .iter()
+            .map(|&p| g.degree(p))
+            .collect();
+        degrees.sort_unstable_by(|a, b| b.cmp(a));
+        let top_share: usize = degrees[..degrees.len() / 20].iter().sum();
+        let total: usize = degrees.iter().sum();
+        assert!(
+            top_share * 8 > total,
+            "top 5% of papers should hold >12.5% of citations ({top_share}/{total})"
+        );
+    }
+}

@@ -1,0 +1,163 @@
+//! The course database in its WSU and Alchemy UW-CSE forms (Figure 7;
+//! §6.1.2 and Tables 2/4).
+//!
+//! WSU form (Fig 7a): course offers connect to their course, their subject
+//! and an instructor. FDs: `offer → course`, `offer → subject` and
+//! `course →(course,offer,subject) subject`. The Alchemy form (Fig 7b) —
+//! the `WSU2ALCH` pull-up — anchors subject edges at courses instead.
+
+use rand::Rng;
+use repsim_graph::{Graph, GraphBuilder};
+
+use crate::rng::{seeded, ZipfSampler};
+
+/// Course generator configuration.
+#[derive(Clone, Debug)]
+pub struct CourseConfig {
+    /// Number of course offerings.
+    pub offers: usize,
+    /// Number of courses.
+    pub courses: usize,
+    /// Number of subjects.
+    pub subjects: usize,
+    /// Number of instructors.
+    pub instructors: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl CourseConfig {
+    /// The paper's WSU database (§6.1.2: 699 offers, 394 courses, 31
+    /// subjects, 136 instructors) — already laptop-sized, so this is also
+    /// the default experimental scale.
+    pub fn paper_scale() -> Self {
+        CourseConfig {
+            offers: 699,
+            courses: 394,
+            subjects: 31,
+            instructors: 136,
+            seed: 42,
+        }
+    }
+
+    /// A fixture-sized preset for tests.
+    pub fn tiny() -> Self {
+        CourseConfig {
+            offers: 40,
+            courses: 18,
+            subjects: 5,
+            instructors: 9,
+            seed: 42,
+        }
+    }
+}
+
+/// Builds the WSU form (Figure 7a).
+pub fn wsu(cfg: &CourseConfig) -> Graph {
+    assert!(
+        cfg.offers >= cfg.courses && cfg.courses >= cfg.subjects,
+        "coverage requires offers ≥ courses ≥ subjects"
+    );
+    let mut rng = seeded(cfg.seed);
+    let mut b = GraphBuilder::new();
+    let offer = b.entity_label("offer");
+    let course = b.entity_label("course");
+    let subject = b.entity_label("subject");
+    let instructor = b.entity_label("instructor");
+
+    let subjects: Vec<_> = (0..cfg.subjects)
+        .map(|i| b.entity(subject, &format!("subject{i:02}")))
+        .collect();
+    let course_subject: Vec<usize> = (0..cfg.courses)
+        .map(|c| {
+            if c < cfg.subjects {
+                c
+            } else {
+                rng.random_range(0..cfg.subjects)
+            }
+        })
+        .collect();
+    let courses: Vec<_> = (0..cfg.courses)
+        .map(|i| b.entity(course, &format!("course{i:03}")))
+        .collect();
+    let instructors: Vec<_> = (0..cfg.instructors)
+        .map(|i| b.entity(instructor, &format!("instructor{i:03}")))
+        .collect();
+
+    let course_pop = ZipfSampler::new(cfg.courses, 0.7);
+    let instructor_pop = ZipfSampler::new(cfg.instructors, 0.8);
+    for o in 0..cfg.offers {
+        let c = if o < cfg.courses {
+            o
+        } else {
+            course_pop.sample(&mut rng)
+        };
+        let i = if o < cfg.instructors {
+            o
+        } else {
+            instructor_pop.sample(&mut rng)
+        };
+        let on = b.entity(offer, &format!("offer{o:04}"));
+        b.edge(on, courses[c]).expect("fresh offer");
+        b.edge(on, subjects[course_subject[c]])
+            .expect("fresh offer");
+        b.edge(on, instructors[i]).expect("fresh offer");
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fds_hold_by_construction() {
+        let g = wsu(&CourseConfig::tiny());
+        let offer = g.labels().get("offer").unwrap();
+        let course = g.labels().get("course").unwrap();
+        let subject = g.labels().get("subject").unwrap();
+        for &o in g.nodes_of_label(offer) {
+            assert_eq!(
+                g.neighbors_with_label(o, course).count(),
+                1,
+                "offer → course"
+            );
+            assert_eq!(
+                g.neighbors_with_label(o, subject).count(),
+                1,
+                "offer → subject"
+            );
+        }
+        // course → subject along offers.
+        for &c in g.nodes_of_label(course) {
+            let mut subs: Vec<_> = g
+                .neighbors_with_label(c, offer)
+                .map(|o| g.neighbors_with_label(o, subject).next().unwrap())
+                .collect();
+            subs.sort_unstable();
+            subs.dedup();
+            assert!(subs.len() <= 1);
+        }
+    }
+
+    #[test]
+    fn paper_scale_cardinalities() {
+        let cfg = CourseConfig::paper_scale();
+        let g = wsu(&cfg);
+        let count = |name: &str| g.nodes_of_label(g.labels().get(name).unwrap()).len();
+        assert_eq!(count("offer"), 699);
+        assert_eq!(count("course"), 394);
+        assert_eq!(count("subject"), 31);
+        assert_eq!(count("instructor"), 136);
+        assert!(g.entity_ids().all(|n| g.degree(n) > 0));
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = CourseConfig::tiny();
+        assert_eq!(
+            wsu(&cfg).edges().collect::<Vec<_>>(),
+            wsu(&cfg).edges().collect::<Vec<_>>()
+        );
+    }
+}

@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+
+//! Seeded synthetic dataset generators shaped like the paper's databases.
+//!
+//! The original study used proprietary or since-moved snapshots (IMDb
+//! 2000-2012 subset, a DBLP/KONECT citation extract, WSU course data,
+//! Microsoft Academic Search). The robustness experiments measure *ranking
+//! differences of one algorithm across representations of the same data*,
+//! and the effectiveness experiments need only the generator-known domain
+//! structure as ground truth — neither depends on the identity of specific
+//! movies or papers, only on schema shape, functional dependencies, and
+//! degree skew. Each generator here reproduces those, at the paper's
+//! cardinalities (`paper_scale`) and at laptop-friendly presets (`small`,
+//! `tiny`), deterministically from a seed. See DESIGN.md's substitution
+//! table.
+//!
+//! | module | paper database | schema |
+//! |---|---|---|
+//! | [`movies`] | IMDb subset (Fig 1a) | actor/char/film triangles + directors |
+//! | [`citations`] | DBLP citations vs SNAP (Fig 4) | papers + cite nodes / direct edges |
+//! | [`bibliographic`] | DBLP proceedings vs SIGMOD Record (Fig 6) | paper→proc→area + authors |
+//! | [`courses`] | WSU vs Alchemy UW-CSE (Fig 7) | offer→course→subject + instructors |
+//! | [`mas`] | Microsoft Academic Search (Fig 5, §6.2) | conf/paper/dom/kw + citations, with relevance ground truth |
+//!
+//! [`synthetic::SchemaSpec`] additionally generates instances for *any*
+//! declared schema (labels + functional / many-to-many edge families) —
+//! the generalization of the five generators above.
+
+pub mod bibliographic;
+pub mod citations;
+pub mod courses;
+pub mod mas;
+pub mod movies;
+pub mod rng;
+pub mod synthetic;
+
+pub use bibliographic::BibliographicConfig;
+pub use citations::CitationConfig;
+pub use courses::CourseConfig;
+pub use mas::{MasConfig, MasGroundTruth};
+pub use movies::MoviesConfig;
+pub use synthetic::{EdgeKind, EdgeSpec, SchemaSpec};

@@ -1,0 +1,361 @@
+//! The Microsoft-Academic-Search-shaped bibliographic database
+//! (Figure 5; §6.2 effectiveness study).
+//!
+//! Domains come in strongly-related pairs (domain `2i` is strongly
+//! related to `2i+1` — think *Databases* ~ *Data Mining*), each with its
+//! own keyword vocabulary that overlaps heavily within a pair (shared
+//! terms like "indexing" dominate both). Conferences belong to one domain
+//! with
+//! Zipf-skewed paper counts — the skew is what fools plain PathSim in the
+//! \*-label experiment. Papers connect to their conference and its domain
+//! (the Figure 5a representation); citations are `citation` relationship
+//! nodes, biased toward the same and related domains.
+//!
+//! The generator also returns the ground truth used by §6.2's nDCG
+//! evaluation: *similar* (same domain, relevance 2), *quite-similar*
+//! (strongly related domain, relevance 1), *least-similar* (relevance 0).
+
+use rand::Rng;
+use repsim_graph::{Graph, GraphBuilder};
+
+use crate::rng::{seeded, ZipfSampler};
+
+/// MAS generator configuration.
+#[derive(Clone, Debug)]
+pub struct MasConfig {
+    /// Number of domains (must be even; pair-related).
+    pub domains: usize,
+    /// Number of conferences.
+    pub confs: usize,
+    /// Number of papers.
+    pub papers: usize,
+    /// Keywords private to each domain.
+    pub private_kws_per_domain: usize,
+    /// Keywords shared within each related domain pair.
+    pub shared_kws_per_pair: usize,
+    /// Generic keywords attached to every domain (broad CS terms); these
+    /// are what lets similarly-sized unrelated conferences pollute plain
+    /// PathSim's keyword rankings.
+    pub generic_kws: usize,
+    /// Number of citation links.
+    pub citations: usize,
+    /// Zipf exponent for conference paper counts. Larger values mean more
+    /// extreme size mismatch between conferences, which is what degrades
+    /// plain PathSim on keyword meta-walks (§6.2, experiment 2).
+    pub conf_size_skew: f64,
+    /// Probability that a citation stays within its domain; the remainder
+    /// splits between related domains (`related_citation_bias`) and any
+    /// domain. Lower values make citations a weaker similarity signal,
+    /// matching the low nDCG of §6.2's first experiment.
+    pub same_citation_bias: f64,
+    /// Probability that a citation targets a ring-adjacent domain.
+    pub related_citation_bias: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl MasConfig {
+    /// The paper's MAS subset shape (Appendix B: 10 domains, 200
+    /// conferences, ~94k papers, ~630 keywords split between
+    /// domain-private and related-domain-shared vocabularies).
+    pub fn paper_scale() -> Self {
+        MasConfig {
+            domains: 10,
+            confs: 200,
+            papers: 94_288,
+            private_kws_per_domain: 10,
+            shared_kws_per_pair: 80,
+            generic_kws: 105,
+            citations: 180_000,
+            conf_size_skew: 1.4,
+            same_citation_bias: 0.35,
+            related_citation_bias: 0.15,
+            seed: 42,
+        }
+    }
+
+    /// A laptop-friendly preset (same shape parameters, fewer papers).
+    pub fn small() -> Self {
+        MasConfig {
+            domains: 10,
+            confs: 200,
+            papers: 8_000,
+            private_kws_per_domain: 2,
+            shared_kws_per_pair: 7,
+            generic_kws: 16,
+            citations: 10_000,
+            conf_size_skew: 1.4,
+            same_citation_bias: 0.25,
+            related_citation_bias: 0.10,
+            seed: 42,
+        }
+    }
+
+    /// A fixture-sized preset for tests.
+    pub fn tiny() -> Self {
+        MasConfig {
+            domains: 4,
+            confs: 16,
+            papers: 220,
+            private_kws_per_domain: 6,
+            shared_kws_per_pair: 2,
+            generic_kws: 0,
+            citations: 400,
+            conf_size_skew: 1.0,
+            same_citation_bias: 0.70,
+            related_citation_bias: 0.25,
+            seed: 42,
+        }
+    }
+}
+
+/// Ground truth for the §6.2 effectiveness evaluation.
+#[derive(Clone, Debug)]
+pub struct MasGroundTruth {
+    /// Domain index of each conference, keyed by conference value.
+    conf_domain: Vec<(String, usize)>,
+    /// Number of domains on the ring.
+    num_domains: usize,
+}
+
+impl MasGroundTruth {
+    /// The domain of a conference value, if known.
+    pub fn domain_of(&self, conf_value: &str) -> Option<usize> {
+        self.conf_domain
+            .iter()
+            .find(|(v, _)| v == conf_value)
+            .map(|&(_, d)| d)
+    }
+
+    /// Number of domains.
+    pub fn num_domains(&self) -> usize {
+        self.num_domains
+    }
+
+    /// Whether two domains are strongly related (pair partners: `2i` with
+    /// `2i+1`).
+    pub fn related(&self, d1: usize, d2: usize) -> bool {
+        d1 < self.num_domains && d2 < self.num_domains && d1 != d2 && d1 / 2 == d2 / 2
+    }
+
+    /// §6.2 relevance levels: 2 = similar (same domain), 1 = quite-similar
+    /// (strongly related domain), 0 = least-similar.
+    pub fn relevance(&self, query_conf: &str, candidate_conf: &str) -> u8 {
+        match (self.domain_of(query_conf), self.domain_of(candidate_conf)) {
+            (Some(a), Some(b)) if a == b => 2,
+            (Some(a), Some(b)) if self.related(a, b) => 1,
+            _ => 0,
+        }
+    }
+
+    /// All conference values.
+    pub fn conf_values(&self) -> impl Iterator<Item = &str> {
+        self.conf_domain.iter().map(|(v, _)| v.as_str())
+    }
+}
+
+/// Builds the Figure 5a representation plus ground truth.
+pub fn mas(cfg: &MasConfig) -> (Graph, MasGroundTruth) {
+    assert!(
+        cfg.domains >= 4 && cfg.domains.is_multiple_of(2),
+        "domains come in related pairs"
+    );
+    assert!(
+        cfg.confs >= cfg.domains && cfg.papers >= cfg.confs,
+        "coverage"
+    );
+    let mut rng = seeded(cfg.seed);
+    let mut b = GraphBuilder::new();
+    let paper = b.entity_label("paper");
+    let conf = b.entity_label("conf");
+    let dom = b.entity_label("dom");
+    let kw = b.entity_label("kw");
+    let citation = b.relationship_label("citation");
+
+    let doms: Vec<_> = (0..cfg.domains)
+        .map(|i| b.entity(dom, &format!("dom{i:02}")))
+        .collect();
+
+    // Keywords: private per domain + shared within each related pair.
+    for (d, &dn) in doms.iter().enumerate() {
+        for k in 0..cfg.private_kws_per_domain {
+            let n = b.entity(kw, &format!("kw_d{d:02}_{k:03}"));
+            b.edge(n, dn).expect("fresh keyword");
+        }
+    }
+    for pair in 0..cfg.domains / 2 {
+        let (a, c) = (2 * pair, 2 * pair + 1);
+        for k in 0..cfg.shared_kws_per_pair {
+            let n = b.entity(kw, &format!("kw_s{a:02}_{c:02}_{k:03}"));
+            b.edge(n, doms[a]).expect("fresh keyword");
+            b.edge(n, doms[c]).expect("fresh keyword");
+        }
+    }
+    for k in 0..cfg.generic_kws {
+        let n = b.entity(kw, &format!("kw_g{k:03}"));
+        for &d in &doms {
+            b.edge(n, d).expect("fresh keyword");
+        }
+    }
+
+    // Conferences: round-robin domains, so each domain has confs/domains.
+    let conf_domain_idx: Vec<usize> = (0..cfg.confs).map(|c| c % cfg.domains).collect();
+    let confs: Vec<_> = (0..cfg.confs)
+        .map(|i| b.entity(conf, &format!("conf{i:03}")))
+        .collect();
+
+    // Papers: Zipf over conferences; paper joins its conf and the conf's
+    // domain (Fig 5a connects each paper to both).
+    let conf_pop = ZipfSampler::new(cfg.confs, cfg.conf_size_skew);
+    let papers: Vec<_> = (0..cfg.papers)
+        .map(|i| b.entity(paper, &format!("paper{i:06}")))
+        .collect();
+    let mut paper_domain = Vec::with_capacity(cfg.papers);
+    for (i, &p) in papers.iter().enumerate() {
+        let c = if i < cfg.confs {
+            i
+        } else {
+            conf_pop.sample(&mut rng)
+        };
+        let d = conf_domain_idx[c];
+        paper_domain.push(d);
+        b.edge(p, confs[c]).expect("fresh paper");
+        b.edge(p, doms[d]).expect("fresh paper");
+    }
+
+    // Citations: biased toward same and related domains per the config.
+    let mut by_domain: Vec<Vec<usize>> = vec![Vec::new(); cfg.domains];
+    for (i, &d) in paper_domain.iter().enumerate() {
+        by_domain[d].push(i);
+    }
+    let mut placed = 0;
+    let mut attempts = 0;
+    while placed < cfg.citations && attempts < cfg.citations * 20 {
+        attempts += 1;
+        let a = rng.random_range(0..cfg.papers);
+        let da = paper_domain[a];
+        let roll: f64 = rng.random();
+        let target_domain = if roll < cfg.same_citation_bias {
+            da
+        } else if roll < cfg.same_citation_bias + cfg.related_citation_bias {
+            da ^ 1 // the pair partner
+        } else {
+            rng.random_range(0..cfg.domains)
+        };
+        let pool = &by_domain[target_domain];
+        if pool.is_empty() {
+            continue;
+        }
+        let bb = pool[rng.random_range(0..pool.len())];
+        if a == bb {
+            continue;
+        }
+        let c = b.relationship(citation);
+        b.edge(papers[a], c).expect("fresh citation");
+        b.edge(c, papers[bb]).expect("fresh citation");
+        placed += 1;
+    }
+
+    let truth = MasGroundTruth {
+        conf_domain: (0..cfg.confs)
+            .map(|i| (format!("conf{i:03}"), conf_domain_idx[i]))
+            .collect(),
+        num_domains: cfg.domains,
+    };
+    (b.build(), truth)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ground_truth_relevance_levels() {
+        let (_, truth) = mas(&MasConfig::tiny());
+        // conf000 → dom 0; conf004 → dom 0; conf001 → dom 1; conf002 → dom 2.
+        assert_eq!(truth.relevance("conf000", "conf004"), 2);
+        assert_eq!(truth.relevance("conf000", "conf001"), 1);
+        assert_eq!(truth.relevance("conf000", "conf002"), 0);
+        assert_eq!(truth.relevance("conf000", "ghost"), 0);
+        assert!(truth.related(2, 3), "pair partners are related");
+        assert!(!truth.related(0, 3), "cross-pair domains are not");
+        assert!(!truth.related(1, 1));
+        assert_eq!(truth.conf_values().count(), 16);
+    }
+
+    #[test]
+    fn figure5a_structure() {
+        let (g, _) = mas(&MasConfig::tiny());
+        let paper = g.labels().get("paper").unwrap();
+        let conf = g.labels().get("conf").unwrap();
+        let dom = g.labels().get("dom").unwrap();
+        for &p in g.nodes_of_label(paper) {
+            assert_eq!(g.neighbors_with_label(p, conf).count(), 1, "paper → conf");
+            assert_eq!(g.neighbors_with_label(p, dom).count(), 1, "paper → dom");
+        }
+        // conf → dom consistency along papers.
+        for &c in g.nodes_of_label(conf) {
+            let mut ds: Vec<_> = g
+                .neighbors_with_label(c, paper)
+                .map(|p| g.neighbors_with_label(p, dom).next().unwrap())
+                .collect();
+            ds.sort_unstable();
+            ds.dedup();
+            assert_eq!(ds.len(), 1);
+        }
+    }
+
+    #[test]
+    fn keyword_overlap_structure() {
+        let (g, truth) = mas(&MasConfig::tiny());
+        let dom = g.labels().get("dom").unwrap();
+        let kw = g.labels().get("kw").unwrap();
+        let kws_of = |d: usize| -> Vec<String> {
+            let dn = g.entity_by_name("dom", &format!("dom{d:02}")).unwrap();
+            let mut v: Vec<String> = g
+                .neighbors_with_label(dn, kw)
+                .map(|k| g.value_of(k).unwrap().to_owned())
+                .collect();
+            v.sort();
+            v
+        };
+        let k0 = kws_of(0);
+        let k1 = kws_of(1);
+        let k2 = kws_of(2);
+        let shared01 = k0.iter().filter(|x| k1.contains(x)).count();
+        let shared02 = k0.iter().filter(|x| k2.contains(x)).count();
+        assert_eq!(shared01, MasConfig::tiny().shared_kws_per_pair);
+        assert_eq!(shared02, 0, "cross-pair domains share nothing");
+        assert!(truth.related(0, 1));
+        let _ = dom;
+    }
+
+    #[test]
+    fn citation_nodes_are_binary() {
+        let (g, _) = mas(&MasConfig::tiny());
+        let citation = g.labels().get("citation").unwrap();
+        assert!(!g.nodes_of_label(citation).is_empty());
+        for &c in g.nodes_of_label(citation) {
+            assert_eq!(g.degree(c), 2);
+        }
+    }
+
+    #[test]
+    fn zipf_paper_counts() {
+        let (g, _) = mas(&MasConfig::tiny());
+        let conf = g.labels().get("conf").unwrap();
+        let paper = g.labels().get("paper").unwrap();
+        let counts: Vec<usize> = g
+            .nodes_of_label(conf)
+            .iter()
+            .map(|&c| g.neighbors_with_label(c, paper).count())
+            .collect();
+        let max = counts.iter().max().unwrap();
+        let min = counts.iter().min().unwrap();
+        assert!(
+            max >= &(4 * min.max(&1)),
+            "conference sizes should be skewed"
+        );
+        assert!(*min >= 1, "every conference has a paper");
+    }
+}

@@ -1,0 +1,292 @@
+//! The IMDb-shaped movies database (Figure 1a; §6.1.1 and Table 1).
+//!
+//! Engagements are `(actor, char, film)` triples: each character belongs to
+//! exactly one engagement, drawn with Zipf-skewed actor and film
+//! popularity. Directors attach directly to films. The same engagement list
+//! materializes either with characters (`imdb`) or without (`imdb_no_chars`,
+//! used by the Niagara transformations, which the paper runs on a
+//! character-free projection).
+
+use rand::Rng;
+use repsim_graph::{Graph, GraphBuilder};
+
+use crate::rng::{seeded, ZipfSampler};
+
+/// Movies generator configuration.
+#[derive(Clone, Debug)]
+pub struct MoviesConfig {
+    /// Number of actors.
+    pub actors: usize,
+    /// Number of films.
+    pub films: usize,
+    /// Number of characters (= engagements).
+    pub chars: usize,
+    /// Number of directors.
+    pub directors: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl MoviesConfig {
+    /// The paper's IMDb subset cardinalities (§6.1.1 / Appendix B: 2,000
+    /// actors, 2,850 films, 13,666 characters, 2,416 directors).
+    pub fn paper_scale() -> Self {
+        MoviesConfig {
+            actors: 2000,
+            films: 2850,
+            chars: 13666,
+            directors: 2416,
+            seed: 42,
+        }
+    }
+
+    /// A laptop-friendly preset preserving the cardinality ratios.
+    pub fn small() -> Self {
+        MoviesConfig {
+            actors: 200,
+            films: 285,
+            chars: 1366,
+            directors: 242,
+            seed: 42,
+        }
+    }
+
+    /// A fixture-sized preset for tests.
+    pub fn tiny() -> Self {
+        MoviesConfig {
+            actors: 24,
+            films: 30,
+            chars: 80,
+            directors: 20,
+            seed: 42,
+        }
+    }
+
+    /// Engagements `(actor, film)` per character index, plus film→director
+    /// assignments. Deterministic in the seed.
+    fn structure(&self) -> (Vec<(usize, usize)>, Vec<usize>) {
+        assert!(
+            self.chars >= self.actors && self.chars >= self.films,
+            "need enough characters to cover every actor and film"
+        );
+        assert!(
+            self.chars <= self.actors * self.films,
+            "cannot place more characters than distinct (actor, film) pairs"
+        );
+        let mut rng = seeded(self.seed);
+        let actor_pop = ZipfSampler::new(self.actors, 1.0);
+        let film_pop = ZipfSampler::new(self.films, 0.8);
+        // Each (actor, film) pair carries at most one character: IMDb draws
+        // an engagement as ONE actor-film edge, so a second character on
+        // the same pair would make the triangle and star forms carry
+        // different information (Definition 7 would fail) — the precise
+        // precondition of the IMDB2FB transformation.
+        let mut used = std::collections::HashSet::with_capacity(self.chars);
+        let mut engagements = Vec::with_capacity(self.chars);
+        for c in 0..self.chars {
+            // First cover every actor and film so no entity is isolated.
+            let (mut a, mut f) = (
+                if c < self.actors {
+                    c
+                } else {
+                    actor_pop.sample(&mut rng)
+                },
+                if c < self.films {
+                    c
+                } else {
+                    film_pop.sample(&mut rng)
+                },
+            );
+            let mut tries = 0;
+            while used.contains(&(a, f)) {
+                tries += 1;
+                if tries < 50 {
+                    if c >= self.actors {
+                        a = actor_pop.sample(&mut rng);
+                    }
+                    if c >= self.films {
+                        f = film_pop.sample(&mut rng);
+                    }
+                    if c < self.actors && c < self.films {
+                        // Covered indices are fixed on both sides; shift film.
+                        f = (f + 1) % self.films;
+                    }
+                } else {
+                    // Deterministic fallback: scan for any free pair.
+                    f = (f + 1) % self.films;
+                    if tries > 50 + self.films {
+                        a = (a + 1) % self.actors;
+                        tries = 51;
+                    }
+                }
+            }
+            used.insert((a, f));
+            engagements.push((a, f));
+        }
+        let director_pop = ZipfSampler::new(self.directors, 0.9);
+        let film_directors: Vec<usize> = (0..self.films)
+            .map(|f| {
+                if f < self.directors {
+                    f
+                } else {
+                    director_pop.sample(&mut rng)
+                }
+            })
+            .collect();
+        let _ = rng.random::<u64>(); // reserve a draw for future extensions
+        (engagements, film_directors)
+    }
+}
+
+/// Builds the IMDb form: actor–char–film triangles plus director–film
+/// edges.
+pub fn imdb(cfg: &MoviesConfig) -> Graph {
+    let (engagements, film_directors) = cfg.structure();
+    let mut b = GraphBuilder::new();
+    let actor = b.entity_label("actor");
+    let film = b.entity_label("film");
+    let ch = b.entity_label("char");
+    let director = b.entity_label("director");
+    let actors: Vec<_> = (0..cfg.actors)
+        .map(|i| b.entity(actor, &format!("actor{i:05}")))
+        .collect();
+    let films: Vec<_> = (0..cfg.films)
+        .map(|i| b.entity(film, &format!("film{i:05}")))
+        .collect();
+    let directors: Vec<_> = (0..cfg.directors)
+        .map(|i| b.entity(director, &format!("director{i:05}")))
+        .collect();
+    for (c, &(a, f)) in engagements.iter().enumerate() {
+        let cn = b.entity(ch, &format!("char{c:06}"));
+        b.edge_dedup(actors[a], cn).expect("fresh char");
+        b.edge_dedup(cn, films[f]).expect("fresh char");
+        b.edge_dedup(actors[a], films[f]).expect("valid");
+    }
+    for (f, &d) in film_directors.iter().enumerate() {
+        b.edge_dedup(films[f], directors[d]).expect("valid");
+    }
+    b.build()
+}
+
+/// Builds the character-free projection used for the Niagara
+/// transformations: direct actor–film and director–film edges.
+pub fn imdb_no_chars(cfg: &MoviesConfig) -> Graph {
+    let (engagements, film_directors) = cfg.structure();
+    let mut b = GraphBuilder::new();
+    let actor = b.entity_label("actor");
+    let film = b.entity_label("film");
+    let director = b.entity_label("director");
+    let actors: Vec<_> = (0..cfg.actors)
+        .map(|i| b.entity(actor, &format!("actor{i:05}")))
+        .collect();
+    let films: Vec<_> = (0..cfg.films)
+        .map(|i| b.entity(film, &format!("film{i:05}")))
+        .collect();
+    let directors: Vec<_> = (0..cfg.directors)
+        .map(|i| b.entity(director, &format!("director{i:05}")))
+        .collect();
+    for &(a, f) in &engagements {
+        b.edge_dedup(actors[a], films[f]).expect("valid");
+    }
+    for (f, &d) in film_directors.iter().enumerate() {
+        b.edge_dedup(films[f], directors[d]).expect("valid");
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use repsim_graph::validate::is_valid;
+
+    #[test]
+    fn cardinalities_match_config() {
+        let cfg = MoviesConfig::tiny();
+        let g = imdb(&cfg);
+        let labels = g.labels();
+        assert_eq!(
+            g.nodes_of_label(labels.get("actor").unwrap()).len(),
+            cfg.actors
+        );
+        assert_eq!(
+            g.nodes_of_label(labels.get("film").unwrap()).len(),
+            cfg.films
+        );
+        assert_eq!(
+            g.nodes_of_label(labels.get("char").unwrap()).len(),
+            cfg.chars
+        );
+        assert_eq!(
+            g.nodes_of_label(labels.get("director").unwrap()).len(),
+            cfg.directors
+        );
+    }
+
+    #[test]
+    fn no_isolated_entities_and_model_valid() {
+        let g = imdb(&MoviesConfig::tiny());
+        assert!(g.entity_ids().all(|n| g.degree(n) > 0));
+        assert!(is_valid(&g));
+        let g2 = imdb_no_chars(&MoviesConfig::tiny());
+        assert!(g2.entity_ids().all(|n| g2.degree(n) > 0));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = imdb(&MoviesConfig::tiny());
+        let b = imdb(&MoviesConfig::tiny());
+        assert_eq!(a.num_edges(), b.num_edges());
+        let mut cfg = MoviesConfig::tiny();
+        cfg.seed = 7;
+        let c = imdb(&cfg);
+        assert_ne!(
+            a.edges().collect::<Vec<_>>(),
+            c.edges().collect::<Vec<_>>(),
+            "different seeds should differ"
+        );
+    }
+
+    #[test]
+    fn chars_have_one_engagement() {
+        let g = imdb(&MoviesConfig::tiny());
+        let ch = g.labels().get("char").unwrap();
+        for &c in g.nodes_of_label(ch) {
+            assert_eq!(g.degree(c), 2, "char connects its actor and film only");
+        }
+    }
+
+    #[test]
+    fn projection_shares_engagements() {
+        let cfg = MoviesConfig::tiny();
+        let with = imdb(&cfg);
+        let without = imdb_no_chars(&cfg);
+        // Every actor–film edge of the projection exists in the full form.
+        let actor = without.labels().get("actor").unwrap();
+        for &a in without.nodes_of_label(actor) {
+            let av = without.value_of(a).unwrap();
+            let a_full = with.entity_by_name("actor", av).unwrap();
+            for f in without.neighbors_with_label(a, without.labels().get("film").unwrap()) {
+                let fv = without.value_of(f).unwrap();
+                let f_full = with.entity_by_name("film", fv).unwrap();
+                assert!(with.has_edge(a_full, f_full));
+            }
+        }
+    }
+
+    #[test]
+    fn zipf_skew_present() {
+        let g = imdb_no_chars(&MoviesConfig::small());
+        let actor = g.labels().get("actor").unwrap();
+        let degrees: Vec<usize> = g
+            .nodes_of_label(actor)
+            .iter()
+            .map(|&a| g.degree(a))
+            .collect();
+        let max = *degrees.iter().max().unwrap();
+        let min = *degrees.iter().min().unwrap();
+        assert!(
+            max >= 5 * min.max(1),
+            "popular actors should dominate: max {max}, min {min}"
+        );
+    }
+}

@@ -1,0 +1,98 @@
+//! Seeded sampling helpers shared by the generators.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic RNG for dataset generation.
+pub fn seeded(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// A Zipf-distributed index sampler over `0..n`: index `i` has weight
+/// `1/(i+1)^exponent`. Real co-starring, citation and publication-count
+/// distributions are heavy-tailed; the generators use this to reproduce
+/// that skew.
+#[derive(Clone, Debug)]
+pub struct ZipfSampler {
+    cumulative: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Builds the sampler. `n` must be positive.
+    pub fn new(n: usize, exponent: f64) -> ZipfSampler {
+        assert!(n > 0, "empty support");
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for i in 0..n {
+            total += 1.0 / ((i + 1) as f64).powf(exponent);
+            cumulative.push(total);
+        }
+        ZipfSampler { cumulative }
+    }
+
+    /// Samples an index in `0..n`.
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let total = *self.cumulative.last().expect("non-empty");
+        let x = rng.random_range(0.0..total);
+        self.cumulative.partition_point(|&c| c <= x)
+    }
+
+    /// Support size.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_is_skewed_and_in_range() {
+        let z = ZipfSampler::new(100, 1.0);
+        let mut rng = seeded(1);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..20_000 {
+            let i = z.sample(&mut rng);
+            assert!(i < 100);
+            counts[i] += 1;
+        }
+        assert!(counts[0] > counts[10] && counts[10] > counts[60]);
+        assert!(counts[0] > 2_000, "head should be heavy, got {}", counts[0]);
+    }
+
+    #[test]
+    fn seeded_is_deterministic() {
+        let z = ZipfSampler::new(50, 1.2);
+        let a: Vec<usize> = {
+            let mut rng = seeded(7);
+            (0..10).map(|_| z.sample(&mut rng)).collect()
+        };
+        let b: Vec<usize> = {
+            let mut rng = seeded(7);
+            (0..10).map(|_| z.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn uniform_exponent_zero() {
+        let z = ZipfSampler::new(4, 0.0);
+        let mut rng = seeded(3);
+        let mut counts = vec![0usize; 4];
+        for _ in 0..8_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!(
+                (1_600..2_400).contains(&c),
+                "roughly uniform, got {counts:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Additional retrieval metrics beyond the paper's nDCG: precision@k and
+//! (mean) average precision, using binarized relevance (level ≥ 1 counts
+//! as relevant). Extensions for richer effectiveness reporting; the §6.2
+//! reproduction itself uses [`crate::ndcg`].
+
+/// Precision@k over graded relevances (binarized at ≥ `threshold`).
+pub fn precision_at_k(returned: &[u8], k: usize, threshold: u8) -> f64 {
+    if k == 0 {
+        return 0.0;
+    }
+    let hits = returned.iter().take(k).filter(|&&r| r >= threshold).count();
+    hits as f64 / k.min(returned.len()).max(1) as f64
+}
+
+/// Average precision of one ranking: the mean of precision@i over the
+/// ranks `i` holding relevant items, normalized by the total number of
+/// relevant items in the pool.
+pub fn average_precision(returned: &[u8], total_relevant: usize, threshold: u8) -> f64 {
+    if total_relevant == 0 {
+        return 0.0;
+    }
+    let mut hits = 0usize;
+    let mut sum = 0.0;
+    for (i, &r) in returned.iter().enumerate() {
+        if r >= threshold {
+            hits += 1;
+            sum += hits as f64 / (i + 1) as f64;
+        }
+    }
+    sum / total_relevant as f64
+}
+
+/// Mean average precision over a workload of `(returned, total_relevant)`
+/// pairs.
+pub fn mean_average_precision(runs: &[(Vec<u8>, usize)], threshold: u8) -> f64 {
+    if runs.is_empty() {
+        return 0.0;
+    }
+    runs.iter()
+        .map(|(ret, total)| average_precision(ret, *total, threshold))
+        .sum::<f64>()
+        / runs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precision_hand_computed() {
+        let returned = [2, 0, 1, 0];
+        assert_eq!(precision_at_k(&returned, 1, 1), 1.0);
+        assert_eq!(precision_at_k(&returned, 2, 1), 0.5);
+        assert_eq!(precision_at_k(&returned, 4, 1), 0.5);
+        // Threshold 2 keeps only the "similar" level.
+        assert_eq!(precision_at_k(&returned, 4, 2), 0.25);
+        assert_eq!(precision_at_k(&returned, 0, 1), 0.0);
+    }
+
+    #[test]
+    fn precision_with_short_lists() {
+        assert_eq!(precision_at_k(&[2], 5, 1), 1.0, "normalize by list length");
+        assert_eq!(precision_at_k(&[], 5, 1), 0.0);
+    }
+
+    #[test]
+    fn average_precision_hand_computed() {
+        // Relevant at ranks 1 and 3 of 2 total: (1/1 + 2/3)/2.
+        let ap = average_precision(&[1, 0, 1, 0], 2, 1);
+        assert!((ap - (1.0 + 2.0 / 3.0) / 2.0).abs() < 1e-12);
+        // Missing one relevant item halves the score.
+        let ap2 = average_precision(&[1, 0, 0, 0], 2, 1);
+        assert!((ap2 - 0.5).abs() < 1e-12);
+        assert_eq!(average_precision(&[1, 1], 0, 1), 0.0);
+    }
+
+    #[test]
+    fn map_averages() {
+        let runs = vec![(vec![1, 0], 1), (vec![0, 1], 1)];
+        // AP₁ = 1.0, AP₂ = 0.5 → MAP = 0.75.
+        assert!((mean_average_precision(&runs, 1) - 0.75).abs() < 1e-12);
+        assert_eq!(mean_average_precision(&[], 1), 0.0);
+    }
+
+    #[test]
+    fn perfect_ranking_scores_one() {
+        let ap = average_precision(&[2, 2, 1, 0, 0], 3, 1);
+        assert!((ap - 1.0).abs() < 1e-12);
+    }
+}

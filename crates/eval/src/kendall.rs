@@ -1,0 +1,190 @@
+//! Normalized Kendall's tau with ties over top-k lists.
+//!
+//! The paper compares the top 3/5/10 answers of an algorithm over a
+//! database and its transformation with the Fagin et al. tau: sum, over
+//! every pair of items in the union of the two lists, a disagreement
+//! penalty — 1 when the pair is ordered oppositely, ½ when it is tied in
+//! exactly one list — and divide by the maximum possible number of
+//! disagreements (`|U|·(|U|−1)/2`). Items absent from a list rank below
+//! all its members and tie with each other. 0 means identical rankings;
+//! 1 means one list reverses the other.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Relative order of a pair within one list.
+#[derive(PartialEq, Clone, Copy, Debug)]
+enum Order {
+    Before,
+    After,
+    Tied,
+}
+
+/// The normalized Kendall tau distance between two score-ranked top-k
+/// lists with the paper's tie penalty of ½. Each list is `(item, score)`
+/// in rank order; equal scores count as ties.
+///
+/// Returns 0.0 for two empty lists.
+///
+/// ```
+/// use repsim_eval::top_k_kendall;
+///
+/// let a = vec![("x", 3.0), ("y", 2.0)];
+/// let reversed = vec![("y", 3.0), ("x", 2.0)];
+/// assert_eq!(top_k_kendall(&a, &a), 0.0);
+/// assert_eq!(top_k_kendall(&a, &reversed), 1.0);
+/// ```
+pub fn top_k_kendall<T: Eq + Hash + Clone>(a: &[(T, f64)], b: &[(T, f64)]) -> f64 {
+    top_k_kendall_with_penalty(a, b, 0.5)
+}
+
+/// Fagin et al.'s `K^(p)` family: the tie penalty is a parameter in
+/// `[0, 1]` — 0 is the optimistic variant, 1 the pessimistic one, ½ the
+/// neutral one the paper uses.
+pub fn top_k_kendall_with_penalty<T: Eq + Hash + Clone>(
+    a: &[(T, f64)],
+    b: &[(T, f64)],
+    penalty_p: f64,
+) -> f64 {
+    assert!((0.0..=1.0).contains(&penalty_p), "penalty must be in [0,1]");
+    let score_a: HashMap<&T, f64> = a.iter().map(|(t, s)| (t, *s)).collect();
+    let score_b: HashMap<&T, f64> = b.iter().map(|(t, s)| (t, *s)).collect();
+    let mut universe: Vec<&T> = a.iter().map(|(t, _)| t).collect();
+    for (t, _) in b {
+        if !score_a.contains_key(t) {
+            universe.push(t);
+        }
+    }
+    let n = universe.len();
+    if n < 2 {
+        return 0.0;
+    }
+
+    let order_in = |scores: &HashMap<&T, f64>, i: &T, j: &T| -> Order {
+        match (scores.get(i), scores.get(j)) {
+            (Some(si), Some(sj)) => {
+                if si > sj {
+                    Order::Before
+                } else if si < sj {
+                    Order::After
+                } else {
+                    Order::Tied
+                }
+            }
+            (Some(_), None) => Order::Before,
+            (None, Some(_)) => Order::After,
+            (None, None) => Order::Tied,
+        }
+    };
+
+    let mut penalty = 0.0;
+    for x in 0..n {
+        for y in (x + 1)..n {
+            let oa = order_in(&score_a, universe[x], universe[y]);
+            let ob = order_in(&score_b, universe[x], universe[y]);
+            penalty += match (oa, ob) {
+                (Order::Tied, Order::Tied) => 0.0,
+                (Order::Tied, _) | (_, Order::Tied) => penalty_p,
+                (x, y) if x == y => 0.0,
+                _ => 1.0,
+            };
+        }
+    }
+    penalty / (n * (n - 1)) as f64 * 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn list(items: &[(&str, f64)]) -> Vec<(String, f64)> {
+        items.iter().map(|&(s, v)| (s.to_owned(), v)).collect()
+    }
+
+    #[test]
+    fn identical_lists_score_zero() {
+        let a = list(&[("x", 3.0), ("y", 2.0), ("z", 1.0)]);
+        assert_eq!(top_k_kendall(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn reversed_lists_score_one() {
+        let a = list(&[("x", 3.0), ("y", 2.0), ("z", 1.0)]);
+        let b = list(&[("z", 3.0), ("y", 2.0), ("x", 1.0)]);
+        assert_eq!(top_k_kendall(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn single_swap() {
+        let a = list(&[("x", 3.0), ("y", 2.0), ("z", 1.0)]);
+        let b = list(&[("y", 3.0), ("x", 2.0), ("z", 1.0)]);
+        // One of three pairs disagrees.
+        assert!((top_k_kendall(&a, &b) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tie_in_one_list_counts_half() {
+        let a = list(&[("x", 2.0), ("y", 2.0)]);
+        let b = list(&[("x", 2.0), ("y", 1.0)]);
+        assert_eq!(top_k_kendall(&a, &b), 0.5);
+        // Tied in both: no penalty.
+        assert_eq!(top_k_kendall(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn disjoint_lists() {
+        // x,y in a only; u,v in b only. Pairs: (x,y): ordered in a, tied
+        // (both absent) in b → ½; (u,v) likewise ½; (x,u),(x,v),(y,u),
+        // (y,v): opposite orders → 1 each. Total 5 over 6 pairs.
+        let a = list(&[("x", 2.0), ("y", 1.0)]);
+        let b = list(&[("u", 2.0), ("v", 1.0)]);
+        assert!((top_k_kendall(&a, &b) - 5.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_overlap() {
+        // a: x>y ; b: y>z. Pairs: (x,y): a says x<y... a: x before y;
+        // b: x absent → y before x → disagree 1. (x,z): a: x before z
+        // (z absent); b: z before x (x absent) → 1. (y,z): a: y before z;
+        // b: y before z → 0. Total 2/3.
+        let a = list(&[("x", 2.0), ("y", 1.0)]);
+        let b = list(&[("y", 2.0), ("z", 1.0)]);
+        assert!((top_k_kendall(&a, &b) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let empty: Vec<(String, f64)> = vec![];
+        assert_eq!(top_k_kendall(&empty, &empty), 0.0);
+        let one = list(&[("x", 1.0)]);
+        assert_eq!(top_k_kendall(&one, &one), 0.0);
+        assert_eq!(top_k_kendall(&one, &empty), 0.0, "one item, no pairs");
+    }
+
+    #[test]
+    fn penalty_parameter_bounds_the_neutral_variant() {
+        let a = list(&[("x", 2.0), ("y", 2.0)]);
+        let b = list(&[("x", 2.0), ("y", 1.0)]);
+        let optimistic = top_k_kendall_with_penalty(&a, &b, 0.0);
+        let neutral = top_k_kendall(&a, &b);
+        let pessimistic = top_k_kendall_with_penalty(&a, &b, 1.0);
+        assert_eq!(optimistic, 0.0);
+        assert_eq!(neutral, 0.5);
+        assert_eq!(pessimistic, 1.0);
+        assert!(optimistic <= neutral && neutral <= pessimistic);
+    }
+
+    #[test]
+    #[should_panic(expected = "penalty must be in")]
+    fn penalty_out_of_range_rejected() {
+        let a = list(&[("x", 1.0)]);
+        let _ = top_k_kendall_with_penalty(&a, &a, 1.5);
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = list(&[("x", 3.0), ("y", 2.0), ("z", 1.0)]);
+        let b = list(&[("y", 9.0), ("w", 5.0), ("x", 1.0)]);
+        assert_eq!(top_k_kendall(&a, &b), top_k_kendall(&b, &a));
+    }
+}

@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+
+//! Evaluation machinery for the §6 experiments.
+//!
+//! * [`kendall`] — normalized Kendall's tau with ties over top-k lists
+//!   (Fagin, Kumar, Mahdian, Sivakumar & Vee, PODS 2004 — the paper's
+//!   ranking-difference metric, penalty ½ for ties, normalized to [0,1]);
+//! * [`ndcg`] — normalized discounted cumulative gain with graded
+//!   relevance (§6.2's effectiveness metric);
+//! * [`ir_metrics`] — precision@k and MAP (extension metrics beyond the
+//!   paper's nDCG);
+//! * [`stats`] — means, variances, and the paired t-test (significance at
+//!   0.05, §6.2's third experiment) with a from-scratch regularized
+//!   incomplete beta for the Student-t CDF;
+//! * [`workload`] — the paper's two query workloads: random entities and
+//!   top entities by degree;
+//! * [`spec`] — a buildable description of every algorithm in the study,
+//!   so experiments can construct the same algorithm over a database and
+//!   its transformation;
+//! * [`runner`] — the robustness experiment: per-query top-k ranking
+//!   differences of an algorithm across a transformation, aggregated as
+//!   mean (variance) exactly as Tables 1–4 report them;
+//! * [`report`] — plain-text table formatting for the repro binaries.
+
+pub mod ir_metrics;
+pub mod kendall;
+pub mod ndcg;
+pub mod report;
+pub mod runner;
+pub mod spec;
+pub mod stats;
+pub mod workload;
+
+pub use kendall::top_k_kendall;
+pub use ndcg::ndcg_at_k;
+pub use runner::{RobustnessResult, RobustnessRunner};
+pub use spec::AlgorithmSpec;

@@ -1,0 +1,77 @@
+//! Normalized discounted cumulative gain (§6.2's effectiveness metric).
+
+/// DCG of a relevance sequence in rank order:
+/// `Σ_i rel_i / log₂(i + 1)` with ranks starting at 1.
+pub fn dcg(relevances: &[u8]) -> f64 {
+    relevances
+        .iter()
+        .enumerate()
+        .map(|(i, &r)| r as f64 / ((i + 2) as f64).log2())
+        .sum()
+}
+
+/// nDCG@k: the DCG of the top-k returned relevances divided by the DCG of
+/// the ideal ordering of the *whole* candidate pool's relevances.
+///
+/// `returned` is the relevance of each returned answer in rank order;
+/// `pool` is the relevance of every candidate (used to form the ideal).
+/// Returns 0 when the ideal DCG is 0 (no relevant candidates exist).
+pub fn ndcg_at_k(returned: &[u8], pool: &[u8], k: usize) -> f64 {
+    let got: Vec<u8> = returned.iter().copied().take(k).collect();
+    let mut ideal: Vec<u8> = pool.to_vec();
+    ideal.sort_unstable_by(|a, b| b.cmp(a));
+    ideal.truncate(k);
+    let denom = dcg(&ideal);
+    if denom == 0.0 {
+        0.0
+    } else {
+        dcg(&got) / denom
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dcg_hand_computed() {
+        // 2/log2(2) + 1/log2(3) + 0 = 2 + 0.6309…
+        let d = dcg(&[2, 1, 0]);
+        assert!((d - (2.0 + 1.0 / 3f64.log2())).abs() < 1e-12);
+        assert_eq!(dcg(&[]), 0.0);
+    }
+
+    #[test]
+    fn perfect_ranking_scores_one() {
+        let pool = [2, 2, 1, 1, 0, 0];
+        assert_eq!(ndcg_at_k(&[2, 2, 1], &pool, 3), 1.0);
+    }
+
+    #[test]
+    fn worst_ranking_scores_zero() {
+        let pool = [2, 2, 1, 0, 0, 0];
+        assert_eq!(ndcg_at_k(&[0, 0, 0], &pool, 3), 0.0);
+    }
+
+    #[test]
+    fn partial_ranking_in_between() {
+        let pool = [2, 1, 0];
+        let v = ndcg_at_k(&[1, 2, 0], &pool, 3);
+        assert!(v > 0.0 && v < 1.0);
+        // Swapping the top two must hurt.
+        assert!(v < ndcg_at_k(&[2, 1, 0], &pool, 3));
+    }
+
+    #[test]
+    fn k_truncates_both_sides() {
+        let pool = [2, 2, 2, 2];
+        // Only the first k entries of the returned list matter.
+        assert_eq!(ndcg_at_k(&[2, 2, 0, 0], &pool, 2), 1.0);
+    }
+
+    #[test]
+    fn empty_pool_yields_zero() {
+        assert_eq!(ndcg_at_k(&[0, 0], &[0, 0], 2), 0.0);
+        assert_eq!(ndcg_at_k(&[], &[], 5), 0.0);
+    }
+}

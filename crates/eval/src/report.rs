@@ -1,0 +1,136 @@
+//! Plain-text table formatting for the reproduction binaries.
+
+/// A simple aligned-text table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A titled table with the given column headers.
+    pub fn new(title: &str, header: &[&str]) -> Table {
+        Table {
+            title: title.to_owned(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (padded or truncated to the header width).
+    pub fn row(&mut self, cells: &[String]) {
+        let mut row: Vec<String> = cells.to_vec();
+        row.resize(self.header.len(), String::new());
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as CSV (RFC-4180-style quoting: fields containing
+    /// commas, quotes, or newlines are double-quoted with quotes doubled).
+    pub fn to_csv(&self) -> String {
+        let quote = |s: &str| -> String {
+            if s.contains([',', '"', '\n']) {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_owned()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .header
+                .iter()
+                .map(|h| quote(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(ncols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            out.push_str(&format!("== {} ==\n", self.title));
+        }
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+                .trim_end()
+                .to_owned()
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("Table 1", &["alg", "k=3", "k=5"]);
+        t.row(&["RWR".into(), ".205 (.026)".into(), ".193".into()]);
+        t.row(&["SimRank".into(), ".190".into(), ".226".into()]);
+        let s = t.render();
+        assert!(s.contains("== Table 1 =="));
+        assert!(s.contains("RWR      .205 (.026)"));
+        assert!(s.lines().count() >= 4);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn csv_export_quotes_when_needed() {
+        let mut t = Table::new("x", &["alg", "note"]);
+        t.row(&["RWR".into(), "mean, variance".into()]);
+        t.row(&["Path\"Sim\"".into(), "plain".into()]);
+        let csv = t.to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("alg,note"));
+        assert_eq!(lines.next(), Some("RWR,\"mean, variance\""));
+        assert_eq!(lines.next(), Some("\"Path\"\"Sim\"\"\",plain"));
+    }
+
+    #[test]
+    fn rows_padded_to_header() {
+        let mut t = Table::new("", &["a", "b", "c"]);
+        t.row(&["1".into()]);
+        let s = t.render();
+        assert!(s.contains('1'));
+    }
+}

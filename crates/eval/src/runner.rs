@@ -1,0 +1,178 @@
+//! The robustness experiment runner (Tables 1–4).
+//!
+//! For each query, run the algorithm over the database and over its
+//! transformation (meta-walk algorithms get the corresponding meta-walk on
+//! each side), compare the value-keyed top-k answer lists with the
+//! normalized Kendall tau, and aggregate mean (variance) per k — the cell
+//! format of Tables 1–4.
+
+use repsim_graph::{Graph, NodeId};
+use repsim_transform::EntityMap;
+
+use crate::kendall::top_k_kendall;
+use crate::spec::AlgorithmSpec;
+use crate::stats::{bootstrap_mean_ci, mean, variance};
+
+/// Per-(algorithm, transformation, workload) robustness measurements.
+#[derive(Debug, Clone)]
+pub struct RobustnessResult {
+    /// Algorithm display name.
+    pub algorithm: String,
+    /// `(k, per-query tau values)` for each requested cutoff.
+    pub per_k: Vec<(usize, Vec<f64>)>,
+}
+
+impl RobustnessResult {
+    /// Mean ranking difference at cutoff `k`.
+    pub fn mean_at(&self, k: usize) -> Option<f64> {
+        self.per_k
+            .iter()
+            .find(|&&(kk, _)| kk == k)
+            .map(|(_, v)| mean(v))
+    }
+
+    /// Variance of the ranking difference at cutoff `k`.
+    pub fn variance_at(&self, k: usize) -> Option<f64> {
+        self.per_k
+            .iter()
+            .find(|&&(kk, _)| kk == k)
+            .map(|(_, v)| variance(v))
+    }
+
+    /// A seeded 95% percentile-bootstrap CI for the mean at cutoff `k`.
+    pub fn ci_at(&self, k: usize) -> Option<(f64, f64)> {
+        self.per_k
+            .iter()
+            .find(|&&(kk, _)| kk == k)
+            .and_then(|(_, v)| bootstrap_mean_ci(v, 1000, 0.05, 0xC1))
+    }
+
+    /// `mean (variance)` cell text, three decimals like the paper.
+    pub fn cell(&self, k: usize) -> String {
+        match (self.mean_at(k), self.variance_at(k)) {
+            (Some(m), Some(v)) => format!("{m:.3} ({v:.3})"),
+            _ => "-".into(),
+        }
+    }
+}
+
+/// Runs robustness experiments between one database and one of its
+/// transformations.
+pub struct RobustnessRunner<'a> {
+    g: &'a Graph,
+    tg: &'a Graph,
+    map: &'a EntityMap,
+}
+
+impl<'a> RobustnessRunner<'a> {
+    /// Binds the runner to a `(D, T(D), M)` triple.
+    pub fn new(g: &'a Graph, tg: &'a Graph, map: &'a EntityMap) -> Self {
+        RobustnessRunner { g, tg, map }
+    }
+
+    /// Measures one algorithm over a query workload at the given top-k
+    /// cutoffs. `spec_d` runs over the original database, `spec_t` over
+    /// the transformed one (they differ only for meta-walk algorithms,
+    /// which need corresponding meta-walks).
+    pub fn run(
+        &self,
+        spec_d: &AlgorithmSpec,
+        spec_t: &AlgorithmSpec,
+        queries: &[NodeId],
+        ks: &[usize],
+    ) -> RobustnessResult {
+        let mut alg_d = spec_d.build(self.g);
+        let mut alg_t = spec_t.build(self.tg);
+        let kmax = ks.iter().copied().max().unwrap_or(0);
+        let mut per_k: Vec<(usize, Vec<f64>)> = ks
+            .iter()
+            .map(|&k| (k, Vec::with_capacity(queries.len())))
+            .collect();
+        for &q in queries {
+            let tq = self
+                .map
+                .map(q)
+                .expect("query-preserving transformations map every entity");
+            let label = self.g.label_of(q);
+            let tlabel = self.tg.label_of(tq);
+            let list_d = alg_d.rank(q, label, kmax).keyed(self.g);
+            let list_t = alg_t.rank(tq, tlabel, kmax).keyed(self.tg);
+            for (k, taus) in &mut per_k {
+                let a: Vec<((String, String), f64)> = list_d
+                    .iter()
+                    .take(*k)
+                    .map(|(l, v, s)| ((l.clone(), v.clone()), *s))
+                    .collect();
+                let b: Vec<((String, String), f64)> = list_t
+                    .iter()
+                    .take(*k)
+                    .map(|(l, v, s)| ((l.clone(), v.clone()), *s))
+                    .collect();
+                taus.push(top_k_kendall(&a, &b));
+            }
+        }
+        RobustnessResult {
+            algorithm: spec_d.name(),
+            per_k,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::Workload;
+    use repsim_datasets::citations::{self, CitationConfig};
+    use repsim_transform::{apply_with_map, catalog};
+
+    #[test]
+    fn rpathsim_measures_zero_difference() {
+        let cfg = CitationConfig::tiny();
+        let g = citations::dblp(&cfg);
+        let (tg, map) = apply_with_map(&*catalog::dblp2snap(), &g).unwrap();
+        let runner = RobustnessRunner::new(&g, &tg, &map);
+        let paper = g.labels().get("paper").unwrap();
+        let queries = Workload::Random { seed: 5 }.queries(&g, paper, 10);
+        let r = runner.run(
+            &AlgorithmSpec::RPathSim {
+                meta_walk: "paper cite paper cite paper".into(),
+            },
+            &AlgorithmSpec::RPathSim {
+                meta_walk: "paper paper paper".into(),
+            },
+            &queries,
+            &[3, 5, 10],
+        );
+        for k in [3, 5, 10] {
+            assert_eq!(r.mean_at(k), Some(0.0), "Theorem 4.3 at k={k}");
+            assert_eq!(r.variance_at(k), Some(0.0));
+            assert_eq!(r.ci_at(k), Some((0.0, 0.0)), "zero data, zero interval");
+        }
+        assert_eq!(r.cell(3), "0.000 (0.000)");
+        assert_eq!(r.cell(99), "-");
+    }
+
+    #[test]
+    fn pathsim_measures_nonzero_difference() {
+        let cfg = CitationConfig::tiny();
+        let g = citations::dblp(&cfg);
+        let (tg, map) = apply_with_map(&*catalog::dblp2snap(), &g).unwrap();
+        let runner = RobustnessRunner::new(&g, &tg, &map);
+        let paper = g.labels().get("paper").unwrap();
+        let queries = Workload::TopDegree.queries(&g, paper, 15);
+        let r = runner.run(
+            &AlgorithmSpec::PathSim {
+                meta_walk: "paper cite paper cite paper".into(),
+            },
+            &AlgorithmSpec::PathSim {
+                meta_walk: "paper paper paper".into(),
+            },
+            &queries,
+            &[3],
+        );
+        assert!(
+            r.mean_at(3).unwrap() > 0.0,
+            "PathSim is not robust under DBLP-SNAP (Figure 4)"
+        );
+    }
+}

@@ -1,0 +1,234 @@
+//! Buildable descriptions of the study's algorithms.
+//!
+//! The robustness runner needs to construct "the same algorithm" over a
+//! database and its transformation. For meta-walk algorithms the two sides
+//! use *corresponding* meta-walks (e.g. `proc paper area paper proc` on
+//! DBLP vs `proc area proc` on SIGMOD Record), so the spec carries the
+//! meta-walk text per side.
+
+use repsim_baselines::{
+    CommonNeighbors, HeteSim, Katz, PathSim, Rwr, SimRank, SimRankMc, SimRankPlusPlus,
+};
+use repsim_core::{find_meta_walk_set, AggregatedScorer, CountingMode, RPathSim};
+use repsim_graph::Graph;
+use repsim_metawalk::{FdSet, MetaWalk};
+
+use repsim_baselines::ranking::SimilarityAlgorithm;
+
+/// A constructible algorithm description.
+#[derive(Clone, Debug)]
+pub enum AlgorithmSpec {
+    /// Random walk with restart (restart 0.8).
+    Rwr,
+    /// Exact SimRank (damping 0.8, 10 iterations).
+    SimRank,
+    /// Monte-Carlo SimRank fingerprints.
+    SimRankMc {
+        /// Fingerprint sampling seed.
+        seed: u64,
+    },
+    /// Truncated Katz-β.
+    Katz,
+    /// Evidence-weighted SimRank (SimRank++).
+    SimRankPlusPlus,
+    /// Common neighbors.
+    CommonNeighbors,
+    /// PathSim over a meta-walk given as parseable text.
+    PathSim {
+        /// The meta-walk, e.g. `"film actor film"`.
+        meta_walk: String,
+    },
+    /// R-PathSim over a meta-walk given as parseable text (may use
+    /// `*label` forms).
+    RPathSim {
+        /// The meta-walk, e.g. `"conf *paper dom kw dom *paper conf"`.
+        meta_walk: String,
+    },
+    /// HeteSim over a symmetric, even-hop meta-walk.
+    HeteSim {
+        /// The meta-walk, e.g. `"film actor film"`.
+        meta_walk: String,
+    },
+    /// Aggregated (R-)PathSim over the Algorithm-1 meta-walk set for the
+    /// given query label.
+    Aggregated {
+        /// Plain (PathSim) or informative (R-PathSim) counting.
+        mode: CountingMode,
+        /// Query label name whose meta-walk set to generate.
+        query_label: String,
+        /// Maximum node-length of the simple meta-walks fed to Algorithm 1.
+        max_len: usize,
+        /// Maximum meta-walk node-length used for FD discovery.
+        fd_max_len: usize,
+    },
+}
+
+impl AlgorithmSpec {
+    /// Display name matching the paper's tables.
+    pub fn name(&self) -> String {
+        match self {
+            AlgorithmSpec::Rwr => "RWR".into(),
+            AlgorithmSpec::SimRank => "SimRank".into(),
+            AlgorithmSpec::SimRankMc { .. } => "SimRank-MC".into(),
+            AlgorithmSpec::Katz => "Katz".into(),
+            AlgorithmSpec::SimRankPlusPlus => "SimRank++".into(),
+            AlgorithmSpec::CommonNeighbors => "CommonNeighbors".into(),
+            AlgorithmSpec::PathSim { .. } => "PathSim".into(),
+            AlgorithmSpec::RPathSim { .. } => "R-PathSim".into(),
+            AlgorithmSpec::HeteSim { .. } => "HeteSim".into(),
+            AlgorithmSpec::Aggregated {
+                mode: CountingMode::Plain,
+                ..
+            } => "PathSim-agg".into(),
+            AlgorithmSpec::Aggregated {
+                mode: CountingMode::Informative,
+                ..
+            } => "R-PathSim-agg".into(),
+        }
+    }
+
+    /// Constructs the algorithm over a database.
+    ///
+    /// # Panics
+    /// On unparseable meta-walks or unknown labels — specs are authored
+    /// alongside the datasets they run on.
+    pub fn build<'g>(&self, g: &'g Graph) -> Box<dyn SimilarityAlgorithm + 'g> {
+        match self {
+            AlgorithmSpec::Rwr => Box::new(Rwr::new(g)),
+            AlgorithmSpec::SimRank => {
+                // Bit-identical to serial, just faster on big graphs.
+                let threads = std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1);
+                Box::new(SimRank::with_threads(g, threads))
+            }
+            AlgorithmSpec::SimRankMc { seed } => Box::new(SimRankMc::new(g, *seed)),
+            AlgorithmSpec::Katz => Box::new(Katz::new(g)),
+            AlgorithmSpec::SimRankPlusPlus => Box::new(SimRankPlusPlus::new(g)),
+            AlgorithmSpec::CommonNeighbors => Box::new(CommonNeighbors::new(g)),
+            AlgorithmSpec::PathSim { meta_walk } => {
+                let mw = MetaWalk::parse_in(g, meta_walk)
+                    .unwrap_or_else(|| panic!("bad meta-walk {meta_walk:?}"));
+                Box::new(PathSim::new(g, mw))
+            }
+            AlgorithmSpec::RPathSim { meta_walk } => {
+                let mw = MetaWalk::parse_in(g, meta_walk)
+                    .unwrap_or_else(|| panic!("bad meta-walk {meta_walk:?}"));
+                Box::new(RPathSim::new(g, mw))
+            }
+            AlgorithmSpec::HeteSim { meta_walk } => {
+                let mw = MetaWalk::parse_in(g, meta_walk)
+                    .unwrap_or_else(|| panic!("bad meta-walk {meta_walk:?}"));
+                Box::new(HeteSim::new(g, mw))
+            }
+            AlgorithmSpec::Aggregated {
+                mode,
+                query_label,
+                max_len,
+                fd_max_len,
+            } => {
+                let label = g
+                    .labels()
+                    .get(query_label)
+                    .unwrap_or_else(|| panic!("unknown label {query_label:?}"));
+                let fds = FdSet::discover(g, *fd_max_len);
+                let mut set = find_meta_walk_set(g, &fds, label, *max_len);
+                if *mode == CountingMode::Plain {
+                    // Plain PathSim has no *-label semantics: strip stars
+                    // (and dedupe the collapsed duplicates).
+                    set = strip_stars(set);
+                }
+                Box::new(AggregatedScorer::new(g, *mode, set))
+            }
+        }
+    }
+}
+
+fn strip_stars(set: Vec<MetaWalk>) -> Vec<MetaWalk> {
+    use repsim_metawalk::Step;
+    let mut out: Vec<MetaWalk> = Vec::new();
+    for mw in set {
+        let steps = mw
+            .steps()
+            .iter()
+            .map(|s| match *s {
+                Step::Entity { label, .. } => Step::Entity { label, star: false },
+                rel => rel,
+            })
+            .collect();
+        let plain = MetaWalk::new(steps);
+        if !out.contains(&plain) {
+            out.push(plain);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use repsim_graph::GraphBuilder;
+
+    fn graph() -> Graph {
+        let mut b = GraphBuilder::new();
+        let film = b.entity_label("film");
+        let actor = b.entity_label("actor");
+        let f1 = b.entity(film, "f1");
+        let f2 = b.entity(film, "f2");
+        let a = b.entity(actor, "a");
+        b.edge(f1, a).unwrap();
+        b.edge(f2, a).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn every_spec_builds_and_ranks() {
+        let g = graph();
+        let film = g.labels().get("film").unwrap();
+        let f1 = g.entity_by_name("film", "f1").unwrap();
+        let specs = [
+            AlgorithmSpec::Rwr,
+            AlgorithmSpec::SimRank,
+            AlgorithmSpec::SimRankMc { seed: 1 },
+            AlgorithmSpec::Katz,
+            AlgorithmSpec::SimRankPlusPlus,
+            AlgorithmSpec::CommonNeighbors,
+            AlgorithmSpec::PathSim {
+                meta_walk: "film actor film".into(),
+            },
+            AlgorithmSpec::RPathSim {
+                meta_walk: "film actor film".into(),
+            },
+            AlgorithmSpec::HeteSim {
+                meta_walk: "film actor film".into(),
+            },
+            AlgorithmSpec::Aggregated {
+                mode: CountingMode::Informative,
+                query_label: "film".into(),
+                max_len: 3,
+                fd_max_len: 3,
+            },
+            AlgorithmSpec::Aggregated {
+                mode: CountingMode::Plain,
+                query_label: "film".into(),
+                max_len: 3,
+                fd_max_len: 3,
+            },
+        ];
+        for spec in specs {
+            let mut alg = spec.build(&g);
+            let list = alg.rank(f1, film, 5);
+            assert_eq!(list.nodes().len(), 1, "{} finds f2", spec.name());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bad meta-walk")]
+    fn bad_meta_walk_panics() {
+        let g = graph();
+        let _ = AlgorithmSpec::PathSim {
+            meta_walk: "ghost walk".into(),
+        }
+        .build(&g);
+    }
+}

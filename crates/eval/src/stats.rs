@@ -1,0 +1,300 @@
+//! Summary statistics and the paired t-test.
+//!
+//! Tables 1–4 report "average ranking differences … variances shown in
+//! parenthesis"; §6.2's third experiment reports significance "according
+//! to the paired t-test at significance level of 0.05". The Student-t CDF
+//! is computed from scratch via the regularized incomplete beta function
+//! (continued fraction, Lentz's method) — no statistics crate needed.
+
+/// A percentile-bootstrap confidence interval for the mean.
+///
+/// Tables 1–4 report mean (variance); a CI communicates the same
+/// uncertainty more directly. Resamples `xs` with replacement
+/// `resamples` times (seeded — deterministic reports) and returns the
+/// `(alpha/2, 1 − alpha/2)` percentiles of the resampled means.
+///
+/// Returns `None` for fewer than two samples.
+pub fn bootstrap_mean_ci(
+    xs: &[f64],
+    resamples: usize,
+    alpha: f64,
+    seed: u64,
+) -> Option<(f64, f64)> {
+    use rand::Rng;
+    use rand::SeedableRng;
+    if xs.len() < 2 || resamples == 0 || !(0.0..1.0).contains(&alpha) {
+        return None;
+    }
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut means = Vec::with_capacity(resamples);
+    for _ in 0..resamples {
+        let total: f64 = (0..xs.len())
+            .map(|_| xs[rng.random_range(0..xs.len())])
+            .sum();
+        means.push(total / xs.len() as f64);
+    }
+    means.sort_by(|a, b| a.partial_cmp(b).expect("finite means"));
+    let lo_idx = ((alpha / 2.0) * resamples as f64) as usize;
+    let hi_idx = (((1.0 - alpha / 2.0) * resamples as f64) as usize).min(resamples - 1);
+    Some((means[lo_idx], means[hi_idx]))
+}
+
+/// Arithmetic mean (0 for an empty slice).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Population variance (0 for fewer than two samples).
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// The result of a paired t-test.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PairedTTest {
+    /// The t statistic of the paired differences.
+    pub t: f64,
+    /// Degrees of freedom (`n − 1`).
+    pub df: usize,
+    /// Two-tailed p-value.
+    pub p_value: f64,
+}
+
+impl PairedTTest {
+    /// Whether the difference is significant at the given level.
+    pub fn significant_at(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// Two-tailed paired t-test of `a` against `b` (equal lengths ≥ 2).
+///
+/// Returns `None` for degenerate inputs (length < 2, mismatched lengths,
+/// or zero variance of the differences with zero mean).
+pub fn paired_t_test(a: &[f64], b: &[f64]) -> Option<PairedTTest> {
+    if a.len() != b.len() || a.len() < 2 {
+        return None;
+    }
+    let diffs: Vec<f64> = a.iter().zip(b).map(|(x, y)| x - y).collect();
+    let n = diffs.len() as f64;
+    let m = mean(&diffs);
+    // Sample standard deviation of the differences.
+    let var = diffs.iter().map(|d| (d - m) * (d - m)).sum::<f64>() / (n - 1.0);
+    if var == 0.0 {
+        return if m == 0.0 {
+            None
+        } else {
+            Some(PairedTTest {
+                t: f64::INFINITY,
+                df: diffs.len() - 1,
+                p_value: 0.0,
+            })
+        };
+    }
+    let t = m / (var / n).sqrt();
+    let df = diffs.len() - 1;
+    let p_value = two_tailed_t_p(t, df);
+    Some(PairedTTest { t, df, p_value })
+}
+
+/// Two-tailed p-value of a t statistic with `df` degrees of freedom:
+/// `p = I_{df/(df+t²)}(df/2, 1/2)`.
+pub fn two_tailed_t_p(t: f64, df: usize) -> f64 {
+    let dff = df as f64;
+    let x = dff / (dff + t * t);
+    regularized_incomplete_beta(dff / 2.0, 0.5, x).clamp(0.0, 1.0)
+}
+
+/// The regularized incomplete beta function `I_x(a, b)` via the standard
+/// continued-fraction expansion (Numerical-Recipes-style `betacf` with
+/// Lentz's method).
+pub fn regularized_incomplete_beta(a: f64, b: f64, x: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&x), "x must be in [0,1]");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x == 1.0 {
+        return 1.0;
+    }
+    let ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let front = ln_front.exp();
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * beta_cf(a, b, x) / a
+    } else {
+        1.0 - front * beta_cf(b, a, 1.0 - x) / b
+    }
+}
+
+fn beta_cf(a: f64, b: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 300;
+    const EPS: f64 = 1e-14;
+    const TINY: f64 = 1e-30;
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < TINY {
+        d = TINY;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        // Even step.
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+/// Lanczos approximation of `ln Γ(x)` for `x > 0`.
+pub fn ln_gamma(x: f64) -> f64 {
+    const G: [f64; 6] = [
+        76.180_091_729_471_46,
+        -86.505_320_329_416_77,
+        24.014_098_240_830_91,
+        -1.231_739_572_450_155,
+        0.120_865_097_386_617_7e-2,
+        -0.539_523_938_495_3e-5,
+    ];
+    assert!(x > 0.0, "ln_gamma needs a positive argument");
+    let mut ser = 1.000_000_000_190_015;
+    let mut y = x;
+    for g in G {
+        y += 1.0;
+        ser += g / y;
+    }
+    let tmp = x + 5.5;
+    (2.506_628_274_631_000_5 * ser / x).ln() - tmp + (x + 0.5) * tmp.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert!((variance(&[1.0, 2.0, 3.0]) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[5.0]), 0.0);
+    }
+
+    #[test]
+    fn bootstrap_ci_brackets_the_mean() {
+        let xs: Vec<f64> = (0..40).map(|i| 0.3 + 0.01 * (i % 7) as f64).collect();
+        let (lo, hi) = bootstrap_mean_ci(&xs, 500, 0.05, 9).unwrap();
+        let m = mean(&xs);
+        assert!(lo <= m && m <= hi, "{lo} ≤ {m} ≤ {hi}");
+        assert!(hi - lo < 0.05, "tight data, tight interval: {lo}..{hi}");
+        // Deterministic under the seed.
+        assert_eq!(bootstrap_mean_ci(&xs, 500, 0.05, 9).unwrap(), (lo, hi));
+    }
+
+    #[test]
+    fn bootstrap_ci_degenerate_inputs() {
+        assert!(bootstrap_mean_ci(&[1.0], 100, 0.05, 1).is_none());
+        assert!(bootstrap_mean_ci(&[1.0, 2.0], 0, 0.05, 1).is_none());
+        assert!(bootstrap_mean_ci(&[1.0, 2.0], 100, 1.5, 1).is_none());
+    }
+
+    #[test]
+    fn ln_gamma_known_values() {
+        // Γ(1) = Γ(2) = 1, Γ(5) = 24.
+        assert!(ln_gamma(1.0).abs() < 1e-9);
+        assert!(ln_gamma(2.0).abs() < 1e-9);
+        assert!((ln_gamma(5.0) - 24f64.ln()).abs() < 1e-9);
+        // Γ(1/2) = √π.
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn incomplete_beta_boundaries_and_symmetry() {
+        assert_eq!(regularized_incomplete_beta(2.0, 3.0, 0.0), 0.0);
+        assert_eq!(regularized_incomplete_beta(2.0, 3.0, 1.0), 1.0);
+        // I_x(1,1) = x.
+        assert!((regularized_incomplete_beta(1.0, 1.0, 0.37) - 0.37).abs() < 1e-10);
+        // Symmetry: I_x(a,b) = 1 − I_{1−x}(b,a).
+        let lhs = regularized_incomplete_beta(2.5, 1.5, 0.3);
+        let rhs = 1.0 - regularized_incomplete_beta(1.5, 2.5, 0.7);
+        assert!((lhs - rhs).abs() < 1e-10);
+    }
+
+    #[test]
+    fn t_distribution_known_quantiles() {
+        // For df=10, t=2.228 is the 97.5th percentile → two-tailed p ≈ .05.
+        let p = two_tailed_t_p(2.228, 10);
+        assert!((p - 0.05).abs() < 2e-3, "got {p}");
+        // t = 0 → p = 1.
+        assert!((two_tailed_t_p(0.0, 5) - 1.0).abs() < 1e-9);
+        // Large t → tiny p.
+        assert!(two_tailed_t_p(10.0, 30) < 1e-6);
+    }
+
+    #[test]
+    fn paired_t_test_detects_shift() {
+        let a = [1.0, 1.2, 0.9, 1.1, 1.05, 0.95, 1.15, 1.0];
+        let b: Vec<f64> = a.iter().map(|x| x - 0.5).collect();
+        let r = paired_t_test(&a, &b).unwrap();
+        assert!(r.significant_at(0.05), "clear shift: {r:?}");
+        assert!(r.t > 0.0);
+    }
+
+    #[test]
+    fn paired_t_test_null_case() {
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let b = [1.1, 1.9, 3.05, 3.95, 5.1, 5.9];
+        let r = paired_t_test(&a, &b).unwrap();
+        assert!(!r.significant_at(0.05), "noise only: {r:?}");
+    }
+
+    #[test]
+    fn paired_t_test_degenerate_inputs() {
+        assert!(paired_t_test(&[1.0], &[2.0]).is_none());
+        assert!(paired_t_test(&[1.0, 2.0], &[1.0]).is_none());
+        assert!(
+            paired_t_test(&[1.0, 2.0], &[1.0, 2.0]).is_none(),
+            "zero diffs"
+        );
+        let r = paired_t_test(&[2.0, 3.0], &[1.0, 2.0]).unwrap();
+        assert_eq!(
+            r.p_value, 0.0,
+            "constant nonzero diff is infinitely significant"
+        );
+    }
+}

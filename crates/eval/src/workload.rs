@@ -1,0 +1,142 @@
+//! Query workloads (§6.1): random entities and top entities by degree.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use repsim_graph::stats::entities_by_degree;
+use repsim_graph::{Graph, LabelId, NodeId};
+
+/// `n` entities of `label` sampled uniformly without replacement,
+/// deterministic in the seed. Sampling is done over the value-sorted node
+/// list so the workload is identical across representations of the same
+/// data.
+pub fn random_entities(g: &Graph, label: LabelId, n: usize, seed: u64) -> Vec<NodeId> {
+    let mut nodes: Vec<NodeId> = g.nodes_of_label(label).to_vec();
+    nodes.sort_by_key(|&a| g.sort_key(a));
+    let mut rng = StdRng::seed_from_u64(seed);
+    nodes.shuffle(&mut rng);
+    nodes.truncate(n);
+    nodes
+}
+
+/// The top `n` entities of `label` by degree (ties broken by value) — the
+/// paper's "top queries" workload.
+pub fn top_degree_entities(g: &Graph, label: LabelId, n: usize) -> Vec<NodeId> {
+    let mut nodes = entities_by_degree(g, label);
+    nodes.truncate(n);
+    nodes
+}
+
+/// The two §6.1 workloads.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Workload {
+    /// Uniformly sampled queries.
+    Random {
+        /// Sampling seed.
+        seed: u64,
+    },
+    /// Highest-degree queries.
+    TopDegree,
+}
+
+impl Workload {
+    /// Materializes the workload over a database.
+    pub fn queries(&self, g: &Graph, label: LabelId, n: usize) -> Vec<NodeId> {
+        match *self {
+            Workload::Random { seed } => random_entities(g, label, n, seed),
+            Workload::TopDegree => top_degree_entities(g, label, n),
+        }
+    }
+
+    /// Display name matching the paper's table headers.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Workload::Random { .. } => "random queries",
+            Workload::TopDegree => "top queries",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use repsim_graph::GraphBuilder;
+
+    fn graph() -> Graph {
+        let mut b = GraphBuilder::new();
+        let film = b.entity_label("film");
+        let actor = b.entity_label("actor");
+        let films: Vec<_> = (0..10).map(|i| b.entity(film, &format!("f{i}"))).collect();
+        let a = b.entity(actor, "a");
+        // f0 the hub, everything else degree 1.
+        for (i, &f) in films.iter().enumerate() {
+            b.edge(f, a).unwrap();
+            if i > 0 {
+                b.edge(films[0], f).unwrap();
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn random_is_deterministic_and_sized() {
+        let g = graph();
+        let film = g.labels().get("film").unwrap();
+        let w1 = random_entities(&g, film, 4, 9);
+        let w2 = random_entities(&g, film, 4, 9);
+        assert_eq!(w1, w2);
+        assert_eq!(w1.len(), 4);
+        let w3 = random_entities(&g, film, 4, 10);
+        assert_ne!(w1, w3, "different seed, different sample");
+        // Oversampling returns everything.
+        assert_eq!(random_entities(&g, film, 100, 9).len(), 10);
+    }
+
+    #[test]
+    fn top_degree_puts_hub_first() {
+        let g = graph();
+        let film = g.labels().get("film").unwrap();
+        let top = top_degree_entities(&g, film, 3);
+        assert_eq!(g.value_of(top[0]), Some("f0"));
+        assert_eq!(top.len(), 3);
+    }
+
+    #[test]
+    fn workload_enum_dispatch() {
+        let g = graph();
+        let film = g.labels().get("film").unwrap();
+        assert_eq!(Workload::TopDegree.queries(&g, film, 2).len(), 2);
+        assert_eq!(Workload::Random { seed: 1 }.queries(&g, film, 2).len(), 2);
+        assert_eq!(Workload::TopDegree.name(), "top queries");
+    }
+
+    #[test]
+    fn random_workload_matches_across_representations() {
+        // Same values in different node orders must sample the same values.
+        let g1 = graph();
+        let mut b = GraphBuilder::new();
+        let film = b.entity_label("film");
+        let actor = b.entity_label("actor");
+        let a = b.entity(actor, "a");
+        // Reverse insertion order.
+        let films: Vec<_> = (0..10)
+            .rev()
+            .map(|i| b.entity(film, &format!("f{i}")))
+            .collect();
+        for &f in &films {
+            b.edge(f, a).unwrap();
+        }
+        let g2 = b.build();
+        let l1 = g1.labels().get("film").unwrap();
+        let l2 = g2.labels().get("film").unwrap();
+        let v1: Vec<_> = random_entities(&g1, l1, 5, 3)
+            .iter()
+            .map(|&n| g1.value_of(n).unwrap().to_owned())
+            .collect();
+        let v2: Vec<_> = random_entities(&g2, l2, 5, 3)
+            .iter()
+            .map(|&n| g2.value_of(n).unwrap().to_owned())
+            .collect();
+        assert_eq!(v1, v2);
+    }
+}

@@ -1,0 +1,101 @@
+//! Biadjacency matrices between label pairs.
+//!
+//! The commuting matrix of a meta-walk `p = (l₁,…,l_k)` is
+//! `M_p = A_{l₁l₂} · A_{l₂l₃} ⋯ A_{l_{k-1}l_k}` (§4.3), where `A_{l_i l_j}`
+//! is the biadjacency matrix between nodes of labels `l_i` and `l_j`. Rows
+//! and columns are indexed by each node's [`crate::Graph::index_in_label`]
+//! position.
+
+use repsim_sparse::Csr;
+
+use crate::graph::Graph;
+use crate::label::LabelId;
+
+/// The biadjacency matrix `A_{from,to}` of a graph.
+///
+/// Entry `(i, j)` is `1.0` iff there is an edge between the `i`-th node of
+/// label `from` and the `j`-th node of label `to`. For `from == to` this is
+/// the (symmetric, zero-diagonal) adjacency among same-label nodes, which is
+/// what makes direct same-label edges — e.g. SNAP's `paper–paper` citation
+/// edges — automatically informative (a simple graph has no self-loops).
+pub fn biadjacency(g: &Graph, from: LabelId, to: LabelId) -> Csr {
+    let rows_nodes = g.nodes_of_label(from);
+    let ncols = g.nodes_of_label(to).len();
+    let mut rows: Vec<Vec<(u32, f64)>> = Vec::with_capacity(rows_nodes.len());
+    for &u in rows_nodes {
+        // Neighbors are sorted by NodeId; label lists are sorted by NodeId,
+        // so index_in_label is increasing along the filtered scan and rows
+        // come out sorted.
+        let row: Vec<(u32, f64)> = g
+            .neighbors(u)
+            .iter()
+            .copied()
+            .filter(|&v| g.label_of(v) == to)
+            .map(|v| (g.index_in_label(v) as u32, 1.0))
+            .collect();
+        rows.push(row);
+    }
+    Csr::from_rows(ncols, &rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn tiny() -> (Graph, LabelId, LabelId) {
+        let mut b = GraphBuilder::new();
+        let actor = b.entity_label("actor");
+        let film = b.entity_label("film");
+        let a0 = b.entity(actor, "a0");
+        let a1 = b.entity(actor, "a1");
+        let f0 = b.entity(film, "f0");
+        let f1 = b.entity(film, "f1");
+        b.edge(a0, f0).unwrap();
+        b.edge(a0, f1).unwrap();
+        b.edge(a1, f1).unwrap();
+        (b.build(), actor, film)
+    }
+
+    #[test]
+    fn cross_label_matrix() {
+        let (g, actor, film) = tiny();
+        let a = biadjacency(&g, actor, film);
+        assert_eq!((a.nrows(), a.ncols()), (2, 2));
+        assert_eq!(a.get(0, 0), 1.0);
+        assert_eq!(a.get(0, 1), 1.0);
+        assert_eq!(a.get(1, 0), 0.0);
+        assert_eq!(a.get(1, 1), 1.0);
+        // Transposed direction.
+        let at = biadjacency(&g, film, actor);
+        assert_eq!(at, a.transpose());
+    }
+
+    #[test]
+    fn same_label_matrix_has_zero_diagonal() {
+        let mut b = GraphBuilder::new();
+        let paper = b.entity_label("paper");
+        let p0 = b.entity(paper, "p0");
+        let p1 = b.entity(paper, "p1");
+        let p2 = b.entity(paper, "p2");
+        b.edge(p0, p1).unwrap();
+        b.edge(p1, p2).unwrap();
+        let g = b.build();
+        let a = biadjacency(&g, paper, paper);
+        assert_eq!(a.diagonal(), vec![0.0; 3]);
+        assert_eq!(a.get(0, 1), 1.0);
+        assert_eq!(a.get(1, 0), 1.0);
+        assert_eq!(a.get(0, 2), 0.0);
+    }
+
+    #[test]
+    fn empty_label_pair() {
+        let (g, actor, _) = tiny();
+        let mut b2 = GraphBuilder::from_graph(&g);
+        let genre = b2.entity_label("genre");
+        let g2 = b2.build();
+        let a = biadjacency(&g2, actor, genre);
+        assert_eq!((a.nrows(), a.ncols()), (2, 0));
+        assert_eq!(a.nnz(), 0);
+    }
+}

@@ -1,0 +1,265 @@
+//! Mutable construction of [`Graph`]s.
+
+use std::collections::HashMap;
+
+use crate::error::GraphError;
+use crate::graph::Graph;
+use crate::ids::NodeId;
+use crate::label::{LabelId, LabelKind, LabelSet};
+
+/// A mutable builder for [`Graph`].
+///
+/// The builder enforces the simple-graph model: self-loops and duplicate
+/// edges are rejected at insertion time. Entities are deduplicated by
+/// `(label, value)` — [`GraphBuilder::entity`] is get-or-insert, which makes
+/// the §3 uniqueness assumption hold by construction.
+#[derive(Default, Debug, Clone)]
+pub struct GraphBuilder {
+    labels: LabelSet,
+    node_labels: Vec<LabelId>,
+    node_values: Vec<Option<String>>,
+    adjacency: Vec<Vec<NodeId>>,
+    entity_lookup: HashMap<(LabelId, String), NodeId>,
+}
+
+impl GraphBuilder {
+    /// A fresh, empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A builder that starts from an existing graph (used by
+    /// transformations that copy most of the structure).
+    pub fn from_graph(g: &Graph) -> Self {
+        GraphBuilder {
+            labels: g.labels.clone(),
+            node_labels: g.node_labels.clone(),
+            node_values: g.node_values.clone(),
+            adjacency: g.node_ids().map(|n| g.neighbors(n).to_vec()).collect(),
+            entity_lookup: g.entity_lookup.clone(),
+        }
+    }
+
+    /// Registers (or finds) a label.
+    pub fn label(&mut self, name: &str, kind: LabelKind) -> LabelId {
+        self.labels.register(name, kind)
+    }
+
+    /// Registers (or finds) an entity label.
+    pub fn entity_label(&mut self, name: &str) -> LabelId {
+        self.label(name, LabelKind::Entity)
+    }
+
+    /// Registers (or finds) a relationship label.
+    pub fn relationship_label(&mut self, name: &str) -> LabelId {
+        self.label(name, LabelKind::Relationship)
+    }
+
+    /// The label registry built so far.
+    pub fn labels(&self) -> &LabelSet {
+        &self.labels
+    }
+
+    /// Number of nodes added so far.
+    pub fn num_nodes(&self) -> usize {
+        self.node_labels.len()
+    }
+
+    /// Gets or inserts the entity with the given label and value.
+    ///
+    /// # Panics
+    /// If `label` is a relationship label.
+    pub fn entity(&mut self, label: LabelId, value: &str) -> NodeId {
+        assert_eq!(
+            self.labels.kind(label),
+            LabelKind::Entity,
+            "entity() called with relationship label {:?}",
+            self.labels.name(label)
+        );
+        if let Some(&n) = self.entity_lookup.get(&(label, value.to_owned())) {
+            return n;
+        }
+        let n = self.push_node(label, Some(value.to_owned()));
+        self.entity_lookup.insert((label, value.to_owned()), n);
+        n
+    }
+
+    /// Inserts a fresh relationship (valueless) node.
+    ///
+    /// # Panics
+    /// If `label` is an entity label.
+    pub fn relationship(&mut self, label: LabelId) -> NodeId {
+        assert_eq!(
+            self.labels.kind(label),
+            LabelKind::Relationship,
+            "relationship() called with entity label {:?}",
+            self.labels.name(label)
+        );
+        self.push_node(label, None)
+    }
+
+    fn push_node(&mut self, label: LabelId, value: Option<String>) -> NodeId {
+        let n = NodeId(self.node_labels.len() as u32);
+        self.node_labels.push(label);
+        self.node_values.push(value);
+        self.adjacency.push(Vec::new());
+        n
+    }
+
+    /// Adds an undirected edge.
+    ///
+    /// Returns an error on self-loops, duplicate edges, or unknown node ids.
+    pub fn edge(&mut self, a: NodeId, b: NodeId) -> Result<(), GraphError> {
+        if a == b {
+            return Err(GraphError::SelfLoop(a));
+        }
+        let n = self.node_labels.len() as u32;
+        for x in [a, b] {
+            if x.0 >= n {
+                return Err(GraphError::UnknownNode(x));
+            }
+        }
+        if self.adjacency[a.index()].contains(&b) {
+            return Err(GraphError::DuplicateEdge(a, b));
+        }
+        self.adjacency[a.index()].push(b);
+        self.adjacency[b.index()].push(a);
+        Ok(())
+    }
+
+    /// Adds an edge if it is not already present (ignores duplicates).
+    ///
+    /// Still returns an error for self-loops and unknown nodes.
+    pub fn edge_dedup(&mut self, a: NodeId, b: NodeId) -> Result<bool, GraphError> {
+        match self.edge(a, b) {
+            Ok(()) => Ok(true),
+            Err(GraphError::DuplicateEdge(..)) => Ok(false),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Whether an edge is already present.
+    pub fn has_edge(&self, a: NodeId, b: NodeId) -> bool {
+        self.adjacency
+            .get(a.index())
+            .is_some_and(|adj| adj.contains(&b))
+    }
+
+    /// Finalizes the builder into an immutable [`Graph`].
+    pub fn build(mut self) -> Graph {
+        for adj in &mut self.adjacency {
+            adj.sort_unstable();
+        }
+        let num_labels = self.labels.len();
+        let mut label_nodes: Vec<Vec<NodeId>> = vec![Vec::new(); num_labels];
+        let mut index_in_label = vec![0u32; self.node_labels.len()];
+        for (i, &l) in self.node_labels.iter().enumerate() {
+            index_in_label[i] = label_nodes[l.index()].len() as u32;
+            label_nodes[l.index()].push(NodeId(i as u32));
+        }
+        let mut adj_offsets = Vec::with_capacity(self.node_labels.len() + 1);
+        let mut adj_targets = Vec::new();
+        adj_offsets.push(0);
+        for adj in &self.adjacency {
+            adj_targets.extend_from_slice(adj);
+            adj_offsets.push(adj_targets.len());
+        }
+        Graph {
+            labels: self.labels,
+            node_labels: self.node_labels,
+            node_values: self.node_values,
+            adj_offsets,
+            adj_targets,
+            label_nodes,
+            index_in_label,
+            entity_lookup: self.entity_lookup,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entity_is_get_or_insert() {
+        let mut b = GraphBuilder::new();
+        let actor = b.entity_label("actor");
+        let a1 = b.entity(actor, "H. Ford");
+        let a2 = b.entity(actor, "H. Ford");
+        let a3 = b.entity(actor, "E. Page");
+        assert_eq!(a1, a2);
+        assert_ne!(a1, a3);
+        assert_eq!(b.num_nodes(), 2);
+    }
+
+    #[test]
+    fn same_value_different_label_is_distinct() {
+        let mut b = GraphBuilder::new();
+        let actor = b.entity_label("actor");
+        let director = b.entity_label("director");
+        let a = b.entity(actor, "Clint Eastwood");
+        let d = b.entity(director, "Clint Eastwood");
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    #[should_panic(expected = "relationship label")]
+    fn entity_with_rel_label_panics() {
+        let mut b = GraphBuilder::new();
+        let cast = b.relationship_label("cast");
+        b.entity(cast, "oops");
+    }
+
+    #[test]
+    #[should_panic(expected = "entity label")]
+    fn relationship_with_entity_label_panics() {
+        let mut b = GraphBuilder::new();
+        let actor = b.entity_label("actor");
+        b.relationship(actor);
+    }
+
+    #[test]
+    fn edge_rejects_self_loop_and_duplicates() {
+        let mut b = GraphBuilder::new();
+        let actor = b.entity_label("actor");
+        let a = b.entity(actor, "A");
+        let c = b.entity(actor, "C");
+        assert_eq!(b.edge(a, a), Err(GraphError::SelfLoop(a)));
+        b.edge(a, c).unwrap();
+        assert_eq!(b.edge(c, a), Err(GraphError::DuplicateEdge(c, a)));
+        assert_eq!(b.edge_dedup(c, a), Ok(false));
+        assert!(b.has_edge(a, c));
+    }
+
+    #[test]
+    fn edge_rejects_unknown_node() {
+        let mut b = GraphBuilder::new();
+        let actor = b.entity_label("actor");
+        let a = b.entity(actor, "A");
+        assert_eq!(
+            b.edge(a, NodeId(9)),
+            Err(GraphError::UnknownNode(NodeId(9)))
+        );
+    }
+
+    #[test]
+    fn from_graph_roundtrip() {
+        let mut b = GraphBuilder::new();
+        let actor = b.entity_label("actor");
+        let film = b.entity_label("film");
+        let a = b.entity(actor, "A");
+        let f = b.entity(film, "F");
+        b.edge(a, f).unwrap();
+        let g = b.build();
+
+        let mut b2 = GraphBuilder::from_graph(&g);
+        let f2 = b2.entity(film, "F2");
+        b2.edge(a, f2).unwrap();
+        let g2 = b2.build();
+        assert_eq!(g2.num_nodes(), 3);
+        assert_eq!(g2.num_edges(), 2);
+        assert!(g2.has_edge(a, f));
+        assert_eq!(g2.entity(film, "F"), Some(f));
+    }
+}

@@ -1,0 +1,61 @@
+//! Error types for graph construction and parsing.
+
+use std::fmt;
+
+use crate::ids::NodeId;
+
+/// Errors raised while building or parsing a graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An edge would connect a node to itself; the model requires a simple
+    /// graph (§4.1).
+    SelfLoop(NodeId),
+    /// An edge was added twice; the model requires a simple graph.
+    DuplicateEdge(NodeId, NodeId),
+    /// A node id referenced a node that does not exist.
+    UnknownNode(NodeId),
+    /// A parse error from [`crate::io`].
+    Parse {
+        /// 1-based line number of the offending input line.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::SelfLoop(n) => write!(f, "self-loop at node {n}"),
+            GraphError::DuplicateEdge(a, b) => write!(f, "duplicate edge {a}-{b}"),
+            GraphError::UnknownNode(n) => write!(f, "unknown node {n}"),
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert_eq!(
+            GraphError::SelfLoop(NodeId(3)).to_string(),
+            "self-loop at node n3"
+        );
+        assert_eq!(
+            GraphError::DuplicateEdge(NodeId(1), NodeId(2)).to_string(),
+            "duplicate edge n1-n2"
+        );
+        let p = GraphError::Parse {
+            line: 4,
+            message: "bad label".into(),
+        };
+        assert!(p.to_string().contains("line 4"));
+    }
+}

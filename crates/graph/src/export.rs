@@ -1,0 +1,136 @@
+//! Interoperability exports: Graphviz DOT and GraphML.
+//!
+//! The native text format ([`crate::io`]) round-trips; these exports are
+//! one-way bridges to visualization (DOT) and external graph tooling
+//! (GraphML). Entities render with their values, relationship nodes as
+//! small unlabeled points.
+
+use std::fmt::Write as _;
+
+use crate::graph::Graph;
+
+/// Escapes a string for a double-quoted DOT identifier.
+fn dot_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Renders the graph in Graphviz DOT format (undirected).
+pub fn to_dot(g: &Graph) -> String {
+    let mut out = String::from("graph repsim {\n  node [fontsize=10];\n");
+    for n in g.node_ids() {
+        let label = g.labels().name(g.label_of(n));
+        match g.value_of(n) {
+            Some(v) => writeln!(
+                out,
+                "  n{} [label=\"{}:{}\", shape=box];",
+                n.0,
+                dot_escape(label),
+                dot_escape(v)
+            )
+            .expect("infallible"),
+            None => writeln!(
+                out,
+                "  n{} [label=\"{}\", shape=point, width=0.12];",
+                n.0,
+                dot_escape(label)
+            )
+            .expect("infallible"),
+        }
+    }
+    for (a, b) in g.edges() {
+        writeln!(out, "  n{} -- n{};", a.0, b.0).expect("infallible");
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Escapes XML text content and attribute values.
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+/// Renders the graph in GraphML with `label` and `value` node attributes.
+pub fn to_graphml(g: &Graph) -> String {
+    let mut out = String::from(
+        "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n\
+         <graphml xmlns=\"http://graphml.graphdrawing.org/xmlns\">\n\
+         <key id=\"label\" for=\"node\" attr.name=\"label\" attr.type=\"string\"/>\n\
+         <key id=\"value\" for=\"node\" attr.name=\"value\" attr.type=\"string\"/>\n\
+         <graph edgedefault=\"undirected\">\n",
+    );
+    for n in g.node_ids() {
+        writeln!(
+            out,
+            "  <node id=\"n{}\"><data key=\"label\">{}</data>{}</node>",
+            n.0,
+            xml_escape(g.labels().name(g.label_of(n))),
+            match g.value_of(n) {
+                Some(v) => format!("<data key=\"value\">{}</data>", xml_escape(v)),
+                None => String::new(),
+            }
+        )
+        .expect("infallible");
+    }
+    for (i, (a, b)) in g.edges().enumerate() {
+        writeln!(
+            out,
+            "  <edge id=\"e{i}\" source=\"n{}\" target=\"n{}\"/>",
+            a.0, b.0
+        )
+        .expect("infallible");
+    }
+    out.push_str("</graph>\n</graphml>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn graph() -> Graph {
+        let mut b = GraphBuilder::new();
+        let film = b.entity_label("film");
+        let st = b.relationship_label("starring");
+        let f = b.entity(film, "He said \"hi\" & left");
+        let s = b.relationship(st);
+        let f2 = b.entity(film, "Other<film>");
+        b.edge(f, s).unwrap();
+        b.edge(s, f2).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn dot_output_shape() {
+        let d = to_dot(&graph());
+        assert!(d.starts_with("graph repsim {"));
+        assert!(d.contains("shape=box"));
+        assert!(d.contains("shape=point"));
+        assert!(d.contains("n0 -- n1;"));
+        assert!(d.contains("\\\"hi\\\""), "quotes escaped: {d}");
+        assert!(d.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn graphml_output_escapes() {
+        let x = to_graphml(&graph());
+        assert!(x.contains("&quot;hi&quot; &amp; left"));
+        assert!(x.contains("Other&lt;film&gt;"));
+        assert!(x.contains("<edge id=\"e0\""));
+        assert!(x.contains("</graphml>"));
+        // Relationship nodes carry no value element.
+        assert!(x.contains("<node id=\"n1\"><data key=\"label\">starring</data></node>"));
+    }
+
+    #[test]
+    fn edge_counts_match() {
+        let g = graph();
+        let d = to_dot(&g);
+        assert_eq!(d.matches(" -- ").count(), g.num_edges());
+        let x = to_graphml(&g);
+        assert_eq!(x.matches("<edge ").count(), g.num_edges());
+    }
+}

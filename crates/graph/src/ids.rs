@@ -1,0 +1,43 @@
+//! Typed index newtypes.
+
+use std::fmt;
+
+/// A node identifier: an index into a [`crate::Graph`]'s node table.
+///
+/// Node ids are an artifact of construction order and are *not* preserved by
+/// transformations; identity across representations is carried by
+/// `(label, value)` pairs (entities are unique per pair, §3).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(NodeId(1) < NodeId(2));
+        assert_eq!(NodeId(7).index(), 7);
+        assert_eq!(format!("{}", NodeId(3)), "n3");
+    }
+}

@@ -1,0 +1,198 @@
+//! A compact line-oriented text format for graph databases.
+//!
+//! The format is designed to be diff-friendly and hand-writable for small
+//! fixtures:
+//!
+//! ```text
+//! # comment
+//! label actor entity
+//! label starring relationship
+//! node 0 actor H. Ford
+//! node 1 starring
+//! edge 0 1
+//! ```
+//!
+//! Node ids in the file are positional and local to the file; `write`
+//! emits nodes in graph order and `read` rebuilds the same structure (up
+//! to node-id renumbering of entity-lookup internals, which are not
+//! observable).
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::builder::GraphBuilder;
+use crate::error::GraphError;
+use crate::graph::Graph;
+use crate::ids::NodeId;
+use crate::label::LabelKind;
+
+/// Serializes a graph to the text format.
+pub fn write(g: &Graph) -> String {
+    let mut out = String::new();
+    for l in g.labels().ids() {
+        let kind = match g.labels().kind(l) {
+            LabelKind::Entity => "entity",
+            LabelKind::Relationship => "relationship",
+        };
+        writeln!(out, "label {} {}", g.labels().name(l), kind).expect("infallible");
+    }
+    for n in g.node_ids() {
+        match g.value_of(n) {
+            Some(v) => writeln!(out, "node {} {} {}", n.0, g.labels().name(g.label_of(n)), v),
+            None => writeln!(out, "node {} {}", n.0, g.labels().name(g.label_of(n))),
+        }
+        .expect("infallible");
+    }
+    for (a, b) in g.edges() {
+        writeln!(out, "edge {} {}", a.0, b.0).expect("infallible");
+    }
+    out
+}
+
+/// Parses a graph from the text format.
+pub fn read(text: &str) -> Result<Graph, GraphError> {
+    let mut b = GraphBuilder::new();
+    let mut id_map: HashMap<u32, NodeId> = HashMap::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        let lineno = i + 1;
+        let err = |message: &str| GraphError::Parse {
+            line: lineno,
+            message: message.to_owned(),
+        };
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.splitn(2, ' ');
+        let verb = parts.next().expect("split yields at least one part");
+        let rest = parts.next().unwrap_or("");
+        match verb {
+            "label" => {
+                let (name, kind) = rest
+                    .split_once(' ')
+                    .ok_or_else(|| err("expected `label <name> <kind>`"))?;
+                let kind = match kind.trim() {
+                    "entity" => LabelKind::Entity,
+                    "relationship" => LabelKind::Relationship,
+                    other => return Err(err(&format!("unknown label kind {other:?}"))),
+                };
+                b.label(name, kind);
+            }
+            "node" => {
+                let (id_str, rest2) = rest
+                    .split_once(' ')
+                    .ok_or_else(|| err("expected `node <id> <label> [value]`"))?;
+                let file_id: u32 = id_str.parse().map_err(|_| err("bad node id"))?;
+                let (label_name, value) = match rest2.split_once(' ') {
+                    Some((l, v)) => (l, Some(v)),
+                    None => (rest2, None),
+                };
+                let label = b
+                    .labels()
+                    .get(label_name)
+                    .ok_or_else(|| err(&format!("unknown label {label_name:?}")))?;
+                let node = match (b.labels().kind(label), value) {
+                    (LabelKind::Entity, Some(v)) => b.entity(label, v),
+                    (LabelKind::Relationship, None) => b.relationship(label),
+                    (LabelKind::Entity, None) => return Err(err("entity node missing value")),
+                    (LabelKind::Relationship, Some(_)) => {
+                        return Err(err("relationship node cannot have a value"))
+                    }
+                };
+                if id_map.insert(file_id, node).is_some() {
+                    return Err(err(&format!("duplicate node id {file_id}")));
+                }
+            }
+            "edge" => {
+                let (a_str, b_str) = rest
+                    .split_once(' ')
+                    .ok_or_else(|| err("expected `edge <a> <b>`"))?;
+                let a_id: u32 = a_str.trim().parse().map_err(|_| err("bad edge endpoint"))?;
+                let b_id: u32 = b_str.trim().parse().map_err(|_| err("bad edge endpoint"))?;
+                let a = *id_map
+                    .get(&a_id)
+                    .ok_or_else(|| err(&format!("edge references unknown node {a_id}")))?;
+                let bb = *id_map
+                    .get(&b_id)
+                    .ok_or_else(|| err(&format!("edge references unknown node {b_id}")))?;
+                b.edge(a, bb).map_err(|e| err(&e.to_string()))?;
+            }
+            other => return Err(err(&format!("unknown directive {other:?}"))),
+        }
+    }
+    Ok(b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn fixture() -> Graph {
+        let mut b = GraphBuilder::new();
+        let actor = b.entity_label("actor");
+        let film = b.entity_label("film");
+        let starring = b.relationship_label("starring");
+        let a = b.entity(actor, "H. Ford");
+        let f = b.entity(film, "Star Wars V");
+        let s = b.relationship(starring);
+        b.edge(a, s).unwrap();
+        b.edge(s, f).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let g = fixture();
+        let text = write(&g);
+        let g2 = read(&text).unwrap();
+        assert_eq!(g2.num_nodes(), g.num_nodes());
+        assert_eq!(g2.num_edges(), g.num_edges());
+        let a = g2.entity_by_name("actor", "H. Ford").unwrap();
+        let f = g2.entity_by_name("film", "Star Wars V").unwrap();
+        assert_eq!(g2.neighbors(a).len(), 1);
+        let s = g2.neighbors(a)[0];
+        assert!(g2.has_edge(s, f));
+        assert_eq!(g2.value_of(s), None);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let g = read("# hi\n\nlabel a entity\nnode 0 a x\n").unwrap();
+        assert_eq!(g.num_nodes(), 1);
+    }
+
+    #[test]
+    fn values_may_contain_spaces() {
+        let g = read("label film entity\nnode 0 film The Empire Strikes Back\n").unwrap();
+        assert!(g
+            .entity_by_name("film", "The Empire Strikes Back")
+            .is_some());
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let e = read("label film entity\nnode 0 film\n").unwrap_err();
+        match e {
+            GraphError::Parse { line, message } => {
+                assert_eq!(line, 2);
+                assert!(message.contains("missing value"));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_directive_and_label() {
+        assert!(read("frobnicate 1 2\n").is_err());
+        assert!(read("node 0 ghost v\n").is_err());
+        assert!(read("label a entity\nnode 0 a x\nnode 0 a y\n").is_err());
+        assert!(read("label a entity\nnode 0 a x\nedge 0 5\n").is_err());
+    }
+
+    #[test]
+    fn rejects_value_on_relationship() {
+        let e = read("label cast relationship\nnode 0 cast oops\n").unwrap_err();
+        assert!(e.to_string().contains("cannot have a value"));
+    }
+}

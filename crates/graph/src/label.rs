@@ -1,0 +1,149 @@
+//! Labels (semantic types) and the label registry.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A label identifier: an index into a [`LabelSet`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LabelId(pub u32);
+
+impl LabelId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for LabelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "l{}", self.0)
+    }
+}
+
+/// Whether a label's nodes carry values (§2.2's partition of `L` into `N`
+/// and `R`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum LabelKind {
+    /// Nodes of this label are entities: they carry a value and can be
+    /// queried for and returned as similarity answers.
+    Entity,
+    /// Nodes of this label are valueless and represent or categorize
+    /// relationships between entities (e.g. `starring`, `cast`, `cite`).
+    Relationship,
+}
+
+/// An interning registry of labels.
+///
+/// Label names are unique; registering an existing name returns the existing
+/// id (and panics if the kind disagrees — a label cannot be both an entity
+/// and a relationship type).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct LabelSet {
+    names: Vec<String>,
+    kinds: Vec<LabelKind>,
+    lookup: HashMap<String, LabelId>,
+}
+
+impl LabelSet {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or finds) a label.
+    ///
+    /// # Panics
+    /// If `name` is already registered with a different kind.
+    pub fn register(&mut self, name: &str, kind: LabelKind) -> LabelId {
+        if let Some(&id) = self.lookup.get(name) {
+            assert_eq!(
+                self.kinds[id.index()],
+                kind,
+                "label {name:?} re-registered with a different kind"
+            );
+            return id;
+        }
+        let id = LabelId(self.names.len() as u32);
+        self.names.push(name.to_owned());
+        self.kinds.push(kind);
+        self.lookup.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Looks up a label by name.
+    pub fn get(&self, name: &str) -> Option<LabelId> {
+        self.lookup.get(name).copied()
+    }
+
+    /// The name of a label.
+    pub fn name(&self, id: LabelId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// The kind of a label.
+    pub fn kind(&self, id: LabelId) -> LabelKind {
+        self.kinds[id.index()]
+    }
+
+    /// Whether a label is an entity label.
+    pub fn is_entity(&self, id: LabelId) -> bool {
+        self.kind(id) == LabelKind::Entity
+    }
+
+    /// Number of registered labels.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no labels are registered.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over all label ids.
+    pub fn ids(&self) -> impl Iterator<Item = LabelId> {
+        (0..self.names.len() as u32).map(LabelId)
+    }
+
+    /// Iterates over entity label ids only.
+    pub fn entity_ids(&self) -> impl Iterator<Item = LabelId> + '_ {
+        self.ids().filter(|&l| self.is_entity(l))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_interns() {
+        let mut s = LabelSet::new();
+        let a = s.register("actor", LabelKind::Entity);
+        let b = s.register("actor", LabelKind::Entity);
+        assert_eq!(a, b);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.name(a), "actor");
+        assert!(s.is_entity(a));
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_conflict_panics() {
+        let mut s = LabelSet::new();
+        s.register("cast", LabelKind::Relationship);
+        s.register("cast", LabelKind::Entity);
+    }
+
+    #[test]
+    fn lookup_and_iteration() {
+        let mut s = LabelSet::new();
+        let a = s.register("actor", LabelKind::Entity);
+        let c = s.register("cast", LabelKind::Relationship);
+        assert_eq!(s.get("actor"), Some(a));
+        assert_eq!(s.get("nope"), None);
+        assert_eq!(s.ids().count(), 2);
+        assert_eq!(s.entity_ids().collect::<Vec<_>>(), vec![a]);
+        assert_eq!(s.kind(c), LabelKind::Relationship);
+    }
+}

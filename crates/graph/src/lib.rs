@@ -1,0 +1,46 @@
+#![warn(missing_docs)]
+
+//! The graph database data model of the paper (§2.2).
+//!
+//! A database `D = (V, E, 𝓛, 𝓐)` is a simple undirected graph whose nodes
+//! carry a *label* (a semantic type such as `actor` or `film`) and, when the
+//! label is an *entity* label, a string *value*. Labels partition into entity
+//! labels `N` and *relationship* labels `R`; nodes with relationship labels
+//! never carry values and exist to represent or categorize relationships
+//! between entities (like Freebase's `starring` or Niagara's `cast` nodes).
+//!
+//! The model assumptions of §2.2 are encoded here:
+//!
+//! * the graph is simple (no self-loops, no parallel edges) — enforced by
+//!   [`GraphBuilder`];
+//! * every entity has a value and no relationship node has one — enforced by
+//!   the type of the construction API;
+//! * no two entities share the same `(label, value)` pair — enforced by
+//!   [`GraphBuilder::entity`]'s get-or-insert semantics;
+//! * every relationship node lies on a simple path between two distinct
+//!   entities — checked by [`validate::validate`].
+//!
+//! [`Graph`] is immutable after construction; transformations build new
+//! graphs. Node order is an internal artifact: anything observable about a
+//! similarity ranking must be derived from labels and values so results stay
+//! comparable across representations.
+
+pub mod biadjacency;
+pub mod builder;
+pub mod error;
+pub mod export;
+pub mod graph;
+pub mod ids;
+pub mod io;
+pub mod label;
+pub mod schema;
+pub mod stats;
+pub mod subgraph;
+pub mod validate;
+
+pub use builder::GraphBuilder;
+pub use error::GraphError;
+pub use graph::Graph;
+pub use ids::NodeId;
+pub use label::{LabelId, LabelKind, LabelSet};
+pub use schema::SchemaGraph;

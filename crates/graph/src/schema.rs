@@ -1,0 +1,162 @@
+//! The schema graph: label-level adjacency derived from an instance.
+//!
+//! Graph databases in the paper's model have no declared schema; algorithms
+//! that need one (meta-walk enumeration, Algorithm 1) derive it from the
+//! instance: labels are schema nodes, and two labels are schema-adjacent iff
+//! some pair of their nodes is adjacent in the database.
+
+use crate::graph::Graph;
+use crate::label::LabelId;
+
+/// Label-level adjacency of a database instance.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SchemaGraph {
+    /// `adj[l]` = sorted list of labels adjacent to label `l`.
+    adj: Vec<Vec<LabelId>>,
+}
+
+impl SchemaGraph {
+    /// Derives the schema graph of an instance.
+    pub fn of(g: &Graph) -> Self {
+        let n = g.labels().len();
+        let mut adj: Vec<Vec<LabelId>> = vec![Vec::new(); n];
+        for (a, b) in g.edges() {
+            let (la, lb) = (g.label_of(a), g.label_of(b));
+            if !adj[la.index()].contains(&lb) {
+                adj[la.index()].push(lb);
+            }
+            if !adj[lb.index()].contains(&la) {
+                adj[lb.index()].push(la);
+            }
+        }
+        for list in &mut adj {
+            list.sort_unstable();
+        }
+        SchemaGraph { adj }
+    }
+
+    /// Labels adjacent to `l` in the schema.
+    pub fn neighbors(&self, l: LabelId) -> &[LabelId] {
+        &self.adj[l.index()]
+    }
+
+    /// Whether two labels are schema-adjacent.
+    pub fn adjacent(&self, a: LabelId, b: LabelId) -> bool {
+        self.adj[a.index()].binary_search(&b).is_ok()
+    }
+
+    /// Number of labels covered (including isolated ones).
+    pub fn num_labels(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// All simple label paths from `from` to `to` of length (node count) at
+    /// most `max_len`, in DFS order.
+    ///
+    /// A simple path visits no label twice. This is the `SimpleMW`
+    /// initialization of Algorithm 1 restricted to a bound, since the number
+    /// of simple paths is exponential in the number of labels (§5.2's
+    /// complexity discussion).
+    pub fn simple_paths(&self, from: LabelId, to: LabelId, max_len: usize) -> Vec<Vec<LabelId>> {
+        let mut out = Vec::new();
+        let mut stack = vec![from];
+        let mut on_path = vec![false; self.adj.len()];
+        on_path[from.index()] = true;
+        self.dfs_paths(to, max_len, &mut stack, &mut on_path, &mut out);
+        out
+    }
+
+    fn dfs_paths(
+        &self,
+        to: LabelId,
+        max_len: usize,
+        stack: &mut Vec<LabelId>,
+        on_path: &mut [bool],
+        out: &mut Vec<Vec<LabelId>>,
+    ) {
+        let cur = *stack.last().expect("non-empty path stack");
+        if cur == to && stack.len() > 1 {
+            out.push(stack.clone());
+            return;
+        }
+        if stack.len() >= max_len {
+            return;
+        }
+        for &next in self.neighbors(cur) {
+            if on_path[next.index()] {
+                continue;
+            }
+            on_path[next.index()] = true;
+            stack.push(next);
+            self.dfs_paths(to, max_len, stack, on_path, out);
+            stack.pop();
+            on_path[next.index()] = false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::label::LabelKind;
+
+    fn mas_like() -> (Graph, [LabelId; 4]) {
+        // paper - conf - dom - kw  (Figure 5b shape)
+        let mut b = GraphBuilder::new();
+        let paper = b.label("paper", LabelKind::Entity);
+        let conf = b.label("conf", LabelKind::Entity);
+        let dom = b.label("dom", LabelKind::Entity);
+        let kw = b.label("kw", LabelKind::Entity);
+        let p = b.entity(paper, "p");
+        let c = b.entity(conf, "c");
+        let d = b.entity(dom, "d");
+        let k = b.entity(kw, "k");
+        b.edge(p, c).unwrap();
+        b.edge(c, d).unwrap();
+        b.edge(d, k).unwrap();
+        (b.build(), [paper, conf, dom, kw])
+    }
+
+    #[test]
+    fn adjacency_derived_from_instance() {
+        let (g, [paper, conf, dom, kw]) = mas_like();
+        let s = SchemaGraph::of(&g);
+        assert!(s.adjacent(paper, conf));
+        assert!(s.adjacent(conf, dom));
+        assert!(!s.adjacent(paper, dom));
+        assert_eq!(s.neighbors(dom), &[conf, kw]);
+        assert_eq!(s.num_labels(), 4);
+    }
+
+    #[test]
+    fn simple_paths_enumeration() {
+        let (g, [paper, _, dom, kw]) = mas_like();
+        let s = SchemaGraph::of(&g);
+        let paths = s.simple_paths(paper, kw, 5);
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0].len(), 4);
+        // Length bound respected.
+        assert!(s.simple_paths(paper, kw, 3).is_empty());
+        // No path to itself (simple, length > 1).
+        assert!(s.simple_paths(dom, dom, 5).is_empty());
+    }
+
+    #[test]
+    fn multiple_paths_in_a_cycle() {
+        // Triangle: a-b, b-c, a-c gives two simple paths a→c.
+        let mut bld = GraphBuilder::new();
+        let la = bld.entity_label("a");
+        let lb = bld.entity_label("b");
+        let lc = bld.entity_label("c");
+        let na = bld.entity(la, "x");
+        let nb = bld.entity(lb, "y");
+        let nc = bld.entity(lc, "z");
+        bld.edge(na, nb).unwrap();
+        bld.edge(nb, nc).unwrap();
+        bld.edge(na, nc).unwrap();
+        let s = SchemaGraph::of(&bld.build());
+        let paths = s.simple_paths(la, lc, 4);
+        assert_eq!(paths.len(), 2);
+    }
+}

@@ -1,0 +1,150 @@
+//! Subgraph extraction utilities.
+//!
+//! Real databases are bigger than any one analysis needs; these helpers
+//! carve out label-restricted or node-restricted views as fresh [`Graph`]s
+//! (the data model is immutable, so a view is a copy — cheap at analysis
+//! scales and safe to transform independently).
+
+use std::collections::HashSet;
+
+use crate::builder::GraphBuilder;
+use crate::graph::Graph;
+use crate::ids::NodeId;
+use crate::label::LabelId;
+
+/// The subgraph induced by all nodes whose label is in `keep`.
+///
+/// Edges survive iff both endpoints survive. Labels not in `keep` remain
+/// registered (empty), so meta-walks parsed against the original label set
+/// still parse.
+pub fn induced_by_labels(g: &Graph, keep: &[LabelId]) -> Graph {
+    let keep: HashSet<LabelId> = keep.iter().copied().collect();
+    induced(g, |n| keep.contains(&g.label_of(n)))
+}
+
+/// The subgraph induced by an explicit node set.
+pub fn induced_by_nodes(g: &Graph, keep: &[NodeId]) -> Graph {
+    let keep: HashSet<NodeId> = keep.iter().copied().collect();
+    induced(g, |n| keep.contains(&n))
+}
+
+/// The ball of radius `hops` around `center` (BFS over all edge types),
+/// induced.
+pub fn neighborhood(g: &Graph, center: NodeId, hops: usize) -> Graph {
+    let mut seen: HashSet<NodeId> = HashSet::from([center]);
+    let mut frontier = vec![center];
+    for _ in 0..hops {
+        let mut next = Vec::new();
+        for &u in &frontier {
+            for &v in g.neighbors(u) {
+                if seen.insert(v) {
+                    next.push(v);
+                }
+            }
+        }
+        frontier = next;
+    }
+    induced(g, |n| seen.contains(&n))
+}
+
+fn induced(g: &Graph, keep: impl Fn(NodeId) -> bool) -> Graph {
+    let mut b = GraphBuilder::new();
+    for l in g.labels().ids() {
+        b.label(g.labels().name(l), g.labels().kind(l));
+    }
+    let ids: Vec<Option<NodeId>> = g
+        .node_ids()
+        .map(|n| {
+            if !keep(n) {
+                return None;
+            }
+            let l = b
+                .labels()
+                .get(g.labels().name(g.label_of(n)))
+                .expect("copied");
+            Some(match g.value_of(n) {
+                Some(v) => b.entity(l, v),
+                None => b.relationship(l),
+            })
+        })
+        .collect();
+    for (x, y) in g.edges() {
+        if let (Some(nx), Some(ny)) = (ids[x.index()], ids[y.index()]) {
+            b.edge(nx, ny).expect("unique edges survive induction");
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label::LabelKind;
+
+    fn graph() -> (Graph, [NodeId; 4]) {
+        let mut b = GraphBuilder::new();
+        let film = b.label("film", LabelKind::Entity);
+        let actor = b.label("actor", LabelKind::Entity);
+        let genre = b.label("genre", LabelKind::Entity);
+        let f = b.entity(film, "f");
+        let a = b.entity(actor, "a");
+        let a2 = b.entity(actor, "a2");
+        let ge = b.entity(genre, "g");
+        b.edge(f, a).unwrap();
+        b.edge(f, ge).unwrap();
+        b.edge(a, a2).unwrap();
+        (b.build(), [f, a, a2, ge])
+    }
+
+    #[test]
+    fn label_induction_drops_foreign_edges() {
+        let (g, _) = graph();
+        let film = g.labels().get("film").unwrap();
+        let actor = g.labels().get("actor").unwrap();
+        let sub = induced_by_labels(&g, &[film, actor]);
+        assert_eq!(sub.num_nodes(), 3);
+        assert_eq!(sub.num_edges(), 2, "film-genre edge gone");
+        assert!(
+            sub.labels().get("genre").is_some(),
+            "label stays registered"
+        );
+        assert!(sub
+            .nodes_of_label(sub.labels().get("genre").unwrap())
+            .is_empty());
+    }
+
+    #[test]
+    fn node_induction() {
+        let (g, [f, a, ..]) = graph();
+        let sub = induced_by_nodes(&g, &[f, a]);
+        assert_eq!(sub.num_nodes(), 2);
+        assert_eq!(sub.num_edges(), 1);
+        assert!(sub.entity_by_name("actor", "a2").is_none());
+    }
+
+    #[test]
+    fn neighborhood_radius() {
+        let (g, [f, a, a2, ge]) = graph();
+        let zero = neighborhood(&g, f, 0);
+        assert_eq!(zero.num_nodes(), 1);
+        let one = neighborhood(&g, f, 1);
+        assert_eq!(one.num_nodes(), 3, "f, a, g");
+        assert!(one.entity_by_name("actor", "a2").is_none());
+        let two = neighborhood(&g, f, 2);
+        assert_eq!(two.num_nodes(), 4);
+        let _ = (a, a2, ge);
+    }
+
+    #[test]
+    fn induced_subgraph_is_self_consistent() {
+        let (g, [f, ..]) = graph();
+        let sub = neighborhood(&g, f, 1);
+        // Every edge endpoint resolves; lookups work.
+        for (x, y) in sub.edges() {
+            assert!(sub.has_edge(x, y));
+        }
+        assert!(crate::validate::validate(&sub)
+            .iter()
+            .all(|v| matches!(v, crate::validate::ModelViolation::IsolatedEntity(_))));
+    }
+}

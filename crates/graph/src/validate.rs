@@ -1,0 +1,162 @@
+//! Model-assumption validation (§2.2).
+//!
+//! [`Graph`]s are structurally simple by construction; the remaining §2.2
+//! assumption — every relationship node lies on a simple path between two
+//! distinct entities — is a semantic property of the data, so it is checked
+//! here as a lint rather than enforced by the builder.
+
+use std::collections::VecDeque;
+
+use crate::graph::Graph;
+use crate::ids::NodeId;
+
+/// A violation of the §2.2 model assumptions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelViolation {
+    /// A relationship node with fewer than two neighbors cannot lie on a
+    /// path between two distinct entities.
+    DanglingRelationshipNode(NodeId),
+    /// A relationship node whose relationship-connected region touches
+    /// fewer than two distinct entities conveys no inter-entity
+    /// information (the `directed-by` connected only to a `film` example).
+    IsolatedRelationshipRegion(NodeId),
+    /// An isolated entity (degree zero). Permitted by the formal model but
+    /// almost always a data error, and invisible to every similarity
+    /// algorithm.
+    IsolatedEntity(NodeId),
+}
+
+/// Checks the §2.2 model assumptions, returning all violations found.
+///
+/// The path condition is checked per relationship-node region: for each
+/// connected component of the subgraph induced by relationship nodes, the
+/// set of entity nodes adjacent to the component must contain at least two
+/// distinct entities. Together with the degree-≥-2 check per node this
+/// matches the paper's condition on all the database shapes used in the
+/// paper (where relationship regions are single nodes or trees of grouping
+/// nodes).
+pub fn validate(g: &Graph) -> Vec<ModelViolation> {
+    let mut violations = Vec::new();
+    let mut visited = vec![false; g.num_nodes()];
+
+    for n in g.node_ids() {
+        if g.is_entity(n) {
+            if g.degree(n) == 0 {
+                violations.push(ModelViolation::IsolatedEntity(n));
+            }
+            continue;
+        }
+        if g.degree(n) < 2 {
+            violations.push(ModelViolation::DanglingRelationshipNode(n));
+        }
+        if visited[n.index()] {
+            continue;
+        }
+        // BFS over the relationship-node region containing n.
+        let mut entities_seen = 0usize;
+        let mut first_entity: Option<NodeId> = None;
+        let mut region = Vec::new();
+        let mut queue = VecDeque::from([n]);
+        visited[n.index()] = true;
+        while let Some(u) = queue.pop_front() {
+            region.push(u);
+            for &v in g.neighbors(u) {
+                if g.is_entity(v) {
+                    if first_entity != Some(v) {
+                        if first_entity.is_none() {
+                            first_entity = Some(v);
+                            entities_seen = 1;
+                        } else {
+                            entities_seen = 2;
+                        }
+                    }
+                } else if !visited[v.index()] {
+                    visited[v.index()] = true;
+                    queue.push_back(v);
+                }
+            }
+        }
+        if entities_seen < 2 {
+            violations.push(ModelViolation::IsolatedRelationshipRegion(n));
+        }
+    }
+    violations
+}
+
+/// Convenience: `validate(g).is_empty()`.
+pub fn is_valid(g: &Graph) -> bool {
+    validate(g).is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    #[test]
+    fn valid_freebase_fragment() {
+        let mut b = GraphBuilder::new();
+        let actor = b.entity_label("actor");
+        let film = b.entity_label("film");
+        let starring = b.relationship_label("starring");
+        let a = b.entity(actor, "H. Ford");
+        let f = b.entity(film, "Star Wars V");
+        let s = b.relationship(starring);
+        b.edge(a, s).unwrap();
+        b.edge(s, f).unwrap();
+        assert!(is_valid(&b.build()));
+    }
+
+    #[test]
+    fn dangling_relationship_detected() {
+        let mut b = GraphBuilder::new();
+        let actor = b.entity_label("actor");
+        let starring = b.relationship_label("starring");
+        let a = b.entity(actor, "H. Ford");
+        let s = b.relationship(starring);
+        b.edge(a, s).unwrap();
+        let v = validate(&b.build());
+        assert!(v.contains(&ModelViolation::DanglingRelationshipNode(s)));
+        assert!(v.contains(&ModelViolation::IsolatedRelationshipRegion(s)));
+    }
+
+    #[test]
+    fn single_entity_region_detected() {
+        // directed-by connected only to one film, twice over a chain.
+        let mut b = GraphBuilder::new();
+        let film = b.entity_label("film");
+        let db = b.relationship_label("directedby");
+        let f = b.entity(film, "F");
+        let r1 = b.relationship(db);
+        let r2 = b.relationship(db);
+        b.edge(f, r1).unwrap();
+        b.edge(r1, r2).unwrap();
+        b.edge(r2, f).unwrap();
+        let v = validate(&b.build());
+        assert_eq!(v, vec![ModelViolation::IsolatedRelationshipRegion(r1)]);
+    }
+
+    #[test]
+    fn isolated_entity_detected() {
+        let mut b = GraphBuilder::new();
+        let actor = b.entity_label("actor");
+        let a = b.entity(actor, "loner");
+        let v = validate(&b.build());
+        assert_eq!(v, vec![ModelViolation::IsolatedEntity(a)]);
+    }
+
+    #[test]
+    fn grouping_region_with_two_entities_is_valid() {
+        // film - cast - actor (Niagara shape): region {cast} touches 2.
+        let mut b = GraphBuilder::new();
+        let actor = b.entity_label("actor");
+        let film = b.entity_label("film");
+        let cast = b.relationship_label("cast");
+        let a = b.entity(actor, "A");
+        let f = b.entity(film, "F");
+        let c = b.relationship(cast);
+        b.edge(f, c).unwrap();
+        b.edge(c, a).unwrap();
+        assert!(is_valid(&b.build()));
+    }
+}

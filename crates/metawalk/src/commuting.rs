@@ -1,0 +1,334 @@
+//! Commuting matrices: counting meta-walk instances with matrix products.
+//!
+//! The commuting matrix of `p = (l₁,…,l_k)` is
+//! `M_p = A_{l₁l₂} · A_{l₂l₃} ⋯ A_{l_{k-1}l_k}` (§4.3); entry `(i, j)`
+//! counts all instances of `p` between the `i`-th node of `l₁` and the
+//! `j`-th node of `l_k` — informative or not.
+//!
+//! R-PathSim restricts to *informative* instances. §4.3 shows the fix: a
+//! sub-meta-walk `s = (l, x₁,…,x_m, l)` that starts and ends with the same
+//! entity label (passing only through relationship labels) produces its
+//! non-informative walks exactly on the diagonal of `M_s`, so using
+//! `M_s − M_s^d` in the product counts only informative walks. We organize
+//! the computation around *hops*: the stretches between consecutive entity
+//! labels. A hop whose endpoint labels are equal gets its diagonal removed
+//! (for direct same-label edges the diagonal is already zero because the
+//! graph is simple, which is why SNAP's `paper–paper–paper` needs no
+//! correction while DBLP's `paper–cite–paper–cite–paper` does).
+//!
+//! §5.2's \*-labels collapse a stretch of the meta-walk to the mere
+//! existence of a connection: the product over every maximal run of
+//! \*-marked entity labels (including its flanking hops) is binarized.
+
+use std::collections::HashMap;
+
+use repsim_graph::biadjacency::biadjacency;
+use repsim_graph::{Graph, LabelId};
+use repsim_sparse::ops::spmm;
+use repsim_sparse::Csr;
+
+use crate::metawalk::MetaWalk;
+
+/// Computes the plain commuting matrix `M_p` (all instances, PathSim's
+/// semantics).
+///
+/// # Panics
+/// If `mw` contains a \*-label (plain PathSim has no \*-label semantics).
+pub fn plain_commuting(g: &Graph, mw: &MetaWalk) -> Csr {
+    assert!(
+        !mw.has_star(),
+        "plain commuting matrices cannot use *-labels"
+    );
+    compute(g, mw, false)
+}
+
+/// Computes the informative commuting matrix `M̂_p` (informative instances
+/// only — R-PathSim's semantics), with \*-segments binarized.
+pub fn informative_commuting(g: &Graph, mw: &MetaWalk) -> Csr {
+    compute(g, mw, true)
+}
+
+fn compute(g: &Graph, mw: &MetaWalk, informative: bool) -> Csr {
+    let steps = mw.steps();
+    let entity_pos: Vec<usize> = (0..steps.len()).filter(|&i| steps[i].is_entity()).collect();
+    debug_assert!(entity_pos.first() == Some(&0));
+    debug_assert!(entity_pos.last() == Some(&(steps.len() - 1)));
+
+    if entity_pos.len() == 1 {
+        // A single-label meta-walk: walks of length zero, one per node.
+        let n = g.nodes_of_label(mw.source()).len();
+        return Csr::identity(n);
+    }
+
+    // Multiply hop matrices, binarizing at the close of each *-run.
+    let mut total: Option<Csr> = None;
+    let mut segment: Option<Csr> = None;
+    let mut segment_has_star = false;
+    for w in entity_pos.windows(2) {
+        let hop = hop_matrix(g, steps[w[0]..=w[1]].iter().map(|s| s.label()), informative);
+        segment = Some(match segment {
+            None => hop,
+            Some(prev) => spmm(&prev, &hop),
+        });
+        let arrived = steps[w[1]];
+        if arrived.is_star() {
+            segment_has_star = true;
+            continue;
+        }
+        // Arrived at a plain entity: close the current segment.
+        let mut seg = segment.take().expect("segment in progress");
+        if segment_has_star {
+            seg = seg.binarized();
+            segment_has_star = false;
+        }
+        total = Some(match total {
+            None => seg,
+            Some(prev) => spmm(&prev, &seg),
+        });
+    }
+    total.expect("at least one hop")
+}
+
+/// The matrix of a single hop `l_i (rels…) l_j`: the product of biadjacency
+/// matrices along the label sequence, with the diagonal removed when the
+/// endpoint labels are equal and `informative` is set.
+fn hop_matrix(g: &Graph, labels: impl IntoIterator<Item = LabelId>, informative: bool) -> Csr {
+    let labels: Vec<LabelId> = labels.into_iter().collect();
+    debug_assert!(labels.len() >= 2);
+    let mut m = biadjacency(g, labels[0], labels[1]);
+    for pair in labels.windows(2).skip(1) {
+        m = spmm(&m, &biadjacency(g, pair[0], pair[1]));
+    }
+    if informative && labels[0] == *labels.last().expect("non-empty hop") {
+        m = m.subtract_diagonal();
+    }
+    m
+}
+
+/// A count lookup against a commuting matrix: `|p(e,f,D)|` or `|p̂(e,f,D)|`
+/// depending on how `m` was computed. `e` must have label `mw.source()` and
+/// `f` label `mw.target()`.
+pub fn count_between(
+    g: &Graph,
+    mw: &MetaWalk,
+    m: &Csr,
+    e: repsim_graph::NodeId,
+    f: repsim_graph::NodeId,
+) -> f64 {
+    assert_eq!(g.label_of(e), mw.source(), "source label mismatch");
+    assert_eq!(g.label_of(f), mw.target(), "target label mismatch");
+    m.get(g.index_in_label(e), g.index_in_label(f))
+}
+
+/// A cache of commuting matrices keyed by meta-walk.
+///
+/// PathSim's implementation pre-computes commuting matrices for short
+/// meta-walks and concatenates them at query time; R-PathSim follows the
+/// same plan (final paragraph of §4.3). The cache makes repeated queries
+/// over the same meta-walk set amortize the matrix chain.
+#[derive(Default)]
+pub struct CommutingCache {
+    plain: HashMap<MetaWalk, Csr>,
+    informative: HashMap<MetaWalk, Csr>,
+}
+
+impl CommutingCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The plain commuting matrix of `mw`, computed on first use.
+    pub fn plain<'a>(&'a mut self, g: &Graph, mw: &MetaWalk) -> &'a Csr {
+        self.plain
+            .entry(mw.clone())
+            .or_insert_with(|| plain_commuting(g, mw))
+    }
+
+    /// The informative commuting matrix of `mw`, computed on first use.
+    pub fn informative<'a>(&'a mut self, g: &Graph, mw: &MetaWalk) -> &'a Csr {
+        self.informative
+            .entry(mw.clone())
+            .or_insert_with(|| informative_commuting(g, mw))
+    }
+
+    /// Number of cached matrices.
+    pub fn len(&self) -> usize {
+        self.plain.len() + self.informative.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::walk;
+    use repsim_graph::{GraphBuilder, NodeId};
+
+    /// Figure 4a: DBLP form with `cite` nodes; p1→p3, p2→p3, p3→p4.
+    fn dblp() -> (Graph, [NodeId; 4]) {
+        let mut b = GraphBuilder::new();
+        let paper = b.entity_label("paper");
+        let cite = b.relationship_label("cite");
+        let p: Vec<NodeId> = (1..=4).map(|i| b.entity(paper, &format!("p{i}"))).collect();
+        for (a, bb) in [(0, 2), (1, 2), (2, 3)] {
+            let c = b.relationship(cite);
+            b.edge(p[a], c).unwrap();
+            b.edge(c, p[bb]).unwrap();
+        }
+        (b.build(), [p[0], p[1], p[2], p[3]])
+    }
+
+    /// Figure 4b: SNAP form with direct paper–paper edges.
+    fn snap() -> (Graph, [NodeId; 4]) {
+        let mut b = GraphBuilder::new();
+        let paper = b.entity_label("paper");
+        let p: Vec<NodeId> = (1..=4).map(|i| b.entity(paper, &format!("p{i}"))).collect();
+        for (a, bb) in [(0, 2), (1, 2), (2, 3)] {
+            b.edge(p[a], p[bb]).unwrap();
+        }
+        (b.build(), [p[0], p[1], p[2], p[3]])
+    }
+
+    #[test]
+    fn matrix_matches_enumeration_plain_and_informative() {
+        let (g, ps) = dblp();
+        let mw = MetaWalk::parse_in(&g, "paper cite paper cite paper").unwrap();
+        let plain = plain_commuting(&g, &mw);
+        let inf = informative_commuting(&g, &mw);
+        for &e in &ps {
+            for &f in &ps {
+                assert_eq!(
+                    count_between(&g, &mw, &plain, e, f),
+                    walk::count_instances(&g, &mw, e, f) as f64,
+                    "plain count mismatch {e:?}->{f:?}"
+                );
+                assert_eq!(
+                    count_between(&g, &mw, &inf, e, f),
+                    walk::count_informative(&g, &mw, e, f) as f64,
+                    "informative count mismatch {e:?}->{f:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn figure4_discrepancy_and_fix() {
+        // PathSim counts 4 (non-informative) walks p3→p4 in DBLP but 0 in
+        // SNAP; informative counts agree (0) — the exact Figure 4 story.
+        let (gd, [_, _, d3, d4]) = dblp();
+        let (gs, [_, _, s3, s4]) = snap();
+        let mwd = MetaWalk::parse_in(&gd, "paper cite paper cite paper").unwrap();
+        let mws = MetaWalk::parse_in(&gs, "paper paper paper").unwrap();
+        let pd = plain_commuting(&gd, &mwd);
+        let ps = plain_commuting(&gs, &mws);
+        assert_eq!(count_between(&gd, &mwd, &pd, d3, d4), 4.0);
+        assert_eq!(count_between(&gs, &mws, &ps, s3, s4), 0.0);
+        let id = informative_commuting(&gd, &mwd);
+        let is_ = informative_commuting(&gs, &mws);
+        assert_eq!(count_between(&gd, &mwd, &id, d3, d4), 0.0);
+        assert_eq!(count_between(&gs, &mws, &is_, s3, s4), 0.0);
+    }
+
+    #[test]
+    fn snap_direct_edges_need_no_correction() {
+        // On the SNAP form, plain == informative: simple graphs have no
+        // self-loops, so same-label direct hops are already informative.
+        let (g, _) = snap();
+        let mw = MetaWalk::parse_in(&g, "paper paper paper").unwrap();
+        assert_eq!(plain_commuting(&g, &mw), informative_commuting(&g, &mw));
+    }
+
+    #[test]
+    fn single_label_meta_walk_is_identity() {
+        let (g, _) = snap();
+        let mw = MetaWalk::parse_in(&g, "paper").unwrap();
+        assert_eq!(plain_commuting(&g, &mw), Csr::identity(4));
+    }
+
+    /// Figure 5a fragment: conf a has 2 papers, conf b has 1; both in dom d
+    /// which has keyword k.
+    fn mas5a() -> Graph {
+        let mut b = GraphBuilder::new();
+        let paper = b.entity_label("paper");
+        let conf = b.entity_label("conf");
+        let dom = b.entity_label("dom");
+        let kw = b.entity_label("kw");
+        let ca = b.entity(conf, "a");
+        let cb = b.entity(conf, "b");
+        let d = b.entity(dom, "d");
+        let k = b.entity(kw, "k");
+        for (i, c) in [(0, ca), (1, ca), (2, cb)] {
+            let p = b.entity(paper, &format!("p{i}"));
+            b.edge(p, c).unwrap();
+            b.edge(p, d).unwrap();
+        }
+        // In Figure 5a, confs reach their domain only through papers.
+        b.edge(d, k).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn star_segment_binarizes() {
+        let g = mas5a();
+        let conf = g.labels().get("conf").unwrap();
+        let ca = g.entity(conf, "a").unwrap();
+        let cb = g.entity(conf, "b").unwrap();
+        // Without the star, conf a reaches dom twice (two papers).
+        let plainw = MetaWalk::parse_in(&g, "conf paper dom").unwrap();
+        let m = informative_commuting(&g, &plainw);
+        assert_eq!(
+            count_between(&g, &plainw, &m, ca, g.entity_by_name("dom", "d").unwrap()),
+            2.0
+        );
+        // With the star, both confs reach dom exactly once.
+        let starw = MetaWalk::parse_in(&g, "conf *paper dom").unwrap();
+        let ms = informative_commuting(&g, &starw);
+        let d = g.entity_by_name("dom", "d").unwrap();
+        assert_eq!(count_between(&g, &starw, &ms, ca, d), 1.0);
+        assert_eq!(count_between(&g, &starw, &ms, cb, d), 1.0);
+        // Full §5.2 meta-walk: conf *paper dom kw dom *paper conf gives the
+        // same count (1) for every conf pair — paper counts no longer bias.
+        let full = MetaWalk::parse_in(&g, "conf *paper dom kw dom *paper conf").unwrap();
+        let mf = informative_commuting(&g, &full);
+        assert_eq!(count_between(&g, &full, &mf, ca, cb), 1.0);
+        assert_eq!(count_between(&g, &full, &mf, ca, ca), 1.0);
+        // And without stars the pair count is biased by paper counts (2*1=2).
+        let fullp = MetaWalk::parse_in(&g, "conf paper dom kw dom paper conf").unwrap();
+        let mp = informative_commuting(&g, &fullp);
+        assert_eq!(count_between(&g, &fullp, &mp, ca, cb), 2.0);
+    }
+
+    #[test]
+    fn star_run_between_same_plain_entities() {
+        // (conf, *paper, conf): connection iff two confs share a paper —
+        // here they never do (each paper has one conf), so off-diagonal is
+        // zero and the diagonal is 1 for confs with at least one paper.
+        let g = mas5a();
+        let mw = MetaWalk::parse_in(&g, "conf *paper conf").unwrap();
+        let m = informative_commuting(&g, &mw);
+        let conf = g.labels().get("conf").unwrap();
+        let ca = g.entity(conf, "a").unwrap();
+        let cb = g.entity(conf, "b").unwrap();
+        assert_eq!(count_between(&g, &mw, &m, ca, ca), 1.0);
+        assert_eq!(count_between(&g, &mw, &m, cb, cb), 1.0);
+        assert_eq!(count_between(&g, &mw, &m, ca, cb), 0.0);
+    }
+
+    #[test]
+    fn cache_reuses_matrices() {
+        let (g, _) = dblp();
+        let mw = MetaWalk::parse_in(&g, "paper cite paper").unwrap();
+        let mut cache = CommutingCache::new();
+        assert!(cache.is_empty());
+        let a = cache.plain(&g, &mw).clone();
+        let b = cache.plain(&g, &mw).clone();
+        assert_eq!(a, b);
+        let _ = cache.informative(&g, &mw);
+        assert_eq!(cache.len(), 2);
+    }
+}

@@ -1,0 +1,153 @@
+//! Content equivalence of meta-walks across databases (Definitions 3, 5).
+//!
+//! Two meta-walks are content equivalent when their instance sets carry the
+//! same multiset of walk *values* (tuples of entity `(label, value)` pairs);
+//! *sufficient* content equivalence restricts to informative instances.
+//! A bijection between equal multisets always exists, so multiset equality
+//! is exactly the definition.
+
+use repsim_graph::Graph;
+
+use crate::metawalk::MetaWalk;
+use crate::walk::instances;
+
+/// The multiset of values of `mw`'s instances in `g`, sorted for
+/// comparison. With `informative_only`, restricts to informative walks
+/// (the `p̂(D)` of Definition 5).
+pub fn value_multiset(
+    g: &Graph,
+    mw: &MetaWalk,
+    informative_only: bool,
+) -> Vec<Vec<(String, String)>> {
+    let mut values: Vec<Vec<(String, String)>> = instances(g, mw)
+        .into_iter()
+        .filter(|w| !informative_only || w.is_informative(g))
+        .map(|w| w.value(g))
+        .collect();
+    values.sort();
+    values
+}
+
+/// Definition 3: `p1 ≡_c.e. p2 [D1, D2]` — all instances carry the same
+/// value multiset.
+pub fn content_equivalent(g1: &Graph, p1: &MetaWalk, g2: &Graph, p2: &MetaWalk) -> bool {
+    value_multiset(g1, p1, false) == value_multiset(g2, p2, false)
+}
+
+/// Definition 5: `p1 ≜_c.e. p2 [D1, D2]` — informative instances carry the
+/// same value multiset.
+pub fn sufficiently_content_equivalent(
+    g1: &Graph,
+    p1: &MetaWalk,
+    g2: &Graph,
+    p2: &MetaWalk,
+) -> bool {
+    value_multiset(g1, p1, true) == value_multiset(g2, p2, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use repsim_graph::{Graph, GraphBuilder};
+
+    /// Figure 1a-style IMDb fragment: actor-film-char triangles.
+    fn imdb() -> Graph {
+        let mut b = GraphBuilder::new();
+        let actor = b.entity_label("actor");
+        let film = b.entity_label("film");
+        let ch = b.entity_label("char");
+        let a = b.entity(actor, "H. Ford");
+        let f = b.entity(film, "SW5");
+        let c = b.entity(ch, "Han Solo");
+        b.edge(a, f).unwrap();
+        b.edge(a, c).unwrap();
+        b.edge(c, f).unwrap();
+        b.build()
+    }
+
+    /// The same information in Freebase form: a starring node.
+    fn freebase() -> Graph {
+        let mut b = GraphBuilder::new();
+        let actor = b.entity_label("actor");
+        let film = b.entity_label("film");
+        let ch = b.entity_label("char");
+        let st = b.relationship_label("starring");
+        let a = b.entity(actor, "H. Ford");
+        let f = b.entity(film, "SW5");
+        let c = b.entity(ch, "Han Solo");
+        let s = b.relationship(st);
+        for n in [a, f, c] {
+            b.edge(n, s).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn corresponding_meta_walks_equivalent_across_representations() {
+        let g1 = imdb();
+        let g2 = freebase();
+        let p1 = MetaWalk::parse_in(&g1, "actor film").unwrap();
+        let p2 = MetaWalk::parse_in(&g2, "actor starring film").unwrap();
+        assert!(content_equivalent(&g1, &p1, &g2, &p2));
+        assert!(sufficiently_content_equivalent(&g1, &p1, &g2, &p2));
+    }
+
+    #[test]
+    fn non_corresponding_meta_walks_differ() {
+        let g1 = imdb();
+        let g2 = freebase();
+        let p1 = MetaWalk::parse_in(&g1, "actor film").unwrap();
+        let p2 = MetaWalk::parse_in(&g2, "actor starring char").unwrap();
+        assert!(!content_equivalent(&g1, &p1, &g2, &p2));
+    }
+
+    #[test]
+    fn sufficient_but_not_full_equivalence() {
+        // (paper,cite,paper,cite,paper) in DBLP form vs (paper,paper,paper)
+        // in SNAP form: the former has non-informative back-and-forth
+        // instances, so full content equivalence fails but the sufficient
+        // (informative-only) version holds — exactly why Definition 5
+        // exists.
+        let mut b = GraphBuilder::new();
+        let paper = b.entity_label("paper");
+        let cite = b.relationship_label("cite");
+        let p1 = b.entity(paper, "p1");
+        let p2 = b.entity(paper, "p2");
+        let p3 = b.entity(paper, "p3");
+        for (a, c) in [(p1, p2), (p2, p3)] {
+            let n = b.relationship(cite);
+            b.edge(a, n).unwrap();
+            b.edge(n, c).unwrap();
+        }
+        let dblp = b.build();
+
+        let mut b = GraphBuilder::new();
+        let paper = b.entity_label("paper");
+        let q1 = b.entity(paper, "p1");
+        let q2 = b.entity(paper, "p2");
+        let q3 = b.entity(paper, "p3");
+        b.edge(q1, q2).unwrap();
+        b.edge(q2, q3).unwrap();
+        let snap = b.build();
+
+        let pd = MetaWalk::parse_in(&dblp, "paper cite paper cite paper").unwrap();
+        let ps = MetaWalk::parse_in(&snap, "paper paper paper").unwrap();
+        assert!(!content_equivalent(&dblp, &pd, &snap, &ps));
+        assert!(sufficiently_content_equivalent(&dblp, &pd, &snap, &ps));
+    }
+
+    #[test]
+    fn value_multiset_is_sorted_and_stable() {
+        let g = imdb();
+        let p = MetaWalk::parse_in(&g, "actor film").unwrap();
+        let v = value_multiset(&g, &p, false);
+        assert_eq!(v.len(), 1);
+        assert_eq!(
+            v[0],
+            vec![
+                ("actor".into(), "H. Ford".into()),
+                ("film".into(), "SW5".into())
+            ]
+        );
+    }
+}

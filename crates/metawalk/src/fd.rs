@@ -1,0 +1,458 @@
+//! Functional dependencies over meta-walks (Definition 8) and maximal
+//! chains (§5.2).
+//!
+//! An FD `l₁ →p l₂` holds when every `l₁`-entity reaches at most one
+//! `l₂`-entity through informative instances of `p`, and every `l₂`-entity
+//! is reached by at least one `l₁`-entity. The binary relation
+//! `A ≺ B ⇔ ∃p. A →p B` orders entity labels; the maximal chains of `≺`
+//! drive Algorithm 1's meta-walk translation, and the paper restricts
+//! attention to databases whose maximal chains are mutually exclusive.
+
+use repsim_graph::{Graph, LabelId, SchemaGraph};
+
+use crate::commuting::informative_commuting;
+use crate::metawalk::MetaWalk;
+
+/// A functional dependency `lhs →via rhs` (Definition 8).
+///
+/// `lhs` and `rhs` are the endpoints of `via`; the paper's simplified FDs
+/// have single entity labels on both sides, which is exactly a meta-walk's
+/// endpoints.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Fd {
+    via: MetaWalk,
+}
+
+impl Fd {
+    /// Wraps a meta-walk as an FD claim. The meta-walk must be plain
+    /// (no \*-labels).
+    pub fn new(via: MetaWalk) -> Fd {
+        assert!(!via.has_star(), "FD meta-walks are plain");
+        Fd { via }
+    }
+
+    /// The determining label (`l₁`).
+    pub fn lhs(&self) -> LabelId {
+        self.via.source()
+    }
+
+    /// The determined label (`l₂`).
+    pub fn rhs(&self) -> LabelId {
+        self.via.target()
+    }
+
+    /// The witnessing meta-walk `p`.
+    pub fn via(&self) -> &MetaWalk {
+        &self.via
+    }
+
+    /// Whether the FD is *direct*: its meta-walk is the single edge
+    /// `(l₁, l₂)` (the paper writes these as bare `l₁ → l₂`).
+    pub fn is_direct(&self) -> bool {
+        self.via.len() == 2
+    }
+
+    /// Checks Definition 8 against a database instance.
+    pub fn holds(&self, g: &Graph) -> bool {
+        let m = informative_commuting(g, &self.via);
+        // Condition 1: each source row reaches at most one distinct target.
+        for r in 0..m.nrows() {
+            if m.row(r).0.len() > 1 {
+                return false;
+            }
+        }
+        // Condition 2: every target column is reached by some source.
+        let mut covered = vec![false; m.ncols()];
+        for (_, c, v) in m.iter() {
+            if v != 0.0 {
+                covered[c] = true;
+            }
+        }
+        covered.into_iter().all(|b| b)
+    }
+}
+
+/// A maximal chain: entity labels totally ordered by `≺`, ascending
+/// (`labels[0]` is `min_≺(S)`, the paper's `l_min`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Chain {
+    /// Chain labels in ascending `≺` order.
+    pub labels: Vec<LabelId>,
+}
+
+impl Chain {
+    /// The `≺`-least label of the chain.
+    pub fn min(&self) -> LabelId {
+        self.labels[0]
+    }
+
+    /// Whether the chain contains a label.
+    pub fn contains(&self, l: LabelId) -> bool {
+        self.labels.contains(&l)
+    }
+}
+
+/// A set of FDs over a database family, with the `(F_L, ≺)` chain
+/// structure of §5.2.
+#[derive(Clone, Debug, Default)]
+pub struct FdSet {
+    fds: Vec<Fd>,
+}
+
+impl FdSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds from explicit FDs (deduplicated by witnessing meta-walk).
+    pub fn from_fds(fds: impl IntoIterator<Item = Fd>) -> FdSet {
+        let mut set = FdSet::new();
+        for fd in fds {
+            set.insert(fd);
+        }
+        set
+    }
+
+    /// Adds an FD if not already present.
+    pub fn insert(&mut self, fd: Fd) {
+        if !self.fds.contains(&fd) {
+            self.fds.push(fd);
+        }
+    }
+
+    /// The FDs.
+    pub fn fds(&self) -> &[Fd] {
+        &self.fds
+    }
+
+    /// Number of FDs.
+    pub fn len(&self) -> usize {
+        self.fds.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.fds.is_empty()
+    }
+
+    /// `A ≺ B`: some FD determines `B` from `A`.
+    pub fn prec(&self, a: LabelId, b: LabelId) -> bool {
+        self.fds.iter().any(|fd| fd.lhs() == a && fd.rhs() == b)
+    }
+
+    /// Whether a *direct* FD relates the two labels in either direction
+    /// (the `𝓛(u) → 𝓛(v)` tests of Definition 9).
+    pub fn direct_between(&self, a: LabelId, b: LabelId) -> bool {
+        self.fds.iter().any(|fd| {
+            fd.is_direct() && ((fd.lhs() == a && fd.rhs() == b) || (fd.lhs() == b && fd.rhs() == a))
+        })
+    }
+
+    /// An FD from `a` to `b`, if any.
+    pub fn find(&self, a: LabelId, b: LabelId) -> Option<&Fd> {
+        self.fds.iter().find(|fd| fd.lhs() == a && fd.rhs() == b)
+    }
+
+    /// Discovers FDs holding in an instance: every schema-simple meta-walk
+    /// between entity labels of node-length at most `max_len` is tested
+    /// against Definition 8.
+    ///
+    /// Trivial empty-label FDs (no instances at all) are excluded.
+    ///
+    /// ```
+    /// use repsim_graph::GraphBuilder;
+    /// use repsim_metawalk::FdSet;
+    ///
+    /// // Two papers in one proceedings: paper → proc but not proc → paper.
+    /// let mut b = GraphBuilder::new();
+    /// let paper = b.entity_label("paper");
+    /// let proc_ = b.entity_label("proc");
+    /// let pr = b.entity(proc_, "sigmod05");
+    /// for v in ["p1", "p2"] {
+    ///     let p = b.entity(paper, v);
+    ///     b.edge(p, pr).unwrap();
+    /// }
+    /// let g = b.build();
+    ///
+    /// let fds = FdSet::discover(&g, 3);
+    /// assert!(fds.prec(paper, proc_));
+    /// assert!(!fds.prec(proc_, paper));
+    /// ```
+    pub fn discover(g: &Graph, max_len: usize) -> FdSet {
+        let all: Vec<LabelId> = g.labels().entity_ids().collect();
+        FdSet::discover_among(g, &all, max_len)
+    }
+
+    /// Like [`FdSet::discover`], but restricted to FDs whose endpoints are
+    /// both in `labels` — the paper's declared `F_L`.
+    ///
+    /// §5.2 requires the maximal chains of `≺` to be mutually exclusive,
+    /// and §6.1.2 achieves this by *choosing* which FDs constitute `F_L`
+    /// (WSU's instructor FDs, for example, are real in the instance but
+    /// excluded so that `{offer, course, subject}` forms a clean chain).
+    /// Cross-representation work (Theorem 5.3) must declare the same
+    /// label scope on both sides; unrestricted discovery can include
+    /// incidental FDs that collapse the chain structure.
+    pub fn discover_among(g: &Graph, labels: &[LabelId], max_len: usize) -> FdSet {
+        let schema = SchemaGraph::of(g);
+        let mut set = FdSet::new();
+        let entity_labels: Vec<LabelId> = labels
+            .iter()
+            .copied()
+            .filter(|&l| g.labels().is_entity(l))
+            .collect();
+        for &from in &entity_labels {
+            for &to in &entity_labels {
+                if from == to {
+                    continue;
+                }
+                for path in schema.simple_paths(from, to, max_len) {
+                    // FD meta-walks must run entity-to-entity; interior
+                    // labels may be anything.
+                    let mw = MetaWalk::from_labels(g.labels(), &path);
+                    let fd = Fd::new(mw);
+                    let m = informative_commuting(g, fd.via());
+                    if m.nnz() == 0 {
+                        continue;
+                    }
+                    if fd.holds(g) {
+                        set.insert(fd);
+                    }
+                }
+            }
+        }
+        set
+    }
+
+    /// The maximal chains of `≺` (§5.2).
+    ///
+    /// Entity labels touched by any FD are grouped into connected components
+    /// of the (undirected) `≺` relation; each component that `≺` totally
+    /// orders is a maximal chain. Components that are not totally ordered
+    /// violate the paper's mutual-exclusivity restriction and are skipped.
+    pub fn chains(&self) -> Vec<Chain> {
+        let mut labels: Vec<LabelId> = Vec::new();
+        for fd in &self.fds {
+            for l in [fd.lhs(), fd.rhs()] {
+                if !labels.contains(&l) {
+                    labels.push(l);
+                }
+            }
+        }
+        // Union-find over the small label set.
+        let mut parent: Vec<usize> = (0..labels.len()).collect();
+        fn find(parent: &mut [usize], i: usize) -> usize {
+            if parent[i] != i {
+                parent[i] = find(parent, parent[i]);
+            }
+            parent[i]
+        }
+        for fd in &self.fds {
+            let a = labels
+                .iter()
+                .position(|&l| l == fd.lhs())
+                .expect("lhs present");
+            let b = labels
+                .iter()
+                .position(|&l| l == fd.rhs())
+                .expect("rhs present");
+            let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+            parent[ra] = rb;
+        }
+        let mut components: Vec<Vec<LabelId>> = Vec::new();
+        let mut roots: Vec<usize> = Vec::new();
+        for (i, &label) in labels.iter().enumerate() {
+            let r = find(&mut parent, i);
+            match roots.iter().position(|&x| x == r) {
+                Some(k) => components[k].push(label),
+                None => {
+                    roots.push(r);
+                    components.push(vec![label]);
+                }
+            }
+        }
+        let mut chains = Vec::new();
+        'comp: for mut comp in components {
+            // Check that ≺ totally orders the component: every pair must be
+            // comparable, and antisymmetrically so (a cyclic ≺ can arise in
+            // degenerate instances where the reverse FD also happens to
+            // hold; such a component is not a chain).
+            for i in 0..comp.len() {
+                for j in (i + 1)..comp.len() {
+                    let fwd = self.prec(comp[i], comp[j]);
+                    let bwd = self.prec(comp[j], comp[i]);
+                    if fwd == bwd {
+                        continue 'comp;
+                    }
+                }
+            }
+            comp.sort_by(|&a, &b| {
+                if a == b {
+                    std::cmp::Ordering::Equal
+                } else if self.prec(a, b) {
+                    std::cmp::Ordering::Less
+                } else {
+                    std::cmp::Ordering::Greater
+                }
+            });
+            chains.push(Chain { labels: comp });
+        }
+        chains
+    }
+
+    /// The chain containing `l`, if any.
+    pub fn chain_of(&self, l: LabelId) -> Option<Chain> {
+        self.chains().into_iter().find(|c| c.contains(l))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use repsim_graph::{Graph, GraphBuilder};
+
+    /// Figure 5a: paper→conf, paper→dom, conf→(conf,paper,dom)→dom.
+    fn mas5a() -> Graph {
+        let mut b = GraphBuilder::new();
+        let paper = b.entity_label("paper");
+        let conf = b.entity_label("conf");
+        let dom = b.entity_label("dom");
+        let kw = b.entity_label("kw");
+        let ca = b.entity(conf, "a");
+        let cb = b.entity(conf, "b");
+        let d1 = b.entity(dom, "d1");
+        let d2 = b.entity(dom, "d2");
+        let k = b.entity(kw, "k");
+        // conf a (dom d1): papers p0, p1; conf b (dom d2): paper p2.
+        for (i, c, d) in [(0, ca, d1), (1, ca, d1), (2, cb, d2)] {
+            let p = b.entity(paper, &format!("p{i}"));
+            b.edge(p, c).unwrap();
+            b.edge(p, d).unwrap();
+        }
+        b.edge(d1, k).unwrap();
+        b.edge(d2, k).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn direct_fds_hold() {
+        let g = mas5a();
+        let pc = Fd::new(MetaWalk::parse_in(&g, "paper conf").unwrap());
+        let pd = Fd::new(MetaWalk::parse_in(&g, "paper dom").unwrap());
+        assert!(pc.holds(&g));
+        assert!(pd.holds(&g));
+        assert!(pc.is_direct());
+        // dom → kw holds here (each dom one kw) but kw → dom does not
+        // (k maps to two domains).
+        let dk = Fd::new(MetaWalk::parse_in(&g, "dom kw").unwrap());
+        let kd = Fd::new(MetaWalk::parse_in(&g, "kw dom").unwrap());
+        assert!(dk.holds(&g));
+        assert!(!kd.holds(&g));
+    }
+
+    #[test]
+    fn composed_fd_holds() {
+        let g = mas5a();
+        let cd = Fd::new(MetaWalk::parse_in(&g, "conf paper dom").unwrap());
+        assert!(cd.holds(&g));
+        assert!(!cd.is_direct());
+        // dom → paper fails: d1 reaches two papers.
+        let dp = Fd::new(MetaWalk::parse_in(&g, "dom paper").unwrap());
+        assert!(!dp.holds(&g));
+    }
+
+    #[test]
+    fn surjectivity_required() {
+        // conf c with no paper: paper→conf still holds rows-wise but
+        // condition 2 (every conf reached) fails.
+        let g = mas5a();
+        let mut b = GraphBuilder::from_graph(&g);
+        let conf = g.labels().get("conf").unwrap();
+        let dom = g.labels().get("dom").unwrap();
+        let cc = b.entity(conf, "c");
+        let d1 = g.entity(dom, "d1").unwrap();
+        b.edge(cc, d1).unwrap();
+        let g2 = b.build();
+        let pc = Fd::new(MetaWalk::parse_in(&g2, "paper conf").unwrap());
+        assert!(!pc.holds(&g2));
+    }
+
+    #[test]
+    fn discover_finds_paper_fds() {
+        let g = mas5a();
+        let set = FdSet::discover(&g, 3);
+        let paper = g.labels().get("paper").unwrap();
+        let conf = g.labels().get("conf").unwrap();
+        let dom = g.labels().get("dom").unwrap();
+        assert!(set.prec(paper, conf));
+        assert!(set.prec(paper, dom));
+        assert!(set.prec(conf, dom));
+        assert!(!set.prec(dom, paper));
+        assert!(set.direct_between(paper, conf));
+        assert!(set.find(conf, dom).is_some());
+    }
+
+    /// Figure 7a (WSU): offers connect to a course and a subject; FDs are
+    /// offer→course, offer→subject and course→(course,offer,subject)→subject,
+    /// and none of the reverses hold.
+    fn wsu7a() -> Graph {
+        let mut b = GraphBuilder::new();
+        let offer = b.entity_label("offer");
+        let course = b.entity_label("course");
+        let subject = b.entity_label("subject");
+        let s1 = b.entity(subject, "s1");
+        let s2 = b.entity(subject, "s2");
+        let c1 = b.entity(course, "c1");
+        let c2 = b.entity(course, "c2");
+        let c3 = b.entity(course, "c3");
+        // c1, c2 in s1 (so subject→course fails); c1 has two offers (so
+        // course→offer fails).
+        for (i, c, s) in [(0, c1, s1), (1, c1, s1), (2, c2, s1), (3, c3, s2)] {
+            let o = b.entity(offer, &format!("o{i}"));
+            b.edge(o, c).unwrap();
+            b.edge(o, s).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn chains_of_wsu() {
+        let g = wsu7a();
+        let set = FdSet::discover(&g, 3);
+        let offer = g.labels().get("offer").unwrap();
+        let course = g.labels().get("course").unwrap();
+        let subject = g.labels().get("subject").unwrap();
+        assert!(set.prec(offer, course));
+        assert!(set.prec(offer, subject));
+        assert!(set.prec(course, subject));
+        assert!(!set.prec(course, offer));
+        assert!(!set.prec(subject, course));
+        let chains = set.chains();
+        assert_eq!(chains.len(), 1);
+        let chain = &chains[0];
+        assert_eq!(chain.labels, vec![offer, course, subject]);
+        assert_eq!(chain.min(), offer);
+        assert_eq!(set.chain_of(course).unwrap(), chain.clone());
+        assert!(set.chain_of(g.labels().get("offer").unwrap()).is_some());
+    }
+
+    #[test]
+    fn no_fds_no_chains() {
+        // A pure many-to-many bipartite graph has no FDs.
+        let mut b = GraphBuilder::new();
+        let actor = b.entity_label("actor");
+        let film = b.entity_label("film");
+        let a0 = b.entity(actor, "a0");
+        let a1 = b.entity(actor, "a1");
+        let f0 = b.entity(film, "f0");
+        let f1 = b.entity(film, "f1");
+        for (a, f) in [(a0, f0), (a0, f1), (a1, f0), (a1, f1)] {
+            b.edge(a, f).unwrap();
+        }
+        let g = b.build();
+        let set = FdSet::discover(&g, 3);
+        assert!(set.is_empty());
+        assert!(set.chains().is_empty());
+    }
+}

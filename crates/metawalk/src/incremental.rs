@@ -1,0 +1,303 @@
+//! Incremental maintenance of informative commuting matrices under edge
+//! updates.
+//!
+//! Production databases change; recomputing a meta-walk's commuting matrix
+//! from scratch per edge insertion wastes the chain's cost. Because the
+//! informative correction is *linear* (`D(X) = X − diag(X)`), a star-free
+//! commuting matrix is a product of hop matrices `M̂ = H₀·H₁⋯H_{k−1}` where
+//! each `Hᵢ` depends linearly on the biadjacency factors inside it. An edge
+//! change therefore updates `M̂` by telescoped deltas:
+//!
+//! ```text
+//! ΔP₀ = 0,   ΔP_{i+1} = ΔPᵢ·Hᵢ + Pᵢ·ΔHᵢ + ΔPᵢ·ΔHᵢ,   ΔM̂ = ΔP_k
+//! ```
+//!
+//! with `Pᵢ = H₀⋯H_{i−1}` cached. `ΔHᵢ` is recomputed only for hops whose
+//! label pair touches the changed edge, and products against sparse deltas
+//! are cheap. \*-labels binarize segments — not linear — so they are
+//! rejected; the aggregated scorers recompute those (rare) walks instead.
+//!
+//! Correctness is asserted against full recomputation after random update
+//! sequences in the unit tests and `tests/properties.rs`-style checks.
+
+use repsim_graph::biadjacency::biadjacency;
+use repsim_graph::{Graph, LabelId};
+use repsim_sparse::ops::spmm;
+use repsim_sparse::Csr;
+
+use crate::metawalk::MetaWalk;
+
+/// One hop of the meta-walk: the label sequence between two consecutive
+/// entity positions.
+#[derive(Clone, Debug)]
+struct Hop {
+    labels: Vec<LabelId>,
+    subtract_diag: bool,
+}
+
+impl Hop {
+    fn touches(&self, a: LabelId, b: LabelId) -> bool {
+        self.labels
+            .windows(2)
+            .any(|w| (w[0] == a && w[1] == b) || (w[0] == b && w[1] == a))
+    }
+
+    fn compute(&self, g: &Graph) -> Csr {
+        let mut m = biadjacency(g, self.labels[0], self.labels[1]);
+        for pair in self.labels.windows(2).skip(1) {
+            m = spmm(&m, &biadjacency(g, pair[0], pair[1]));
+        }
+        if self.subtract_diag {
+            m = m.subtract_diagonal();
+        }
+        m
+    }
+}
+
+/// A maintained informative commuting matrix.
+pub struct IncrementalCommuting {
+    mw: MetaWalk,
+    hops: Vec<Hop>,
+    hop_mats: Vec<Csr>,
+    /// `prefix[i] = H₀⋯H_{i−1}`; `prefix[hops.len()]` is the matrix itself.
+    prefix: Vec<Csr>,
+}
+
+impl IncrementalCommuting {
+    /// Builds the matrix and its prefix cache.
+    ///
+    /// # Panics
+    /// If `mw` contains a \*-label (binarization is not linear, so those
+    /// walks cannot be maintained incrementally) or consists of a single
+    /// label.
+    pub fn new(g: &Graph, mw: MetaWalk) -> Self {
+        assert!(
+            !mw.has_star(),
+            "*-label meta-walks cannot be maintained incrementally"
+        );
+        let steps = mw.steps();
+        let entity_pos: Vec<usize> = (0..steps.len()).filter(|&i| steps[i].is_entity()).collect();
+        assert!(entity_pos.len() >= 2, "need at least one hop");
+        let hops: Vec<Hop> = entity_pos
+            .windows(2)
+            .map(|w| {
+                let labels: Vec<LabelId> = steps[w[0]..=w[1]].iter().map(|s| s.label()).collect();
+                let subtract_diag = labels[0] == *labels.last().expect("non-empty");
+                Hop {
+                    labels,
+                    subtract_diag,
+                }
+            })
+            .collect();
+        let hop_mats: Vec<Csr> = hops.iter().map(|h| h.compute(g)).collect();
+        let mut prefix = Vec::with_capacity(hop_mats.len() + 1);
+        prefix.push(Csr::identity(hop_mats[0].nrows()));
+        for h in &hop_mats {
+            let last = prefix.last().expect("seeded");
+            prefix.push(spmm(last, h));
+        }
+        IncrementalCommuting {
+            mw,
+            hops,
+            hop_mats,
+            prefix,
+        }
+    }
+
+    /// The maintained matrix `M̂_p`.
+    pub fn matrix(&self) -> &Csr {
+        self.prefix.last().expect("non-empty")
+    }
+
+    /// The meta-walk.
+    pub fn meta_walk(&self) -> &MetaWalk {
+        &self.mw
+    }
+
+    /// Applies an edge change: `g_new` is the database after inserting or
+    /// deleting one edge between labels `a` and `b`. Node sets must be
+    /// unchanged (matrix dimensions are fixed at construction).
+    ///
+    /// Hops not touching `(a, b)` keep their matrices; everything
+    /// downstream updates via sparse delta propagation.
+    pub fn apply_edge_change(&mut self, g_new: &Graph, a: LabelId, b: LabelId) {
+        // The maintained matrices are dimensioned by the node set at
+        // construction; guard every hop (touched or not) so a node-set
+        // change cannot silently desynchronize the cache.
+        for (hop, mat) in self.hops.iter().zip(&self.hop_mats) {
+            let rows = g_new.nodes_of_label(hop.labels[0]).len();
+            let cols = g_new
+                .nodes_of_label(*hop.labels.last().expect("non-empty hop"))
+                .len();
+            assert_eq!(
+                (rows, cols),
+                (mat.nrows(), mat.ncols()),
+                "node sets must not change under incremental updates"
+            );
+        }
+        let mut delta_prefix: Option<Csr> = None; // None = zero so far
+        for i in 0..self.hops.len() {
+            let delta_h: Option<Csr> = if self.hops[i].touches(a, b) {
+                let new_h = self.hops[i].compute(g_new);
+                assert_eq!(
+                    (new_h.nrows(), new_h.ncols()),
+                    (self.hop_mats[i].nrows(), self.hop_mats[i].ncols()),
+                    "node sets must not change under incremental updates"
+                );
+                let d = new_h.sub(&self.hop_mats[i]);
+                self.hop_mats[i] = new_h;
+                if d.nnz() == 0 {
+                    None
+                } else {
+                    Some(d)
+                }
+            } else {
+                None
+            };
+
+            // ΔP_{i+1} = ΔP_i·H_i^new + P_i^old·ΔH_i. At this point
+            // `hop_mats[i]` holds H_i^new and `prefix[i]` already holds
+            // P_i^new (updated in the previous iteration), so the second
+            // term needs P_i^old = P_i^new − ΔP_i.
+            let next = match (&delta_prefix, &delta_h) {
+                (None, None) => None,
+                (Some(dp), None) => Some(spmm(dp, &self.hop_mats[i])),
+                (None, Some(dh)) => Some(spmm(&self.prefix[i], dh)),
+                (Some(dp), Some(dh)) => {
+                    let prefix_old = self.prefix[i].sub(dp);
+                    Some(spmm(dp, &self.hop_mats[i]).add(&spmm(&prefix_old, dh)))
+                }
+            };
+            if let Some(ref d) = next {
+                self.prefix[i + 1] = self.prefix[i + 1].add(d).pruned();
+            }
+            delta_prefix = next;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::commuting::informative_commuting;
+    use repsim_graph::{GraphBuilder, NodeId};
+
+    /// The citation fixture plus an API for adding/removing one edge pair.
+    fn base() -> (Graph, Vec<NodeId>) {
+        let mut b = GraphBuilder::new();
+        let paper = b.entity_label("paper");
+        let cite = b.relationship_label("cite");
+        let p: Vec<NodeId> = (0..6).map(|i| b.entity(paper, &format!("p{i}"))).collect();
+        for (x, y) in [(0, 2), (1, 2), (2, 3)] {
+            let c = b.relationship(cite);
+            b.edge(p[x], c).unwrap();
+            b.edge(c, p[y]).unwrap();
+        }
+        // Pre-create spare cite nodes so later "insertions" only add edges
+        // (the incremental API fixes the node set).
+        for (x, y) in [(3, 4), (4, 5)] {
+            let c = b.relationship(cite);
+            b.edge(p[x], c).unwrap();
+            b.edge(c, p[y]).unwrap();
+        }
+        (b.build(), p)
+    }
+
+    /// Rebuilds the graph with one extra paper–cite edge (same node set).
+    fn with_extra_edge(g: &Graph, paper_value: &str, cite_index: usize) -> Graph {
+        let mut b = GraphBuilder::from_graph(g);
+        let cite = g.labels().get("cite").unwrap();
+        let target = g.nodes_of_label(cite)[cite_index];
+        let p = g.entity_by_name("paper", paper_value).unwrap();
+        b.edge(p, target).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn matches_full_recompute_after_insertion() {
+        let (g, _) = base();
+        let mw = MetaWalk::parse_in(&g, "paper cite paper cite paper").unwrap();
+        let mut inc = IncrementalCommuting::new(&g, mw.clone());
+        assert_eq!(inc.matrix(), &informative_commuting(&g, &mw));
+
+        let paper = g.labels().get("paper").unwrap();
+        let cite = g.labels().get("cite").unwrap();
+        let g2 = with_extra_edge(&g, "p5", 0);
+        inc.apply_edge_change(&g2, paper, cite);
+        assert_eq!(inc.matrix(), &informative_commuting(&g2, &mw));
+    }
+
+    #[test]
+    fn matches_after_a_sequence_of_changes() {
+        let (g, _) = base();
+        let mw = MetaWalk::parse_in(&g, "paper cite paper cite paper").unwrap();
+        let paper = g.labels().get("paper").unwrap();
+        let cite = g.labels().get("cite").unwrap();
+        let mut inc = IncrementalCommuting::new(&g, mw.clone());
+        let mut cur = g;
+        for (value, idx) in [("p5", 0), ("p0", 3), ("p1", 4), ("p3", 1)] {
+            cur = with_extra_edge(&cur, value, idx);
+            inc.apply_edge_change(&cur, paper, cite);
+            assert_eq!(
+                inc.matrix(),
+                &informative_commuting(&cur, &mw),
+                "after adding {value}–cite#{idx}"
+            );
+        }
+    }
+
+    #[test]
+    fn untouched_label_pairs_are_no_ops() {
+        let (g, _) = base();
+        let mut b = GraphBuilder::from_graph(&g);
+        let author = b.entity_label("author");
+        let alice = b.entity(author, "alice");
+        let p0 = g.entity_by_name("paper", "p0").unwrap();
+        b.edge(alice, p0).unwrap();
+        let g2 = b.build();
+
+        let mw = MetaWalk::parse_in(&g2, "paper cite paper").unwrap();
+        let mut inc = IncrementalCommuting::new(&g2, mw.clone());
+        let before = inc.matrix().clone();
+        // An author–paper edge never enters a (paper,cite,paper) walk.
+        let mut b = GraphBuilder::from_graph(&g2);
+        let p1 = g2.entity_by_name("paper", "p1").unwrap();
+        b.edge(alice, p1).unwrap();
+        let g3 = b.build();
+        inc.apply_edge_change(
+            &g3,
+            g3.labels().get("author").unwrap(),
+            g3.labels().get("paper").unwrap(),
+        );
+        assert_eq!(inc.matrix(), &before);
+        assert_eq!(inc.matrix(), &informative_commuting(&g3, &mw));
+    }
+
+    #[test]
+    fn deletion_is_an_update_too() {
+        // Build the "after" graph first, treat the smaller one as the
+        // deletion result.
+        let (small, _) = base();
+        let big = with_extra_edge(&small, "p5", 0);
+        let mw = MetaWalk::parse_in(&big, "paper cite paper cite paper").unwrap();
+        let paper = big.labels().get("paper").unwrap();
+        let cite = big.labels().get("cite").unwrap();
+        let mut inc = IncrementalCommuting::new(&big, mw.clone());
+        inc.apply_edge_change(&small, paper, cite);
+        assert_eq!(inc.matrix(), &informative_commuting(&small, &mw));
+    }
+
+    #[test]
+    #[should_panic(expected = "incrementally")]
+    fn star_walks_rejected() {
+        let mut b = GraphBuilder::new();
+        let conf = b.entity_label("conf");
+        let paper = b.entity_label("paper");
+        let c = b.entity(conf, "c");
+        let p = b.entity(paper, "p");
+        b.edge(c, p).unwrap();
+        let g = b.build();
+        let mw = MetaWalk::parse_in(&g, "conf *paper conf").unwrap();
+        let _ = IncrementalCommuting::new(&g, mw);
+    }
+}

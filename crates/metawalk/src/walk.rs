@@ -1,0 +1,225 @@
+//! Explicit walks and their enumeration.
+//!
+//! Enumeration is exponential and exists for two purposes: hand-verifiable
+//! semantics on small fixtures, and cross-validation of the commuting-matrix
+//! computation in tests and property tests. Production scoring always goes
+//! through [`crate::commuting`].
+
+use repsim_graph::{Graph, NodeId};
+
+use crate::metawalk::MetaWalk;
+
+/// A walk: a node sequence where consecutive nodes are adjacent (§4.1).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Walk(pub Vec<NodeId>);
+
+impl Walk {
+    /// The walk's *value* (§4.1): the `(label, value)` tuple of its entity
+    /// positions, in order. Relationship nodes do not contribute.
+    pub fn value(&self, g: &Graph) -> Vec<(String, String)> {
+        self.0
+            .iter()
+            .filter(|&&n| g.is_entity(n))
+            .map(|&n| {
+                (
+                    g.labels().name(g.label_of(n)).to_owned(),
+                    g.value_of(n).expect("entity has a value").to_owned(),
+                )
+            })
+            .collect()
+    }
+
+    /// The entity nodes of the walk, in order.
+    pub fn entity_nodes(&self, g: &Graph) -> Vec<NodeId> {
+        self.0.iter().copied().filter(|&n| g.is_entity(n)).collect()
+    }
+
+    /// Definition 4: a walk is informative iff no two *consecutive* entities
+    /// in its value are equal. Because entities are unique per
+    /// `(label, value)`, value equality coincides with node equality.
+    pub fn is_informative(&self, g: &Graph) -> bool {
+        let ents = self.entity_nodes(g);
+        ents.windows(2).all(|w| w[0] != w[1])
+    }
+
+    /// The first node.
+    pub fn start(&self) -> NodeId {
+        self.0[0]
+    }
+
+    /// The last node.
+    pub fn end(&self) -> NodeId {
+        *self.0.last().expect("walks are non-empty")
+    }
+}
+
+/// Enumerates all instances of `mw` in `g` (meta-walks with \*-labels have
+/// no plain instances and are rejected).
+///
+/// # Panics
+/// If `mw` contains a \*-label.
+pub fn instances(g: &Graph, mw: &MetaWalk) -> Vec<Walk> {
+    assert!(
+        !mw.has_star(),
+        "*-labels have no walk instances to enumerate"
+    );
+    let mut out = Vec::new();
+    for &start in g.nodes_of_label(mw.source()) {
+        extend(g, mw, &mut vec![start], &mut out);
+    }
+    out
+}
+
+/// Enumerates the instances of `mw` from `e` to `f` (set `p(e, f, D)`).
+pub fn instances_between(g: &Graph, mw: &MetaWalk, e: NodeId, f: NodeId) -> Vec<Walk> {
+    assert!(
+        !mw.has_star(),
+        "*-labels have no walk instances to enumerate"
+    );
+    if g.label_of(e) != mw.source() {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    extend(g, mw, &mut vec![e], &mut out);
+    out.retain(|w| w.end() == f);
+    out
+}
+
+fn extend(g: &Graph, mw: &MetaWalk, prefix: &mut Vec<NodeId>, out: &mut Vec<Walk>) {
+    if prefix.len() == mw.len() {
+        out.push(Walk(prefix.clone()));
+        return;
+    }
+    let next_label = mw.steps()[prefix.len()].label();
+    let cur = *prefix.last().expect("non-empty prefix");
+    // Collect first: neighbors_with_label borrows g, and we recurse.
+    let nexts: Vec<NodeId> = g.neighbors_with_label(cur, next_label).collect();
+    for n in nexts {
+        prefix.push(n);
+        extend(g, mw, prefix, out);
+        prefix.pop();
+    }
+}
+
+/// Counts all instances of `mw` between `e` and `f` by enumeration
+/// (`|p(e,f,D)|`).
+pub fn count_instances(g: &Graph, mw: &MetaWalk, e: NodeId, f: NodeId) -> u64 {
+    instances_between(g, mw, e, f).len() as u64
+}
+
+/// Counts informative instances of `mw` between `e` and `f` by enumeration
+/// (`|p̂(e,f,D)|`).
+pub fn count_informative(g: &Graph, mw: &MetaWalk, e: NodeId, f: NodeId) -> u64 {
+    instances_between(g, mw, e, f)
+        .into_iter()
+        .filter(|w| w.is_informative(g))
+        .count() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use repsim_graph::GraphBuilder;
+
+    /// The Figure 4a fragment: papers p1..p4 with `cite` relationship nodes
+    /// for p1→p3, p2→p3, p3→p4.
+    fn dblp_citations() -> (Graph, [NodeId; 4]) {
+        let mut b = GraphBuilder::new();
+        let paper = b.entity_label("paper");
+        let cite = b.relationship_label("cite");
+        let p: Vec<NodeId> = (1..=4).map(|i| b.entity(paper, &format!("p{i}"))).collect();
+        for (a, bb) in [(0, 2), (1, 2), (2, 3)] {
+            let c = b.relationship(cite);
+            b.edge(p[a], c).unwrap();
+            b.edge(c, p[bb]).unwrap();
+        }
+        (b.build(), [p[0], p[1], p[2], p[3]])
+    }
+
+    #[test]
+    fn walk_value_skips_relationship_nodes() {
+        let (g, [p1, _, p3, _]) = dblp_citations();
+        let mw = MetaWalk::parse_in(&g, "paper cite paper").unwrap();
+        let ws = instances_between(&g, &mw, p1, p3);
+        assert_eq!(ws.len(), 1);
+        assert_eq!(
+            ws[0].value(&g),
+            vec![("paper".into(), "p1".into()), ("paper".into(), "p3".into())]
+        );
+        assert!(ws[0].is_informative(&g));
+    }
+
+    #[test]
+    fn figure4_non_informative_walks() {
+        // Fig 4 discussion: (p3, cite, p4, cite, p4) and (p3, cite, p3,
+        // cite, p4) are the two non-informative instances of
+        // (paper,cite,paper,cite,paper) between p3 and p4.
+        let (g, [_, _, p3, p4]) = dblp_citations();
+        let mw = MetaWalk::parse_in(&g, "paper cite paper cite paper").unwrap();
+        let all = instances_between(&g, &mw, p3, p4);
+        // The paper lists two of them; the fixture has four in total (each
+        // revisits an entity, e.g. (p3,cite,p3,cite,p4) via two different
+        // cite nodes).
+        assert_eq!(all.len(), 4);
+        assert!(all.iter().all(|w| !w.is_informative(&g)));
+        assert_eq!(count_instances(&g, &mw, p3, p4), 4);
+        assert_eq!(count_informative(&g, &mw, p3, p4), 0);
+    }
+
+    #[test]
+    fn figure4_informative_two_hop() {
+        // p1 and p2 both cite p3, so (paper,cite,paper,cite,paper) has an
+        // informative instance p1..p3..p2 and the back-and-forth
+        // non-informative ones.
+        let (g, [p1, p2, _, _]) = dblp_citations();
+        let mw = MetaWalk::parse_in(&g, "paper cite paper cite paper").unwrap();
+        assert_eq!(count_informative(&g, &mw, p1, p2), 1);
+        // p1→p1: out to p3 and back (non-informative via p3? No: p1,p3,p1
+        // has distinct consecutive entities, so it IS informative) plus
+        // p1→cite→p1 patterns... enumerate and check by hand:
+        // instances p1..p1: (p1,c13,p3,c13,p1) [entities p1,p3,p1: informative],
+        // (p1,c13,p1,c13,p1)? c13 connects p1 and p3 only; step 3 needs a
+        // paper neighbor of c13: p1 or p3; (p1,c13,p1,c13,p1) is a valid
+        // walk in the graph-theoretic sense but entities p1,p1,.. are
+        // consecutive-equal → non-informative.
+        assert_eq!(count_instances(&g, &mw, p1, p1), 2);
+        assert_eq!(count_informative(&g, &mw, p1, p1), 1);
+    }
+
+    #[test]
+    fn instances_respect_start_label() {
+        let (g, [p1, ..]) = dblp_citations();
+        let mut b = GraphBuilder::from_graph(&g);
+        let author = b.entity_label("author");
+        let a = b.entity(author, "alice");
+        b.edge(a, p1).unwrap();
+        let g2 = b.build();
+        let mw = MetaWalk::parse_in(&g2, "author paper").unwrap();
+        assert!(
+            instances_between(&g2, &mw, p1, a).is_empty(),
+            "wrong source label"
+        );
+        assert_eq!(count_instances(&g2, &mw, a, p1), 1);
+    }
+
+    #[test]
+    fn total_enumeration_counts() {
+        let (g, _) = dblp_citations();
+        let mw = MetaWalk::parse_in(&g, "paper cite paper").unwrap();
+        // Each of 3 cite nodes yields 2 directions plus 2 non-informative
+        // returns (a,c,a) and (b,c,b).
+        assert_eq!(instances(&g, &mw).len(), 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "no walk instances")]
+    fn star_enumeration_rejected() {
+        let (g, _) = dblp_citations();
+        let mut b = GraphBuilder::from_graph(&g);
+        let conf = b.entity_label("conf");
+        let _ = b.entity(conf, "c");
+        let g2 = b.build();
+        let mw = MetaWalk::parse_in(&g2, "conf *paper conf").unwrap();
+        let _ = instances(&g2, &mw);
+    }
+}

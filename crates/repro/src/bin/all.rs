@@ -1,0 +1,37 @@
+//! Runs every reproduction binary in sequence (same `--scale` flag).
+
+use std::process::Command;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let bins = [
+        "figure1",
+        "figure2_3",
+        "figure4",
+        "figure5",
+        "figure6_7",
+        "table1",
+        "dblp_snap",
+        "table2_4",
+        "effectiveness",
+    ];
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("bin directory");
+    let mut failures = Vec::new();
+    for bin in bins {
+        let path = dir.join(bin);
+        let status = Command::new(&path)
+            .args(&args)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to spawn {bin}: {e}"));
+        if !status.success() {
+            failures.push(bin);
+        }
+    }
+    if failures.is_empty() {
+        println!("\nAll experiments completed.");
+    } else {
+        eprintln!("\nFailed experiments: {failures:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,73 @@
+//! Figure 4: PathSim disagrees across the DBLP and SNAP citation
+//! representations; R-PathSim does not.
+
+use repsim_baselines::PathSim;
+use repsim_core::RPathSim;
+use repsim_graph::{Graph, GraphBuilder, NodeId};
+use repsim_metawalk::MetaWalk;
+use repsim_repro::banner;
+
+fn dblp() -> (Graph, [NodeId; 4]) {
+    let mut b = GraphBuilder::new();
+    let paper = b.entity_label("paper");
+    let cite = b.relationship_label("cite");
+    let p: Vec<NodeId> = (1..=4).map(|i| b.entity(paper, &format!("p{i}"))).collect();
+    for (a, bb) in [(0, 2), (1, 2), (2, 3)] {
+        let c = b.relationship(cite);
+        b.edge(p[a], c).expect("valid");
+        b.edge(c, p[bb]).expect("valid");
+    }
+    (b.build(), [p[0], p[1], p[2], p[3]])
+}
+
+fn snap() -> (Graph, [NodeId; 4]) {
+    let mut b = GraphBuilder::new();
+    let paper = b.entity_label("paper");
+    let p: Vec<NodeId> = (1..=4).map(|i| b.entity(paper, &format!("p{i}"))).collect();
+    for (a, bb) in [(0, 2), (1, 2), (2, 3)] {
+        b.edge(p[a], p[bb]).expect("valid");
+    }
+    (b.build(), [p[0], p[1], p[2], p[3]])
+}
+
+fn main() {
+    banner("Figure 4: citation database in DBLP (cite nodes) vs SNAP (edges) form");
+    let (gd, [d1, d2, d3, d4]) = dblp();
+    let (gs, [s1, s2, s3, s4]) = snap();
+    let mwd = MetaWalk::parse_in(&gd, "paper cite paper cite paper").expect("parseable");
+    let mws = MetaWalk::parse_in(&gs, "paper paper paper").expect("parseable");
+
+    let psd = PathSim::new(&gd, mwd.clone());
+    let pss = PathSim::new(&gs, mws.clone());
+    let rpd = RPathSim::new(&gd, mwd);
+    let rps = RPathSim::new(&gs, mws);
+
+    println!("Query p3 against every other paper (meta-walk: two citation hops):\n");
+    println!(
+        "{:>10} {:>14} {:>14} {:>16} {:>16}",
+        "pair", "PathSim/DBLP", "PathSim/SNAP", "R-PathSim/DBLP", "R-PathSim/SNAP"
+    );
+    for (name, (dn, sn)) in [
+        ("p3~p1", (d1, s1)),
+        ("p3~p2", (d2, s2)),
+        ("p3~p4", (d4, s4)),
+    ] {
+        println!(
+            "{:>10} {:>14.4} {:>14.4} {:>16.4} {:>16.4}",
+            name,
+            psd.score(d3, dn),
+            pss.score(s3, sn),
+            rpd.score(d3, dn),
+            rps.score(s3, sn)
+        );
+    }
+    println!(
+        "\nPathSim counts the non-informative back-and-forth walks that only the\n\
+         DBLP form has (e.g. (p3,cite,p4,cite,p4)), so its p3~p4 score differs\n\
+         across the representations; R-PathSim drops them and agrees exactly\n\
+         (Theorem 4.3)."
+    );
+    assert_eq!(rpd.score(d3, d4), rps.score(s3, s4));
+    assert_eq!(rpd.score(d3, d1), rps.score(s3, s1));
+    assert_ne!(psd.score(d3, d4), pss.score(s3, s4));
+}

@@ -1,0 +1,91 @@
+//! Figure 5: the MAS entity rearrangement and the \*-label fix — R-PathSim
+//! with plain meta-walks disagrees across the two representations; with
+//! \*-labels it agrees exactly (Theorem 5.2).
+
+use repsim_core::RPathSim;
+use repsim_graph::{Graph, GraphBuilder};
+use repsim_metawalk::MetaWalk;
+use repsim_repro::banner;
+use repsim_transform::catalog;
+
+/// The Figure 5a fragment: confs a, b, c; papers p,q,r,s,t; domains with
+/// keywords. Conference b has more papers than c — the multiplicity that
+/// fools the plain meta-walk.
+fn mas_fragment() -> Graph {
+    let mut b = GraphBuilder::new();
+    let paper = b.entity_label("paper");
+    let conf = b.entity_label("conf");
+    let dom = b.entity_label("dom");
+    let kw = b.entity_label("kw");
+    let ca = b.entity(conf, "a");
+    let cb = b.entity(conf, "b");
+    let cc = b.entity(conf, "c");
+    let d1 = b.entity(dom, "d1");
+    let d2 = b.entity(dom, "d2");
+    let k1 = b.entity(kw, "k1");
+    let k2 = b.entity(kw, "k2");
+    let kshared = b.entity(kw, "kshared");
+    for (d, k) in [(d1, k1), (d2, k2), (d1, kshared), (d2, kshared)] {
+        b.edge(d, k).expect("valid");
+    }
+    // a: 1 paper in d1; b: 3 papers in d1; c: 1 paper in d2.
+    for (name, c, d) in [
+        ("p", ca, d1),
+        ("q", cb, d1),
+        ("r", cb, d1),
+        ("s", cb, d1),
+        ("t", cc, d2),
+    ] {
+        let p = b.entity(paper, name);
+        b.edge(p, c).expect("valid");
+        b.edge(p, d).expect("valid");
+    }
+    b.build()
+}
+
+fn scores(g: &Graph, mw_text: &str) -> (f64, f64) {
+    let mw = MetaWalk::parse_in(g, mw_text).expect("parseable");
+    let rp = RPathSim::new(g, mw);
+    let cb = g.entity_by_name("conf", "b").expect("present");
+    let ca = g.entity_by_name("conf", "a").expect("present");
+    let cc = g.entity_by_name("conf", "c").expect("present");
+    (rp.score(cb, ca), rp.score(cb, cc))
+}
+
+fn main() {
+    banner("Figure 5: MAS original (5a) vs rearranged (5b) representations");
+    let g5a = mas_fragment();
+    let g5b = catalog::mas2alt().apply(&g5a).expect("FDs hold");
+    println!(
+        "5a: {} nodes / {} edges; 5b: {} nodes / {} edges\n",
+        g5a.num_nodes(),
+        g5a.num_edges(),
+        g5b.num_nodes(),
+        g5b.num_edges()
+    );
+
+    println!("Similarity of conf:b to a and c by common domain keywords.\n");
+    let (pa, pc) = scores(&g5a, "conf paper dom kw dom paper conf");
+    println!(
+        "plain meta-walk on 5a   (conf paper dom kw dom paper conf): b~a={pa:.4}  b~c={pc:.4}"
+    );
+    let (qa, qc) = scores(&g5b, "conf dom kw dom conf");
+    println!(
+        "plain meta-walk on 5b   (conf dom kw dom conf):             b~a={qa:.4}  b~c={qc:.4}"
+    );
+    println!("  → the plain walks disagree: paper multiplicities leak into 5a's scores.\n");
+
+    let (sa, sc) = scores(&g5a, "conf *paper dom kw dom *paper conf");
+    println!(
+        "*-label meta-walk on 5a (conf *paper dom kw dom *paper conf): b~a={sa:.4}  b~c={sc:.4}"
+    );
+    println!(
+        "plain meta-walk on 5b   (conf dom kw dom conf):               b~a={qa:.4}  b~c={qc:.4}"
+    );
+    assert_eq!(
+        (sa, sc),
+        (qa, qc),
+        "Theorem 5.2: *-labels equalize the counts"
+    );
+    println!("  → identical: the *-label collapses the paper hop to connection-existence.");
+}

@@ -1,0 +1,136 @@
+//! Tables 2 and 4: average ranking differences of RWR, SimRank and
+//! PathSim under the entity rearranging transformations DBLP2SIGM and
+//! WSU2ALCH — Table 2 on top queries, Table 4 (appendix C) on random
+//! queries. R-PathSim's zero rows (with corresponding \*-label meta-walks,
+//! Theorem 5.2) are printed for completeness; the paper omits them.
+
+use repsim_datasets::bibliographic::{self, BibliographicConfig};
+use repsim_datasets::courses::{self, CourseConfig};
+use repsim_eval::report::Table;
+use repsim_eval::runner::RobustnessRunner;
+use repsim_eval::spec::AlgorithmSpec;
+use repsim_eval::workload::Workload;
+use repsim_graph::Graph;
+use repsim_repro::{banner, simrank_spec, Scale};
+use repsim_transform::{apply_with_map, catalog, Transformation};
+
+struct Column {
+    name: &'static str,
+    g: Graph,
+    t: Box<dyn Transformation>,
+    /// Label ranked by the queries.
+    query_label: &'static str,
+    /// (PathSim over D, PathSim over T(D)) meta-walks — Table 2's choices.
+    pathsim: (&'static str, &'static str),
+    /// Corresponding R-PathSim meta-walks (with \*-labels on the D side).
+    rpathsim: (&'static str, &'static str),
+}
+
+fn columns(scale: Scale) -> Vec<Column> {
+    let bib_cfg = match scale {
+        Scale::Tiny => BibliographicConfig::tiny(),
+        Scale::Small => BibliographicConfig::small(),
+        Scale::Paper => BibliographicConfig::paper_scale(),
+    };
+    let course_cfg = match scale {
+        Scale::Tiny => CourseConfig::tiny(),
+        _ => CourseConfig::paper_scale(), // WSU is naturally small
+    };
+    vec![
+        Column {
+            name: "DBLP2SIGM",
+            g: bibliographic::dblp(&bib_cfg),
+            t: catalog::dblp2sigm(),
+            query_label: "proc",
+            pathsim: ("proc paper area paper proc", "proc area proc"),
+            rpathsim: ("proc *paper area *paper proc", "proc area proc"),
+        },
+        Column {
+            name: "WSU2ALCH",
+            g: courses::wsu(&course_cfg),
+            t: catalog::wsu2alch(),
+            query_label: "course",
+            pathsim: ("course offer subject offer course", "course subject course"),
+            rpathsim: (
+                "course *offer subject *offer course",
+                "course subject course",
+            ),
+        },
+    ]
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    banner(&format!(
+        "Tables 2 and 4: entity rearranging transformations (scale={})",
+        scale.name()
+    ));
+    let ks = [3usize, 5, 10];
+    let workloads = [
+        ("Table 2", Workload::TopDegree),
+        ("Table 4", Workload::Random { seed: 17 }),
+    ];
+    for (table_name, workload) in workloads {
+        let mut table = Table::new(
+            &format!("{table_name}: {} {}", scale.queries(), workload.name()),
+            &["k", "algorithm", "DBLP2SIGM", "WSU2ALCH"],
+        );
+        let alg_names = ["RWR", "SimRank", "PathSim", "R-PathSim"];
+        let mut cells: Vec<Vec<Vec<String>>> = vec![vec![Vec::new(); alg_names.len()]; ks.len()];
+        for col in columns(scale) {
+            let (tg, map) = apply_with_map(col.t.as_ref(), &col.g).expect("FDs hold");
+            let runner = RobustnessRunner::new(&col.g, &tg, &map);
+            let label = col.g.labels().get(col.query_label).expect("label exists");
+            let queries = workload.queries(&col.g, label, scale.queries());
+            let sr = simrank_spec(&col.g, &tg);
+            let specs: Vec<(AlgorithmSpec, AlgorithmSpec)> = vec![
+                (AlgorithmSpec::Rwr, AlgorithmSpec::Rwr),
+                (sr.clone(), sr),
+                (
+                    AlgorithmSpec::PathSim {
+                        meta_walk: col.pathsim.0.into(),
+                    },
+                    AlgorithmSpec::PathSim {
+                        meta_walk: col.pathsim.1.into(),
+                    },
+                ),
+                (
+                    AlgorithmSpec::RPathSim {
+                        meta_walk: col.rpathsim.0.into(),
+                    },
+                    AlgorithmSpec::RPathSim {
+                        meta_walk: col.rpathsim.1.into(),
+                    },
+                ),
+            ];
+            for (ai, (spec_d, spec_t)) in specs.iter().enumerate() {
+                let r = runner.run(spec_d, spec_t, &queries, &ks);
+                for (ki, &k) in ks.iter().enumerate() {
+                    cells[ki][ai].push(r.cell(k));
+                }
+                if ai == 3 {
+                    for k in ks {
+                        assert_eq!(
+                            r.mean_at(k),
+                            Some(0.0),
+                            "Theorem 5.2 must hold for {} at k={k}",
+                            col.name
+                        );
+                    }
+                }
+            }
+        }
+        for (ki, &k) in ks.iter().enumerate() {
+            for (ai, name) in alg_names.iter().enumerate() {
+                let mut row = vec![format!("TOP {k}"), name.to_string()];
+                row.extend(cells[ki][ai].clone());
+                table.row(&row);
+            }
+        }
+        println!("{}", table.render());
+    }
+    println!(
+        "Paper's Table 2 (top queries): e.g. TOP 3 — RWR .540/.349, SimRank\n\
+         .446/.505, PathSim .671/.566; R-PathSim identically 0 (omitted there)."
+    );
+}

@@ -1,0 +1,111 @@
+//! Shared plumbing for the reproduction binaries.
+//!
+//! Every binary accepts a `--scale {tiny|small|paper}` argument (default
+//! `small`). `small` keeps each experiment within laptop memory/time while
+//! preserving the paper datasets' schemas, FDs, cardinality ratios and
+//! degree skew; `paper` uses the published cardinalities (expect exact
+//! SimRank to be replaced by the Monte-Carlo estimator there — the
+//! original authors likewise capped their database sizes because of
+//! SimRank's cubic cost).
+
+use repsim_eval::spec::AlgorithmSpec;
+use repsim_graph::Graph;
+
+/// Experiment scale selector.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Scale {
+    /// Fixture-sized; seconds end to end.
+    Tiny,
+    /// Default; preserves shape at laptop cost.
+    Small,
+    /// The paper's cardinalities.
+    Paper,
+}
+
+impl Scale {
+    /// Parses `--scale X` / `--scale=X` from `std::env::args`, defaulting
+    /// to [`Scale::Small`].
+    pub fn from_args() -> Scale {
+        let args: Vec<String> = std::env::args().collect();
+        for (i, a) in args.iter().enumerate() {
+            let value = if let Some(v) = a.strip_prefix("--scale=") {
+                Some(v.to_owned())
+            } else if a == "--scale" {
+                args.get(i + 1).cloned()
+            } else {
+                None
+            };
+            if let Some(v) = value {
+                return match v.as_str() {
+                    "tiny" => Scale::Tiny,
+                    "small" => Scale::Small,
+                    "paper" => Scale::Paper,
+                    other => {
+                        eprintln!("unknown scale {other:?}; using small");
+                        Scale::Small
+                    }
+                };
+            }
+        }
+        Scale::Small
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Tiny => "tiny",
+            Scale::Small => "small",
+            Scale::Paper => "paper",
+        }
+    }
+
+    /// Number of queries per workload at this scale (the paper uses 100).
+    pub fn queries(self) -> usize {
+        match self {
+            Scale::Tiny => 15,
+            Scale::Small => 100,
+            Scale::Paper => 100,
+        }
+    }
+}
+
+/// Picks exact SimRank when the graph is small enough for the dense
+/// quadratic iteration, otherwise the seeded Monte-Carlo estimator
+/// (documented in the output).
+pub fn simrank_spec(g: &Graph, tg: &Graph) -> AlgorithmSpec {
+    const DENSE_LIMIT: usize = 4_600;
+    if g.num_nodes().max(tg.num_nodes()) <= DENSE_LIMIT {
+        AlgorithmSpec::SimRank
+    } else {
+        AlgorithmSpec::SimRankMc { seed: 7 }
+    }
+}
+
+/// Prints a section banner.
+pub fn banner(title: &str) {
+    println!("\n{}", "=".repeat(72));
+    println!("{title}");
+    println!("{}", "=".repeat(72));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use repsim_datasets::citations::{self, CitationConfig};
+
+    #[test]
+    fn scale_names_and_queries() {
+        assert_eq!(Scale::Small.name(), "small");
+        assert_eq!(Scale::Paper.queries(), 100);
+        assert_eq!(Scale::Tiny.queries(), 15);
+    }
+
+    #[test]
+    fn simrank_spec_picks_exact_for_small_graphs() {
+        let g = citations::snap(&CitationConfig::tiny());
+        match simrank_spec(&g, &g) {
+            AlgorithmSpec::SimRank => {}
+            other => panic!("expected exact SimRank, got {other:?}"),
+        }
+    }
+}

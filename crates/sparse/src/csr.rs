@@ -1,0 +1,553 @@
+//! Compressed sparse row matrices.
+
+use std::fmt;
+
+/// A sparse matrix in compressed sparse row (CSR) format.
+///
+/// Invariants maintained by every constructor and operation:
+///
+/// * `row_ptr.len() == nrows + 1`, `row_ptr[0] == 0`,
+///   `row_ptr[nrows] == col_idx.len() == values.len()`;
+/// * within each row, column indices are strictly increasing;
+/// * all column indices are `< ncols`.
+///
+/// Explicit zeros may appear transiently (e.g. after subtraction); callers
+/// that care can drop them with [`Csr::pruned`].
+#[derive(Clone, PartialEq)]
+pub struct Csr {
+    nrows: usize,
+    ncols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<u32>,
+    values: Vec<f64>,
+}
+
+impl fmt::Debug for Csr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Csr({}x{}, nnz={})", self.nrows, self.ncols, self.nnz())
+    }
+}
+
+impl Csr {
+    /// An all-zero matrix of the given shape.
+    pub fn zeros(nrows: usize, ncols: usize) -> Self {
+        Csr {
+            nrows,
+            ncols,
+            row_ptr: vec![0; nrows + 1],
+            col_idx: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// The identity matrix of order `n`.
+    pub fn identity(n: usize) -> Self {
+        Csr {
+            nrows: n,
+            ncols: n,
+            row_ptr: (0..=n).collect(),
+            col_idx: (0..n as u32).collect(),
+            values: vec![1.0; n],
+        }
+    }
+
+    /// Builds a matrix from `(row, col, value)` triplets.
+    ///
+    /// Duplicate coordinates are summed; zero sums are kept out of the
+    /// result. Panics if any coordinate is out of bounds.
+    ///
+    /// ```
+    /// use repsim_sparse::Csr;
+    ///
+    /// let m = Csr::from_triplets(2, 2, vec![(0, 1, 2.0), (0, 1, 3.0), (1, 0, 1.0)]);
+    /// assert_eq!(m.get(0, 1), 5.0);
+    /// assert_eq!(m.nnz(), 2);
+    /// ```
+    pub fn from_triplets(
+        nrows: usize,
+        ncols: usize,
+        triplets: impl IntoIterator<Item = (u32, u32, f64)>,
+    ) -> Self {
+        let mut entries: Vec<(u32, u32, f64)> = triplets.into_iter().collect();
+        for &(r, c, _) in &entries {
+            assert!(
+                (r as usize) < nrows && (c as usize) < ncols,
+                "triplet ({r},{c}) out of bounds for {nrows}x{ncols}"
+            );
+        }
+        entries.sort_unstable_by_key(|&(r, c, _)| (r, c));
+
+        let mut row_ptr = vec![0usize; nrows + 1];
+        let mut col_idx = Vec::with_capacity(entries.len());
+        let mut values = Vec::with_capacity(entries.len());
+        let mut i = 0;
+        while i < entries.len() {
+            let (r, c, _) = entries[i];
+            let mut sum = 0.0;
+            while i < entries.len() && entries[i].0 == r && entries[i].1 == c {
+                sum += entries[i].2;
+                i += 1;
+            }
+            if sum != 0.0 {
+                col_idx.push(c);
+                values.push(sum);
+                row_ptr[r as usize + 1] += 1;
+            }
+        }
+        for r in 0..nrows {
+            row_ptr[r + 1] += row_ptr[r];
+        }
+        Csr {
+            nrows,
+            ncols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Builds a matrix from per-row `(col, value)` lists.
+    ///
+    /// Each row's list must have strictly increasing column indices; this is
+    /// the cheapest constructor when the caller already has sorted adjacency.
+    pub fn from_rows(ncols: usize, rows: &[Vec<(u32, f64)>]) -> Self {
+        let nrows = rows.len();
+        let nnz: usize = rows.iter().map(Vec::len).sum();
+        let mut row_ptr = Vec::with_capacity(nrows + 1);
+        let mut col_idx = Vec::with_capacity(nnz);
+        let mut values = Vec::with_capacity(nnz);
+        row_ptr.push(0);
+        for row in rows {
+            let mut last: Option<u32> = None;
+            for &(c, v) in row {
+                assert!((c as usize) < ncols, "column {c} out of bounds");
+                assert!(
+                    last.is_none_or(|l| l < c),
+                    "row columns not strictly increasing"
+                );
+                last = Some(c);
+                col_idx.push(c);
+                values.push(v);
+            }
+            row_ptr.push(col_idx.len());
+        }
+        Csr {
+            nrows,
+            ncols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored entries (including any explicit zeros).
+    pub fn nnz(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// The stored entries of row `r` as parallel `(columns, values)` slices.
+    pub fn row(&self, r: usize) -> (&[u32], &[f64]) {
+        let lo = self.row_ptr[r];
+        let hi = self.row_ptr[r + 1];
+        (&self.col_idx[lo..hi], &self.values[lo..hi])
+    }
+
+    /// The value at `(r, c)`, zero if not stored.
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        let (cols, vals) = self.row(r);
+        match cols.binary_search(&(c as u32)) {
+            Ok(i) => vals[i],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Iterates over all stored `(row, col, value)` entries.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        (0..self.nrows).flat_map(move |r| {
+            let (cols, vals) = self.row(r);
+            cols.iter()
+                .zip(vals)
+                .map(move |(&c, &v)| (r, c as usize, v))
+        })
+    }
+
+    /// The transpose.
+    pub fn transpose(&self) -> Csr {
+        let mut counts = vec![0usize; self.ncols + 1];
+        for &c in &self.col_idx {
+            counts[c as usize + 1] += 1;
+        }
+        for c in 0..self.ncols {
+            counts[c + 1] += counts[c];
+        }
+        let row_ptr = counts.clone();
+        let mut col_idx = vec![0u32; self.nnz()];
+        let mut values = vec![0.0; self.nnz()];
+        let mut next = counts;
+        for r in 0..self.nrows {
+            let (cols, vals) = self.row(r);
+            for (&c, &v) in cols.iter().zip(vals) {
+                let slot = next[c as usize];
+                next[c as usize] += 1;
+                col_idx[slot] = r as u32;
+                values[slot] = v;
+            }
+        }
+        Csr {
+            nrows: self.ncols,
+            ncols: self.nrows,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// The main diagonal as a dense vector of length `min(nrows, ncols)`.
+    pub fn diagonal(&self) -> Vec<f64> {
+        (0..self.nrows.min(self.ncols))
+            .map(|i| self.get(i, i))
+            .collect()
+    }
+
+    /// Returns a copy with the main diagonal zeroed out.
+    ///
+    /// This is the `M_s - M_s^d` step of R-PathSim (§4.3): it removes, from a
+    /// commuting matrix of a same-entity-label segment, the walks that leave
+    /// an entity and come straight back to it (the non-informative walks).
+    pub fn subtract_diagonal(&self) -> Csr {
+        let mut out = self.clone();
+        for r in 0..out.nrows.min(out.ncols) {
+            let lo = out.row_ptr[r];
+            let hi = out.row_ptr[r + 1];
+            if let Ok(i) = out.col_idx[lo..hi].binary_search(&(r as u32)) {
+                out.values[lo + i] = 0.0;
+            }
+        }
+        out.pruned()
+    }
+
+    /// Returns a copy where every non-zero entry becomes `1.0`.
+    ///
+    /// This is the \*-label collapse of §5.2: the walks between two entities
+    /// through a \*-labelled segment count as a single edge, so only the
+    /// existence of a connection survives.
+    pub fn binarized(&self) -> Csr {
+        let mut out = self.pruned();
+        for v in &mut out.values {
+            *v = 1.0;
+        }
+        out
+    }
+
+    /// Returns a copy with explicit zeros removed.
+    pub fn pruned(&self) -> Csr {
+        if self.values.iter().all(|&v| v != 0.0) {
+            return self.clone();
+        }
+        let mut row_ptr = Vec::with_capacity(self.nrows + 1);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        row_ptr.push(0);
+        for r in 0..self.nrows {
+            let (cols, vals) = self.row(r);
+            for (&c, &v) in cols.iter().zip(vals) {
+                if v != 0.0 {
+                    col_idx.push(c);
+                    values.push(v);
+                }
+            }
+            row_ptr.push(col_idx.len());
+        }
+        Csr {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Element-wise `self + other`. Panics on shape mismatch.
+    pub fn add(&self, other: &Csr) -> Csr {
+        self.zip_with(other, |a, b| a + b)
+    }
+
+    /// Element-wise `self - other`. Panics on shape mismatch.
+    pub fn sub(&self, other: &Csr) -> Csr {
+        self.zip_with(other, |a, b| a - b)
+    }
+
+    fn zip_with(&self, other: &Csr, f: impl Fn(f64, f64) -> f64) -> Csr {
+        assert_eq!(
+            (self.nrows, self.ncols),
+            (other.nrows, other.ncols),
+            "shape mismatch in element-wise op"
+        );
+        let mut row_ptr = Vec::with_capacity(self.nrows + 1);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        row_ptr.push(0);
+        for r in 0..self.nrows {
+            let (ac, av) = self.row(r);
+            let (bc, bv) = other.row(r);
+            let (mut i, mut j) = (0, 0);
+            while i < ac.len() || j < bc.len() {
+                let (c, v) = if j >= bc.len() || (i < ac.len() && ac[i] < bc[j]) {
+                    let e = (ac[i], f(av[i], 0.0));
+                    i += 1;
+                    e
+                } else if i >= ac.len() || bc[j] < ac[i] {
+                    let e = (bc[j], f(0.0, bv[j]));
+                    j += 1;
+                    e
+                } else {
+                    let e = (ac[i], f(av[i], bv[j]));
+                    i += 1;
+                    j += 1;
+                    e
+                };
+                if v != 0.0 {
+                    col_idx.push(c);
+                    values.push(v);
+                }
+            }
+            row_ptr.push(col_idx.len());
+        }
+        Csr {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Returns a copy scaled by `factor`.
+    pub fn scaled(&self, factor: f64) -> Csr {
+        let mut out = self.clone();
+        for v in &mut out.values {
+            *v *= factor;
+        }
+        out
+    }
+
+    /// Per-row sums.
+    pub fn row_sums(&self) -> Vec<f64> {
+        (0..self.nrows)
+            .map(|r| self.row(r).1.iter().sum())
+            .collect()
+    }
+
+    /// Per-row sums of squared values (used for `M·Mᵀ` diagonals).
+    pub fn row_sq_sums(&self) -> Vec<f64> {
+        (0..self.nrows)
+            .map(|r| self.row(r).1.iter().map(|v| v * v).sum())
+            .collect()
+    }
+
+    /// Returns a copy with each row scaled so it sums to one.
+    ///
+    /// Rows that sum to zero are left as-is (a dangling node in a random
+    /// walk keeps its zero out-distribution).
+    pub fn row_normalized(&self) -> Csr {
+        let sums = self.row_sums();
+        let mut out = self.clone();
+        for (r, &s) in sums.iter().enumerate() {
+            if s != 0.0 {
+                let lo = out.row_ptr[r];
+                let hi = out.row_ptr[r + 1];
+                for v in &mut out.values[lo..hi] {
+                    *v /= s;
+                }
+            }
+        }
+        out
+    }
+
+    /// The Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.values.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Converts to a dense row-major buffer (for tests and small matrices).
+    pub fn to_dense(&self) -> crate::Dense {
+        let mut d = crate::Dense::zeros(self.nrows, self.ncols);
+        for (r, c, v) in self.iter() {
+            d[(r, c)] = v;
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Csr {
+        // [1 0 2]
+        // [0 0 0]
+        // [3 4 0]
+        Csr::from_triplets(
+            3,
+            3,
+            vec![(0, 0, 1.0), (0, 2, 2.0), (2, 0, 3.0), (2, 1, 4.0)],
+        )
+    }
+
+    #[test]
+    fn from_triplets_sums_duplicates() {
+        let m = Csr::from_triplets(2, 2, vec![(0, 1, 1.0), (0, 1, 2.5), (1, 0, -1.0)]);
+        assert_eq!(m.get(0, 1), 3.5);
+        assert_eq!(m.get(1, 0), -1.0);
+        assert_eq!(m.nnz(), 2);
+    }
+
+    #[test]
+    fn from_triplets_drops_zero_sums() {
+        let m = Csr::from_triplets(2, 2, vec![(0, 0, 1.0), (0, 0, -1.0)]);
+        assert_eq!(m.nnz(), 0);
+        assert_eq!(m.get(0, 0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn from_triplets_bounds_checked() {
+        let _ = Csr::from_triplets(2, 2, vec![(2, 0, 1.0)]);
+    }
+
+    #[test]
+    fn from_rows_roundtrip() {
+        let m = Csr::from_rows(
+            3,
+            &[vec![(0, 1.0), (2, 2.0)], vec![], vec![(0, 3.0), (1, 4.0)]],
+        );
+        assert_eq!(m, sample());
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn from_rows_rejects_unsorted() {
+        let _ = Csr::from_rows(3, &[vec![(2, 1.0), (0, 2.0)]]);
+    }
+
+    #[test]
+    fn get_and_row() {
+        let m = sample();
+        assert_eq!(m.get(0, 0), 1.0);
+        assert_eq!(m.get(0, 1), 0.0);
+        assert_eq!(m.get(2, 1), 4.0);
+        let (cols, vals) = m.row(2);
+        assert_eq!(cols, &[0, 1]);
+        assert_eq!(vals, &[3.0, 4.0]);
+        assert_eq!(m.row(1).0.len(), 0);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = sample();
+        let t = m.transpose();
+        assert_eq!(t.get(0, 2), 3.0);
+        assert_eq!(t.get(1, 2), 4.0);
+        assert_eq!(t.get(2, 0), 2.0);
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn transpose_rectangular() {
+        let m = Csr::from_triplets(2, 4, vec![(0, 3, 1.0), (1, 0, 2.0)]);
+        let t = m.transpose();
+        assert_eq!((t.nrows(), t.ncols()), (4, 2));
+        assert_eq!(t.get(3, 0), 1.0);
+        assert_eq!(t.get(0, 1), 2.0);
+    }
+
+    #[test]
+    fn diagonal_ops() {
+        let m = Csr::from_triplets(
+            2,
+            2,
+            vec![(0, 0, 5.0), (0, 1, 1.0), (1, 0, 2.0), (1, 1, 7.0)],
+        );
+        assert_eq!(m.diagonal(), vec![5.0, 7.0]);
+        let nd = m.subtract_diagonal();
+        assert_eq!(nd.diagonal(), vec![0.0, 0.0]);
+        assert_eq!(nd.get(0, 1), 1.0);
+        assert_eq!(nd.nnz(), 2, "zeroed diagonal entries are pruned");
+    }
+
+    #[test]
+    fn binarized_sets_ones() {
+        let b = sample().binarized();
+        assert_eq!(b.get(0, 2), 1.0);
+        assert_eq!(b.get(2, 1), 1.0);
+        assert_eq!(b.get(1, 1), 0.0);
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = sample();
+        let b = Csr::from_triplets(3, 3, vec![(0, 1, 1.0), (2, 0, -3.0)]);
+        let s = a.add(&b);
+        assert_eq!(s.get(0, 1), 1.0);
+        assert_eq!(s.get(2, 0), 0.0);
+        assert_eq!(s.sub(&b), a);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let m = sample();
+        let i = Csr::identity(3);
+        assert_eq!(crate::ops::spmm(&m, &i), m);
+        assert_eq!(crate::ops::spmm(&i, &m), m);
+    }
+
+    #[test]
+    fn row_sums_and_normalization() {
+        let m = sample();
+        assert_eq!(m.row_sums(), vec![3.0, 0.0, 7.0]);
+        let n = m.row_normalized();
+        assert!((n.row_sums()[0] - 1.0).abs() < 1e-12);
+        assert_eq!(n.row_sums()[1], 0.0);
+        assert_eq!(m.row_sq_sums(), vec![5.0, 0.0, 25.0]);
+    }
+
+    #[test]
+    fn scaled_and_frobenius() {
+        let m = sample();
+        let s = m.scaled(2.0);
+        assert_eq!(s.get(0, 2), 4.0);
+        assert_eq!(s.get(2, 1), 8.0);
+        // ‖M‖_F = √(1+4+9+16) = √30.
+        assert!((m.frobenius_norm() - 30f64.sqrt()).abs() < 1e-12);
+        assert_eq!(Csr::zeros(3, 3).frobenius_norm(), 0.0);
+        assert_eq!(m.scaled(0.0).frobenius_norm(), 0.0, "scaling by zero");
+    }
+
+    #[test]
+    fn zeros_shape_and_emptiness() {
+        let z = Csr::zeros(2, 5);
+        assert_eq!((z.nrows(), z.ncols()), (2, 5));
+        assert_eq!(z.nnz(), 0);
+        assert_eq!(z.row(1).0.len(), 0);
+        assert_eq!(crate::ops::spmm(&z, &Csr::zeros(5, 1)).nnz(), 0);
+    }
+
+    #[test]
+    fn iter_visits_all() {
+        let entries: Vec<_> = sample().iter().collect();
+        assert_eq!(
+            entries,
+            vec![(0, 0, 1.0), (0, 2, 2.0), (2, 0, 3.0), (2, 1, 4.0)]
+        );
+    }
+}

@@ -1,0 +1,141 @@
+//! Dense row-major matrices (used by exact SimRank and in tests).
+
+use std::ops::{Index, IndexMut};
+
+/// A dense row-major `f64` matrix.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Dense {
+    nrows: usize,
+    ncols: usize,
+    data: Vec<f64>,
+}
+
+impl Dense {
+    /// An all-zero matrix.
+    pub fn zeros(nrows: usize, ncols: usize) -> Self {
+        Dense {
+            nrows,
+            ncols,
+            data: vec![0.0; nrows * ncols],
+        }
+    }
+
+    /// The identity matrix of order `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut d = Dense::zeros(n, n);
+        for i in 0..n {
+            d[(i, i)] = 1.0;
+        }
+        d
+    }
+
+    /// Builds from a row-major buffer. Panics if the length does not match.
+    pub fn from_vec(nrows: usize, ncols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), nrows * ncols, "buffer length mismatch");
+        Dense { nrows, ncols, data }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Row `r` as a slice.
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.ncols..(r + 1) * self.ncols]
+    }
+
+    /// Row `r` as a mutable slice.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        &mut self.data[r * self.ncols..(r + 1) * self.ncols]
+    }
+
+    /// The underlying row-major buffer.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// The underlying row-major buffer, mutably (used by the parallel
+    /// kernels to split the output into disjoint row bands).
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Largest absolute element-wise difference from `other`.
+    pub fn max_abs_diff(&self, other: &Dense) -> f64 {
+        assert_eq!((self.nrows, self.ncols), (other.nrows, other.ncols));
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Sets the whole matrix to zero, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.data.iter_mut().for_each(|v| *v = 0.0);
+    }
+}
+
+impl Index<(usize, usize)> for Dense {
+    type Output = f64;
+
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        debug_assert!(r < self.nrows && c < self.ncols);
+        &self.data[r * self.ncols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Dense {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        debug_assert!(r < self.nrows && c < self.ncols);
+        &mut self.data[r * self.ncols + c]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexing_roundtrip() {
+        let mut d = Dense::zeros(2, 3);
+        d[(1, 2)] = 4.5;
+        assert_eq!(d[(1, 2)], 4.5);
+        assert_eq!(d[(0, 0)], 0.0);
+        assert_eq!(d.row(1), &[0.0, 0.0, 4.5]);
+    }
+
+    #[test]
+    fn identity_diag() {
+        let i = Dense::identity(3);
+        assert_eq!(i[(0, 0)], 1.0);
+        assert_eq!(i[(2, 2)], 1.0);
+        assert_eq!(i[(0, 1)], 0.0);
+    }
+
+    #[test]
+    fn max_abs_diff_works() {
+        let a = Dense::from_vec(1, 2, vec![1.0, 2.0]);
+        let b = Dense::from_vec(1, 2, vec![1.5, 1.0]);
+        assert_eq!(a.max_abs_diff(&b), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn from_vec_checks_len() {
+        let _ = Dense::from_vec(2, 2, vec![0.0; 3]);
+    }
+
+    #[test]
+    fn clear_keeps_shape() {
+        let mut d = Dense::from_vec(2, 2, vec![1.0; 4]);
+        d.clear();
+        assert_eq!(d, Dense::zeros(2, 2));
+    }
+}

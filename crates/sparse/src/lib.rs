@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+
+//! Sparse and dense linear algebra for `repsim`.
+//!
+//! The similarity search algorithms in this workspace are all, at bottom,
+//! matrix computations over adjacency structure:
+//!
+//! * PathSim / R-PathSim multiply chains of *biadjacency* matrices into
+//!   commuting matrices ([`Csr`] and [`ops::spmm`]);
+//! * R-PathSim's informative-walk restriction subtracts diagonals between
+//!   multiplications ([`Csr::subtract_diagonal`]);
+//! * the \*-label extension binarizes segment products ([`Csr::binarized`]);
+//! * random walk with restart is a sparse power iteration
+//!   ([`ops::matvec`]); and
+//! * SimRank iterates `S ← max(C · Wᵀ S W, I)` over a dense score matrix
+//!   ([`Dense`] with [`ops::dense_sparse_mul`] / [`ops::sparse_t_dense_mul`]).
+//!
+//! Values are stored as `f64`. Walk *counts* are integers; `f64` arithmetic
+//! on integers is exact below 2^53, far beyond any count produced by the
+//! meta-walk lengths used in the paper, so equality of counts across database
+//! representations (Theorems 4.2, 4.3, 5.2, 5.3) can be asserted exactly.
+//!
+//! The crate has no dependencies and makes no attempt at SIMD heroics; it
+//! follows the usual CSR discipline (sorted column indices, no explicit
+//! zeros after construction via [`Csr::from_triplets`], dense accumulator
+//! for row-by-row spmm).
+
+pub mod csr;
+pub mod dense;
+pub mod ops;
+pub mod par;
+pub mod vector;
+
+pub use csr::Csr;
+pub use dense::Dense;

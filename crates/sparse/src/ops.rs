@@ -1,0 +1,201 @@
+//! Matrix-matrix and matrix-vector kernels.
+
+use crate::{Csr, Dense};
+
+/// Sparse × sparse multiplication (`A · B`).
+///
+/// Row-by-row Gustavson algorithm with a dense accumulator over the output
+/// row. Output rows are emitted with sorted column indices and without
+/// explicit zeros (an exact-zero sum of products is dropped).
+pub fn spmm(a: &Csr, b: &Csr) -> Csr {
+    assert_eq!(a.ncols(), b.nrows(), "spmm shape mismatch: {a:?} x {b:?}");
+    let ncols = b.ncols();
+    let mut acc = vec![0.0f64; ncols];
+    let mut seen = vec![false; ncols];
+    let mut touched: Vec<u32> = Vec::new();
+    let mut rows: Vec<Vec<(u32, f64)>> = Vec::with_capacity(a.nrows());
+    for r in 0..a.nrows() {
+        touched.clear();
+        let (ac, av) = a.row(r);
+        for (&k, &va) in ac.iter().zip(av) {
+            let (bc, bv) = b.row(k as usize);
+            for (&c, &vb) in bc.iter().zip(bv) {
+                if !seen[c as usize] {
+                    seen[c as usize] = true;
+                    touched.push(c);
+                }
+                acc[c as usize] += va * vb;
+            }
+        }
+        touched.sort_unstable();
+        let mut row = Vec::with_capacity(touched.len());
+        for &c in &touched {
+            let v = acc[c as usize];
+            acc[c as usize] = 0.0;
+            seen[c as usize] = false;
+            if v != 0.0 {
+                row.push((c, v));
+            }
+        }
+        rows.push(row);
+    }
+    Csr::from_rows(ncols, &rows)
+}
+
+/// Multiplies a chain of sparse matrices left to right.
+///
+/// Panics on an empty chain or on any shape mismatch. Multiplication is
+/// associative; we fold left which matches the short meta-walks used by
+/// PathSim (intermediate products stay small when the chain starts from a
+/// narrow label).
+pub fn spmm_chain(matrices: &[&Csr]) -> Csr {
+    let (first, rest) = matrices.split_first().expect("empty spmm chain");
+    rest.iter().fold((*first).clone(), |acc, m| spmm(&acc, m))
+}
+
+/// Sparse matrix × dense vector (`A · x`).
+pub fn matvec(a: &Csr, x: &[f64]) -> Vec<f64> {
+    assert_eq!(a.ncols(), x.len(), "matvec shape mismatch");
+    let mut y = vec![0.0; a.nrows()];
+    for (r, yr) in y.iter_mut().enumerate() {
+        let (cols, vals) = a.row(r);
+        let mut sum = 0.0;
+        for (&c, &v) in cols.iter().zip(vals) {
+            sum += v * x[c as usize];
+        }
+        *yr = sum;
+    }
+    y
+}
+
+/// Dense row vector × sparse matrix (`xᵀ · A`), returned as a dense vector.
+pub fn vecmat(x: &[f64], a: &Csr) -> Vec<f64> {
+    assert_eq!(a.nrows(), x.len(), "vecmat shape mismatch");
+    let mut y = vec![0.0; a.ncols()];
+    for (r, &xr) in x.iter().enumerate() {
+        if xr == 0.0 {
+            continue;
+        }
+        let (cols, vals) = a.row(r);
+        for (&c, &v) in cols.iter().zip(vals) {
+            y[c as usize] += xr * v;
+        }
+    }
+    y
+}
+
+/// Dense × sparse multiplication (`D · A`), used by SimRank's `S·W` step.
+pub fn dense_sparse_mul(d: &Dense, a: &Csr) -> Dense {
+    assert_eq!(d.ncols(), a.nrows(), "dense_sparse_mul shape mismatch");
+    let mut out = Dense::zeros(d.nrows(), a.ncols());
+    for r in 0..d.nrows() {
+        let drow = d.row(r);
+        let orow = out.row_mut(r);
+        for (k, &dv) in drow.iter().enumerate() {
+            if dv == 0.0 {
+                continue;
+            }
+            let (cols, vals) = a.row(k);
+            for (&c, &av) in cols.iter().zip(vals) {
+                orow[c as usize] += dv * av;
+            }
+        }
+    }
+    out
+}
+
+/// Sparse-transpose × dense multiplication (`Aᵀ · D`), used by SimRank's
+/// `Wᵀ·(S·W)` step without materializing `Aᵀ`.
+pub fn sparse_t_dense_mul(a: &Csr, d: &Dense) -> Dense {
+    assert_eq!(a.nrows(), d.nrows(), "sparse_t_dense_mul shape mismatch");
+    let mut out = Dense::zeros(a.ncols(), d.ncols());
+    for k in 0..a.nrows() {
+        let (cols, vals) = a.row(k);
+        let drow = d.row(k);
+        for (&r, &av) in cols.iter().zip(vals) {
+            let orow = out.row_mut(r as usize);
+            for (o, &dv) in orow.iter_mut().zip(drow) {
+                *o += av * dv;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a() -> Csr {
+        // [1 2]
+        // [0 3]
+        Csr::from_triplets(2, 2, vec![(0, 0, 1.0), (0, 1, 2.0), (1, 1, 3.0)])
+    }
+
+    fn b() -> Csr {
+        // [4 0 1]
+        // [5 6 0]
+        Csr::from_triplets(
+            2,
+            3,
+            vec![(0, 0, 4.0), (0, 2, 1.0), (1, 0, 5.0), (1, 1, 6.0)],
+        )
+    }
+
+    #[test]
+    fn spmm_matches_hand_computation() {
+        let c = spmm(&a(), &b());
+        // [1*4+2*5, 2*6, 1] = [14, 12, 1]
+        // [15, 18, 0]
+        assert_eq!(c.get(0, 0), 14.0);
+        assert_eq!(c.get(0, 1), 12.0);
+        assert_eq!(c.get(0, 2), 1.0);
+        assert_eq!(c.get(1, 0), 15.0);
+        assert_eq!(c.get(1, 1), 18.0);
+        assert_eq!(c.get(1, 2), 0.0);
+    }
+
+    #[test]
+    fn spmm_cancellation_pruned() {
+        // [1 -1] x [1;1] = [0] — exact zero must not be stored.
+        let a = Csr::from_triplets(1, 2, vec![(0, 0, 1.0), (0, 1, -1.0)]);
+        let b = Csr::from_triplets(2, 1, vec![(0, 0, 1.0), (1, 0, 1.0)]);
+        let c = spmm(&a, &b);
+        assert_eq!(c.nnz(), 0);
+    }
+
+    #[test]
+    fn spmm_chain_folds_left() {
+        let i = Csr::identity(2);
+        let c = spmm_chain(&[&a(), &i, &b()]);
+        assert_eq!(c, spmm(&a(), &b()));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty spmm chain")]
+    fn spmm_chain_rejects_empty() {
+        let _ = spmm_chain(&[]);
+    }
+
+    #[test]
+    fn matvec_and_vecmat() {
+        let y = matvec(&b(), &[1.0, 1.0, 1.0]);
+        assert_eq!(y, vec![5.0, 11.0]);
+        let z = vecmat(&[1.0, 1.0], &b());
+        assert_eq!(z, vec![9.0, 6.0, 1.0]);
+    }
+
+    #[test]
+    fn dense_sparse_agrees_with_spmm() {
+        let d = a().to_dense();
+        let prod = dense_sparse_mul(&d, &b());
+        assert_eq!(prod, spmm(&a(), &b()).to_dense());
+    }
+
+    #[test]
+    fn sparse_t_dense_agrees_with_transpose() {
+        let d = b().to_dense();
+        let prod = sparse_t_dense_mul(&a(), &d);
+        assert_eq!(prod, spmm(&a().transpose(), &b()).to_dense());
+    }
+}

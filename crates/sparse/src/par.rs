@@ -1,0 +1,239 @@
+//! Multi-threaded variants of the hot kernels, built on
+//! `std::thread::scope` (no runtime dependency).
+//!
+//! SimRank's iteration cost is two dense×sparse products per step over an
+//! n×n matrix; both parallelize embarrassingly over output rows. The
+//! scatter-form `Aᵀ·D` does not chunk safely, so the parallel variant
+//! takes the pre-transposed matrix and gathers per output row instead —
+//! callers that iterate (SimRank) amortize the one-off transpose.
+//! `repsim-bench`'s ablation suite measures the speedups.
+
+use crate::{Csr, Dense};
+
+/// Splits `0..n` into at most `threads` contiguous chunks.
+fn chunks(n: usize, threads: usize) -> Vec<(usize, usize)> {
+    let threads = threads.clamp(1, n.max(1));
+    let base = n / threads;
+    let extra = n % threads;
+    let mut out = Vec::with_capacity(threads);
+    let mut start = 0;
+    for i in 0..threads {
+        let len = base + usize::from(i < extra);
+        if len == 0 {
+            continue;
+        }
+        out.push((start, start + len));
+        start += len;
+    }
+    out
+}
+
+/// Parallel sparse × sparse multiplication; equals [`crate::ops::spmm`].
+pub fn spmm_par(a: &Csr, b: &Csr, threads: usize) -> Csr {
+    assert_eq!(a.ncols(), b.nrows(), "spmm shape mismatch");
+    if threads <= 1 || a.nrows() < 2 {
+        return crate::ops::spmm(a, b);
+    }
+    let ncols = b.ncols();
+    let ranges = chunks(a.nrows(), threads);
+    let mut partials: Vec<Vec<Vec<(u32, f64)>>> = Vec::with_capacity(ranges.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .iter()
+            .map(|&(lo, hi)| {
+                scope.spawn(move || {
+                    let mut acc = vec![0.0f64; ncols];
+                    let mut seen = vec![false; ncols];
+                    let mut touched: Vec<u32> = Vec::new();
+                    let mut rows = Vec::with_capacity(hi - lo);
+                    for r in lo..hi {
+                        touched.clear();
+                        let (ac, av) = a.row(r);
+                        for (&k, &va) in ac.iter().zip(av) {
+                            let (bc, bv) = b.row(k as usize);
+                            for (&c, &vb) in bc.iter().zip(bv) {
+                                if !seen[c as usize] {
+                                    seen[c as usize] = true;
+                                    touched.push(c);
+                                }
+                                acc[c as usize] += va * vb;
+                            }
+                        }
+                        touched.sort_unstable();
+                        let mut row = Vec::with_capacity(touched.len());
+                        for &c in &touched {
+                            let v = acc[c as usize];
+                            acc[c as usize] = 0.0;
+                            seen[c as usize] = false;
+                            if v != 0.0 {
+                                row.push((c, v));
+                            }
+                        }
+                        rows.push(row);
+                    }
+                    rows
+                })
+            })
+            .collect();
+        for h in handles {
+            partials.push(h.join().expect("worker panicked"));
+        }
+    });
+    let rows: Vec<Vec<(u32, f64)>> = partials.into_iter().flatten().collect();
+    Csr::from_rows(ncols, &rows)
+}
+
+/// Parallel dense × sparse product; equals [`crate::ops::dense_sparse_mul`].
+pub fn dense_sparse_mul_par(d: &Dense, a: &Csr, threads: usize) -> Dense {
+    assert_eq!(d.ncols(), a.nrows(), "shape mismatch");
+    if threads <= 1 || d.nrows() < 2 {
+        return crate::ops::dense_sparse_mul(d, a);
+    }
+    let nrows = d.nrows();
+    let ncols = a.ncols();
+    let mut out = Dense::zeros(nrows, ncols);
+    let ranges = chunks(nrows, threads);
+    // Split the output buffer into disjoint row bands per worker.
+    let mut bands: Vec<&mut [f64]> = Vec::with_capacity(ranges.len());
+    {
+        let mut rest = out.as_mut_slice();
+        let mut consumed = 0;
+        for &(lo, hi) in &ranges {
+            let (band, tail) = rest.split_at_mut((hi - lo) * ncols);
+            debug_assert_eq!(lo * ncols, consumed);
+            consumed += band.len();
+            bands.push(band);
+            rest = tail;
+        }
+    }
+    std::thread::scope(|scope| {
+        for (&(lo, hi), band) in ranges.iter().zip(bands) {
+            scope.spawn(move || {
+                for (r, orow) in (lo..hi).zip(band.chunks_mut(ncols)) {
+                    let drow = d.row(r);
+                    for (k, &dv) in drow.iter().enumerate() {
+                        if dv == 0.0 {
+                            continue;
+                        }
+                        let (cols, vals) = a.row(k);
+                        for (&c, &av) in cols.iter().zip(vals) {
+                            orow[c as usize] += dv * av;
+                        }
+                    }
+                }
+            });
+        }
+    });
+    out
+}
+
+/// Parallel `Aᵀ·D` in gather form: takes the **pre-transposed** `Aᵀ` and
+/// computes `Aᵀ·D` row-band-parallel; equals
+/// [`crate::ops::sparse_t_dense_mul`] applied to the original `A`.
+pub fn sparse_t_dense_mul_par(at: &Csr, d: &Dense, threads: usize) -> Dense {
+    assert_eq!(
+        at.ncols(),
+        d.nrows(),
+        "shape mismatch (expected the transpose)"
+    );
+    let nrows = at.nrows();
+    let ncols = d.ncols();
+    let mut out = Dense::zeros(nrows, ncols);
+    let ranges = chunks(nrows, threads.max(1));
+    let mut bands: Vec<&mut [f64]> = Vec::with_capacity(ranges.len());
+    {
+        let mut rest = out.as_mut_slice();
+        for &(lo, hi) in &ranges {
+            let (band, tail) = rest.split_at_mut((hi - lo) * ncols);
+            bands.push(band);
+            rest = tail;
+        }
+    }
+    std::thread::scope(|scope| {
+        for (&(lo, hi), band) in ranges.iter().zip(bands) {
+            scope.spawn(move || {
+                for (r, orow) in (lo..hi).zip(band.chunks_mut(ncols)) {
+                    let (cols, vals) = at.row(r);
+                    for (&k, &av) in cols.iter().zip(vals) {
+                        let drow = d.row(k as usize);
+                        for (o, &dv) in orow.iter_mut().zip(drow) {
+                            *o += av * dv;
+                        }
+                    }
+                }
+            });
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{dense_sparse_mul, sparse_t_dense_mul, spmm};
+
+    fn sample(n: usize, m: usize, seed: u64) -> Csr {
+        // A deterministic pseudo-random sparse matrix.
+        let mut triplets = Vec::new();
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        for r in 0..n {
+            for _ in 0..3 {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let c = (state >> 33) as usize % m;
+                let v = ((state >> 11) % 7) as f64 + 1.0;
+                triplets.push((r as u32, c as u32, v));
+            }
+        }
+        Csr::from_triplets(n, m, triplets)
+    }
+
+    #[test]
+    fn spmm_par_matches_serial() {
+        let a = sample(37, 23, 1);
+        let b = sample(23, 19, 2);
+        for threads in [1, 2, 4, 8, 64] {
+            assert_eq!(spmm_par(&a, &b, threads), spmm(&a, &b), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn dense_sparse_par_matches_serial() {
+        let a = sample(23, 19, 3);
+        let d = sample(11, 23, 4).to_dense();
+        for threads in [1, 3, 7] {
+            assert_eq!(
+                dense_sparse_mul_par(&d, &a, threads),
+                dense_sparse_mul(&d, &a),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn sparse_t_dense_par_matches_serial() {
+        let a = sample(23, 19, 5);
+        let at = a.transpose();
+        let d = sample(23, 7, 6).to_dense();
+        for threads in [1, 2, 5] {
+            assert_eq!(
+                sparse_t_dense_mul_par(&at, &d, threads),
+                sparse_t_dense_mul(&a, &d),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn chunking_covers_everything() {
+        for (n, t) in [(10, 3), (1, 5), (7, 7), (8, 2), (0, 4)] {
+            let ranges = chunks(n, t);
+            let total: usize = ranges.iter().map(|(lo, hi)| hi - lo).sum();
+            assert_eq!(total, n);
+            for w in ranges.windows(2) {
+                assert_eq!(w[0].1, w[1].0, "contiguous");
+            }
+        }
+    }
+}

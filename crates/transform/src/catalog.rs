@@ -1,0 +1,313 @@
+//! The paper's named transformations (§6).
+//!
+//! Label conventions follow the figures: movies databases use `actor`,
+//! `film`, `char`, `director` (+ `starring`, `cast`, `directedby`);
+//! citation databases use `paper` (+ `cite`); bibliographic databases use
+//! `paper`, `proc`, `area`; course databases use `offer`, `course`,
+//! `subject`; MAS uses `paper`, `conf`, `dom`, `kw` (+ `citation`).
+
+use crate::compose::Composite;
+use crate::grouping::GroupNeighbors;
+use crate::rearrange::{PullUp, PushDown};
+use crate::reify::{CollapseRelNodes, ReifyEdges};
+use crate::star_node::{StarToTriangle, TriangleToStar};
+use crate::Transformation;
+
+const MOVIE_CORNERS: [&str; 3] = ["actor", "char", "film"];
+
+/// IMDb → Freebase (Figure 1): acting triangles become `starring` nodes.
+pub fn imdb2fb() -> Box<dyn Transformation> {
+    Box::new(Composite::new(
+        "IMDB2FB",
+        vec![Box::new(TriangleToStar {
+            corner_labels: MOVIE_CORNERS.map(str::to_owned),
+            star_label: "starring".into(),
+        })],
+    ))
+}
+
+/// Freebase → IMDb: `starring` nodes become triangles (Table 1's FB2IMDB).
+pub fn fb2imdb() -> Box<dyn Transformation> {
+    Box::new(Composite::new(
+        "FB2IMDB",
+        vec![Box::new(StarToTriangle {
+            star_label: "starring".into(),
+            corner_labels: MOVIE_CORNERS.map(str::to_owned),
+        })],
+    ))
+}
+
+/// IMDb (characters removed) → Niagara (Figure 2): actors grouped under a
+/// per-film `cast` node; film–director edges reified into `directedby`.
+pub fn imdb2ng() -> Box<dyn Transformation> {
+    Box::new(Composite::new(
+        "IMDB2NG",
+        vec![
+            Box::new(GroupNeighbors {
+                center_label: "film".into(),
+                member_label: "actor".into(),
+                group_label: "cast".into(),
+            }),
+            Box::new(ReifyEdges {
+                a_label: "film".into(),
+                b_label: "director".into(),
+                rel_label: "directedby".into(),
+            }),
+        ],
+    ))
+}
+
+/// IMDb (characters removed) → Niagara+ (§6.1.1): `cast` grouping only —
+/// Niagara with the `directedby` nodes collapsed back into edges.
+pub fn imdb2ng_plus() -> Box<dyn Transformation> {
+    Box::new(Composite::new(
+        "IMDB2NG+",
+        vec![Box::new(GroupNeighbors {
+            center_label: "film".into(),
+            member_label: "actor".into(),
+            group_label: "cast".into(),
+        })],
+    ))
+}
+
+/// Freebase (characters removed, so `starring` nodes are binary) → Niagara.
+pub fn fb2ng() -> Box<dyn Transformation> {
+    Box::new(Composite::new(
+        "FB2NG",
+        vec![
+            Box::new(CollapseRelNodes {
+                rel_label: "starring".into(),
+            }),
+            Box::new(GroupNeighbors {
+                center_label: "film".into(),
+                member_label: "actor".into(),
+                group_label: "cast".into(),
+            }),
+            Box::new(ReifyEdges {
+                a_label: "film".into(),
+                b_label: "director".into(),
+                rel_label: "directedby".into(),
+            }),
+        ],
+    ))
+}
+
+/// IMDb (characters removed) → Freebase with binary `starring` nodes.
+pub fn imdb2fb_no_chars() -> Box<dyn Transformation> {
+    Box::new(Composite::new(
+        "IMDB2FB-nochar",
+        vec![Box::new(ReifyEdges {
+            a_label: "actor".into(),
+            b_label: "film".into(),
+            rel_label: "starring".into(),
+        })],
+    ))
+}
+
+/// DBLP → SNAP (Figure 4): `cite` nodes collapse into direct paper edges.
+pub fn dblp2snap() -> Box<dyn Transformation> {
+    Box::new(Composite::new(
+        "DBLP2SNAP",
+        vec![Box::new(CollapseRelNodes {
+            rel_label: "cite".into(),
+        })],
+    ))
+}
+
+/// SNAP → DBLP: direct citations reified into `cite` nodes.
+pub fn snap2dblp() -> Box<dyn Transformation> {
+    Box::new(Composite::new(
+        "SNAP2DBLP",
+        vec![Box::new(ReifyEdges {
+            a_label: "paper".into(),
+            b_label: "paper".into(),
+            rel_label: "cite".into(),
+        })],
+    ))
+}
+
+/// DBLP → SIGMOD Record (Figure 6): `paper–area` edges pulled up to
+/// `proc–area`.
+pub fn dblp2sigm() -> Box<dyn Transformation> {
+    Box::new(Composite::new(
+        "DBLP2SIGM",
+        vec![Box::new(PullUp {
+            moved_label: "area".into(),
+            lower_label: "paper".into(),
+            upper_label: "proc".into(),
+        })],
+    ))
+}
+
+/// SIGMOD Record → DBLP: the inverse push-down.
+pub fn sigm2dblp() -> Box<dyn Transformation> {
+    Box::new(Composite::new(
+        "SIGM2DBLP",
+        vec![Box::new(PushDown {
+            moved_label: "area".into(),
+            upper_label: "proc".into(),
+            lower_label: "paper".into(),
+        })],
+    ))
+}
+
+/// WSU → Alchemy UW-CSE (Figure 7): `offer–subject` edges pulled up to
+/// `course–subject`.
+pub fn wsu2alch() -> Box<dyn Transformation> {
+    Box::new(Composite::new(
+        "WSU2ALCH",
+        vec![Box::new(PullUp {
+            moved_label: "subject".into(),
+            lower_label: "offer".into(),
+            upper_label: "course".into(),
+        })],
+    ))
+}
+
+/// Alchemy UW-CSE → WSU: the inverse push-down.
+pub fn alch2wsu() -> Box<dyn Transformation> {
+    Box::new(Composite::new(
+        "ALCH2WSU",
+        vec![Box::new(PushDown {
+            moved_label: "subject".into(),
+            upper_label: "course".into(),
+            lower_label: "offer".into(),
+        })],
+    ))
+}
+
+/// MAS original → alternative (Figure 5): `paper–dom` edges pulled up to
+/// `conf–dom`.
+pub fn mas2alt() -> Box<dyn Transformation> {
+    Box::new(Composite::new(
+        "MAS2ALT",
+        vec![Box::new(PullUp {
+            moved_label: "dom".into(),
+            lower_label: "paper".into(),
+            upper_label: "conf".into(),
+        })],
+    ))
+}
+
+/// MAS alternative → original: the inverse push-down.
+pub fn alt2mas() -> Box<dyn Transformation> {
+    Box::new(Composite::new(
+        "ALT2MAS",
+        vec![Box::new(PushDown {
+            moved_label: "dom".into(),
+            upper_label: "conf".into(),
+            lower_label: "paper".into(),
+        })],
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::check_invertible;
+    use repsim_graph::{Graph, GraphBuilder};
+
+    /// A small IMDb-shaped fixture with chars and directors.
+    fn imdb() -> Graph {
+        let mut b = GraphBuilder::new();
+        let actor = b.entity_label("actor");
+        let film = b.entity_label("film");
+        let ch = b.entity_label("char");
+        let director = b.entity_label("director");
+        let a1 = b.entity(actor, "a1");
+        let a2 = b.entity(actor, "a2");
+        let f1 = b.entity(film, "f1");
+        let f2 = b.entity(film, "f2");
+        let d = b.entity(director, "d");
+        for (i, (a, f)) in [(a1, f1), (a2, f1), (a1, f2)].into_iter().enumerate() {
+            let c = b.entity(ch, &format!("c{i}"));
+            b.edge_dedup(a, c).unwrap();
+            b.edge_dedup(c, f).unwrap();
+            b.edge_dedup(a, f).unwrap();
+        }
+        b.edge(d, f1).unwrap();
+        b.edge(d, f2).unwrap();
+        b.build()
+    }
+
+    /// The same without characters (for the Niagara transformations).
+    fn imdb_no_chars() -> Graph {
+        let mut b = GraphBuilder::new();
+        let actor = b.entity_label("actor");
+        let film = b.entity_label("film");
+        let director = b.entity_label("director");
+        let a1 = b.entity(actor, "a1");
+        let a2 = b.entity(actor, "a2");
+        let f1 = b.entity(film, "f1");
+        let f2 = b.entity(film, "f2");
+        let d = b.entity(director, "d");
+        for (a, f) in [(a1, f1), (a2, f1), (a1, f2)] {
+            b.edge(a, f).unwrap();
+        }
+        b.edge(d, f1).unwrap();
+        b.edge(d, f2).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn movie_catalog_invertibility() {
+        let g = imdb();
+        assert!(check_invertible(&*imdb2fb(), &*fb2imdb(), &g).unwrap());
+        let fb = imdb2fb().apply(&g).unwrap();
+        assert!(check_invertible(&*fb2imdb(), &*imdb2fb(), &fb).unwrap());
+    }
+
+    #[test]
+    fn niagara_transformations_apply() {
+        let g = imdb_no_chars();
+        let ng = imdb2ng().apply(&g).unwrap();
+        assert!(ng.labels().get("cast").is_some());
+        assert!(ng.labels().get("directedby").is_some());
+        let ng_plus = imdb2ng_plus().apply(&g).unwrap();
+        let d = ng_plus.entity_by_name("director", "d").unwrap();
+        let f = ng_plus.entity_by_name("film", "f1").unwrap();
+        assert!(
+            ng_plus.has_edge(d, f),
+            "Niagara+ keeps direct director edges"
+        );
+
+        let fb = imdb2fb_no_chars().apply(&g).unwrap();
+        let ng_from_fb = fb2ng().apply(&fb).unwrap();
+        // Both routes to Niagara carry the same information.
+        assert!(crate::verify::same_information(&ng, &ng_from_fb));
+    }
+
+    #[test]
+    fn citation_catalog_invertibility() {
+        let mut b = GraphBuilder::new();
+        let paper = b.entity_label("paper");
+        let p: Vec<_> = (0..4).map(|i| b.entity(paper, &format!("p{i}"))).collect();
+        b.edge(p[0], p[2]).unwrap();
+        b.edge(p[1], p[2]).unwrap();
+        b.edge(p[2], p[3]).unwrap();
+        let snap = b.build();
+        assert!(check_invertible(&*snap2dblp(), &*dblp2snap(), &snap).unwrap());
+    }
+
+    #[test]
+    fn rearranging_catalog_invertibility() {
+        // DBLP Figure 6a shape.
+        let mut b = GraphBuilder::new();
+        let paper = b.entity_label("paper");
+        let proc_ = b.entity_label("proc");
+        let area = b.entity_label("area");
+        let pr1 = b.entity(proc_, "pr1");
+        let pr2 = b.entity(proc_, "pr2");
+        let ar1 = b.entity(area, "ar1");
+        let ar2 = b.entity(area, "ar2");
+        for (i, pr, ar) in [(0, pr1, ar1), (1, pr1, ar1), (2, pr2, ar2)] {
+            let p = b.entity(paper, &format!("p{i}"));
+            b.edge(p, pr).unwrap();
+            b.edge(p, ar).unwrap();
+        }
+        let g = b.build();
+        assert!(check_invertible(&*dblp2sigm(), &*sigm2dblp(), &g).unwrap());
+        let sigm = dblp2sigm().apply(&g).unwrap();
+        assert!(check_invertible(&*sigm2dblp(), &*dblp2sigm(), &sigm).unwrap());
+    }
+}

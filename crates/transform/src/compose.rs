@@ -1,0 +1,99 @@
+//! Sequential composition of transformations.
+
+use repsim_graph::Graph;
+
+use crate::error::TransformError;
+use crate::Transformation;
+
+/// Applies a sequence of transformations left to right.
+pub struct Composite {
+    name: String,
+    stages: Vec<Box<dyn Transformation>>,
+}
+
+impl Composite {
+    /// Builds a named composite.
+    pub fn new(name: &str, stages: Vec<Box<dyn Transformation>>) -> Composite {
+        assert!(!stages.is_empty(), "empty composite");
+        Composite {
+            name: name.to_owned(),
+            stages,
+        }
+    }
+
+    /// The stage list.
+    pub fn stages(&self) -> &[Box<dyn Transformation>] {
+        &self.stages
+    }
+}
+
+impl Transformation for Composite {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn apply(&self, g: &Graph) -> Result<Graph, TransformError> {
+        let mut cur = self.stages[0].apply(g)?;
+        for stage in &self.stages[1..] {
+            cur = stage.apply(&cur)?;
+        }
+        Ok(cur)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reify::{CollapseRelNodes, ReifyEdges};
+    use repsim_graph::GraphBuilder;
+
+    #[test]
+    fn composite_chains_stages() {
+        let mut b = GraphBuilder::new();
+        let paper = b.entity_label("paper");
+        let p = b.entity(paper, "p");
+        let q = b.entity(paper, "q");
+        b.edge(p, q).unwrap();
+        let g = b.build();
+
+        let t = Composite::new(
+            "there-and-back",
+            vec![
+                Box::new(ReifyEdges {
+                    a_label: "paper".into(),
+                    b_label: "paper".into(),
+                    rel_label: "cite".into(),
+                }),
+                Box::new(CollapseRelNodes {
+                    rel_label: "cite".into(),
+                }),
+            ],
+        );
+        assert_eq!(t.name(), "there-and-back");
+        assert_eq!(t.stages().len(), 2);
+        let tg = t.apply(&g).unwrap();
+        assert_eq!(tg.num_nodes(), 2);
+        assert_eq!(tg.num_edges(), 1);
+    }
+
+    #[test]
+    fn composite_propagates_errors() {
+        let mut b = GraphBuilder::new();
+        let paper = b.entity_label("paper");
+        let _ = b.entity(paper, "p");
+        let g = b.build();
+        let t = Composite::new(
+            "bad",
+            vec![Box::new(CollapseRelNodes {
+                rel_label: "ghost".into(),
+            })],
+        );
+        assert!(t.apply(&g).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty composite")]
+    fn empty_composite_rejected() {
+        let _ = Composite::new("none", vec![]);
+    }
+}

@@ -1,0 +1,73 @@
+//! Transformation errors.
+
+use std::fmt;
+
+use repsim_graph::{GraphError, NodeId};
+
+/// Errors raised while applying a transformation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransformError {
+    /// A label the transformation needs is absent from the database.
+    MissingLabel(String),
+    /// A label has the wrong kind (e.g. reifying onto an entity label).
+    WrongLabelKind(String),
+    /// A node violates a structural precondition (e.g. a relationship node
+    /// to collapse does not have exactly two neighbors).
+    BadStructure {
+        /// The offending node.
+        node: NodeId,
+        /// Which precondition failed.
+        message: String,
+    },
+    /// A functional dependency the transformation relies on for
+    /// information preservation does not hold.
+    FdViolated {
+        /// Which dependency failed and where.
+        message: String,
+    },
+    /// An underlying graph-construction error.
+    Graph(GraphError),
+}
+
+impl fmt::Display for TransformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransformError::MissingLabel(l) => write!(f, "missing label {l:?}"),
+            TransformError::WrongLabelKind(l) => write!(f, "label {l:?} has the wrong kind"),
+            TransformError::BadStructure { node, message } => {
+                write!(f, "bad structure at {node}: {message}")
+            }
+            TransformError::FdViolated { message } => {
+                write!(f, "functional dependency violated: {message}")
+            }
+            TransformError::Graph(e) => write!(f, "graph error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TransformError {}
+
+impl From<GraphError> for TransformError {
+    fn from(e: GraphError) -> Self {
+        TransformError::Graph(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(TransformError::MissingLabel("cast".into())
+            .to_string()
+            .contains("cast"));
+        let e = TransformError::BadStructure {
+            node: NodeId(2),
+            message: "degree 1".into(),
+        };
+        assert!(e.to_string().contains("n2"));
+        let g: TransformError = GraphError::SelfLoop(NodeId(1)).into();
+        assert!(g.to_string().contains("self-loop"));
+    }
+}

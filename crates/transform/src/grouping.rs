@@ -1,0 +1,242 @@
+//! Grouping-node reorganization (the Niagara `cast` shift of Figure 2).
+//!
+//! Niagara groups all actors of a film under one valueless `cast` node
+//! instead of drawing per-actor edges. [`GroupNeighbors`] performs that
+//! shift for any (center, member) label pair; [`Ungroup`] inverts it.
+
+use repsim_graph::{Graph, GraphBuilder, LabelKind};
+
+use crate::error::TransformError;
+use crate::reify::{copy_labels, copy_nodes, copy_nodes_excluding};
+use crate::Transformation;
+
+/// For every `center`-label node with at least one `member`-label neighbor,
+/// replaces the direct edges with a fresh group node connected to the
+/// center and to each member.
+#[derive(Clone, Debug)]
+pub struct GroupNeighbors {
+    /// The label whose nodes get a group node each (e.g. `film`).
+    pub center_label: String,
+    /// The neighbor label being grouped (e.g. `actor`).
+    pub member_label: String,
+    /// The relationship label of the group node (e.g. `cast`).
+    pub group_label: String,
+}
+
+impl Transformation for GroupNeighbors {
+    fn name(&self) -> String {
+        format!(
+            "group({}·{} → {})",
+            self.center_label, self.member_label, self.group_label
+        )
+    }
+
+    fn apply(&self, g: &Graph) -> Result<Graph, TransformError> {
+        let center = g
+            .labels()
+            .get(&self.center_label)
+            .ok_or_else(|| TransformError::MissingLabel(self.center_label.clone()))?;
+        let member = g
+            .labels()
+            .get(&self.member_label)
+            .ok_or_else(|| TransformError::MissingLabel(self.member_label.clone()))?;
+        for (name, l) in [(&self.center_label, center), (&self.member_label, member)] {
+            if g.labels().kind(l) != LabelKind::Entity {
+                return Err(TransformError::WrongLabelKind(name.to_string()));
+            }
+        }
+
+        let mut bld = GraphBuilder::new();
+        copy_labels(&mut bld, g);
+        let group = bld.relationship_label(&self.group_label);
+        let ids = copy_nodes(&mut bld, g);
+        for (x, y) in g.edges() {
+            let (lx, ly) = (g.label_of(x), g.label_of(y));
+            let grouped = (lx == center && ly == member) || (lx == member && ly == center);
+            if !grouped {
+                bld.edge(ids[x.index()], ids[y.index()])?;
+            }
+        }
+        for &c in g.nodes_of_label(center) {
+            let members: Vec<_> = g.neighbors_with_label(c, member).collect();
+            if members.is_empty() {
+                continue;
+            }
+            let grp = bld.relationship(group);
+            bld.edge(ids[c.index()], grp)?;
+            for m in members {
+                bld.edge(grp, ids[m.index()])?;
+            }
+        }
+        Ok(bld.build())
+    }
+}
+
+/// Dissolves group nodes back into direct center–member edges.
+///
+/// Each group node must have exactly one `center`-label neighbor; its other
+/// neighbors become directly adjacent to that center.
+#[derive(Clone, Debug)]
+pub struct Ungroup {
+    /// The relationship label of the group nodes (e.g. `cast`).
+    pub group_label: String,
+    /// The label of the unique center around each group node.
+    pub center_label: String,
+}
+
+impl Transformation for Ungroup {
+    fn name(&self) -> String {
+        format!("ungroup({})", self.group_label)
+    }
+
+    fn apply(&self, g: &Graph) -> Result<Graph, TransformError> {
+        let group = g
+            .labels()
+            .get(&self.group_label)
+            .ok_or_else(|| TransformError::MissingLabel(self.group_label.clone()))?;
+        if g.labels().kind(group) != LabelKind::Relationship {
+            return Err(TransformError::WrongLabelKind(self.group_label.clone()));
+        }
+        let center = g
+            .labels()
+            .get(&self.center_label)
+            .ok_or_else(|| TransformError::MissingLabel(self.center_label.clone()))?;
+
+        let mut bld = GraphBuilder::new();
+        copy_labels(&mut bld, g);
+        let ids = copy_nodes_excluding(&mut bld, g, group);
+        for (x, y) in g.edges() {
+            if g.label_of(x) == group || g.label_of(y) == group {
+                continue;
+            }
+            bld.edge(ids[x.index()].expect("kept"), ids[y.index()].expect("kept"))?;
+        }
+        for &grp in g.nodes_of_label(group) {
+            let centers: Vec<_> = g.neighbors_with_label(grp, center).collect();
+            if centers.len() != 1 {
+                return Err(TransformError::BadStructure {
+                    node: grp,
+                    message: format!(
+                        "group node needs exactly one {} neighbor, found {}",
+                        self.center_label,
+                        centers.len()
+                    ),
+                });
+            }
+            let c = centers[0];
+            for &m in g.neighbors(grp) {
+                if m != c {
+                    bld.edge_dedup(ids[c.index()].expect("kept"), ids[m.index()].expect("kept"))?;
+                }
+            }
+        }
+        Ok(bld.build())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EntityMap;
+
+    fn films_actors() -> Graph {
+        let mut b = GraphBuilder::new();
+        let film = b.entity_label("film");
+        let actor = b.entity_label("actor");
+        let f1 = b.entity(film, "f1");
+        let f2 = b.entity(film, "f2");
+        let a1 = b.entity(actor, "a1");
+        let a2 = b.entity(actor, "a2");
+        let a3 = b.entity(actor, "a3");
+        for (f, a) in [(f1, a1), (f1, a2), (f2, a2), (f2, a3)] {
+            b.edge(f, a).unwrap();
+        }
+        b.build()
+    }
+
+    fn group() -> GroupNeighbors {
+        GroupNeighbors {
+            center_label: "film".into(),
+            member_label: "actor".into(),
+            group_label: "cast".into(),
+        }
+    }
+
+    #[test]
+    fn grouping_shape() {
+        let g = films_actors();
+        let tg = group().apply(&g).unwrap();
+        let cast = tg.labels().get("cast").unwrap();
+        assert_eq!(tg.nodes_of_label(cast).len(), 2, "one cast node per film");
+        // Films have only cast neighbors now.
+        let film = tg.labels().get("film").unwrap();
+        for &f in tg.nodes_of_label(film) {
+            assert_eq!(tg.degree(f), 1);
+            assert_eq!(tg.label_of(tg.neighbors(f)[0]), cast);
+        }
+        // Total edges: per film, 1 + |actors|.
+        assert_eq!(tg.num_edges(), 2 + 4);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let g = films_actors();
+        let tg = group().apply(&g).unwrap();
+        let back = Ungroup {
+            group_label: "cast".into(),
+            center_label: "film".into(),
+        }
+        .apply(&tg)
+        .unwrap();
+        assert_eq!(back.num_nodes(), g.num_nodes());
+        assert_eq!(back.num_edges(), g.num_edges());
+        let m = EntityMap::between(&g, &back);
+        for (x, y) in g.edges() {
+            assert!(back.has_edge(m.map(x).unwrap(), m.map(y).unwrap()));
+        }
+    }
+
+    #[test]
+    fn films_without_actors_get_no_group() {
+        let mut b = GraphBuilder::new();
+        let film = b.entity_label("film");
+        let actor = b.entity_label("actor");
+        let director = b.entity_label("director");
+        let f = b.entity(film, "f");
+        let d = b.entity(director, "d");
+        let _a = b.entity(actor, "unconnected");
+        b.edge(f, d).unwrap();
+        let g = b.build();
+        let tg = group().apply(&g).unwrap();
+        let cast = tg.labels().get("cast").unwrap();
+        assert!(tg.nodes_of_label(cast).is_empty());
+        // Director edge untouched.
+        let f2 = tg.entity_by_name("film", "f").unwrap();
+        let d2 = tg.entity_by_name("director", "d").unwrap();
+        assert!(tg.has_edge(f2, d2));
+    }
+
+    #[test]
+    fn ungroup_requires_unique_center() {
+        let mut b = GraphBuilder::new();
+        let film = b.entity_label("film");
+        let actor = b.entity_label("actor");
+        let cast = b.relationship_label("cast");
+        let f1 = b.entity(film, "f1");
+        let f2 = b.entity(film, "f2");
+        let a = b.entity(actor, "a");
+        let c = b.relationship(cast);
+        for n in [f1, f2, a] {
+            b.edge(c, n).unwrap();
+        }
+        let g = b.build();
+        let t = Ungroup {
+            group_label: "cast".into(),
+            center_label: "film".into(),
+        };
+        assert!(matches!(
+            t.apply(&g),
+            Err(TransformError::BadStructure { .. })
+        ));
+    }
+}

@@ -1,0 +1,297 @@
+//! Entity rearranging transformations (§5.1, Definition 9).
+//!
+//! When `lower → upper` holds (each lower-label entity has exactly one
+//! upper-label neighbor), an edge from a `moved`-label entity can be drawn
+//! against either end of the dependency without losing information —
+//! provided the original database also satisfies `upper → moved` along the
+//! lower path (otherwise pulling up would merge distinct facts). This pair
+//! of operators realizes all the paper's entity rearrangements:
+//!
+//! * MAS (Fig 5): `paper–dom` pulled up to `conf–dom` via `paper → conf`;
+//! * DBLP→SIGMOD Record (Fig 6): `paper–area` pulled up to `proc–area`;
+//! * WSU→Alchemy (Fig 7): `offer–subject` pulled up to `course–subject`.
+
+use repsim_graph::{Graph, GraphBuilder, LabelId, LabelKind, NodeId};
+
+use crate::error::TransformError;
+use crate::reify::{copy_labels, copy_nodes};
+use crate::Transformation;
+
+/// Moves `moved`-label edges from `lower` to `upper` along the FD
+/// `lower → upper`.
+#[derive(Clone, Debug)]
+pub struct PullUp {
+    /// The label whose edges are re-anchored (e.g. `area`).
+    pub moved_label: String,
+    /// The current anchor (e.g. `paper`), functionally determining `upper`.
+    pub lower_label: String,
+    /// The new anchor (e.g. `proc`).
+    pub upper_label: String,
+}
+
+/// Moves `moved`-label edges from `upper` back down to every `lower` of
+/// that upper — the inverse of [`PullUp`].
+#[derive(Clone, Debug)]
+pub struct PushDown {
+    /// The label whose edges are re-anchored.
+    pub moved_label: String,
+    /// The current anchor (e.g. `proc`).
+    pub upper_label: String,
+    /// The new anchor (e.g. `paper`); each lower has exactly one upper.
+    pub lower_label: String,
+}
+
+fn resolve_entity_label(g: &Graph, name: &str) -> Result<LabelId, TransformError> {
+    let l = g
+        .labels()
+        .get(name)
+        .ok_or_else(|| TransformError::MissingLabel(name.to_owned()))?;
+    if g.labels().kind(l) != LabelKind::Entity {
+        return Err(TransformError::WrongLabelKind(name.to_owned()));
+    }
+    Ok(l)
+}
+
+/// The unique `upper`-label neighbor of `lower`-label node `n`
+/// (the direct FD `lower → upper`).
+fn unique_upper(
+    g: &Graph,
+    n: NodeId,
+    upper: LabelId,
+    what: &str,
+) -> Result<NodeId, TransformError> {
+    let mut it = g.neighbors_with_label(n, upper);
+    let first = it.next().ok_or_else(|| TransformError::FdViolated {
+        message: format!(
+            "{what}: {} has no {} neighbor",
+            g.display_node(n),
+            g.labels().name(upper)
+        ),
+    })?;
+    if it.next().is_some() {
+        return Err(TransformError::FdViolated {
+            message: format!(
+                "{}: {} has more than one upper neighbor",
+                what,
+                g.display_node(n)
+            ),
+        });
+    }
+    Ok(first)
+}
+
+impl Transformation for PullUp {
+    fn name(&self) -> String {
+        format!(
+            "pull-up({}·{} → {}·{})",
+            self.lower_label, self.moved_label, self.upper_label, self.moved_label
+        )
+    }
+
+    fn apply(&self, g: &Graph) -> Result<Graph, TransformError> {
+        let moved = resolve_entity_label(g, &self.moved_label)?;
+        let lower = resolve_entity_label(g, &self.lower_label)?;
+        let upper = resolve_entity_label(g, &self.upper_label)?;
+
+        // Information preservation: every lower of one upper must carry the
+        // same moved-set; otherwise the union at the upper loses which
+        // lower held which edge. With the paper's FDs (lower → moved unique
+        // and upper → moved along lowers) this reduces to per-upper
+        // agreement, which we verify directly.
+        let mut per_upper: Vec<Option<Vec<NodeId>>> = vec![None; g.num_nodes()];
+        for &lo in g.nodes_of_label(lower) {
+            let up = unique_upper(g, lo, upper, &self.lower_label)?;
+            let mut set: Vec<NodeId> = g.neighbors_with_label(lo, moved).collect();
+            set.sort_unstable();
+            match &per_upper[up.index()] {
+                None => per_upper[up.index()] = Some(set),
+                Some(prev) if *prev == set => {}
+                Some(_) => {
+                    return Err(TransformError::FdViolated {
+                        message: format!(
+                        "lowers of {} disagree on their {} edges; pull-up would lose information",
+                        g.display_node(up),
+                        self.moved_label
+                    ),
+                    })
+                }
+            }
+        }
+
+        let mut bld = GraphBuilder::new();
+        copy_labels(&mut bld, g);
+        let ids = copy_nodes(&mut bld, g);
+        for (x, y) in g.edges() {
+            let (lx, ly) = (g.label_of(x), g.label_of(y));
+            let is_moved_edge = (lx == lower && ly == moved) || (lx == moved && ly == lower);
+            if !is_moved_edge {
+                bld.edge(ids[x.index()], ids[y.index()])?;
+            }
+        }
+        for (up_idx, set) in per_upper.iter().enumerate() {
+            if let Some(set) = set {
+                for &m in set {
+                    bld.edge_dedup(ids[up_idx], ids[m.index()])?;
+                }
+            }
+        }
+        Ok(bld.build())
+    }
+}
+
+impl Transformation for PushDown {
+    fn name(&self) -> String {
+        format!(
+            "push-down({}·{} → {}·{})",
+            self.upper_label, self.moved_label, self.lower_label, self.moved_label
+        )
+    }
+
+    fn apply(&self, g: &Graph) -> Result<Graph, TransformError> {
+        let moved = resolve_entity_label(g, &self.moved_label)?;
+        let lower = resolve_entity_label(g, &self.lower_label)?;
+        let upper = resolve_entity_label(g, &self.upper_label)?;
+
+        let mut bld = GraphBuilder::new();
+        copy_labels(&mut bld, g);
+        let ids = copy_nodes(&mut bld, g);
+        for (x, y) in g.edges() {
+            let (lx, ly) = (g.label_of(x), g.label_of(y));
+            let is_moved_edge = (lx == upper && ly == moved) || (lx == moved && ly == upper);
+            if !is_moved_edge {
+                bld.edge(ids[x.index()], ids[y.index()])?;
+            }
+        }
+        for &lo in g.nodes_of_label(lower) {
+            let up = unique_upper(g, lo, upper, &self.lower_label)?;
+            for m in g.neighbors_with_label(up, moved) {
+                bld.edge_dedup(ids[lo.index()], ids[m.index()])?;
+            }
+        }
+        Ok(bld.build())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EntityMap;
+
+    /// Figure 6a (DBLP): papers connect to their proc and area; every
+    /// paper of a proc shares the proc's area.
+    fn dblp6a() -> Graph {
+        let mut b = GraphBuilder::new();
+        let paper = b.entity_label("paper");
+        let proc_ = b.entity_label("proc");
+        let area = b.entity_label("area");
+        let sigmod = b.entity(proc_, "sigmod05");
+        let icml = b.entity(proc_, "icml05");
+        let db = b.entity(area, "databases");
+        let ml = b.entity(area, "learning");
+        for (i, pr, ar) in [(0, sigmod, db), (1, sigmod, db), (2, icml, ml)] {
+            let p = b.entity(paper, &format!("p{i}"));
+            b.edge(p, pr).unwrap();
+            b.edge(p, ar).unwrap();
+        }
+        b.build()
+    }
+
+    fn pull_up() -> PullUp {
+        PullUp {
+            moved_label: "area".into(),
+            lower_label: "paper".into(),
+            upper_label: "proc".into(),
+        }
+    }
+
+    fn push_down() -> PushDown {
+        PushDown {
+            moved_label: "area".into(),
+            upper_label: "proc".into(),
+            lower_label: "paper".into(),
+        }
+    }
+
+    #[test]
+    fn pull_up_rewires_to_upper() {
+        let g = dblp6a();
+        let tg = pull_up().apply(&g).unwrap();
+        let sig = tg.entity_by_name("proc", "sigmod05").unwrap();
+        let db = tg.entity_by_name("area", "databases").unwrap();
+        assert!(tg.has_edge(sig, db));
+        // Papers keep only proc edges.
+        let p0 = tg.entity_by_name("paper", "p0").unwrap();
+        assert_eq!(tg.degree(p0), 1);
+        // Edge count: 3 paper-proc + 2 proc-area.
+        assert_eq!(tg.num_edges(), 5);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let g = dblp6a();
+        let tg = pull_up().apply(&g).unwrap();
+        let back = push_down().apply(&tg).unwrap();
+        assert_eq!(back.num_edges(), g.num_edges());
+        let m = EntityMap::between(&g, &back);
+        for (x, y) in g.edges() {
+            assert!(back.has_edge(m.map(x).unwrap(), m.map(y).unwrap()));
+        }
+    }
+
+    #[test]
+    fn pull_up_rejects_disagreeing_lowers() {
+        // Two papers of one proc in different areas: pulling up would lose
+        // which paper was in which area.
+        let mut b = GraphBuilder::new();
+        let paper = b.entity_label("paper");
+        let proc_ = b.entity_label("proc");
+        let area = b.entity_label("area");
+        let pr = b.entity(proc_, "mixed");
+        let a1 = b.entity(area, "a1");
+        let a2 = b.entity(area, "a2");
+        for (i, ar) in [(0, a1), (1, a2)] {
+            let p = b.entity(paper, &format!("p{i}"));
+            b.edge(p, pr).unwrap();
+            b.edge(p, ar).unwrap();
+        }
+        let g = b.build();
+        assert!(matches!(
+            pull_up().apply(&g),
+            Err(TransformError::FdViolated { .. })
+        ));
+    }
+
+    #[test]
+    fn pull_up_rejects_missing_fd() {
+        // A paper in two procs violates paper → proc.
+        let mut b = GraphBuilder::new();
+        let paper = b.entity_label("paper");
+        let proc_ = b.entity_label("proc");
+        b.entity_label("area");
+        let p = b.entity(paper, "p");
+        let pr1 = b.entity(proc_, "pr1");
+        let pr2 = b.entity(proc_, "pr2");
+        b.edge(p, pr1).unwrap();
+        b.edge(p, pr2).unwrap();
+        let g = b.build();
+        assert!(matches!(
+            pull_up().apply(&g),
+            Err(TransformError::FdViolated { .. })
+        ));
+    }
+
+    #[test]
+    fn untouched_labels_keep_their_edges() {
+        let g = dblp6a();
+        let mut b = GraphBuilder::from_graph(&g);
+        let author = b.entity_label("author");
+        let a = b.entity(author, "alice");
+        let p0 = g.entity_by_name("paper", "p0").unwrap();
+        b.edge(a, p0).unwrap();
+        let g2 = b.build();
+        let tg = pull_up().apply(&g2).unwrap();
+        let a2 = tg.entity_by_name("author", "alice").unwrap();
+        let p02 = tg.entity_by_name("paper", "p0").unwrap();
+        assert!(tg.has_edge(a2, p02));
+    }
+}

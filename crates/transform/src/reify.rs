@@ -1,0 +1,284 @@
+//! Edge ↔ relationship-node reorganizations.
+//!
+//! The simplest relationship reorganizing pair: a binary relationship can be
+//! drawn as a direct edge (SNAP's `paper–paper` citation) or reified into a
+//! valueless node (DBLP's `paper–cite–paper`, Niagara's `directedby`).
+//! Both directions preserve the informative walks, which is exactly the
+//! DBLP-SNAP setting of §4.3 and Table 3.
+
+use repsim_graph::{Graph, GraphBuilder, LabelKind};
+
+use crate::error::TransformError;
+use crate::Transformation;
+
+/// Replaces every edge between two entity labels with a fresh relationship
+/// node connected to both endpoints.
+#[derive(Clone, Debug)]
+pub struct ReifyEdges {
+    /// One endpoint label name.
+    pub a_label: String,
+    /// Other endpoint label name (may equal `a_label`, as in citations).
+    pub b_label: String,
+    /// Name of the relationship label to introduce.
+    pub rel_label: String,
+}
+
+impl Transformation for ReifyEdges {
+    fn name(&self) -> String {
+        format!(
+            "reify({}–{} → {})",
+            self.a_label, self.b_label, self.rel_label
+        )
+    }
+
+    fn apply(&self, g: &Graph) -> Result<Graph, TransformError> {
+        let la = g
+            .labels()
+            .get(&self.a_label)
+            .ok_or_else(|| TransformError::MissingLabel(self.a_label.clone()))?;
+        let lb = g
+            .labels()
+            .get(&self.b_label)
+            .ok_or_else(|| TransformError::MissingLabel(self.b_label.clone()))?;
+        for (name, l) in [(&self.a_label, la), (&self.b_label, lb)] {
+            if g.labels().kind(l) != LabelKind::Entity {
+                return Err(TransformError::WrongLabelKind(name.to_string()));
+            }
+        }
+
+        let mut b = GraphBuilder::new();
+        copy_labels(&mut b, g);
+        let rel = b.relationship_label(&self.rel_label);
+        let ids = copy_nodes(&mut b, g);
+        for (x, y) in g.edges() {
+            let (lx, ly) = (g.label_of(x), g.label_of(y));
+            let matches = (lx == la && ly == lb) || (lx == lb && ly == la);
+            if matches {
+                let r = b.relationship(rel);
+                b.edge(ids[x.index()], r)?;
+                b.edge(r, ids[y.index()])?;
+            } else {
+                b.edge(ids[x.index()], ids[y.index()])?;
+            }
+        }
+        Ok(b.build())
+    }
+}
+
+/// Collapses every node of a relationship label with exactly two neighbors
+/// into a direct edge between those neighbors (the DBLP-SNAP direction).
+#[derive(Clone, Debug)]
+pub struct CollapseRelNodes {
+    /// The relationship label to eliminate.
+    pub rel_label: String,
+}
+
+impl Transformation for CollapseRelNodes {
+    fn name(&self) -> String {
+        format!("collapse({})", self.rel_label)
+    }
+
+    fn apply(&self, g: &Graph) -> Result<Graph, TransformError> {
+        let rel = g
+            .labels()
+            .get(&self.rel_label)
+            .ok_or_else(|| TransformError::MissingLabel(self.rel_label.clone()))?;
+        if g.labels().kind(rel) != LabelKind::Relationship {
+            return Err(TransformError::WrongLabelKind(self.rel_label.clone()));
+        }
+        for &r in g.nodes_of_label(rel) {
+            if g.degree(r) != 2 {
+                return Err(TransformError::BadStructure {
+                    node: r,
+                    message: format!("collapse needs exactly 2 neighbors, found {}", g.degree(r)),
+                });
+            }
+        }
+
+        let mut b = GraphBuilder::new();
+        copy_labels(&mut b, g);
+        let ids = copy_nodes_excluding(&mut b, g, rel);
+        for (x, y) in g.edges() {
+            if g.label_of(x) == rel || g.label_of(y) == rel {
+                continue;
+            }
+            b.edge(ids[x.index()].expect("kept"), ids[y.index()].expect("kept"))?;
+        }
+        for &r in g.nodes_of_label(rel) {
+            let n = g.neighbors(r);
+            // Two relationship nodes may encode the same pair twice (not in
+            // our datasets, but dedup keeps the output a simple graph).
+            b.edge_dedup(
+                ids[n[0].index()].expect("kept"),
+                ids[n[1].index()].expect("kept"),
+            )?;
+        }
+        Ok(b.build())
+    }
+}
+
+/// Copies the label registry (shared by all the operators in this crate).
+pub(crate) fn copy_labels(b: &mut GraphBuilder, g: &Graph) {
+    for l in g.labels().ids() {
+        b.label(g.labels().name(l), g.labels().kind(l));
+    }
+}
+
+/// Copies every node, returning new ids indexed by old id.
+pub(crate) fn copy_nodes(b: &mut GraphBuilder, g: &Graph) -> Vec<repsim_graph::NodeId> {
+    g.node_ids()
+        .map(|n| {
+            let l = b
+                .labels()
+                .get(g.labels().name(g.label_of(n)))
+                .expect("labels copied");
+            match g.value_of(n) {
+                Some(v) => b.entity(l, v),
+                None => b.relationship(l),
+            }
+        })
+        .collect()
+}
+
+/// Copies every node except those of `skip`, returning new ids by old id.
+pub(crate) fn copy_nodes_excluding(
+    b: &mut GraphBuilder,
+    g: &Graph,
+    skip: repsim_graph::LabelId,
+) -> Vec<Option<repsim_graph::NodeId>> {
+    g.node_ids()
+        .map(|n| {
+            if g.label_of(n) == skip {
+                return None;
+            }
+            let l = b
+                .labels()
+                .get(g.labels().name(g.label_of(n)))
+                .expect("labels copied");
+            Some(match g.value_of(n) {
+                Some(v) => b.entity(l, v),
+                None => b.relationship(l),
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{apply_with_map, EntityMap};
+    use repsim_graph::GraphBuilder;
+
+    fn snap() -> Graph {
+        let mut b = GraphBuilder::new();
+        let paper = b.entity_label("paper");
+        let p: Vec<_> = (1..=4).map(|i| b.entity(paper, &format!("p{i}"))).collect();
+        for (a, bb) in [(0, 2), (1, 2), (2, 3)] {
+            b.edge(p[a], p[bb]).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn reify_then_collapse_roundtrips() {
+        let g = snap();
+        let reify = ReifyEdges {
+            a_label: "paper".into(),
+            b_label: "paper".into(),
+            rel_label: "cite".into(),
+        };
+        let (tg, map) = apply_with_map(&reify, &g).unwrap();
+        assert_eq!(tg.num_nodes(), 4 + 3, "one cite node per edge");
+        assert_eq!(tg.num_edges(), 6);
+        assert!(map.is_total_on_entities(&g));
+        // No direct paper-paper edges remain.
+        let paper = tg.labels().get("paper").unwrap();
+        for &p in tg.nodes_of_label(paper) {
+            assert!(tg.neighbors(p).iter().all(|&n| !tg.is_entity(n)));
+        }
+
+        let collapse = CollapseRelNodes {
+            rel_label: "cite".into(),
+        };
+        let back = collapse.apply(&tg).unwrap();
+        assert_eq!(back.num_nodes(), 4);
+        assert_eq!(back.num_edges(), 3);
+        let m = EntityMap::between(&g, &back);
+        for (x, y) in g.edges() {
+            assert!(back.has_edge(m.map(x).unwrap(), m.map(y).unwrap()));
+        }
+    }
+
+    #[test]
+    fn reify_leaves_other_edges_alone() {
+        let mut b = GraphBuilder::new();
+        let paper = b.entity_label("paper");
+        let author = b.entity_label("author");
+        let p = b.entity(paper, "p");
+        let q = b.entity(paper, "q");
+        let a = b.entity(author, "a");
+        b.edge(p, q).unwrap();
+        b.edge(a, p).unwrap();
+        let g = b.build();
+        let t = ReifyEdges {
+            a_label: "paper".into(),
+            b_label: "paper".into(),
+            rel_label: "cite".into(),
+        };
+        let tg = t.apply(&g).unwrap();
+        let a2 = tg.entity_by_name("author", "a").unwrap();
+        let p2 = tg.entity_by_name("paper", "p").unwrap();
+        assert!(tg.has_edge(a2, p2), "author edge untouched");
+    }
+
+    #[test]
+    fn collapse_rejects_wrong_degree() {
+        let mut b = GraphBuilder::new();
+        let film = b.entity_label("film");
+        let actor = b.entity_label("actor");
+        let cast = b.relationship_label("cast");
+        let f = b.entity(film, "f");
+        let a1 = b.entity(actor, "a1");
+        let a2 = b.entity(actor, "a2");
+        let c = b.relationship(cast);
+        for n in [f, a1, a2] {
+            b.edge(c, n).unwrap();
+        }
+        let g = b.build();
+        let t = CollapseRelNodes {
+            rel_label: "cast".into(),
+        };
+        assert!(matches!(
+            t.apply(&g),
+            Err(TransformError::BadStructure { .. })
+        ));
+    }
+
+    #[test]
+    fn missing_and_wrong_labels_rejected() {
+        let g = snap();
+        let t = CollapseRelNodes {
+            rel_label: "cite".into(),
+        };
+        assert_eq!(
+            t.apply(&g).unwrap_err(),
+            TransformError::MissingLabel("cite".into())
+        );
+        let t2 = CollapseRelNodes {
+            rel_label: "paper".into(),
+        };
+        assert_eq!(
+            t2.apply(&g).unwrap_err(),
+            TransformError::WrongLabelKind("paper".into())
+        );
+        let t3 = ReifyEdges {
+            a_label: "ghost".into(),
+            b_label: "paper".into(),
+            rel_label: "cite".into(),
+        };
+        assert_eq!(
+            t3.apply(&g).unwrap_err(),
+            TransformError::MissingLabel("ghost".into())
+        );
+    }
+}

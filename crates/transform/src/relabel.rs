@@ -1,0 +1,186 @@
+//! Label renaming.
+//!
+//! §3 simplifies by assuming transformations do not rename labels and
+//! notes the results extend when they do. [`Relabel`] is that extension's
+//! operator: a pure renaming of semantic types (`film` → `movie`), under
+//! which every similarity algorithm in this workspace is trivially
+//! invariant — checked in the integration tests, and a useful sanity
+//! floor for the robustness harness (an algorithm that changed answers
+//! under renaming would be reading label *strings*, not structure).
+
+use repsim_graph::{Graph, GraphBuilder};
+
+use crate::error::TransformError;
+use crate::Transformation;
+
+/// Renames labels by a `(from, to)` map; unlisted labels keep their names.
+#[derive(Clone, Debug, Default)]
+pub struct Relabel {
+    renames: Vec<(String, String)>,
+}
+
+impl Relabel {
+    /// Builds from `(from, to)` pairs.
+    pub fn new(renames: impl IntoIterator<Item = (String, String)>) -> Relabel {
+        Relabel {
+            renames: renames.into_iter().collect(),
+        }
+    }
+
+    /// Adds a rename.
+    pub fn rename(mut self, from: &str, to: &str) -> Relabel {
+        self.renames.push((from.to_owned(), to.to_owned()));
+        self
+    }
+
+    fn target_name<'a>(&'a self, name: &'a str) -> &'a str {
+        self.renames
+            .iter()
+            .find(|(from, _)| from == name)
+            .map(|(_, to)| to.as_str())
+            .unwrap_or(name)
+    }
+
+    /// The inverse renaming.
+    pub fn inverse(&self) -> Relabel {
+        Relabel {
+            renames: self
+                .renames
+                .iter()
+                .map(|(a, b)| (b.clone(), a.clone()))
+                .collect(),
+        }
+    }
+}
+
+impl Transformation for Relabel {
+    fn name(&self) -> String {
+        let parts: Vec<String> = self
+            .renames
+            .iter()
+            .map(|(a, b)| format!("{a}→{b}"))
+            .collect();
+        format!("relabel({})", parts.join(","))
+    }
+
+    fn apply(&self, g: &Graph) -> Result<Graph, TransformError> {
+        // Renaming must stay injective on the label set, or two semantic
+        // types would merge (not information preserving).
+        let mut targets: Vec<&str> = g
+            .labels()
+            .ids()
+            .map(|l| self.target_name(g.labels().name(l)))
+            .collect();
+        targets.sort_unstable();
+        let before = targets.len();
+        targets.dedup();
+        if targets.len() != before {
+            return Err(TransformError::FdViolated {
+                message: "renaming maps two labels to the same name".to_owned(),
+            });
+        }
+        for (from, _) in &self.renames {
+            if g.labels().get(from).is_none() {
+                return Err(TransformError::MissingLabel(from.clone()));
+            }
+        }
+
+        let mut b = GraphBuilder::new();
+        for l in g.labels().ids() {
+            b.label(self.target_name(g.labels().name(l)), g.labels().kind(l));
+        }
+        let ids: Vec<_> = g
+            .node_ids()
+            .map(|n| {
+                let name = self.target_name(g.labels().name(g.label_of(n)));
+                let l = b.labels().get(name).expect("registered above");
+                match g.value_of(n) {
+                    Some(v) => b.entity(l, v),
+                    None => b.relationship(l),
+                }
+            })
+            .collect();
+        for (x, y) in g.edges() {
+            b.edge(ids[x.index()], ids[y.index()])?;
+        }
+        Ok(b.build())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use repsim_graph::LabelKind;
+
+    fn graph() -> Graph {
+        let mut b = GraphBuilder::new();
+        let film = b.entity_label("film");
+        let actor = b.entity_label("actor");
+        let st = b.relationship_label("starring");
+        let f = b.entity(film, "F");
+        let a = b.entity(actor, "A");
+        let s = b.relationship(st);
+        b.edge(f, s).unwrap();
+        b.edge(s, a).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn renames_labels_keeps_structure() {
+        let g = graph();
+        let t = Relabel::default()
+            .rename("film", "movie")
+            .rename("starring", "cast_in");
+        let tg = t.apply(&g).unwrap();
+        assert!(tg.labels().get("movie").is_some());
+        assert!(tg.labels().get("film").is_none());
+        assert_eq!(
+            tg.labels().kind(tg.labels().get("cast_in").unwrap()),
+            LabelKind::Relationship
+        );
+        assert_eq!(tg.num_nodes(), g.num_nodes());
+        assert_eq!(tg.num_edges(), g.num_edges());
+        let m = tg.entity_by_name("movie", "F").unwrap();
+        assert_eq!(tg.degree(m), 1);
+    }
+
+    #[test]
+    fn inverse_roundtrips() {
+        let g = graph();
+        let t = Relabel::default().rename("film", "movie");
+        let back = t.inverse().apply(&t.apply(&g).unwrap()).unwrap();
+        assert!(crate::verify::same_information(&g, &back));
+    }
+
+    #[test]
+    fn merging_labels_rejected() {
+        let g = graph();
+        let t = Relabel::default().rename("film", "actor");
+        assert!(matches!(
+            t.apply(&g),
+            Err(TransformError::FdViolated { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_source_label_rejected() {
+        let g = graph();
+        let t = Relabel::default().rename("ghost", "spirit");
+        assert_eq!(
+            t.apply(&g).unwrap_err(),
+            TransformError::MissingLabel("ghost".into())
+        );
+    }
+
+    #[test]
+    fn swap_is_legal() {
+        // Swapping two names is injective and must work.
+        let g = graph();
+        let t = Relabel::default()
+            .rename("film", "actor")
+            .rename("actor", "film");
+        let tg = t.apply(&g).unwrap();
+        assert!(tg.entity_by_name("actor", "F").is_some());
+        assert!(tg.entity_by_name("film", "A").is_some());
+    }
+}

@@ -1,0 +1,279 @@
+//! Triangle ↔ star reorganization (the IMDb ↔ Freebase shift of Figure 1).
+//!
+//! IMDb draws an acting engagement as a triangle between an `actor`, the
+//! `char` they play, and the `film`; Freebase draws the same fact as a
+//! `starring` node connected to all three. `T_IMDb2Freebase` of §3 is
+//! exactly [`TriangleToStar`]; its inverse is [`StarToTriangle`].
+
+use repsim_graph::{Graph, GraphBuilder, LabelId, LabelKind, NodeId};
+
+use crate::error::TransformError;
+use crate::reify::{copy_labels, copy_nodes, copy_nodes_excluding};
+use crate::Transformation;
+
+/// Replaces every triangle over three entity labels with a fresh star node.
+#[derive(Clone, Debug)]
+pub struct TriangleToStar {
+    /// The three entity labels of the triangle (distinct).
+    pub corner_labels: [String; 3],
+    /// The relationship label of the introduced star node.
+    pub star_label: String,
+}
+
+impl TriangleToStar {
+    fn corners(&self, g: &Graph) -> Result<[LabelId; 3], TransformError> {
+        let mut out = [LabelId(0); 3];
+        for (i, name) in self.corner_labels.iter().enumerate() {
+            let l = g
+                .labels()
+                .get(name)
+                .ok_or_else(|| TransformError::MissingLabel(name.clone()))?;
+            if g.labels().kind(l) != LabelKind::Entity {
+                return Err(TransformError::WrongLabelKind(name.clone()));
+            }
+            out[i] = l;
+        }
+        Ok(out)
+    }
+}
+
+/// Enumerates all `(a, b, c)` triangles with the given corner labels.
+fn triangles(g: &Graph, [la, lb, lc]: [LabelId; 3]) -> Vec<(NodeId, NodeId, NodeId)> {
+    let mut out = Vec::new();
+    for &a in g.nodes_of_label(la) {
+        for b in g.neighbors_with_label(a, lb) {
+            for c in g.neighbors_with_label(b, lc) {
+                if g.has_edge(c, a) {
+                    out.push((a, b, c));
+                }
+            }
+        }
+    }
+    out
+}
+
+impl Transformation for TriangleToStar {
+    fn name(&self) -> String {
+        format!(
+            "triangle→star({},{},{} → {})",
+            self.corner_labels[0], self.corner_labels[1], self.corner_labels[2], self.star_label
+        )
+    }
+
+    fn apply(&self, g: &Graph) -> Result<Graph, TransformError> {
+        let corners = self.corners(g)?;
+        let tris = triangles(g, corners);
+        // Edges that participate in at least one triangle disappear.
+        let mut doomed: Vec<(NodeId, NodeId)> = Vec::new();
+        for &(a, b, c) in &tris {
+            for (x, y) in [(a, b), (b, c), (c, a)] {
+                let e = if x < y { (x, y) } else { (y, x) };
+                if !doomed.contains(&e) {
+                    doomed.push(e);
+                }
+            }
+        }
+
+        let mut bld = GraphBuilder::new();
+        copy_labels(&mut bld, g);
+        let star = bld.relationship_label(&self.star_label);
+        let ids = copy_nodes(&mut bld, g);
+        for (x, y) in g.edges() {
+            let e = if x < y { (x, y) } else { (y, x) };
+            if !doomed.contains(&e) {
+                bld.edge(ids[x.index()], ids[y.index()])?;
+            }
+        }
+        for &(a, b, c) in &tris {
+            let s = bld.relationship(star);
+            for n in [a, b, c] {
+                bld.edge(ids[n.index()], s)?;
+            }
+        }
+        Ok(bld.build())
+    }
+}
+
+/// Replaces every star node having exactly one neighbor of each corner
+/// label with the triangle over those neighbors.
+#[derive(Clone, Debug)]
+pub struct StarToTriangle {
+    /// The relationship label of the star nodes to eliminate.
+    pub star_label: String,
+    /// The three entity labels expected around each star node.
+    pub corner_labels: [String; 3],
+}
+
+impl Transformation for StarToTriangle {
+    fn name(&self) -> String {
+        format!("star→triangle({})", self.star_label)
+    }
+
+    fn apply(&self, g: &Graph) -> Result<Graph, TransformError> {
+        let star = g
+            .labels()
+            .get(&self.star_label)
+            .ok_or_else(|| TransformError::MissingLabel(self.star_label.clone()))?;
+        if g.labels().kind(star) != LabelKind::Relationship {
+            return Err(TransformError::WrongLabelKind(self.star_label.clone()));
+        }
+        for &s in g.nodes_of_label(star) {
+            if g.degree(s) != 3 {
+                return Err(TransformError::BadStructure {
+                    node: s,
+                    message: format!("star needs exactly 3 neighbors, found {}", g.degree(s)),
+                });
+            }
+        }
+
+        let mut bld = GraphBuilder::new();
+        copy_labels(&mut bld, g);
+        let ids = copy_nodes_excluding(&mut bld, g, star);
+        for (x, y) in g.edges() {
+            if g.label_of(x) == star || g.label_of(y) == star {
+                continue;
+            }
+            bld.edge(ids[x.index()].expect("kept"), ids[y.index()].expect("kept"))?;
+        }
+        for &s in g.nodes_of_label(star) {
+            let n = g.neighbors(s);
+            for (x, y) in [(n[0], n[1]), (n[1], n[2]), (n[0], n[2])] {
+                // Two engagements can share an edge (same actor and film,
+                // two characters): keep the output simple.
+                bld.edge_dedup(ids[x.index()].expect("kept"), ids[y.index()].expect("kept"))?;
+            }
+        }
+        Ok(bld.build())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apply_with_map;
+    use crate::EntityMap;
+
+    /// Figure 1a: two films, two actors, three characters.
+    fn imdb() -> Graph {
+        let mut b = GraphBuilder::new();
+        let actor = b.entity_label("actor");
+        let film = b.entity_label("film");
+        let ch = b.entity_label("char");
+        let ford = b.entity(actor, "H. Ford");
+        let hayden = b.entity(actor, "H. Christensen");
+        let sw3 = b.entity(film, "Star Wars III");
+        let sw5 = b.entity(film, "Star Wars V");
+        let solo = b.entity(ch, "Han Solo");
+        let anakin = b.entity(ch, "Anakin Skywalker");
+        let vader = b.entity(ch, "Darth Vader");
+        for (a, c, f) in [
+            (ford, solo, sw5),
+            (hayden, anakin, sw3),
+            (hayden, vader, sw3),
+        ] {
+            b.edge_dedup(a, c).unwrap();
+            b.edge_dedup(c, f).unwrap();
+            b.edge_dedup(a, f).unwrap();
+        }
+        b.build()
+    }
+
+    fn to_star() -> TriangleToStar {
+        TriangleToStar {
+            corner_labels: ["actor".into(), "char".into(), "film".into()],
+            star_label: "starring".into(),
+        }
+    }
+
+    fn to_triangle() -> StarToTriangle {
+        StarToTriangle {
+            star_label: "starring".into(),
+            corner_labels: ["actor".into(), "char".into(), "film".into()],
+        }
+    }
+
+    #[test]
+    fn imdb_to_freebase_shape() {
+        let g = imdb();
+        let (tg, map) = apply_with_map(&to_star(), &g).unwrap();
+        let starring = tg.labels().get("starring").unwrap();
+        assert_eq!(
+            tg.nodes_of_label(starring).len(),
+            3,
+            "one star per engagement"
+        );
+        assert!(map.is_total_on_entities(&g));
+        // All triangle edges gone: chars have only starring neighbors.
+        let ch = tg.labels().get("char").unwrap();
+        for &c in tg.nodes_of_label(ch) {
+            assert!(tg.neighbors(c).iter().all(|&n| tg.label_of(n) == starring));
+        }
+        // Each star connects exactly one actor, one char, one film.
+        for &s in tg.nodes_of_label(starring) {
+            assert_eq!(tg.degree(s), 3);
+        }
+    }
+
+    #[test]
+    fn roundtrip_recovers_imdb() {
+        let g = imdb();
+        let tg = to_star().apply(&g).unwrap();
+        let back = to_triangle().apply(&tg).unwrap();
+        assert_eq!(back.num_nodes(), g.num_nodes());
+        assert_eq!(back.num_edges(), g.num_edges());
+        let m = EntityMap::between(&g, &back);
+        for (x, y) in g.edges() {
+            assert!(
+                back.has_edge(m.map(x).unwrap(), m.map(y).unwrap()),
+                "edge {}-{} lost",
+                g.display_node(x),
+                g.display_node(y)
+            );
+        }
+    }
+
+    #[test]
+    fn shared_edge_roundtrip() {
+        // Hayden plays both Anakin and Vader in SW3: the actor–film edge is
+        // shared by two triangles; round-trip must not duplicate it.
+        let g = imdb();
+        let tg = to_star().apply(&g).unwrap();
+        let back = to_triangle().apply(&tg).unwrap();
+        let h = back.entity_by_name("actor", "H. Christensen").unwrap();
+        let f = back.entity_by_name("film", "Star Wars III").unwrap();
+        assert!(back.has_edge(h, f));
+    }
+
+    #[test]
+    fn non_triangle_edges_survive() {
+        let mut b = GraphBuilder::new();
+        let actor = b.entity_label("actor");
+        let film = b.entity_label("film");
+        let _ch = b.entity_label("char");
+        let a = b.entity(actor, "a");
+        let f = b.entity(film, "f");
+        b.edge(a, f).unwrap(); // no char → not a triangle
+        let g = b.build();
+        let tg = to_star().apply(&g).unwrap();
+        let a2 = tg.entity_by_name("actor", "a").unwrap();
+        let f2 = tg.entity_by_name("film", "f").unwrap();
+        assert!(tg.has_edge(a2, f2));
+    }
+
+    #[test]
+    fn star_with_wrong_degree_rejected() {
+        let mut b = GraphBuilder::new();
+        let actor = b.entity_label("actor");
+        b.entity_label("char");
+        b.entity_label("film");
+        let st = b.relationship_label("starring");
+        let a = b.entity(actor, "a");
+        let s = b.relationship(st);
+        b.edge(a, s).unwrap();
+        let g = b.build();
+        assert!(matches!(
+            to_triangle().apply(&g),
+            Err(TransformError::BadStructure { .. })
+        ));
+    }
+}

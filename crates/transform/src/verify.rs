@@ -1,0 +1,236 @@
+//! Verification of transformation properties (Theorems 4.1 and 5.1, made
+//! executable).
+//!
+//! Two graphs *represent the same information* for our purposes when their
+//! value-level fingerprints coincide: same labels, same entities, same
+//! direct entity–entity edges, and the same multiset of relationship-node
+//! neighborhoods (a valueless node is observationally just the set of
+//! entities it ties together). Invertibility of a transformation pair is
+//! then a round-trip fingerprint check.
+
+use std::collections::BTreeMap;
+
+use repsim_graph::{Graph, LabelKind};
+
+use crate::error::TransformError;
+use crate::{EntityMap, Transformation};
+
+/// A canonical, node-id-free description of a database's information
+/// content.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fingerprint {
+    /// `(label name, kind is entity)` pairs, sorted.
+    pub labels: Vec<(String, bool)>,
+    /// Entity keys `(label, value)`, sorted.
+    pub entities: Vec<(String, String)>,
+    /// Direct entity–entity edges as sorted key pairs.
+    pub entity_edges: Vec<((String, String), (String, String))>,
+    /// For each relationship node: `(label, sorted entity-neighbor keys)`,
+    /// as a multiset (sorted with multiplicities).
+    pub rel_neighborhoods: Vec<(String, Vec<(String, String)>)>,
+}
+
+/// Computes the fingerprint of a graph.
+///
+/// # Panics
+/// If the graph contains relationship–relationship edges: those regions
+/// have no value-level canonical form in this simple scheme (none of the
+/// paper's databases or transformations produce them).
+pub fn fingerprint(g: &Graph) -> Fingerprint {
+    let mut labels: Vec<(String, bool)> = g
+        .labels()
+        .ids()
+        .map(|l| {
+            (
+                g.labels().name(l).to_owned(),
+                g.labels().kind(l) == LabelKind::Entity,
+            )
+        })
+        .collect();
+    labels.sort();
+
+    let mut entities: Vec<(String, String)> = g.entity_ids().map(|n| g.sort_key(n)).collect();
+    entities.sort();
+
+    let mut entity_edges = Vec::new();
+    let mut rel_neighborhoods = Vec::new();
+    for n in g.node_ids() {
+        if g.is_entity(n) {
+            continue;
+        }
+        let mut nbrs = Vec::with_capacity(g.degree(n));
+        for &m in g.neighbors(n) {
+            assert!(
+                g.is_entity(m),
+                "fingerprint does not support relationship-relationship edges"
+            );
+            nbrs.push(g.sort_key(m));
+        }
+        nbrs.sort();
+        rel_neighborhoods.push((g.labels().name(g.label_of(n)).to_owned(), nbrs));
+    }
+    for (a, b) in g.edges() {
+        if g.is_entity(a) && g.is_entity(b) {
+            let (ka, kb) = (g.sort_key(a), g.sort_key(b));
+            entity_edges.push(if ka <= kb { (ka, kb) } else { (kb, ka) });
+        }
+    }
+    entity_edges.sort();
+    rel_neighborhoods.sort();
+    Fingerprint {
+        labels,
+        entities,
+        entity_edges,
+        rel_neighborhoods,
+    }
+}
+
+/// Whether two graphs carry the same information content (equal
+/// fingerprints up to the label sets, which transformations may extend
+/// with now-unused relationship labels).
+pub fn same_information(a: &Graph, b: &Graph) -> bool {
+    let (fa, fb) = (fingerprint(a), fingerprint(b));
+    fa.entities == fb.entities
+        && fa.entity_edges == fb.entity_edges
+        && fa.rel_neighborhoods == fb.rel_neighborhoods
+}
+
+/// Checks that `t` followed by `t_inv` reproduces the original database's
+/// information content (the executable form of "T is invertible").
+pub fn check_invertible(
+    t: &dyn Transformation,
+    t_inv: &dyn Transformation,
+    g: &Graph,
+) -> Result<bool, TransformError> {
+    let tg = t.apply(g)?;
+    let back = t_inv.apply(&tg)?;
+    Ok(same_information(g, &back))
+}
+
+/// Checks Definition 1 (query preservation): the value-derived entity map
+/// is a bijection between the entity sets that preserves values, and
+/// same-label entities map to same-label entities (trivially true for a
+/// value-derived map; the content is totality both ways).
+pub fn check_query_preserving(g: &Graph, tg: &Graph) -> bool {
+    let fwd = EntityMap::between(g, tg);
+    let bwd = EntityMap::between(tg, g);
+    fwd.is_total_on_entities(g) && bwd.is_total_on_entities(tg)
+}
+
+/// The full "similarity preserving" check of §3: invertible (round-trip
+/// through `t_inv` preserves information) and query preserving.
+pub fn check_similarity_preserving(
+    t: &dyn Transformation,
+    t_inv: &dyn Transformation,
+    g: &Graph,
+) -> Result<bool, TransformError> {
+    let tg = t.apply(g)?;
+    Ok(check_invertible(t, t_inv, g)? && check_query_preserving(g, &tg))
+}
+
+/// Per-label entity count comparison — a cheap smoke test that a
+/// transformation did not invent or drop entities.
+pub fn entity_counts_match(g: &Graph, tg: &Graph) -> bool {
+    let count = |gr: &Graph| -> BTreeMap<String, usize> {
+        let mut m = BTreeMap::new();
+        for l in gr.labels().entity_ids() {
+            let c = gr.nodes_of_label(l).len();
+            if c > 0 {
+                m.insert(gr.labels().name(l).to_owned(), c);
+            }
+        }
+        m
+    };
+    count(g) == count(tg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reify::{CollapseRelNodes, ReifyEdges};
+    use repsim_graph::GraphBuilder;
+
+    fn snap() -> Graph {
+        let mut b = GraphBuilder::new();
+        let paper = b.entity_label("paper");
+        let p: Vec<_> = (1..=3).map(|i| b.entity(paper, &format!("p{i}"))).collect();
+        b.edge(p[0], p[1]).unwrap();
+        b.edge(p[1], p[2]).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn fingerprint_ignores_node_order() {
+        let g1 = snap();
+        // Same content, different insertion order.
+        let mut b = GraphBuilder::new();
+        let paper = b.entity_label("paper");
+        let p3 = b.entity(paper, "p3");
+        let p1 = b.entity(paper, "p1");
+        let p2 = b.entity(paper, "p2");
+        b.edge(p2, p3).unwrap();
+        b.edge(p1, p2).unwrap();
+        let g2 = b.build();
+        assert_eq!(fingerprint(&g1), fingerprint(&g2));
+        assert!(same_information(&g1, &g2));
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_content() {
+        let g1 = snap();
+        let mut b = GraphBuilder::new();
+        let paper = b.entity_label("paper");
+        let p: Vec<_> = (1..=3).map(|i| b.entity(paper, &format!("p{i}"))).collect();
+        b.edge(p[0], p[1]).unwrap();
+        b.edge(p[0], p[2]).unwrap(); // different citation
+        let g2 = b.build();
+        assert!(!same_information(&g1, &g2));
+    }
+
+    #[test]
+    fn reify_collapse_invertible() {
+        let g = snap();
+        let t = ReifyEdges {
+            a_label: "paper".into(),
+            b_label: "paper".into(),
+            rel_label: "cite".into(),
+        };
+        let t_inv = CollapseRelNodes {
+            rel_label: "cite".into(),
+        };
+        assert!(check_invertible(&t, &t_inv, &g).unwrap());
+        let tg = t.apply(&g).unwrap();
+        assert!(check_query_preserving(&g, &tg));
+        assert!(entity_counts_match(&g, &tg));
+        // But the reified form is NOT the same information *shape* as the
+        // original under the naive fingerprint (edges became rel nodes):
+        assert!(!same_information(&g, &tg) || g.num_edges() == 0);
+    }
+
+    #[test]
+    fn similarity_preserving_combines_both_checks() {
+        let g = snap();
+        let t = ReifyEdges {
+            a_label: "paper".into(),
+            b_label: "paper".into(),
+            rel_label: "cite".into(),
+        };
+        let t_inv = CollapseRelNodes {
+            rel_label: "cite".into(),
+        };
+        assert!(check_similarity_preserving(&t, &t_inv, &g).unwrap());
+    }
+
+    #[test]
+    fn dropping_an_entity_fails_preservation() {
+        let g = snap();
+        let mut b = GraphBuilder::new();
+        let paper = b.entity_label("paper");
+        let p1 = b.entity(paper, "p1");
+        let p2 = b.entity(paper, "p2");
+        b.edge(p1, p2).unwrap();
+        let tg = b.build();
+        assert!(!check_query_preserving(&g, &tg));
+        assert!(!entity_counts_match(&g, &tg));
+    }
+}

@@ -1,0 +1,84 @@
+//! Conference similarity search on the MAS-shaped bibliographic database:
+//! \*-labels, FD discovery, and Algorithm 1's automatic meta-walk sets
+//! (§5.2, §6.2).
+//!
+//! Run with `cargo run --example bibliographic_search`.
+
+use repsim::datasets::mas::{self, MasConfig};
+use repsim::prelude::*;
+
+fn main() {
+    let (g, truth) = mas::mas(&MasConfig::tiny());
+    println!(
+        "MAS database: {} nodes, {} edges, {} conferences in {} domains\n",
+        g.num_nodes(),
+        g.num_edges(),
+        truth.conf_values().count(),
+        truth.num_domains(),
+    );
+
+    // 1. Discover the functional dependencies from the instance.
+    let fds = FdSet::discover(&g, 3);
+    println!("discovered FDs:");
+    for fd in fds.fds() {
+        println!(
+            "  {} → {}   via ({})",
+            g.labels().name(fd.lhs()),
+            g.labels().name(fd.rhs()),
+            fd.via().display(g.labels())
+        );
+    }
+    for chain in fds.chains() {
+        let names: Vec<&str> = chain.labels.iter().map(|&l| g.labels().name(l)).collect();
+        println!("  maximal chain: {}", names.join(" ≺ "));
+    }
+
+    // 2. Algorithm 1: the meta-walk set for conference queries.
+    let conf = g.labels().get("conf").expect("conf label");
+    let set = find_meta_walk_set(&g, &fds, conf, 4);
+    println!("\nAlgorithm 1's meta-walk set for `conf` queries:");
+    for mw in &set {
+        println!("  {}", mw.display(g.labels()));
+    }
+
+    // 3. Search: similar conferences to conf000, three ways.
+    let query = g.entity_by_name("conf", "conf000").expect("generated");
+    let show = |name: &str, list: &RankedList| {
+        println!("\n{name}");
+        for &(n, score) in list.entries().iter().take(5) {
+            let v = g.value_of(n).expect("entity");
+            let rel = match truth.relevance("conf000", v) {
+                2 => "similar",
+                1 => "quite-similar",
+                _ => "least-similar",
+            };
+            println!("    {v:<10} {score:.3}  [{rel}]");
+        }
+    };
+
+    let kw_walk = MetaWalk::parse_in(&g, "conf *paper dom kw dom *paper conf").expect("parseable");
+    let mut by_keywords = RPathSim::new(&g, kw_walk);
+    show(
+        "by domain keywords (R-PathSim, *-labels):",
+        &by_keywords.rank(query, conf, 5),
+    );
+
+    let cite_walk = MetaWalk::parse_in(&g, "conf paper citation paper conf").expect("parseable");
+    let mut by_citations = RPathSim::new(&g, cite_walk);
+    show(
+        "by direct citations (R-PathSim):",
+        &by_citations.rank(query, conf, 5),
+    );
+
+    let mut aggregated = AggregatedScorer::new(&g, CountingMode::Informative, set);
+    show(
+        "aggregated over Algorithm 1's set:",
+        &aggregated.rank(query, conf, 5),
+    );
+
+    println!(
+        "\nThe bracketed ground-truth levels come from the generator's domain\n\
+         structure — §6.2 scores these lists with nDCG; run `cargo run\n\
+         --release -p repsim-repro --bin effectiveness` for the full table."
+    );
+}

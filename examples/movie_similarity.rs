@@ -1,0 +1,96 @@
+//! Movie similarity across three real-world representations of the same
+//! catalog: IMDb triangles, Freebase starring nodes, and Niagara cast
+//! groupings (Figures 1–2).
+//!
+//! Run with `cargo run --example movie_similarity`.
+
+use repsim::datasets::movies::{self, MoviesConfig};
+use repsim::prelude::*;
+
+fn show_top(
+    title: &str,
+    g: &Graph,
+    alg: &mut dyn SimilarityAlgorithm,
+    query: NodeId,
+    label: LabelId,
+) {
+    println!("{title}");
+    for &(n, score) in alg.rank(query, label, 3).entries() {
+        println!("    {:<12} {score:.4}", g.value_of(n).expect("entity"));
+    }
+}
+
+fn main() {
+    let cfg = MoviesConfig::tiny();
+    let imdb = movies::imdb_no_chars(&cfg);
+    let niagara = catalog::imdb2ng().apply(&imdb).expect("applies");
+    let freebase = catalog::imdb2fb_no_chars().apply(&imdb).expect("applies");
+    let map_ng = EntityMap::between(&imdb, &niagara);
+    let map_fb = EntityMap::between(&imdb, &freebase);
+
+    println!(
+        "IMDb:     {:>4} nodes / {:>4} edges\nFreebase: {:>4} nodes / {:>4} edges\nNiagara:  {:>4} nodes / {:>4} edges\n",
+        imdb.num_nodes(), imdb.num_edges(),
+        freebase.num_nodes(), freebase.num_edges(),
+        niagara.num_nodes(), niagara.num_edges(),
+    );
+
+    let film = imdb.labels().get("film").expect("films");
+    let film_ng = niagara.labels().get("film").expect("films");
+    let film_fb = freebase.labels().get("film").expect("films");
+    let query = imdb.entity_by_name("film", "film00000").expect("generated");
+    let q_ng = map_ng.map(query).expect("bijection");
+    let q_fb = map_fb.map(query).expect("bijection");
+    println!("query: which films are most similar to film00000?\n");
+
+    println!("— RWR (restart 0.8): the answers depend on the representation —");
+    show_top("  IMDb:", &imdb, &mut Rwr::new(&imdb), query, film);
+    show_top(
+        "  Freebase:",
+        &freebase,
+        &mut Rwr::new(&freebase),
+        q_fb,
+        film_fb,
+    );
+    show_top(
+        "  Niagara:",
+        &niagara,
+        &mut Rwr::new(&niagara),
+        q_ng,
+        film_ng,
+    );
+
+    println!("\n— R-PathSim over \"films sharing actors\": identical everywhere —");
+    let mw_imdb = MetaWalk::parse_in(&imdb, "film actor film").expect("parseable");
+    let mw_fb =
+        MetaWalk::parse_in(&freebase, "film starring actor starring film").expect("parseable");
+    let mw_ng = MetaWalk::parse_in(&niagara, "film cast actor cast film").expect("parseable");
+    show_top(
+        "  IMDb:",
+        &imdb,
+        &mut RPathSim::new(&imdb, mw_imdb),
+        query,
+        film,
+    );
+    show_top(
+        "  Freebase:",
+        &freebase,
+        &mut RPathSim::new(&freebase, mw_fb),
+        q_fb,
+        film_fb,
+    );
+    show_top(
+        "  Niagara:",
+        &niagara,
+        &mut RPathSim::new(&niagara, mw_ng),
+        q_ng,
+        film_ng,
+    );
+
+    println!(
+        "\nThe three R-PathSim lists agree entity-for-entity and score-for-score\n\
+         (Theorem 4.3); the RWR lists usually do not. Table 1's numbers\n\
+         quantify this over 100-query workloads: `cargo run --release -p\n\
+         repsim-repro --bin table1`."
+    );
+}

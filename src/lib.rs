@@ -1,0 +1,84 @@
+#![warn(missing_docs)]
+
+//! # repsim — representation-independent similarity search
+//!
+//! A from-scratch Rust implementation of *"Structural Generalizability:
+//! The Case of Similarity Search"* (SIGMOD 2021; arXiv preprint
+//! *"Representation Independent Proximity and Similarity Search"*): the
+//! R-PathSim algorithm, the representation-independence framework it lives
+//! in, the baseline algorithms it is measured against, the
+//! information-preserving transformations it is robust under, and the full
+//! evaluation harness that regenerates the paper's tables and figures.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use repsim::prelude::*;
+//!
+//! // Build a database: films, actors, and who played in what.
+//! let mut b = GraphBuilder::new();
+//! let film = b.entity_label("film");
+//! let actor = b.entity_label("actor");
+//! let sw3 = b.entity(film, "Star Wars III");
+//! let sw5 = b.entity(film, "Star Wars V");
+//! let jumper = b.entity(film, "Jumper");
+//! let hayden = b.entity(actor, "H. Christensen");
+//! let sam = b.entity(actor, "S. L. Jackson");
+//! b.edge(hayden, sw3).unwrap();
+//! b.edge(hayden, jumper).unwrap();
+//! b.edge(sam, sw3).unwrap();
+//! b.edge(sam, sw5).unwrap();
+//! let g = b.build();
+//!
+//! // Which films are most similar to Star Wars III by shared actors?
+//! let mw = MetaWalk::parse_in(&g, "film actor film").unwrap();
+//! let mut rps = RPathSim::new(&g, mw);
+//! let answers = rps.rank(sw3, film, 10);
+//! assert_eq!(answers.nodes().len(), 2);
+//! ```
+//!
+//! ## Crate map
+//!
+//! | re-export | contents |
+//! |---|---|
+//! | [`graph`] | the §2.2 data model: labels, entities, relationship nodes |
+//! | [`sparse`] | CSR/dense linear algebra under the commuting matrices |
+//! | [`metawalk`] | meta-walks, informative walks, commuting matrices, FDs |
+//! | [`baselines`] | RWR, SimRank (exact + MC), PathSim, Katz, common neighbors |
+//! | [`core`] | R-PathSim, \*-labels, Algorithms 1/2, Definition-2 checker |
+//! | [`transform`] | relationship reorganizing + entity rearranging operators |
+//! | [`datasets`] | seeded generators shaped like the paper's databases |
+//! | [`eval`] | Kendall tau, nDCG, t-test, workloads, experiment runner |
+
+pub use repsim_baselines as baselines;
+pub use repsim_core as core;
+pub use repsim_datasets as datasets;
+pub use repsim_eval as eval;
+pub use repsim_graph as graph;
+pub use repsim_metawalk as metawalk;
+pub use repsim_sparse as sparse;
+pub use repsim_transform as transform;
+
+/// The most commonly used types, one import away.
+pub mod prelude {
+    pub use repsim_baselines::{
+        CommonNeighbors, Katz, PathSim, RankedList, Rwr, SimRank, SimRankMc, SimilarityAlgorithm,
+    };
+    pub use repsim_core::{find_meta_walk_set, AggregatedScorer, CountingMode, RPathSim};
+    pub use repsim_graph::{Graph, GraphBuilder, LabelId, LabelKind, NodeId};
+    pub use repsim_metawalk::{Fd, FdSet, MetaWalk, Step, Walk};
+    pub use repsim_transform::{apply_with_map, catalog, EntityMap, Transformation};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_compiles_and_links() {
+        use crate::prelude::*;
+        let mut b = GraphBuilder::new();
+        let film = b.entity_label("film");
+        let _ = b.entity(film, "x");
+        let g = b.build();
+        assert_eq!(g.num_nodes(), 1);
+    }
+}

@@ -1,0 +1,83 @@
+//! Theorem 5.3 on the remaining entity-rearranging datasets (the theorem
+//! test in `tests/theorems.rs` covers MAS): Algorithm 1's aggregated
+//! R-PathSim score is identical across DBLP2SIGM and WSU2ALCH.
+
+use repsim::prelude::*;
+use repsim_datasets::bibliographic::{self, BibliographicConfig};
+use repsim_datasets::courses::{self, CourseConfig};
+use repsim_metawalk::FdSet;
+
+fn assert_aggregated_invariant(
+    g: &Graph,
+    t: Box<dyn Transformation>,
+    query_label: &str,
+    fd_labels: &[&str],
+    max_len: usize,
+) {
+    let (tg, map) = apply_with_map(&*t, g).unwrap();
+    // Declare the paper's F_L scope (§6.1.2): discovery restricted to the
+    // chain labels, exactly as the paper excludes WSU's instructor FDs.
+    let scope_d: Vec<_> = fd_labels
+        .iter()
+        .map(|n| g.labels().get(n).unwrap())
+        .collect();
+    let scope_t: Vec<_> = fd_labels
+        .iter()
+        .map(|n| tg.labels().get(n).unwrap())
+        .collect();
+    let fds_d = FdSet::discover_among(g, &scope_d, 3);
+    let fds_t = FdSet::discover_among(&tg, &scope_t, 3);
+    let l_d = g.labels().get(query_label).unwrap();
+    let l_t = tg.labels().get(query_label).unwrap();
+    let set_d = find_meta_walk_set(g, &fds_d, l_d, max_len);
+    let set_t = find_meta_walk_set(&tg, &fds_t, l_t, max_len);
+    assert_eq!(
+        set_d.len(),
+        set_t.len(),
+        "{}: Algorithm 1 sets must be bijective ({:?} vs {:?})",
+        t.name(),
+        set_d
+            .iter()
+            .map(|m| m.display(g.labels()))
+            .collect::<Vec<_>>(),
+        set_t
+            .iter()
+            .map(|m| m.display(tg.labels()))
+            .collect::<Vec<_>>(),
+    );
+    let mut agg_d = AggregatedScorer::new(g, CountingMode::Informative, set_d);
+    let mut agg_t = AggregatedScorer::new(&tg, CountingMode::Informative, set_t);
+    for &q in g.nodes_of_label(l_d).iter().take(12) {
+        let tq = map.map(q).unwrap();
+        assert_eq!(
+            agg_d.rank(q, l_d, 10).keyed(g),
+            agg_t.rank(tq, l_t, 10).keyed(&tg),
+            "{}: aggregated rankings must coincide for {q:?}",
+            t.name()
+        );
+    }
+}
+
+#[test]
+fn algorithm1_invariant_under_dblp2sigm() {
+    let g = bibliographic::dblp(&BibliographicConfig::tiny());
+    assert_aggregated_invariant(
+        &g,
+        repsim::transform::catalog::dblp2sigm(),
+        "proc",
+        &["paper", "proc", "area"],
+        4,
+    );
+}
+
+#[test]
+fn algorithm1_invariant_under_wsu2alch() {
+    let g = courses::wsu(&CourseConfig::tiny());
+    assert_aggregated_invariant(
+        &g,
+        repsim::transform::catalog::wsu2alch(),
+        "course",
+        &["offer", "course", "subject"],
+        4,
+    );
+}

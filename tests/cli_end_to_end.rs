@@ -1,0 +1,229 @@
+//! End-to-end tests of the CLI dispatch layer (`repsim_cli::run`), the
+//! same code path the binary executes — covering the command surface the
+//! unit tests in `repsim-cli` don't reach (help, stdout export, chained
+//! scenarios across temp files).
+
+use repsim_cli::{run, CliError};
+
+fn argv(parts: &[&str]) -> Vec<String> {
+    parts.iter().map(|s| s.to_string()).collect()
+}
+
+fn tmp(name: &str) -> String {
+    let dir = std::env::temp_dir().join("repsim-cli-e2e");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    dir.join(name).to_string_lossy().into_owned()
+}
+
+#[test]
+fn help_and_unknown_commands() {
+    let help = run(&argv(&["help"])).unwrap();
+    assert!(help.contains("USAGE"));
+    assert!(help.contains("independence"));
+    let err = run(&argv(&["frobnicate"])).unwrap_err();
+    assert!(matches!(err, CliError::Usage(_)));
+    assert!(
+        err.to_string().contains("USAGE"),
+        "unknown command shows usage"
+    );
+    assert!(run(&[]).is_err(), "empty argv is a usage error");
+}
+
+#[test]
+fn full_movie_scenario() {
+    let graph = tmp("scenario.graph");
+    let fb = tmp("scenario_fb.graph");
+
+    let out = run(&argv(&[
+        "generate",
+        "--dataset",
+        "movies",
+        "--scale",
+        "tiny",
+        "--out",
+        &graph,
+    ]))
+    .unwrap();
+    assert!(out.contains("wrote 154 nodes"), "{out}");
+
+    let stats = run(&argv(&["stats", &graph])).unwrap();
+    assert!(stats.contains("actor: 24"), "{stats}");
+    assert!(stats.contains("actor-film: 80"), "{stats}");
+
+    let ok = run(&argv(&["validate", &graph])).unwrap();
+    assert!(ok.contains("ok"));
+
+    let answers = run(&argv(&[
+        "query",
+        &graph,
+        "--algorithm",
+        "rpathsim",
+        "--meta-walk",
+        "film actor film",
+        "--query",
+        "film:film00000",
+        "-k",
+        "3",
+    ]))
+    .unwrap();
+    assert!(answers.contains("R-PathSim answers"), "{answers}");
+    assert!(answers.lines().count() >= 3, "{answers}");
+
+    let t = run(&argv(&[
+        "transform",
+        &graph,
+        "--name",
+        "imdb2fb",
+        "--out",
+        &fb,
+    ]))
+    .unwrap();
+    assert!(t.contains("wrote 234 nodes"), "{t}");
+
+    // The transformed database answers the corresponding query identically
+    // (Theorem 4.3 through the CLI).
+    let fb_answers = run(&argv(&[
+        "query",
+        &fb,
+        "--algorithm",
+        "rpathsim",
+        "--meta-walk",
+        "film starring actor starring film",
+        "--query",
+        "film:film00000",
+        "-k",
+        "3",
+    ]))
+    .unwrap();
+    let tail = |s: &str| -> Vec<String> { s.lines().skip(1).map(str::to_owned).collect() };
+    assert_eq!(
+        tail(&answers),
+        tail(&fb_answers),
+        "identical ranked answers"
+    );
+
+    let verdict = run(&argv(&[
+        "independence",
+        &graph,
+        "--name",
+        "imdb2fb",
+        "--algorithm",
+        "rpathsim",
+        "--meta-walk",
+        "film actor film",
+        "--meta-walk-t",
+        "film starring actor starring film",
+        "--label",
+        "film",
+        "-n",
+        "8",
+    ]))
+    .unwrap();
+    assert!(verdict.contains("8/8"), "{verdict}");
+    assert!(verdict.contains("representation independent"), "{verdict}");
+}
+
+#[test]
+fn export_to_stdout_and_file() {
+    let graph = tmp("export.graph");
+    run(&argv(&[
+        "generate",
+        "--dataset",
+        "citations-snap",
+        "--scale",
+        "tiny",
+        "--out",
+        &graph,
+    ]))
+    .unwrap();
+    let dot = run(&argv(&["export", &graph, "--format", "dot"])).unwrap();
+    assert!(dot.starts_with("graph repsim {"));
+    let gml_path = tmp("export.graphml");
+    let msg = run(&argv(&[
+        "export", &graph, "--format", "graphml", "--out", &gml_path,
+    ]))
+    .unwrap();
+    assert!(msg.contains("wrote"));
+    let content = std::fs::read_to_string(&gml_path).unwrap();
+    assert!(content.contains("</graphml>"));
+}
+
+#[test]
+fn fds_and_metawalks_through_dispatch() {
+    let graph = tmp("bib.graph");
+    run(&argv(&[
+        "generate",
+        "--dataset",
+        "bibliographic",
+        "--scale",
+        "tiny",
+        "--out",
+        &graph,
+    ]))
+    .unwrap();
+    let fds = run(&argv(&["fds", &graph])).unwrap();
+    assert!(fds.contains("paper -> proc"), "{fds}");
+    assert!(fds.contains("chain: paper < proc < area"), "{fds}");
+    let mws = run(&argv(&["metawalks", &graph, "--label", "proc"])).unwrap();
+    assert!(mws.contains("proc *paper *area *paper proc"), "{mws}");
+}
+
+#[test]
+fn explain_through_dispatch() {
+    let graph = tmp("explain.graph");
+    run(&argv(&[
+        "generate",
+        "--dataset",
+        "movies",
+        "--scale",
+        "tiny",
+        "--out",
+        &graph,
+    ]))
+    .unwrap();
+    let report = run(&argv(&[
+        "explain",
+        &graph,
+        "--meta-walk",
+        "film actor film",
+        "--query",
+        "film:film00000",
+        "--candidate",
+        "film:film00006",
+        "-k",
+        "2",
+    ]))
+    .unwrap();
+    assert!(
+        report.contains("walk(s) connecting") || report.contains("no informative walks"),
+        "{report}"
+    );
+}
+
+#[test]
+fn aggregated_label_mismatch_is_a_clean_error() {
+    let graph = tmp("agg.graph");
+    run(&argv(&[
+        "generate",
+        "--dataset",
+        "movies",
+        "--scale",
+        "tiny",
+        "--out",
+        &graph,
+    ]))
+    .unwrap();
+    let err = run(&argv(&[
+        "query",
+        &graph,
+        "--algorithm",
+        "aggregated",
+        "--label",
+        "actor",
+        "--query",
+        "film:film00000",
+    ]))
+    .unwrap_err();
+    assert!(matches!(err, CliError::Usage(_)), "{err}");
+    assert!(err.to_string().contains("does not match"), "{err}");
+}

@@ -1,0 +1,162 @@
+//! Cross-crate edge cases that the figure-sized fixtures never exercise:
+//! empty label populations, singleton databases, degenerate workloads,
+//! and boundary-size inputs.
+
+use repsim::prelude::*;
+use repsim_eval::spec::AlgorithmSpec;
+use repsim_eval::workload::Workload;
+use repsim_metawalk::commuting::{informative_commuting, plain_commuting};
+use repsim_metawalk::FdSet;
+
+/// A database where one label exists but has no nodes at all.
+fn with_empty_label() -> Graph {
+    let mut b = GraphBuilder::new();
+    let film = b.entity_label("film");
+    let _ghost = b.entity_label("ghost");
+    let actor = b.entity_label("actor");
+    let f = b.entity(film, "f");
+    let a = b.entity(actor, "a");
+    b.edge(f, a).unwrap();
+    b.build()
+}
+
+#[test]
+fn commuting_over_empty_labels_is_empty_not_a_panic() {
+    let g = with_empty_label();
+    let mw = MetaWalk::parse_in(&g, "film ghost film").unwrap();
+    let m = plain_commuting(&g, &mw);
+    assert_eq!(m.nnz(), 0);
+    assert_eq!((m.nrows(), m.ncols()), (1, 1));
+    let inf = informative_commuting(&g, &mw);
+    assert_eq!(inf.nnz(), 0);
+}
+
+#[test]
+fn ranking_over_empty_label_is_empty() {
+    let g = with_empty_label();
+    let ghost = g.labels().get("ghost").unwrap();
+    let f = g.entity_by_name("film", "f").unwrap();
+    let mut rwr = Rwr::new(&g);
+    assert!(rwr.rank(f, ghost, 10).is_empty());
+}
+
+#[test]
+fn singleton_database_survives_every_algorithm() {
+    let mut b = GraphBuilder::new();
+    let film = b.entity_label("film");
+    let f = b.entity(film, "only");
+    let g = b.build();
+    let film = g.labels().get("film").unwrap();
+    for spec in [
+        AlgorithmSpec::Rwr,
+        AlgorithmSpec::SimRank,
+        AlgorithmSpec::SimRankMc { seed: 1 },
+        AlgorithmSpec::Katz,
+        AlgorithmSpec::CommonNeighbors,
+        AlgorithmSpec::SimRankPlusPlus,
+    ] {
+        let mut alg = spec.build(&g);
+        assert!(alg.rank(f, film, 10).is_empty(), "{}", spec.name());
+    }
+}
+
+#[test]
+fn workloads_on_tiny_populations() {
+    let g = with_empty_label();
+    let ghost = g.labels().get("ghost").unwrap();
+    assert!(Workload::Random { seed: 1 }
+        .queries(&g, ghost, 5)
+        .is_empty());
+    assert!(Workload::TopDegree.queries(&g, ghost, 5).is_empty());
+    let film = g.labels().get("film").unwrap();
+    assert_eq!(Workload::TopDegree.queries(&g, film, 5).len(), 1);
+}
+
+#[test]
+fn fd_discovery_on_disconnected_labels() {
+    let g = with_empty_label();
+    let fds = FdSet::discover(&g, 3);
+    // film ↔ actor are 1:1 here, so both direct FDs hold; the component
+    // {film, actor} is cyclic under ≺ and therefore yields no chain.
+    let film = g.labels().get("film").unwrap();
+    let actor = g.labels().get("actor").unwrap();
+    assert!(fds.prec(film, actor) && fds.prec(actor, film));
+    assert!(fds.chains().is_empty(), "cyclic ≺ is not a chain");
+}
+
+#[test]
+fn transformations_on_databases_missing_their_shapes() {
+    // Applying the movie catalog to a citation database must fail cleanly.
+    let mut b = GraphBuilder::new();
+    let paper = b.entity_label("paper");
+    let p1 = b.entity(paper, "p1");
+    let p2 = b.entity(paper, "p2");
+    b.edge(p1, p2).unwrap();
+    let g = b.build();
+    assert!(catalog::imdb2fb().apply(&g).is_err());
+    assert!(catalog::wsu2alch().apply(&g).is_err());
+    // But the citation catalog applies.
+    assert!(catalog::snap2dblp().apply(&g).is_ok());
+}
+
+#[test]
+fn triangle_transformation_on_triangle_free_database_is_identity_shaped() {
+    let mut b = GraphBuilder::new();
+    b.entity_label("char");
+    let actor = b.entity_label("actor");
+    let film = b.entity_label("film");
+    let a = b.entity(actor, "a");
+    let f = b.entity(film, "f");
+    b.edge(a, f).unwrap();
+    let g = b.build();
+    let tg = catalog::imdb2fb().apply(&g).unwrap();
+    assert_eq!(
+        tg.num_edges(),
+        g.num_edges(),
+        "no triangles, nothing to reify"
+    );
+    assert_eq!(tg.num_nodes(), g.num_nodes());
+}
+
+#[test]
+fn query_engine_on_disconnected_query() {
+    use repsim::core::QueryEngine;
+    let g = with_empty_label();
+    let mut b = GraphBuilder::from_graph(&g);
+    let film = g.labels().get("film").unwrap();
+    let lonely = b.entity(film, "lonely");
+    let g2 = b.build();
+    let half = MetaWalk::parse_in(&g2, "film actor").unwrap();
+    let mut engine = QueryEngine::new(&g2, half);
+    let list = engine.rank(lonely, film, 10);
+    // Disconnected query: every score is 0 (or the pair is dropped); the
+    // connected film keeps a zero-score entry with a well-defined order.
+    for &(_, s) in list.entries() {
+        assert_eq!(s, 0.0);
+    }
+}
+
+#[test]
+fn meta_walk_sets_for_labels_without_relations() {
+    // A label connected to nothing yields an empty Algorithm-1 set.
+    let g = with_empty_label();
+    let fds = FdSet::discover(&g, 3);
+    let ghost = g.labels().get("ghost").unwrap();
+    let set = find_meta_walk_set(&g, &fds, ghost, 4);
+    assert!(set.is_empty());
+}
+
+#[test]
+fn kendall_on_zero_score_lists() {
+    use repsim_eval::top_k_kendall;
+    // All-zero scores are total ties; two such lists over the same items
+    // are identical, over different items they still tie everywhere.
+    let a = vec![("x", 0.0), ("y", 0.0)];
+    let b = vec![("y", 0.0), ("x", 0.0)];
+    assert_eq!(top_k_kendall(&a, &b), 0.0);
+    let c = vec![("z", 0.0), ("w", 0.0)];
+    // Every pair involves at least one absent item on one side: absent ties
+    // with absent, but present-vs-absent is an ordered pair against a tie.
+    let d = top_k_kendall(&a, &c);
+    assert!(d > 0.0 && d <= 1.0);
+}

@@ -1,0 +1,70 @@
+//! Property test: incremental commuting-matrix maintenance agrees with
+//! full recomputation over random update sequences.
+
+use proptest::prelude::*;
+use repsim::prelude::*;
+use repsim_metawalk::commuting::informative_commuting;
+use repsim_metawalk::incremental::IncrementalCommuting;
+
+/// A fixed node set (papers + spare cite nodes) and a random sequence of
+/// edge additions wiring papers to cite nodes.
+#[derive(Debug, Clone)]
+struct UpdatePlan {
+    papers: u8,
+    cites: u8,
+    ops: Vec<(u8, u8)>,
+}
+
+fn plan_strategy() -> impl Strategy<Value = UpdatePlan> {
+    (
+        3u8..7,
+        2u8..6,
+        prop::collection::vec((0u8..16, 0u8..16), 1..10),
+    )
+        .prop_map(|(papers, cites, ops)| UpdatePlan { papers, cites, ops })
+}
+
+fn seed_graph(plan: &UpdatePlan) -> Graph {
+    let mut b = GraphBuilder::new();
+    let paper = b.entity_label("paper");
+    let cite = b.relationship_label("cite");
+    let papers: Vec<NodeId> = (0..plan.papers)
+        .map(|i| b.entity(paper, &format!("p{i}")))
+        .collect();
+    // Every cite node starts wired to two distinct papers so the model
+    // assumptions hold from the start.
+    for i in 0..plan.cites {
+        let c = b.relationship(cite);
+        let a = papers[i as usize % papers.len()];
+        let d = papers[(i as usize + 1) % papers.len()];
+        b.edge(a, c).expect("fresh");
+        b.edge(c, d).expect("fresh");
+    }
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn incremental_matches_recompute(plan in plan_strategy()) {
+        let g = seed_graph(&plan);
+        let mw = MetaWalk::parse_in(&g, "paper cite paper cite paper").unwrap();
+        let paper = g.labels().get("paper").unwrap();
+        let cite = g.labels().get("cite").unwrap();
+        let mut inc = IncrementalCommuting::new(&g, mw.clone());
+        let mut cur = g;
+        for &(pi, ci) in &plan.ops {
+            let p = cur.nodes_of_label(paper)[pi as usize % plan.papers as usize];
+            let c = cur.nodes_of_label(cite)[ci as usize % plan.cites as usize];
+            if cur.has_edge(p, c) {
+                continue; // simple graph: skip duplicates
+            }
+            let mut b = GraphBuilder::from_graph(&cur);
+            b.edge(p, c).expect("checked fresh");
+            cur = b.build();
+            inc.apply_edge_change(&cur, paper, cite);
+            prop_assert_eq!(inc.matrix(), &informative_commuting(&cur, &mw));
+        }
+    }
+}

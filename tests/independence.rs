@@ -1,0 +1,163 @@
+//! Definition 2, end to end: which algorithms return the same rankings
+//! across which transformations — the qualitative content of §4.3, §5.2
+//! and Tables 1–4.
+
+use repsim::core::independence::{check_workload, QueryVerdict};
+use repsim::prelude::*;
+use repsim_datasets::citations::{self, CitationConfig};
+use repsim_datasets::courses::{self, CourseConfig};
+use repsim_datasets::movies::{self, MoviesConfig};
+use repsim_eval::spec::AlgorithmSpec;
+use repsim_eval::workload::Workload;
+
+fn verdicts(
+    g: &Graph,
+    tg: &Graph,
+    map: &EntityMap,
+    spec_d: &AlgorithmSpec,
+    spec_t: &AlgorithmSpec,
+    label: &str,
+    n: usize,
+) -> Vec<QueryVerdict> {
+    let l = g.labels().get(label).unwrap();
+    let queries = Workload::Random { seed: 31 }.queries(g, l, n);
+    let mut a = spec_d.build(g);
+    let mut b = spec_t.build(tg);
+    check_workload(g, tg, &|n| map.map(n), a.as_mut(), b.as_mut(), &queries, 10)
+}
+
+#[test]
+fn rpathsim_is_independent_under_every_catalog_transformation() {
+    // Relationship reorganizing: IMDB2FB with the shared-actors walk.
+    let imdb = movies::imdb(&MoviesConfig::tiny());
+    let (fb, map) = apply_with_map(&*catalog::imdb2fb(), &imdb).unwrap();
+    let v = verdicts(
+        &imdb,
+        &fb,
+        &map,
+        &AlgorithmSpec::RPathSim {
+            meta_walk: "film actor film".into(),
+        },
+        &AlgorithmSpec::RPathSim {
+            meta_walk: "film starring actor starring film".into(),
+        },
+        "film",
+        12,
+    );
+    assert!(v.iter().all(QueryVerdict::is_independent), "IMDB2FB: {v:?}");
+
+    // Relationship reorganizing with equal adjacent labels: DBLP2SNAP.
+    let dblp = citations::dblp(&CitationConfig::tiny());
+    let (snap, map) = apply_with_map(&*catalog::dblp2snap(), &dblp).unwrap();
+    let v = verdicts(
+        &dblp,
+        &snap,
+        &map,
+        &AlgorithmSpec::RPathSim {
+            meta_walk: "paper cite paper cite paper".into(),
+        },
+        &AlgorithmSpec::RPathSim {
+            meta_walk: "paper paper paper".into(),
+        },
+        "paper",
+        12,
+    );
+    assert!(
+        v.iter().all(QueryVerdict::is_independent),
+        "DBLP2SNAP: {v:?}"
+    );
+
+    // Entity rearranging with *-labels: WSU2ALCH.
+    let wsu = courses::wsu(&CourseConfig::tiny());
+    let (alch, map) = apply_with_map(&*catalog::wsu2alch(), &wsu).unwrap();
+    let v = verdicts(
+        &wsu,
+        &alch,
+        &map,
+        &AlgorithmSpec::RPathSim {
+            meta_walk: "course *offer subject *offer course".into(),
+        },
+        &AlgorithmSpec::RPathSim {
+            meta_walk: "course subject course".into(),
+        },
+        "course",
+        12,
+    );
+    assert!(
+        v.iter().all(QueryVerdict::is_independent),
+        "WSU2ALCH: {v:?}"
+    );
+}
+
+#[test]
+fn baselines_are_dependent_under_reorganizing() {
+    let dblp = citations::dblp(&CitationConfig::tiny());
+    let (snap, map) = apply_with_map(&*catalog::dblp2snap(), &dblp).unwrap();
+    for spec in [
+        AlgorithmSpec::SimRank,
+        AlgorithmSpec::CommonNeighbors,
+        AlgorithmSpec::Katz,
+        AlgorithmSpec::PathSim {
+            meta_walk: "paper cite paper cite paper".into(),
+        },
+    ] {
+        let spec_t = match &spec {
+            AlgorithmSpec::PathSim { .. } => AlgorithmSpec::PathSim {
+                meta_walk: "paper paper paper".into(),
+            },
+            other => other.clone(),
+        };
+        let v = verdicts(&dblp, &snap, &map, &spec, &spec_t, "paper", 25);
+        assert!(
+            v.iter().any(|q| !q.is_independent()),
+            "{} should break under DBLP2SNAP",
+            spec.name()
+        );
+    }
+}
+
+#[test]
+fn baselines_are_dependent_under_rearranging() {
+    let wsu = courses::wsu(&CourseConfig::paper_scale());
+    let (alch, map) = apply_with_map(&*catalog::wsu2alch(), &wsu).unwrap();
+    for spec in [AlgorithmSpec::Rwr, AlgorithmSpec::SimRank] {
+        let v = verdicts(&wsu, &alch, &map, &spec, &spec, "course", 15);
+        assert!(
+            v.iter().any(|q| !q.is_independent()),
+            "{} should break under WSU2ALCH",
+            spec.name()
+        );
+    }
+    let ps_d = AlgorithmSpec::PathSim {
+        meta_walk: "course offer subject offer course".into(),
+    };
+    let ps_t = AlgorithmSpec::PathSim {
+        meta_walk: "course subject course".into(),
+    };
+    let v = verdicts(&wsu, &alch, &map, &ps_d, &ps_t, "course", 15);
+    assert!(
+        v.iter().any(|q| !q.is_independent()),
+        "PathSim should break under WSU2ALCH"
+    );
+}
+
+#[test]
+fn rwr_is_dependent_under_grouping() {
+    // RWR survives some reorganizations (Table 3's low numbers) but not
+    // the cast-grouping one, which changes film degrees drastically.
+    let imdb = movies::imdb_no_chars(&MoviesConfig::tiny());
+    let (ng, map) = apply_with_map(&*catalog::imdb2ng(), &imdb).unwrap();
+    let v = verdicts(
+        &imdb,
+        &ng,
+        &map,
+        &AlgorithmSpec::Rwr,
+        &AlgorithmSpec::Rwr,
+        "film",
+        25,
+    );
+    assert!(
+        v.iter().any(|q| !q.is_independent()),
+        "RWR should break under IMDB2NG"
+    );
+}

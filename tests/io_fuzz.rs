@@ -1,0 +1,56 @@
+//! Fuzz-style robustness of the text-format parser: arbitrary input must
+//! never panic — it either parses or returns a structured error — and
+//! whatever parses must survive a write/read round trip.
+
+use proptest::prelude::*;
+use repsim::graph::io;
+use repsim_transform::verify::same_information;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn parser_never_panics(input in "\\PC{0,200}") {
+        let _ = io::read(&input);
+    }
+
+    #[test]
+    fn parser_never_panics_on_directive_shaped_input(
+        lines in prop::collection::vec(
+            prop_oneof![
+                Just("label a entity".to_owned()),
+                Just("label r relationship".to_owned()),
+                "label \\w{1,8} (entity|relationship|bogus)",
+                "node [0-9]{1,3} \\w{1,8}( \\w{1,12})?",
+                "edge [0-9]{1,3} [0-9]{1,3}",
+                "# \\w{0,20}",
+                Just(String::new()),
+                "\\PC{0,40}",
+            ],
+            0..20,
+        )
+    ) {
+        let input = lines.join("\n");
+        let _ = io::read(&input);
+    }
+
+    #[test]
+    fn successful_parses_roundtrip(
+        lines in prop::collection::vec(
+            prop_oneof![
+                Just("label a entity".to_owned()),
+                Just("label b entity".to_owned()),
+                "node [0-9]{1,2} a v[0-9]{1,3}",
+                "node [0-9]{1,2} b w[0-9]{1,3}",
+                "edge [0-9]{1,2} [0-9]{1,2}",
+            ],
+            0..16,
+        )
+    ) {
+        let input = lines.join("\n");
+        if let Ok(g) = io::read(&input) {
+            let again = io::read(&io::write(&g)).expect("own output parses");
+            prop_assert!(same_information(&g, &again));
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! Property-based tests over randomly generated databases.
+//!
+//! The single most load-bearing invariant in the workspace is that the
+//! commuting-matrix computation agrees with explicit walk enumeration —
+//! every similarity score rests on it — so it is checked against random
+//! graphs and meta-walks, not just fixtures. The transformation round-trip
+//! and metric axioms get the same treatment.
+
+use proptest::prelude::*;
+use repsim::prelude::*;
+use repsim_eval::top_k_kendall;
+use repsim_metawalk::commuting::{count_between, informative_commuting, plain_commuting};
+use repsim_metawalk::walk;
+use repsim_transform::reify::{CollapseRelNodes, ReifyEdges};
+use repsim_transform::verify::same_information;
+
+/// A random bipartite-ish multi-label graph: `sizes[i]` entities per
+/// label, plus `edges` as (label a, index, label b, index) picks.
+#[derive(Debug, Clone)]
+struct RandomGraph {
+    sizes: Vec<u8>,
+    edges: Vec<(u8, u8, u8, u8)>,
+}
+
+fn random_graph_strategy() -> impl Strategy<Value = RandomGraph> {
+    (
+        prop::collection::vec(1u8..5, 2..4),
+        prop::collection::vec((0u8..4, 0u8..5, 0u8..4, 0u8..5), 1..25),
+    )
+        .prop_map(|(sizes, edges)| RandomGraph { sizes, edges })
+}
+
+fn build(rg: &RandomGraph) -> Graph {
+    let mut b = GraphBuilder::new();
+    let labels: Vec<LabelId> = (0..rg.sizes.len())
+        .map(|i| b.entity_label(&format!("l{i}")))
+        .collect();
+    let nodes: Vec<Vec<NodeId>> = rg
+        .sizes
+        .iter()
+        .enumerate()
+        .map(|(i, &n)| {
+            (0..n)
+                .map(|j| b.entity(labels[i], &format!("v{i}_{j}")))
+                .collect()
+        })
+        .collect();
+    for &(la, ia, lb, ib) in &rg.edges {
+        let la = la as usize % rg.sizes.len();
+        let lb = lb as usize % rg.sizes.len();
+        let a = nodes[la][ia as usize % rg.sizes[la] as usize];
+        let c = nodes[lb][ib as usize % rg.sizes[lb] as usize];
+        if a != c {
+            let _ = b.edge_dedup(a, c);
+        }
+    }
+    b.build()
+}
+
+/// A schema-valid random meta-walk of the given node length, or None if
+/// the graph has no instances to follow.
+fn random_meta_walk(g: &Graph, len: usize, start_pick: u8) -> Option<MetaWalk> {
+    let schema = repsim_graph::SchemaGraph::of(g);
+    let labels: Vec<LabelId> = g.labels().ids().collect();
+    let mut cur = labels[start_pick as usize % labels.len()];
+    let mut seq = vec![cur];
+    for step in 0..len - 1 {
+        let nbrs = schema.neighbors(cur);
+        if nbrs.is_empty() {
+            return None;
+        }
+        cur = nbrs[(start_pick as usize + step * 7) % nbrs.len()];
+        seq.push(cur);
+    }
+    Some(MetaWalk::from_labels(g.labels(), &seq))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn commuting_matrix_agrees_with_enumeration(
+        rg in random_graph_strategy(),
+        len in 2usize..5,
+        pick in 0u8..8,
+    ) {
+        let g = build(&rg);
+        let Some(mw) = random_meta_walk(&g, len, pick) else { return Ok(()); };
+        let plain = plain_commuting(&g, &mw);
+        let inf = informative_commuting(&g, &mw);
+        for &e in g.nodes_of_label(mw.source()) {
+            for &f in g.nodes_of_label(mw.target()) {
+                prop_assert_eq!(
+                    count_between(&g, &mw, &plain, e, f),
+                    walk::count_instances(&g, &mw, e, f) as f64
+                );
+                prop_assert_eq!(
+                    count_between(&g, &mw, &inf, e, f),
+                    walk::count_informative(&g, &mw, e, f) as f64
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reify_collapse_roundtrip_preserves_information(rg in random_graph_strategy()) {
+        let g = build(&rg);
+        let reify = ReifyEdges {
+            a_label: "l0".into(),
+            b_label: "l1".into(),
+            rel_label: "rel".into(),
+        };
+        let collapse = CollapseRelNodes { rel_label: "rel".into() };
+        let tg = reify.apply(&g).unwrap();
+        let back = collapse.apply(&tg).unwrap();
+        prop_assert!(same_information(&g, &back));
+    }
+
+    #[test]
+    fn informative_counts_bounded_by_plain(
+        rg in random_graph_strategy(),
+        len in 2usize..5,
+        pick in 0u8..8,
+    ) {
+        let g = build(&rg);
+        let Some(mw) = random_meta_walk(&g, len, pick) else { return Ok(()); };
+        let plain = plain_commuting(&g, &mw);
+        let inf = informative_commuting(&g, &mw);
+        for (r, c, v) in inf.iter() {
+            prop_assert!(v <= plain.get(r, c), "informative ⊆ all instances");
+            prop_assert!(v >= 0.0);
+        }
+    }
+
+    #[test]
+    fn kendall_tau_axioms(
+        scores_a in prop::collection::vec(0u8..6, 0..8),
+        scores_b in prop::collection::vec(0u8..6, 0..8),
+    ) {
+        let a: Vec<(usize, f64)> = scores_a.iter().enumerate()
+            .map(|(i, &s)| (i, s as f64)).collect();
+        let b: Vec<(usize, f64)> = scores_b.iter().enumerate()
+            .map(|(i, &s)| (i, s as f64)).collect();
+        let d_ab = top_k_kendall(&a, &b);
+        let d_ba = top_k_kendall(&b, &a);
+        prop_assert!((d_ab - d_ba).abs() < 1e-12, "symmetry");
+        prop_assert!((0.0..=1.0).contains(&d_ab), "range");
+        prop_assert_eq!(top_k_kendall(&a, &a), 0.0, "identity");
+    }
+
+    #[test]
+    fn ranking_is_sorted_and_bounded(
+        rg in random_graph_strategy(),
+        k in 1usize..6,
+    ) {
+        let g = build(&rg);
+        let l0 = g.labels().get("l0").unwrap();
+        let Some(&q) = g.nodes_of_label(l0).first() else { return Ok(()); };
+        let mut alg = repsim::baselines::Rwr::new(&g);
+        let list = alg.rank(q, l0, k);
+        prop_assert!(list.len() <= k);
+        let entries = list.entries();
+        for w in entries.windows(2) {
+            prop_assert!(w[0].1 >= w[1].1, "descending scores");
+        }
+        prop_assert!(entries.iter().all(|&(n, _)| n != q), "query excluded");
+    }
+
+    #[test]
+    fn io_roundtrip_random_graphs(rg in random_graph_strategy()) {
+        let g = build(&rg);
+        let back = repsim::graph::io::read(&repsim::graph::io::write(&g)).unwrap();
+        prop_assert!(same_information(&g, &back));
+    }
+
+    #[test]
+    fn rwr_scores_form_distribution(rg in random_graph_strategy()) {
+        let g = build(&rg);
+        let l0 = g.labels().get("l0").unwrap();
+        let Some(&q) = g.nodes_of_label(l0).first() else { return Ok(()); };
+        let rwr = repsim::baselines::Rwr::new(&g);
+        let s = rwr.scores(q);
+        let total: f64 = s.iter().sum();
+        prop_assert!(s.iter().all(|&v| (0.0..=1.0 + 1e-9).contains(&v)));
+        prop_assert!(total <= 1.0 + 1e-6, "mass never exceeds 1, got {}", total);
+    }
+}

@@ -1,0 +1,236 @@
+//! The paper's theorems, executed against the generated datasets.
+//!
+//! | test | theorem |
+//! |---|---|
+//! | `reorganizing_transformations_are_invertible` | 4.1 (via 4.1's invertibility half) |
+//! | `rearranging_transformations_are_invertible` | 5.1 |
+//! | `pathsim_invariant_on_distinct_adjacent_labels` | 4.2 |
+//! | `rpathsim_invariant_under_reorganizing` | 4.3 |
+//! | `rpathsim_star_invariant_under_rearranging` | 5.2 |
+//! | `algorithm1_sets_count_equal_across_rearranging` | 5.3 |
+
+use repsim::prelude::*;
+use repsim_datasets::bibliographic::{self, BibliographicConfig};
+use repsim_datasets::citations::{self, CitationConfig};
+use repsim_datasets::courses::{self, CourseConfig};
+use repsim_datasets::mas::{self, MasConfig};
+use repsim_datasets::movies::{self, MoviesConfig};
+use repsim_metawalk::commuting::informative_commuting;
+use repsim_metawalk::commuting::plain_commuting;
+use repsim_metawalk::FdSet;
+use repsim_transform::verify::{check_invertible, check_query_preserving};
+
+#[test]
+fn reorganizing_transformations_are_invertible() {
+    let imdb = movies::imdb(&MoviesConfig::tiny());
+    assert!(check_invertible(&*catalog::imdb2fb(), &*catalog::fb2imdb(), &imdb).unwrap());
+
+    let snap = citations::snap(&CitationConfig::tiny());
+    assert!(check_invertible(&*catalog::snap2dblp(), &*catalog::dblp2snap(), &snap).unwrap());
+
+    let dblp = citations::dblp(&CitationConfig::tiny());
+    assert!(check_invertible(&*catalog::dblp2snap(), &*catalog::snap2dblp(), &dblp).unwrap());
+}
+
+#[test]
+fn rearranging_transformations_are_invertible() {
+    let dblp = bibliographic::dblp(&BibliographicConfig::tiny());
+    assert!(check_invertible(&*catalog::dblp2sigm(), &*catalog::sigm2dblp(), &dblp).unwrap());
+
+    let wsu = courses::wsu(&CourseConfig::tiny());
+    assert!(check_invertible(&*catalog::wsu2alch(), &*catalog::alch2wsu(), &wsu).unwrap());
+
+    let (masg, _) = mas::mas(&MasConfig::tiny());
+    assert!(check_invertible(&*catalog::mas2alt(), &*catalog::alt2mas(), &masg).unwrap());
+}
+
+#[test]
+fn all_catalog_transformations_are_query_preserving() {
+    let cases: Vec<(Graph, Box<dyn Transformation>)> = vec![
+        (movies::imdb(&MoviesConfig::tiny()), catalog::imdb2fb()),
+        (
+            movies::imdb_no_chars(&MoviesConfig::tiny()),
+            catalog::imdb2ng(),
+        ),
+        (
+            movies::imdb_no_chars(&MoviesConfig::tiny()),
+            catalog::imdb2ng_plus(),
+        ),
+        (
+            citations::dblp(&CitationConfig::tiny()),
+            catalog::dblp2snap(),
+        ),
+        (
+            bibliographic::dblp(&BibliographicConfig::tiny()),
+            catalog::dblp2sigm(),
+        ),
+        (courses::wsu(&CourseConfig::tiny()), catalog::wsu2alch()),
+        (mas::mas(&MasConfig::tiny()).0, catalog::mas2alt()),
+    ];
+    for (g, t) in cases {
+        let (tg, map) = apply_with_map(&*t, &g).unwrap();
+        assert!(
+            check_query_preserving(&g, &tg),
+            "{} must be query preserving",
+            t.name()
+        );
+        assert!(map.is_total_on_entities(&g));
+    }
+}
+
+/// Theorem 4.2: plain PathSim counts are invariant under relationship
+/// reorganizing transformations for meta-walks whose adjacent entity
+/// labels differ.
+#[test]
+fn pathsim_invariant_on_distinct_adjacent_labels() {
+    let cfg = MoviesConfig::tiny();
+    let imdb = movies::imdb(&cfg);
+    let (fb, map) = apply_with_map(&*catalog::imdb2fb(), &imdb).unwrap();
+    let p_imdb = MetaWalk::parse_in(&imdb, "film actor film").unwrap();
+    let p_fb = MetaWalk::parse_in(&fb, "film starring actor starring film").unwrap();
+    assert!(p_imdb.has_distinct_adjacent_entities());
+    let m_imdb = plain_commuting(&imdb, &p_imdb);
+    let m_fb = plain_commuting(&fb, &p_fb);
+    let film = imdb.labels().get("film").unwrap();
+    for &e in imdb.nodes_of_label(film) {
+        for &f in imdb.nodes_of_label(film) {
+            let (te, tf) = (map.map(e).unwrap(), map.map(f).unwrap());
+            assert_eq!(
+                m_imdb.get(imdb.index_in_label(e), imdb.index_in_label(f)),
+                m_fb.get(fb.index_in_label(te), fb.index_in_label(tf)),
+                "|p(e,f,D)| must equal |r(T(e),T(f),T(D))| for {e:?},{f:?}"
+            );
+        }
+    }
+}
+
+/// Theorem 4.3: R-PathSim's informative counts are invariant under
+/// relationship reorganizing even on meta-walks with equal adjacent
+/// entity labels (where plain PathSim provably differs — also asserted).
+#[test]
+fn rpathsim_invariant_under_reorganizing() {
+    let cfg = CitationConfig::tiny();
+    let dblp = citations::dblp(&cfg);
+    let (snap, map) = apply_with_map(&*catalog::dblp2snap(), &dblp).unwrap();
+    let p_d = MetaWalk::parse_in(&dblp, "paper cite paper cite paper").unwrap();
+    let p_s = MetaWalk::parse_in(&snap, "paper paper paper").unwrap();
+    let inf_d = informative_commuting(&dblp, &p_d);
+    let inf_s = informative_commuting(&snap, &p_s);
+    let plain_d = plain_commuting(&dblp, &p_d);
+    let plain_s = plain_commuting(&snap, &p_s);
+    let paper = dblp.labels().get("paper").unwrap();
+    let mut plain_differs = false;
+    for &e in dblp.nodes_of_label(paper) {
+        for &f in dblp.nodes_of_label(paper) {
+            let (te, tf) = (map.map(e).unwrap(), map.map(f).unwrap());
+            let (i, j) = (dblp.index_in_label(e), dblp.index_in_label(f));
+            let (ti, tj) = (snap.index_in_label(te), snap.index_in_label(tf));
+            assert_eq!(
+                inf_d.get(i, j),
+                inf_s.get(ti, tj),
+                "Theorem 4.3 at {e:?},{f:?}"
+            );
+            if plain_d.get(i, j) != plain_s.get(ti, tj) {
+                plain_differs = true;
+            }
+        }
+    }
+    assert!(
+        plain_differs,
+        "plain PathSim counts must differ somewhere (Figure 4)"
+    );
+}
+
+/// Theorem 5.2: with \*-labels, R-PathSim counts are invariant under
+/// entity rearranging transformations.
+#[test]
+fn rpathsim_star_invariant_under_rearranging() {
+    // DBLP → SIGMOD Record.
+    let dblp = bibliographic::dblp(&BibliographicConfig::tiny());
+    let (sigm, map) = apply_with_map(&*catalog::dblp2sigm(), &dblp).unwrap();
+    assert_counts_equal(
+        &dblp,
+        &sigm,
+        &map,
+        "proc *paper area *paper proc",
+        "proc area proc",
+        "proc",
+    );
+    // WSU → Alchemy.
+    let wsu = courses::wsu(&CourseConfig::tiny());
+    let (alch, map) = apply_with_map(&*catalog::wsu2alch(), &wsu).unwrap();
+    assert_counts_equal(
+        &wsu,
+        &alch,
+        &map,
+        "course *offer subject *offer course",
+        "course subject course",
+        "course",
+    );
+    // MAS original → alternative (the §6.2 keyword walk).
+    let (masg, _) = mas::mas(&MasConfig::tiny());
+    let (alt, map) = apply_with_map(&*catalog::mas2alt(), &masg).unwrap();
+    assert_counts_equal(
+        &masg,
+        &alt,
+        &map,
+        "conf *paper dom kw dom *paper conf",
+        "conf dom kw dom conf",
+        "conf",
+    );
+}
+
+fn assert_counts_equal(
+    g: &Graph,
+    tg: &Graph,
+    map: &EntityMap,
+    walk_d: &str,
+    walk_t: &str,
+    label: &str,
+) {
+    let p_d = MetaWalk::parse_in(g, walk_d).unwrap();
+    let p_t = MetaWalk::parse_in(tg, walk_t).unwrap();
+    let m_d = informative_commuting(g, &p_d);
+    let m_t = informative_commuting(tg, &p_t);
+    let l = g.labels().get(label).unwrap();
+    for &e in g.nodes_of_label(l) {
+        for &f in g.nodes_of_label(l) {
+            let (te, tf) = (map.map(e).unwrap(), map.map(f).unwrap());
+            assert_eq!(
+                m_d.get(g.index_in_label(e), g.index_in_label(f)),
+                m_t.get(tg.index_in_label(te), tg.index_in_label(tf)),
+                "count mismatch for {} vs {} at {e:?},{f:?}",
+                walk_d,
+                walk_t
+            );
+        }
+    }
+}
+
+/// Theorem 5.3: the aggregated R-PathSim score over Algorithm 1's
+/// meta-walk sets is equal across an entity rearranging transformation.
+#[test]
+fn algorithm1_sets_count_equal_across_rearranging() {
+    let (masg, _) = mas::mas(&MasConfig::tiny());
+    let (alt, map) = apply_with_map(&*catalog::mas2alt(), &masg).unwrap();
+
+    let fds_d = FdSet::discover(&masg, 3);
+    let fds_t = FdSet::discover(&alt, 3);
+    let conf_d = masg.labels().get("conf").unwrap();
+    let conf_t = alt.labels().get("conf").unwrap();
+    let set_d = find_meta_walk_set(&masg, &fds_d, conf_d, 4);
+    let set_t = find_meta_walk_set(&alt, &fds_t, conf_t, 4);
+    assert_eq!(set_d.len(), set_t.len(), "bijective meta-walk sets");
+
+    let mut agg_d = AggregatedScorer::new(&masg, CountingMode::Informative, set_d);
+    let mut agg_t = AggregatedScorer::new(&alt, CountingMode::Informative, set_t);
+    for &q in masg.nodes_of_label(conf_d) {
+        let tq = map.map(q).unwrap();
+        let a = agg_d.rank(q, conf_d, 10).keyed(&masg);
+        let b = agg_t.rank(tq, conf_t, 10).keyed(&alt);
+        assert_eq!(
+            a, b,
+            "aggregated rankings (with scores) must coincide for {q:?}"
+        );
+    }
+}

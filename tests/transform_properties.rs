@@ -1,0 +1,187 @@
+//! Property-based tests of the transformation operators on random
+//! FD-compliant databases — the Theorem 5.1/5.2 obligations beyond the
+//! fixed datasets.
+
+use proptest::prelude::*;
+use repsim::prelude::*;
+use repsim_metawalk::commuting::informative_commuting;
+use repsim_transform::grouping::{GroupNeighbors, Ungroup};
+use repsim_transform::rearrange::{PullUp, PushDown};
+use repsim_transform::relabel::Relabel;
+use repsim_transform::verify::same_information;
+
+/// A random WSU-shaped database: `assignments[o] = course pick`, courses
+/// spread over subjects; FDs hold by construction.
+#[derive(Debug, Clone)]
+struct ChainDb {
+    courses: u8,
+    subjects: u8,
+    assignments: Vec<u8>,
+}
+
+fn chain_db_strategy() -> impl Strategy<Value = ChainDb> {
+    (2u8..6, 2u8..4, prop::collection::vec(0u8..32, 2..24)).prop_map(
+        |(courses, subjects, assignments)| ChainDb {
+            courses,
+            subjects,
+            assignments,
+        },
+    )
+}
+
+fn build_chain(db: &ChainDb) -> Graph {
+    let mut b = GraphBuilder::new();
+    let offer = b.entity_label("offer");
+    let course = b.entity_label("course");
+    let subject = b.entity_label("subject");
+    let subjects: Vec<_> = (0..db.subjects)
+        .map(|i| b.entity(subject, &format!("s{i}")))
+        .collect();
+    let courses: Vec<_> = (0..db.courses)
+        .map(|i| b.entity(course, &format!("c{i}")))
+        .collect();
+    // Every course needs an offer (surjectivity); then the random tail.
+    let mut picks: Vec<usize> = (0..db.courses as usize).collect();
+    picks.extend(
+        db.assignments
+            .iter()
+            .map(|&a| a as usize % db.courses as usize),
+    );
+    for (o, &c) in picks.iter().enumerate() {
+        let on = b.entity(offer, &format!("o{o}"));
+        b.edge(on, courses[c]).expect("fresh offer");
+        b.edge(on, subjects[c % db.subjects as usize])
+            .expect("fresh offer");
+    }
+    b.build()
+}
+
+fn pull_up() -> PullUp {
+    PullUp {
+        moved_label: "subject".into(),
+        lower_label: "offer".into(),
+        upper_label: "course".into(),
+    }
+}
+
+fn push_down() -> PushDown {
+    PushDown {
+        moved_label: "subject".into(),
+        upper_label: "course".into(),
+        lower_label: "offer".into(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn pull_up_push_down_roundtrip(db in chain_db_strategy()) {
+        let g = build_chain(&db);
+        let tg = pull_up().apply(&g).unwrap();
+        let back = push_down().apply(&tg).unwrap();
+        prop_assert!(same_information(&g, &back), "Theorem 5.1 on a random instance");
+    }
+
+    #[test]
+    fn star_counts_invariant_under_rearranging(db in chain_db_strategy()) {
+        // Theorem 5.2 on random instances: the *-label meta-walk counts
+        // coincide across the pull-up.
+        let g = build_chain(&db);
+        let (tg, map) = apply_with_map(&pull_up(), &g).unwrap();
+        let p_d = MetaWalk::parse_in(&g, "course *offer subject *offer course").unwrap();
+        let p_t = MetaWalk::parse_in(&tg, "course subject course").unwrap();
+        let m_d = informative_commuting(&g, &p_d);
+        let m_t = informative_commuting(&tg, &p_t);
+        let course = g.labels().get("course").unwrap();
+        for &e in g.nodes_of_label(course) {
+            for &f in g.nodes_of_label(course) {
+                let (te, tf) = (map.map(e).unwrap(), map.map(f).unwrap());
+                prop_assert_eq!(
+                    m_d.get(g.index_in_label(e), g.index_in_label(f)),
+                    m_t.get(tg.index_in_label(te), tg.index_in_label(tf))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn grouping_roundtrip(db in chain_db_strategy()) {
+        // Reuse the chain database's offer-course bipartite part for the
+        // grouping operators.
+        let g = build_chain(&db);
+        let group = GroupNeighbors {
+            center_label: "course".into(),
+            member_label: "offer".into(),
+            group_label: "enrollment".into(),
+        };
+        let ungroup = Ungroup {
+            group_label: "enrollment".into(),
+            center_label: "course".into(),
+        };
+        let tg = group.apply(&g).unwrap();
+        let back = ungroup.apply(&tg).unwrap();
+        prop_assert!(same_information(&g, &back));
+    }
+
+    #[test]
+    fn grouping_preserves_rpathsim(db in chain_db_strategy()) {
+        // Theorem 4.3 on random instances: R-PathSim over corresponding
+        // meta-walks is identical across the grouping reorganization.
+        let g = build_chain(&db);
+        let group = GroupNeighbors {
+            center_label: "course".into(),
+            member_label: "offer".into(),
+            group_label: "enrollment".into(),
+        };
+        let (tg, map) = apply_with_map(&group, &g).unwrap();
+        let course = g.labels().get("course").unwrap();
+        let course_t = tg.labels().get("course").unwrap();
+        let mw_d = MetaWalk::parse_in(&g, "course offer course").unwrap();
+        let mw_t = MetaWalk::parse_in(&tg, "course enrollment offer enrollment course").unwrap();
+        let mut a = RPathSim::new(&g, mw_d);
+        let mut b = RPathSim::new(&tg, mw_t);
+        for &q in g.nodes_of_label(course) {
+            let tq = map.map(q).unwrap();
+            prop_assert_eq!(
+                a.rank(q, course, 10).keyed(&g),
+                b.rank(tq, course_t, 10).keyed(&tg)
+            );
+        }
+    }
+
+    #[test]
+    fn relabel_preserves_rankings_up_to_names(db in chain_db_strategy()) {
+        // A pure renaming must not change any algorithm's answers (it only
+        // renames them). Checked for R-PathSim and RWR by value.
+        let g = build_chain(&db);
+        let t = Relabel::default()
+            .rename("offer", "section")
+            .rename("course", "class");
+        let tg = t.apply(&g).unwrap();
+        let class = tg.labels().get("class").unwrap();
+        let course = g.labels().get("course").unwrap();
+
+        let mw_d = MetaWalk::parse_in(&g, "course offer course").unwrap();
+        let mw_t = MetaWalk::parse_in(&tg, "class section class").unwrap();
+        let mut a = RPathSim::new(&g, mw_d);
+        let mut b = RPathSim::new(&tg, mw_t);
+        for &q in g.nodes_of_label(course) {
+            let qv = g.value_of(q).unwrap();
+            let tq = tg.entity_by_name("class", qv).unwrap();
+            let va: Vec<(String, f64)> = a
+                .rank(q, course, 10)
+                .entries()
+                .iter()
+                .map(|&(n, s)| (g.value_of(n).unwrap().to_owned(), s))
+                .collect();
+            let vb: Vec<(String, f64)> = b
+                .rank(tq, class, 10)
+                .entries()
+                .iter()
+                .map(|&(n, s)| (tg.value_of(n).unwrap().to_owned(), s))
+                .collect();
+            prop_assert_eq!(va, vb);
+        }
+    }
+}
