@@ -1,6 +1,44 @@
 //! Ranked answer lists and the algorithm trait.
 
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
 use repsim_graph::{Graph, LabelId, NodeId};
+
+/// A kept top-k candidate, ordered so a max-heap's root is the *worst*
+/// kept answer: lower score is greater (worse); on score ties, the larger
+/// `(label, value)` key is greater (worse). Scores are pre-filtered
+/// finite, and the comparison mirrors the full sort's `partial_cmp`
+/// exactly (`-0.0 == 0.0`), so both paths break ties identically.
+struct HeapEntry {
+    score: f64,
+    key: (String, String),
+    node: NodeId,
+}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .score
+            .partial_cmp(&self.score)
+            .expect("scores are finite")
+            .then_with(|| self.key.cmp(&other.key))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for HeapEntry {}
 
 /// A ranked similarity answer list: `(entity, score)` pairs in
 /// descending-score order, score ties broken ascending by the entity's
@@ -27,6 +65,21 @@ impl RankedList {
             .into_iter()
             .filter(|&(n, s)| n != query && s.is_finite())
             .collect();
+        if k == 0 {
+            return RankedList {
+                entries: Vec::new(),
+            };
+        }
+        // When k is small relative to the candidate count, a bounded heap
+        // keeps only k entries and materializes the allocation-heavy
+        // (label, value) sort key per kept or score-tied candidate instead
+        // of per comparison. The two paths order identically (the unit
+        // tests pin equality), so the cutover is purely a cost choice.
+        if k.saturating_mul(4) <= entries.len() {
+            return RankedList {
+                entries: Self::top_k_by_heap(g, entries, k),
+            };
+        }
         entries.sort_by(|&(a, sa), &(b, sb)| {
             sb.partial_cmp(&sa)
                 .expect("scores are finite")
@@ -34,6 +87,41 @@ impl RankedList {
         });
         entries.truncate(k);
         RankedList { entries }
+    }
+
+    /// Exact top-k selection over `candidates` with a size-k max-heap whose
+    /// root is the worst kept answer (see [`HeapEntry`]).
+    fn top_k_by_heap(g: &Graph, candidates: Vec<(NodeId, f64)>, k: usize) -> Vec<(NodeId, f64)> {
+        debug_assert!(k > 0);
+        let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::with_capacity(k + 1);
+        for (node, score) in candidates {
+            if heap.len() < k {
+                heap.push(HeapEntry {
+                    score,
+                    key: g.sort_key(node),
+                    node,
+                });
+                continue;
+            }
+            let worst = heap.peek().expect("heap holds k > 0 entries");
+            // Reject on score alone before paying for the sort key.
+            if score < worst.score {
+                continue;
+            }
+            if score == worst.score && g.sort_key(node) >= worst.key {
+                continue;
+            }
+            heap.pop();
+            heap.push(HeapEntry {
+                score,
+                key: g.sort_key(node),
+                node,
+            });
+        }
+        heap.into_sorted_vec()
+            .into_iter()
+            .map(|e| (e.node, e.score))
+            .collect()
     }
 
     /// The `(entity, score)` entries, best first.
@@ -133,6 +221,40 @@ mod tests {
         let g = b.build();
         let list = RankedList::from_scores(&g, vec![(x, f64::NAN), (y, 0.5)], q, 10);
         assert_eq!(list.nodes(), vec![y]);
+    }
+
+    #[test]
+    fn heap_top_k_equals_full_sort() {
+        // Many candidates, few distinct scores (forcing tie-breaks), small
+        // k: exercises the bounded-heap path against the full-sort path
+        // (k = usize::MAX keeps every candidate and always full-sorts).
+        let mut b = GraphBuilder::new();
+        let film = b.entity_label("film");
+        let q = b.entity(film, "query");
+        let nodes: Vec<_> = (0..97)
+            .map(|i| b.entity(film, &format!("f{:02}", (i * 41) % 97)))
+            .collect();
+        let g = b.build();
+        let scores: Vec<(NodeId, f64)> = nodes
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| (n, ((i * 7) % 5) as f64))
+            .collect();
+        let full = RankedList::from_scores(&g, scores.clone(), q, usize::MAX);
+        for k in [1, 2, 5, 10, 24] {
+            let heap = RankedList::from_scores(&g, scores.clone(), q, k);
+            assert_eq!(heap, full.truncated(k), "k={k}");
+        }
+    }
+
+    #[test]
+    fn zero_k_is_empty() {
+        let mut b = GraphBuilder::new();
+        let film = b.entity_label("film");
+        let q = b.entity(film, "q");
+        let x = b.entity(film, "x");
+        let g = b.build();
+        assert!(RankedList::from_scores(&g, vec![(x, 1.0)], q, 0).is_empty());
     }
 
     #[test]

@@ -1,0 +1,56 @@
+//! The SpGEMM kernel itself: two-phase serial vs row-band parallel, and
+//! blind left-fold vs DP-planned chain evaluation, on the small citation
+//! fixture's hop matrices.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use repsim_bench::citations_small_dblp;
+use repsim_graph::biadjacency::biadjacency;
+use repsim_metawalk::MetaWalk;
+use repsim_sparse::chain::spmm_chain_with_threads;
+use repsim_sparse::ops::spmm;
+use repsim_sparse::par::spmm_par;
+use repsim_sparse::Csr;
+use std::hint::black_box;
+
+/// The paper→cite→paper hop matrix of the small citation fixture — the
+/// building block every commuting build multiplies.
+fn hop() -> Csr {
+    let g = citations_small_dblp();
+    let mw = MetaWalk::parse_in(&g, "paper cite paper").expect("parseable");
+    let labels: Vec<_> = mw.steps().iter().map(|s| s.label()).collect();
+    let a = biadjacency(&g, labels[0], labels[1]);
+    let b = biadjacency(&g, labels[1], labels[2]);
+    spmm(&a, &b)
+}
+
+fn bench_spmm_threads(c: &mut Criterion) {
+    let hop = hop();
+    let mut group = c.benchmark_group("spgemm/hop-squared");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter(|| black_box(spmm_par(&hop, &hop, t)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_chain_order(c: &mut Criterion) {
+    let hop = hop();
+    let chain = [&hop, &hop, &hop];
+    let mut group = c.benchmark_group("spgemm/chain");
+    group.sample_size(10);
+    group.bench_function("left-fold", |b| {
+        b.iter(|| black_box(chain[1..].iter().fold(hop.clone(), |acc, m| spmm(&acc, m))))
+    });
+    group.bench_function("planned-1-thread", |b| {
+        b.iter(|| black_box(spmm_chain_with_threads(&chain, 1)))
+    });
+    group.bench_function("planned-4-threads", |b| {
+        b.iter(|| black_box(spmm_chain_with_threads(&chain, 4)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_spmm_threads, bench_chain_order);
+criterion_main!(benches);

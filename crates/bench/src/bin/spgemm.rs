@@ -1,0 +1,145 @@
+//! SpGEMM benchmark binary: times informative commuting-matrix builds
+//! across a thread sweep and reports the chain plan the DP chose, writing
+//! machine-readable results to `BENCH_spgemm.json` (CI uploads it as an
+//! artifact; the `paper` scale is the headline speedup measurement).
+//!
+//! ```text
+//! cargo run --release -p repsim-bench --bin spgemm -- \
+//!     [--scale tiny|small|paper] [--threads 1,2,4,8] [--reps 3] [-o FILE]
+//! ```
+
+use std::time::Instant;
+
+use repsim_datasets::citations::{self, CitationConfig};
+use repsim_graph::biadjacency::biadjacency;
+use repsim_metawalk::commuting::informative_commuting_with;
+use repsim_metawalk::MetaWalk;
+use repsim_sparse::chain::{plan_chain, ChainStats};
+use repsim_sparse::Parallelism;
+
+/// The benched meta-walk: three citation hops, each needing the
+/// informative diagonal correction — the heaviest commuting build the
+/// citation fixtures exercise.
+const WALK: &str = "paper cite paper cite paper cite paper";
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = "tiny".to_owned();
+    let mut out = "BENCH_spgemm.json".to_owned();
+    let mut reps = 3usize;
+    let mut threads_arg: Option<String> = None;
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        let mut take = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("{name} needs a value"))
+                .clone()
+        };
+        match a.as_str() {
+            "--scale" => scale = take("--scale"),
+            "--out" | "-o" => out = take("--out"),
+            "--reps" => reps = take("--reps").parse().expect("--reps expects a number"),
+            "--threads" => threads_arg = Some(take("--threads")),
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+
+    let cfg = match scale.as_str() {
+        "tiny" => CitationConfig::tiny(),
+        "small" => CitationConfig::small(),
+        "paper" => CitationConfig::paper_scale(),
+        other => panic!("unknown scale {other:?} (tiny|small|paper)"),
+    };
+    let g = citations::dblp(&cfg);
+    let mw = MetaWalk::parse_in(&g, WALK).expect("parseable walk");
+
+    let available = Parallelism::available().threads();
+    let threads: Vec<usize> = match threads_arg {
+        Some(list) => list
+            .split(',')
+            .map(|t| t.trim().parse().expect("--threads expects numbers"))
+            .collect(),
+        None => {
+            let mut t = vec![1, 2, 4];
+            if !t.contains(&available) {
+                t.push(available);
+            }
+            t.retain(|&n| n >= 1);
+            t.dedup();
+            t
+        }
+    };
+
+    // The raw biadjacency chain for the walk, to report what the DP picks.
+    let labels: Vec<_> = mw.steps().iter().map(|s| s.label()).collect();
+    let mats: Vec<_> = labels
+        .windows(2)
+        .map(|pair| biadjacency(&g, pair[0], pair[1]))
+        .collect();
+    let stats: Vec<ChainStats> = mats.iter().map(ChainStats::of).collect();
+    let plan = plan_chain(&stats);
+
+    // Reference build: serial, correctness anchor for the sweep.
+    let serial = informative_commuting_with(&g, &mw, Parallelism::serial());
+    let mut sweep = Vec::new();
+    let mut all_match = true;
+    for &t in &threads {
+        let par = Parallelism::with_threads(t);
+        let m = informative_commuting_with(&g, &mw, par); // warm-up
+        all_match &= m == serial;
+        let mut best_ms = f64::INFINITY;
+        let mut total_ms = 0.0;
+        for _ in 0..reps.max(1) {
+            let start = Instant::now();
+            let m = informative_commuting_with(&g, &mw, par);
+            let ms = start.elapsed().as_secs_f64() * 1e3;
+            std::hint::black_box(m);
+            best_ms = best_ms.min(ms);
+            total_ms += ms;
+        }
+        sweep.push((t, best_ms, total_ms / reps.max(1) as f64));
+        eprintln!("threads={t:>3}  best {best_ms:9.3} ms");
+    }
+    let serial_best = sweep
+        .iter()
+        .find(|&&(t, ..)| t == 1)
+        .map(|&(_, best, _)| best);
+    let parallel_best = sweep
+        .iter()
+        .filter(|&&(t, ..)| t > 1)
+        .map(|&(_, best, _)| best)
+        .fold(f64::INFINITY, f64::min);
+    let speedup = match serial_best {
+        Some(s) if parallel_best.is_finite() => s / parallel_best,
+        _ => 1.0,
+    };
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!("  \"scale\": \"{scale}\",\n"));
+    json.push_str("  \"dataset\": \"citations-dblp\",\n");
+    json.push_str(&format!("  \"meta_walk\": \"{WALK}\",\n"));
+    json.push_str(&format!("  \"papers\": {},\n", cfg.papers));
+    json.push_str(&format!("  \"result_nnz\": {},\n", serial.nnz()));
+    json.push_str("  \"chain\": {\n");
+    json.push_str(&format!("    \"order\": \"{}\",\n", plan.order.render()));
+    json.push_str(&format!("    \"est_flops\": {:.1},\n", plan.est_flops));
+    json.push_str(&format!("    \"est_nnz\": {:.1}\n", plan.est_nnz));
+    json.push_str("  },\n");
+    json.push_str(&format!("  \"reps\": {reps},\n"));
+    json.push_str(&format!("  \"available_threads\": {available},\n"));
+    json.push_str("  \"sweep\": [\n");
+    for (i, &(t, best, mean)) in sweep.iter().enumerate() {
+        let comma = if i + 1 < sweep.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    {{\"threads\": {t}, \"best_ms\": {best:.3}, \"mean_ms\": {mean:.3}}}{comma}\n"
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!("  \"speedup_over_serial\": {speedup:.3},\n"));
+    json.push_str(&format!("  \"parallel_matches_serial\": {all_match}\n"));
+    json.push_str("}\n");
+    std::fs::write(&out, &json).expect("write bench json");
+    println!("{json}");
+    assert!(all_match, "parallel build diverged from serial");
+}

@@ -92,6 +92,20 @@ impl Args {
                 .map_err(|_| CliError::Usage(format!("--{key} expects a number, got {v:?}"))),
         }
     }
+
+    /// The `--threads` / `-t` worker budget, if given. Zero is rejected
+    /// (use one thread for serial execution).
+    pub fn threads(&self) -> Result<Option<usize>, CliError> {
+        match self.get("threads") {
+            None => Ok(None),
+            Some(v) => match v.parse::<usize>() {
+                Ok(n) if n > 0 => Ok(Some(n)),
+                _ => Err(CliError::Usage(format!(
+                    "--threads expects a positive number, got {v:?}"
+                ))),
+            },
+        }
+    }
 }
 
 fn expand_short(key: &str) -> &str {
@@ -99,6 +113,7 @@ fn expand_short(key: &str) -> &str {
         "o" => "out",
         "k" => "k",
         "n" => "n",
+        "t" => "threads",
         other => other,
     }
 }
@@ -149,5 +164,22 @@ mod tests {
     fn bad_numbers_rejected() {
         let a = Args::parse(&argv("--k five")).unwrap();
         assert!(a.get_usize("k", 1).is_err());
+    }
+
+    #[test]
+    fn threads_flag_parses_and_validates() {
+        assert_eq!(Args::parse(&argv("")).unwrap().threads().unwrap(), None);
+        let a = Args::parse(&argv("--threads 4")).unwrap();
+        assert_eq!(a.threads().unwrap(), Some(4));
+        let short = Args::parse(&argv("-t 2")).unwrap();
+        assert_eq!(short.threads().unwrap(), Some(2));
+        assert!(Args::parse(&argv("--threads 0"))
+            .unwrap()
+            .threads()
+            .is_err());
+        assert!(Args::parse(&argv("--threads x"))
+            .unwrap()
+            .threads()
+            .is_err());
     }
 }

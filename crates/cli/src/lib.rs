@@ -32,6 +32,11 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         .split_first()
         .ok_or_else(|| CliError::Usage(USAGE.to_owned()))?;
     let args = Args::parse(rest)?;
+    if let Some(n) = args.threads()? {
+        // Routes through every kernel that defaults its thread budget
+        // (commuting-matrix builds, SimRank iterations, query sweeps).
+        repsim_sparse::Parallelism::set_global(n);
+    }
     match command.as_str() {
         "generate" => commands::generate(&args),
         "stats" => commands::stats(&args),
@@ -76,4 +81,8 @@ COMMANDS:
   export       FILE --format <dot|graphml> [-o FILE]
   explain      FILE --meta-walk \"...\" --query label:value
                --candidate label:value [-k N]   show witnessing walks
+
+GLOBAL OPTIONS:
+  --threads N | -t N   worker threads for matrix builds and query sweeps
+                       (default: REPSIM_THREADS env var, else all cores)
 ";

@@ -20,9 +20,9 @@
 //! [`crate::rpathsim::RPathSim`].
 
 use repsim_graph::{Graph, LabelId, NodeId};
-use repsim_metawalk::commuting::informative_commuting;
+use repsim_metawalk::commuting::informative_commuting_with;
 use repsim_metawalk::MetaWalk;
-use repsim_sparse::Csr;
+use repsim_sparse::{Csr, Parallelism};
 
 use repsim_baselines::ranking::{RankedList, SimilarityAlgorithm};
 
@@ -34,19 +34,28 @@ pub struct QueryEngine<'g> {
     m_half: Csr,
     /// `M̂_p(e,e)` per source-label index.
     diag: Vec<f64>,
+    /// Thread budget for builds and query-time row sweeps.
+    par: Parallelism,
 }
 
 impl<'g> QueryEngine<'g> {
     /// Builds the engine for ranking `half.source()` entities by the
-    /// closed walk `half · half⁻¹`.
+    /// closed walk `half · half⁻¹`, with the default [`Parallelism`].
     pub fn new(g: &'g Graph, half: MetaWalk) -> Self {
-        let m_half = informative_commuting(g, &half);
+        Self::with_parallelism(g, half, Parallelism::default())
+    }
+
+    /// [`QueryEngine::new`] with an explicit thread budget, used for both
+    /// the half-matrix build and query-time cross-count sweeps.
+    pub fn with_parallelism(g: &'g Graph, half: MetaWalk, par: Parallelism) -> Self {
+        let m_half = informative_commuting_with(g, &half, par);
         let diag = m_half.row_sq_sums();
         QueryEngine {
             g,
             half,
             m_half,
             diag,
+            par,
         }
     }
 
@@ -87,6 +96,10 @@ impl<'g> QueryEngine<'g> {
 
     /// All cross counts `M̂_p(e, ·)` for one query, via a single pass over
     /// the half matrix (the sparse mat-vec path used by `rank`).
+    ///
+    /// The row sweep splits into contiguous bands across the thread
+    /// budget; each band writes a disjoint slice of the output, so the
+    /// result is identical for any thread count.
     fn cross_counts(&self, e: NodeId) -> Vec<f64> {
         let qi = self.g.index_in_label(e);
         let (qc, qv) = self.m_half.row(qi);
@@ -95,14 +108,37 @@ impl<'g> QueryEngine<'g> {
         for (&c, &v) in qc.iter().zip(qv) {
             weights[c as usize] = v;
         }
-        let mut out = vec![0.0; self.m_half.nrows()];
-        for (r, o) in out.iter_mut().enumerate() {
-            let (cols, vals) = self.m_half.row(r);
-            let mut sum = 0.0;
-            for (&c, &v) in cols.iter().zip(vals) {
-                sum += v * weights[c as usize];
+        let nrows = self.m_half.nrows();
+        let mut out = vec![0.0; nrows];
+        // Banding pays off only when the sweep dwarfs thread start-up.
+        let threads = if self.m_half.nnz() < 4096 {
+            1
+        } else {
+            self.par.threads()
+        };
+        let bands = repsim_sparse::par::chunks(nrows, threads);
+        let sweep = |lo: usize, band: &mut [f64]| {
+            for (r, o) in (lo..).zip(band.iter_mut()) {
+                let (cols, vals) = self.m_half.row(r);
+                let mut sum = 0.0;
+                for (&c, &v) in cols.iter().zip(vals) {
+                    sum += v * weights[c as usize];
+                }
+                *o = sum;
             }
-            *o = sum;
+        };
+        if bands.len() <= 1 {
+            sweep(0, &mut out);
+        } else {
+            let mut rest = out.as_mut_slice();
+            std::thread::scope(|scope| {
+                for &(lo, hi) in &bands {
+                    let (band, tail) = std::mem::take(&mut rest).split_at_mut(hi - lo);
+                    rest = tail;
+                    let sweep = &sweep;
+                    scope.spawn(move || sweep(lo, band));
+                }
+            });
         }
         out
     }

@@ -17,6 +17,7 @@
 use repsim_graph::biadjacency::biadjacency;
 use repsim_graph::{Graph, LabelId, NodeId};
 use repsim_metawalk::MetaWalk;
+use repsim_sparse::chain::ChainStats;
 
 use repsim_baselines::ranking::{RankedList, SimilarityAlgorithm};
 
@@ -32,19 +33,24 @@ pub enum Plan {
     HalfFactorized,
 }
 
-/// Estimated nnz of the product chain along `labels`, assuming
-/// independent-ish fan-out: running estimate
-/// `nnz(AB) ≈ min(rows·cols, nnz(A)·nnz(B)/shared_dim)`.
+/// Estimated nnz of the product chain along `labels`, delegating to the
+/// fan-out model in [`repsim_sparse::chain::estimate_chain_nnz`] — the
+/// same estimator the chain-ordering DP uses, so plan choice and
+/// association order share one cost model.
 fn estimate_chain_nnz(g: &Graph, labels: &[LabelId]) -> f64 {
     let rows = g.nodes_of_label(labels[0]).len() as f64;
-    let mut nnz = rows.max(1.0);
-    for pair in labels.windows(2) {
-        let a = biadjacency(g, pair[0], pair[1]);
-        let shared = g.nodes_of_label(pair[0]).len().max(1) as f64;
-        let cols = g.nodes_of_label(pair[1]).len() as f64;
-        nnz = (nnz * a.nnz() as f64 / shared).min(rows * cols).max(0.0);
+    let stats: Vec<ChainStats> = labels
+        .windows(2)
+        .map(|pair| ChainStats {
+            rows: g.nodes_of_label(pair[0]).len() as f64,
+            cols: g.nodes_of_label(pair[1]).len() as f64,
+            nnz: biadjacency(g, pair[0], pair[1]).nnz() as f64,
+        })
+        .collect();
+    if stats.is_empty() {
+        return rows.max(1.0);
     }
-    nnz
+    repsim_sparse::chain::estimate_chain_nnz(&stats)
 }
 
 /// Picks a plan for the closure of `half`, given the number of queries the

@@ -1,9 +1,9 @@
 //! R-PathSim: PathSim over informative walks (§4.3, §5.2).
 
 use repsim_graph::{Graph, LabelId, NodeId};
-use repsim_metawalk::commuting::informative_commuting;
+use repsim_metawalk::commuting::informative_commuting_with;
 use repsim_metawalk::MetaWalk;
-use repsim_sparse::Csr;
+use repsim_sparse::{Csr, Parallelism};
 
 use repsim_baselines::ranking::{RankedList, SimilarityAlgorithm};
 
@@ -23,17 +23,23 @@ pub struct RPathSim<'g> {
 
 impl<'g> RPathSim<'g> {
     /// Builds the informative commuting matrix for `mw`, which must start
-    /// and end at the same label.
+    /// and end at the same label, with the default [`Parallelism`].
     ///
     /// # Panics
     /// If `mw`'s endpoints differ.
     pub fn new(g: &'g Graph, mw: MetaWalk) -> Self {
+        Self::with_parallelism(g, mw, Parallelism::default())
+    }
+
+    /// [`RPathSim::new`] with an explicit thread budget for the
+    /// commuting-matrix build.
+    pub fn with_parallelism(g: &'g Graph, mw: MetaWalk, par: Parallelism) -> Self {
         assert_eq!(
             mw.source(),
             mw.target(),
             "R-PathSim meta-walks must start and end at the same label"
         );
-        let m = informative_commuting(g, &mw);
+        let m = informative_commuting_with(g, &mw, par);
         RPathSim { g, mw, m }
     }
 

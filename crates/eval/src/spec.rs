@@ -97,9 +97,8 @@ impl AlgorithmSpec {
             AlgorithmSpec::Rwr => Box::new(Rwr::new(g)),
             AlgorithmSpec::SimRank => {
                 // Bit-identical to serial, just faster on big graphs.
-                let threads = std::thread::available_parallelism()
-                    .map(|n| n.get())
-                    .unwrap_or(1);
+                // Honors --threads / REPSIM_THREADS like the sparse kernels.
+                let threads = repsim_sparse::Parallelism::default().threads();
                 Box::new(SimRank::with_threads(g, threads))
             }
             AlgorithmSpec::SimRankMc { seed } => Box::new(SimRankMc::new(g, *seed)),

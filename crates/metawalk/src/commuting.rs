@@ -24,31 +24,42 @@ use std::collections::HashMap;
 
 use repsim_graph::biadjacency::biadjacency;
 use repsim_graph::{Graph, LabelId};
-use repsim_sparse::ops::spmm;
-use repsim_sparse::Csr;
+use repsim_sparse::chain::spmm_chain_with_threads;
+use repsim_sparse::{Csr, Parallelism};
 
 use crate::metawalk::MetaWalk;
 
 /// Computes the plain commuting matrix `M_p` (all instances, PathSim's
-/// semantics).
+/// semantics) with the default [`Parallelism`].
 ///
 /// # Panics
 /// If `mw` contains a \*-label (plain PathSim has no \*-label semantics).
 pub fn plain_commuting(g: &Graph, mw: &MetaWalk) -> Csr {
+    plain_commuting_with(g, mw, Parallelism::default())
+}
+
+/// [`plain_commuting`] with an explicit thread budget.
+pub fn plain_commuting_with(g: &Graph, mw: &MetaWalk, par: Parallelism) -> Csr {
     assert!(
         !mw.has_star(),
         "plain commuting matrices cannot use *-labels"
     );
-    compute(g, mw, false)
+    compute(g, mw, false, par)
 }
 
 /// Computes the informative commuting matrix `M̂_p` (informative instances
-/// only — R-PathSim's semantics), with \*-segments binarized.
+/// only — R-PathSim's semantics), with \*-segments binarized, using the
+/// default [`Parallelism`].
 pub fn informative_commuting(g: &Graph, mw: &MetaWalk) -> Csr {
-    compute(g, mw, true)
+    informative_commuting_with(g, mw, Parallelism::default())
 }
 
-fn compute(g: &Graph, mw: &MetaWalk, informative: bool) -> Csr {
+/// [`informative_commuting`] with an explicit thread budget.
+pub fn informative_commuting_with(g: &Graph, mw: &MetaWalk, par: Parallelism) -> Csr {
+    compute(g, mw, true, par)
+}
+
+fn compute(g: &Graph, mw: &MetaWalk, informative: bool, par: Parallelism) -> Csr {
     let steps = mw.steps();
     let entity_pos: Vec<usize> = (0..steps.len()).filter(|&i| steps[i].is_entity()).collect();
     debug_assert!(entity_pos.first() == Some(&0));
@@ -60,45 +71,64 @@ fn compute(g: &Graph, mw: &MetaWalk, informative: bool) -> Csr {
         return Csr::identity(n);
     }
 
-    // Multiply hop matrices, binarizing at the close of each *-run.
-    let mut total: Option<Csr> = None;
-    let mut segment: Option<Csr> = None;
+    // Collect hop matrices per segment, binarizing at the close of each
+    // *-run, then join everything with cost-ordered chain products.
+    // Corrections (diagonal removal per hop, binarization per segment)
+    // happen before any cross-hop or cross-segment product, so the chain
+    // planner is free to reassociate each product level.
+    let mut segments: Vec<Csr> = Vec::new();
+    let mut hops: Vec<Csr> = Vec::new();
     let mut segment_has_star = false;
     for w in entity_pos.windows(2) {
-        let hop = hop_matrix(g, steps[w[0]..=w[1]].iter().map(|s| s.label()), informative);
-        segment = Some(match segment {
-            None => hop,
-            Some(prev) => spmm(&prev, &hop),
-        });
-        let arrived = steps[w[1]];
-        if arrived.is_star() {
+        hops.push(hop_matrix(
+            g,
+            steps[w[0]..=w[1]].iter().map(|s| s.label()),
+            informative,
+            par,
+        ));
+        if steps[w[1]].is_star() {
             segment_has_star = true;
             continue;
         }
         // Arrived at a plain entity: close the current segment.
-        let mut seg = segment.take().expect("segment in progress");
+        let mut seg = chain_product(std::mem::take(&mut hops), par);
         if segment_has_star {
             seg = seg.binarized();
             segment_has_star = false;
         }
-        total = Some(match total {
-            None => seg,
-            Some(prev) => spmm(&prev, &seg),
-        });
+        segments.push(seg);
     }
-    total.expect("at least one hop")
+    debug_assert!(hops.is_empty(), "meta-walk must end at a plain entity");
+    chain_product(segments, par)
 }
 
-/// The matrix of a single hop `l_i (rels…) l_j`: the product of biadjacency
-/// matrices along the label sequence, with the diagonal removed when the
-/// endpoint labels are equal and `informative` is set.
-fn hop_matrix(g: &Graph, labels: impl IntoIterator<Item = LabelId>, informative: bool) -> Csr {
+/// Cost-ordered product of an owned, non-empty chain (single factors pass
+/// through without a copy).
+fn chain_product(mats: Vec<Csr>, par: Parallelism) -> Csr {
+    assert!(!mats.is_empty(), "at least one hop");
+    if mats.len() == 1 {
+        return mats.into_iter().next().expect("non-empty chain");
+    }
+    let refs: Vec<&Csr> = mats.iter().collect();
+    spmm_chain_with_threads(&refs, par.threads())
+}
+
+/// The matrix of a single hop `l_i (rels…) l_j`: the cost-ordered product
+/// of biadjacency matrices along the label sequence, with the diagonal
+/// removed when the endpoint labels are equal and `informative` is set.
+fn hop_matrix(
+    g: &Graph,
+    labels: impl IntoIterator<Item = LabelId>,
+    informative: bool,
+    par: Parallelism,
+) -> Csr {
     let labels: Vec<LabelId> = labels.into_iter().collect();
     debug_assert!(labels.len() >= 2);
-    let mut m = biadjacency(g, labels[0], labels[1]);
-    for pair in labels.windows(2).skip(1) {
-        m = spmm(&m, &biadjacency(g, pair[0], pair[1]));
-    }
+    let mats: Vec<Csr> = labels
+        .windows(2)
+        .map(|pair| biadjacency(g, pair[0], pair[1]))
+        .collect();
+    let mut m = chain_product(mats, par);
     if informative && labels[0] == *labels.last().expect("non-empty hop") {
         m = m.subtract_diagonal();
     }
@@ -139,17 +169,26 @@ impl CommutingCache {
     }
 
     /// The plain commuting matrix of `mw`, computed on first use.
+    ///
+    /// Misses pay one `mw.clone()` for the key; hits are allocation-free
+    /// (the `entry` API would clone the key on every call).
     pub fn plain<'a>(&'a mut self, g: &Graph, mw: &MetaWalk) -> &'a Csr {
-        self.plain
-            .entry(mw.clone())
-            .or_insert_with(|| plain_commuting(g, mw))
+        if !self.plain.contains_key(mw) {
+            let m = plain_commuting(g, mw);
+            self.plain.insert(mw.clone(), m);
+        }
+        self.plain.get(mw).expect("just inserted")
     }
 
     /// The informative commuting matrix of `mw`, computed on first use.
+    ///
+    /// Misses pay one `mw.clone()` for the key; hits are allocation-free.
     pub fn informative<'a>(&'a mut self, g: &Graph, mw: &MetaWalk) -> &'a Csr {
-        self.informative
-            .entry(mw.clone())
-            .or_insert_with(|| informative_commuting(g, mw))
+        if !self.informative.contains_key(mw) {
+            let m = informative_commuting(g, mw);
+            self.informative.insert(mw.clone(), m);
+        }
+        self.informative.get(mw).expect("just inserted")
     }
 
     /// Number of cached matrices.

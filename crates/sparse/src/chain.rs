@@ -1,0 +1,249 @@
+//! Cost-ordered sparse matrix-chain multiplication.
+//!
+//! Commuting matrices are products of biadjacency chains (§4.3). The chain
+//! product is associative, so the association order is a pure performance
+//! choice — and a blind left fold can be orders of magnitude more expensive
+//! than the optimum when a cheap join sits deep on the chain's right (e.g.
+//! a wide hub label early in the walk). This module estimates each
+//! intermediate product's nnz with the same independent-fan-out model the
+//! core planner uses for physical-plan choice, runs the classic
+//! matrix-chain DP over estimated Gustavson flops, and evaluates the chain
+//! in the chosen order.
+//!
+//! The estimator is deliberately a function of the *sub-chain*, not of the
+//! association order, so the DP's size table is well-defined.
+
+use crate::ops::spmm_with_threads;
+use crate::Csr;
+
+/// Shape and occupancy statistics of one chain factor.
+#[derive(Clone, Copy, Debug)]
+pub struct ChainStats {
+    /// Row count as a float (estimates only).
+    pub rows: f64,
+    /// Column count as a float.
+    pub cols: f64,
+    /// Stored-entry count as a float.
+    pub nnz: f64,
+}
+
+impl ChainStats {
+    /// Statistics of a concrete matrix.
+    pub fn of(m: &Csr) -> ChainStats {
+        ChainStats {
+            rows: m.nrows() as f64,
+            cols: m.ncols() as f64,
+            nnz: m.nnz() as f64,
+        }
+    }
+}
+
+/// Estimated nnz of the product of the chain described by `stats`,
+/// assuming independent-ish fan-out: running estimate
+/// `nnz(AB) ≈ min(rows·cols, nnz(A)·nnz(B)/shared_dim)`.
+///
+/// This is the estimator the core planner applies to label chains; it is
+/// lifted here so chain ordering and plan choice share one cost model.
+/// Returns 0 for an empty chain.
+pub fn estimate_chain_nnz(stats: &[ChainStats]) -> f64 {
+    let rows = match stats.first() {
+        Some(s) => s.rows,
+        None => return 0.0,
+    };
+    let mut nnz = rows.max(1.0);
+    for s in stats {
+        nnz = (nnz * s.nnz / s.rows.max(1.0)).min(rows * s.cols).max(0.0);
+    }
+    nnz
+}
+
+/// A binary association order over chain indices `0..n`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ChainOrder {
+    /// The chain factor at this index.
+    Leaf(usize),
+    /// The product of two sub-orders.
+    Join(Box<ChainOrder>, Box<ChainOrder>),
+}
+
+impl ChainOrder {
+    /// Renders the order as a parenthesized expression, e.g. `((0*1)*2)`.
+    pub fn render(&self) -> String {
+        match self {
+            ChainOrder::Leaf(i) => i.to_string(),
+            ChainOrder::Join(l, r) => format!("({}*{})", l.render(), r.render()),
+        }
+    }
+}
+
+/// The DP's output: an association order plus its estimated cost.
+#[derive(Clone, Debug)]
+pub struct ChainPlan {
+    /// The chosen association order.
+    pub order: ChainOrder,
+    /// Estimated Gustavson flops of evaluating in that order.
+    pub est_flops: f64,
+    /// Estimated nnz of the final product.
+    pub est_nnz: f64,
+}
+
+/// Chooses an association order for the chain by the standard O(n³)
+/// matrix-chain DP, minimizing estimated Gustavson flops
+/// `nnz(L)·nnz(R)/rows(R)` per join with [`estimate_chain_nnz`] sizing the
+/// intermediates. Ties break toward the left fold (largest split point).
+///
+/// Panics on an empty chain.
+pub fn plan_chain(stats: &[ChainStats]) -> ChainPlan {
+    let n = stats.len();
+    assert!(n > 0, "empty spmm chain");
+    // est[i][j]: estimated nnz of the product of factors i..=j.
+    let mut est = vec![vec![0.0f64; n]; n];
+    for i in 0..n {
+        for j in i..n {
+            est[i][j] = estimate_chain_nnz(&stats[i..=j]);
+        }
+    }
+    // cost[i][j]: minimal estimated flops for factors i..=j;
+    // split[i][j]: the k achieving it (left part is i..=k).
+    let mut cost = vec![vec![0.0f64; n]; n];
+    let mut split = vec![vec![0usize; n]; n];
+    for len in 2..=n {
+        for i in 0..=n - len {
+            let j = i + len - 1;
+            let mut best = f64::INFINITY;
+            let mut best_k = i;
+            for k in i..j {
+                // Gustavson flops of L·R ≈ nnz(L) · avg nnz per row of R.
+                let join = est[i][k] * est[k + 1][j] / stats[k + 1].rows.max(1.0);
+                let total = cost[i][k] + cost[k + 1][j] + join;
+                if total <= best {
+                    best = total;
+                    best_k = k;
+                }
+            }
+            cost[i][j] = best;
+            split[i][j] = best_k;
+        }
+    }
+    fn build(split: &[Vec<usize>], i: usize, j: usize) -> ChainOrder {
+        if i == j {
+            return ChainOrder::Leaf(i);
+        }
+        let k = split[i][j];
+        ChainOrder::Join(
+            Box::new(build(split, i, k)),
+            Box::new(build(split, k + 1, j)),
+        )
+    }
+    ChainPlan {
+        order: build(&split, 0, n - 1),
+        est_flops: cost[0][n - 1],
+        est_nnz: est[0][n - 1],
+    }
+}
+
+/// Either a borrowed chain factor or an owned intermediate product.
+enum Factor<'a> {
+    Borrowed(&'a Csr),
+    Owned(Csr),
+}
+
+impl Factor<'_> {
+    fn as_ref(&self) -> &Csr {
+        match self {
+            Factor::Borrowed(m) => m,
+            Factor::Owned(m) => m,
+        }
+    }
+}
+
+fn eval<'a>(order: &ChainOrder, matrices: &[&'a Csr], threads: usize) -> Factor<'a> {
+    match order {
+        ChainOrder::Leaf(i) => Factor::Borrowed(matrices[*i]),
+        ChainOrder::Join(l, r) => {
+            let left = eval(l, matrices, threads);
+            let right = eval(r, matrices, threads);
+            Factor::Owned(spmm_with_threads(left.as_ref(), right.as_ref(), threads))
+        }
+    }
+}
+
+/// Multiplies a chain of sparse matrices in the order chosen by
+/// [`plan_chain`], running each join on up to `threads` workers.
+///
+/// Panics on an empty chain or on any shape mismatch. Equal to the left
+/// fold of [`crate::ops::spmm`] whenever the chain's values are exactly
+/// representable integers (walk counts are — see the crate docs); for
+/// general floats the results may differ by reassociation rounding.
+pub fn spmm_chain_with_threads(matrices: &[&Csr], threads: usize) -> Csr {
+    assert!(!matrices.is_empty(), "empty spmm chain");
+    if matrices.len() == 1 {
+        return matrices[0].clone();
+    }
+    let stats: Vec<ChainStats> = matrices.iter().map(|m| ChainStats::of(m)).collect();
+    let plan = plan_chain(&stats);
+    match eval(&plan.order, matrices, threads) {
+        Factor::Owned(m) => m,
+        Factor::Borrowed(m) => m.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::spmm;
+
+    fn stats(dims: &[(usize, usize, usize)]) -> Vec<ChainStats> {
+        dims.iter()
+            .map(|&(r, c, nnz)| ChainStats {
+                rows: r as f64,
+                cols: c as f64,
+                nnz: nnz as f64,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn estimate_clamps_to_dense_and_zero() {
+        // nnz can never exceed rows·cols of the product...
+        let s = stats(&[(4, 1000, 4000), (1000, 4, 4000)]);
+        assert!(estimate_chain_nnz(&s) <= 16.0);
+        // ...and an empty factor zeroes the chain.
+        let s = stats(&[(4, 8, 0), (8, 4, 32)]);
+        assert_eq!(estimate_chain_nnz(&s), 0.0);
+    }
+
+    #[test]
+    fn dp_avoids_expensive_left_fold() {
+        // A·B joins two dense square factors (~10⁶ est. flops); C collapses
+        // everything to one column, making B·C and then A·(B·C) nearly
+        // free. The DP must start from the right.
+        let s = stats(&[
+            (100, 100, 10_000), // A: dense
+            (100, 100, 10_000), // B: dense
+            (100, 1, 100),      // C: a single column
+        ]);
+        let plan = plan_chain(&s);
+        assert_eq!(plan.order.render(), "(0*(1*2))");
+    }
+
+    #[test]
+    fn single_factor_plan_is_a_leaf() {
+        let plan = plan_chain(&stats(&[(3, 4, 5)]));
+        assert_eq!(plan.order, ChainOrder::Leaf(0));
+        assert_eq!(plan.est_flops, 0.0);
+    }
+
+    #[test]
+    fn planned_chain_equals_left_fold_on_integer_matrices() {
+        let a = crate::par::tests::sample(30, 12, 21);
+        let b = crate::par::tests::sample(12, 40, 22);
+        let c = crate::par::tests::sample(40, 9, 23);
+        let d = crate::par::tests::sample(9, 17, 24);
+        let chain = [&a, &b, &c, &d];
+        let folded = chain[1..].iter().fold(a.clone(), |acc, m| spmm(&acc, m));
+        for threads in [1, 4] {
+            assert_eq!(spmm_chain_with_threads(&chain, threads), folded);
+        }
+    }
+}

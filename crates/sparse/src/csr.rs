@@ -140,6 +140,39 @@ impl Csr {
         }
     }
 
+    /// Builds a matrix directly from its CSR parts.
+    ///
+    /// The caller must uphold the type's invariants (see the struct docs);
+    /// they are checked in debug builds. This is the zero-copy constructor
+    /// used by the two-phase SpGEMM kernel, which sizes the output arrays
+    /// in a symbolic pass and writes them in place in the numeric pass.
+    pub(crate) fn from_parts(
+        nrows: usize,
+        ncols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<u32>,
+        values: Vec<f64>,
+    ) -> Self {
+        debug_assert_eq!(row_ptr.len(), nrows + 1);
+        debug_assert_eq!(row_ptr.first(), Some(&0));
+        debug_assert_eq!(row_ptr.last(), Some(&col_idx.len()));
+        debug_assert_eq!(col_idx.len(), values.len());
+        debug_assert!(row_ptr.windows(2).all(|w| w[0] <= w[1]));
+        debug_assert!(col_idx.iter().all(|&c| (c as usize) < ncols));
+        debug_assert!((0..nrows).all(|r| {
+            col_idx[row_ptr[r]..row_ptr[r + 1]]
+                .windows(2)
+                .all(|w| w[0] < w[1])
+        }));
+        Csr {
+            nrows,
+            ncols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
     /// Number of rows.
     pub fn nrows(&self) -> usize {
         self.nrows

@@ -25,11 +25,14 @@
 //! zeros after construction via [`Csr::from_triplets`], dense accumulator
 //! for row-by-row spmm).
 
+pub mod chain;
 pub mod csr;
 pub mod dense;
 pub mod ops;
 pub mod par;
+pub mod parallelism;
 pub mod vector;
 
 pub use csr::Csr;
 pub use dense::Dense;
+pub use parallelism::Parallelism;

@@ -1,56 +1,228 @@
 //! Matrix-matrix and matrix-vector kernels.
 
+use crate::par::chunks;
 use crate::{Csr, Dense};
 
-/// Sparse × sparse multiplication (`A · B`).
-///
-/// Row-by-row Gustavson algorithm with a dense accumulator over the output
-/// row. Output rows are emitted with sorted column indices and without
-/// explicit zeros (an exact-zero sum of products is dropped).
-pub fn spmm(a: &Csr, b: &Csr) -> Csr {
-    assert_eq!(a.ncols(), b.nrows(), "spmm shape mismatch: {a:?} x {b:?}");
-    let ncols = b.ncols();
-    let mut acc = vec![0.0f64; ncols];
-    let mut seen = vec![false; ncols];
-    let mut touched: Vec<u32> = Vec::new();
-    let mut rows: Vec<Vec<(u32, f64)>> = Vec::with_capacity(a.nrows());
-    for r in 0..a.nrows() {
-        touched.clear();
+/// Reusable per-thread scratch for Gustavson row products: a dense
+/// accumulator over the output row, an occupancy mask, and the list of
+/// touched columns. One instance serves every row a worker computes, so
+/// the serial and parallel kernels share the exact same inner loop (and
+/// therefore the exact same floating-point accumulation order per row).
+pub(crate) struct RowWorkspace {
+    acc: Vec<f64>,
+    seen: Vec<bool>,
+    touched: Vec<u32>,
+}
+
+impl RowWorkspace {
+    pub(crate) fn new(ncols: usize) -> Self {
+        RowWorkspace {
+            acc: vec![0.0; ncols],
+            seen: vec![false; ncols],
+            touched: Vec::new(),
+        }
+    }
+
+    /// Symbolic pass: the number of distinct columns touched by output row
+    /// `r` of `a·b` — an upper bound on its nnz (exact-zero cancellation
+    /// can only shrink it).
+    fn symbolic_row(&mut self, a: &Csr, b: &Csr, r: usize) -> usize {
+        self.touched.clear();
+        let (ac, _) = a.row(r);
+        for &k in ac {
+            let (bc, _) = b.row(k as usize);
+            for &c in bc {
+                if !self.seen[c as usize] {
+                    self.seen[c as usize] = true;
+                    self.touched.push(c);
+                }
+            }
+        }
+        for &c in &self.touched {
+            self.seen[c as usize] = false;
+        }
+        self.touched.len()
+    }
+
+    /// Numeric pass: computes output row `r` of `a·b`, writing sorted
+    /// column indices and values (exact-zero sums dropped) into the
+    /// pre-sized slices. Returns the number of entries written.
+    fn numeric_row(
+        &mut self,
+        a: &Csr,
+        b: &Csr,
+        r: usize,
+        cols: &mut [u32],
+        vals: &mut [f64],
+    ) -> usize {
+        self.touched.clear();
         let (ac, av) = a.row(r);
         for (&k, &va) in ac.iter().zip(av) {
             let (bc, bv) = b.row(k as usize);
             for (&c, &vb) in bc.iter().zip(bv) {
-                if !seen[c as usize] {
-                    seen[c as usize] = true;
-                    touched.push(c);
+                if !self.seen[c as usize] {
+                    self.seen[c as usize] = true;
+                    self.touched.push(c);
                 }
-                acc[c as usize] += va * vb;
+                self.acc[c as usize] += va * vb;
             }
         }
-        touched.sort_unstable();
-        let mut row = Vec::with_capacity(touched.len());
-        for &c in &touched {
-            let v = acc[c as usize];
-            acc[c as usize] = 0.0;
-            seen[c as usize] = false;
+        self.touched.sort_unstable();
+        let mut n = 0;
+        for &c in &self.touched {
+            let v = self.acc[c as usize];
+            self.acc[c as usize] = 0.0;
+            self.seen[c as usize] = false;
             if v != 0.0 {
-                row.push((c, v));
+                cols[n] = c;
+                vals[n] = v;
+                n += 1;
             }
         }
-        rows.push(row);
+        n
     }
-    Csr::from_rows(ncols, &rows)
 }
 
-/// Multiplies a chain of sparse matrices left to right.
+/// Sparse × sparse multiplication (`A · B`).
+///
+/// Two-phase row-by-row Gustavson algorithm: a symbolic pass sizes each
+/// output row (distinct touched columns), then a numeric pass writes
+/// sorted columns and values straight into the pre-allocated CSR arrays.
+/// Output rows carry sorted column indices and no explicit zeros (an
+/// exact-zero sum of products is dropped during the numeric pass).
+pub fn spmm(a: &Csr, b: &Csr) -> Csr {
+    spmm_with_threads(a, b, 1)
+}
+
+/// [`spmm`] over row bands on up to `threads` worker threads.
+///
+/// Serial and parallel runs share [`RowWorkspace`]'s per-row kernel, so
+/// each output row is accumulated in the same order regardless of the
+/// thread count and the results are bit-identical.
+pub(crate) fn spmm_with_threads(a: &Csr, b: &Csr, threads: usize) -> Csr {
+    assert_eq!(a.ncols(), b.nrows(), "spmm shape mismatch: {a:?} x {b:?}");
+    let nrows = a.nrows();
+    let ncols = b.ncols();
+    // Thread spawn/join costs ~10µs per worker; for tiny products one band
+    // (run inline, no spawn) is faster than any parallel split.
+    let threads = if a.nnz().max(b.nnz()) < 4096 {
+        1
+    } else {
+        threads.max(1)
+    };
+    let bands = chunks(nrows, threads);
+
+    // Phase 1 — symbolic: per-row nnz upper bounds.
+    let mut bound = vec![0usize; nrows];
+    {
+        let mut rest = bound.as_mut_slice();
+        run_bands(&bands, |&(lo, hi)| {
+            let (band, tail) = std::mem::take(&mut rest).split_at_mut(hi - lo);
+            rest = tail;
+            move || {
+                let mut ws = RowWorkspace::new(ncols);
+                for (r, slot) in (lo..hi).zip(band.iter_mut()) {
+                    *slot = ws.symbolic_row(a, b, r);
+                }
+            }
+        });
+    }
+    let mut bound_ptr = Vec::with_capacity(nrows + 1);
+    let mut total = 0usize;
+    bound_ptr.push(0);
+    for &n in &bound {
+        total += n;
+        bound_ptr.push(total);
+    }
+
+    // Phase 2 — numeric: write each row's entries at its bounded offset;
+    // record the actual count (cancellation may fall short of the bound).
+    let mut col_idx = vec![0u32; total];
+    let mut values = vec![0.0f64; total];
+    let mut count = vec![0usize; nrows];
+    {
+        let mut col_rest = col_idx.as_mut_slice();
+        let mut val_rest = values.as_mut_slice();
+        let mut cnt_rest = count.as_mut_slice();
+        run_bands(&bands, |&(lo, hi)| {
+            let width = bound_ptr[hi] - bound_ptr[lo];
+            let (cols_band, ct) = std::mem::take(&mut col_rest).split_at_mut(width);
+            col_rest = ct;
+            let (vals_band, vt) = std::mem::take(&mut val_rest).split_at_mut(width);
+            val_rest = vt;
+            let (cnt_band, nt) = std::mem::take(&mut cnt_rest).split_at_mut(hi - lo);
+            cnt_rest = nt;
+            let bound_ptr = &bound_ptr;
+            move || {
+                let mut ws = RowWorkspace::new(ncols);
+                let base = bound_ptr[lo];
+                for (r, cnt) in (lo..hi).zip(cnt_band.iter_mut()) {
+                    let off = bound_ptr[r] - base;
+                    let len = bound_ptr[r + 1] - bound_ptr[r];
+                    *cnt = ws.numeric_row(
+                        a,
+                        b,
+                        r,
+                        &mut cols_band[off..off + len],
+                        &mut vals_band[off..off + len],
+                    );
+                }
+            }
+        });
+    }
+
+    // Phase 3 — compact: close the cancellation gaps in place and build
+    // the final row pointers.
+    let mut row_ptr = Vec::with_capacity(nrows + 1);
+    row_ptr.push(0);
+    let mut dst = 0usize;
+    for r in 0..nrows {
+        let src = bound_ptr[r];
+        let n = count[r];
+        if src != dst {
+            col_idx.copy_within(src..src + n, dst);
+            values.copy_within(src..src + n, dst);
+        }
+        dst += n;
+        row_ptr.push(dst);
+    }
+    col_idx.truncate(dst);
+    values.truncate(dst);
+    col_idx.shrink_to_fit();
+    values.shrink_to_fit();
+    Csr::from_parts(nrows, ncols, row_ptr, col_idx, values)
+}
+
+/// Runs one closure per band: inline when there is a single band, on
+/// scoped threads otherwise. `make_work` is called on the caller's thread
+/// (it may carve out the band's mutable slices); the returned closure runs
+/// on the worker.
+fn run_bands<'s, F, W>(bands: &'s [(usize, usize)], mut make_work: F)
+where
+    F: FnMut(&'s (usize, usize)) -> W,
+    W: FnOnce() + Send + 's,
+{
+    if bands.len() <= 1 {
+        if let Some(band) = bands.first() {
+            make_work(band)();
+        }
+        return;
+    }
+    std::thread::scope(|scope| {
+        for band in bands {
+            scope.spawn(make_work(band));
+        }
+    });
+}
+
+/// Multiplies a chain of sparse matrices.
 ///
 /// Panics on an empty chain or on any shape mismatch. Multiplication is
-/// associative; we fold left which matches the short meta-walks used by
-/// PathSim (intermediate products stay small when the chain starts from a
-/// narrow label).
+/// associative; the association order is chosen by a matrix-chain DP over
+/// estimated flops (see [`crate::chain`]), which beats a blind left fold
+/// when a long chain has a cheap join deep on its right.
 pub fn spmm_chain(matrices: &[&Csr]) -> Csr {
-    let (first, rest) = matrices.split_first().expect("empty spmm chain");
-    rest.iter().fold((*first).clone(), |acc, m| spmm(&acc, m))
+    crate::chain::spmm_chain_with_threads(matrices, 1)
 }
 
 /// Sparse matrix × dense vector (`A · x`).
@@ -165,10 +337,61 @@ mod tests {
     }
 
     #[test]
-    fn spmm_chain_folds_left() {
+    fn spmm_chain_matches_pairwise_product() {
         let i = Csr::identity(2);
         let c = spmm_chain(&[&a(), &i, &b()]);
         assert_eq!(c, spmm(&a(), &b()));
+    }
+
+    #[test]
+    fn spmm_chain_single_matrix_is_identity_op() {
+        let c = spmm_chain(&[&a()]);
+        assert_eq!(c, a());
+    }
+
+    #[test]
+    fn spmm_matches_seed_reference_kernel() {
+        // The seed kernel built Vec<Vec<(u32,f64)>> rows then copied into
+        // CSR; the two-phase kernel must produce bit-identical output.
+        let a = crate::par::tests::sample(41, 29, 11);
+        let b = crate::par::tests::sample(29, 31, 12);
+        let expected = seed_reference_spmm(&a, &b);
+        assert_eq!(spmm(&a, &b), expected);
+    }
+
+    /// The pre-two-phase kernel, kept verbatim as a reference oracle.
+    fn seed_reference_spmm(a: &Csr, b: &Csr) -> Csr {
+        let ncols = b.ncols();
+        let mut acc = vec![0.0f64; ncols];
+        let mut seen = vec![false; ncols];
+        let mut touched: Vec<u32> = Vec::new();
+        let mut rows: Vec<Vec<(u32, f64)>> = Vec::with_capacity(a.nrows());
+        for r in 0..a.nrows() {
+            touched.clear();
+            let (ac, av) = a.row(r);
+            for (&k, &va) in ac.iter().zip(av) {
+                let (bc, bv) = b.row(k as usize);
+                for (&c, &vb) in bc.iter().zip(bv) {
+                    if !seen[c as usize] {
+                        seen[c as usize] = true;
+                        touched.push(c);
+                    }
+                    acc[c as usize] += va * vb;
+                }
+            }
+            touched.sort_unstable();
+            let mut row = Vec::with_capacity(touched.len());
+            for &c in &touched {
+                let v = acc[c as usize];
+                acc[c as usize] = 0.0;
+                seen[c as usize] = false;
+                if v != 0.0 {
+                    row.push((c, v));
+                }
+            }
+            rows.push(row);
+        }
+        Csr::from_rows(ncols, &rows)
     }
 
     #[test]

@@ -10,8 +10,9 @@
 
 use crate::{Csr, Dense};
 
-/// Splits `0..n` into at most `threads` contiguous chunks.
-fn chunks(n: usize, threads: usize) -> Vec<(usize, usize)> {
+/// Splits `0..n` into at most `threads` contiguous chunks (public so
+/// callers can band their own row sweeps the same way the kernels do).
+pub fn chunks(n: usize, threads: usize) -> Vec<(usize, usize)> {
     let threads = threads.clamp(1, n.max(1));
     let base = n / threads;
     let extra = n % threads;
@@ -29,58 +30,13 @@ fn chunks(n: usize, threads: usize) -> Vec<(usize, usize)> {
 }
 
 /// Parallel sparse × sparse multiplication; equals [`crate::ops::spmm`].
+///
+/// Delegates to the two-phase engine shared with the serial kernel
+/// ([`crate::ops::spmm`] is the same call with `threads = 1`), so the two
+/// cannot drift: every output row is produced by the identical per-row
+/// worker and the results are bit-identical for any thread count.
 pub fn spmm_par(a: &Csr, b: &Csr, threads: usize) -> Csr {
-    assert_eq!(a.ncols(), b.nrows(), "spmm shape mismatch");
-    if threads <= 1 || a.nrows() < 2 {
-        return crate::ops::spmm(a, b);
-    }
-    let ncols = b.ncols();
-    let ranges = chunks(a.nrows(), threads);
-    let mut partials: Vec<Vec<Vec<(u32, f64)>>> = Vec::with_capacity(ranges.len());
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = ranges
-            .iter()
-            .map(|&(lo, hi)| {
-                scope.spawn(move || {
-                    let mut acc = vec![0.0f64; ncols];
-                    let mut seen = vec![false; ncols];
-                    let mut touched: Vec<u32> = Vec::new();
-                    let mut rows = Vec::with_capacity(hi - lo);
-                    for r in lo..hi {
-                        touched.clear();
-                        let (ac, av) = a.row(r);
-                        for (&k, &va) in ac.iter().zip(av) {
-                            let (bc, bv) = b.row(k as usize);
-                            for (&c, &vb) in bc.iter().zip(bv) {
-                                if !seen[c as usize] {
-                                    seen[c as usize] = true;
-                                    touched.push(c);
-                                }
-                                acc[c as usize] += va * vb;
-                            }
-                        }
-                        touched.sort_unstable();
-                        let mut row = Vec::with_capacity(touched.len());
-                        for &c in &touched {
-                            let v = acc[c as usize];
-                            acc[c as usize] = 0.0;
-                            seen[c as usize] = false;
-                            if v != 0.0 {
-                                row.push((c, v));
-                            }
-                        }
-                        rows.push(row);
-                    }
-                    rows
-                })
-            })
-            .collect();
-        for h in handles {
-            partials.push(h.join().expect("worker panicked"));
-        }
-    });
-    let rows: Vec<Vec<(u32, f64)>> = partials.into_iter().flatten().collect();
-    Csr::from_rows(ncols, &rows)
+    crate::ops::spmm_with_threads(a, b, threads)
 }
 
 /// Parallel dense × sparse product; equals [`crate::ops::dense_sparse_mul`].
@@ -168,11 +124,11 @@ pub fn sparse_t_dense_mul_par(at: &Csr, d: &Dense, threads: usize) -> Dense {
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
     use crate::ops::{dense_sparse_mul, sparse_t_dense_mul, spmm};
 
-    fn sample(n: usize, m: usize, seed: u64) -> Csr {
+    pub(crate) fn sample(n: usize, m: usize, seed: u64) -> Csr {
         // A deterministic pseudo-random sparse matrix.
         let mut triplets = Vec::new();
         let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;

@@ -1,0 +1,109 @@
+//! Workspace-wide thread-count configuration.
+//!
+//! Every parallel kernel in the workspace takes an explicit thread count;
+//! [`Parallelism`] decides what that count defaults to. Resolution order:
+//!
+//! 1. a process-wide override installed with [`Parallelism::set_global`]
+//!    (the CLI's `--threads` flag);
+//! 2. the `REPSIM_THREADS` environment variable;
+//! 3. [`std::thread::available_parallelism`].
+//!
+//! The environment lookup is cached after the first read, so hot paths can
+//! call [`Parallelism::default`] freely.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// A resolved worker-thread budget (always at least 1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Parallelism {
+    threads: usize,
+}
+
+/// `--threads` override; 0 means "not set".
+static GLOBAL_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+impl Parallelism {
+    /// Exactly one worker: serial execution.
+    pub fn serial() -> Parallelism {
+        Parallelism { threads: 1 }
+    }
+
+    /// An explicit thread budget (clamped up to 1).
+    pub fn with_threads(threads: usize) -> Parallelism {
+        Parallelism {
+            threads: threads.max(1),
+        }
+    }
+
+    /// All hardware threads the scheduler reports.
+    pub fn available() -> Parallelism {
+        Parallelism::with_threads(
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        )
+    }
+
+    /// The process default: global override, then `REPSIM_THREADS`, then
+    /// [`Parallelism::available`]. Unparsable or zero `REPSIM_THREADS`
+    /// values fall through to auto-detection.
+    pub fn from_env() -> Parallelism {
+        let over = GLOBAL_OVERRIDE.load(Ordering::Relaxed);
+        if over != 0 {
+            return Parallelism::with_threads(over);
+        }
+        static ENV: OnceLock<Parallelism> = OnceLock::new();
+        *ENV.get_or_init(|| {
+            match std::env::var("REPSIM_THREADS")
+                .ok()
+                .and_then(|v| v.trim().parse::<usize>().ok())
+            {
+                Some(n) if n > 0 => Parallelism::with_threads(n),
+                _ => Parallelism::available(),
+            }
+        })
+    }
+
+    /// Installs a process-wide override (the CLI's `--threads` flag),
+    /// taking precedence over `REPSIM_THREADS` from then on.
+    pub fn set_global(threads: usize) {
+        GLOBAL_OVERRIDE.store(threads.max(1), Ordering::Relaxed);
+    }
+
+    /// The worker-thread budget.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+}
+
+impl Default for Parallelism {
+    fn default() -> Parallelism {
+        Parallelism::from_env()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explicit_budgets_clamp_to_one() {
+        assert_eq!(Parallelism::with_threads(0).threads(), 1);
+        assert_eq!(Parallelism::with_threads(7).threads(), 7);
+        assert_eq!(Parallelism::serial().threads(), 1);
+    }
+
+    #[test]
+    fn available_reports_at_least_one() {
+        assert!(Parallelism::available().threads() >= 1);
+    }
+
+    #[test]
+    fn global_override_wins() {
+        // Note: mutates process state; keep this the only test doing so.
+        Parallelism::set_global(3);
+        assert_eq!(Parallelism::from_env().threads(), 3);
+        assert_eq!(Parallelism::default().threads(), 3);
+    }
+}

@@ -1,0 +1,116 @@
+//! Property tests for the two-phase SpGEMM kernel and the chain planner:
+//!
+//! 1. `spmm` equals a naive dense-reference product;
+//! 2. `spmm_par` is bit-identical to `spmm` across thread counts;
+//! 3. `spmm_chain` is invariant under the DP's association order versus a
+//!    blind left fold (exact, because generated values are small integers
+//!    and integer f64 arithmetic is associative below 2^53).
+
+use proptest::prelude::*;
+use repsim_sparse::chain::spmm_chain_with_threads;
+use repsim_sparse::ops::{spmm, spmm_chain};
+use repsim_sparse::par::spmm_par;
+use repsim_sparse::Csr;
+
+/// Raw triplet material: positions are reduced modulo the actual matrix
+/// dimensions, values map to non-zero integers in `-6..=6` so cancellation
+/// happens but reassociation stays exact.
+fn triplets() -> impl Strategy<Value = Vec<(usize, usize, u32)>> {
+    proptest::collection::vec((0..10_000usize, 0..10_000usize, 0..12u32), 0..60)
+}
+
+fn build(nrows: usize, ncols: usize, raw: &[(usize, usize, u32)]) -> Csr {
+    Csr::from_triplets(
+        nrows,
+        ncols,
+        raw.iter().map(|&(r, c, v)| {
+            let value = if v < 6 {
+                v as f64 - 6.0
+            } else {
+                v as f64 - 5.0
+            };
+            ((r % nrows) as u32, (c % ncols) as u32, value)
+        }),
+    )
+}
+
+/// Naive reference: every output cell as an explicit ascending-k sum over
+/// the shared dimension, canonicalized through `from_triplets`.
+fn dense_reference(a: &Csr, b: &Csr) -> Csr {
+    let mut trips = Vec::new();
+    for r in 0..a.nrows() {
+        for c in 0..b.ncols() {
+            let mut sum = 0.0;
+            for k in 0..a.ncols() {
+                sum += a.get(r, k) * b.get(k, c);
+            }
+            if sum != 0.0 {
+                trips.push((r as u32, c as u32, sum));
+            }
+        }
+    }
+    Csr::from_triplets(a.nrows(), b.ncols(), trips)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn spmm_matches_dense_reference(
+        nrows in 1..12usize,
+        inner in 1..12usize,
+        ncols in 1..12usize,
+        raw_a in triplets(),
+        raw_b in triplets(),
+    ) {
+        let a = build(nrows, inner, &raw_a);
+        let b = build(inner, ncols, &raw_b);
+        let product = spmm(&a, &b);
+        prop_assert_eq!(&product, &dense_reference(&a, &b));
+        // No explicit zeros may survive the numeric pass.
+        for r in 0..product.nrows() {
+            let (_, vals) = product.row(r);
+            prop_assert!(vals.iter().all(|&v| v != 0.0));
+        }
+    }
+
+    #[test]
+    fn spmm_par_bit_identical_to_serial(
+        nrows in 1..40usize,
+        inner in 1..16usize,
+        ncols in 1..16usize,
+        raw_a in triplets(),
+        raw_b in triplets(),
+    ) {
+        let a = build(nrows, inner, &raw_a);
+        let b = build(inner, ncols, &raw_b);
+        let serial = spmm(&a, &b);
+        for threads in [1usize, 2, 7, 64] {
+            prop_assert_eq!(&spmm_par(&a, &b, threads), &serial, "threads={}", threads);
+        }
+    }
+
+    #[test]
+    fn spmm_chain_invariant_under_planned_order(
+        len in 3..=5usize,
+        dims in proptest::collection::vec(1..10usize, 6),
+        raws in proptest::collection::vec(triplets(), 5),
+    ) {
+        let mats: Vec<Csr> = (0..len)
+            .map(|i| build(dims[i], dims[i + 1], &raws[i]))
+            .collect();
+        let refs: Vec<&Csr> = mats.iter().collect();
+        let folded = refs[1..]
+            .iter()
+            .fold(mats[0].clone(), |acc, m| spmm(&acc, m));
+        prop_assert_eq!(&spmm_chain(&refs), &folded);
+        for threads in [1usize, 4] {
+            prop_assert_eq!(
+                &spmm_chain_with_threads(&refs, threads),
+                &folded,
+                "threads={}",
+                threads
+            );
+        }
+    }
+}

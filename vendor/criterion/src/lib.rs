@@ -1,0 +1,222 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container has no network access, so the real `criterion`
+//! cannot be fetched. This crate implements the subset of the 0.5 API the
+//! workspace's benches use — `criterion_group!`/`criterion_main!`,
+//! benchmark groups, `bench_function`/`bench_with_input`, `Bencher::iter`
+//! and `iter_batched`, `BenchmarkId`, and `sample_size` — with a simple
+//! measure-and-print harness: each benchmark is warmed up, timed over
+//! `sample_size` samples, and reported as mean ns/iter on stdout.
+//!
+//! There is no statistical analysis, HTML report, or `--save-baseline`;
+//! the harness exists so `cargo bench` compiles and produces comparable
+//! wall-clock numbers in this offline environment.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// How batched inputs are sized (accepted, not interpreted).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// A benchmark identifier: `function_id/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter.
+    pub fn new(function_id: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", function_id.into(), parameter),
+        }
+    }
+
+    /// An id that is just a parameter.
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Conversions into a printable benchmark name.
+pub trait IntoBenchmarkId {
+    /// The rendered name.
+    fn into_name(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_name(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_name(self) -> String {
+        self.to_owned()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_name(self) -> String {
+        self
+    }
+}
+
+/// The timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    /// Mean duration of one iteration, filled by `iter*`.
+    mean: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, reporting the mean over the sample budget.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // One untimed warm-up to fault in caches/allocations.
+        std::hint::black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            std::hint::black_box(routine());
+        }
+        self.mean = start.elapsed() / self.samples as u32;
+    }
+
+    /// Times `routine` over inputs built by `setup` (setup time excluded).
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        std::hint::black_box(routine(setup()));
+        let mut total = Duration::ZERO;
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.mean = total / self.samples as u32;
+    }
+}
+
+fn run_one(full_name: &str, samples: usize, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher {
+        samples: samples.max(1),
+        mean: Duration::ZERO,
+    };
+    f(&mut b);
+    println!(
+        "bench: {full_name:<60} {:>12.1} ns/iter ({} samples)",
+        b.mean.as_nanos() as f64,
+        samples.max(1)
+    );
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Benches a closure.
+    pub fn bench_function(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into_name());
+        run_one(&full, self.sample_size, f);
+        self
+    }
+
+    /// Benches a closure over one explicit input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into_name());
+        run_one(&full, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (a no-op in this harness).
+    pub fn finish(self) {}
+}
+
+/// The top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            _criterion: self,
+        }
+    }
+
+    /// Benches a closure outside any group.
+    pub fn bench_function(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        run_one(&id.into_name(), 10, f);
+        self
+    }
+}
+
+/// Declares a group runner function, as in criterion 0.5.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes harness flags (e.g. `--bench`); this
+            // simple harness runs everything unconditionally.
+            $($group();)+
+        }
+    };
+}
+
+/// Re-export for code that uses `criterion::black_box`.
+pub use std::hint::black_box;

@@ -1,0 +1,50 @@
+//! Collection strategies (subset of `proptest::collection`).
+
+use crate::strategy::Strategy;
+use crate::TestRng;
+
+/// Acceptable size specifications for [`vec`].
+pub trait IntoSizeRange {
+    /// The inclusive-lo, exclusive-hi bounds.
+    fn bounds(&self) -> (usize, usize);
+}
+
+impl IntoSizeRange for core::ops::Range<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        (self.start, self.end)
+    }
+}
+
+impl IntoSizeRange for core::ops::RangeInclusive<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        (*self.start(), *self.end() + 1)
+    }
+}
+
+impl IntoSizeRange for usize {
+    fn bounds(&self) -> (usize, usize) {
+        (*self, *self + 1)
+    }
+}
+
+/// A strategy producing `Vec`s of values drawn from `element`.
+pub struct VecStrategy<S> {
+    element: S,
+    lo: usize,
+    hi: usize,
+}
+
+/// `vec(element, sizes)`: vectors with length drawn from `sizes`.
+pub fn vec<S: Strategy>(element: S, sizes: impl IntoSizeRange) -> VecStrategy<S> {
+    let (lo, hi) = sizes.bounds();
+    assert!(lo < hi, "empty size range");
+    VecStrategy { element, lo, hi }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = rng.below(self.lo, self.hi);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}

@@ -1,0 +1,278 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build container has no network access, so the real `proptest`
+//! cannot be fetched. This crate implements the subset of the v1 API used
+//! by the workspace's property tests: the [`proptest!`] macro, range /
+//! tuple / `Just` / collection / regex-string strategies, `prop_map`,
+//! `prop_oneof!`, and the `prop_assert*` macros.
+//!
+//! Differences from upstream, by design:
+//!
+//! * no shrinking — a failing case reports its inputs and panics;
+//! * generation is seeded per test from the test body's case index, so
+//!   runs are deterministic;
+//! * regex strategies support the subset actually used in this repo:
+//!   literals, `\w`, `\PC`, `[a-z0-9]` classes, `(a|b)` groups, and the
+//!   `{m,n}` / `?` repetitions.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod collection;
+pub mod string;
+
+/// Mirrors `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{TestCaseError, TestCaseResult};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Mirrors `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::string;
+    }
+}
+
+/// Per-test configuration (subset: case count only).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// The RNG handed to strategies.
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// A deterministic RNG for one test case.
+    pub fn deterministic(test_name: &str, case: u64) -> TestRng {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        TestRng(StdRng::seed_from_u64(
+            h ^ case.wrapping_mul(0x9E3779B97F4A7C15),
+        ))
+    }
+
+    /// A uniform `u64`.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0.random()
+    }
+
+    /// A uniform `usize` in `[lo, hi)`.
+    pub fn below(&mut self, lo: usize, hi: usize) -> usize {
+        if lo >= hi {
+            return lo;
+        }
+        self.0.random_range(lo..hi)
+    }
+
+    /// A uniform `f64` in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.0.random()
+    }
+}
+
+/// Runs the proptest-style test body for `cases` cases.
+///
+/// `gen` produces the inputs (already debug-rendered for reporting) and
+/// `run` executes the body. Used by the [`proptest!`] expansion; not part
+/// of the public proptest API.
+pub fn run_cases<I>(
+    test_name: &str,
+    config: &ProptestConfig,
+    mut gen: impl FnMut(&mut TestRng) -> I,
+    mut run: impl FnMut(&I) -> test_runner::TestCaseResult,
+    render: impl Fn(&I) -> String,
+) {
+    for case in 0..config.cases as u64 {
+        let mut rng = TestRng::deterministic(test_name, case);
+        let input = gen(&mut rng);
+        if let Err(e) = run(&input) {
+            panic!(
+                "proptest case {case}/{} failed: {e}\ninputs: {}",
+                config.cases,
+                render(&input)
+            );
+        }
+    }
+}
+
+/// The macro that declares property tests (subset of `proptest::proptest!`).
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                $crate::run_cases(
+                    stringify!($name),
+                    &config,
+                    |rng| ($( $crate::strategy::Strategy::generate(&($strat), rng) ),+ ,),
+                    |input| {
+                        let ($(ref $arg),+ ,) = *input;
+                        $(let $arg = ::std::clone::Clone::clone($arg);)+
+                        (|| -> $crate::test_runner::TestCaseResult {
+                            $body
+                            #[allow(unreachable_code)]
+                            Ok(())
+                        })()
+                    },
+                    |input| format!("{:#?}", input),
+                );
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strat),+) $body
+            )*
+        }
+    };
+}
+
+/// `prop_assert!(cond)` / `prop_assert!(cond, "msg", args...)`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// `prop_assert_eq!(a, b)` with an optional trailing message.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(*a == *b, "assertion failed: {:?} == {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a == *b,
+            "assertion failed: {:?} == {:?}: {}",
+            a,
+            b,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// `prop_assert_ne!(a, b)` with an optional trailing message.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(*a != *b, "assertion failed: {:?} != {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a != *b,
+            "assertion failed: {:?} != {:?}: {}",
+            a,
+            b,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// Uniform choice among heterogeneous strategies with one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_maps(x in 1u8..5, n in 2usize..7, v in prop::collection::vec(0u8..4, 1..6)) {
+            prop_assert!((1..5).contains(&x));
+            prop_assert!((2..7).contains(&n));
+            prop_assert!(!v.is_empty() && v.len() < 6);
+            prop_assert!(v.iter().all(|&b| b < 4));
+        }
+
+        #[test]
+        fn tuples_and_oneof(
+            t in (0u8..3, 1usize..4),
+            s in prop_oneof![Just("a".to_owned()), "b{1,3}", Just("c".to_owned())],
+        ) {
+            prop_assert!(t.0 < 3 && (1..4).contains(&t.1));
+            prop_assert!(s == "a" || s == "c" || s.chars().all(|c| c == 'b'));
+        }
+
+        #[test]
+        fn regexes(id in "[0-9]{1,3}", word in "\\w{1,8}", printable in "\\PC{0,20}") {
+            prop_assert!((1..=3).contains(&id.len()));
+            prop_assert!(id.chars().all(|c| c.is_ascii_digit()));
+            prop_assert!((1..=8).contains(&word.len()));
+            // Chars, not bytes: \PC includes multi-byte printables.
+            prop_assert!(printable.chars().count() <= 20);
+            prop_assert!(printable.chars().all(|c| !c.is_control()));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failing_case_reports_inputs() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(8))]
+            fn inner(x in 0u8..4) {
+                prop_assert!(x < 2, "boom at {}", x);
+            }
+        }
+        inner();
+    }
+}

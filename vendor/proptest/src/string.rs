@@ -1,0 +1,264 @@
+//! Generation of strings matching a small regex subset.
+//!
+//! Supported syntax (the subset the workspace's fuzz tests use):
+//! literal characters, `\w` (word character), `\PC` (any non-control
+//! character), `[a-z0-9_]` character classes, `(a|b|c)` alternation
+//! groups, and the postfix repetitions `{m,n}`, `{n}`, `?`, `*`, `+`
+//! (`*`/`+` capped at 8 repeats).
+
+use crate::TestRng;
+
+#[derive(Clone, Debug)]
+enum Atom {
+    /// A literal character.
+    Lit(char),
+    /// A set of candidate characters (from `\w`, `\PC`, or `[...]`).
+    Class(Vec<char>),
+    /// `(alt|alt|alt)`.
+    Group(Vec<Vec<Node>>),
+}
+
+#[derive(Clone, Debug)]
+struct Node {
+    atom: Atom,
+    /// Inclusive repetition bounds.
+    min: usize,
+    max: usize,
+}
+
+fn word_chars() -> Vec<char> {
+    let mut v: Vec<char> = Vec::new();
+    v.extend('a'..='z');
+    v.extend('A'..='Z');
+    v.extend('0'..='9');
+    v.push('_');
+    v
+}
+
+fn printable_chars() -> Vec<char> {
+    // `\PC`: anything outside the Unicode "control" category. Printable
+    // ASCII plus a couple of multibyte characters keeps the fuzz surface
+    // honest without needing Unicode tables.
+    let mut v: Vec<char> = (' '..='~').collect();
+    v.extend(['é', 'λ', '→', '中']);
+    v
+}
+
+struct Parser<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    pattern: &'a str,
+}
+
+impl<'a> Parser<'a> {
+    fn new(pattern: &'a str) -> Self {
+        Parser {
+            chars: pattern.chars().collect(),
+            pos: 0,
+            pattern,
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn fail(&self, what: &str) -> ! {
+        panic!(
+            "unsupported regex {:?} at position {}: {what}",
+            self.pattern, self.pos
+        );
+    }
+
+    /// Parses a sequence of atoms until end or a stop character (`|`, `)`).
+    fn sequence(&mut self) -> Vec<Node> {
+        let mut out = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            let atom = self.atom();
+            let (min, max) = self.repetition();
+            out.push(Node { atom, min, max });
+        }
+        out
+    }
+
+    fn atom(&mut self) -> Atom {
+        match self.next().expect("sequence checked peek") {
+            '\\' => match self.next() {
+                Some('w') => Atom::Class(word_chars()),
+                Some('P') => {
+                    // Only `\PC` (non-control) is supported.
+                    match self.next() {
+                        Some('C') => Atom::Class(printable_chars()),
+                        _ => self.fail("only \\PC is supported after \\P"),
+                    }
+                }
+                Some('d') => Atom::Class(('0'..='9').collect()),
+                Some(
+                    c @ ('.' | '(' | ')' | '[' | ']' | '{' | '}' | '|' | '?' | '*' | '+' | '\\'),
+                ) => Atom::Lit(c),
+                _ => self.fail("unsupported escape"),
+            },
+            '[' => {
+                let mut set = Vec::new();
+                loop {
+                    match self.next() {
+                        None => self.fail("unterminated class"),
+                        Some(']') => break,
+                        Some(lo) => {
+                            if self.peek() == Some('-')
+                                && self.chars.get(self.pos + 1).copied() != Some(']')
+                            {
+                                self.next();
+                                let hi = self.next().unwrap_or_else(|| self.fail("bad range"));
+                                set.extend(lo..=hi);
+                            } else {
+                                set.push(lo);
+                            }
+                        }
+                    }
+                }
+                if set.is_empty() {
+                    self.fail("empty class");
+                }
+                Atom::Class(set)
+            }
+            '(' => {
+                let mut alts = vec![self.sequence()];
+                while self.peek() == Some('|') {
+                    self.next();
+                    alts.push(self.sequence());
+                }
+                match self.next() {
+                    Some(')') => Atom::Group(alts),
+                    _ => self.fail("unterminated group"),
+                }
+            }
+            '.' => Atom::Class(printable_chars()),
+            c => Atom::Lit(c),
+        }
+    }
+
+    /// Parses an optional `{m,n}` / `{n}` / `?` / `*` / `+` suffix.
+    fn repetition(&mut self) -> (usize, usize) {
+        match self.peek() {
+            Some('{') => {
+                self.next();
+                let mut lo = String::new();
+                while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                    lo.push(self.next().expect("digit"));
+                }
+                let min: usize = lo.parse().unwrap_or_else(|_| self.fail("bad bound"));
+                let max = if self.peek() == Some(',') {
+                    self.next();
+                    let mut hi = String::new();
+                    while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                        hi.push(self.next().expect("digit"));
+                    }
+                    hi.parse().unwrap_or_else(|_| self.fail("bad bound"))
+                } else {
+                    min
+                };
+                match self.next() {
+                    Some('}') => (min, max),
+                    _ => self.fail("unterminated repetition"),
+                }
+            }
+            Some('?') => {
+                self.next();
+                (0, 1)
+            }
+            Some('*') => {
+                self.next();
+                (0, 8)
+            }
+            Some('+') => {
+                self.next();
+                (1, 8)
+            }
+            _ => (1, 1),
+        }
+    }
+}
+
+fn emit(nodes: &[Node], rng: &mut TestRng, out: &mut String) {
+    for node in nodes {
+        let count = rng.below(node.min, node.max + 1);
+        for _ in 0..count {
+            match &node.atom {
+                Atom::Lit(c) => out.push(*c),
+                Atom::Class(set) => out.push(set[rng.below(0, set.len())]),
+                Atom::Group(alts) => {
+                    let alt = &alts[rng.below(0, alts.len())];
+                    emit(alt, rng, out);
+                }
+            }
+        }
+    }
+}
+
+/// Generates one string matching `pattern`.
+pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+    let mut parser = Parser::new(pattern);
+    let nodes = parser.sequence();
+    if parser.pos != parser.chars.len() {
+        parser.fail("trailing characters (unsupported syntax?)");
+    }
+    let mut out = String::new();
+    emit(&nodes, rng, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::deterministic("string-tests", 0)
+    }
+
+    #[test]
+    fn literals_and_classes() {
+        let mut r = rng();
+        assert_eq!(
+            generate_matching("label a entity", &mut r),
+            "label a entity"
+        );
+        for _ in 0..50 {
+            let s = generate_matching("v[0-9]{1,3}", &mut r);
+            assert!(s.starts_with('v') && (2..=4).contains(&s.len()), "{s:?}");
+            assert!(s[1..].chars().all(|c| c.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn groups_and_optionals() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let s = generate_matching("x(a|bb)?", &mut r);
+            assert!(["x", "xa", "xbb"].contains(&s.as_str()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn word_and_printable() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let w = generate_matching("\\w{1,8}", &mut r);
+            assert!((1..=8).contains(&w.chars().count()), "{w:?}");
+            let p = generate_matching("\\PC{0,40}", &mut r);
+            assert!(p.chars().count() <= 40);
+            assert!(p.chars().all(|c| !c.is_control()), "{p:?}");
+        }
+    }
+}
