@@ -13,9 +13,9 @@
 //! counting informative instances.
 
 use repsim_graph::{Graph, LabelId, NodeId};
-use repsim_metawalk::commuting::plain_commuting;
+use repsim_metawalk::commuting::try_plain_commuting_with;
 use repsim_metawalk::MetaWalk;
-use repsim_sparse::Csr;
+use repsim_sparse::{Budget, Csr, ExecError, Parallelism};
 
 use crate::ranking::{RankedList, SimilarityAlgorithm};
 
@@ -33,13 +33,30 @@ impl<'g> PathSim<'g> {
     /// # Panics
     /// If `mw`'s endpoints differ or it contains a \*-label.
     pub fn new(g: &'g Graph, mw: MetaWalk) -> Self {
+        Self::try_with_budget(g, mw, Parallelism::default(), &Budget::unlimited())
+            .expect("unlimited PathSim build cannot fail")
+    }
+
+    /// Budget-governed [`PathSim::new`]: the commuting-matrix build runs
+    /// under `budget` and aborts with a structured [`ExecError`] instead
+    /// of panicking when a limit trips.
+    ///
+    /// # Panics
+    /// If `mw`'s endpoints differ or it contains a \*-label (programming
+    /// errors, not resource conditions).
+    pub fn try_with_budget(
+        g: &'g Graph,
+        mw: MetaWalk,
+        par: Parallelism,
+        budget: &Budget,
+    ) -> Result<Self, ExecError> {
         assert_eq!(
             mw.source(),
             mw.target(),
             "PathSim meta-walks must start and end at the same label"
         );
-        let m = plain_commuting(g, &mw);
-        PathSim { g, mw, m }
+        let m = try_plain_commuting_with(g, &mw, par, budget)?;
+        Ok(PathSim { g, mw, m })
     }
 
     /// The meta-walk this instance scores over.
@@ -179,6 +196,24 @@ mod tests {
         let mw = MetaWalk::parse_in(&g2, "film actor film").unwrap();
         let ps = PathSim::new(&g2, mw);
         assert_eq!(ps.score(f1, f4), 0.0);
+    }
+
+    #[test]
+    fn budgeted_build_is_all_or_nothing() {
+        let (g, [f1, f2, _]) = movie_graph();
+        let mw = MetaWalk::parse_in(&g, "film actor film").unwrap();
+        // A starved cap aborts the build with a structured error…
+        let starved = Budget::unlimited().with_max_nnz(0);
+        assert!(matches!(
+            PathSim::try_with_budget(&g, mw.clone(), Parallelism::default(), &starved),
+            Err(ExecError::MemoryExceeded { .. })
+        ));
+        // …and a sufficient one yields scores identical to the unbudgeted
+        // constructor.
+        let roomy = Budget::unlimited().with_max_nnz(1 << 20);
+        let ps = PathSim::try_with_budget(&g, mw.clone(), Parallelism::default(), &roomy).unwrap();
+        let exact = PathSim::new(&g, mw);
+        assert_eq!(ps.score(f1, f2), exact.score(f1, f2));
     }
 
     #[test]

@@ -12,9 +12,9 @@
 //! probability to 0.8 in its experiments (§6.1).
 
 use repsim_graph::{Graph, LabelId, NodeId};
-use repsim_sparse::ops::vecmat;
+use repsim_sparse::ops::try_vecmat;
 use repsim_sparse::vector::max_abs_diff;
-use repsim_sparse::Csr;
+use repsim_sparse::{Budget, Csr, ExecError};
 
 use crate::ranking::{RankedList, SimilarityAlgorithm};
 
@@ -66,12 +66,21 @@ impl<'g> Rwr<'g> {
 
     /// The full RWR score vector for a query node (indexed by node id).
     pub fn scores(&self, query: NodeId) -> Vec<f64> {
+        self.try_scores(query, &Budget::unlimited())
+            .expect("unlimited RWR iteration cannot fail")
+    }
+
+    /// Budget-governed [`Rwr::scores`]: the budget (deadline, cancellation
+    /// flag) is re-checked before each power iteration, so a cancelled or
+    /// overdue computation stops within one sparse vector-matrix product.
+    pub fn try_scores(&self, query: NodeId, budget: &Budget) -> Result<Vec<f64>, ExecError> {
         let n = self.g.num_nodes();
         let mut r = vec![0.0; n];
         r[query.index()] = 1.0;
         for _ in 0..self.max_iter {
+            budget.check()?;
             // rᵀ·W propagates mass along edges; restart re-injects at q.
-            let mut next = vecmat(&r, &self.walk);
+            let mut next = try_vecmat(&r, &self.walk)?;
             for v in next.iter_mut() {
                 *v *= 1.0 - self.restart;
             }
@@ -82,7 +91,7 @@ impl<'g> Rwr<'g> {
                 break;
             }
         }
-        r
+        Ok(r)
     }
 }
 
@@ -171,6 +180,39 @@ mod tests {
         let rwr = Rwr::new(&g);
         let s = rwr.scores(q);
         assert!(s.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn budgeted_scores_match_and_observe_cancellation() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+
+        let (g, [q, ..]) = path_graph();
+        let rwr = Rwr::new(&g);
+        let exact = rwr.scores(q);
+        let same = rwr.try_scores(q, &Budget::unlimited()).unwrap();
+        assert_eq!(exact, same, "an idle budget never perturbs the iterate");
+
+        let flag = Arc::new(AtomicBool::new(true));
+        let cancelled = Budget::unlimited().with_cancel(flag.clone());
+        assert!(matches!(
+            rwr.try_scores(q, &cancelled),
+            Err(ExecError::Cancelled)
+        ));
+        flag.store(false, Ordering::Relaxed);
+        assert_eq!(rwr.try_scores(q, &cancelled).unwrap(), exact);
+    }
+
+    #[test]
+    fn expired_deadline_stops_the_iteration() {
+        let (g, [q, ..]) = path_graph();
+        let rwr = Rwr::new(&g);
+        let budget = Budget::unlimited().with_deadline_ms(0);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        assert!(matches!(
+            rwr.try_scores(q, &budget),
+            Err(ExecError::DeadlineExceeded { .. })
+        ));
     }
 
     #[test]

@@ -106,6 +106,34 @@ impl Args {
             },
         }
     }
+
+    /// The `--deadline-ms` wall-clock budget, if given. Zero is rejected
+    /// (an already-expired deadline can never admit work).
+    pub fn deadline_ms(&self) -> Result<Option<u64>, CliError> {
+        match self.get("deadline-ms") {
+            None => Ok(None),
+            Some(v) => match v.parse::<u64>() {
+                Ok(n) if n > 0 => Ok(Some(n)),
+                _ => Err(CliError::Usage(format!(
+                    "--deadline-ms expects a positive number of milliseconds, got {v:?}"
+                ))),
+            },
+        }
+    }
+
+    /// The `--max-nnz` materialized-entries cap, if given. Zero is
+    /// rejected (no matrix fits in zero entries).
+    pub fn max_nnz(&self) -> Result<Option<usize>, CliError> {
+        match self.get("max-nnz") {
+            None => Ok(None),
+            Some(v) => match v.parse::<usize>() {
+                Ok(n) if n > 0 => Ok(Some(n)),
+                _ => Err(CliError::Usage(format!(
+                    "--max-nnz expects a positive number of entries, got {v:?}"
+                ))),
+            },
+        }
+    }
 }
 
 fn expand_short(key: &str) -> &str {
@@ -164,6 +192,22 @@ mod tests {
     fn bad_numbers_rejected() {
         let a = Args::parse(&argv("--k five")).unwrap();
         assert!(a.get_usize("k", 1).is_err());
+    }
+
+    #[test]
+    fn budget_flags_parse_and_validate() {
+        let none = Args::parse(&argv("")).unwrap();
+        assert_eq!(none.deadline_ms().unwrap(), None);
+        assert_eq!(none.max_nnz().unwrap(), None);
+        let a = Args::parse(&argv("--deadline-ms 500 --max-nnz 1000000")).unwrap();
+        assert_eq!(a.deadline_ms().unwrap(), Some(500));
+        assert_eq!(a.max_nnz().unwrap(), Some(1_000_000));
+        for bad in ["--deadline-ms 0", "--deadline-ms soon"] {
+            assert!(Args::parse(&argv(bad)).unwrap().deadline_ms().is_err());
+        }
+        for bad in ["--max-nnz 0", "--max-nnz big"] {
+            assert!(Args::parse(&argv(bad)).unwrap().max_nnz().is_err());
+        }
     }
 
     #[test]

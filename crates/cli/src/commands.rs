@@ -234,12 +234,61 @@ fn algorithm_spec(args: &Args) -> Result<AlgorithmSpec, CliError> {
     })
 }
 
+/// Budget-aware execution of an `rpathsim` query: build through
+/// [`repsim_core::BudgetedRPathSim`] so a `--deadline-ms` / `--max-nnz`
+/// limit degrades the plan (half factorization, walk prefix) instead of
+/// aborting, and report the tier next to the answers.
+fn query_rpathsim_budgeted(
+    g: &Graph,
+    meta_walk: &str,
+    q: NodeId,
+    k: usize,
+    budget: &repsim_sparse::Budget,
+) -> Result<String, CliError> {
+    use repsim_baselines::ranking::SimilarityAlgorithm;
+    use repsim_core::{BudgetedRPathSim, Degradation};
+    let mw = repsim_metawalk::MetaWalk::parse_in(g, meta_walk)
+        .ok_or_else(|| CliError::Command(format!("bad meta-walk {meta_walk:?}")))?;
+    if !mw.is_symmetric() {
+        return Err(CliError::Command(format!(
+            "rpathsim queries need a symmetric meta-walk, got {meta_walk:?}"
+        )));
+    }
+    let half = repsim_metawalk::MetaWalk::new(mw.steps()[..=mw.len() / 2].to_vec());
+    let mut alg = BudgetedRPathSim::try_new(g, half, Default::default(), budget)
+        .map_err(|e| CliError::Command(format!("budget exhausted: {e}")))?;
+    let list = alg.rank(q, g.label_of(q), k);
+    let mut out = format!("{} answers for {}:\n", alg.name(), g.display_node(q));
+    for &(n, score) in list.entries() {
+        writeln!(out, "  {:<30} {score:.6}", g.display_node(n)).expect("infallible");
+    }
+    match alg.degradation() {
+        Degradation::Exact => {}
+        Degradation::HalfFactorized => {
+            out.push_str("note: budget forced the half-factorized plan (scores exact)\n");
+        }
+        Degradation::PrefixWalk { walk } => {
+            writeln!(
+                out,
+                "note: budget shortened the walk to the prefix {:?} (closed symmetrically)",
+                walk.display(g.labels())
+            )
+            .expect("infallible");
+        }
+    }
+    Ok(out)
+}
+
 /// `repsim query FILE --algorithm A --query label:value [--meta-walk ...] [-k N]`.
 pub fn query(args: &Args) -> Result<String, CliError> {
     let g = load(args.input_file()?)?;
     let q = parse_entity(&g, args.require("query")?)?;
     let k = args.get_usize("k", 10)?;
     let spec = algorithm_spec(args)?;
+    let budget = repsim_sparse::Budget::from_env();
+    if let (AlgorithmSpec::RPathSim { meta_walk }, false) = (&spec, budget.is_unlimited()) {
+        return query_rpathsim_budgeted(&g, meta_walk, q, k, &budget);
+    }
     if let AlgorithmSpec::Aggregated { query_label, .. } = &spec {
         let expected = g.labels().name(g.label_of(q));
         if query_label != expected {
@@ -482,6 +531,28 @@ mod tests {
         )));
         // Either evidence or a clean "no walks" message — never an error.
         assert!(report.is_ok(), "{report:?}");
+    }
+
+    #[test]
+    fn budgeted_query_degrades_and_reports_the_tier() {
+        let path = write_movies("m6.graph");
+        let g = load(&path).unwrap();
+        let q = g.entity_by_name("film", "film00000").unwrap();
+        // A one-entry cap starves the closure and the half matrix: the
+        // query still answers, over the identity prefix, with a note.
+        let starved = repsim_sparse::Budget::unlimited().with_max_nnz(1);
+        let out = query_rpathsim_budgeted(&g, "film actor film", q, 3, &starved).unwrap();
+        assert!(out.contains("note: budget shortened the walk"), "{out}");
+        // A generous cap stays exact and silent.
+        let roomy = repsim_sparse::Budget::unlimited().with_max_nnz(1 << 30);
+        let out = query_rpathsim_budgeted(&g, "film actor film", q, 3, &roomy).unwrap();
+        assert!(!out.contains("note:"), "{out}");
+        assert!(out.contains("R-PathSim (budgeted)"), "{out}");
+        // Asymmetric walks cannot be closed into a half: clean error.
+        assert!(matches!(
+            query_rpathsim_budgeted(&g, "film actor", q, 3, &roomy),
+            Err(CliError::Command(_))
+        ));
     }
 
     #[test]

@@ -37,6 +37,14 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         // (commuting-matrix builds, SimRank iterations, query sweeps).
         repsim_sparse::Parallelism::set_global(n);
     }
+    // Budget overrides route through Budget::from_env(), consulted by the
+    // budget-aware command paths (precedence: flag > env var > unlimited).
+    if let Some(ms) = args.deadline_ms()? {
+        repsim_sparse::Budget::set_global_deadline_ms(ms);
+    }
+    if let Some(cap) = args.max_nnz()? {
+        repsim_sparse::Budget::set_global_max_nnz(cap);
+    }
     match command.as_str() {
         "generate" => commands::generate(&args),
         "stats" => commands::stats(&args),
@@ -85,4 +93,54 @@ COMMANDS:
 GLOBAL OPTIONS:
   --threads N | -t N   worker threads for matrix builds and query sweeps
                        (default: REPSIM_THREADS env var, else all cores)
+  --deadline-ms N      wall-clock budget for matrix builds; rpathsim queries
+                       degrade to cheaper plans instead of overrunning
+                       (default: REPSIM_DEADLINE_MS env var, else unlimited)
+  --max-nnz N          cap on materialized sparse-matrix entries
+                       (default: REPSIM_MAX_NNZ env var, else unlimited)
 ";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(|t| t.replace('~', " ")).collect()
+    }
+
+    #[test]
+    fn budget_flags_wire_through_run() {
+        let dir = std::env::temp_dir().join("repsim-cli-run-tests");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("budget.graph").to_string_lossy().into_owned();
+        run(&argv(&format!(
+            "generate --dataset movies --scale tiny --out {path}"
+        )))
+        .unwrap();
+        // Generous limits: the budgeted path engages (flag > env > none)
+        // without forcing degradation, so the answers stay exact.
+        let out = run(&argv(&format!(
+            "query {path} --algorithm rpathsim --meta-walk=film~actor~film \
+             --query film:film00000 -k 3 --deadline-ms 600000 --max-nnz 1000000000"
+        )))
+        .unwrap();
+        assert!(out.contains("R-PathSim (budgeted)"), "{out}");
+        assert!(!out.contains("note:"), "{out}");
+        // Reset the process-wide overrides (0 = unset) so other tests in
+        // this binary see the default unlimited budget.
+        repsim_sparse::Budget::set_global_deadline_ms(0);
+        repsim_sparse::Budget::set_global_max_nnz(0);
+    }
+
+    #[test]
+    fn bad_budget_flags_are_usage_errors() {
+        assert!(matches!(
+            run(&argv("stats nosuch.graph --deadline-ms 0")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&argv("stats nosuch.graph --max-nnz never")),
+            Err(CliError::Usage(_))
+        ));
+    }
+}

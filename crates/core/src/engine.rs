@@ -20,9 +20,9 @@
 //! [`crate::rpathsim::RPathSim`].
 
 use repsim_graph::{Graph, LabelId, NodeId};
-use repsim_metawalk::commuting::informative_commuting_with;
+use repsim_metawalk::commuting::try_informative_commuting_with;
 use repsim_metawalk::MetaWalk;
-use repsim_sparse::{Csr, Parallelism};
+use repsim_sparse::{Budget, Csr, ExecError, Parallelism};
 
 use repsim_baselines::ranking::{RankedList, SimilarityAlgorithm};
 
@@ -48,15 +48,28 @@ impl<'g> QueryEngine<'g> {
     /// [`QueryEngine::new`] with an explicit thread budget, used for both
     /// the half-matrix build and query-time cross-count sweeps.
     pub fn with_parallelism(g: &'g Graph, half: MetaWalk, par: Parallelism) -> Self {
-        let m_half = informative_commuting_with(g, &half, par);
+        Self::try_with_budget(g, half, par, &Budget::unlimited())
+            .expect("unlimited engine build cannot fail")
+    }
+
+    /// Budget-governed [`QueryEngine::with_parallelism`]: the half-matrix
+    /// build runs under `budget` and aborts with a structured
+    /// [`ExecError`] instead of panicking when a limit trips.
+    pub fn try_with_budget(
+        g: &'g Graph,
+        half: MetaWalk,
+        par: Parallelism,
+        budget: &Budget,
+    ) -> Result<Self, ExecError> {
+        let m_half = try_informative_commuting_with(g, &half, par, budget)?;
         let diag = m_half.row_sq_sums();
-        QueryEngine {
+        Ok(QueryEngine {
             g,
             half,
             m_half,
             diag,
             par,
-        }
+        })
     }
 
     /// The half meta-walk.

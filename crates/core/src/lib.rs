@@ -18,9 +18,14 @@
 //!   half-walk matrix;
 //! * [`independence`] — an executable check of Definition 2: run an
 //!   algorithm over a database and its transformation and verify the
-//!   rankings coincide under the entity bijection.
+//!   rankings coincide under the entity bijection;
+//! * [`budgeted::BudgetedRPathSim`] — budget-governed execution: under a
+//!   [`repsim_sparse::Budget`] the build degrades through cheaper tiers
+//!   (full closure → half factorization → affordable walk prefix) instead
+//!   of failing, reporting the tier via [`budgeted::Degradation`].
 
 pub mod aggregate;
+pub mod budgeted;
 pub mod engine;
 pub mod explain;
 pub mod independence;
@@ -29,6 +34,7 @@ pub mod planner;
 pub mod rpathsim;
 
 pub use aggregate::{AggregatedScorer, CountingMode};
+pub use budgeted::{BudgetedRPathSim, Degradation};
 pub use engine::QueryEngine;
 pub use explain::{explain, Evidence};
 pub use metawalk_gen::{extend_meta_walk, find_meta_walk_set};

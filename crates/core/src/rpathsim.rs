@@ -1,9 +1,9 @@
 //! R-PathSim: PathSim over informative walks (§4.3, §5.2).
 
 use repsim_graph::{Graph, LabelId, NodeId};
-use repsim_metawalk::commuting::informative_commuting_with;
+use repsim_metawalk::commuting::try_informative_commuting_with;
 use repsim_metawalk::MetaWalk;
-use repsim_sparse::{Csr, Parallelism};
+use repsim_sparse::{Budget, Csr, ExecError, Parallelism};
 
 use repsim_baselines::ranking::{RankedList, SimilarityAlgorithm};
 
@@ -34,13 +34,30 @@ impl<'g> RPathSim<'g> {
     /// [`RPathSim::new`] with an explicit thread budget for the
     /// commuting-matrix build.
     pub fn with_parallelism(g: &'g Graph, mw: MetaWalk, par: Parallelism) -> Self {
+        Self::try_with_budget(g, mw, par, &Budget::unlimited())
+            .expect("unlimited R-PathSim build cannot fail")
+    }
+
+    /// Budget-governed [`RPathSim::with_parallelism`]: the commuting-matrix
+    /// build runs under `budget` and aborts with a structured [`ExecError`]
+    /// instead of panicking when a limit trips.
+    ///
+    /// # Panics
+    /// If `mw`'s endpoints differ (a programming error, not a resource
+    /// condition).
+    pub fn try_with_budget(
+        g: &'g Graph,
+        mw: MetaWalk,
+        par: Parallelism,
+        budget: &Budget,
+    ) -> Result<Self, ExecError> {
         assert_eq!(
             mw.source(),
             mw.target(),
             "R-PathSim meta-walks must start and end at the same label"
         );
-        let m = informative_commuting_with(g, &mw, par);
-        RPathSim { g, mw, m }
+        let m = try_informative_commuting_with(g, &mw, par, budget)?;
+        Ok(RPathSim { g, mw, m })
     }
 
     /// The meta-walk this instance scores over.

@@ -1,0 +1,83 @@
+//! Property tests for budget-governed degradation:
+//!
+//! whatever tier [`BudgetedRPathSim`] lands on under a random nnz cap,
+//! its scores are identical to an unbudgeted exact build over the walk it
+//! actually answers (the effective half's symmetric closure). Degradation
+//! may shorten the walk; it may never perturb a score.
+
+use proptest::prelude::*;
+use repsim_core::{BudgetedRPathSim, Degradation, RPathSim};
+use repsim_graph::{Graph, GraphBuilder};
+use repsim_metawalk::MetaWalk;
+use repsim_sparse::{Budget, Parallelism};
+
+/// A conf/paper/dom/kw schema with random paper attachments and a random
+/// dom–kw bipartite pattern.
+fn mas_graph(paper_conf: &[usize], paper_dom: &[usize], dom_kw: &[usize]) -> Graph {
+    let mut b = GraphBuilder::new();
+    let conf = b.entity_label("conf");
+    let paper = b.entity_label("paper");
+    let dom = b.entity_label("dom");
+    let kw = b.entity_label("kw");
+    let confs: Vec<_> = (0..3).map(|i| b.entity(conf, &format!("c{i}"))).collect();
+    let doms: Vec<_> = (0..2).map(|i| b.entity(dom, &format!("d{i}"))).collect();
+    let kws: Vec<_> = (0..2).map(|i| b.entity(kw, &format!("k{i}"))).collect();
+    for (d, row) in dom_kw.chunks(2).enumerate() {
+        for (k, &on) in row.iter().enumerate() {
+            if on != 0 {
+                b.edge(doms[d], kws[k]).unwrap();
+            }
+        }
+    }
+    for (i, (&c, &d)) in paper_conf.iter().zip(paper_dom).enumerate() {
+        let p = b.entity(paper, &format!("p{i}"));
+        b.edge(p, confs[c % 3]).unwrap();
+        b.edge(p, doms[d % 2]).unwrap();
+    }
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn degraded_scores_equal_exact_scores(
+        paper_conf in proptest::collection::vec(0..3usize, 1..8),
+        paper_dom in proptest::collection::vec(0..2usize, 8),
+        dom_kw in proptest::collection::vec(0..2usize, 4),
+        cap in 0..40usize,
+    ) {
+        let n = paper_conf.len();
+        let g = mas_graph(&paper_conf, &paper_dom[..n], &dom_kw);
+        let half = MetaWalk::parse_in(&g, "conf paper dom kw").unwrap();
+        let budget = Budget::unlimited().with_max_nnz(cap);
+        let b = BudgetedRPathSim::try_new(&g, half.clone(), Parallelism::default(), &budget)
+            .expect("an nnz cap alone can always be absorbed by degradation");
+
+        // A degraded tier must have been forced, never chosen: exact means
+        // the closure actually fit the cap.
+        let effective = b.effective_half();
+        if *b.degradation() == Degradation::Exact {
+            prop_assert_eq!(&effective, &half);
+        }
+        if let Degradation::PrefixWalk { walk } = b.degradation() {
+            prop_assert!(walk.len() < half.len(), "a prefix is strictly shorter");
+            prop_assert_eq!(walk, &effective);
+        }
+
+        // The pinned property: on the walk it answers, the degraded build
+        // is score-identical to an unbudgeted exact build.
+        let exact = RPathSim::new(&g, effective.symmetric_closure());
+        let conf = g.labels().get("conf").unwrap();
+        for &e in g.nodes_of_label(conf) {
+            for &f in g.nodes_of_label(conf) {
+                let (got, want) = (b.score(e, f), exact.score(e, f));
+                prop_assert!(
+                    (got - want).abs() < 1e-12,
+                    "degraded {} vs exact {} at {:?},{:?} (tier {:?})",
+                    got, want, e, f, b.degradation()
+                );
+            }
+        }
+    }
+}

@@ -183,6 +183,46 @@ mod tests {
     }
 
     #[test]
+    fn parse_line_numbers_are_one_based_and_count_skipped_lines() {
+        // The first line is line 1, not 0…
+        let e = read("frobnicate\n").unwrap_err();
+        match e {
+            GraphError::Parse { line, .. } => assert_eq!(line, 1),
+            other => panic!("unexpected error {other:?}"),
+        }
+        // …and comments and blank lines still advance the count, so the
+        // reported number matches what an editor shows.
+        let e = read("# header\n\nlabel film entity\nnode 0 film\n").unwrap_err();
+        match e {
+            GraphError::Parse { line, message } => {
+                assert_eq!(line, 4);
+                assert!(message.contains("missing value"));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn crlf_input_parses_and_reports_the_same_line_numbers() {
+        // Windows line endings: `lines()` strips the `\r`, so values and
+        // directives parse identically…
+        let g = read("label film entity\r\nnode 0 film The Empire Strikes Back\r\n").unwrap();
+        assert!(g
+            .entity_by_name("film", "The Empire Strikes Back")
+            .is_some());
+        // …and a bad line is reported at the same 1-based number as its
+        // LF-only twin.
+        let e = read("# header\r\nlabel film entity\r\nnode 0 film\r\n").unwrap_err();
+        match e {
+            GraphError::Parse { line, message } => {
+                assert_eq!(line, 3);
+                assert!(message.contains("missing value"));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
     fn rejects_unknown_directive_and_label() {
         assert!(read("frobnicate 1 2\n").is_err());
         assert!(read("node 0 ghost v\n").is_err());

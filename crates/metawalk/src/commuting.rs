@@ -24,8 +24,8 @@ use std::collections::HashMap;
 
 use repsim_graph::biadjacency::biadjacency;
 use repsim_graph::{Graph, LabelId};
-use repsim_sparse::chain::spmm_chain_with_threads;
-use repsim_sparse::{Csr, Parallelism};
+use repsim_sparse::chain::try_spmm_chain_with_budget;
+use repsim_sparse::{Budget, Csr, ExecError, Parallelism};
 
 use crate::metawalk::MetaWalk;
 
@@ -40,11 +40,24 @@ pub fn plain_commuting(g: &Graph, mw: &MetaWalk) -> Csr {
 
 /// [`plain_commuting`] with an explicit thread budget.
 pub fn plain_commuting_with(g: &Graph, mw: &MetaWalk, par: Parallelism) -> Csr {
+    try_plain_commuting_with(g, mw, par, &Budget::unlimited())
+        .expect("unlimited commuting build cannot fail")
+}
+
+/// Budget-governed [`plain_commuting`]: the build aborts with a
+/// structured [`ExecError`] when the budget's deadline, size cap, or
+/// cancellation flag trips mid-chain.
+pub fn try_plain_commuting_with(
+    g: &Graph,
+    mw: &MetaWalk,
+    par: Parallelism,
+    budget: &Budget,
+) -> Result<Csr, ExecError> {
     assert!(
         !mw.has_star(),
         "plain commuting matrices cannot use *-labels"
     );
-    compute(g, mw, false, par)
+    compute(g, mw, false, par, budget)
 }
 
 /// Computes the informative commuting matrix `M̂_p` (informative instances
@@ -56,10 +69,27 @@ pub fn informative_commuting(g: &Graph, mw: &MetaWalk) -> Csr {
 
 /// [`informative_commuting`] with an explicit thread budget.
 pub fn informative_commuting_with(g: &Graph, mw: &MetaWalk, par: Parallelism) -> Csr {
-    compute(g, mw, true, par)
+    try_informative_commuting_with(g, mw, par, &Budget::unlimited())
+        .expect("unlimited commuting build cannot fail")
 }
 
-fn compute(g: &Graph, mw: &MetaWalk, informative: bool, par: Parallelism) -> Csr {
+/// Budget-governed [`informative_commuting`].
+pub fn try_informative_commuting_with(
+    g: &Graph,
+    mw: &MetaWalk,
+    par: Parallelism,
+    budget: &Budget,
+) -> Result<Csr, ExecError> {
+    compute(g, mw, true, par, budget)
+}
+
+fn compute(
+    g: &Graph,
+    mw: &MetaWalk,
+    informative: bool,
+    par: Parallelism,
+    budget: &Budget,
+) -> Result<Csr, ExecError> {
     let steps = mw.steps();
     let entity_pos: Vec<usize> = (0..steps.len()).filter(|&i| steps[i].is_entity()).collect();
     debug_assert!(entity_pos.first() == Some(&0));
@@ -67,8 +97,9 @@ fn compute(g: &Graph, mw: &MetaWalk, informative: bool, par: Parallelism) -> Csr
 
     if entity_pos.len() == 1 {
         // A single-label meta-walk: walks of length zero, one per node.
+        budget.check()?;
         let n = g.nodes_of_label(mw.source()).len();
-        return Csr::identity(n);
+        return Ok(Csr::identity(n));
     }
 
     // Collect hop matrices per segment, binarizing at the close of each
@@ -85,13 +116,14 @@ fn compute(g: &Graph, mw: &MetaWalk, informative: bool, par: Parallelism) -> Csr
             steps[w[0]..=w[1]].iter().map(|s| s.label()),
             informative,
             par,
-        ));
+            budget,
+        )?);
         if steps[w[1]].is_star() {
             segment_has_star = true;
             continue;
         }
         // Arrived at a plain entity: close the current segment.
-        let mut seg = chain_product(std::mem::take(&mut hops), par);
+        let mut seg = chain_product(std::mem::take(&mut hops), par, budget)?;
         if segment_has_star {
             seg = seg.binarized();
             segment_has_star = false;
@@ -99,18 +131,21 @@ fn compute(g: &Graph, mw: &MetaWalk, informative: bool, par: Parallelism) -> Csr
         segments.push(seg);
     }
     debug_assert!(hops.is_empty(), "meta-walk must end at a plain entity");
-    chain_product(segments, par)
+    chain_product(segments, par, budget)
 }
 
 /// Cost-ordered product of an owned, non-empty chain (single factors pass
 /// through without a copy).
-fn chain_product(mats: Vec<Csr>, par: Parallelism) -> Csr {
+fn chain_product(mats: Vec<Csr>, par: Parallelism, budget: &Budget) -> Result<Csr, ExecError> {
     assert!(!mats.is_empty(), "at least one hop");
     if mats.len() == 1 {
-        return mats.into_iter().next().expect("non-empty chain");
+        // No product to run, but an expired deadline or set cancellation
+        // flag still aborts — trivial builds observe the budget too.
+        budget.check()?;
+        return Ok(mats.into_iter().next().expect("non-empty chain"));
     }
     let refs: Vec<&Csr> = mats.iter().collect();
-    spmm_chain_with_threads(&refs, par.threads())
+    try_spmm_chain_with_budget(&refs, par.threads(), budget)
 }
 
 /// The matrix of a single hop `l_i (rels…) l_j`: the cost-ordered product
@@ -121,18 +156,19 @@ fn hop_matrix(
     labels: impl IntoIterator<Item = LabelId>,
     informative: bool,
     par: Parallelism,
-) -> Csr {
+    budget: &Budget,
+) -> Result<Csr, ExecError> {
     let labels: Vec<LabelId> = labels.into_iter().collect();
     debug_assert!(labels.len() >= 2);
     let mats: Vec<Csr> = labels
         .windows(2)
         .map(|pair| biadjacency(g, pair[0], pair[1]))
         .collect();
-    let mut m = chain_product(mats, par);
+    let mut m = chain_product(mats, par, budget)?;
     if informative && labels[0] == *labels.last().expect("non-empty hop") {
         m = m.subtract_diagonal();
     }
-    m
+    Ok(m)
 }
 
 /// A count lookup against a commuting matrix: `|p(e,f,D)|` or `|p̂(e,f,D)|`
@@ -156,6 +192,11 @@ pub fn count_between(
 /// meta-walks and concatenates them at query time; R-PathSim follows the
 /// same plan (final paragraph of §4.3). The cache makes repeated queries
 /// over the same meta-walk set amortize the matrix chain.
+///
+/// Budgeted misses are abort-safe: a build that fails with an
+/// [`ExecError`] inserts **nothing** — a matrix enters the cache only
+/// after its chain completed, so an aborted build can never poison later
+/// hits with a partial product (pinned by the `aborted_build_*` tests).
 #[derive(Default)]
 pub struct CommutingCache {
     plain: HashMap<MetaWalk, Csr>,
@@ -173,22 +214,50 @@ impl CommutingCache {
     /// Misses pay one `mw.clone()` for the key; hits are allocation-free
     /// (the `entry` API would clone the key on every call).
     pub fn plain<'a>(&'a mut self, g: &Graph, mw: &MetaWalk) -> &'a Csr {
+        self.try_plain_with(g, mw, Parallelism::default(), &Budget::unlimited())
+            .expect("unlimited commuting build cannot fail")
+    }
+
+    /// Budget-governed [`CommutingCache::plain`]: hits are served without
+    /// touching the budget; misses build under it and cache only on
+    /// success.
+    pub fn try_plain_with<'a>(
+        &'a mut self,
+        g: &Graph,
+        mw: &MetaWalk,
+        par: Parallelism,
+        budget: &Budget,
+    ) -> Result<&'a Csr, ExecError> {
         if !self.plain.contains_key(mw) {
-            let m = plain_commuting(g, mw);
+            let m = try_plain_commuting_with(g, mw, par, budget)?;
             self.plain.insert(mw.clone(), m);
         }
-        self.plain.get(mw).expect("just inserted")
+        Ok(self.plain.get(mw).expect("just inserted"))
     }
 
     /// The informative commuting matrix of `mw`, computed on first use.
     ///
     /// Misses pay one `mw.clone()` for the key; hits are allocation-free.
     pub fn informative<'a>(&'a mut self, g: &Graph, mw: &MetaWalk) -> &'a Csr {
+        self.try_informative_with(g, mw, Parallelism::default(), &Budget::unlimited())
+            .expect("unlimited commuting build cannot fail")
+    }
+
+    /// Budget-governed [`CommutingCache::informative`]: hits are served
+    /// without touching the budget; misses build under it and cache only
+    /// on success.
+    pub fn try_informative_with<'a>(
+        &'a mut self,
+        g: &Graph,
+        mw: &MetaWalk,
+        par: Parallelism,
+        budget: &Budget,
+    ) -> Result<&'a Csr, ExecError> {
         if !self.informative.contains_key(mw) {
-            let m = informative_commuting(g, mw);
+            let m = try_informative_commuting_with(g, mw, par, budget)?;
             self.informative.insert(mw.clone(), m);
         }
-        self.informative.get(mw).expect("just inserted")
+        Ok(self.informative.get(mw).expect("just inserted"))
     }
 
     /// Number of cached matrices.
@@ -356,6 +425,72 @@ mod tests {
         assert_eq!(count_between(&g, &mw, &m, ca, ca), 1.0);
         assert_eq!(count_between(&g, &mw, &m, cb, cb), 1.0);
         assert_eq!(count_between(&g, &mw, &m, ca, cb), 0.0);
+    }
+
+    #[test]
+    fn aborted_build_never_poisons_cache_failpoint() {
+        use repsim_sparse::budget::failpoints;
+        let (g, _) = dblp();
+        let mw = MetaWalk::parse_in(&g, "paper cite paper cite paper").unwrap();
+        let exact = informative_commuting(&g, &mw);
+        let mut cache = CommutingCache::new();
+        {
+            let _guard = failpoints::scoped(&[failpoints::SPGEMM_CANCEL]);
+            let inject = Budget::unlimited().with_fault_injection();
+            let err = cache
+                .try_informative_with(&g, &mw, Parallelism::serial(), &inject)
+                .unwrap_err();
+            assert_eq!(err, ExecError::Cancelled);
+            // The mid-chain abort must leave no entry behind — not for the
+            // aborted walk, not for anything else.
+            assert!(cache.is_empty(), "aborted build cached a partial matrix");
+        }
+        // A later un-faulted miss rebuilds from scratch and gets the exact
+        // matrix, proving the abort left no partial state anywhere.
+        let rebuilt = cache
+            .try_informative_with(&g, &mw, Parallelism::serial(), &Budget::unlimited())
+            .unwrap()
+            .clone();
+        assert_eq!(rebuilt, exact);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn aborted_build_never_poisons_cache_nnz_cap() {
+        let (g, _) = dblp();
+        let mw = MetaWalk::parse_in(&g, "paper cite paper cite paper").unwrap();
+        let mut cache = CommutingCache::new();
+        // A zero-entry cap starves every intermediate product.
+        let starved = Budget::unlimited().with_max_nnz(0);
+        let err = cache
+            .try_plain_with(&g, &mw, Parallelism::serial(), &starved)
+            .unwrap_err();
+        assert!(matches!(err, ExecError::MemoryExceeded { .. }));
+        assert!(cache.is_empty());
+        // Hits never consult the budget: populate, then ask again starved.
+        let exact = cache
+            .try_plain_with(&g, &mw, Parallelism::serial(), &Budget::unlimited())
+            .unwrap()
+            .clone();
+        let hit = cache
+            .try_plain_with(&g, &mw, Parallelism::serial(), &starved)
+            .unwrap();
+        assert_eq!(*hit, exact);
+    }
+
+    #[test]
+    fn budgeted_build_matches_unbudgeted_when_it_fits() {
+        let g = mas5a();
+        for text in ["conf paper dom", "conf *paper dom kw dom *paper conf"] {
+            let mw = MetaWalk::parse_in(&g, text).unwrap();
+            let exact = informative_commuting(&g, &mw);
+            let roomy = Budget::unlimited()
+                .with_max_nnz(1_000_000)
+                .with_deadline_ms(60_000);
+            let got =
+                try_informative_commuting_with(&g, &mw, Parallelism::serial(), &roomy).unwrap();
+            assert_eq!(got, exact, "{text}");
+        }
     }
 
     #[test]

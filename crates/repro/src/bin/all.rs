@@ -2,7 +2,9 @@
 
 use std::process::Command;
 
-fn main() {
+use repsim_repro::ReproError;
+
+fn main() -> Result<(), ReproError> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let bins = [
         "figure1",
@@ -15,23 +17,26 @@ fn main() {
         "table2_4",
         "effectiveness",
     ];
-    let exe = std::env::current_exe().expect("own path");
-    let dir = exe.parent().expect("bin directory");
+    let exe = std::env::current_exe()
+        .map_err(|e| ReproError::new(format!("cannot locate own executable: {e}")))?;
+    let dir = exe
+        .parent()
+        .ok_or_else(|| ReproError::new("own executable has no parent directory"))?;
     let mut failures = Vec::new();
     for bin in bins {
         let path = dir.join(bin);
         let status = Command::new(&path)
             .args(&args)
             .status()
-            .unwrap_or_else(|e| panic!("failed to spawn {bin}: {e}"));
+            .map_err(|e| ReproError::new(format!("cannot run {}: {e}", path.display())))?;
         if !status.success() {
             failures.push(bin);
         }
     }
     if failures.is_empty() {
         println!("\nAll experiments completed.");
+        Ok(())
     } else {
-        eprintln!("\nFailed experiments: {failures:?}");
-        std::process::exit(1);
+        Err(ReproError::new(format!("failed experiments: {failures:?}")))
     }
 }

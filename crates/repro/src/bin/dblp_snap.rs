@@ -7,11 +7,11 @@ use repsim_eval::report::Table;
 use repsim_eval::runner::RobustnessRunner;
 use repsim_eval::spec::AlgorithmSpec;
 use repsim_eval::workload::Workload;
-use repsim_repro::{banner, simrank_spec, Scale};
+use repsim_repro::{banner, simrank_spec, ReproError, Scale};
 use repsim_transform::EntityMap;
 
-fn main() {
-    let scale = Scale::from_args();
+fn main() -> Result<(), ReproError> {
+    let scale = repsim_repro::init_from_args()?;
     let cfg = match scale {
         Scale::Tiny => CitationConfig::tiny(),
         Scale::Small => CitationConfig::small(),
@@ -28,7 +28,10 @@ fn main() {
     let snap = citations::snap(&cfg);
     let map = EntityMap::between(&dblp, &snap);
     let runner = RobustnessRunner::new(&dblp, &snap, &map);
-    let paper = dblp.labels().get("paper").expect("papers exist");
+    let paper = dblp
+        .labels()
+        .get("paper")
+        .ok_or_else(|| ReproError::new("citations dataset lost its paper label"))?;
     let queries = Workload::Random { seed: 13 }.queries(&dblp, paper, scale.queries());
     let ks = [3usize, 5, 10];
 
@@ -70,4 +73,5 @@ fn main() {
         "Paper reports (random queries, top 3/5/10): PathSim .357/.327/.296,\n\
          RWR .126/.134/.141, SimRank .634/.578/.493, R-PathSim exactly 0."
     );
+    Ok(())
 }

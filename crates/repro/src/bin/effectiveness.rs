@@ -11,7 +11,7 @@ use repsim_eval::spec::AlgorithmSpec;
 use repsim_eval::stats::{mean, paired_t_test};
 use repsim_eval::workload::Workload;
 use repsim_graph::{Graph, NodeId};
-use repsim_repro::{banner, Scale};
+use repsim_repro::{banner, ReproError, Scale};
 
 /// Per-query nDCG@5 and nDCG@10 of one algorithm.
 fn ndcg_scores(
@@ -44,8 +44,8 @@ fn ndcg_scores(
     (at5, at10)
 }
 
-fn main() {
-    let scale = Scale::from_args();
+fn main() -> Result<(), ReproError> {
+    let scale = repsim_repro::init_from_args()?;
     let cfg = match scale {
         Scale::Tiny => MasConfig::tiny(),
         Scale::Small => MasConfig::small(),
@@ -63,7 +63,10 @@ fn main() {
         truth.conf_values().count(),
         cfg.domains
     );
-    let conf = g.labels().get("conf").expect("conf label");
+    let conf = g
+        .labels()
+        .get("conf")
+        .ok_or_else(|| ReproError::new("MAS database lost its conf label"))?;
     let n_queries = if scale == Scale::Tiny { 8 } else { 50 };
     let queries = Workload::Random { seed: 23 }.queries(&g, conf, n_queries);
 
@@ -196,4 +199,5 @@ fn main() {
          exp 2 — 1.0/1.0 vs .640/.616; exp 3 — .658/.625 vs .630/.564\n\
          (significant at 0.05)."
     );
+    Ok(())
 }

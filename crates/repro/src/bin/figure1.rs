@@ -4,7 +4,7 @@
 
 use repsim_baselines::{Rwr, SimRank};
 use repsim_graph::{Graph, GraphBuilder};
-use repsim_repro::banner;
+use repsim_repro::{banner, ReproError};
 use repsim_transform::catalog;
 
 /// A Figure-1a-style IMDb fragment. Star Wars III and V share the Darth
@@ -58,10 +58,13 @@ fn report(g: &Graph, name: &str) -> (f64, f64, f64, f64) {
     (r5, rj, s5, sj)
 }
 
-fn main() {
+fn main() -> Result<(), ReproError> {
+    repsim_repro::init_from_args()?;
     banner("Figure 1: IMDb vs Freebase representations of the same facts");
     let imdb = imdb_fragment();
-    let fb = catalog::imdb2fb().apply(&imdb).expect("triangles present");
+    let fb = catalog::imdb2fb()
+        .apply(&imdb)
+        .map_err(|e| ReproError::new(format!("imdb2fb: {e}")))?;
     println!(
         "IMDb fragment: {} nodes, {} edges; Freebase fragment: {} nodes, {} edges\n",
         imdb.num_nodes(),
@@ -87,18 +90,20 @@ fn main() {
          scores depend on the chosen structure. At dataset scale the instability\n\
          is unmistakable:)"
     );
-    dataset_scale_flips();
+    dataset_scale_flips()
 }
 
 /// How often the top answer changes across IMDb↔Freebase on the tiny
 /// movies dataset.
-fn dataset_scale_flips() {
+fn dataset_scale_flips() -> Result<(), ReproError> {
     use repsim_baselines::ranking::SimilarityAlgorithm;
     use repsim_datasets::movies::{self, MoviesConfig};
     use repsim_transform::EntityMap;
 
     let g = movies::imdb(&MoviesConfig::tiny());
-    let fb = catalog::imdb2fb().apply(&g).expect("triangles present");
+    let fb = catalog::imdb2fb()
+        .apply(&g)
+        .map_err(|e| ReproError::new(format!("imdb2fb: {e}")))?;
     let map = EntityMap::between(&g, &fb);
     let film = g.labels().get("film").expect("films");
     let film_fb = fb.labels().get("film").expect("films");
@@ -128,4 +133,5 @@ fn dataset_scale_flips() {
         rwr_changed,
         sr_changed
     );
+    Ok(())
 }

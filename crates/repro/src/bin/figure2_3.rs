@@ -5,8 +5,7 @@
 use repsim_graph::{Graph, GraphBuilder};
 use repsim_metawalk::enumerate::{includes, maximal_meta_walks};
 use repsim_metawalk::equivalence::sufficiently_content_equivalent;
-use repsim_metawalk::MetaWalk;
-use repsim_repro::banner;
+use repsim_repro::{banner, parse_walk, ReproError};
 use repsim_transform::grouping::Ungroup;
 use repsim_transform::Transformation;
 
@@ -34,7 +33,8 @@ fn niagara() -> Graph {
     b.build()
 }
 
-fn main() {
+fn main() -> Result<(), ReproError> {
+    repsim_repro::init_from_args()?;
     banner("Figures 2-3: Niagara's cast grouping and its reorganization");
     let ng = niagara();
     // Figure 3's variant: cast dissolved into direct film-actor edges.
@@ -43,7 +43,7 @@ fn main() {
         center_label: "film".into(),
     }
     .apply(&ng)
-    .expect("each cast has one film");
+    .map_err(|e| ReproError::new(format!("ungroup cast: {e}")))?;
     println!(
         "Niagara: {} nodes / {} edges; reorganized: {} nodes / {} edges\n",
         ng.num_nodes(),
@@ -53,8 +53,8 @@ fn main() {
     );
 
     // Definition 6: (actor,cast,film,cast,actor) includes (actor,cast,actor).
-    let sub = MetaWalk::parse_in(&ng, "actor cast actor").expect("parseable");
-    let sup = MetaWalk::parse_in(&ng, "actor cast film cast actor").expect("parseable");
+    let sub = parse_walk(&ng, "actor cast actor")?;
+    let sup = parse_walk(&ng, "actor cast film cast actor")?;
     println!(
         "includes((actor cast film cast actor), (actor cast actor)) = {}",
         includes(&ng, &sup, &sub)
@@ -67,11 +67,12 @@ fn main() {
     }
 
     // Definition 5 across the two representations.
-    let p_ng = MetaWalk::parse_in(&ng, "film cast actor").expect("parseable");
-    let p_flat = MetaWalk::parse_in(&flat, "film actor").expect("parseable");
+    let p_ng = parse_walk(&ng, "film cast actor")?;
+    let p_flat = parse_walk(&flat, "film actor")?;
     let equiv = sufficiently_content_equivalent(&ng, &p_ng, &flat, &p_flat);
     println!(
         "\n(film cast actor) over Niagara ≜c.e. (film actor) over the reorganized\nform: {equiv}"
     );
     assert!(equiv);
+    Ok(())
 }

@@ -4,8 +4,7 @@
 use repsim_baselines::PathSim;
 use repsim_core::RPathSim;
 use repsim_graph::{Graph, GraphBuilder, NodeId};
-use repsim_metawalk::MetaWalk;
-use repsim_repro::banner;
+use repsim_repro::{banner, parse_walk, ReproError};
 
 fn dblp() -> (Graph, [NodeId; 4]) {
     let mut b = GraphBuilder::new();
@@ -30,12 +29,13 @@ fn snap() -> (Graph, [NodeId; 4]) {
     (b.build(), [p[0], p[1], p[2], p[3]])
 }
 
-fn main() {
+fn main() -> Result<(), ReproError> {
+    repsim_repro::init_from_args()?;
     banner("Figure 4: citation database in DBLP (cite nodes) vs SNAP (edges) form");
     let (gd, [d1, d2, d3, d4]) = dblp();
     let (gs, [s1, s2, s3, s4]) = snap();
-    let mwd = MetaWalk::parse_in(&gd, "paper cite paper cite paper").expect("parseable");
-    let mws = MetaWalk::parse_in(&gs, "paper paper paper").expect("parseable");
+    let mwd = parse_walk(&gd, "paper cite paper cite paper")?;
+    let mws = parse_walk(&gs, "paper paper paper")?;
 
     let psd = PathSim::new(&gd, mwd.clone());
     let pss = PathSim::new(&gs, mws.clone());
@@ -70,4 +70,5 @@ fn main() {
     assert_eq!(rpd.score(d3, d4), rps.score(s3, s4));
     assert_eq!(rpd.score(d3, d1), rps.score(s3, s1));
     assert_ne!(psd.score(d3, d4), pss.score(s3, s4));
+    Ok(())
 }

@@ -4,8 +4,7 @@
 
 use repsim_core::RPathSim;
 use repsim_graph::{Graph, GraphBuilder};
-use repsim_metawalk::MetaWalk;
-use repsim_repro::banner;
+use repsim_repro::{banner, parse_walk, ReproError};
 use repsim_transform::catalog;
 
 /// The Figure 5a fragment: confs a, b, c; papers p,q,r,s,t; domains with
@@ -43,19 +42,22 @@ fn mas_fragment() -> Graph {
     b.build()
 }
 
-fn scores(g: &Graph, mw_text: &str) -> (f64, f64) {
-    let mw = MetaWalk::parse_in(g, mw_text).expect("parseable");
+fn scores(g: &Graph, mw_text: &str) -> Result<(f64, f64), ReproError> {
+    let mw = parse_walk(g, mw_text)?;
     let rp = RPathSim::new(g, mw);
     let cb = g.entity_by_name("conf", "b").expect("present");
     let ca = g.entity_by_name("conf", "a").expect("present");
     let cc = g.entity_by_name("conf", "c").expect("present");
-    (rp.score(cb, ca), rp.score(cb, cc))
+    Ok((rp.score(cb, ca), rp.score(cb, cc)))
 }
 
-fn main() {
+fn main() -> Result<(), ReproError> {
+    repsim_repro::init_from_args()?;
     banner("Figure 5: MAS original (5a) vs rearranged (5b) representations");
     let g5a = mas_fragment();
-    let g5b = catalog::mas2alt().apply(&g5a).expect("FDs hold");
+    let g5b = catalog::mas2alt()
+        .apply(&g5a)
+        .map_err(|e| ReproError::new(format!("mas2alt: {e}")))?;
     println!(
         "5a: {} nodes / {} edges; 5b: {} nodes / {} edges\n",
         g5a.num_nodes(),
@@ -65,17 +67,17 @@ fn main() {
     );
 
     println!("Similarity of conf:b to a and c by common domain keywords.\n");
-    let (pa, pc) = scores(&g5a, "conf paper dom kw dom paper conf");
+    let (pa, pc) = scores(&g5a, "conf paper dom kw dom paper conf")?;
     println!(
         "plain meta-walk on 5a   (conf paper dom kw dom paper conf): b~a={pa:.4}  b~c={pc:.4}"
     );
-    let (qa, qc) = scores(&g5b, "conf dom kw dom conf");
+    let (qa, qc) = scores(&g5b, "conf dom kw dom conf")?;
     println!(
         "plain meta-walk on 5b   (conf dom kw dom conf):             b~a={qa:.4}  b~c={qc:.4}"
     );
     println!("  → the plain walks disagree: paper multiplicities leak into 5a's scores.\n");
 
-    let (sa, sc) = scores(&g5a, "conf *paper dom kw dom *paper conf");
+    let (sa, sc) = scores(&g5a, "conf *paper dom kw dom *paper conf")?;
     println!(
         "*-label meta-walk on 5a (conf *paper dom kw dom *paper conf): b~a={sa:.4}  b~c={sc:.4}"
     );
@@ -88,4 +90,5 @@ fn main() {
         "Theorem 5.2: *-labels equalize the counts"
     );
     println!("  → identical: the *-label collapses the paper hop to connection-existence.");
+    Ok(())
 }

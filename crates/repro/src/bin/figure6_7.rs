@@ -6,7 +6,7 @@ use repsim_datasets::bibliographic::{self, BibliographicConfig};
 use repsim_datasets::courses::{self, CourseConfig};
 use repsim_graph::Graph;
 use repsim_metawalk::FdSet;
-use repsim_repro::banner;
+use repsim_repro::{banner, ReproError};
 use repsim_transform::{catalog, verify};
 
 fn show_fds(g: &Graph, name: &str) {
@@ -30,10 +30,13 @@ fn show_fds(g: &Graph, name: &str) {
     }
 }
 
-fn main() {
+fn main() -> Result<(), ReproError> {
+    repsim_repro::init_from_args()?;
     banner("Figure 6: DBLP (paper–area) vs SIGMOD Record (proc–area)");
     let dblp = bibliographic::dblp(&BibliographicConfig::tiny());
-    let sigm = catalog::dblp2sigm().apply(&dblp).expect("FDs hold");
+    let sigm = catalog::dblp2sigm()
+        .apply(&dblp)
+        .map_err(|e| ReproError::new(format!("dblp2sigm: {e}")))?;
     println!(
         "DBLP: {} nodes / {} edges; SIGMOD Record: {} nodes / {} edges\n",
         dblp.num_nodes(),
@@ -46,13 +49,15 @@ fn main() {
     show_fds(&sigm, "SIGMOD Record form (Fig 6b)");
     let invertible =
         verify::check_invertible(&*catalog::dblp2sigm(), &*catalog::sigm2dblp(), &dblp)
-            .expect("applies");
+            .map_err(|e| ReproError::new(format!("dblp2sigm round trip: {e}")))?;
     println!("\nDBLP2SIGM round-trips losslessly (Theorem 5.1): {invertible}");
     assert!(invertible);
 
     banner("Figure 7: WSU (offer–subject) vs Alchemy UW-CSE (course–subject)");
     let wsu = courses::wsu(&CourseConfig::tiny());
-    let alch = catalog::wsu2alch().apply(&wsu).expect("FDs hold");
+    let alch = catalog::wsu2alch()
+        .apply(&wsu)
+        .map_err(|e| ReproError::new(format!("wsu2alch: {e}")))?;
     println!(
         "WSU: {} nodes / {} edges; Alchemy: {} nodes / {} edges\n",
         wsu.num_nodes(),
@@ -64,7 +69,8 @@ fn main() {
     println!();
     show_fds(&alch, "Alchemy form (Fig 7b)");
     let invertible = verify::check_invertible(&*catalog::wsu2alch(), &*catalog::alch2wsu(), &wsu)
-        .expect("applies");
+        .map_err(|e| ReproError::new(format!("wsu2alch round trip: {e}")))?;
     println!("\nWSU2ALCH round-trips losslessly (Theorem 5.1): {invertible}");
     assert!(invertible);
+    Ok(())
 }

@@ -12,7 +12,7 @@ use repsim_eval::runner::RobustnessRunner;
 use repsim_eval::spec::AlgorithmSpec;
 use repsim_eval::workload::Workload;
 use repsim_graph::Graph;
-use repsim_repro::{banner, simrank_spec, Scale};
+use repsim_repro::{banner, simrank_spec, ReproError, Scale};
 use repsim_transform::{apply_with_map, catalog, Transformation};
 
 fn movies_config(scale: Scale) -> MoviesConfig {
@@ -24,23 +24,27 @@ fn movies_config(scale: Scale) -> MoviesConfig {
 }
 
 /// `(column name, original database, transformation)` per Table 1 column.
-fn columns(cfg: &MoviesConfig) -> Vec<(&'static str, Graph, Box<dyn Transformation>)> {
+type Columns = Vec<(&'static str, Graph, Box<dyn Transformation>)>;
+
+fn columns(cfg: &MoviesConfig) -> Result<Columns, ReproError> {
     let imdb = movies::imdb(cfg);
     let imdb_nc = movies::imdb_no_chars(cfg);
-    let fb = catalog::imdb2fb().apply(&imdb).expect("triangles");
+    let fb = catalog::imdb2fb()
+        .apply(&imdb)
+        .map_err(|e| ReproError::new(format!("imdb2fb: {e}")))?;
     let fb_nc = catalog::imdb2fb_no_chars()
         .apply(&imdb_nc)
-        .expect("applies");
-    vec![
+        .map_err(|e| ReproError::new(format!("imdb2fb-no-chars: {e}")))?;
+    Ok(vec![
         ("FB2IMDB", fb, catalog::fb2imdb()),
         ("FB2NG", fb_nc, catalog::fb2ng()),
         ("IMDB2NG", imdb_nc.clone(), catalog::imdb2ng()),
         ("IMDB2NG+", imdb_nc, catalog::imdb2ng_plus()),
-    ]
+    ])
 }
 
-fn main() {
-    let scale = Scale::from_args();
+fn main() -> Result<(), ReproError> {
+    let scale = repsim_repro::init_from_args()?;
     let cfg = movies_config(scale);
     banner(&format!(
         "Table 1: relationship reorganizing transformations (movies, scale={})",
@@ -56,10 +60,14 @@ fn main() {
         );
         // cells[k][alg] = column cells.
         let mut cells: Vec<Vec<Vec<String>>> = vec![vec![Vec::new(); 2]; ks.len()];
-        for (_, g, t) in columns(&cfg) {
-            let (tg, map) = apply_with_map(t.as_ref(), &g).expect("catalog transformation");
+        for (name, g, t) in columns(&cfg)? {
+            let (tg, map) = apply_with_map(t.as_ref(), &g)
+                .map_err(|e| ReproError::new(format!("{name}: {e}")))?;
             let runner = RobustnessRunner::new(&g, &tg, &map);
-            let film = g.labels().get("film").expect("movies have films");
+            let film = g
+                .labels()
+                .get("film")
+                .ok_or_else(|| ReproError::new("movies database lost its film label"))?;
             let queries = workload.queries(&g, film, scale.queries());
             let specs = [AlgorithmSpec::Rwr, simrank_spec(&g, &tg)];
             for (ai, spec) in specs.iter().enumerate() {
@@ -84,4 +92,5 @@ fn main() {
          4.2/4.3 and are asserted in tests/theorems.rs, matching the paper's\n\
          decision to omit them from Table 1."
     );
+    Ok(())
 }

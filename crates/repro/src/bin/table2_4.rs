@@ -11,7 +11,7 @@ use repsim_eval::runner::RobustnessRunner;
 use repsim_eval::spec::AlgorithmSpec;
 use repsim_eval::workload::Workload;
 use repsim_graph::Graph;
-use repsim_repro::{banner, simrank_spec, Scale};
+use repsim_repro::{banner, simrank_spec, ReproError, Scale};
 use repsim_transform::{apply_with_map, catalog, Transformation};
 
 struct Column {
@@ -59,8 +59,8 @@ fn columns(scale: Scale) -> Vec<Column> {
     ]
 }
 
-fn main() {
-    let scale = Scale::from_args();
+fn main() -> Result<(), ReproError> {
+    let scale = repsim_repro::init_from_args()?;
     banner(&format!(
         "Tables 2 and 4: entity rearranging transformations (scale={})",
         scale.name()
@@ -78,9 +78,15 @@ fn main() {
         let alg_names = ["RWR", "SimRank", "PathSim", "R-PathSim"];
         let mut cells: Vec<Vec<Vec<String>>> = vec![vec![Vec::new(); alg_names.len()]; ks.len()];
         for col in columns(scale) {
-            let (tg, map) = apply_with_map(col.t.as_ref(), &col.g).expect("FDs hold");
+            let (tg, map) = apply_with_map(col.t.as_ref(), &col.g)
+                .map_err(|e| ReproError::new(format!("{}: {e}", col.name)))?;
             let runner = RobustnessRunner::new(&col.g, &tg, &map);
-            let label = col.g.labels().get(col.query_label).expect("label exists");
+            let label = col.g.labels().get(col.query_label).ok_or_else(|| {
+                ReproError::new(format!(
+                    "{} database lost its {} label",
+                    col.name, col.query_label
+                ))
+            })?;
             let queries = workload.queries(&col.g, label, scale.queries());
             let sr = simrank_spec(&col.g, &tg);
             let specs: Vec<(AlgorithmSpec, AlgorithmSpec)> = vec![
@@ -133,4 +139,5 @@ fn main() {
         "Paper's Table 2 (top queries): e.g. TOP 3 — RWR .540/.349, SimRank\n\
          .446/.505, PathSim .671/.566; R-PathSim identically 0 (omitted there)."
     );
+    Ok(())
 }

@@ -7,9 +7,90 @@
 //! SimRank to be replaced by the Monte-Carlo estimator there — the
 //! original authors likewise capped their database sizes because of
 //! SimRank's cubic cost).
+//!
+//! The binaries also honor the global budget flags `--deadline-ms` and
+//! `--max-nnz` (precedence: flag > `REPSIM_DEADLINE_MS` / `REPSIM_MAX_NNZ`
+//! environment variables > unlimited, the same ladder as the CLI), and
+//! their `main` functions return [`ReproError`] so a bad flag or a failed
+//! step exits nonzero with a one-line diagnostic instead of panicking.
+
+use std::fmt;
 
 use repsim_eval::spec::AlgorithmSpec;
 use repsim_graph::Graph;
+
+/// A one-line failure from a reproduction binary, formatted like the
+/// CLI's errors: just the message, no wrapping. Returned from
+/// `main() -> Result<(), ReproError>` so the process exits nonzero.
+#[derive(Clone, PartialEq, Eq)]
+pub struct ReproError(String);
+
+impl ReproError {
+    /// Wraps a message.
+    pub fn new(msg: impl Into<String>) -> ReproError {
+        ReproError(msg.into())
+    }
+}
+
+impl fmt::Display for ReproError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+// `main() -> Result` renders its error through `Debug`; delegating to
+// `Display` keeps the diagnostic a single clean line.
+impl fmt::Debug for ReproError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl std::error::Error for ReproError {}
+
+/// The value of `--name v` / `--name=v` in `args`, if present.
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    let long = format!("--{name}");
+    for (i, a) in args.iter().enumerate() {
+        if let Some(v) = a.strip_prefix(&format!("{long}=")) {
+            return Some(v.to_owned());
+        }
+        if a == &long {
+            return args.get(i + 1).cloned();
+        }
+    }
+    None
+}
+
+/// Parses the shared reproduction flags from `std::env::args`: validates
+/// `--scale` and installs the `--deadline-ms` / `--max-nnz` budget
+/// overrides process-wide (routed to every budget-aware build through
+/// [`repsim_sparse::Budget::from_env`]). Call once at the top of each
+/// binary's `main`.
+pub fn init_from_args() -> Result<Scale, ReproError> {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(v) = flag_value(&args, "deadline-ms") {
+        match v.parse::<u64>() {
+            Ok(n) if n > 0 => repsim_sparse::Budget::set_global_deadline_ms(n),
+            _ => {
+                return Err(ReproError::new(format!(
+                    "--deadline-ms expects a positive number of milliseconds, got {v:?}"
+                )))
+            }
+        }
+    }
+    if let Some(v) = flag_value(&args, "max-nnz") {
+        match v.parse::<usize>() {
+            Ok(n) if n > 0 => repsim_sparse::Budget::set_global_max_nnz(n),
+            _ => {
+                return Err(ReproError::new(format!(
+                    "--max-nnz expects a positive number of entries, got {v:?}"
+                )))
+            }
+        }
+    }
+    Scale::parse(&args)
+}
 
 /// Experiment scale selector.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -23,31 +104,18 @@ pub enum Scale {
 }
 
 impl Scale {
-    /// Parses `--scale X` / `--scale=X` from `std::env::args`, defaulting
-    /// to [`Scale::Small`].
-    pub fn from_args() -> Scale {
-        let args: Vec<String> = std::env::args().collect();
-        for (i, a) in args.iter().enumerate() {
-            let value = if let Some(v) = a.strip_prefix("--scale=") {
-                Some(v.to_owned())
-            } else if a == "--scale" {
-                args.get(i + 1).cloned()
-            } else {
-                None
-            };
-            if let Some(v) = value {
-                return match v.as_str() {
-                    "tiny" => Scale::Tiny,
-                    "small" => Scale::Small,
-                    "paper" => Scale::Paper,
-                    other => {
-                        eprintln!("unknown scale {other:?}; using small");
-                        Scale::Small
-                    }
-                };
-            }
+    /// Parses `--scale X` / `--scale=X` from an argv, defaulting to
+    /// [`Scale::Small`]; an unknown scale is an error.
+    fn parse(args: &[String]) -> Result<Scale, ReproError> {
+        match flag_value(args, "scale").as_deref() {
+            None => Ok(Scale::Small),
+            Some("tiny") => Ok(Scale::Tiny),
+            Some("small") => Ok(Scale::Small),
+            Some("paper") => Ok(Scale::Paper),
+            Some(other) => Err(ReproError::new(format!(
+                "--scale expects tiny|small|paper, got {other:?}"
+            ))),
         }
-        Scale::Small
     }
 
     /// Display name.
@@ -67,6 +135,13 @@ impl Scale {
             Scale::Paper => 100,
         }
     }
+}
+
+/// Parses a meta-walk, turning a bad walk into a one-line error naming
+/// the walk text.
+pub fn parse_walk(g: &Graph, text: &str) -> Result<repsim_metawalk::MetaWalk, ReproError> {
+    repsim_metawalk::MetaWalk::parse_in(g, text)
+        .ok_or_else(|| ReproError::new(format!("bad meta-walk {text:?}")))
 }
 
 /// Picks exact SimRank when the graph is small enough for the dense
@@ -93,11 +168,43 @@ mod tests {
     use super::*;
     use repsim_datasets::citations::{self, CitationConfig};
 
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_owned).collect()
+    }
+
     #[test]
     fn scale_names_and_queries() {
         assert_eq!(Scale::Small.name(), "small");
         assert_eq!(Scale::Paper.queries(), 100);
         assert_eq!(Scale::Tiny.queries(), 15);
+    }
+
+    #[test]
+    fn scale_parses_and_rejects_unknown() {
+        assert_eq!(
+            Scale::parse(&argv("bin --scale tiny")).unwrap(),
+            Scale::Tiny
+        );
+        assert_eq!(
+            Scale::parse(&argv("bin --scale=paper")).unwrap(),
+            Scale::Paper
+        );
+        assert_eq!(Scale::parse(&argv("bin")).unwrap(), Scale::Small);
+        let err = Scale::parse(&argv("bin --scale huge")).unwrap_err();
+        assert_eq!(
+            format!("{err}"),
+            "--scale expects tiny|small|paper, got \"huge\""
+        );
+        // Debug renders the same single line (what `main() -> Result` prints).
+        assert_eq!(format!("{err:?}"), format!("{err}"));
+    }
+
+    #[test]
+    fn flag_values_support_both_spellings() {
+        let args = argv("bin --deadline-ms 500 --max-nnz=9");
+        assert_eq!(flag_value(&args, "deadline-ms").as_deref(), Some("500"));
+        assert_eq!(flag_value(&args, "max-nnz").as_deref(), Some("9"));
+        assert_eq!(flag_value(&args, "scale"), None);
     }
 
     #[test]

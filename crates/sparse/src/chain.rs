@@ -13,7 +13,8 @@
 //! The estimator is deliberately a function of the *sub-chain*, not of the
 //! association order, so the DP's size table is well-defined.
 
-use crate::ops::spmm_with_threads;
+use crate::budget::{failpoints, Budget, ExecError};
+use crate::ops::try_spmm_with_budget;
 use crate::Csr;
 
 /// Shape and occupancy statistics of one chain factor.
@@ -157,13 +158,28 @@ impl Factor<'_> {
     }
 }
 
-fn eval<'a>(order: &ChainOrder, matrices: &[&'a Csr], threads: usize) -> Factor<'a> {
+fn eval<'a>(
+    order: &ChainOrder,
+    matrices: &[&'a Csr],
+    threads: usize,
+    budget: &Budget,
+) -> Result<Factor<'a>, ExecError> {
     match order {
-        ChainOrder::Leaf(i) => Factor::Borrowed(matrices[*i]),
+        ChainOrder::Leaf(i) => Ok(Factor::Borrowed(matrices[*i])),
         ChainOrder::Join(l, r) => {
-            let left = eval(l, matrices, threads);
-            let right = eval(r, matrices, threads);
-            Factor::Owned(spmm_with_threads(left.as_ref(), right.as_ref(), threads))
+            let left = eval(l, matrices, threads, budget)?;
+            let right = eval(r, matrices, threads, budget)?;
+            // Each join is a fresh cancellation point: a long chain aborts
+            // between joins (and, via the banded kernel, within one).
+            if budget.injected(failpoints::SPGEMM_CANCEL) {
+                return Err(ExecError::Cancelled);
+            }
+            Ok(Factor::Owned(try_spmm_with_budget(
+                left.as_ref(),
+                right.as_ref(),
+                threads,
+                budget,
+            )?))
         }
     }
 }
@@ -176,15 +192,42 @@ fn eval<'a>(order: &ChainOrder, matrices: &[&'a Csr], threads: usize) -> Factor<
 /// representable integers (walk counts are — see the crate docs); for
 /// general floats the results may differ by reassociation rounding.
 pub fn spmm_chain_with_threads(matrices: &[&Csr], threads: usize) -> Csr {
+    match try_spmm_chain_with_budget(matrices, threads, &Budget::unlimited()) {
+        Ok(m) => m,
+        Err(e) => panic!("spmm chain: {e}"),
+    }
+}
+
+/// Budget-governed [`spmm_chain_with_threads`]: shape mismatches are
+/// returned instead of panicking, every join runs under `budget` (checked
+/// at row-band granularity inside the kernel), and the budget is
+/// re-checked between joins so a cancelled chain stops before its next
+/// intermediate product. Still panics on an empty chain — that is a
+/// programming error, not a resource condition.
+pub fn try_spmm_chain_with_budget(
+    matrices: &[&Csr],
+    threads: usize,
+    budget: &Budget,
+) -> Result<Csr, ExecError> {
     assert!(!matrices.is_empty(), "empty spmm chain");
+    for pair in matrices.windows(2) {
+        if pair[0].ncols() != pair[1].nrows() {
+            return Err(ExecError::ShapeMismatch {
+                op: "spmm_chain",
+                lhs: (pair[0].nrows(), pair[0].ncols()),
+                rhs: (pair[1].nrows(), pair[1].ncols()),
+            });
+        }
+    }
     if matrices.len() == 1 {
-        return matrices[0].clone();
+        budget.check()?;
+        return Ok(matrices[0].clone());
     }
     let stats: Vec<ChainStats> = matrices.iter().map(|m| ChainStats::of(m)).collect();
     let plan = plan_chain(&stats);
-    match eval(&plan.order, matrices, threads) {
-        Factor::Owned(m) => m,
-        Factor::Borrowed(m) => m.clone(),
+    match eval(&plan.order, matrices, threads, budget)? {
+        Factor::Owned(m) => Ok(m),
+        Factor::Borrowed(m) => Ok(m.clone()),
     }
 }
 
@@ -232,6 +275,29 @@ mod tests {
         let plan = plan_chain(&stats(&[(3, 4, 5)]));
         assert_eq!(plan.order, ChainOrder::Leaf(0));
         assert_eq!(plan.est_flops, 0.0);
+    }
+
+    #[test]
+    fn budgeted_chain_reports_shape_mismatch_and_cancellation() {
+        let a = crate::par::tests::sample(8, 5, 31);
+        let b = crate::par::tests::sample(5, 6, 32);
+        let bad = crate::par::tests::sample(9, 4, 33);
+        assert!(matches!(
+            try_spmm_chain_with_budget(&[&a, &bad], 1, &Budget::unlimited()).unwrap_err(),
+            ExecError::ShapeMismatch {
+                op: "spmm_chain",
+                ..
+            }
+        ));
+        let _guard = failpoints::scoped(&[failpoints::SPGEMM_CANCEL]);
+        let inject = Budget::unlimited().with_fault_injection();
+        assert_eq!(
+            try_spmm_chain_with_budget(&[&a, &b], 1, &inject).unwrap_err(),
+            ExecError::Cancelled
+        );
+        // A single-factor chain has no join, so no mid-chain cancellation
+        // fires — but an explicit cancel flag still does.
+        assert!(try_spmm_chain_with_budget(&[&a], 1, &inject).is_ok());
     }
 
     #[test]

@@ -24,7 +24,14 @@
 //! follows the usual CSR discipline (sorted column indices, no explicit
 //! zeros after construction via [`Csr::from_triplets`], dense accumulator
 //! for row-by-row spmm).
+//!
+//! Execution is resource-governed: every kernel has a fallible `try_*`
+//! variant that takes a [`Budget`] (wall-clock deadline, output-size cap,
+//! cooperative cancellation) and returns a structured [`ExecError`]
+//! instead of panicking; see [`budget`] for the taxonomy and the
+//! fault-injection failpoints used to test the abort paths.
 
+pub mod budget;
 pub mod chain;
 pub mod csr;
 pub mod dense;
@@ -33,6 +40,7 @@ pub mod par;
 pub mod parallelism;
 pub mod vector;
 
+pub use budget::{Budget, ExecError};
 pub use csr::Csr;
 pub use dense::Dense;
 pub use parallelism::Parallelism;

@@ -1,5 +1,14 @@
 //! Matrix-matrix and matrix-vector kernels.
+//!
+//! Every kernel comes in two flavours: the historical infallible form
+//! (`spmm`, `matvec`, …) that panics on shape mismatch and ignores
+//! resource limits, and a fallible `try_*` form returning
+//! [`ExecError`] that also honours a [`Budget`] — checked at row-band
+//! granularity in both the symbolic and numeric SpGEMM phases, so a
+//! cancelled or over-deadline product aborts mid-sweep. The infallible
+//! wrappers delegate to the fallible ones with an unlimited budget.
 
+use crate::budget::{failpoints, Budget, ExecError};
 use crate::par::chunks;
 use crate::{Csr, Dense};
 
@@ -83,6 +92,11 @@ impl RowWorkspace {
     }
 }
 
+/// How many rows a band worker processes between budget checks. Checks
+/// cost one `Instant::now` plus two atomic loads — negligible at this
+/// granularity, yet an expired deadline aborts within ~a thousand rows.
+const ROWS_PER_CHECK: usize = 1024;
+
 /// Sparse × sparse multiplication (`A · B`).
 ///
 /// Two-phase row-by-row Gustavson algorithm: a symbolic pass sizes each
@@ -94,13 +108,46 @@ pub fn spmm(a: &Csr, b: &Csr) -> Csr {
     spmm_with_threads(a, b, 1)
 }
 
+/// Fallible [`spmm`]: shape errors are returned, not panicked.
+pub fn try_spmm(a: &Csr, b: &Csr) -> Result<Csr, ExecError> {
+    try_spmm_with_budget(a, b, 1, &Budget::unlimited())
+}
+
 /// [`spmm`] over row bands on up to `threads` worker threads.
 ///
 /// Serial and parallel runs share [`RowWorkspace`]'s per-row kernel, so
 /// each output row is accumulated in the same order regardless of the
 /// thread count and the results are bit-identical.
 pub(crate) fn spmm_with_threads(a: &Csr, b: &Csr, threads: usize) -> Csr {
-    assert_eq!(a.ncols(), b.nrows(), "spmm shape mismatch: {a:?} x {b:?}");
+    match try_spmm_with_budget(a, b, threads, &Budget::unlimited()) {
+        Ok(c) => c,
+        Err(e) => panic!("spmm shape mismatch: {e} ({a:?} x {b:?})"),
+    }
+}
+
+/// Budget-governed [`spmm`]: the budget is checked at the start of every
+/// row band and every [`ROWS_PER_CHECK`] rows within a band, in both the
+/// symbolic and numeric phases; the output allocation (sized by the
+/// symbolic phase) is checked against the budget's nnz cap. On any
+/// failure every band stops at its next checkpoint and the first error is
+/// returned — no partial matrix escapes.
+pub fn try_spmm_with_budget(
+    a: &Csr,
+    b: &Csr,
+    threads: usize,
+    budget: &Budget,
+) -> Result<Csr, ExecError> {
+    if a.ncols() != b.nrows() {
+        return Err(ExecError::ShapeMismatch {
+            op: "spmm",
+            lhs: (a.nrows(), a.ncols()),
+            rhs: (b.nrows(), b.ncols()),
+        });
+    }
+    if budget.injected(failpoints::SPGEMM_CANCEL) {
+        return Err(ExecError::Cancelled);
+    }
+    budget.check()?;
     let nrows = a.nrows();
     let ncols = b.ncols();
     // Thread spawn/join costs ~10µs per worker; for tiny products one band
@@ -111,21 +158,40 @@ pub(crate) fn spmm_with_threads(a: &Csr, b: &Csr, threads: usize) -> Csr {
         threads.max(1)
     };
     let bands = chunks(nrows, threads);
+    let stop = std::sync::atomic::AtomicBool::new(false);
 
     // Phase 1 — symbolic: per-row nnz upper bounds.
     let mut bound = vec![0usize; nrows];
+    let mut errs: Vec<Option<ExecError>> = vec![None; bands.len()];
     {
         let mut rest = bound.as_mut_slice();
+        let mut err_rest = errs.as_mut_slice();
         run_bands(&bands, |&(lo, hi)| {
             let (band, tail) = std::mem::take(&mut rest).split_at_mut(hi - lo);
             rest = tail;
+            let (err, etail) = std::mem::take(&mut err_rest).split_at_mut(1);
+            err_rest = etail;
+            let stop = &stop;
             move || {
                 let mut ws = RowWorkspace::new(ncols);
-                for (r, slot) in (lo..hi).zip(band.iter_mut()) {
+                for (i, (r, slot)) in (lo..hi).zip(band.iter_mut()).enumerate() {
+                    if i % ROWS_PER_CHECK == 0 {
+                        if stop.load(std::sync::atomic::Ordering::Relaxed) {
+                            return;
+                        }
+                        if let Err(e) = budget.check() {
+                            err[0] = Some(e);
+                            stop.store(true, std::sync::atomic::Ordering::Relaxed);
+                            return;
+                        }
+                    }
                     *slot = ws.symbolic_row(a, b, r);
                 }
             }
         });
+    }
+    if let Some(e) = errs.iter_mut().find_map(Option::take) {
+        return Err(e);
     }
     let mut bound_ptr = Vec::with_capacity(nrows + 1);
     let mut total = 0usize;
@@ -134,6 +200,9 @@ pub(crate) fn spmm_with_threads(a: &Csr, b: &Csr, threads: usize) -> Csr {
         total += n;
         bound_ptr.push(total);
     }
+    // The symbolic phase sized the output exactly (up to cancellation):
+    // this is the allocation the memory budget caps.
+    budget.check_alloc(total)?;
 
     // Phase 2 — numeric: write each row's entries at its bounded offset;
     // record the actual count (cancellation may fall short of the bound).
@@ -144,6 +213,7 @@ pub(crate) fn spmm_with_threads(a: &Csr, b: &Csr, threads: usize) -> Csr {
         let mut col_rest = col_idx.as_mut_slice();
         let mut val_rest = values.as_mut_slice();
         let mut cnt_rest = count.as_mut_slice();
+        let mut err_rest = errs.as_mut_slice();
         run_bands(&bands, |&(lo, hi)| {
             let width = bound_ptr[hi] - bound_ptr[lo];
             let (cols_band, ct) = std::mem::take(&mut col_rest).split_at_mut(width);
@@ -152,11 +222,24 @@ pub(crate) fn spmm_with_threads(a: &Csr, b: &Csr, threads: usize) -> Csr {
             val_rest = vt;
             let (cnt_band, nt) = std::mem::take(&mut cnt_rest).split_at_mut(hi - lo);
             cnt_rest = nt;
+            let (err, etail) = std::mem::take(&mut err_rest).split_at_mut(1);
+            err_rest = etail;
             let bound_ptr = &bound_ptr;
+            let stop = &stop;
             move || {
                 let mut ws = RowWorkspace::new(ncols);
                 let base = bound_ptr[lo];
-                for (r, cnt) in (lo..hi).zip(cnt_band.iter_mut()) {
+                for (i, (r, cnt)) in (lo..hi).zip(cnt_band.iter_mut()).enumerate() {
+                    if i % ROWS_PER_CHECK == 0 {
+                        if stop.load(std::sync::atomic::Ordering::Relaxed) {
+                            return;
+                        }
+                        if let Err(e) = budget.check() {
+                            err[0] = Some(e);
+                            stop.store(true, std::sync::atomic::Ordering::Relaxed);
+                            return;
+                        }
+                    }
                     let off = bound_ptr[r] - base;
                     let len = bound_ptr[r + 1] - bound_ptr[r];
                     *cnt = ws.numeric_row(
@@ -169,6 +252,9 @@ pub(crate) fn spmm_with_threads(a: &Csr, b: &Csr, threads: usize) -> Csr {
                 }
             }
         });
+    }
+    if let Some(e) = errs.iter_mut().find_map(Option::take) {
+        return Err(e);
     }
 
     // Phase 3 — compact: close the cancellation gaps in place and build
@@ -190,7 +276,7 @@ pub(crate) fn spmm_with_threads(a: &Csr, b: &Csr, threads: usize) -> Csr {
     values.truncate(dst);
     col_idx.shrink_to_fit();
     values.shrink_to_fit();
-    Csr::from_parts(nrows, ncols, row_ptr, col_idx, values)
+    Ok(Csr::from_parts(nrows, ncols, row_ptr, col_idx, values))
 }
 
 /// Runs one closure per band: inline when there is a single band, on
@@ -227,9 +313,33 @@ pub fn spmm_chain(matrices: &[&Csr]) -> Csr {
 
 /// Sparse matrix × dense vector (`A · x`).
 pub fn matvec(a: &Csr, x: &[f64]) -> Vec<f64> {
-    assert_eq!(a.ncols(), x.len(), "matvec shape mismatch");
+    match try_matvec(a, x) {
+        Ok(y) => y,
+        Err(e) => panic!("matvec shape mismatch: {e}"),
+    }
+}
+
+/// Fallible [`matvec`].
+pub fn try_matvec(a: &Csr, x: &[f64]) -> Result<Vec<f64>, ExecError> {
+    try_matvec_with_budget(a, x, &Budget::unlimited())
+}
+
+/// Budget-governed [`matvec`]: the budget is checked every
+/// [`ROWS_PER_CHECK`] rows of the sweep.
+pub fn try_matvec_with_budget(a: &Csr, x: &[f64], budget: &Budget) -> Result<Vec<f64>, ExecError> {
+    if a.ncols() != x.len() {
+        return Err(ExecError::ShapeMismatch {
+            op: "matvec",
+            lhs: (a.nrows(), a.ncols()),
+            rhs: (x.len(), 1),
+        });
+    }
+    budget.check()?;
     let mut y = vec![0.0; a.nrows()];
     for (r, yr) in y.iter_mut().enumerate() {
+        if r % ROWS_PER_CHECK == 0 && r > 0 {
+            budget.check()?;
+        }
         let (cols, vals) = a.row(r);
         let mut sum = 0.0;
         for (&c, &v) in cols.iter().zip(vals) {
@@ -237,12 +347,26 @@ pub fn matvec(a: &Csr, x: &[f64]) -> Vec<f64> {
         }
         *yr = sum;
     }
-    y
+    Ok(y)
 }
 
 /// Dense row vector × sparse matrix (`xᵀ · A`), returned as a dense vector.
 pub fn vecmat(x: &[f64], a: &Csr) -> Vec<f64> {
-    assert_eq!(a.nrows(), x.len(), "vecmat shape mismatch");
+    match try_vecmat(x, a) {
+        Ok(y) => y,
+        Err(e) => panic!("vecmat shape mismatch: {e}"),
+    }
+}
+
+/// Fallible [`vecmat`].
+pub fn try_vecmat(x: &[f64], a: &Csr) -> Result<Vec<f64>, ExecError> {
+    if a.nrows() != x.len() {
+        return Err(ExecError::ShapeMismatch {
+            op: "vecmat",
+            lhs: (1, x.len()),
+            rhs: (a.nrows(), a.ncols()),
+        });
+    }
     let mut y = vec![0.0; a.ncols()];
     for (r, &xr) in x.iter().enumerate() {
         if xr == 0.0 {
@@ -253,12 +377,26 @@ pub fn vecmat(x: &[f64], a: &Csr) -> Vec<f64> {
             y[c as usize] += xr * v;
         }
     }
-    y
+    Ok(y)
 }
 
 /// Dense × sparse multiplication (`D · A`), used by SimRank's `S·W` step.
 pub fn dense_sparse_mul(d: &Dense, a: &Csr) -> Dense {
-    assert_eq!(d.ncols(), a.nrows(), "dense_sparse_mul shape mismatch");
+    match try_dense_sparse_mul(d, a) {
+        Ok(out) => out,
+        Err(e) => panic!("dense_sparse_mul shape mismatch: {e}"),
+    }
+}
+
+/// Fallible [`dense_sparse_mul`].
+pub fn try_dense_sparse_mul(d: &Dense, a: &Csr) -> Result<Dense, ExecError> {
+    if d.ncols() != a.nrows() {
+        return Err(ExecError::ShapeMismatch {
+            op: "dense_sparse_mul",
+            lhs: (d.nrows(), d.ncols()),
+            rhs: (a.nrows(), a.ncols()),
+        });
+    }
     let mut out = Dense::zeros(d.nrows(), a.ncols());
     for r in 0..d.nrows() {
         let drow = d.row(r);
@@ -273,13 +411,27 @@ pub fn dense_sparse_mul(d: &Dense, a: &Csr) -> Dense {
             }
         }
     }
-    out
+    Ok(out)
 }
 
 /// Sparse-transpose × dense multiplication (`Aᵀ · D`), used by SimRank's
 /// `Wᵀ·(S·W)` step without materializing `Aᵀ`.
 pub fn sparse_t_dense_mul(a: &Csr, d: &Dense) -> Dense {
-    assert_eq!(a.nrows(), d.nrows(), "sparse_t_dense_mul shape mismatch");
+    match try_sparse_t_dense_mul(a, d) {
+        Ok(out) => out,
+        Err(e) => panic!("sparse_t_dense_mul shape mismatch: {e}"),
+    }
+}
+
+/// Fallible [`sparse_t_dense_mul`].
+pub fn try_sparse_t_dense_mul(a: &Csr, d: &Dense) -> Result<Dense, ExecError> {
+    if a.nrows() != d.nrows() {
+        return Err(ExecError::ShapeMismatch {
+            op: "sparse_t_dense_mul",
+            lhs: (a.nrows(), a.ncols()),
+            rhs: (d.nrows(), d.ncols()),
+        });
+    }
     let mut out = Dense::zeros(a.ncols(), d.ncols());
     for k in 0..a.nrows() {
         let (cols, vals) = a.row(k);
@@ -291,7 +443,7 @@ pub fn sparse_t_dense_mul(a: &Csr, d: &Dense) -> Dense {
             }
         }
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -420,5 +572,127 @@ mod tests {
         let d = b().to_dense();
         let prod = sparse_t_dense_mul(&a(), &d);
         assert_eq!(prod, spmm(&a().transpose(), &b()).to_dense());
+    }
+
+    #[test]
+    fn try_apis_report_shape_mismatch() {
+        let wide = Csr::zeros(3, 7);
+        assert_eq!(
+            try_spmm(&a(), &wide).unwrap_err(),
+            ExecError::ShapeMismatch {
+                op: "spmm",
+                lhs: (2, 2),
+                rhs: (3, 7),
+            }
+        );
+        assert!(matches!(
+            try_matvec(&b(), &[1.0]).unwrap_err(),
+            ExecError::ShapeMismatch { op: "matvec", .. }
+        ));
+        assert!(matches!(
+            try_vecmat(&[1.0], &b()).unwrap_err(),
+            ExecError::ShapeMismatch { op: "vecmat", .. }
+        ));
+        assert!(matches!(
+            try_dense_sparse_mul(&b().to_dense(), &b()).unwrap_err(),
+            ExecError::ShapeMismatch {
+                op: "dense_sparse_mul",
+                ..
+            }
+        ));
+        assert!(matches!(
+            try_sparse_t_dense_mul(&a(), &Csr::zeros(3, 3).to_dense()).unwrap_err(),
+            ExecError::ShapeMismatch {
+                op: "sparse_t_dense_mul",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "spmm shape mismatch")]
+    fn infallible_spmm_still_panics_on_shape() {
+        let _ = spmm(&a(), &Csr::zeros(3, 3));
+    }
+
+    #[test]
+    fn budgeted_spmm_honours_nnz_cap() {
+        let a = crate::par::tests::sample(30, 20, 7);
+        let b = crate::par::tests::sample(20, 25, 8);
+        let exact = spmm(&a, &b);
+        // A cap at the exact size passes and is bit-identical...
+        let fits = Budget::unlimited().with_max_nnz(exact.nnz());
+        assert_eq!(try_spmm_with_budget(&a, &b, 1, &fits).unwrap(), exact);
+        // ...but the symbolic bound is what the allocation check sees, so
+        // budget one entry below it and the product must abort.
+        let starved = Budget::unlimited().with_max_nnz(0);
+        assert!(matches!(
+            try_spmm_with_budget(&a, &b, 1, &starved).unwrap_err(),
+            ExecError::MemoryExceeded { .. }
+        ));
+    }
+
+    #[test]
+    fn budgeted_spmm_observes_cancellation() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+        let a = crate::par::tests::sample(30, 20, 9);
+        let b = crate::par::tests::sample(20, 25, 10);
+        let flag = Arc::new(AtomicBool::new(true));
+        let budget = Budget::unlimited().with_cancel(flag.clone());
+        assert_eq!(
+            try_spmm_with_budget(&a, &b, 2, &budget).unwrap_err(),
+            ExecError::Cancelled
+        );
+        flag.store(false, Ordering::Relaxed);
+        assert_eq!(
+            try_spmm_with_budget(&a, &b, 2, &budget).unwrap(),
+            spmm(&a, &b)
+        );
+    }
+
+    #[test]
+    fn budgeted_spmm_observes_expired_deadline() {
+        let a = crate::par::tests::sample(30, 20, 11);
+        let b = crate::par::tests::sample(20, 25, 12);
+        let expired = Budget::unlimited().with_deadline_ms(0);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        assert!(matches!(
+            try_spmm_with_budget(&a, &b, 1, &expired).unwrap_err(),
+            ExecError::DeadlineExceeded { .. }
+        ));
+    }
+
+    #[test]
+    fn spgemm_cancel_failpoint_aborts_injectable_products() {
+        let a = crate::par::tests::sample(10, 10, 13);
+        let b = crate::par::tests::sample(10, 10, 14);
+        let _guard = failpoints::scoped(&[failpoints::SPGEMM_CANCEL]);
+        let inject = Budget::unlimited().with_fault_injection();
+        assert_eq!(
+            try_spmm_with_budget(&a, &b, 1, &inject).unwrap_err(),
+            ExecError::Cancelled
+        );
+        // Non-injectable budgets (and the infallible wrapper) are immune.
+        assert_eq!(
+            try_spmm_with_budget(&a, &b, 1, &Budget::unlimited()).unwrap(),
+            spmm(&a, &b)
+        );
+    }
+
+    #[test]
+    fn budgeted_matvec_checks_shape_and_deadline() {
+        let m = crate::par::tests::sample(10, 10, 15);
+        let x = vec![1.0; 10];
+        let expired = Budget::unlimited().with_deadline_ms(0);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        assert!(matches!(
+            try_matvec_with_budget(&m, &x, &expired).unwrap_err(),
+            ExecError::DeadlineExceeded { .. }
+        ));
+        assert_eq!(
+            try_matvec_with_budget(&m, &x, &Budget::unlimited()).unwrap(),
+            matvec(&m, &x)
+        );
     }
 }

@@ -7,10 +7,10 @@
 //!    and integer f64 arithmetic is associative below 2^53).
 
 use proptest::prelude::*;
-use repsim_sparse::chain::spmm_chain_with_threads;
-use repsim_sparse::ops::{spmm, spmm_chain};
+use repsim_sparse::chain::{spmm_chain_with_threads, try_spmm_chain_with_budget};
+use repsim_sparse::ops::{spmm, spmm_chain, try_spmm_with_budget};
 use repsim_sparse::par::spmm_par;
-use repsim_sparse::Csr;
+use repsim_sparse::{Budget, Csr, ExecError};
 
 /// Raw triplet material: positions are reduced modulo the actual matrix
 /// dimensions, values map to non-zero integers in `-6..=6` so cancellation
@@ -111,6 +111,66 @@ proptest! {
                 "threads={}",
                 threads
             );
+        }
+    }
+
+    // Budgeted execution is all-or-nothing: a budget generous enough to
+    // finish yields a product bit-identical to the unbudgeted kernel, and
+    // a starved nnz cap yields MemoryExceeded — never a partial matrix,
+    // never a panic.
+    #[test]
+    fn budgeted_spmm_all_or_nothing(
+        nrows in 1..14usize,
+        inner in 1..14usize,
+        ncols in 1..14usize,
+        raw_a in triplets(),
+        raw_b in triplets(),
+        cap in 0..40usize,
+    ) {
+        let a = build(nrows, inner, &raw_a);
+        let b = build(inner, ncols, &raw_b);
+        let exact = spmm(&a, &b);
+        let budget = Budget::unlimited().with_max_nnz(cap);
+        match try_spmm_with_budget(&a, &b, 2, &budget) {
+            Ok(c) => {
+                prop_assert_eq!(&c, &exact);
+                // The symbolic bound (not the post-cancellation count) is
+                // what the cap admits, so success implies the bound fit.
+                prop_assert!(exact.nnz() <= cap);
+            }
+            Err(ExecError::MemoryExceeded { nnz, limit }) => {
+                prop_assert_eq!(limit, cap);
+                prop_assert!(nnz > cap);
+            }
+            Err(other) => prop_assert!(false, "unexpected error {:?}", other),
+        }
+    }
+
+    // Same all-or-nothing property through the chain planner: whatever
+    // association order the DP picks, a cap either admits the exact fold
+    // or the chain aborts with a structured error.
+    #[test]
+    fn budgeted_chain_all_or_nothing(
+        len in 2..=4usize,
+        dims in proptest::collection::vec(1..9usize, 5),
+        raws in proptest::collection::vec(triplets(), 4),
+        cap in 0..60usize,
+    ) {
+        let mats: Vec<Csr> = (0..len)
+            .map(|i| build(dims[i], dims[i + 1], &raws[i]))
+            .collect();
+        let refs: Vec<&Csr> = mats.iter().collect();
+        let folded = refs[1..]
+            .iter()
+            .fold(mats[0].clone(), |acc, m| spmm(&acc, m));
+        let budget = Budget::unlimited().with_max_nnz(cap);
+        match try_spmm_chain_with_budget(&refs, 1, &budget) {
+            Ok(c) => prop_assert_eq!(&c, &folded),
+            Err(e) => prop_assert!(
+                matches!(e, ExecError::MemoryExceeded { .. }),
+                "unexpected error {:?}",
+                e
+            ),
         }
     }
 }
