@@ -33,6 +33,7 @@ impl<'g> PathSim<'g> {
     /// # Panics
     /// If `mw`'s endpoints differ or it contains a \*-label.
     pub fn new(g: &'g Graph, mw: MetaWalk) -> Self {
+        #[allow(clippy::expect_used)] // documented infallible wrapper over the try_ API
         Self::try_with_budget(g, mw, Parallelism::default(), &Budget::unlimited())
             .expect("unlimited PathSim build cannot fail")
     }

@@ -18,10 +18,11 @@ struct HeapEntry {
 
 impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> Ordering {
+        // Scores are finite by construction; a NaN would tie, not panic.
         other
             .score
             .partial_cmp(&self.score)
-            .expect("scores are finite")
+            .unwrap_or(Ordering::Equal)
             .then_with(|| self.key.cmp(&other.key))
     }
 }
@@ -81,8 +82,9 @@ impl RankedList {
             };
         }
         entries.sort_by(|&(a, sa), &(b, sb)| {
+            // Scores are finite by construction; a NaN would tie, not panic.
             sb.partial_cmp(&sa)
-                .expect("scores are finite")
+                .unwrap_or(Ordering::Equal)
                 .then_with(|| g.sort_key(a).cmp(&g.sort_key(b)))
         });
         entries.truncate(k);
@@ -103,7 +105,9 @@ impl RankedList {
                 });
                 continue;
             }
-            let worst = heap.peek().expect("heap holds k > 0 entries");
+            let Some(worst) = heap.peek() else {
+                continue; // unreachable: heap.len() >= k > 0 here
+            };
             // Reject on score alone before paying for the sort key.
             if score < worst.score {
                 continue;

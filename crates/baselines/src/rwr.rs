@@ -66,6 +66,7 @@ impl<'g> Rwr<'g> {
 
     /// The full RWR score vector for a query node (indexed by node id).
     pub fn scores(&self, query: NodeId) -> Vec<f64> {
+        #[allow(clippy::expect_used)] // documented infallible wrapper over the try_ API
         self.try_scores(query, &Budget::unlimited())
             .expect("unlimited RWR iteration cannot fail")
     }

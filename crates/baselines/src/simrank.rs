@@ -63,15 +63,10 @@ impl<'g> SimRank<'g> {
 
     /// The full score matrix (computed on first call, then cached).
     pub fn score_matrix(&mut self) -> &Dense {
-        if self.scores.is_none() {
-            self.scores = Some(compute_simrank(
-                self.g,
-                self.damping,
-                self.iterations,
-                self.threads,
-            ));
-        }
-        self.scores.as_ref().expect("just computed")
+        let (g, damping, iterations, threads) =
+            (self.g, self.damping, self.iterations, self.threads);
+        self.scores
+            .get_or_insert_with(|| compute_simrank(g, damping, iterations, threads))
     }
 
     /// The SimRank score of a pair.

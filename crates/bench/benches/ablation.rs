@@ -8,6 +8,15 @@
 //! * walk counting by matrix product vs explicit enumeration (why the
 //!   commuting-matrix formulation exists at all).
 
+// Benchmarks are developer tooling: setup failures should abort loudly,
+// so the workspace panic-freedom lints are relaxed for this file.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::indexing_slicing
+)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use repsim_baselines::ranking::SimilarityAlgorithm;
 use repsim_baselines::{SimRank, SimRankMc};

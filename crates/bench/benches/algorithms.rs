@@ -1,6 +1,15 @@
 //! Per-query latency of each similarity algorithm — the runtime behind
 //! Tables 1–4 (one rank call per query per representation).
 
+// Benchmarks are developer tooling: setup failures should abort loudly,
+// so the workspace panic-freedom lints are relaxed for this file.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::indexing_slicing
+)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use repsim_baselines::ranking::SimilarityAlgorithm;
 use repsim_baselines::{CommonNeighbors, Katz, PathSim, Rwr, SimRank, SimRankMc};

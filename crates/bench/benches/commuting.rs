@@ -1,6 +1,15 @@
 //! Commuting-matrix construction across meta-walk lengths and modes —
 //! the core machinery behind every (R-)PathSim score (§4.3, §5.2).
 
+// Benchmarks are developer tooling: setup failures should abort loudly,
+// so the workspace panic-freedom lints are relaxed for this file.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::indexing_slicing
+)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use repsim_bench::{citations_small_dblp, citations_small_snap, mas_tiny};
 use repsim_metawalk::commuting::{informative_commuting, plain_commuting};

@@ -2,6 +2,15 @@
 //! count grows — the §5.2 complexity discussion (exponential in |L| in the
 //! worst case, cheap in practice because label counts are small).
 
+// Benchmarks are developer tooling: setup failures should abort loudly,
+// so the workspace panic-freedom lints are relaxed for this file.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::indexing_slicing
+)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use repsim_core::find_meta_walk_set;
 use repsim_graph::{Graph, GraphBuilder};

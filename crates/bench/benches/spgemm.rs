@@ -2,6 +2,15 @@
 //! blind left-fold vs DP-planned chain evaluation, on the small citation
 //! fixture's hop matrices.
 
+// Benchmarks are developer tooling: setup failures should abort loudly,
+// so the workspace panic-freedom lints are relaxed for this file.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::indexing_slicing
+)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use repsim_bench::citations_small_dblp;
 use repsim_graph::biadjacency::biadjacency;

@@ -1,5 +1,14 @@
 //! Applying and inverting each catalog transformation (§4.2, §5.1).
 
+// Benchmarks are developer tooling: setup failures should abort loudly,
+// so the workspace panic-freedom lints are relaxed for this file.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::indexing_slicing
+)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use repsim_bench::{citations_small_snap, movies_small, movies_small_no_chars};
 use repsim_datasets::bibliographic::{self, BibliographicConfig};

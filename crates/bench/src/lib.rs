@@ -1,3 +1,12 @@
+#![cfg_attr(
+    test,
+    allow(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::panic,
+        clippy::indexing_slicing
+    )
+)]
 //! Shared fixtures for the Criterion benchmarks.
 //!
 //! Benchmarks operate on the `tiny`/`small` dataset presets so `cargo

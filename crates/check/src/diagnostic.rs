@@ -1,0 +1,210 @@
+//! The diagnostic data model shared by every analyzer.
+//!
+//! A [`Diagnostic`] is one finding: a stable machine-readable code
+//! (`RS0101`-style, never reused for a different meaning once shipped), a
+//! [`Severity`], the [`Analyzer`] that produced it, and a human-readable
+//! message naming the offending object. A [`Report`] collects findings and
+//! renders them compiler-style, one line each plus a summary.
+
+use std::fmt;
+
+/// How bad a finding is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Legal but suspicious; the pipeline still produces answers.
+    Warning,
+    /// The checked object violates a precondition some component relies on.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// Which analysis pass produced a finding (its provenance).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Analyzer {
+    /// §2.2 model-assumption lints over the database graph.
+    Model,
+    /// Meta-walk / query-plan checks against the schema graph.
+    Plan,
+    /// Functional-dependency chain preconditions (Definitions 8 and 9).
+    Fd,
+    /// CSR structural invariants and chain shape agreement.
+    Matrix,
+    /// Transformation applicability and invertibility preconditions.
+    Transform,
+}
+
+impl Analyzer {
+    /// Short lowercase name used in rendered diagnostics.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Analyzer::Model => "model",
+            Analyzer::Plan => "plan",
+            Analyzer::Fd => "fd",
+            Analyzer::Matrix => "matrix",
+            Analyzer::Transform => "transform",
+        }
+    }
+}
+
+impl fmt::Display for Analyzer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One finding with a stable code.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable machine-readable code, e.g. `"RS0101"`.
+    pub code: &'static str,
+    /// Error or warning.
+    pub severity: Severity,
+    /// The pass that produced the finding.
+    pub analyzer: Analyzer,
+    /// Human-readable description naming the offending object.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// An error-severity finding.
+    pub fn error(code: &'static str, analyzer: Analyzer, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            code,
+            severity: Severity::Error,
+            analyzer,
+            message: message.into(),
+        }
+    }
+
+    /// A warning-severity finding.
+    pub fn warning(
+        code: &'static str,
+        analyzer: Analyzer,
+        message: impl Into<String>,
+    ) -> Diagnostic {
+        Diagnostic {
+            code,
+            severity: Severity::Warning,
+            analyzer,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    /// Renders compiler-style: `error[RS0101] model: <message>`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] {}: {}",
+            self.severity, self.code, self.analyzer, self.message
+        )
+    }
+}
+
+/// An ordered collection of findings plus summary accounting.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Report {
+    diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// An empty report.
+    pub fn new() -> Report {
+        Report::default()
+    }
+
+    /// Adds one finding.
+    pub fn push(&mut self, d: Diagnostic) {
+        self.diagnostics.push(d);
+    }
+
+    /// Adds many findings.
+    pub fn extend(&mut self, ds: impl IntoIterator<Item = Diagnostic>) {
+        self.diagnostics.extend(ds);
+    }
+
+    /// All findings, in the order the analyzers produced them.
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diagnostics
+    }
+
+    /// No findings at all.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Number of error-severity findings.
+    pub fn error_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    }
+
+    /// Number of warning-severity findings.
+    pub fn warning_count(&self) -> usize {
+        self.diagnostics.len() - self.error_count()
+    }
+
+    /// Whether any finding is an error (the `repsim check` exit criterion).
+    pub fn has_errors(&self) -> bool {
+        self.error_count() > 0
+    }
+
+    /// One line per finding plus a trailing summary line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.to_string());
+            out.push('\n');
+        }
+        if self.is_clean() {
+            out.push_str("check: no issues found\n");
+        } else {
+            out.push_str(&format!(
+                "check: {} error(s), {} warning(s)\n",
+                self.error_count(),
+                self.warning_count()
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rendering_is_compiler_style() {
+        let d = Diagnostic::error("RS0101", Analyzer::Model, "dangling node");
+        assert_eq!(d.to_string(), "error[RS0101] model: dangling node");
+        let w = Diagnostic::warning("RS0203", Analyzer::Plan, "no instances");
+        assert_eq!(w.to_string(), "warning[RS0203] plan: no instances");
+    }
+
+    #[test]
+    fn report_counts_and_summary() {
+        let mut r = Report::new();
+        assert!(r.is_clean());
+        assert!(!r.has_errors());
+        assert!(r.render().contains("no issues found"));
+        r.push(Diagnostic::error("RS0401", Analyzer::Matrix, "bad row_ptr"));
+        r.extend([Diagnostic::warning("RS0103", Analyzer::Model, "loner")]);
+        assert_eq!(r.error_count(), 1);
+        assert_eq!(r.warning_count(), 1);
+        assert!(r.has_errors());
+        let text = r.render();
+        assert!(text.contains("error[RS0401] matrix: bad row_ptr"), "{text}");
+        assert!(text.contains("1 error(s), 1 warning(s)"), "{text}");
+    }
+}

@@ -1,0 +1,70 @@
+#![warn(missing_docs)]
+#![cfg_attr(
+    test,
+    allow(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::panic,
+        clippy::indexing_slicing
+    )
+)]
+
+//! Static analysis for the repsim workspace: one diagnostic model, four
+//! analyzers.
+//!
+//! Every analyzer returns [`Diagnostic`]s with *stable* codes so tests,
+//! scripts and CI can pin exact findings:
+//!
+//! * [`model`] — §2.2 model-assumption lints over a database graph
+//!   (`RS01xx`), wrapping `repsim_graph::validate`;
+//! * [`plan`] — meta-walk checks against the schema graph (`RS02xx`) and
+//!   the functional-dependency chain preconditions of Definitions 8 and 9
+//!   (`RS03xx`);
+//! * [`matrix`] — CSR structural invariants via [`repsim_sparse::Csr::validate`]
+//!   and chain shape agreement (`RS04xx`);
+//! * [`transform`] — catalogue-transformation applicability, query
+//!   preservation and round-trip invertibility (`RS05xx`).
+//!
+//! The same CSR invariants are enforced dynamically in debug builds: every
+//! kernel output is validated at construction via `debug_assert!`-style
+//! hooks inside `repsim-sparse`, and `Csr::validate` is the shared public
+//! entry point.
+//!
+//! The CLI front end is `repsim check` (see `repsim-cli`), which renders a
+//! [`Report`] and exits nonzero iff it contains an error-severity finding.
+//! The repro binaries run the model analyzer warn-only at dataset load.
+
+pub mod diagnostic;
+pub mod matrix;
+pub mod model;
+pub mod plan;
+pub mod transform;
+
+pub use diagnostic::{Analyzer, Diagnostic, Report, Severity};
+
+use repsim_graph::Graph;
+
+/// Runs every analyzer that needs no extra input — currently the §2.2
+/// model lints — over a database and collects the findings into a report.
+pub fn check_database(g: &Graph) -> Report {
+    let mut report = Report::new();
+    report.extend(model::check_model(g));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use repsim_graph::GraphBuilder;
+
+    #[test]
+    fn database_report_aggregates_model_lints() {
+        let mut b = GraphBuilder::new();
+        let actor = b.entity_label("actor");
+        b.entity(actor, "loner");
+        let report = check_database(&b.build());
+        assert!(!report.is_clean());
+        assert!(!report.has_errors(), "isolated entity is only a warning");
+        assert_eq!(report.diagnostics()[0].code, "RS0103");
+    }
+}

@@ -1,0 +1,102 @@
+//! §2.2 model-assumption lints over a database graph.
+//!
+//! Wraps [`repsim_graph::validate`] and maps each [`ModelViolation`] onto a
+//! stable diagnostic code:
+//!
+//! | code | severity | violation |
+//! |---|---|---|
+//! | `RS0101` | error | dangling relationship node (degree < 2) |
+//! | `RS0102` | error | relationship region touching < 2 distinct entities |
+//! | `RS0103` | warning | isolated entity (degree 0) |
+//!
+//! The first two break the §2.2 assumption that every relationship node
+//! lies on a simple path between two distinct entities — the assumption all
+//! commuting-matrix computations rely on. An isolated entity is permitted
+//! by the formal model but invisible to every similarity algorithm, so it
+//! is surfaced as a warning.
+
+use repsim_graph::validate::{validate, ModelViolation};
+use repsim_graph::Graph;
+
+use crate::diagnostic::{Analyzer, Diagnostic};
+
+/// Runs the §2.2 model lints, returning one diagnostic per violation.
+pub fn check_model(g: &Graph) -> Vec<Diagnostic> {
+    validate(g)
+        .into_iter()
+        .map(|v| match v {
+            ModelViolation::DanglingRelationshipNode(n) => Diagnostic::error(
+                "RS0101",
+                Analyzer::Model,
+                format!(
+                    "relationship node {} has fewer than two neighbors, so it \
+                     cannot lie on a path between two distinct entities",
+                    g.display_node(n)
+                ),
+            ),
+            ModelViolation::IsolatedRelationshipRegion(n) => Diagnostic::error(
+                "RS0102",
+                Analyzer::Model,
+                format!(
+                    "the relationship region containing {} touches fewer than \
+                     two distinct entities and conveys no inter-entity information",
+                    g.display_node(n)
+                ),
+            ),
+            ModelViolation::IsolatedEntity(n) => Diagnostic::warning(
+                "RS0103",
+                Analyzer::Model,
+                format!(
+                    "entity {} has no neighbors and is invisible to every \
+                     similarity algorithm",
+                    g.display_node(n)
+                ),
+            ),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use repsim_graph::GraphBuilder;
+
+    #[test]
+    fn clean_fragment_produces_no_diagnostics() {
+        let mut b = GraphBuilder::new();
+        let actor = b.entity_label("actor");
+        let film = b.entity_label("film");
+        let starring = b.relationship_label("starring");
+        let a = b.entity(actor, "H. Ford");
+        let f = b.entity(film, "Star Wars V");
+        let s = b.relationship(starring);
+        b.edge(a, s).unwrap();
+        b.edge(s, f).unwrap();
+        assert!(check_model(&b.build()).is_empty());
+    }
+
+    #[test]
+    fn dangling_relationship_is_rs0101() {
+        let mut b = GraphBuilder::new();
+        let actor = b.entity_label("actor");
+        let starring = b.relationship_label("starring");
+        let a = b.entity(actor, "H. Ford");
+        let s = b.relationship(starring);
+        b.edge(a, s).unwrap();
+        let ds = check_model(&b.build());
+        assert!(ds.iter().any(|d| d.code == "RS0101"), "{ds:?}");
+        assert!(ds.iter().any(|d| d.code == "RS0102"), "{ds:?}");
+    }
+
+    #[test]
+    fn isolated_entity_is_a_warning() {
+        let mut b = GraphBuilder::new();
+        let actor = b.entity_label("actor");
+        b.entity(actor, "loner");
+        let ds = check_model(&b.build());
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].code, "RS0103");
+        assert_eq!(ds[0].severity, crate::Severity::Warning);
+        assert!(ds[0].message.contains("loner"), "{}", ds[0].message);
+    }
+}

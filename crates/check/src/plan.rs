@@ -1,0 +1,324 @@
+//! Query-plan diagnostics: meta-walks against the schema graph, and the
+//! functional-dependency preconditions behind relationship chains.
+//!
+//! Meta-walk codes:
+//!
+//! | code | severity | finding |
+//! |---|---|---|
+//! | `RS0201` | error | meta-walk text is malformed (unknown label, `*` on a relationship label, missing entity endpoints) |
+//! | `RS0202` | error | consecutive labels are never adjacent in the database, so the walk has no instances by construction |
+//! | `RS0203` | warning | the walk is well-formed but denotes no informative walk instance (Definition 4) in this database |
+//! | `RS0204` | warning | adjacent entity labels repeat, so Theorem 4.2's equivalence hypothesis does not apply |
+//! | `RS0205` | warning | the walk is asymmetric; PathSim-style scores assume a symmetric meta-walk |
+//!
+//! Functional-dependency codes (Definitions 8 and 9):
+//!
+//! | code | severity | finding |
+//! |---|---|---|
+//! | `RS0301` | error | an asserted FD witness walk does not satisfy Definition 8 on this database |
+//! | `RS0302` | error | two labels functionally determine each other — the `≺` order is cyclic |
+//! | `RS0303` | error | an FD-connected component is not totally ordered under `≺`, so no Definition 9 chain exists |
+//! | `RS0304` | error | an FD witness walk contains a `*`-label (FDs are defined over plain walks) |
+
+use repsim_graph::{Graph, LabelId, SchemaGraph};
+use repsim_metawalk::{informative_commuting, Fd, FdSet, MetaWalk};
+
+use crate::diagnostic::{Analyzer, Diagnostic};
+
+/// Checks one meta-walk given as text against the database and its schema
+/// graph. Returns all findings; an empty vector means the walk is a sound
+/// query plan.
+pub fn check_meta_walk(g: &Graph, text: &str) -> Vec<Diagnostic> {
+    let Some(mw) = MetaWalk::parse_in(g, text) else {
+        return vec![Diagnostic::error(
+            "RS0201",
+            Analyzer::Plan,
+            format!(
+                "meta-walk {text:?} is malformed: every token must name a \
+                 known label, *-marks apply only to entity labels, and the \
+                 walk must start and end with a plain entity label"
+            ),
+        )];
+    };
+    let mut out = Vec::new();
+    let schema = SchemaGraph::of(g);
+    for w in mw.steps().windows(2) {
+        let (a, b) = (w[0].label(), w[1].label());
+        if !schema.adjacent(a, b) {
+            out.push(Diagnostic::error(
+                "RS0202",
+                Analyzer::Plan,
+                format!(
+                    "labels {:?} and {:?} are never adjacent in the database, \
+                     so the meta-walk {:?} has no instances by construction",
+                    g.labels().name(a),
+                    g.labels().name(b),
+                    mw.display(g.labels()),
+                ),
+            ));
+        }
+    }
+    // Only materialize the commuting matrix when the walk can have
+    // instances at all; otherwise RS0202 already explains the emptiness.
+    if out.is_empty() && informative_commuting(g, &mw).nnz() == 0 {
+        out.push(Diagnostic::warning(
+            "RS0203",
+            Analyzer::Plan,
+            format!(
+                "meta-walk {:?} denotes no informative walk instance in this \
+                 database; every similarity score over it is zero",
+                mw.display(g.labels()),
+            ),
+        ));
+    }
+    if !mw.has_distinct_adjacent_entities() {
+        out.push(Diagnostic::warning(
+            "RS0204",
+            Analyzer::Plan,
+            format!(
+                "meta-walk {:?} repeats adjacent entity labels, so Theorem \
+                 4.2's content-equivalence hypothesis does not apply to it",
+                mw.display(g.labels()),
+            ),
+        ));
+    }
+    if !mw.is_symmetric() {
+        out.push(Diagnostic::warning(
+            "RS0205",
+            Analyzer::Plan,
+            format!(
+                "meta-walk {:?} is asymmetric; PathSim-style similarity \
+                 assumes a symmetric meta-walk (consider its symmetric closure)",
+                mw.display(g.labels()),
+            ),
+        ));
+    }
+    out
+}
+
+/// Checks one asserted functional dependency, given by its witness walk as
+/// text: the walk must be plain (`RS0304`), well-formed (`RS0201`), and
+/// satisfy Definition 8 on the database (`RS0301`).
+pub fn check_fd_walk(g: &Graph, text: &str) -> Vec<Diagnostic> {
+    let Some(mw) = MetaWalk::parse_in(g, text) else {
+        return vec![Diagnostic::error(
+            "RS0201",
+            Analyzer::Fd,
+            format!("FD witness walk {text:?} is malformed"),
+        )];
+    };
+    if mw.has_star() {
+        return vec![Diagnostic::error(
+            "RS0304",
+            Analyzer::Fd,
+            format!(
+                "FD witness walk {:?} contains a *-label; functional \
+                 dependencies are defined over plain meta-walks only",
+                mw.display(g.labels()),
+            ),
+        )];
+    }
+    let fd = Fd::new(mw);
+    if !fd.holds(g) {
+        return vec![Diagnostic::error(
+            "RS0301",
+            Analyzer::Fd,
+            format!(
+                "the functional dependency {:?} -> {:?} witnessed by {:?} \
+                 does not hold in this database (Definition 8)",
+                g.labels().name(fd.lhs()),
+                g.labels().name(fd.rhs()),
+                fd.via().display(g.labels()),
+            ),
+        )];
+    }
+    Vec::new()
+}
+
+/// Checks the chain preconditions of Definition 9 over the given entity
+/// labels (all entity labels when `labels` is empty): discovers FDs up to
+/// witness length `max_len`, groups the labels into FD-connected
+/// components, and requires each component's `≺` to be a strict total
+/// order — acyclic (`RS0302`) and with every pair comparable (`RS0303`).
+pub fn check_fd_chains(g: &Graph, labels: &[LabelId], max_len: usize) -> Vec<Diagnostic> {
+    let universe: Vec<LabelId> = if labels.is_empty() {
+        g.labels().entity_ids().collect()
+    } else {
+        labels.to_vec()
+    };
+    let fds = if labels.is_empty() {
+        FdSet::discover(g, max_len)
+    } else {
+        FdSet::discover_among(g, labels, max_len)
+    };
+    let mut out = Vec::new();
+    let related = |a: LabelId, b: LabelId| fds.prec(a, b) || fds.prec(b, a);
+    // Union labels into FD-connected components (the candidate chains).
+    let mut component: Vec<usize> = (0..universe.len()).collect();
+    for i in 0..universe.len() {
+        for j in i + 1..universe.len() {
+            if related(universe[i], universe[j]) {
+                let (from, to) = (component[j], component[i]);
+                for c in &mut component {
+                    if *c == from {
+                        *c = to;
+                    }
+                }
+            }
+        }
+    }
+    for i in 0..universe.len() {
+        for j in i + 1..universe.len() {
+            if component[i] != component[j] {
+                continue;
+            }
+            let (a, b) = (universe[i], universe[j]);
+            let (fwd, bwd) = (fds.prec(a, b), fds.prec(b, a));
+            let (na, nb) = (g.labels().name(a), g.labels().name(b));
+            if fwd && bwd {
+                out.push(Diagnostic::error(
+                    "RS0302",
+                    Analyzer::Fd,
+                    format!(
+                        "labels {na:?} and {nb:?} functionally determine each \
+                         other, so the ≺ order of Definition 9 is cyclic and \
+                         no relationship chain can be formed over them"
+                    ),
+                ));
+            } else if !fwd && !bwd {
+                out.push(Diagnostic::error(
+                    "RS0303",
+                    Analyzer::Fd,
+                    format!(
+                        "labels {na:?} and {nb:?} are FD-connected but \
+                         incomparable under ≺, so their component is not \
+                         totally ordered and no Definition 9 chain exists"
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use repsim_graph::GraphBuilder;
+
+    /// film — starring — actor, two films sharing one actor.
+    fn movie_graph() -> Graph {
+        let mut b = GraphBuilder::new();
+        let film = b.entity_label("film");
+        let actor = b.entity_label("actor");
+        let starring = b.relationship_label("starring");
+        b.entity_label("genre"); // never adjacent to anything
+        let f1 = b.entity(film, "f1");
+        let f2 = b.entity(film, "f2");
+        let a = b.entity(actor, "a");
+        for f in [f1, f2] {
+            let s = b.relationship(starring);
+            b.edge(f, s).unwrap();
+            b.edge(s, a).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn sound_walk_is_clean() {
+        let g = movie_graph();
+        assert!(check_meta_walk(&g, "film starring actor starring film").is_empty());
+    }
+
+    #[test]
+    fn malformed_walk_is_rs0201() {
+        let g = movie_graph();
+        let ds = check_meta_walk(&g, "film nosuch film");
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].code, "RS0201");
+        let ds = check_meta_walk(&g, "starring film starring");
+        assert_eq!(ds[0].code, "RS0201");
+    }
+
+    #[test]
+    fn non_adjacent_labels_are_rs0202() {
+        let g = movie_graph();
+        let ds = check_meta_walk(&g, "film genre film");
+        assert!(ds.iter().any(|d| d.code == "RS0202"), "{ds:?}");
+        // The commuting matrix is not consulted when adjacency fails.
+        assert!(!ds.iter().any(|d| d.code == "RS0203"), "{ds:?}");
+    }
+
+    #[test]
+    fn asymmetric_and_repeated_entities_warn() {
+        let g = movie_graph();
+        let ds = check_meta_walk(&g, "film starring actor");
+        assert!(ds.iter().any(|d| d.code == "RS0205"), "{ds:?}");
+    }
+
+    #[test]
+    fn fd_walk_checks() {
+        let g = movie_graph();
+        // Every film has exactly one actor through starring: the FD holds.
+        assert!(check_fd_walk(&g, "film starring actor").is_empty());
+        // One actor stars in two films: actor -> film fails Definition 8.
+        let ds = check_fd_walk(&g, "actor starring film");
+        assert_eq!(ds.len(), 1, "{ds:?}");
+        assert_eq!(ds[0].code, "RS0301");
+        // Star-labels are rejected before any instance checking.
+        let ds = check_fd_walk(&g, "film starring *actor starring film");
+        assert_eq!(ds[0].code, "RS0304");
+        assert_eq!(check_fd_walk(&g, "film nosuch")[0].code, "RS0201");
+    }
+
+    /// a <-> b bijection: each determines the other, so ≺ is cyclic.
+    fn bijection_graph() -> Graph {
+        let mut b = GraphBuilder::new();
+        let la = b.entity_label("a");
+        let lb = b.entity_label("b");
+        for i in 0..3 {
+            let x = b.entity(la, &format!("a{i}"));
+            let y = b.entity(lb, &format!("b{i}"));
+            b.edge(x, y).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn cyclic_fd_component_is_rs0302() {
+        let g = bijection_graph();
+        let ds = check_fd_chains(&g, &[], 2);
+        assert!(ds.iter().any(|d| d.code == "RS0302"), "{ds:?}");
+    }
+
+    #[test]
+    fn incomparable_fd_component_is_rs0303() {
+        // a -> hub <- b: both a and b determine hub, but a and b are
+        // incomparable; {a, hub, b} is one component without a total order.
+        let mut b = GraphBuilder::new();
+        let la = b.entity_label("a");
+        let lb = b.entity_label("b");
+        let lh = b.entity_label("hub");
+        let h = b.entity(lh, "h");
+        for i in 0..2 {
+            let x = b.entity(la, &format!("a{i}"));
+            let y = b.entity(lb, &format!("b{i}"));
+            b.edge(x, h).unwrap();
+            b.edge(y, h).unwrap();
+        }
+        let g = b.build();
+        let ds = check_fd_chains(&g, &[], 2);
+        assert!(ds.iter().any(|d| d.code == "RS0303"), "{ds:?}");
+    }
+
+    #[test]
+    fn chain_free_labels_are_clean() {
+        let g = movie_graph();
+        // film ≺ actor holds one way only; genre is unrelated.
+        let ds = check_fd_chains(&g, &[], 3);
+        assert!(
+            ds.iter().all(|d| d.code != "RS0302"),
+            "one-way FDs must not be cyclic: {ds:?}"
+        );
+    }
+}

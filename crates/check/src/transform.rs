@@ -1,0 +1,190 @@
+//! Transformation precondition diagnostics.
+//!
+//! | code | severity | finding |
+//! |---|---|---|
+//! | `RS0501` | error | the transformation is unknown or not applicable to this database |
+//! | `RS0502` | error | the round trip through the inverse does not reproduce the database's information content |
+//! | `RS0503` | error | the transformation is not query preserving (an entity lacks an image on one side) |
+//!
+//! Names follow the CLI spelling of [`repsim_transform::catalog`]; pairs
+//! with a catalogued inverse additionally get the Theorem 4.1-style round
+//! trip via [`verify::check_invertible`].
+
+use repsim_graph::Graph;
+use repsim_transform::{catalog, verify, Transformation};
+
+use crate::diagnostic::{Analyzer, Diagnostic};
+
+type Entry = (
+    fn() -> Box<dyn Transformation>,
+    Option<fn() -> Box<dyn Transformation>>,
+);
+
+/// The catalogue as the CLI spells it, each with its inverse when the
+/// catalogue defines one.
+fn lookup(name: &str) -> Option<Entry> {
+    Some(match name {
+        "imdb2fb" => (catalog::imdb2fb, Some(catalog::fb2imdb)),
+        "fb2imdb" => (catalog::fb2imdb, Some(catalog::imdb2fb)),
+        "dblp2snap" => (catalog::dblp2snap, Some(catalog::snap2dblp)),
+        "snap2dblp" => (catalog::snap2dblp, Some(catalog::dblp2snap)),
+        "dblp2sigm" => (catalog::dblp2sigm, Some(catalog::sigm2dblp)),
+        "sigm2dblp" => (catalog::sigm2dblp, Some(catalog::dblp2sigm)),
+        "wsu2alch" => (catalog::wsu2alch, Some(catalog::alch2wsu)),
+        "alch2wsu" => (catalog::alch2wsu, Some(catalog::wsu2alch)),
+        "mas2alt" => (catalog::mas2alt, Some(catalog::alt2mas)),
+        "alt2mas" => (catalog::alt2mas, Some(catalog::mas2alt)),
+        "imdb2ng" => (catalog::imdb2ng, None),
+        "imdb2ng-plus" => (catalog::imdb2ng_plus, None),
+        "fb2ng" => (catalog::fb2ng, None),
+        "imdb2fb-nochar" => (catalog::imdb2fb_no_chars, None),
+        _ => return None,
+    })
+}
+
+/// Checks whether a named catalogue transformation is applicable to the
+/// database, query preserving on it, and (when an inverse is catalogued)
+/// information preserving around the round trip.
+pub fn check_transformation(name: &str, g: &Graph) -> Vec<Diagnostic> {
+    let Some((make, make_inv)) = lookup(name) else {
+        return vec![Diagnostic::error(
+            "RS0501",
+            Analyzer::Transform,
+            format!("unknown transformation {name:?}"),
+        )];
+    };
+    let t = make();
+    let tg = match t.apply(g) {
+        Ok(tg) => tg,
+        Err(e) => {
+            return vec![Diagnostic::error(
+                "RS0501",
+                Analyzer::Transform,
+                format!(
+                    "transformation {} is not applicable to this database: {e}",
+                    t.name()
+                ),
+            )]
+        }
+    };
+    let mut out = Vec::new();
+    if !verify::check_query_preserving(g, &tg) {
+        out.push(Diagnostic::error(
+            "RS0503",
+            Analyzer::Transform,
+            format!(
+                "transformation {} is not query preserving on this database: \
+                 some entity has no image under the Definition 1 bijection",
+                t.name()
+            ),
+        ));
+    }
+    if let Some(make_inv) = make_inv {
+        out.extend(check_round_trip(&*t, &*make_inv(), g));
+    }
+    out
+}
+
+/// Checks that `t_inv ∘ t` reproduces the database's information content
+/// (the Theorem 4.1 invertibility precondition). Exposed separately so
+/// deliberately mismatched pairs can be checked too.
+pub fn check_round_trip(
+    t: &dyn Transformation,
+    t_inv: &dyn Transformation,
+    g: &Graph,
+) -> Vec<Diagnostic> {
+    match verify::check_invertible(t, t_inv, g) {
+        Err(e) => vec![Diagnostic::error(
+            "RS0501",
+            Analyzer::Transform,
+            format!(
+                "round trip through {} and {} could not be applied: {e}",
+                t.name(),
+                t_inv.name()
+            ),
+        )],
+        Ok(false) => vec![Diagnostic::error(
+            "RS0502",
+            Analyzer::Transform,
+            format!(
+                "round trip through {} and {} does not reproduce the \
+                 database's information content, so the pair is not \
+                 invertible on this database",
+                t.name(),
+                t_inv.name()
+            ),
+        )],
+        Ok(true) => Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use repsim_graph::GraphBuilder;
+
+    /// The Figure 1 IMDb triangle: film–actor, film–char, actor–char.
+    fn imdb_triangle() -> Graph {
+        let mut b = GraphBuilder::new();
+        let film = b.entity_label("film");
+        let actor = b.entity_label("actor");
+        let ch = b.entity_label("char");
+        let f = b.entity(film, "Star Wars V");
+        let a = b.entity(actor, "H. Ford");
+        let c = b.entity(ch, "Han Solo");
+        b.edge(f, a).unwrap();
+        b.edge(f, c).unwrap();
+        b.edge(a, c).unwrap();
+        b.build()
+    }
+
+    /// A DBLP fragment where one cite node has three neighbors, so
+    /// collapsing cite nodes to plain edges loses structure.
+    fn overloaded_cite() -> Graph {
+        let mut b = GraphBuilder::new();
+        let paper = b.entity_label("paper");
+        let cite = b.relationship_label("cite");
+        let p1 = b.entity(paper, "p1");
+        let p2 = b.entity(paper, "p2");
+        let p3 = b.entity(paper, "p3");
+        let c = b.relationship(cite);
+        for p in [p1, p2, p3] {
+            b.edge(p, c).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn invertible_pair_is_clean() {
+        let ds = check_transformation("imdb2fb", &imdb_triangle());
+        assert!(ds.is_empty(), "{ds:?}");
+    }
+
+    #[test]
+    fn unknown_name_is_rs0501() {
+        let ds = check_transformation("nosuch", &imdb_triangle());
+        assert_eq!(ds[0].code, "RS0501");
+    }
+
+    #[test]
+    fn inapplicable_transformation_is_rs0501() {
+        let ds = check_transformation("dblp2snap", &overloaded_cite());
+        assert_eq!(ds.len(), 1, "{ds:?}");
+        assert_eq!(ds[0].code, "RS0501");
+        assert!(
+            ds[0].message.contains("not applicable"),
+            "{}",
+            ds[0].message
+        );
+    }
+
+    #[test]
+    fn mismatched_inverse_is_rs0502() {
+        // imdb2fb followed by *itself* is not a round trip.
+        let t = catalog::imdb2fb();
+        let not_inverse = catalog::imdb2fb();
+        let ds = check_round_trip(&*t, &*not_inverse, &imdb_triangle());
+        assert_eq!(ds.len(), 1, "{ds:?}");
+        assert_eq!(ds[0].code, "RS0502");
+    }
+}

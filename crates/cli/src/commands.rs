@@ -113,7 +113,7 @@ pub fn stats(args: &Args) -> Result<String, CliError> {
     let mut out = GraphStats::of(&g).summary(&g);
     out.push_str("edges by label pair:\n");
     for ((a, b), count) in repsim_graph::stats::label_pair_edge_counts(&g) {
-        writeln!(out, "  {a}-{b}: {count}").expect("infallible");
+        let _ = writeln!(out, "  {a}-{b}: {count}");
     }
     Ok(out)
 }
@@ -127,9 +127,81 @@ pub fn validate(args: &Args) -> Result<String, CliError> {
     } else {
         let mut out = format!("{} violation(s):\n", violations.len());
         for v in violations {
-            writeln!(out, "  {v:?}").expect("infallible");
+            let _ = writeln!(out, "  {v:?}");
         }
         Err(CliError::Command(out))
+    }
+}
+
+/// `repsim check [FILE] [--meta-walk W] [--fd W] [--fd-labels a,b,c]
+/// [--fd-max-len N] [--transform NAME] [--csr f1,f2,...]`.
+///
+/// Runs the `repsim-check` static analyzers and renders the report with
+/// stable `RS####` codes. The §2.2 model lints always run when a graph
+/// file is given; the plan, FD, transformation and matrix analyzers run
+/// when their flags are present. Exits nonzero (an `Err`) iff the report
+/// contains an error-severity finding.
+pub fn check(args: &Args) -> Result<String, CliError> {
+    let mut report = repsim_check::Report::new();
+    let graph = match args.positional(0) {
+        Some(path) => Some(load(path)?),
+        None => None,
+    };
+    if graph.is_none() && args.get("csr").is_none() {
+        return Err(CliError::Usage(
+            "check needs a graph file and/or --csr matrices".to_owned(),
+        ));
+    }
+    if let Some(g) = &graph {
+        report.extend(repsim_check::model::check_model(g));
+        if let Some(walk) = args.get("meta-walk") {
+            report.extend(repsim_check::plan::check_meta_walk(g, walk));
+        }
+        if let Some(walk) = args.get("fd") {
+            report.extend(repsim_check::plan::check_fd_walk(g, walk));
+        }
+        if args.get("fd-labels").is_some() || args.get("fd-max-len").is_some() {
+            let max_len = args.get_usize("fd-max-len", 3)?;
+            let labels = match args.get("fd-labels") {
+                None => Vec::new(),
+                Some(csv) => {
+                    let scope: Result<Vec<_>, CliError> = csv
+                        .split(',')
+                        .map(|n| {
+                            g.labels()
+                                .get(n.trim())
+                                .ok_or_else(|| CliError::Command(format!("unknown label {n:?}")))
+                        })
+                        .collect();
+                    scope?
+                }
+            };
+            report.extend(repsim_check::plan::check_fd_chains(g, &labels, max_len));
+        }
+        if let Some(name) = args.get("transform") {
+            report.extend(repsim_check::transform::check_transformation(name, g));
+        }
+    }
+    if let Some(csv) = args.get("csr") {
+        let mut factors = Vec::new();
+        for path in csv.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| CliError::Io(format!("cannot read {path}: {e}")))?;
+            let (matrix, ds) = repsim_check::matrix::check_csr_text(path, &text);
+            report.extend(ds);
+            if let Some(m) = matrix {
+                factors.push((path.to_owned(), m));
+            }
+        }
+        if factors.len() > 1 {
+            report.extend(repsim_check::matrix::check_chain_shapes(&factors));
+        }
+    }
+    let rendered = report.render();
+    if report.has_errors() {
+        Err(CliError::Command(rendered))
+    } else {
+        Ok(rendered)
     }
 }
 
@@ -140,18 +212,17 @@ pub fn fds(args: &Args) -> Result<String, CliError> {
     let set = FdSet::discover(&g, max_len);
     let mut out = String::new();
     for fd in set.fds() {
-        writeln!(
+        let _ = writeln!(
             out,
             "{} -> {}   via ({})",
             g.labels().name(fd.lhs()),
             g.labels().name(fd.rhs()),
             fd.via().display(g.labels())
-        )
-        .expect("infallible");
+        );
     }
     for chain in set.chains() {
         let names: Vec<&str> = chain.labels.iter().map(|&l| g.labels().name(l)).collect();
-        writeln!(out, "chain: {}", names.join(" < ")).expect("infallible");
+        let _ = writeln!(out, "chain: {}", names.join(" < "));
     }
     if out.is_empty() {
         out = "no functional dependencies found".to_owned();
@@ -186,7 +257,7 @@ pub fn metawalks(args: &Args) -> Result<String, CliError> {
     let set = find_meta_walk_set(&g, &fd_set, label, max_len);
     let mut out = String::new();
     for mw in set {
-        writeln!(out, "{}", mw.display(g.labels())).expect("infallible");
+        let _ = writeln!(out, "{}", mw.display(g.labels()));
     }
     Ok(out)
 }
@@ -260,7 +331,7 @@ fn query_rpathsim_budgeted(
     let list = alg.rank(q, g.label_of(q), k);
     let mut out = format!("{} answers for {}:\n", alg.name(), g.display_node(q));
     for &(n, score) in list.entries() {
-        writeln!(out, "  {:<30} {score:.6}", g.display_node(n)).expect("infallible");
+        let _ = writeln!(out, "  {:<30} {score:.6}", g.display_node(n));
     }
     match alg.degradation() {
         Degradation::Exact => {}
@@ -268,12 +339,11 @@ fn query_rpathsim_budgeted(
             out.push_str("note: budget forced the half-factorized plan (scores exact)\n");
         }
         Degradation::PrefixWalk { walk } => {
-            writeln!(
+            let _ = writeln!(
                 out,
                 "note: budget shortened the walk to the prefix {:?} (closed symmetrically)",
                 walk.display(g.labels())
-            )
-            .expect("infallible");
+            );
         }
     }
     Ok(out)
@@ -301,7 +371,7 @@ pub fn query(args: &Args) -> Result<String, CliError> {
     let list = alg.rank(q, g.label_of(q), k);
     let mut out = format!("{} answers for {}:\n", spec.name(), g.display_node(q));
     for &(n, score) in list.entries() {
-        writeln!(out, "  {:<30} {score:.6}", g.display_node(n)).expect("infallible");
+        let _ = writeln!(out, "  {:<30} {score:.6}", g.display_node(n));
     }
     Ok(out)
 }
@@ -437,7 +507,7 @@ pub fn explain(args: &Args) -> Result<String, CliError> {
         g.display_node(c)
     );
     for ev in evidence {
-        writeln!(out, "  {}", ev.rendered).expect("infallible");
+        let _ = writeln!(out, "  {}", ev.rendered);
     }
     Ok(out)
 }
@@ -476,6 +546,84 @@ mod tests {
         assert!(s.contains("film: 30"), "{s}");
         let v = validate(&argv(&path)).unwrap();
         assert!(v.contains("ok"));
+    }
+
+    #[test]
+    fn check_clean_dataset_passes() {
+        let path = write_movies("check-clean.graph");
+        let out = check(&argv(&format!(
+            "{path} --meta-walk film~actor~film --transform imdb2fb"
+        )))
+        .unwrap();
+        assert!(out.contains("no issues found"), "{out}");
+    }
+
+    #[test]
+    fn check_flags_model_violations_and_exits_nonzero() {
+        let path = tmp("check-dangling.graph");
+        std::fs::write(
+            &path,
+            "label actor entity\nlabel starring relationship\n\
+             node 0 actor H. Ford\nnode 1 starring\nedge 0 1\n",
+        )
+        .unwrap();
+        let Err(CliError::Command(out)) = check(&argv(&path)) else {
+            panic!("dangling relationship node must fail the check");
+        };
+        assert!(out.contains("RS0101"), "{out}");
+        assert!(out.contains("RS0102"), "{out}");
+    }
+
+    #[test]
+    fn check_meta_walk_diagnostics() {
+        let path = write_movies("check-walks.graph");
+        let Err(CliError::Command(out)) = check(&argv(&format!("{path} --meta-walk film~nosuch")))
+        else {
+            panic!("malformed meta-walk must fail the check");
+        };
+        assert!(out.contains("RS0201"), "{out}");
+        // Asymmetric but otherwise sound: warnings only, exit zero.
+        let out = check(&argv(&format!("{path} --meta-walk film~actor"))).unwrap();
+        assert!(out.contains("RS0205"), "{out}");
+        assert!(out.contains("warning"), "{out}");
+    }
+
+    #[test]
+    fn check_csr_files_and_chain_shapes() {
+        let good = tmp("check-good.csr");
+        std::fs::write(
+            &good,
+            "shape 2 3\nrow_ptr 0 2 3\ncol_idx 0 2 1\nvalues 1 2 3\n",
+        )
+        .unwrap();
+        let bad = tmp("check-bad.csr");
+        std::fs::write(
+            &bad,
+            "shape 2 3\nrow_ptr 0 2 3\ncol_idx 2 0 1\nvalues 1 2 3\n",
+        )
+        .unwrap();
+        let mismatched = tmp("check-mismatched.csr");
+        std::fs::write(
+            &mismatched,
+            "shape 9 1\nrow_ptr 0 0 0 0 0 0 0 0 0 0\ncol_idx\nvalues\n",
+        )
+        .unwrap();
+        let out = check(&argv(&format!("--csr {good}"))).unwrap();
+        assert!(out.contains("no issues found"), "{out}");
+        let Err(CliError::Command(out)) = check(&argv(&format!("--csr {good},{bad}"))) else {
+            panic!("corrupt CSR must fail the check");
+        };
+        assert!(out.contains("RS0402"), "{out}");
+        let Err(CliError::Command(out)) = check(&argv(&format!("--csr {good},{mismatched}")))
+        else {
+            panic!("chain shape mismatch must fail the check");
+        };
+        assert!(out.contains("RS0405"), "{out}");
+    }
+
+    #[test]
+    fn check_without_inputs_is_a_usage_error() {
+        assert!(matches!(check(&argv("")), Err(CliError::Usage(_))));
     }
 
     #[test]

@@ -1,4 +1,13 @@
 #![warn(missing_docs)]
+#![cfg_attr(
+    test,
+    allow(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::panic,
+        clippy::indexing_slicing
+    )
+)]
 
 //! The `repsim` command-line interface.
 //!
@@ -49,6 +58,7 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "generate" => commands::generate(&args),
         "stats" => commands::stats(&args),
         "validate" => commands::validate(&args),
+        "check" => commands::check(&args),
         "fds" => commands::fds(&args),
         "metawalks" => commands::metawalks(&args),
         "query" => commands::query(&args),
@@ -75,6 +85,10 @@ COMMANDS:
                [--scale tiny|small|paper] [-o FILE]
   stats        FILE                     size and degree statistics
   validate     FILE                     check the §2.2 model assumptions
+  check        [FILE] [--meta-walk \"...\"] [--fd \"...\"] [--fd-labels a,b,c]
+               [--fd-max-len N] [--transform NAME] [--csr f1,f2,...]
+                                        static analysis with stable RS#### codes;
+                                        exits nonzero on error-severity findings
   fds          FILE [--max-len N]       discover functional dependencies
   metawalks    FILE --label L [--max-len N] [--fd-labels a,b,c]
                                         Algorithm 1's meta-walk set for L

@@ -48,6 +48,7 @@ impl<'g> QueryEngine<'g> {
     /// [`QueryEngine::new`] with an explicit thread budget, used for both
     /// the half-matrix build and query-time cross-count sweeps.
     pub fn with_parallelism(g: &'g Graph, half: MetaWalk, par: Parallelism) -> Self {
+        #[allow(clippy::expect_used)] // documented infallible wrapper over the try_ API
         Self::try_with_budget(g, half, par, &Budget::unlimited())
             .expect("unlimited engine build cannot fail")
     }

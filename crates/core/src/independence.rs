@@ -50,7 +50,14 @@ pub fn check_query(
     query: NodeId,
     k: usize,
 ) -> QueryVerdict {
-    let tq = map(query).expect("query-preserving transformations map every entity");
+    let Some(tq) = map(query) else {
+        // A query-preserving transformation maps every entity; an unmapped
+        // query is maximal evidence of dependence, not a panic.
+        return QueryVerdict::DifferentAnswers {
+            original: vec![g.sort_key(query)],
+            transformed: Vec::new(),
+        };
+    };
     let label = g.label_of(query);
     let tlabel = tg.label_of(tq);
     let a = alg.rank(query, label, k);

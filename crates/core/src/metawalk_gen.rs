@@ -187,10 +187,8 @@ pub fn extend_meta_walk(pattern: &[Step], chain: &Chain, fds: &FdSet) -> Option<
         .copied()
         .find(|&l| pattern.iter().any(|s| s.label() == l))?;
     let y = fds.find(l_min, l_x)?.via().clone();
-    let splice_at = pattern
-        .iter()
-        .position(|s| s.label() == l_x)
-        .expect("l_x occurs in pattern");
+    // `l_x` was found by scanning `pattern`, so `position` is `Some`.
+    let splice_at = pattern.iter().position(|s| s.label() == l_x)?;
     let down: Vec<Step> = y.reversed().steps()[1..].to_vec(); // l_x → … → l_min
     let up: Vec<Step> = y.steps()[1..].to_vec(); // l_min → … → l_x
     let mut out = Vec::with_capacity(pattern.len() + down.len() + up.len());

@@ -34,6 +34,7 @@ impl<'g> RPathSim<'g> {
     /// [`RPathSim::new`] with an explicit thread budget for the
     /// commuting-matrix build.
     pub fn with_parallelism(g: &'g Graph, mw: MetaWalk, par: Parallelism) -> Self {
+        #[allow(clippy::expect_used)] // documented infallible wrapper over the try_ API
         Self::try_with_budget(g, mw, par, &Budget::unlimited())
             .expect("unlimited R-PathSim build cannot fail")
     }

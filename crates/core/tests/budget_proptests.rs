@@ -5,6 +5,15 @@
 //! actually answers (the effective half's symmetric closure). Degradation
 //! may shorten the walk; it may never perturb a score.
 
+// Tests may panic freely: the workspace panic-freedom lints target
+// library code, not assertions.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::indexing_slicing
+)]
+
 use proptest::prelude::*;
 use repsim_core::{BudgetedRPathSim, Degradation, RPathSim};
 use repsim_graph::{Graph, GraphBuilder};

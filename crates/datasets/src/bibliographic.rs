@@ -13,6 +13,8 @@ use repsim_graph::{Graph, GraphBuilder};
 
 use crate::rng::{seeded, ZipfSampler};
 
+use crate::build::{gen_edge, gen_edge_dedup};
+
 /// Bibliographic generator configuration.
 #[derive(Clone, Debug)]
 pub struct BibliographicConfig {
@@ -112,8 +114,8 @@ pub fn dblp(cfg: &BibliographicConfig) -> Graph {
         } else {
             proc_pop.sample(&mut rng)
         };
-        b.edge(p, procs[pr]).expect("fresh paper");
-        b.edge(p, areas[proc_area[pr]]).expect("fresh paper");
+        gen_edge(&mut b, p, procs[pr]);
+        gen_edge(&mut b, p, areas[proc_area[pr]]);
     }
 
     // Authors: Zipf productivity, connected to random papers; cover every
@@ -134,7 +136,7 @@ pub fn dblp(cfg: &BibliographicConfig) -> Graph {
         } else {
             rng.random_range(0..cfg.papers)
         };
-        let _ = b.edge_dedup(authors[a], papers[p]).expect("valid nodes");
+        gen_edge_dedup(&mut b, authors[a], papers[p]);
     }
     b.build()
 }
@@ -145,6 +147,7 @@ pub fn dblp(cfg: &BibliographicConfig) -> Graph {
 pub fn sigmod_record(cfg: &BibliographicConfig) -> Graph {
     let base = dblp(cfg);
     let t = repsim_transform_free_pull_up(&base);
+    #[allow(clippy::expect_used)] // the generator schema satisfies the pull-up FDs
     t.expect("generator output satisfies the pull-up FDs")
 }
 
@@ -163,6 +166,7 @@ fn repsim_transform_free_pull_up(g: &Graph) -> Option<Graph> {
     let ids: Vec<_> = g
         .node_ids()
         .map(|n| {
+            #[allow(clippy::expect_used)] // every label was copied just above
             let l = b
                 .labels()
                 .get(g.labels().name(g.label_of(n)))

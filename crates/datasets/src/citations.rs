@@ -12,6 +12,8 @@ use repsim_graph::{Graph, GraphBuilder};
 
 use crate::rng::seeded;
 
+use crate::build::gen_edge;
+
 /// Citation generator configuration.
 #[derive(Clone, Debug)]
 pub struct CitationConfig {
@@ -111,8 +113,8 @@ pub fn dblp(cfg: &CitationConfig) -> Graph {
         .collect();
     for &(citing, cited) in &citations {
         let c = b.relationship(cite);
-        b.edge(papers[citing], c).expect("fresh node");
-        b.edge(c, papers[cited]).expect("fresh node");
+        gen_edge(&mut b, papers[citing], c);
+        gen_edge(&mut b, c, papers[cited]);
     }
     b.build()
 }
@@ -126,8 +128,7 @@ pub fn snap(cfg: &CitationConfig) -> Graph {
         .map(|i| b.entity(paper, &paper_name(i)))
         .collect();
     for &(citing, cited) in &citations {
-        b.edge(papers[citing], papers[cited])
-            .expect("deduplicated pairs");
+        gen_edge(&mut b, papers[citing], papers[cited]);
     }
     b.build()
 }

@@ -11,6 +11,8 @@ use repsim_graph::{Graph, GraphBuilder};
 
 use crate::rng::{seeded, ZipfSampler};
 
+use crate::build::gen_edge;
+
 /// Course generator configuration.
 #[derive(Clone, Debug)]
 pub struct CourseConfig {
@@ -98,10 +100,9 @@ pub fn wsu(cfg: &CourseConfig) -> Graph {
             instructor_pop.sample(&mut rng)
         };
         let on = b.entity(offer, &format!("offer{o:04}"));
-        b.edge(on, courses[c]).expect("fresh offer");
-        b.edge(on, subjects[course_subject[c]])
-            .expect("fresh offer");
-        b.edge(on, instructors[i]).expect("fresh offer");
+        gen_edge(&mut b, on, courses[c]);
+        gen_edge(&mut b, on, subjects[course_subject[c]]);
+        gen_edge(&mut b, on, instructors[i]);
     }
     b.build()
 }

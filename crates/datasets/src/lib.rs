@@ -1,4 +1,13 @@
 #![warn(missing_docs)]
+#![cfg_attr(
+    test,
+    allow(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::panic,
+        clippy::indexing_slicing
+    )
+)]
 
 //! Seeded synthetic dataset generators shaped like the paper's databases.
 //!
@@ -27,6 +36,7 @@
 //! the generalization of the five generators above.
 
 pub mod bibliographic;
+mod build;
 pub mod citations;
 pub mod courses;
 pub mod mas;

@@ -20,6 +20,8 @@ use repsim_graph::{Graph, GraphBuilder};
 
 use crate::rng::{seeded, ZipfSampler};
 
+use crate::build::gen_edge;
+
 /// MAS generator configuration.
 #[derive(Clone, Debug)]
 pub struct MasConfig {
@@ -180,21 +182,21 @@ pub fn mas(cfg: &MasConfig) -> (Graph, MasGroundTruth) {
     for (d, &dn) in doms.iter().enumerate() {
         for k in 0..cfg.private_kws_per_domain {
             let n = b.entity(kw, &format!("kw_d{d:02}_{k:03}"));
-            b.edge(n, dn).expect("fresh keyword");
+            gen_edge(&mut b, n, dn);
         }
     }
     for pair in 0..cfg.domains / 2 {
         let (a, c) = (2 * pair, 2 * pair + 1);
         for k in 0..cfg.shared_kws_per_pair {
             let n = b.entity(kw, &format!("kw_s{a:02}_{c:02}_{k:03}"));
-            b.edge(n, doms[a]).expect("fresh keyword");
-            b.edge(n, doms[c]).expect("fresh keyword");
+            gen_edge(&mut b, n, doms[a]);
+            gen_edge(&mut b, n, doms[c]);
         }
     }
     for k in 0..cfg.generic_kws {
         let n = b.entity(kw, &format!("kw_g{k:03}"));
         for &d in &doms {
-            b.edge(n, d).expect("fresh keyword");
+            gen_edge(&mut b, n, d);
         }
     }
 
@@ -219,8 +221,8 @@ pub fn mas(cfg: &MasConfig) -> (Graph, MasGroundTruth) {
         };
         let d = conf_domain_idx[c];
         paper_domain.push(d);
-        b.edge(p, confs[c]).expect("fresh paper");
-        b.edge(p, doms[d]).expect("fresh paper");
+        gen_edge(&mut b, p, confs[c]);
+        gen_edge(&mut b, p, doms[d]);
     }
 
     // Citations: biased toward same and related domains per the config.
@@ -251,8 +253,8 @@ pub fn mas(cfg: &MasConfig) -> (Graph, MasGroundTruth) {
             continue;
         }
         let c = b.relationship(citation);
-        b.edge(papers[a], c).expect("fresh citation");
-        b.edge(c, papers[bb]).expect("fresh citation");
+        gen_edge(&mut b, papers[a], c);
+        gen_edge(&mut b, c, papers[bb]);
         placed += 1;
     }
 

@@ -12,6 +12,8 @@ use repsim_graph::{Graph, GraphBuilder};
 
 use crate::rng::{seeded, ZipfSampler};
 
+use crate::build::gen_edge_dedup;
+
 /// Movies generator configuration.
 #[derive(Clone, Debug)]
 pub struct MoviesConfig {
@@ -158,12 +160,12 @@ pub fn imdb(cfg: &MoviesConfig) -> Graph {
         .collect();
     for (c, &(a, f)) in engagements.iter().enumerate() {
         let cn = b.entity(ch, &format!("char{c:06}"));
-        b.edge_dedup(actors[a], cn).expect("fresh char");
-        b.edge_dedup(cn, films[f]).expect("fresh char");
-        b.edge_dedup(actors[a], films[f]).expect("valid");
+        gen_edge_dedup(&mut b, actors[a], cn);
+        gen_edge_dedup(&mut b, cn, films[f]);
+        gen_edge_dedup(&mut b, actors[a], films[f]);
     }
     for (f, &d) in film_directors.iter().enumerate() {
-        b.edge_dedup(films[f], directors[d]).expect("valid");
+        gen_edge_dedup(&mut b, films[f], directors[d]);
     }
     b.build()
 }
@@ -186,10 +188,10 @@ pub fn imdb_no_chars(cfg: &MoviesConfig) -> Graph {
         .map(|i| b.entity(director, &format!("director{i:05}")))
         .collect();
     for &(a, f) in &engagements {
-        b.edge_dedup(actors[a], films[f]).expect("valid");
+        gen_edge_dedup(&mut b, actors[a], films[f]);
     }
     for (f, &d) in film_directors.iter().enumerate() {
-        b.edge_dedup(films[f], directors[d]).expect("valid");
+        gen_edge_dedup(&mut b, films[f], directors[d]);
     }
     b.build()
 }

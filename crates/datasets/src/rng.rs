@@ -32,7 +32,7 @@ impl ZipfSampler {
 
     /// Samples an index in `0..n`.
     pub fn sample(&self, rng: &mut StdRng) -> usize {
-        let total = *self.cumulative.last().expect("non-empty");
+        let total = self.cumulative[self.cumulative.len() - 1];
         let x = rng.random_range(0.0..total);
         self.cumulative.partition_point(|&c| c <= x)
     }

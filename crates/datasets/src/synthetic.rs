@@ -13,6 +13,8 @@ use repsim_graph::{Graph, GraphBuilder, LabelKind};
 
 use crate::rng::{seeded, ZipfSampler};
 
+use crate::build::gen_edge_dedup;
+
 /// How an edge family connects two labels.
 #[derive(Clone, Debug)]
 pub enum EdgeKind {
@@ -96,6 +98,7 @@ impl SchemaSpec {
         }
         let mut nodes = Vec::with_capacity(self.labels.len());
         for (name, kind, count) in &self.labels {
+            #[allow(clippy::expect_used)] // every label was registered just above
             let l = b.labels().get(name).expect("registered");
             let ns: Vec<_> = (0..*count)
                 .map(|i| match kind {
@@ -106,12 +109,9 @@ impl SchemaSpec {
             nodes.push((name.clone(), ns));
         }
         let of = |name: &str, nodes: &[(String, Vec<repsim_graph::NodeId>)]| {
-            nodes
-                .iter()
-                .find(|(n, _)| n == name)
-                .unwrap_or_else(|| panic!("edge references undeclared label {name:?}"))
-                .1
-                .clone()
+            let found = nodes.iter().find(|(n, _)| n == name);
+            assert!(found.is_some(), "edge references undeclared label {name:?}");
+            found.map(|(_, ns)| ns.clone()).unwrap_or_default()
         };
         for spec in &self.edges {
             let from = of(&spec.from, &nodes);
@@ -133,7 +133,7 @@ impl SchemaSpec {
                         } else {
                             rng.random_range(0..to.len())
                         };
-                        b.edge_dedup(f, to[t]).expect("valid nodes");
+                        gen_edge_dedup(&mut b, f, to[t]);
                     }
                 }
                 EdgeKind::ManyToMany { per_from, skew } => {
@@ -152,7 +152,7 @@ impl SchemaSpec {
                         while placed < per_from && guard < per_from * 50 {
                             guard += 1;
                             let t = to[pop.sample(&mut rng)];
-                            if b.edge_dedup(f, t).expect("valid nodes") {
+                            if gen_edge_dedup(&mut b, f, t) {
                                 placed += 1;
                             }
                         }

@@ -89,10 +89,10 @@ impl<'a> RobustnessRunner<'a> {
             .map(|&k| (k, Vec::with_capacity(queries.len())))
             .collect();
         for &q in queries {
-            let tq = self
-                .map
-                .map(q)
-                .expect("query-preserving transformations map every entity");
+            // Query-preserving transformations map every entity; an
+            // unmapped query (caught separately by `check_query_preserving`)
+            // is excluded from the correlation rather than panicking.
+            let Some(tq) = self.map.map(q) else { continue };
             let label = self.g.label_of(q);
             let tlabel = self.tg.label_of(tq);
             let list_d = alg_d.rank(q, label, kmax).keyed(self.g);

@@ -106,19 +106,13 @@ impl AlgorithmSpec {
             AlgorithmSpec::SimRankPlusPlus => Box::new(SimRankPlusPlus::new(g)),
             AlgorithmSpec::CommonNeighbors => Box::new(CommonNeighbors::new(g)),
             AlgorithmSpec::PathSim { meta_walk } => {
-                let mw = MetaWalk::parse_in(g, meta_walk)
-                    .unwrap_or_else(|| panic!("bad meta-walk {meta_walk:?}"));
-                Box::new(PathSim::new(g, mw))
+                Box::new(PathSim::new(g, parse_spec_walk(g, meta_walk)))
             }
             AlgorithmSpec::RPathSim { meta_walk } => {
-                let mw = MetaWalk::parse_in(g, meta_walk)
-                    .unwrap_or_else(|| panic!("bad meta-walk {meta_walk:?}"));
-                Box::new(RPathSim::new(g, mw))
+                Box::new(RPathSim::new(g, parse_spec_walk(g, meta_walk)))
             }
             AlgorithmSpec::HeteSim { meta_walk } => {
-                let mw = MetaWalk::parse_in(g, meta_walk)
-                    .unwrap_or_else(|| panic!("bad meta-walk {meta_walk:?}"));
-                Box::new(HeteSim::new(g, mw))
+                Box::new(HeteSim::new(g, parse_spec_walk(g, meta_walk)))
             }
             AlgorithmSpec::Aggregated {
                 mode,
@@ -126,6 +120,7 @@ impl AlgorithmSpec {
                 max_len,
                 fd_max_len,
             } => {
+                #[allow(clippy::panic)] // specs are programmatic; a bad label is a caller bug
                 let label = g
                     .labels()
                     .get(query_label)
@@ -161,6 +156,17 @@ fn strip_stars(set: Vec<MetaWalk>) -> Vec<MetaWalk> {
         }
     }
     out
+}
+
+/// Parses a meta-walk from a programmatic [`AlgorithmSpec`]; specs are
+/// built by code (repro binaries, the CLI after its own validation), so a
+/// walk that fails to parse is a caller bug.
+fn parse_spec_walk(g: &Graph, text: &str) -> MetaWalk {
+    #[allow(clippy::panic)] // precondition failure in a programmatic spec
+    match MetaWalk::parse_in(g, text) {
+        Some(mw) => mw,
+        None => panic!("bad meta-walk {text:?}"),
+    }
 }
 
 #[cfg(test)]

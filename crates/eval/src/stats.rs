@@ -33,7 +33,8 @@ pub fn bootstrap_mean_ci(
             .sum();
         means.push(total / xs.len() as f64);
     }
-    means.sort_by(|a, b| a.partial_cmp(b).expect("finite means"));
+    // Means of finite samples are finite; a NaN would tie, not panic.
+    means.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
     let lo_idx = ((alpha / 2.0) * resamples as f64) as usize;
     let hi_idx = (((1.0 - alpha / 2.0) * resamples as f64) as usize).min(resamples - 1);
     Some((means[lo_idx], means[hi_idx]))

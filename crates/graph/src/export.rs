@@ -19,26 +19,24 @@ pub fn to_dot(g: &Graph) -> String {
     let mut out = String::from("graph repsim {\n  node [fontsize=10];\n");
     for n in g.node_ids() {
         let label = g.labels().name(g.label_of(n));
-        match g.value_of(n) {
+        let _ = match g.value_of(n) {
             Some(v) => writeln!(
                 out,
                 "  n{} [label=\"{}:{}\", shape=box];",
                 n.0,
                 dot_escape(label),
                 dot_escape(v)
-            )
-            .expect("infallible"),
+            ),
             None => writeln!(
                 out,
                 "  n{} [label=\"{}\", shape=point, width=0.12];",
                 n.0,
                 dot_escape(label)
-            )
-            .expect("infallible"),
-        }
+            ),
+        };
     }
     for (a, b) in g.edges() {
-        writeln!(out, "  n{} -- n{};", a.0, b.0).expect("infallible");
+        let _ = writeln!(out, "  n{} -- n{};", a.0, b.0);
     }
     out.push_str("}\n");
     out
@@ -62,7 +60,7 @@ pub fn to_graphml(g: &Graph) -> String {
          <graph edgedefault=\"undirected\">\n",
     );
     for n in g.node_ids() {
-        writeln!(
+        let _ = writeln!(
             out,
             "  <node id=\"n{}\"><data key=\"label\">{}</data>{}</node>",
             n.0,
@@ -71,16 +69,14 @@ pub fn to_graphml(g: &Graph) -> String {
                 Some(v) => format!("<data key=\"value\">{}</data>", xml_escape(v)),
                 None => String::new(),
             }
-        )
-        .expect("infallible");
+        );
     }
     for (i, (a, b)) in g.edges().enumerate() {
-        writeln!(
+        let _ = writeln!(
             out,
             "  <edge id=\"e{i}\" source=\"n{}\" target=\"n{}\"/>",
             a.0, b.0
-        )
-        .expect("infallible");
+        );
     }
     out.push_str("</graph>\n</graphml>\n");
     out

@@ -34,17 +34,16 @@ pub fn write(g: &Graph) -> String {
             LabelKind::Entity => "entity",
             LabelKind::Relationship => "relationship",
         };
-        writeln!(out, "label {} {}", g.labels().name(l), kind).expect("infallible");
+        let _ = writeln!(out, "label {} {}", g.labels().name(l), kind);
     }
     for n in g.node_ids() {
-        match g.value_of(n) {
+        let _ = match g.value_of(n) {
             Some(v) => writeln!(out, "node {} {} {}", n.0, g.labels().name(g.label_of(n)), v),
             None => writeln!(out, "node {} {}", n.0, g.labels().name(g.label_of(n))),
-        }
-        .expect("infallible");
+        };
     }
     for (a, b) in g.edges() {
-        writeln!(out, "edge {} {}", a.0, b.0).expect("infallible");
+        let _ = writeln!(out, "edge {} {}", a.0, b.0);
     }
     out
 }
@@ -64,7 +63,7 @@ pub fn read(text: &str) -> Result<Graph, GraphError> {
             continue;
         }
         let mut parts = line.splitn(2, ' ');
-        let verb = parts.next().expect("split yields at least one part");
+        let verb = parts.next().unwrap_or("");
         let rest = parts.next().unwrap_or("");
         match verb {
             "label" => {

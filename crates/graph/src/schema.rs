@@ -74,7 +74,9 @@ impl SchemaGraph {
         on_path: &mut [bool],
         out: &mut Vec<Vec<LabelId>>,
     ) {
-        let cur = *stack.last().expect("non-empty path stack");
+        let Some(&cur) = stack.last() else {
+            return; // callers always seed the stack with `from`
+        };
         if cur == to && stack.len() > 1 {
             out.push(stack.clone());
             return;

@@ -58,10 +58,8 @@ fn induced(g: &Graph, keep: impl Fn(NodeId) -> bool) -> Graph {
             if !keep(n) {
                 return None;
             }
-            let l = b
-                .labels()
-                .get(g.labels().name(g.label_of(n)))
-                .expect("copied");
+            // Every label was copied into the builder above.
+            let l = b.labels().get(g.labels().name(g.label_of(n)))?;
             Some(match g.value_of(n) {
                 Some(v) => b.entity(l, v),
                 None => b.relationship(l),
@@ -70,7 +68,8 @@ fn induced(g: &Graph, keep: impl Fn(NodeId) -> bool) -> Graph {
         .collect();
     for (x, y) in g.edges() {
         if let (Some(nx), Some(ny)) = (ids[x.index()], ids[y.index()]) {
-            b.edge(nx, ny).expect("unique edges survive induction");
+            // Edges are unique in `g`, so they stay unique after induction.
+            let _ = b.edge(nx, ny);
         }
     }
     b.build()

@@ -39,24 +39,30 @@ pub fn plain_commuting(g: &Graph, mw: &MetaWalk) -> Csr {
 }
 
 /// [`plain_commuting`] with an explicit thread budget.
+#[allow(clippy::panic)] // documented infallible wrapper over the try_ API
 pub fn plain_commuting_with(g: &Graph, mw: &MetaWalk, par: Parallelism) -> Csr {
-    try_plain_commuting_with(g, mw, par, &Budget::unlimited())
-        .expect("unlimited commuting build cannot fail")
+    match try_plain_commuting_with(g, mw, par, &Budget::unlimited()) {
+        Ok(m) => m,
+        Err(e) => panic!("commuting build: {e}"),
+    }
 }
 
 /// Budget-governed [`plain_commuting`]: the build aborts with a
 /// structured [`ExecError`] when the budget's deadline, size cap, or
-/// cancellation flag trips mid-chain.
+/// cancellation flag trips mid-chain, or when `mw` contains a \*-label
+/// (plain PathSim has no \*-label semantics — [`ExecError::InvalidInput`]).
 pub fn try_plain_commuting_with(
     g: &Graph,
     mw: &MetaWalk,
     par: Parallelism,
     budget: &Budget,
 ) -> Result<Csr, ExecError> {
-    assert!(
-        !mw.has_star(),
-        "plain commuting matrices cannot use *-labels"
-    );
+    if mw.has_star() {
+        return Err(ExecError::InvalidInput {
+            op: "commuting",
+            message: "plain commuting matrices cannot use *-labels".to_owned(),
+        });
+    }
     compute(g, mw, false, par, budget)
 }
 
@@ -68,9 +74,12 @@ pub fn informative_commuting(g: &Graph, mw: &MetaWalk) -> Csr {
 }
 
 /// [`informative_commuting`] with an explicit thread budget.
+#[allow(clippy::panic)] // documented infallible wrapper over the try_ API
 pub fn informative_commuting_with(g: &Graph, mw: &MetaWalk, par: Parallelism) -> Csr {
-    try_informative_commuting_with(g, mw, par, &Budget::unlimited())
-        .expect("unlimited commuting build cannot fail")
+    match try_informative_commuting_with(g, mw, par, &Budget::unlimited()) {
+        Ok(m) => m,
+        Err(e) => panic!("commuting build: {e}"),
+    }
 }
 
 /// Budget-governed [`informative_commuting`].
@@ -134,18 +143,20 @@ fn compute(
     chain_product(segments, par, budget)
 }
 
-/// Cost-ordered product of an owned, non-empty chain (single factors pass
-/// through without a copy).
-fn chain_product(mats: Vec<Csr>, par: Parallelism, budget: &Budget) -> Result<Csr, ExecError> {
-    assert!(!mats.is_empty(), "at least one hop");
-    if mats.len() == 1 {
-        // No product to run, but an expired deadline or set cancellation
-        // flag still aborts — trivial builds observe the budget too.
-        budget.check()?;
-        return Ok(mats.into_iter().next().expect("non-empty chain"));
+/// Cost-ordered product of an owned chain (single factors pass through
+/// without a copy; an empty chain is an [`ExecError::InvalidInput`]).
+fn chain_product(mut mats: Vec<Csr>, par: Parallelism, budget: &Budget) -> Result<Csr, ExecError> {
+    if mats.len() > 1 {
+        let refs: Vec<&Csr> = mats.iter().collect();
+        return try_spmm_chain_with_budget(&refs, par.threads(), budget);
     }
-    let refs: Vec<&Csr> = mats.iter().collect();
-    try_spmm_chain_with_budget(&refs, par.threads(), budget)
+    // No product to run, but an expired deadline or set cancellation
+    // flag still aborts — trivial builds observe the budget too.
+    budget.check()?;
+    mats.pop().ok_or(ExecError::InvalidInput {
+        op: "commuting",
+        message: "empty hop chain".to_owned(),
+    })
 }
 
 /// The matrix of a single hop `l_i (rels…) l_j`: the cost-ordered product
@@ -165,7 +176,7 @@ fn hop_matrix(
         .map(|pair| biadjacency(g, pair[0], pair[1]))
         .collect();
     let mut m = chain_product(mats, par, budget)?;
-    if informative && labels[0] == *labels.last().expect("non-empty hop") {
+    if informative && labels.first() == labels.last() {
         m = m.subtract_diagonal();
     }
     Ok(m)
@@ -213,9 +224,12 @@ impl CommutingCache {
     ///
     /// Misses pay one `mw.clone()` for the key; hits are allocation-free
     /// (the `entry` API would clone the key on every call).
+    #[allow(clippy::panic)] // documented infallible wrapper over the try_ API
     pub fn plain<'a>(&'a mut self, g: &Graph, mw: &MetaWalk) -> &'a Csr {
-        self.try_plain_with(g, mw, Parallelism::default(), &Budget::unlimited())
-            .expect("unlimited commuting build cannot fail")
+        match self.try_plain_with(g, mw, Parallelism::default(), &Budget::unlimited()) {
+            Ok(m) => m,
+            Err(e) => panic!("commuting build: {e}"),
+        }
     }
 
     /// Budget-governed [`CommutingCache::plain`]: hits are served without
@@ -232,15 +246,20 @@ impl CommutingCache {
             let m = try_plain_commuting_with(g, mw, par, budget)?;
             self.plain.insert(mw.clone(), m);
         }
-        Ok(self.plain.get(mw).expect("just inserted"))
+        #[allow(clippy::expect_used)] // the key was inserted just above
+        let m = self.plain.get(mw).expect("just inserted");
+        Ok(m)
     }
 
     /// The informative commuting matrix of `mw`, computed on first use.
     ///
     /// Misses pay one `mw.clone()` for the key; hits are allocation-free.
+    #[allow(clippy::panic)] // documented infallible wrapper over the try_ API
     pub fn informative<'a>(&'a mut self, g: &Graph, mw: &MetaWalk) -> &'a Csr {
-        self.try_informative_with(g, mw, Parallelism::default(), &Budget::unlimited())
-            .expect("unlimited commuting build cannot fail")
+        match self.try_informative_with(g, mw, Parallelism::default(), &Budget::unlimited()) {
+            Ok(m) => m,
+            Err(e) => panic!("commuting build: {e}"),
+        }
     }
 
     /// Budget-governed [`CommutingCache::informative`]: hits are served
@@ -257,7 +276,9 @@ impl CommutingCache {
             let m = try_informative_commuting_with(g, mw, par, budget)?;
             self.informative.insert(mw.clone(), m);
         }
-        Ok(self.informative.get(mw).expect("just inserted"))
+        #[allow(clippy::expect_used)] // the key was inserted just above
+        let m = self.informative.get(mw).expect("just inserted");
+        Ok(m)
     }
 
     /// Number of cached matrices.
@@ -425,6 +446,29 @@ mod tests {
         assert_eq!(count_between(&g, &mw, &m, ca, ca), 1.0);
         assert_eq!(count_between(&g, &mw, &m, cb, cb), 1.0);
         assert_eq!(count_between(&g, &mw, &m, ca, cb), 0.0);
+    }
+
+    #[test]
+    fn star_walk_is_invalid_input_for_plain_commuting() {
+        let g = mas5a();
+        let mw = MetaWalk::parse_in(&g, "conf *paper dom").unwrap();
+        let err = try_plain_commuting_with(&g, &mw, Parallelism::serial(), &Budget::unlimited())
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ExecError::InvalidInput {
+                op: "commuting",
+                message: "plain commuting matrices cannot use *-labels".to_owned(),
+            }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot use *-labels")]
+    fn star_walk_panics_in_infallible_plain_commuting() {
+        let g = mas5a();
+        let mw = MetaWalk::parse_in(&g, "conf *paper dom").unwrap();
+        let _ = plain_commuting(&g, &mw);
     }
 
     #[test]

@@ -23,7 +23,7 @@ pub fn meta_walks_with_instances(g: &Graph, max_len: usize) -> Vec<MetaWalk> {
     // BFS over label sequences; a sequence is extendable if schema-adjacent.
     let mut frontier: Vec<Vec<LabelId>> = entity_labels.iter().map(|&l| vec![l]).collect();
     while let Some(seq) = frontier.pop() {
-        let last = *seq.last().expect("non-empty");
+        let Some(&last) = seq.last() else { continue };
         if seq.len() >= 2 && g.labels().is_entity(last) {
             let mw = MetaWalk::from_labels(g.labels(), &seq);
             if informative_commuting(g, &mw).nnz() > 0 && !out.contains(&mw) {

@@ -249,14 +249,11 @@ impl FdSet {
             parent[i]
         }
         for fd in &self.fds {
-            let a = labels
-                .iter()
-                .position(|&l| l == fd.lhs())
-                .expect("lhs present");
-            let b = labels
-                .iter()
-                .position(|&l| l == fd.rhs())
-                .expect("rhs present");
+            let a = labels.iter().position(|&l| l == fd.lhs());
+            let b = labels.iter().position(|&l| l == fd.rhs());
+            let (Some(a), Some(b)) = (a, b) else {
+                continue; // an FD over out-of-scope labels joins no component
+            };
             let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
             parent[ra] = rb;
         }

@@ -82,7 +82,7 @@ impl IncrementalCommuting {
             .windows(2)
             .map(|w| {
                 let labels: Vec<LabelId> = steps[w[0]..=w[1]].iter().map(|s| s.label()).collect();
-                let subtract_diag = labels[0] == *labels.last().expect("non-empty");
+                let subtract_diag = labels.first() == labels.last();
                 Hop {
                     labels,
                     subtract_diag,
@@ -93,8 +93,9 @@ impl IncrementalCommuting {
         let mut prefix = Vec::with_capacity(hop_mats.len() + 1);
         prefix.push(Csr::identity(hop_mats[0].nrows()));
         for h in &hop_mats {
-            let last = prefix.last().expect("seeded");
-            prefix.push(spmm(last, h));
+            // `prefix` is seeded with the identity above, so it is never empty.
+            let next = prefix.last().map(|last| spmm(last, h));
+            prefix.extend(next);
         }
         IncrementalCommuting {
             mw,
@@ -106,7 +107,8 @@ impl IncrementalCommuting {
 
     /// The maintained matrix `M̂_p`.
     pub fn matrix(&self) -> &Csr {
-        self.prefix.last().expect("non-empty")
+        // `prefix` is seeded with the identity at construction.
+        &self.prefix[self.prefix.len() - 1]
     }
 
     /// The meta-walk.
@@ -126,9 +128,7 @@ impl IncrementalCommuting {
         // change cannot silently desynchronize the cache.
         for (hop, mat) in self.hops.iter().zip(&self.hop_mats) {
             let rows = g_new.nodes_of_label(hop.labels[0]).len();
-            let cols = g_new
-                .nodes_of_label(*hop.labels.last().expect("non-empty hop"))
-                .len();
+            let cols = g_new.nodes_of_label(hop.labels[hop.labels.len() - 1]).len();
             assert_eq!(
                 (rows, cols),
                 (mat.nrows(), mat.ncols()),

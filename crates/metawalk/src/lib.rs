@@ -1,4 +1,13 @@
 #![warn(missing_docs)]
+#![cfg_attr(
+    test,
+    allow(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::panic,
+        clippy::indexing_slicing
+    )
+)]
 
 //! Walks, meta-walks, commuting matrices, and functional dependencies
 //! (§4.1, §4.3, §5.1 of the paper).

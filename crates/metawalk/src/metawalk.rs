@@ -68,7 +68,7 @@ impl MetaWalk {
     pub fn new(steps: Vec<Step>) -> MetaWalk {
         assert!(!steps.is_empty(), "empty meta-walk");
         let first = steps[0];
-        let last = *steps.last().expect("non-empty");
+        let last = steps[steps.len() - 1];
         assert!(
             first.is_entity() && last.is_entity(),
             "meta-walk must start and end with entity labels"
@@ -130,12 +130,10 @@ impl MetaWalk {
             };
             steps.push(step);
         }
-        if steps.is_empty()
-            || !steps[0].is_entity()
-            || steps[0].is_star()
-            || !steps.last().expect("non-empty").is_entity()
-            || steps.last().expect("non-empty").is_star()
-        {
+        let (Some(first), Some(last)) = (steps.first(), steps.last()) else {
+            return None;
+        };
+        if !first.is_entity() || first.is_star() || !last.is_entity() || last.is_star() {
             return None;
         }
         Some(MetaWalk { steps })
@@ -163,7 +161,7 @@ impl MetaWalk {
 
     /// The last label.
     pub fn target(&self) -> LabelId {
-        self.steps.last().expect("non-empty").label()
+        self.steps[self.steps.len() - 1].label()
     }
 
     /// Whether any step is \*-marked.
@@ -193,7 +191,7 @@ impl MetaWalk {
     /// # Panics
     /// If the junction labels (or their star marks) differ.
     pub fn concat(&self, other: &MetaWalk) -> MetaWalk {
-        let last = *self.steps.last().expect("non-empty");
+        let last = self.steps[self.steps.len() - 1];
         assert_eq!(
             last, other.steps[0],
             "concat junction mismatch: {last:?} vs {:?}",

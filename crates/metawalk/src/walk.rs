@@ -17,14 +17,13 @@ impl Walk {
     /// The walk's *value* (§4.1): the `(label, value)` tuple of its entity
     /// positions, in order. Relationship nodes do not contribute.
     pub fn value(&self, g: &Graph) -> Vec<(String, String)> {
+        // Exactly the entity nodes carry values, so `filter_map` over
+        // `value_of` visits the same nodes the entity filter would.
         self.0
             .iter()
-            .filter(|&&n| g.is_entity(n))
-            .map(|&n| {
-                (
-                    g.labels().name(g.label_of(n)).to_owned(),
-                    g.value_of(n).expect("entity has a value").to_owned(),
-                )
+            .filter_map(|&n| {
+                let v = g.value_of(n)?;
+                Some((g.labels().name(g.label_of(n)).to_owned(), v.to_owned()))
             })
             .collect()
     }
@@ -49,7 +48,7 @@ impl Walk {
 
     /// The last node.
     pub fn end(&self) -> NodeId {
-        *self.0.last().expect("walks are non-empty")
+        self.0[self.0.len() - 1]
     }
 }
 
@@ -91,7 +90,7 @@ fn extend(g: &Graph, mw: &MetaWalk, prefix: &mut Vec<NodeId>, out: &mut Vec<Walk
         return;
     }
     let next_label = mw.steps()[prefix.len()].label();
-    let cur = *prefix.last().expect("non-empty prefix");
+    let Some(&cur) = prefix.last() else { return };
     // Collect first: neighbors_with_label borrows g, and we recurse.
     let nexts: Vec<NodeId> = g.neighbors_with_label(cur, next_label).collect();
     for n in nexts {

@@ -2,6 +2,11 @@
 //! of PathSim (and, in the appendix, RWR and SimRank) across the citation
 //! representations; R-PathSim shows zero difference (Theorem 4.3).
 
+// Benchmark/reproduction binaries are operator-run tools, not library
+// surface: a failed setup step should abort loudly, so the workspace
+// panic-freedom lints are relaxed for this file.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use repsim_datasets::citations::{self, CitationConfig};
 use repsim_eval::report::Table;
 use repsim_eval::runner::RobustnessRunner;
@@ -26,6 +31,8 @@ fn main() -> Result<(), ReproError> {
     // dblp2snap produces the same graph; asserted in integration tests).
     let dblp = citations::dblp(&cfg);
     let snap = citations::snap(&cfg);
+    repsim_repro::lint_dataset("dblp", &dblp);
+    repsim_repro::lint_dataset("snap", &snap);
     let map = EntityMap::between(&dblp, &snap);
     let runner = RobustnessRunner::new(&dblp, &snap, &map);
     let paper = dblp

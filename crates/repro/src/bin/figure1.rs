@@ -2,6 +2,11 @@
 //! vs *Jumper* differently across the IMDb and Freebase representations
 //! of the same facts.
 
+// Benchmark/reproduction binaries are operator-run tools, not library
+// surface: a failed setup step should abort loudly, so the workspace
+// panic-freedom lints are relaxed for this file.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use repsim_baselines::{Rwr, SimRank};
 use repsim_graph::{Graph, GraphBuilder};
 use repsim_repro::{banner, ReproError};
@@ -62,9 +67,11 @@ fn main() -> Result<(), ReproError> {
     repsim_repro::init_from_args()?;
     banner("Figure 1: IMDb vs Freebase representations of the same facts");
     let imdb = imdb_fragment();
+    repsim_repro::lint_dataset("imdb fragment", &imdb);
     let fb = catalog::imdb2fb()
         .apply(&imdb)
         .map_err(|e| ReproError::new(format!("imdb2fb: {e}")))?;
+    repsim_repro::lint_dataset("freebase fragment", &fb);
     println!(
         "IMDb fragment: {} nodes, {} edges; Freebase fragment: {} nodes, {} edges\n",
         imdb.num_nodes(),

@@ -2,6 +2,11 @@
 //! relationship reorganization of it, shown as meta-walk content
 //! equivalence (Definitions 5–7 in action).
 
+// Benchmark/reproduction binaries are operator-run tools, not library
+// surface: a failed setup step should abort loudly, so the workspace
+// panic-freedom lints are relaxed for this file.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use repsim_graph::{Graph, GraphBuilder};
 use repsim_metawalk::enumerate::{includes, maximal_meta_walks};
 use repsim_metawalk::equivalence::sufficiently_content_equivalent;

@@ -6,6 +6,11 @@
 //! provably deliver identical rankings over these transformations
 //! (Theorems 4.2/4.3) — the integration tests assert the zeros.
 
+// Benchmark/reproduction binaries are operator-run tools, not library
+// surface: a failed setup step should abort loudly, so the workspace
+// panic-freedom lints are relaxed for this file.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use repsim_datasets::movies::{self, MoviesConfig};
 use repsim_eval::report::Table;
 use repsim_eval::runner::RobustnessRunner;
@@ -29,6 +34,8 @@ type Columns = Vec<(&'static str, Graph, Box<dyn Transformation>)>;
 fn columns(cfg: &MoviesConfig) -> Result<Columns, ReproError> {
     let imdb = movies::imdb(cfg);
     let imdb_nc = movies::imdb_no_chars(cfg);
+    repsim_repro::lint_dataset("imdb", &imdb);
+    repsim_repro::lint_dataset("imdb-nochar", &imdb_nc);
     let fb = catalog::imdb2fb()
         .apply(&imdb)
         .map_err(|e| ReproError::new(format!("imdb2fb: {e}")))?;

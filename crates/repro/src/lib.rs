@@ -1,3 +1,12 @@
+#![cfg_attr(
+    test,
+    allow(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::panic,
+        clippy::indexing_slicing
+    )
+)]
 //! Shared plumbing for the reproduction binaries.
 //!
 //! Every binary accepts a `--scale {tiny|small|paper}` argument (default
@@ -142,6 +151,17 @@ impl Scale {
 pub fn parse_walk(g: &Graph, text: &str) -> Result<repsim_metawalk::MetaWalk, ReproError> {
     repsim_metawalk::MetaWalk::parse_in(g, text)
         .ok_or_else(|| ReproError::new(format!("bad meta-walk {text:?}")))
+}
+
+/// Runs the `repsim-check` §2.2 model lints over a freshly generated
+/// dataset, printing each finding to stderr as a warning. Never fails:
+/// a reproduction run should proceed even on a lint-dirty dataset, but
+/// the operator should see what the static analyzer sees (the CLI's
+/// `repsim check` applies the same analyzers gating-style).
+pub fn lint_dataset(name: &str, g: &Graph) {
+    for d in repsim_check::model::check_model(g) {
+        eprintln!("warning: dataset {name}: {d}");
+    }
 }
 
 /// Picks exact SimRank when the graph is small enough for the dense

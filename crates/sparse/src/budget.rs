@@ -56,6 +56,15 @@ pub enum ExecError {
         /// `(rows, cols)` of the right operand (vectors report `(len, 1)`).
         rhs: (usize, usize),
     },
+    /// A structural precondition on the inputs (other than shape
+    /// agreement) does not hold — e.g. an empty multiplication chain or
+    /// a \*-label where a plain meta-walk is required.
+    InvalidInput {
+        /// The operation name (`"spmm_chain"`, `"commuting"`, …).
+        op: &'static str,
+        /// What was wrong with the input.
+        message: String,
+    },
 }
 
 impl fmt::Display for ExecError {
@@ -76,6 +85,7 @@ impl fmt::Display for ExecError {
                 "{op} shape mismatch: {}x{} vs {}x{}",
                 lhs.0, lhs.1, rhs.0, rhs.1
             ),
+            ExecError::InvalidInput { op, message } => write!(f, "{op}: {message}"),
         }
     }
 }

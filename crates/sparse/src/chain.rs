@@ -194,22 +194,27 @@ fn eval<'a>(
 pub fn spmm_chain_with_threads(matrices: &[&Csr], threads: usize) -> Csr {
     match try_spmm_chain_with_budget(matrices, threads, &Budget::unlimited()) {
         Ok(m) => m,
+        #[allow(clippy::panic)] // documented infallible wrapper over the try_ API
         Err(e) => panic!("spmm chain: {e}"),
     }
 }
 
-/// Budget-governed [`spmm_chain_with_threads`]: shape mismatches are
-/// returned instead of panicking, every join runs under `budget` (checked
-/// at row-band granularity inside the kernel), and the budget is
-/// re-checked between joins so a cancelled chain stops before its next
-/// intermediate product. Still panics on an empty chain — that is a
-/// programming error, not a resource condition.
+/// Budget-governed [`spmm_chain_with_threads`]: shape mismatches and an
+/// empty chain are returned as errors instead of panicking, every join
+/// runs under `budget` (checked at row-band granularity inside the
+/// kernel), and the budget is re-checked between joins so a cancelled
+/// chain stops before its next intermediate product.
 pub fn try_spmm_chain_with_budget(
     matrices: &[&Csr],
     threads: usize,
     budget: &Budget,
 ) -> Result<Csr, ExecError> {
-    assert!(!matrices.is_empty(), "empty spmm chain");
+    if matrices.is_empty() {
+        return Err(ExecError::InvalidInput {
+            op: "spmm_chain",
+            message: "empty spmm chain".to_owned(),
+        });
+    }
     for pair in matrices.windows(2) {
         if pair[0].ncols() != pair[1].nrows() {
             return Err(ExecError::ShapeMismatch {
@@ -298,6 +303,20 @@ mod tests {
         // A single-factor chain has no join, so no mid-chain cancellation
         // fires — but an explicit cancel flag still does.
         assert!(try_spmm_chain_with_budget(&[&a], 1, &inject).is_ok());
+    }
+
+    #[test]
+    fn empty_chain_is_invalid_input_not_a_panic() {
+        let e = try_spmm_chain_with_budget(&[], 1, &Budget::unlimited()).unwrap_err();
+        assert_eq!(
+            e,
+            ExecError::InvalidInput {
+                op: "spmm_chain",
+                message: "empty spmm chain".to_owned(),
+            }
+        );
+        assert_eq!(e.to_string(), "spmm_chain: empty spmm chain");
+        assert!(!e.is_exhaustion());
     }
 
     #[test]

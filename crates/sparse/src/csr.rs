@@ -2,6 +2,100 @@
 
 use std::fmt;
 
+/// A violated structural invariant of a [`Csr`] (see the struct docs).
+///
+/// Produced by [`Csr::validate`] / [`Csr::try_from_parts`]; every variant
+/// names the first offending location so diagnostics can point at it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CsrInvariant {
+    /// `row_ptr.len()` is not `nrows + 1`.
+    RowPtrLength {
+        /// `nrows + 1`.
+        expected: usize,
+        /// Actual length.
+        found: usize,
+    },
+    /// `row_ptr[0]` is not zero.
+    RowPtrStart {
+        /// The stored first offset.
+        found: usize,
+    },
+    /// `row_ptr` decreases between two consecutive rows.
+    RowPtrNotMonotone {
+        /// First row whose extent is negative.
+        row: usize,
+        /// `row_ptr[row]`.
+        lo: usize,
+        /// `row_ptr[row + 1]`.
+        hi: usize,
+    },
+    /// `row_ptr[nrows]` does not equal the stored-entry count.
+    NnzMismatch {
+        /// `row_ptr[nrows]`.
+        row_ptr_end: usize,
+        /// `col_idx.len()`.
+        cols: usize,
+        /// `values.len()`.
+        values: usize,
+    },
+    /// A column index is `>= ncols`.
+    ColumnOutOfBounds {
+        /// Row holding the entry.
+        row: usize,
+        /// The offending column index.
+        col: u32,
+        /// The matrix column count.
+        ncols: usize,
+    },
+    /// Within a row, column indices are not strictly increasing (covers
+    /// both unsorted and duplicate columns).
+    ColumnsNotSorted {
+        /// Row holding the offending pair.
+        row: usize,
+        /// The column that is `<=` its predecessor.
+        col: u32,
+    },
+}
+
+impl fmt::Display for CsrInvariant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsrInvariant::RowPtrLength { expected, found } => {
+                write!(f, "row_ptr has length {found}, expected {expected}")
+            }
+            CsrInvariant::RowPtrStart { found } => {
+                write!(f, "row_ptr starts at {found}, expected 0")
+            }
+            CsrInvariant::RowPtrNotMonotone { row, lo, hi } => {
+                write!(f, "row_ptr decreases at row {row}: {lo} -> {hi}")
+            }
+            CsrInvariant::NnzMismatch {
+                row_ptr_end,
+                cols,
+                values,
+            } => write!(
+                f,
+                "entry counts disagree: row_ptr ends at {row_ptr_end}, \
+                 {cols} columns, {values} values"
+            ),
+            CsrInvariant::ColumnOutOfBounds { row, col, ncols } => {
+                write!(
+                    f,
+                    "column {col} in row {row} out of bounds for ncols {ncols}"
+                )
+            }
+            CsrInvariant::ColumnsNotSorted { row, col } => {
+                write!(
+                    f,
+                    "columns of row {row} not strictly increasing at column {col}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for CsrInvariant {}
+
 /// A sparse matrix in compressed sparse row (CSR) format.
 ///
 /// Invariants maintained by every constructor and operation:
@@ -153,23 +247,101 @@ impl Csr {
         col_idx: Vec<u32>,
         values: Vec<f64>,
     ) -> Self {
-        debug_assert_eq!(row_ptr.len(), nrows + 1);
-        debug_assert_eq!(row_ptr.first(), Some(&0));
-        debug_assert_eq!(row_ptr.last(), Some(&col_idx.len()));
-        debug_assert_eq!(col_idx.len(), values.len());
-        debug_assert!(row_ptr.windows(2).all(|w| w[0] <= w[1]));
-        debug_assert!(col_idx.iter().all(|&c| (c as usize) < ncols));
-        debug_assert!((0..nrows).all(|r| {
-            col_idx[row_ptr[r]..row_ptr[r + 1]]
-                .windows(2)
-                .all(|w| w[0] < w[1])
-        }));
-        Csr {
+        let m = Csr {
             nrows,
             ncols,
             row_ptr,
             col_idx,
             values,
+        };
+        m.debug_validate();
+        m
+    }
+
+    /// Builds a matrix from raw CSR parts, checking every structural
+    /// invariant first (the fallible twin of the internal zero-copy
+    /// constructor). This is the entry point for untrusted CSR data —
+    /// e.g. matrices deserialized from disk by `repsim check`.
+    pub fn try_from_parts(
+        nrows: usize,
+        ncols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<u32>,
+        values: Vec<f64>,
+    ) -> Result<Self, CsrInvariant> {
+        let m = Csr {
+            nrows,
+            ncols,
+            row_ptr,
+            col_idx,
+            values,
+        };
+        m.validate()?;
+        Ok(m)
+    }
+
+    /// Checks every structural invariant of the CSR representation (see
+    /// the struct docs), returning the first violation found.
+    ///
+    /// Every constructor and kernel in this crate maintains these
+    /// invariants, so on a matrix built through the public API this
+    /// always returns `Ok`; it exists as the public hook for property
+    /// tests and for validating externally-sourced CSR data. Debug
+    /// builds also run it after construction via `debug_assert!`.
+    pub fn validate(&self) -> Result<(), CsrInvariant> {
+        if self.row_ptr.len() != self.nrows + 1 {
+            return Err(CsrInvariant::RowPtrLength {
+                expected: self.nrows + 1,
+                found: self.row_ptr.len(),
+            });
+        }
+        if self.row_ptr[0] != 0 {
+            return Err(CsrInvariant::RowPtrStart {
+                found: self.row_ptr[0],
+            });
+        }
+        for r in 0..self.nrows {
+            let (lo, hi) = (self.row_ptr[r], self.row_ptr[r + 1]);
+            if lo > hi {
+                return Err(CsrInvariant::RowPtrNotMonotone { row: r, lo, hi });
+            }
+        }
+        if self.row_ptr[self.nrows] != self.col_idx.len() || self.col_idx.len() != self.values.len()
+        {
+            return Err(CsrInvariant::NnzMismatch {
+                row_ptr_end: self.row_ptr[self.nrows],
+                cols: self.col_idx.len(),
+                values: self.values.len(),
+            });
+        }
+        for r in 0..self.nrows {
+            let cols = &self.col_idx[self.row_ptr[r]..self.row_ptr[r + 1]];
+            for (i, &c) in cols.iter().enumerate() {
+                if c as usize >= self.ncols {
+                    return Err(CsrInvariant::ColumnOutOfBounds {
+                        row: r,
+                        col: c,
+                        ncols: self.ncols,
+                    });
+                }
+                if i > 0 && cols[i - 1] >= c {
+                    return Err(CsrInvariant::ColumnsNotSorted { row: r, col: c });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// `debug_assert!` that [`Csr::validate`] passes; a no-op in release
+    /// builds. Called at construction sites and after every SpGEMM.
+    #[inline]
+    pub(crate) fn debug_validate(&self) {
+        #[cfg(debug_assertions)]
+        if let Err(e) = self.validate() {
+            #[allow(clippy::panic)] // the debug-build analogue of debug_assert!
+            {
+                panic!("CSR invariant violated: {e}");
+            }
         }
     }
 
@@ -236,13 +408,15 @@ impl Csr {
                 values[slot] = v;
             }
         }
-        Csr {
+        let t = Csr {
             nrows: self.ncols,
             ncols: self.nrows,
             row_ptr,
             col_idx,
             values,
-        }
+        };
+        t.debug_validate();
+        t
     }
 
     /// The main diagonal as a dense vector of length `min(nrows, ncols)`.
@@ -573,6 +747,81 @@ mod tests {
         assert_eq!(z.nnz(), 0);
         assert_eq!(z.row(1).0.len(), 0);
         assert_eq!(crate::ops::spmm(&z, &Csr::zeros(5, 1)).nnz(), 0);
+    }
+
+    #[test]
+    fn validate_accepts_constructed_matrices() {
+        assert_eq!(sample().validate(), Ok(()));
+        assert_eq!(Csr::zeros(4, 2).validate(), Ok(()));
+        assert_eq!(Csr::identity(5).validate(), Ok(()));
+        assert_eq!(sample().transpose().validate(), Ok(()));
+    }
+
+    #[test]
+    fn try_from_parts_accepts_valid_parts() {
+        let m = Csr::try_from_parts(2, 3, vec![0, 2, 3], vec![0, 2, 1], vec![1.0, 2.0, 3.0])
+            .expect("valid parts");
+        assert_eq!(m.get(0, 2), 2.0);
+        assert_eq!(m.get(1, 1), 3.0);
+    }
+
+    #[test]
+    fn try_from_parts_pins_each_invariant() {
+        // row_ptr wrong length.
+        let e = Csr::try_from_parts(2, 2, vec![0, 1], vec![0], vec![1.0]).unwrap_err();
+        assert_eq!(
+            e,
+            CsrInvariant::RowPtrLength {
+                expected: 3,
+                found: 2
+            }
+        );
+        // row_ptr not starting at zero.
+        let e = Csr::try_from_parts(1, 2, vec![1, 1], vec![], vec![]).unwrap_err();
+        assert_eq!(e, CsrInvariant::RowPtrStart { found: 1 });
+        // row_ptr decreasing.
+        let e = Csr::try_from_parts(2, 2, vec![0, 2, 1], vec![0], vec![1.0]).unwrap_err();
+        assert_eq!(
+            e,
+            CsrInvariant::RowPtrNotMonotone {
+                row: 1,
+                lo: 2,
+                hi: 1
+            }
+        );
+        // nnz disagreement between row_ptr and the entry arrays.
+        let e = Csr::try_from_parts(1, 2, vec![0, 2], vec![0], vec![1.0]).unwrap_err();
+        assert_eq!(
+            e,
+            CsrInvariant::NnzMismatch {
+                row_ptr_end: 2,
+                cols: 1,
+                values: 1
+            }
+        );
+        // Column index out of bounds.
+        let e = Csr::try_from_parts(1, 2, vec![0, 1], vec![5], vec![1.0]).unwrap_err();
+        assert_eq!(
+            e,
+            CsrInvariant::ColumnOutOfBounds {
+                row: 0,
+                col: 5,
+                ncols: 2
+            }
+        );
+        // Unsorted (and duplicate) columns within a row.
+        let e = Csr::try_from_parts(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 1.0]).unwrap_err();
+        assert_eq!(e, CsrInvariant::ColumnsNotSorted { row: 0, col: 0 });
+        let e = Csr::try_from_parts(1, 3, vec![0, 2], vec![1, 1], vec![1.0, 1.0]).unwrap_err();
+        assert_eq!(e, CsrInvariant::ColumnsNotSorted { row: 0, col: 1 });
+    }
+
+    #[test]
+    fn invariant_display_names_the_location() {
+        let e = Csr::try_from_parts(1, 2, vec![0, 1], vec![5], vec![1.0]).unwrap_err();
+        assert_eq!(e.to_string(), "column 5 in row 0 out of bounds for ncols 2");
+        let e = Csr::try_from_parts(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 1.0]).unwrap_err();
+        assert!(e.to_string().contains("not strictly increasing"));
     }
 
     #[test]

@@ -1,4 +1,13 @@
 #![warn(missing_docs)]
+#![cfg_attr(
+    test,
+    allow(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::panic,
+        clippy::indexing_slicing
+    )
+)]
 
 //! Sparse and dense linear algebra for `repsim`.
 //!
@@ -41,6 +50,6 @@ pub mod parallelism;
 pub mod vector;
 
 pub use budget::{Budget, ExecError};
-pub use csr::Csr;
+pub use csr::{Csr, CsrInvariant};
 pub use dense::Dense;
 pub use parallelism::Parallelism;

@@ -121,6 +121,7 @@ pub fn try_spmm(a: &Csr, b: &Csr) -> Result<Csr, ExecError> {
 pub(crate) fn spmm_with_threads(a: &Csr, b: &Csr, threads: usize) -> Csr {
     match try_spmm_with_budget(a, b, threads, &Budget::unlimited()) {
         Ok(c) => c,
+        #[allow(clippy::panic)] // documented infallible wrapper over the try_ API
         Err(e) => panic!("spmm shape mismatch: {e} ({a:?} x {b:?})"),
     }
 }
@@ -315,6 +316,7 @@ pub fn spmm_chain(matrices: &[&Csr]) -> Csr {
 pub fn matvec(a: &Csr, x: &[f64]) -> Vec<f64> {
     match try_matvec(a, x) {
         Ok(y) => y,
+        #[allow(clippy::panic)] // documented infallible wrapper over the try_ API
         Err(e) => panic!("matvec shape mismatch: {e}"),
     }
 }
@@ -354,6 +356,7 @@ pub fn try_matvec_with_budget(a: &Csr, x: &[f64], budget: &Budget) -> Result<Vec
 pub fn vecmat(x: &[f64], a: &Csr) -> Vec<f64> {
     match try_vecmat(x, a) {
         Ok(y) => y,
+        #[allow(clippy::panic)] // documented infallible wrapper over the try_ API
         Err(e) => panic!("vecmat shape mismatch: {e}"),
     }
 }
@@ -384,6 +387,7 @@ pub fn try_vecmat(x: &[f64], a: &Csr) -> Result<Vec<f64>, ExecError> {
 pub fn dense_sparse_mul(d: &Dense, a: &Csr) -> Dense {
     match try_dense_sparse_mul(d, a) {
         Ok(out) => out,
+        #[allow(clippy::panic)] // documented infallible wrapper over the try_ API
         Err(e) => panic!("dense_sparse_mul shape mismatch: {e}"),
     }
 }
@@ -419,6 +423,7 @@ pub fn try_dense_sparse_mul(d: &Dense, a: &Csr) -> Result<Dense, ExecError> {
 pub fn sparse_t_dense_mul(a: &Csr, d: &Dense) -> Dense {
     match try_sparse_t_dense_mul(a, d) {
         Ok(out) => out,
+        #[allow(clippy::panic)] // documented infallible wrapper over the try_ API
         Err(e) => panic!("sparse_t_dense_mul shape mismatch: {e}"),
     }
 }

@@ -6,6 +6,15 @@
 //!    blind left fold (exact, because generated values are small integers
 //!    and integer f64 arithmetic is associative below 2^53).
 
+// Tests may panic freely: the workspace panic-freedom lints target
+// library code, not assertions.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::indexing_slicing
+)]
+
 use proptest::prelude::*;
 use repsim_sparse::chain::{spmm_chain_with_threads, try_spmm_chain_with_budget};
 use repsim_sparse::ops::{spmm, spmm_chain, try_spmm_with_budget};
@@ -112,6 +121,27 @@ proptest! {
                 threads
             );
         }
+    }
+
+    // Every kernel output is a structurally sound CSR: the invariants the
+    // debug-build construction hooks assert (monotone row_ptr, strictly
+    // increasing in-bounds columns, consistent entry counts) re-checked
+    // through the public `validate` entry so they hold in release too.
+    #[test]
+    fn kernel_outputs_satisfy_csr_invariants(
+        nrows in 1..14usize,
+        inner in 1..14usize,
+        ncols in 1..14usize,
+        raw_a in triplets(),
+        raw_b in triplets(),
+    ) {
+        let a = build(nrows, inner, &raw_a);
+        let b = build(inner, ncols, &raw_b);
+        prop_assert_eq!(a.validate(), Ok(()));
+        prop_assert_eq!(a.transpose().validate(), Ok(()));
+        prop_assert_eq!(spmm(&a, &b).validate(), Ok(()));
+        let chained = try_spmm_chain_with_budget(&[&a, &b, &b.transpose()], 2, &Budget::unlimited());
+        prop_assert_eq!(chained.expect("unlimited budget").validate(), Ok(()));
     }
 
     // Budgeted execution is all-or-nothing: a budget generous enough to

@@ -7,7 +7,7 @@
 use repsim_graph::{Graph, GraphBuilder, LabelKind};
 
 use crate::error::TransformError;
-use crate::reify::{copy_labels, copy_nodes, copy_nodes_excluding};
+use crate::reify::{copy_labels, copy_nodes, copy_nodes_excluding, kept};
 use crate::Transformation;
 
 /// For every `center`-label node with at least one `member`-label neighbor,
@@ -109,7 +109,7 @@ impl Transformation for Ungroup {
             if g.label_of(x) == group || g.label_of(y) == group {
                 continue;
             }
-            bld.edge(ids[x.index()].expect("kept"), ids[y.index()].expect("kept"))?;
+            bld.edge(kept(&ids, x)?, kept(&ids, y)?)?;
         }
         for &grp in g.nodes_of_label(group) {
             let centers: Vec<_> = g.neighbors_with_label(grp, center).collect();
@@ -126,7 +126,7 @@ impl Transformation for Ungroup {
             let c = centers[0];
             for &m in g.neighbors(grp) {
                 if m != c {
-                    bld.edge_dedup(ids[c.index()].expect("kept"), ids[m.index()].expect("kept"))?;
+                    bld.edge_dedup(kept(&ids, c)?, kept(&ids, m)?)?;
                 }
             }
         }

@@ -1,4 +1,13 @@
 #![warn(missing_docs)]
+#![cfg_attr(
+    test,
+    allow(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::panic,
+        clippy::indexing_slicing
+    )
+)]
 
 //! Information-preserving transformations over graph databases
 //! (§4.2 relationship reorganizing, §5.1 entity rearranging).

@@ -102,16 +102,13 @@ impl Transformation for CollapseRelNodes {
             if g.label_of(x) == rel || g.label_of(y) == rel {
                 continue;
             }
-            b.edge(ids[x.index()].expect("kept"), ids[y.index()].expect("kept"))?;
+            b.edge(kept(&ids, x)?, kept(&ids, y)?)?;
         }
         for &r in g.nodes_of_label(rel) {
             let n = g.neighbors(r);
             // Two relationship nodes may encode the same pair twice (not in
             // our datasets, but dedup keeps the output a simple graph).
-            b.edge_dedup(
-                ids[n[0].index()].expect("kept"),
-                ids[n[1].index()].expect("kept"),
-            )?;
+            b.edge_dedup(kept(&ids, n[0])?, kept(&ids, n[1])?)?;
         }
         Ok(b.build())
     }
@@ -128,6 +125,7 @@ pub(crate) fn copy_labels(b: &mut GraphBuilder, g: &Graph) {
 pub(crate) fn copy_nodes(b: &mut GraphBuilder, g: &Graph) -> Vec<repsim_graph::NodeId> {
     g.node_ids()
         .map(|n| {
+            #[allow(clippy::expect_used)] // `copy_labels` registered every label
             let l = b
                 .labels()
                 .get(g.labels().name(g.label_of(n)))
@@ -138,6 +136,21 @@ pub(crate) fn copy_nodes(b: &mut GraphBuilder, g: &Graph) -> Vec<repsim_graph::N
             }
         })
         .collect()
+}
+
+/// The copied id of a node `copy_nodes_excluding` kept; an unexpectedly
+/// dropped node becomes a structural error instead of a panic.
+pub(crate) fn kept(
+    ids: &[Option<repsim_graph::NodeId>],
+    n: repsim_graph::NodeId,
+) -> Result<repsim_graph::NodeId, TransformError> {
+    ids.get(n.index())
+        .copied()
+        .flatten()
+        .ok_or_else(|| TransformError::BadStructure {
+            node: n,
+            message: "node unexpectedly dropped during copy".to_owned(),
+        })
 }
 
 /// Copies every node except those of `skip`, returning new ids by old id.
@@ -151,10 +164,9 @@ pub(crate) fn copy_nodes_excluding(
             if g.label_of(n) == skip {
                 return None;
             }
-            let l = b
-                .labels()
-                .get(g.labels().name(g.label_of(n)))
-                .expect("labels copied");
+            // `copy_labels` registered every label; a miss would surface
+            // downstream as a `kept` structural error, not a panic.
+            let l = b.labels().get(g.labels().name(g.label_of(n)))?;
             Some(match g.value_of(n) {
                 Some(v) => b.entity(l, v),
                 None => b.relationship(l),

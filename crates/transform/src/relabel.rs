@@ -93,6 +93,7 @@ impl Transformation for Relabel {
             .node_ids()
             .map(|n| {
                 let name = self.target_name(g.labels().name(g.label_of(n)));
+                #[allow(clippy::expect_used)] // every renamed label registered above
                 let l = b.labels().get(name).expect("registered above");
                 match g.value_of(n) {
                     Some(v) => b.entity(l, v),

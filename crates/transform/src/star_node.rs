@@ -8,7 +8,7 @@
 use repsim_graph::{Graph, GraphBuilder, LabelId, LabelKind, NodeId};
 
 use crate::error::TransformError;
-use crate::reify::{copy_labels, copy_nodes, copy_nodes_excluding};
+use crate::reify::{copy_labels, copy_nodes, copy_nodes_excluding, kept};
 use crate::Transformation;
 
 /// Replaces every triangle over three entity labels with a fresh star node.
@@ -133,14 +133,14 @@ impl Transformation for StarToTriangle {
             if g.label_of(x) == star || g.label_of(y) == star {
                 continue;
             }
-            bld.edge(ids[x.index()].expect("kept"), ids[y.index()].expect("kept"))?;
+            bld.edge(kept(&ids, x)?, kept(&ids, y)?)?;
         }
         for &s in g.nodes_of_label(star) {
             let n = g.neighbors(s);
             for (x, y) in [(n[0], n[1]), (n[1], n[2]), (n[0], n[2])] {
                 // Two engagements can share an edge (same actor and film,
                 // two characters): keep the output simple.
-                bld.edge_dedup(ids[x.index()].expect("kept"), ids[y.index()].expect("kept"))?;
+                bld.edge_dedup(kept(&ids, x)?, kept(&ids, y)?)?;
             }
         }
         Ok(bld.build())

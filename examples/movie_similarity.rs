@@ -4,6 +4,15 @@
 //!
 //! Run with `cargo run --example movie_similarity`.
 
+// Examples favor brevity over error plumbing, so the workspace
+// panic-freedom lints are relaxed for this file.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::indexing_slicing
+)]
+
 use repsim::datasets::movies::{self, MoviesConfig};
 use repsim::prelude::*;
 

@@ -3,6 +3,15 @@
 //!
 //! Run with `cargo run --example representation_independence`.
 
+// Examples favor brevity over error plumbing, so the workspace
+// panic-freedom lints are relaxed for this file.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::indexing_slicing
+)]
+
 use repsim::core::independence::check_workload;
 use repsim::datasets::citations::{self, CitationConfig};
 use repsim::datasets::courses::{self, CourseConfig};

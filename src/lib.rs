@@ -49,8 +49,10 @@
 //! | [`transform`] | relationship reorganizing + entity rearranging operators |
 //! | [`datasets`] | seeded generators shaped like the paper's databases |
 //! | [`eval`] | Kendall tau, nDCG, t-test, workloads, experiment runner |
+//! | [`check`] | static analysis: model/plan/FD/matrix/transform diagnostics |
 
 pub use repsim_baselines as baselines;
+pub use repsim_check as check;
 pub use repsim_core as core;
 pub use repsim_datasets as datasets;
 pub use repsim_eval as eval;

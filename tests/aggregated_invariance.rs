@@ -2,6 +2,15 @@
 //! test in `tests/theorems.rs` covers MAS): Algorithm 1's aggregated
 //! R-PathSim score is identical across DBLP2SIGM and WSU2ALCH.
 
+// Tests may panic freely: the workspace panic-freedom lints target
+// library code, not assertions.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::indexing_slicing
+)]
+
 use repsim::prelude::*;
 use repsim_datasets::bibliographic::{self, BibliographicConfig};
 use repsim_datasets::courses::{self, CourseConfig};

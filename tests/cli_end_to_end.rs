@@ -3,6 +3,15 @@
 //! unit tests in `repsim-cli` don't reach (help, stdout export, chained
 //! scenarios across temp files).
 
+// Tests may panic freely: the workspace panic-freedom lints target
+// library code, not assertions.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::indexing_slicing
+)]
+
 use repsim_cli::{run, CliError};
 
 fn argv(parts: &[&str]) -> Vec<String> {

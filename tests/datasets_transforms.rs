@@ -3,6 +3,15 @@
 //! same information, and every generated database must satisfy the model
 //! assumptions its experiments rely on.
 
+// Tests may panic freely: the workspace panic-freedom lints target
+// library code, not assertions.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::indexing_slicing
+)]
+
 use repsim::prelude::*;
 use repsim_datasets::bibliographic::{self, BibliographicConfig};
 use repsim_datasets::citations::{self, CitationConfig};

@@ -2,6 +2,15 @@
 //! empty label populations, singleton databases, degenerate workloads,
 //! and boundary-size inputs.
 
+// Tests may panic freely: the workspace panic-freedom lints target
+// library code, not assertions.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::indexing_slicing
+)]
+
 use repsim::prelude::*;
 use repsim_eval::spec::AlgorithmSpec;
 use repsim_eval::workload::Workload;

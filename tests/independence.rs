@@ -2,6 +2,15 @@
 //! across which transformations — the qualitative content of §4.3, §5.2
 //! and Tables 1–4.
 
+// Tests may panic freely: the workspace panic-freedom lints target
+// library code, not assertions.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::indexing_slicing
+)]
+
 use repsim::core::independence::{check_workload, QueryVerdict};
 use repsim::prelude::*;
 use repsim_datasets::citations::{self, CitationConfig};

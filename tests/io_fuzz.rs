@@ -2,6 +2,15 @@
 //! never panic — it either parses or returns a structured error — and
 //! whatever parses must survive a write/read round trip.
 
+// Tests may panic freely: the workspace panic-freedom lints target
+// library code, not assertions.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::indexing_slicing
+)]
+
 use proptest::prelude::*;
 use repsim::graph::io;
 use repsim_transform::verify::same_information;

@@ -6,6 +6,15 @@
 //! graphs and meta-walks, not just fixtures. The transformation round-trip
 //! and metric axioms get the same treatment.
 
+// Tests may panic freely: the workspace panic-freedom lints target
+// library code, not assertions.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::indexing_slicing
+)]
+
 use proptest::prelude::*;
 use repsim::prelude::*;
 use repsim_eval::top_k_kendall;

@@ -3,6 +3,15 @@
 //! (`paints` subclass-of `creates`). Meta-walk hops then pass through two
 //! or more relationship labels, a case the figure databases never hit.
 
+// Tests may panic freely: the workspace panic-freedom lints target
+// library code, not assertions.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::indexing_slicing
+)]
+
 use repsim::prelude::*;
 use repsim_metawalk::commuting::{count_between, informative_commuting, plain_commuting};
 use repsim_metawalk::walk;

@@ -9,6 +9,15 @@
 //! | `rpathsim_star_invariant_under_rearranging` | 5.2 |
 //! | `algorithm1_sets_count_equal_across_rearranging` | 5.3 |
 
+// Tests may panic freely: the workspace panic-freedom lints target
+// library code, not assertions.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::indexing_slicing
+)]
+
 use repsim::prelude::*;
 use repsim_datasets::bibliographic::{self, BibliographicConfig};
 use repsim_datasets::citations::{self, CitationConfig};
