@@ -75,10 +75,12 @@ impl<'g> Rwr<'g> {
     /// flag) is re-checked before each power iteration, so a cancelled or
     /// overdue computation stops within one sparse vector-matrix product.
     pub fn try_scores(&self, query: NodeId, budget: &Budget) -> Result<Vec<f64>, ExecError> {
+        let mut iter_span = repsim_obs::span("repsim.baselines.rwr.scores");
         let n = self.g.num_nodes();
         let mut r = vec![0.0; n];
         r[query.index()] = 1.0;
-        for _ in 0..self.max_iter {
+        let mut iters = 0usize;
+        for it in 0..self.max_iter {
             budget.check()?;
             // rᵀ·W propagates mass along edges; restart re-injects at q.
             let mut next = try_vecmat(&r, &self.walk)?;
@@ -88,9 +90,20 @@ impl<'g> Rwr<'g> {
             next[query.index()] += self.restart;
             let delta = max_abs_diff(&r, &next);
             r = next;
+            iters = it + 1;
+            if repsim_obs::enabled() {
+                repsim_obs::point(
+                    "repsim.baselines.rwr.residual",
+                    repsim_obs::Level::Debug,
+                    format!("iter={} residual={delta:.3e}", it + 1),
+                );
+            }
             if delta < self.tol {
                 break;
             }
+        }
+        if iter_span.is_active() {
+            iter_span.attr("iters", iters);
         }
         Ok(r)
     }

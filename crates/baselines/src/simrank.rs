@@ -94,7 +94,12 @@ fn compute_simrank(g: &Graph, damping: f64, iterations: usize, threads: usize) -
     let rt = r.transpose();
 
     let mut s = Dense::identity(n);
-    for _ in 0..iterations {
+    let mut iter_span = repsim_obs::span("repsim.baselines.simrank.iterate");
+    if iter_span.is_active() {
+        iter_span.attr("n", n);
+        iter_span.attr("iterations", iterations);
+    }
+    for it in 0..iterations {
         // X = S · Rᵀ, then S' = C · R · X — with R in gather form for the
         // parallel kernel (R is (Rᵀ)ᵀ, already at hand).
         let x = dense_sparse_mul_par(&s, &rt, threads);
@@ -104,6 +109,18 @@ fn compute_simrank(g: &Graph, damping: f64, iterations: usize, threads: usize) -
                 *v *= damping;
             }
             next[(i, i)] = 1.0;
+        }
+        // The residual costs an O(n²) sweep, so it is computed only when a
+        // trace is actually being collected.
+        if repsim_obs::enabled() {
+            let residual = (0..n)
+                .flat_map(|i| next.row(i).iter().zip(s.row(i)).map(|(a, b)| (a - b).abs()))
+                .fold(0.0f64, f64::max);
+            repsim_obs::point(
+                "repsim.baselines.simrank.residual",
+                repsim_obs::Level::Debug,
+                format!("iter={} residual={residual:.3e}", it + 1),
+            );
         }
         s = next;
     }

@@ -84,6 +84,16 @@ fn main() {
     let stats: Vec<ChainStats> = mats.iter().map(ChainStats::of).collect();
     let plan = plan_chain(&stats);
 
+    // Metrics-only observability: a NullSink flips recording on so the
+    // SpGEMM kernel's per-phase histograms accumulate, without buffering
+    // a trace. Timed builds pay the (sub-percent) recording overhead
+    // uniformly across the thread sweep.
+    let obs_sink: std::sync::Arc<dyn repsim_obs::Sink> = std::sync::Arc::new(repsim_obs::NullSink);
+    repsim_obs::install(std::sync::Arc::clone(&obs_sink));
+    repsim_obs::Registry::global().reset();
+    let sym_hist = repsim_obs::Registry::global().histogram("repsim.sparse.spgemm.symbolic_ns");
+    let num_hist = repsim_obs::Registry::global().histogram("repsim.sparse.spgemm.numeric_ns");
+
     // Reference build: serial, correctness anchor for the sweep.
     let serial = informative_commuting_with(&g, &mw, Parallelism::serial());
     let mut sweep = Vec::new();
@@ -94,6 +104,7 @@ fn main() {
         all_match &= m == serial;
         let mut best_ms = f64::INFINITY;
         let mut total_ms = 0.0;
+        let (sym0, num0) = (sym_hist.sum(), num_hist.sum());
         for _ in 0..reps.max(1) {
             let start = Instant::now();
             let m = informative_commuting_with(&g, &mw, par);
@@ -102,17 +113,32 @@ fn main() {
             best_ms = best_ms.min(ms);
             total_ms += ms;
         }
-        sweep.push((t, best_ms, total_ms / reps.max(1) as f64));
-        eprintln!("threads={t:>3}  best {best_ms:9.3} ms");
+        // Mean per-build phase time: histogram-sum delta over the timed
+        // reps (all SpGEMM products of the chain, both phases).
+        let per_rep = 1e6 * reps.max(1) as f64;
+        let symbolic_ms = (sym_hist.sum() - sym0) as f64 / per_rep;
+        let numeric_ms = (num_hist.sum() - num0) as f64 / per_rep;
+        sweep.push((
+            t,
+            best_ms,
+            total_ms / reps.max(1) as f64,
+            symbolic_ms,
+            numeric_ms,
+        ));
+        repsim_obs::log_info!(
+            "repsim.bench.spgemm",
+            "threads={t:>3}  best {best_ms:9.3} ms  symbolic {symbolic_ms:.3} ms  numeric {numeric_ms:.3} ms"
+        );
     }
+    repsim_obs::remove_sink(&obs_sink);
     let serial_best = sweep
         .iter()
         .find(|&&(t, ..)| t == 1)
-        .map(|&(_, best, _)| best);
+        .map(|&(_, best, ..)| best);
     let parallel_best = sweep
         .iter()
         .filter(|&&(t, ..)| t > 1)
-        .map(|&(_, best, _)| best)
+        .map(|&(_, best, ..)| best)
         .fold(f64::INFINITY, f64::min);
     let speedup = match serial_best {
         Some(s) if parallel_best.is_finite() => s / parallel_best,
@@ -134,10 +160,11 @@ fn main() {
     json.push_str(&format!("  \"reps\": {reps},\n"));
     json.push_str(&format!("  \"available_threads\": {available},\n"));
     json.push_str("  \"sweep\": [\n");
-    for (i, &(t, best, mean)) in sweep.iter().enumerate() {
+    for (i, &(t, best, mean, symbolic, numeric)) in sweep.iter().enumerate() {
         let comma = if i + 1 < sweep.len() { "," } else { "" };
         json.push_str(&format!(
-            "    {{\"threads\": {t}, \"best_ms\": {best:.3}, \"mean_ms\": {mean:.3}}}{comma}\n"
+            "    {{\"threads\": {t}, \"best_ms\": {best:.3}, \"mean_ms\": {mean:.3}, \
+             \"symbolic_ms\": {symbolic:.3}, \"numeric_ms\": {numeric:.3}}}{comma}\n"
         ));
     }
     json.push_str("  ],\n");

@@ -31,6 +31,10 @@ pub struct Args {
     options: Vec<(String, String)>,
 }
 
+/// Long options that are flags (no value): `--trace` must not swallow the
+/// next token the way `--key value` options do.
+const BOOL_FLAGS: &[&str] = &["trace"];
+
 impl Args {
     /// Parses everything after the command word.
     pub fn parse(argv: &[String]) -> Result<Args, CliError> {
@@ -40,6 +44,8 @@ impl Args {
             if let Some(key) = a.strip_prefix("--") {
                 if let Some((k, v)) = key.split_once('=') {
                     out.options.push((k.to_owned(), v.to_owned()));
+                } else if BOOL_FLAGS.contains(&key) {
+                    out.options.push((key.to_owned(), "true".to_owned()));
                 } else {
                     let v = it
                         .next()
@@ -75,6 +81,11 @@ impl Args {
             .iter()
             .find(|(k, _)| k == key)
             .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether a flag (or any option) was given at all.
+    pub fn has(&self, key: &str) -> bool {
+        self.get(key).is_some()
     }
 
     /// A required option.
@@ -186,6 +197,22 @@ mod tests {
         assert!(a.require("z").is_err());
         let empty = Args::parse(&[]).unwrap();
         assert!(empty.input_file().is_err());
+    }
+
+    #[test]
+    fn boolean_flags_do_not_consume_values() {
+        // `--trace` is a flag: the positional after it must survive.
+        let a = Args::parse(&argv("--trace file.graph --label film")).unwrap();
+        assert!(a.has("trace"));
+        assert_eq!(a.input_file().unwrap(), "file.graph");
+        assert_eq!(a.get("label"), Some("film"));
+        // Trailing flag works too (no "needs a value" error).
+        let b = Args::parse(&argv("file.graph --trace")).unwrap();
+        assert!(b.has("trace"));
+        assert!(!b.has("trace-out"));
+        // `--trace-out` still takes a value.
+        let c = Args::parse(&argv("file.graph --trace-out t.jsonl")).unwrap();
+        assert_eq!(c.get("trace-out"), Some("t.jsonl"));
     }
 
     #[test]

@@ -376,6 +376,67 @@ pub fn query(args: &Args) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// `repsim profile FILE --meta-walk "..." --query label:value [-k N]`.
+///
+/// Runs one rpathsim ranking query end to end under an in-memory trace
+/// sink — a cold commuting-cache miss (commuting build → SpGEMM chain),
+/// a warm repeat hit, then the query-engine build and ranking — and
+/// prints the resulting span tree plus the metrics table.
+pub fn profile(args: &Args) -> Result<String, CliError> {
+    use repsim_baselines::ranking::SimilarityAlgorithm;
+    use std::sync::Arc;
+
+    let g = load(args.input_file()?)?;
+    let meta_walk = args.require("meta-walk")?;
+    let q = parse_entity(&g, args.require("query")?)?;
+    let k = args.get_usize("k", 10)?;
+    let mw = repsim_metawalk::MetaWalk::parse_in(&g, meta_walk)
+        .ok_or_else(|| CliError::Command(format!("bad meta-walk {meta_walk:?}")))?;
+    if !mw.is_symmetric() {
+        return Err(CliError::Command(format!(
+            "profile needs a symmetric meta-walk, got {meta_walk:?}"
+        )));
+    }
+    let half = repsim_metawalk::MetaWalk::new(mw.steps()[..=mw.len() / 2].to_vec());
+    let par = repsim_sparse::Parallelism::default();
+    let budget = repsim_sparse::Budget::from_env();
+
+    let collect = Arc::new(repsim_obs::CollectSink::new());
+    let sink: Arc<dyn repsim_obs::Sink> = Arc::clone(&collect) as _;
+    repsim_obs::Registry::global().reset();
+    repsim_obs::install(Arc::clone(&sink));
+    // The profiled work, fenced so the sink comes back out on error too.
+    let profiled = (|| -> Result<_, repsim_sparse::ExecError> {
+        let mut cache = repsim_metawalk::commuting::CommutingCache::new();
+        cache.try_informative_with(&g, &half, par, &budget)?;
+        // Warm repeat: must be a cache hit, not a rebuild.
+        cache.try_informative_with(&g, &half, par, &budget)?;
+        let mut engine = repsim_core::QueryEngine::try_with_budget(&g, half.clone(), par, &budget)?;
+        Ok((engine.rank(q, g.label_of(q), k), cache.stats()))
+    })();
+    repsim_obs::remove_sink(&sink);
+
+    let (list, stats) =
+        profiled.map_err(|e| CliError::Command(format!("budget exhausted: {e}")))?;
+    let mut out = format!(
+        "profile of rpathsim {meta_walk:?} for {}:\n",
+        g.display_node(q)
+    );
+    for &(n, score) in list.entries() {
+        let _ = writeln!(out, "  {:<30} {score:.6}", g.display_node(n));
+    }
+    let _ = writeln!(
+        out,
+        "cache: {} hits / {} misses / {} inserts",
+        stats.hits, stats.misses, stats.inserts
+    );
+    out.push_str("\nspan tree:\n");
+    out.push_str(&repsim_obs::render_tree(&collect.events()));
+    out.push_str("\nmetrics:\n");
+    out.push_str(&repsim_obs::Registry::global().snapshot().render_table());
+    Ok(out)
+}
+
 fn catalog_transformation(name: &str) -> Result<Box<dyn Transformation>, CliError> {
     Ok(match name {
         "imdb2fb" => catalog::imdb2fb(),

@@ -54,7 +54,8 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
     if let Some(cap) = args.max_nnz()? {
         repsim_sparse::Budget::set_global_max_nnz(cap);
     }
-    match command.as_str() {
+    let trace = TraceSession::start(&args)?;
+    let result = match command.as_str() {
         "generate" => commands::generate(&args),
         "stats" => commands::stats(&args),
         "validate" => commands::validate(&args),
@@ -66,10 +67,86 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "independence" => commands::independence(&args),
         "export" => commands::export(&args),
         "explain" => commands::explain(&args),
+        "profile" => commands::profile(&args),
         "help" | "--help" | "-h" => Ok(USAGE.to_owned()),
         other => Err(CliError::Usage(format!(
             "unknown command {other:?}\n\n{USAGE}"
         ))),
+    };
+    trace.finish();
+    result
+}
+
+/// Sinks installed by `--trace` / `--trace-out FILE` for the span of one
+/// command dispatch. `finish` renders the collected tree plus the metric
+/// table to stderr (`--trace`), appends a final `{"type":"metrics",…}`
+/// line to the trace file (`--trace-out`), and uninstalls the sinks so
+/// `run` leaves global observability exactly as it found it.
+struct TraceSession {
+    collect: Option<std::sync::Arc<repsim_obs::CollectSink>>,
+    json: Option<std::sync::Arc<repsim_obs::JsonLinesSink>>,
+    installed: Vec<std::sync::Arc<dyn repsim_obs::Sink>>,
+}
+
+impl TraceSession {
+    fn start(args: &Args) -> Result<TraceSession, CliError> {
+        use std::sync::Arc;
+        let mut session = TraceSession {
+            collect: None,
+            json: None,
+            installed: Vec::new(),
+        };
+        if args.has("trace") {
+            let sink = Arc::new(repsim_obs::CollectSink::new());
+            session.collect = Some(Arc::clone(&sink));
+            let dynamic: Arc<dyn repsim_obs::Sink> = sink;
+            repsim_obs::install(Arc::clone(&dynamic));
+            session.installed.push(dynamic);
+            // A trace without the info-level tier/residual events is
+            // hollow, so --trace raises the log threshold to info.
+            if repsim_obs::log::max_level() < repsim_obs::Level::Info {
+                repsim_obs::log::set_max_level(repsim_obs::Level::Info);
+            }
+        }
+        if let Some(path) = args.get("trace-out") {
+            let sink = repsim_obs::JsonLinesSink::create(path)
+                .map_err(|e| CliError::Io(format!("cannot create {path}: {e}")))?;
+            let sink = Arc::new(sink);
+            session.json = Some(Arc::clone(&sink));
+            let dynamic: Arc<dyn repsim_obs::Sink> = sink;
+            repsim_obs::install(Arc::clone(&dynamic));
+            session.installed.push(dynamic);
+        }
+        if !session.installed.is_empty() {
+            // Each invocation reports its own run: drop metric state left
+            // over from earlier dispatches in the same process.
+            repsim_obs::Registry::global().reset();
+        }
+        Ok(session)
+    }
+
+    fn finish(self) {
+        let active = !self.installed.is_empty();
+        // Uninstall first so rendering below doesn't trace itself.
+        for sink in &self.installed {
+            repsim_obs::remove_sink(sink);
+        }
+        if !active {
+            return;
+        }
+        let snapshot = repsim_obs::Registry::global().snapshot();
+        if let Some(collect) = self.collect {
+            let tree = repsim_obs::render_tree(&collect.events());
+            eprint!("{tree}");
+            eprint!("{}", snapshot.render_table());
+        }
+        if let Some(json) = self.json {
+            json.write_line(&format!(
+                "{{\"type\":\"metrics\",\"metrics\":{}}}",
+                snapshot.render_json()
+            ));
+            repsim_obs::Sink::flush(&*json);
+        }
     }
 }
 
@@ -103,6 +180,10 @@ COMMANDS:
   export       FILE --format <dot|graphml> [-o FILE]
   explain      FILE --meta-walk \"...\" --query label:value
                --candidate label:value [-k N]   show witnessing walks
+  profile      FILE --meta-walk \"...\" --query label:value [-k N]
+                                        run one rpathsim query twice (cold
+                                        cache, then warm) and print the span
+                                        tree + metrics table
 
 GLOBAL OPTIONS:
   --threads N | -t N   worker threads for matrix builds and query sweeps
@@ -112,6 +193,12 @@ GLOBAL OPTIONS:
                        (default: REPSIM_DEADLINE_MS env var, else unlimited)
   --max-nnz N          cap on materialized sparse-matrix entries
                        (default: REPSIM_MAX_NNZ env var, else unlimited)
+  --trace              print the span tree + metrics table to stderr after
+                       the command (implies REPSIM_LOG=info)
+  --trace-out FILE     stream the trace as JSON lines to FILE, closing with
+                       a {\"type\":\"metrics\",...} snapshot line
+  REPSIM_LOG=LEVEL     stderr log threshold: error|warn|info|debug
+                       (default warn)
 ";
 
 #[cfg(test)]
@@ -144,6 +231,66 @@ mod tests {
         // this binary see the default unlimited budget.
         repsim_sparse::Budget::set_global_deadline_ms(0);
         repsim_sparse::Budget::set_global_max_nnz(0);
+    }
+
+    #[test]
+    fn profile_covers_instrumented_layers_and_trace_out_is_json() {
+        // Serializes global sink state against other observability tests.
+        let _x = repsim_obs::exclusive();
+        let dir = std::env::temp_dir().join("repsim-cli-run-tests");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("profile.graph").to_string_lossy().into_owned();
+        run(&argv(&format!(
+            "generate --dataset movies --scale tiny --out {path}"
+        )))
+        .unwrap();
+        // A 2-hop half walk so the commuting build exercises the chain
+        // planner and the SpGEMM kernel, not just a single biadjacency.
+        let out = run(&argv(&format!(
+            "profile {path} --meta-walk=film~actor~film~actor~film \
+             --query film:film00000 -k 3"
+        )))
+        .unwrap();
+        for layer in [
+            "repsim.metawalk.cache.lookup", // cache layer
+            "repsim.metawalk.commuting.build",
+            "repsim.sparse.chain.plan", // chain planner
+            "repsim.sparse.spgemm",     // sparse kernel
+            "repsim.core.engine.build", // engine
+            "repsim.core.engine.rank",
+        ] {
+            assert!(out.contains(layer), "missing {layer} in:\n{out}");
+        }
+        assert!(out.contains("hit=1"), "warm lookup must be a hit:\n{out}");
+        assert!(
+            out.contains("cache: 1 hits / 1 misses / 1 inserts"),
+            "{out}"
+        );
+        assert!(out.contains("repsim.metawalk.cache.hit"), "{out}");
+
+        // --trace-out writes one JSON object per line, closing with a
+        // metrics snapshot.
+        let trace = dir
+            .join("profile.trace.jsonl")
+            .to_string_lossy()
+            .into_owned();
+        run(&argv(&format!(
+            "query {path} --algorithm rpathsim --meta-walk=film~actor~film \
+             --query film:film00000 -k 3 --trace-out {trace}"
+        )))
+        .unwrap();
+        let text = std::fs::read_to_string(&trace).expect("trace file");
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(!lines.is_empty());
+        for line in &lines {
+            repsim_obs::json::parse(line).expect("every trace line parses");
+        }
+        let last = repsim_obs::json::parse(lines[lines.len() - 1]).unwrap();
+        assert_eq!(
+            last.get("type").and_then(|t| t.as_str()),
+            Some("metrics"),
+            "{text}"
+        );
     }
 
     #[test]

@@ -13,7 +13,7 @@ fn main() {
             let _ = writeln!(lock, "{out}");
         }
         Err(e) => {
-            eprintln!("{e}");
+            repsim_obs::log_error!("repsim.cli", "{e}");
             std::process::exit(1);
         }
     }

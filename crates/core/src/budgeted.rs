@@ -85,16 +85,35 @@ impl<'g> BudgetedRPathSim<'g> {
         par: Parallelism,
         budget: &Budget,
     ) -> Result<Self, ExecError> {
+        // Tier transitions surface as `repsim.core.budgeted.*` point
+        // events so fault-injection traces show *why* an answer degraded.
+        let tier_event = |tier: &str| {
+            repsim_obs::point(
+                "repsim.core.budgeted.tier",
+                repsim_obs::Level::Info,
+                tier.to_owned(),
+            );
+        };
+        let degrade_event = |from: &str, e: &ExecError| {
+            if repsim_obs::enabled() {
+                repsim_obs::point(
+                    "repsim.core.budgeted.degrade",
+                    repsim_obs::Level::Warn,
+                    format!("{from} tier failed: {e}"),
+                );
+            }
+        };
         // Tier 1: full closure.
         match RPathSim::try_with_budget(g, half.symmetric_closure(), par, budget) {
             Ok(rp) => {
+                tier_event("exact");
                 return Ok(BudgetedRPathSim {
                     tier: TierImpl::Full(rp),
                     degradation: Degradation::Exact,
-                })
+                });
             }
             Err(e @ ExecError::ShapeMismatch { .. }) => return Err(e),
-            Err(_) => {}
+            Err(e) => degrade_event("exact", &e),
         }
         // Tier 2: half factorization, injection off so a harness-forced
         // tier-1 failure exercises this path for real.
@@ -102,13 +121,14 @@ impl<'g> BudgetedRPathSim<'g> {
         if prefix_fits(g, half.steps().iter().map(|s| s.label()), &fallback) {
             match QueryEngine::try_with_budget(g, half.clone(), par, &fallback) {
                 Ok(qe) => {
+                    tier_event("half-factorized");
                     return Ok(BudgetedRPathSim {
                         tier: TierImpl::Half(qe),
                         degradation: Degradation::HalfFactorized,
-                    })
+                    });
                 }
                 Err(e @ ExecError::ShapeMismatch { .. }) => return Err(e),
-                Err(_) => {}
+                Err(e) => degrade_event("half-factorized", &e),
             }
         }
         // Tier 3: longest affordable strict prefix of the half walk. The
@@ -129,13 +149,23 @@ impl<'g> BudgetedRPathSim<'g> {
             let prefix = MetaWalk::new(steps[..=end].to_vec());
             match QueryEngine::try_with_budget(g, prefix.clone(), par, &fallback) {
                 Ok(qe) => {
+                    if repsim_obs::enabled() {
+                        repsim_obs::point(
+                            "repsim.core.budgeted.tier",
+                            repsim_obs::Level::Info,
+                            format!("prefix-walk {prefix}"),
+                        );
+                    }
                     return Ok(BudgetedRPathSim {
                         tier: TierImpl::Half(qe),
                         degradation: Degradation::PrefixWalk { walk: prefix },
-                    })
+                    });
                 }
                 Err(e @ ExecError::ShapeMismatch { .. }) => return Err(e),
-                Err(e) => last_err = e,
+                Err(e) => {
+                    degrade_event("prefix-walk", &e);
+                    last_err = e;
+                }
             }
         }
         Err(last_err)

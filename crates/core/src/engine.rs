@@ -62,8 +62,15 @@ impl<'g> QueryEngine<'g> {
         par: Parallelism,
         budget: &Budget,
     ) -> Result<Self, ExecError> {
+        let mut build_span = repsim_obs::span("repsim.core.engine.build");
+        if build_span.is_active() {
+            build_span.attr("half", half.to_string());
+        }
         let m_half = try_informative_commuting_with(g, &half, par, budget)?;
         let diag = m_half.row_sq_sums();
+        if build_span.is_active() {
+            build_span.attr("half_nnz", m_half.nnz());
+        }
         Ok(QueryEngine {
             g,
             half,
@@ -174,6 +181,11 @@ impl SimilarityAlgorithm for QueryEngine<'_> {
             self.half.source(),
             "query label mismatch"
         );
+        let mut rank_span = repsim_obs::span("repsim.core.engine.rank");
+        if rank_span.is_active() {
+            rank_span.attr("k", k);
+            rank_span.attr("half_nnz", self.m_half.nnz());
+        }
         let qi = self.g.index_in_label(query);
         let cross = self.cross_counts(query);
         let qd = self.diag[qi];

@@ -1,0 +1,146 @@
+//! Fixture-driven trace assertions for budgeted execution: failpoint
+//! firings, budget trips and degradation-tier transitions must appear in
+//! the event stream in cause-before-effect order.
+
+// Tests may panic freely: the workspace panic-freedom lints target
+// library code, not assertions.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+use std::sync::Arc;
+
+use repsim_core::{BudgetedRPathSim, Degradation};
+use repsim_graph::{Graph, GraphBuilder};
+use repsim_metawalk::MetaWalk;
+use repsim_obs::{CollectSink, EventKind, Level};
+use repsim_sparse::budget::failpoints;
+use repsim_sparse::{Budget, Parallelism};
+
+fn mas_like() -> Graph {
+    let mut b = GraphBuilder::new();
+    let conf = b.entity_label("conf");
+    let paper = b.entity_label("paper");
+    let dom = b.entity_label("dom");
+    let kw = b.entity_label("kw");
+    let confs: Vec<_> = (0..4).map(|i| b.entity(conf, &format!("c{i}"))).collect();
+    let doms: Vec<_> = (0..2).map(|i| b.entity(dom, &format!("d{i}"))).collect();
+    let kws: Vec<_> = (0..3).map(|i| b.entity(kw, &format!("k{i}"))).collect();
+    b.edge(doms[0], kws[0]).unwrap();
+    b.edge(doms[0], kws[1]).unwrap();
+    b.edge(doms[1], kws[1]).unwrap();
+    b.edge(doms[1], kws[2]).unwrap();
+    for (i, (c, d)) in [(0, 0), (0, 0), (1, 0), (2, 1), (3, 1)]
+        .into_iter()
+        .enumerate()
+    {
+        let p = b.entity(paper, &format!("p{i}"));
+        b.edge(p, confs[c]).unwrap();
+        b.edge(p, doms[d]).unwrap();
+    }
+    b.build()
+}
+
+/// The `(name, level, message)` point events of a collected stream.
+fn points(collect: &CollectSink) -> Vec<(&'static str, Level, String)> {
+    collect
+        .events()
+        .iter()
+        .filter_map(|ev| match &ev.kind {
+            EventKind::Point {
+                name,
+                level,
+                message,
+            } => Some((*name, *level, message.clone())),
+            _ => None,
+        })
+        .collect()
+}
+
+fn collect_build(budget: &Budget) -> (Degradation, Vec<(&'static str, Level, String)>) {
+    let g = mas_like();
+    let half = MetaWalk::parse_in(&g, "conf paper dom kw").expect("parseable walk");
+    let collect = Arc::new(CollectSink::new());
+    let sink: Arc<dyn repsim_obs::Sink> = Arc::clone(&collect) as _;
+    repsim_obs::install(Arc::clone(&sink));
+    let built = BudgetedRPathSim::try_new(&g, half, Parallelism::serial(), budget);
+    repsim_obs::remove_sink(&sink);
+    let b = built.expect("degradation must absorb the induced failure");
+    (b.degradation().clone(), points(&collect))
+}
+
+#[test]
+fn injected_cancellation_traces_failpoint_then_degrade_then_tier() {
+    // Serializes global sink state against other observability tests.
+    let _x = repsim_obs::exclusive();
+    let _guard = failpoints::scoped(&[failpoints::SPGEMM_CANCEL]);
+    let budget = Budget::unlimited().with_fault_injection();
+    let (degradation, events) = collect_build(&budget);
+    assert_eq!(degradation, Degradation::HalfFactorized);
+
+    let failpoint = events
+        .iter()
+        .position(|(n, l, m)| {
+            *n == "repsim.sparse.failpoint" && *l == Level::Warn && m == "spgemm-cancel"
+        })
+        .expect("the armed failpoint must announce itself");
+    let degrade = events
+        .iter()
+        .position(|(n, l, m)| {
+            *n == "repsim.core.budgeted.degrade"
+                && *l == Level::Warn
+                && m == "exact tier failed: cancelled"
+        })
+        .expect("the exact tier must report why it degraded");
+    let tier = events
+        .iter()
+        .position(|(n, l, m)| {
+            *n == "repsim.core.budgeted.tier" && *l == Level::Info && m == "half-factorized"
+        })
+        .expect("the surviving tier must announce itself");
+    assert!(
+        failpoint < degrade && degrade < tier,
+        "cause-before-effect order violated: {events:?}"
+    );
+    // The fallback runs with injection disabled, so nothing fires after
+    // the tier transition.
+    assert!(
+        events[tier + 1..]
+            .iter()
+            .all(|(n, ..)| *n != "repsim.sparse.failpoint" && *n != "repsim.core.budgeted.degrade"),
+        "{events:?}"
+    );
+}
+
+#[test]
+fn memory_budget_trip_traces_before_prefix_walk_tier() {
+    let _x = repsim_obs::exclusive();
+    // A one-entry cap starves every real product; only the identity
+    // prefix survives, via a MemoryExceeded trip in tier 1.
+    let budget = Budget::unlimited().with_max_nnz(1);
+    let (degradation, events) = collect_build(&budget);
+    match degradation {
+        Degradation::PrefixWalk { .. } => {}
+        other => panic!("expected a prefix walk, got {other:?}"),
+    }
+    let trip = events
+        .iter()
+        .position(|(n, l, m)| {
+            *n == "repsim.sparse.budget.trip"
+                && *l == Level::Warn
+                && m.contains("memory budget exceeded")
+        })
+        .expect("the nnz cap must trip in the trace");
+    let degrade = events
+        .iter()
+        .position(|(n, _, m)| {
+            *n == "repsim.core.budgeted.degrade" && m.starts_with("exact tier failed:")
+        })
+        .expect("the exact tier must report why it degraded");
+    let tier = events
+        .iter()
+        .position(|(n, _, m)| *n == "repsim.core.budgeted.tier" && m.starts_with("prefix-walk"))
+        .expect("the prefix tier must announce itself");
+    assert!(
+        trip < degrade && degrade < tier,
+        "cause-before-effect order violated: {events:?}"
+    );
+}

@@ -24,10 +24,19 @@ use std::collections::HashMap;
 
 use repsim_graph::biadjacency::biadjacency;
 use repsim_graph::{Graph, LabelId};
+use repsim_obs::CounterHandle;
 use repsim_sparse::chain::try_spmm_chain_with_budget;
 use repsim_sparse::{Budget, Csr, ExecError, Parallelism};
 
 use crate::metawalk::MetaWalk;
+
+/// Cache metrics (`repsim.metawalk.cache.*`), shared by every
+/// [`CommutingCache`] instance in the process; per-instance stats are on
+/// [`CommutingCache::stats`].
+static CACHE_HIT: CounterHandle = CounterHandle::new("repsim.metawalk.cache.hit");
+static CACHE_MISS: CounterHandle = CounterHandle::new("repsim.metawalk.cache.miss");
+static CACHE_INSERT: CounterHandle = CounterHandle::new("repsim.metawalk.cache.insert");
+static CACHE_EVICTION: CounterHandle = CounterHandle::new("repsim.metawalk.cache.eviction");
 
 /// Computes the plain commuting matrix `M_p` (all instances, PathSim's
 /// semantics) with the default [`Parallelism`].
@@ -99,6 +108,11 @@ fn compute(
     par: Parallelism,
     budget: &Budget,
 ) -> Result<Csr, ExecError> {
+    let mut build_span = repsim_obs::span("repsim.metawalk.commuting.build");
+    if build_span.is_active() {
+        build_span.attr("walk", mw.to_string());
+        build_span.attr("informative", informative);
+    }
     let steps = mw.steps();
     let entity_pos: Vec<usize> = (0..steps.len()).filter(|&i| steps[i].is_entity()).collect();
     debug_assert!(entity_pos.first() == Some(&0));
@@ -212,12 +226,42 @@ pub fn count_between(
 pub struct CommutingCache {
     plain: HashMap<MetaWalk, Csr>,
     informative: HashMap<MetaWalk, Csr>,
+    stats: CacheStats,
+}
+
+/// Lifetime statistics of one [`CommutingCache`]. The same counts are
+/// mirrored to the global metrics (`repsim.metawalk.cache.*`) when
+/// observability is enabled.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to build.
+    pub misses: u64,
+    /// Matrices inserted (misses whose build succeeded).
+    pub inserts: u64,
+    /// Matrices dropped by [`CommutingCache::clear`].
+    pub evictions: u64,
 }
 
 impl CommutingCache {
     /// An empty cache.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Lifetime hit/miss/insert/eviction counts for this cache.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Drops every cached matrix (counted as evictions); stats survive.
+    pub fn clear(&mut self) {
+        let evicted = (self.plain.len() + self.informative.len()) as u64;
+        self.plain.clear();
+        self.informative.clear();
+        self.stats.evictions += evicted;
+        CACHE_EVICTION.add(evicted);
     }
 
     /// The plain commuting matrix of `mw`, computed on first use.
@@ -242,11 +286,25 @@ impl CommutingCache {
         par: Parallelism,
         budget: &Budget,
     ) -> Result<&'a Csr, ExecError> {
-        if !self.plain.contains_key(mw) {
+        let mut lookup = repsim_obs::span("repsim.metawalk.cache.lookup");
+        let hit = self.plain.contains_key(mw);
+        if lookup.is_active() {
+            lookup.attr("kind", "plain");
+            lookup.attr("walk", mw.to_string());
+            lookup.attr("hit", hit);
+        }
+        if hit {
+            self.stats.hits += 1;
+            CACHE_HIT.add(1);
+        } else {
+            self.stats.misses += 1;
+            CACHE_MISS.add(1);
             let m = try_plain_commuting_with(g, mw, par, budget)?;
             self.plain.insert(mw.clone(), m);
+            self.stats.inserts += 1;
+            CACHE_INSERT.add(1);
         }
-        #[allow(clippy::expect_used)] // the key was inserted just above
+        #[allow(clippy::expect_used)] // hit or inserted just above
         let m = self.plain.get(mw).expect("just inserted");
         Ok(m)
     }
@@ -272,11 +330,25 @@ impl CommutingCache {
         par: Parallelism,
         budget: &Budget,
     ) -> Result<&'a Csr, ExecError> {
-        if !self.informative.contains_key(mw) {
+        let mut lookup = repsim_obs::span("repsim.metawalk.cache.lookup");
+        let hit = self.informative.contains_key(mw);
+        if lookup.is_active() {
+            lookup.attr("kind", "informative");
+            lookup.attr("walk", mw.to_string());
+            lookup.attr("hit", hit);
+        }
+        if hit {
+            self.stats.hits += 1;
+            CACHE_HIT.add(1);
+        } else {
+            self.stats.misses += 1;
+            CACHE_MISS.add(1);
             let m = try_informative_commuting_with(g, mw, par, budget)?;
             self.informative.insert(mw.clone(), m);
+            self.stats.inserts += 1;
+            CACHE_INSERT.add(1);
         }
-        #[allow(clippy::expect_used)] // the key was inserted just above
+        #[allow(clippy::expect_used)] // hit or inserted just above
         let m = self.informative.get(mw).expect("just inserted");
         Ok(m)
     }

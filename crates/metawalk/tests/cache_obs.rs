@@ -1,0 +1,94 @@
+//! Regression: a repeated [`CommutingCache`] query is served from the
+//! cache — the trace stream shows exactly one commuting build, and the
+//! warm lookup reports `hit=1`.
+
+// Tests may panic freely: the workspace panic-freedom lints target
+// library code, not assertions.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+use std::sync::Arc;
+
+use repsim_graph::GraphBuilder;
+use repsim_metawalk::commuting::CommutingCache;
+use repsim_metawalk::MetaWalk;
+use repsim_obs::{AttrValue, CollectSink, EventKind};
+use repsim_sparse::{Budget, Parallelism};
+
+fn movie_graph() -> repsim_graph::Graph {
+    let mut b = GraphBuilder::new();
+    let film = b.entity_label("film");
+    let actor = b.entity_label("actor");
+    let films: Vec<_> = (0..3).map(|i| b.entity(film, &format!("f{i}"))).collect();
+    let actors: Vec<_> = (0..4).map(|i| b.entity(actor, &format!("a{i}"))).collect();
+    for (f, a) in [(0, 0), (0, 1), (1, 1), (1, 2), (2, 2), (2, 3)] {
+        b.edge(films[f], actors[a]).unwrap();
+    }
+    b.build()
+}
+
+#[test]
+fn repeated_cache_query_hits_without_rebuilding() {
+    // Serializes global sink state against other observability tests.
+    let _x = repsim_obs::exclusive();
+    let g = movie_graph();
+    let mw = MetaWalk::parse_in(&g, "film actor film").expect("parseable walk");
+
+    let collect = Arc::new(CollectSink::new());
+    let sink: Arc<dyn repsim_obs::Sink> = Arc::clone(&collect) as _;
+    repsim_obs::install(Arc::clone(&sink));
+    let mut cache = CommutingCache::new();
+    let par = Parallelism::serial();
+    let budget = Budget::unlimited();
+    let cold = cache
+        .try_informative_with(&g, &mw, par, &budget)
+        .expect("unlimited build")
+        .clone();
+    let warm = cache
+        .try_informative_with(&g, &mw, par, &budget)
+        .expect("cache hit")
+        .clone();
+    repsim_obs::remove_sink(&sink);
+    assert_eq!(cold, warm);
+
+    let stats = cache.stats();
+    assert_eq!(stats.hits, 1, "{stats:?}");
+    assert_eq!(stats.misses, 1, "{stats:?}");
+    assert_eq!(stats.inserts, 1, "{stats:?}");
+    assert_eq!(stats.evictions, 0, "{stats:?}");
+
+    // The span stream is the ground truth that no recomputation ran:
+    // exactly one build span for two lookups, and the second lookup
+    // carries hit=1.
+    let events = collect.events();
+    let builds = events
+        .iter()
+        .filter(|ev| {
+            matches!(
+                &ev.kind,
+                EventKind::SpanEnd { name, .. } if *name == "repsim.metawalk.commuting.build"
+            )
+        })
+        .count();
+    assert_eq!(builds, 1, "warm lookup must not rebuild");
+    let lookup_hits: Vec<u64> = events
+        .iter()
+        .filter_map(|ev| match &ev.kind {
+            EventKind::SpanEnd { name, attrs, .. } if *name == "repsim.metawalk.cache.lookup" => {
+                attrs.iter().find_map(|(k, v)| match v {
+                    AttrValue::U64(n) if *k == "hit" => Some(*n),
+                    _ => None,
+                })
+            }
+            _ => None,
+        })
+        .collect();
+    assert_eq!(lookup_hits, vec![0, 1], "cold miss then warm hit");
+
+    // Clearing drops both matrices (plain map is empty here) and counts
+    // them as evictions; the counters survive the clear.
+    cache.clear();
+    let stats = cache.stats();
+    assert_eq!(stats.evictions, 1, "{stats:?}");
+    assert_eq!(stats.hits, 1, "{stats:?}");
+    assert!(cache.is_empty());
+}

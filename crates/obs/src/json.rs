@@ -1,0 +1,350 @@
+//! A minimal JSON value parser.
+//!
+//! Exists so the workspace can *validate* its own machine-readable
+//! output (the `--trace-out` JSON-lines stream, repro timing files,
+//! `BENCH_spgemm.json`) without a serde dependency — the build is
+//! offline. Supports the full JSON grammar the emitters use: objects,
+//! arrays, strings with `\uXXXX` escapes, numbers, booleans, null.
+//! Not a general-purpose parser: numbers are held as `f64`, and input
+//! is expected to be well-formed machine output, not hostile.
+
+use std::collections::BTreeMap;
+
+/// A parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object. `BTreeMap` keeps key order deterministic.
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Member lookup: `v.get("attrs")` on an object, else `None`.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The object payload, if this is an object.
+    pub fn as_obj(&self) -> Option<&BTreeMap<String, Json>> {
+        match self {
+            Json::Obj(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The array payload, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+}
+
+/// A parse failure: byte offset + message.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParseError {
+    /// Byte offset into the input where parsing failed.
+    pub at: usize,
+    /// What went wrong.
+    pub msg: &'static str,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "json parse error at byte {}: {}", self.at, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses one complete JSON value; trailing whitespace is allowed,
+/// trailing content is an error.
+pub fn parse(input: &str) -> Result<Json, ParseError> {
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(ParseError {
+            at: pos,
+            msg: "trailing content",
+        });
+    }
+    Ok(value)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while let Some(&c) = b.get(*pos) {
+        if c == b' ' || c == b'\t' || c == b'\n' || c == b'\r' {
+            *pos += 1;
+        } else {
+            break;
+        }
+    }
+}
+
+fn err(at: usize, msg: &'static str) -> ParseError {
+    ParseError { at, msg }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, ParseError> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err(err(*pos, "unexpected end of input")),
+        Some(b'{') => parse_obj(b, pos),
+        Some(b'[') => parse_arr(b, pos),
+        Some(b'"') => parse_str(b, pos).map(Json::Str),
+        Some(b't') => parse_lit(b, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_lit(b, pos, "null", Json::Null),
+        Some(c) if *c == b'-' || c.is_ascii_digit() => parse_num(b, pos),
+        Some(_) => Err(err(*pos, "unexpected character")),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &'static str, v: Json) -> Result<Json, ParseError> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(v)
+    } else {
+        Err(err(*pos, "invalid literal"))
+    }
+}
+
+fn parse_num(b: &[u8], pos: &mut usize) -> Result<Json, ParseError> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while b
+        .get(*pos)
+        .is_some_and(|c| c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+    {
+        *pos += 1;
+    }
+    std::str::from_utf8(&b[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(Json::Num)
+        .ok_or_else(|| err(start, "invalid number"))
+}
+
+fn parse_str(b: &[u8], pos: &mut usize) -> Result<String, ParseError> {
+    debug_assert_eq!(b.get(*pos), Some(&b'"'));
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err(err(*pos, "unterminated string")),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .ok_or_else(|| err(*pos, "invalid \\u escape"))?;
+                        // Surrogate pairs are not emitted by our own
+                        // writers; map lone surrogates to U+FFFD.
+                        out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(err(*pos, "invalid escape")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Advance one UTF-8 scalar. Find its byte length from
+                // the leading byte; input is valid UTF-8 (from &str).
+                let len = match b[*pos] {
+                    c if c < 0x80 => 1,
+                    c if c < 0xE0 => 2,
+                    c if c < 0xF0 => 3,
+                    _ => 4,
+                };
+                let slice = b
+                    .get(*pos..*pos + len)
+                    .ok_or_else(|| err(*pos, "truncated utf-8"))?;
+                out.push_str(std::str::from_utf8(slice).map_err(|_| err(*pos, "bad utf-8"))?);
+                *pos += len;
+            }
+        }
+    }
+}
+
+fn parse_arr(b: &[u8], pos: &mut usize) -> Result<Json, ParseError> {
+    *pos += 1; // consume '['
+    let mut items = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => {
+                *pos += 1;
+            }
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(err(*pos, "expected ',' or ']'")),
+        }
+    }
+}
+
+fn parse_obj(b: &[u8], pos: &mut usize) -> Result<Json, ParseError> {
+    *pos += 1; // consume '{'
+    let mut map = BTreeMap::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(map));
+    }
+    loop {
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b'"') {
+            return Err(err(*pos, "expected object key"));
+        }
+        let key = parse_str(b, pos)?;
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b':') {
+            return Err(err(*pos, "expected ':'"));
+        }
+        *pos += 1;
+        map.insert(key, parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => {
+                *pos += 1;
+            }
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(map));
+            }
+            _ => return Err(err(*pos, "expected ',' or '}'")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(parse("null").unwrap(), Json::Null);
+        assert_eq!(parse(" true ").unwrap(), Json::Bool(true));
+        assert_eq!(parse("false").unwrap(), Json::Bool(false));
+        assert_eq!(parse("-1.5e2").unwrap(), Json::Num(-150.0));
+        assert_eq!(parse("\"a\\nb\"").unwrap(), Json::Str("a\nb".to_owned()));
+        assert_eq!(parse("\"\\u0041\"").unwrap(), Json::Str("A".to_owned()));
+    }
+
+    #[test]
+    fn parses_nested_structures() {
+        let v = parse(r#"{"a":[1,2,{"b":"c"}],"d":{}}"#).unwrap();
+        let arr = v.get("a").unwrap().as_arr().unwrap();
+        assert_eq!(arr.len(), 3);
+        assert_eq!(arr[2].get("b").unwrap().as_str(), Some("c"));
+        assert!(v.get("d").unwrap().as_obj().unwrap().is_empty());
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("\"unterminated").is_err());
+        assert!(parse("1 2").is_err());
+        assert!(parse("nul").is_err());
+    }
+
+    #[test]
+    fn roundtrips_sink_event_json() {
+        use crate::log::Level;
+        use crate::sink::{event_to_json, AttrValue, EventKind, TraceEvent};
+        let ev = TraceEvent {
+            t_ns: 123,
+            thread: 1,
+            kind: EventKind::SpanEnd {
+                id: 9,
+                parent: Some(4),
+                name: "repsim.sparse.spgemm",
+                dur_ns: 77,
+                attrs: vec![
+                    ("nnz", AttrValue::U64(42)),
+                    ("est_flops", AttrValue::F64(2.5)),
+                    ("order", AttrValue::Str("((0 1) 2)".to_owned())),
+                ],
+            },
+        };
+        let v = parse(&event_to_json(&ev)).unwrap();
+        assert_eq!(v.get("type").unwrap().as_str(), Some("span_end"));
+        assert_eq!(v.get("id").unwrap().as_num(), Some(9.0));
+        assert_eq!(v.get("parent").unwrap().as_num(), Some(4.0));
+        assert_eq!(v.get("dur_ns").unwrap().as_num(), Some(77.0));
+        let attrs = v.get("attrs").unwrap();
+        assert_eq!(attrs.get("nnz").unwrap().as_num(), Some(42.0));
+        assert_eq!(attrs.get("est_flops").unwrap().as_num(), Some(2.5));
+        assert_eq!(attrs.get("order").unwrap().as_str(), Some("((0 1) 2)"));
+
+        let pt = TraceEvent {
+            t_ns: 5,
+            thread: 0,
+            kind: EventKind::Point {
+                name: "repsim.sparse.budget.trip",
+                level: Level::Warn,
+                message: "deadline \"now\"".to_owned(),
+            },
+        };
+        let v = parse(&event_to_json(&pt)).unwrap();
+        assert_eq!(v.get("type").unwrap().as_str(), Some("event"));
+        assert_eq!(v.get("level").unwrap().as_str(), Some("warn"));
+        assert_eq!(v.get("message").unwrap().as_str(), Some("deadline \"now\""));
+    }
+}

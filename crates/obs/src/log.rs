@@ -1,0 +1,205 @@
+//! Leveled stderr logging (`REPSIM_LOG=error|warn|info|debug`).
+//!
+//! Replaces the ad-hoc `eprintln!` diagnostics scattered through the
+//! CLI, repro bins and bench harness. A record at or below the active
+//! level prints to **stderr** as `<level>: <message>` — machine-read
+//! stdout (figure/table output) is never touched — and is additionally
+//! forwarded to the installed sinks as a point event so diagnostics
+//! interleave with the trace.
+//!
+//! The default level is `warn`, which keeps the pre-existing
+//! `eprintln!("warning: …")` stderr output byte-identical.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Log severity, most severe first.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Unrecoverable or user-visible failures.
+    Error = 0,
+    /// Suspicious but non-fatal conditions (default threshold).
+    Warn = 1,
+    /// Progress and configuration notes.
+    Info = 2,
+    /// High-volume diagnostics (per-iteration residuals, …).
+    Debug = 3,
+}
+
+impl Level {
+    /// The lowercase name used in `REPSIM_LOG` and the JSON trace.
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+
+    /// The stderr prefix (`warning:` keeps historical output stable).
+    fn prefix(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warning",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Level> {
+        match s.trim() {
+            "error" => Some(Level::Error),
+            "warn" | "warning" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" => Some(Level::Debug),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// 0..=3 = cached Level, UNSET = consult REPSIM_LOG on first use.
+const UNSET: u8 = u8::MAX;
+static MAX_LEVEL: AtomicU8 = AtomicU8::new(UNSET);
+
+/// The active threshold: records above it are dropped. Reads
+/// `REPSIM_LOG` once (default `warn`); [`set_max_level`] overrides.
+pub fn max_level() -> Level {
+    match MAX_LEVEL.load(Ordering::Relaxed) {
+        0 => Level::Error,
+        1 => Level::Warn,
+        2 => Level::Info,
+        3 => Level::Debug,
+        _ => {
+            let level = std::env::var("REPSIM_LOG")
+                .ok()
+                .as_deref()
+                .and_then(Level::parse)
+                .unwrap_or(Level::Warn);
+            MAX_LEVEL.store(level as u8, Ordering::Relaxed);
+            level
+        }
+    }
+}
+
+/// Overrides the threshold for the rest of the process (used by
+/// `repsim --trace`, which implies `info`, and by tests).
+pub fn set_max_level(level: Level) {
+    MAX_LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// Whether a record at `level` would be emitted — gate expensive
+/// message formatting on this.
+#[inline]
+pub fn log_enabled(level: Level) -> bool {
+    level <= max_level()
+}
+
+/// Emits a log record: `<level>: <args>` to stderr (if `level` passes
+/// the threshold) and a point event named `target` to the sinks (if
+/// any are installed). Prefer the `log_*!` macros.
+pub fn log(level: Level, target: &'static str, args: fmt::Arguments<'_>) {
+    let to_stderr = log_enabled(level);
+    let to_sinks = crate::sink::enabled();
+    if !to_stderr && !to_sinks {
+        return;
+    }
+    let message = args.to_string();
+    if to_stderr {
+        eprintln!("{}: {message}", level.prefix());
+    }
+    if to_sinks {
+        crate::span::point(target, level, message);
+    }
+}
+
+/// Logs at [`Level::Error`]: `log_error!("repsim.cli", "bad input: {e}")`.
+#[macro_export]
+macro_rules! log_error {
+    ($target:expr, $($arg:tt)*) => {
+        $crate::log::log($crate::Level::Error, $target, format_args!($($arg)*))
+    };
+}
+
+/// Logs at [`Level::Warn`].
+#[macro_export]
+macro_rules! log_warn {
+    ($target:expr, $($arg:tt)*) => {
+        $crate::log::log($crate::Level::Warn, $target, format_args!($($arg)*))
+    };
+}
+
+/// Logs at [`Level::Info`].
+#[macro_export]
+macro_rules! log_info {
+    ($target:expr, $($arg:tt)*) => {
+        $crate::log::log($crate::Level::Info, $target, format_args!($($arg)*))
+    };
+}
+
+/// Logs at [`Level::Debug`].
+#[macro_export]
+macro_rules! log_debug {
+    ($target:expr, $($arg:tt)*) => {
+        $crate::log::log($crate::Level::Debug, $target, format_args!($($arg)*))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_order_and_parse() {
+        assert!(Level::Error < Level::Warn);
+        assert!(Level::Warn < Level::Info);
+        assert!(Level::Info < Level::Debug);
+        assert_eq!(Level::parse("warn"), Some(Level::Warn));
+        assert_eq!(Level::parse("warning"), Some(Level::Warn));
+        assert_eq!(Level::parse(" debug "), Some(Level::Debug));
+        assert_eq!(Level::parse("nope"), None);
+    }
+
+    #[test]
+    fn set_max_level_overrides() {
+        let _x = crate::sink::exclusive();
+        set_max_level(Level::Debug);
+        assert!(log_enabled(Level::Debug));
+        set_max_level(Level::Error);
+        assert!(!log_enabled(Level::Warn));
+        set_max_level(Level::Warn);
+        assert!(log_enabled(Level::Warn));
+        assert!(!log_enabled(Level::Info));
+    }
+
+    #[test]
+    fn records_forward_to_sinks_as_points() {
+        let _x = crate::sink::exclusive();
+        set_max_level(Level::Error); // silence stderr for this test
+        let collect = std::sync::Arc::new(crate::sink::CollectSink::new());
+        crate::sink::install(collect.clone());
+        log_warn!("repsim.test.log", "n={}", 42);
+        crate::sink::clear_sinks();
+        set_max_level(Level::Warn);
+        let events = collect.events();
+        assert_eq!(events.len(), 1);
+        match &events[0].kind {
+            crate::sink::EventKind::Point {
+                name,
+                level,
+                message,
+            } => {
+                assert_eq!(*name, "repsim.test.log");
+                assert_eq!(*level, Level::Warn);
+                assert_eq!(message, "n=42");
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,477 @@
+//! Atomic counters, gauges and log₂ histograms in a global registry.
+//!
+//! Metric names follow `repsim.<crate>.<unit>[.<detail>]` — e.g.
+//! `repsim.sparse.spgemm.calls`, `repsim.metawalk.cache.hit`,
+//! `repsim.sparse.spgemm.symbolic_ns`. Instrumented code declares a
+//! `static` handle ([`CounterHandle`] / [`HistogramHandle`]) and calls
+//! `add`/`record`; the handle resolves its registry slot once and is a
+//! no-op while observability is disabled (see [`crate::enabled`]).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+
+/// A monotonically increasing counter.
+#[derive(Default, Debug)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds `n` to the counter.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A settable signed gauge (last-write-wins).
+#[derive(Default, Debug)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Number of histogram buckets: one per power of two of a `u64`.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// A fixed-bucket log₂ histogram over `u64` samples (nanosecond
+/// latencies, nnz sizes). Bucket `i` counts samples in
+/// `[2^i, 2^{i+1})`, except bucket 0 which also absorbs zero — so the
+/// boundaries are `[0,2), [2,4), [4,8), …` and no sample is ever out of
+/// range. Recording is two relaxed atomic adds.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// The bucket index a value lands in: `floor(log2(v))`, with 0 and
+    /// 1 both in bucket 0.
+    pub fn bucket_index(v: u64) -> usize {
+        if v < 2 {
+            0
+        } else {
+            63 - v.leading_zeros() as usize
+        }
+    }
+
+    /// The half-open `[lo, hi)` range of bucket `i` (bucket 63's upper
+    /// bound saturates at `u64::MAX`).
+    pub fn bucket_bounds(i: usize) -> (u64, u64) {
+        let lo = if i == 0 { 0 } else { 1u64 << i };
+        let hi = if i >= 63 { u64::MAX } else { 1u64 << (i + 1) };
+        (lo, hi)
+    }
+
+    /// Records one sample.
+    pub fn record(&self, v: u64) {
+        self.buckets[Self::bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded samples (saturating only at `u64` wrap).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// The per-bucket counts.
+    pub fn buckets(&self) -> [u64; HISTOGRAM_BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+
+    /// Mean sample, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+    }
+}
+
+/// The process-wide metric registry: named slots created on first use,
+/// never removed (handles hold `Arc`s, so [`Registry::reset`] zeroes
+/// values in place instead of dropping slots).
+#[derive(Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<&'static str, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<&'static str, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<&'static str, Arc<Histogram>>>,
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl Registry {
+    /// The global registry.
+    pub fn global() -> &'static Registry {
+        static GLOBAL: OnceLock<Registry> = OnceLock::new();
+        GLOBAL.get_or_init(Registry::default)
+    }
+
+    /// The counter named `name`, created on first use.
+    pub fn counter(&self, name: &'static str) -> Arc<Counter> {
+        Arc::clone(lock(&self.counters).entry(name).or_default())
+    }
+
+    /// The gauge named `name`, created on first use.
+    pub fn gauge(&self, name: &'static str) -> Arc<Gauge> {
+        Arc::clone(lock(&self.gauges).entry(name).or_default())
+    }
+
+    /// The histogram named `name`, created on first use.
+    pub fn histogram(&self, name: &'static str) -> Arc<Histogram> {
+        Arc::clone(lock(&self.histograms).entry(name).or_default())
+    }
+
+    /// Zeroes every metric in place (handles stay valid). Used between
+    /// benchmark phases to take deltas and by tests.
+    pub fn reset(&self) {
+        for c in lock(&self.counters).values() {
+            c.reset();
+        }
+        for g in lock(&self.gauges).values() {
+            g.reset();
+        }
+        for h in lock(&self.histograms).values() {
+            h.reset();
+        }
+    }
+
+    /// A point-in-time snapshot of every metric with a nonzero value,
+    /// sorted by name.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            counters: lock(&self.counters)
+                .iter()
+                .map(|(&k, v)| (k, v.get()))
+                .filter(|&(_, v)| v != 0)
+                .collect(),
+            gauges: lock(&self.gauges)
+                .iter()
+                .map(|(&k, v)| (k, v.get()))
+                .filter(|&(_, v)| v != 0)
+                .collect(),
+            histograms: lock(&self.histograms)
+                .iter()
+                .map(|(&k, v)| {
+                    (
+                        k,
+                        HistogramSummary {
+                            count: v.count(),
+                            sum: v.sum(),
+                            mean: v.mean(),
+                        },
+                    )
+                })
+                .filter(|(_, s)| s.count != 0)
+                .collect(),
+        }
+    }
+}
+
+/// Aggregates of one histogram at snapshot time.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HistogramSummary {
+    /// Recorded samples.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: u64,
+    /// Mean sample.
+    pub mean: f64,
+}
+
+/// A rendered view of the registry (see [`Registry::snapshot`]).
+#[derive(Clone, Debug, Default)]
+pub struct Snapshot {
+    /// `(name, value)` per nonzero counter.
+    pub counters: Vec<(&'static str, u64)>,
+    /// `(name, value)` per nonzero gauge.
+    pub gauges: Vec<(&'static str, i64)>,
+    /// `(name, summary)` per non-empty histogram.
+    pub histograms: Vec<(&'static str, HistogramSummary)>,
+}
+
+impl Snapshot {
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// A fixed-width human-readable table.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        if self.is_empty() {
+            out.push_str("(no metrics recorded)\n");
+            return out;
+        }
+        let width = self
+            .counters
+            .iter()
+            .map(|(n, _)| n.len())
+            .chain(self.gauges.iter().map(|(n, _)| n.len()))
+            .chain(self.histograms.iter().map(|(n, _)| n.len()))
+            .max()
+            .unwrap_or(0);
+        for &(name, v) in &self.counters {
+            let _ = writeln!(out, "  {name:<width$}  {v}");
+        }
+        for &(name, v) in &self.gauges {
+            let _ = writeln!(out, "  {name:<width$}  {v}");
+        }
+        for &(name, s) in &self.histograms {
+            let _ = writeln!(
+                out,
+                "  {name:<width$}  count {}  sum {}  mean {:.1}",
+                s.count, s.sum, s.mean
+            );
+        }
+        out
+    }
+
+    /// The snapshot as a JSON object (one `metrics` trace line / the
+    /// timing files' `metrics` field).
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        for (i, &(name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{name}\":{v}");
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, &(name, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{name}\":{v}");
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, &(name, s)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\"{name}\":{{\"count\":{},\"sum\":{},\"mean\":{:.3}}}",
+                s.count, s.sum, s.mean
+            );
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+/// A lazily resolved counter slot, declared `static` at the call site.
+/// All operations are no-ops while observability is disabled.
+pub struct CounterHandle {
+    name: &'static str,
+    cell: OnceLock<Arc<Counter>>,
+}
+
+impl CounterHandle {
+    /// A handle for the counter named `name`.
+    pub const fn new(name: &'static str) -> CounterHandle {
+        CounterHandle {
+            name,
+            cell: OnceLock::new(),
+        }
+    }
+
+    /// The metric name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Adds `n` if observability is enabled.
+    pub fn add(&self, n: u64) {
+        if crate::enabled() {
+            self.resolve().add(n);
+        }
+    }
+
+    fn resolve(&self) -> &Arc<Counter> {
+        self.cell
+            .get_or_init(|| Registry::global().counter(self.name))
+    }
+}
+
+/// A lazily resolved histogram slot, declared `static` at the call
+/// site. All operations are no-ops while observability is disabled.
+pub struct HistogramHandle {
+    name: &'static str,
+    cell: OnceLock<Arc<Histogram>>,
+}
+
+impl HistogramHandle {
+    /// A handle for the histogram named `name`.
+    pub const fn new(name: &'static str) -> HistogramHandle {
+        HistogramHandle {
+            name,
+            cell: OnceLock::new(),
+        }
+    }
+
+    /// The metric name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Records `v` if observability is enabled.
+    pub fn record(&self, v: u64) {
+        if crate::enabled() {
+            self.resolve().record(v);
+        }
+    }
+
+    fn resolve(&self) -> &Arc<Histogram> {
+        self.cell
+            .get_or_init(|| Registry::global().histogram(self.name))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_bucket_boundaries() {
+        // Bucket 0 absorbs 0 and 1; from there, [2^i, 2^{i+1}).
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 0);
+        assert_eq!(Histogram::bucket_index(2), 1);
+        assert_eq!(Histogram::bucket_index(3), 1);
+        assert_eq!(Histogram::bucket_index(4), 2);
+        assert_eq!(Histogram::bucket_index(7), 2);
+        assert_eq!(Histogram::bucket_index(8), 3);
+        assert_eq!(Histogram::bucket_index(1023), 9);
+        assert_eq!(Histogram::bucket_index(1024), 10);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 63);
+        assert_eq!(Histogram::bucket_bounds(0), (0, 2));
+        assert_eq!(Histogram::bucket_bounds(10), (1024, 2048));
+        assert_eq!(Histogram::bucket_bounds(63), (1 << 63, u64::MAX));
+        // Every boundary value lands in the bucket whose lower bound it is.
+        for i in 1..HISTOGRAM_BUCKETS {
+            let (lo, hi) = Histogram::bucket_bounds(i);
+            assert_eq!(Histogram::bucket_index(lo), i, "lower bound of {i}");
+            if i < 63 {
+                assert_eq!(Histogram::bucket_index(hi - 1), i, "upper bound of {i}");
+                assert_eq!(Histogram::bucket_index(hi), i + 1, "first of {}", i + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_records_count_sum_buckets() {
+        let h = Histogram::default();
+        for v in [0, 1, 2, 3, 1024] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 1030);
+        let b = h.buckets();
+        assert_eq!(b[0], 2);
+        assert_eq!(b[1], 2);
+        assert_eq!(b[10], 1);
+        assert_eq!(b.iter().sum::<u64>(), 5);
+        assert!((h.mean() - 206.0).abs() < 1e-9);
+        h.reset();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn registry_slots_are_shared_and_resettable() {
+        let r = Registry::default();
+        r.counter("repsim.test.calls").add(2);
+        r.counter("repsim.test.calls").add(3);
+        assert_eq!(r.counter("repsim.test.calls").get(), 5);
+        r.gauge("repsim.test.level").set(-7);
+        r.histogram("repsim.test.ns").record(100);
+        let snap = r.snapshot();
+        assert_eq!(snap.counters, vec![("repsim.test.calls", 5)]);
+        assert_eq!(snap.gauges, vec![("repsim.test.level", -7)]);
+        assert_eq!(snap.histograms.len(), 1);
+        assert!(!snap.is_empty());
+        let table = snap.render_table();
+        assert!(table.contains("repsim.test.calls"), "{table}");
+        let json = snap.render_json();
+        assert!(json.contains("\"repsim.test.ns\":{\"count\":1"), "{json}");
+        r.reset();
+        assert!(r.snapshot().is_empty());
+        // The slot survives the reset (handles keep their Arcs).
+        assert_eq!(r.counter("repsim.test.calls").get(), 0);
+    }
+
+    #[test]
+    fn handles_are_noops_while_disabled() {
+        static CALLS: CounterHandle = CounterHandle::new("repsim.test.disabled.calls");
+        static NS: HistogramHandle = HistogramHandle::new("repsim.test.disabled.ns");
+        let _x = crate::sink::exclusive();
+        assert!(!crate::enabled());
+        CALLS.add(10);
+        NS.record(10);
+        assert_eq!(
+            Registry::global()
+                .counter("repsim.test.disabled.calls")
+                .get(),
+            0
+        );
+        assert_eq!(
+            Registry::global()
+                .histogram("repsim.test.disabled.ns")
+                .count(),
+            0
+        );
+    }
+}

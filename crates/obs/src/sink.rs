@@ -1,0 +1,563 @@
+//! Pluggable trace-event sinks and the global enable switch.
+//!
+//! Observability is **off** until a sink is installed: [`enabled`] is
+//! one relaxed atomic load, checked first by every span, counter and
+//! histogram handle, so uninstrumented runs pay only that branch.
+//! Multiple sinks may be live at once (e.g. `repsim profile` collects
+//! in memory while `--trace-out` streams JSON lines to a file).
+
+use std::fmt;
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock};
+
+use crate::log::Level;
+
+/// A typed span attribute value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AttrValue {
+    /// An unsigned integer (counts, sizes, ids).
+    U64(u64),
+    /// A float (estimates, scores).
+    F64(f64),
+    /// A string (chain orders, walk texts).
+    Str(String),
+}
+
+impl fmt::Display for AttrValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttrValue::U64(v) => write!(f, "{v}"),
+            AttrValue::F64(v) => write!(f, "{v}"),
+            AttrValue::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<u64> for AttrValue {
+    fn from(v: u64) -> AttrValue {
+        AttrValue::U64(v)
+    }
+}
+
+impl From<usize> for AttrValue {
+    fn from(v: usize) -> AttrValue {
+        AttrValue::U64(v as u64)
+    }
+}
+
+impl From<f64> for AttrValue {
+    fn from(v: f64) -> AttrValue {
+        AttrValue::F64(v)
+    }
+}
+
+impl From<String> for AttrValue {
+    fn from(v: String) -> AttrValue {
+        AttrValue::Str(v)
+    }
+}
+
+impl From<&str> for AttrValue {
+    fn from(v: &str) -> AttrValue {
+        AttrValue::Str(v.to_owned())
+    }
+}
+
+impl From<bool> for AttrValue {
+    fn from(v: bool) -> AttrValue {
+        AttrValue::U64(u64::from(v))
+    }
+}
+
+/// One observability event, timestamped against [`crate::now_ns`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceEvent {
+    /// Nanoseconds since the process epoch.
+    pub t_ns: u64,
+    /// Small per-process thread ordinal (not the OS thread id).
+    pub thread: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// The event payload.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EventKind {
+    /// A span opened.
+    SpanStart {
+        /// Process-unique span id.
+        id: u64,
+        /// The enclosing span on the same thread, if any.
+        parent: Option<u64>,
+        /// Span name (`repsim.<crate>.<unit>`).
+        name: &'static str,
+    },
+    /// A span closed.
+    SpanEnd {
+        /// Process-unique span id.
+        id: u64,
+        /// The enclosing span on the same thread, if any.
+        parent: Option<u64>,
+        /// Span name (`repsim.<crate>.<unit>`).
+        name: &'static str,
+        /// Wall-clock duration.
+        dur_ns: u64,
+        /// Attributes attached while the span was open.
+        attrs: Vec<(&'static str, AttrValue)>,
+    },
+    /// A point event: a budget trip, a failpoint firing, a degradation
+    /// tier transition, a convergence residual, a log record.
+    Point {
+        /// Event name (`repsim.<crate>.<unit>`).
+        name: &'static str,
+        /// Severity.
+        level: Level,
+        /// Human-readable payload.
+        message: String,
+    },
+}
+
+/// A consumer of [`TraceEvent`]s. Implementations must tolerate
+/// concurrent `record` calls (instrumented kernels emit from scoped
+/// worker threads).
+pub trait Sink: Send + Sync {
+    /// Consumes one event.
+    fn record(&self, ev: &TraceEvent);
+    /// Flushes buffered output (no-op by default).
+    fn flush(&self) {}
+}
+
+static ANY_SINK: AtomicBool = AtomicBool::new(false);
+
+fn sinks() -> &'static RwLock<Vec<Arc<dyn Sink>>> {
+    static SINKS: std::sync::OnceLock<RwLock<Vec<Arc<dyn Sink>>>> = std::sync::OnceLock::new();
+    SINKS.get_or_init(|| RwLock::new(Vec::new()))
+}
+
+/// Whether any sink is installed. One relaxed load — the gate every
+/// instrumentation site checks first.
+#[inline]
+pub fn enabled() -> bool {
+    ANY_SINK.load(Ordering::Relaxed)
+}
+
+/// Installs a sink; events flow to it until [`remove_sink`] (or
+/// [`clear_sinks`]) drops it. Installing the first sink flips
+/// [`enabled`] on.
+pub fn install(sink: Arc<dyn Sink>) {
+    let mut s = sinks().write().unwrap_or_else(|e| e.into_inner());
+    s.push(sink);
+    ANY_SINK.store(true, Ordering::Relaxed);
+}
+
+/// Removes a previously installed sink (matched by `Arc` identity) and
+/// flushes it.
+pub fn remove_sink(sink: &Arc<dyn Sink>) {
+    let mut s = sinks().write().unwrap_or_else(|e| e.into_inner());
+    s.retain(|x| !Arc::ptr_eq(x, sink));
+    ANY_SINK.store(!s.is_empty(), Ordering::Relaxed);
+    sink.flush();
+}
+
+/// Removes and flushes every installed sink, flipping [`enabled`] off.
+pub fn clear_sinks() {
+    let drained: Vec<Arc<dyn Sink>> = {
+        let mut s = sinks().write().unwrap_or_else(|e| e.into_inner());
+        ANY_SINK.store(false, Ordering::Relaxed);
+        std::mem::take(&mut *s)
+    };
+    for s in drained {
+        s.flush();
+    }
+}
+
+/// Records `ev` to every installed sink. Callers should check
+/// [`enabled`] first and build the event only when it returns true.
+pub fn record(ev: &TraceEvent) {
+    let s = sinks().read().unwrap_or_else(|e| e.into_inner());
+    for sink in s.iter() {
+        sink.record(ev);
+    }
+}
+
+/// A small per-process ordinal for the calling thread (stable within
+/// the thread's lifetime; used instead of the unstable OS thread id).
+pub fn thread_ordinal() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    thread_local! {
+        static ORDINAL: u64 = NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+    ORDINAL.with(|o| *o)
+}
+
+/// Serializes tests (and other exclusive users) that install sinks:
+/// the global sink list is process state, so concurrent tests would
+/// see each other's events. Clears all sinks on acquisition *and* on
+/// drop.
+pub fn exclusive() -> ExclusiveObs {
+    static LOCK: Mutex<()> = Mutex::new(());
+    let guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    clear_sinks();
+    ExclusiveObs { _guard: guard }
+}
+
+/// RAII guard from [`exclusive`].
+pub struct ExclusiveObs {
+    _guard: MutexGuard<'static, ()>,
+}
+
+impl Drop for ExclusiveObs {
+    fn drop(&mut self) {
+        clear_sinks();
+    }
+}
+
+/// Discards every event. Its only effect is flipping [`enabled`] on,
+/// which turns on metric recording — the cheapest way to collect
+/// counters/histograms (bench runs, repro timing files) without
+/// buffering a trace.
+#[derive(Default, Debug)]
+pub struct NullSink;
+
+impl Sink for NullSink {
+    fn record(&self, _ev: &TraceEvent) {}
+}
+
+/// Buffers every event in memory; used by tests and `repsim profile`.
+#[derive(Default)]
+pub struct CollectSink {
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+impl CollectSink {
+    /// An empty collector.
+    pub fn new() -> CollectSink {
+        CollectSink::default()
+    }
+
+    /// A copy of everything recorded so far.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.events
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// Drops everything recorded so far.
+    pub fn clear(&self) {
+        self.events
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clear();
+    }
+}
+
+impl Sink for CollectSink {
+    fn record(&self, ev: &TraceEvent) {
+        self.events
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(ev.clone());
+    }
+}
+
+/// Streams one JSON object per event to a writer (the `--trace-out`
+/// format). Lines are self-contained; a truncated file loses only its
+/// tail. See `tests/trace_schema.rs` for the schema the workspace
+/// holds itself to.
+pub struct JsonLinesSink {
+    out: Mutex<Box<dyn Write + Send>>,
+}
+
+impl JsonLinesSink {
+    /// Creates (truncates) `path` and streams events to it.
+    pub fn create(path: &str) -> std::io::Result<JsonLinesSink> {
+        let file = std::fs::File::create(path)?;
+        Ok(JsonLinesSink::from_writer(Box::new(
+            std::io::BufWriter::new(file),
+        )))
+    }
+
+    /// Streams events to an arbitrary writer.
+    pub fn from_writer(out: Box<dyn Write + Send>) -> JsonLinesSink {
+        JsonLinesSink {
+            out: Mutex::new(out),
+        }
+    }
+
+    /// Writes one raw (already-JSON) line — the CLI appends a final
+    /// `{"type":"metrics",…}` snapshot line through this.
+    pub fn write_line(&self, json_object: &str) {
+        let mut out = self.out.lock().unwrap_or_else(|e| e.into_inner());
+        let _ = writeln!(out, "{json_object}");
+    }
+}
+
+impl Sink for JsonLinesSink {
+    fn record(&self, ev: &TraceEvent) {
+        self.write_line(&event_to_json(ev));
+    }
+
+    fn flush(&self) {
+        let _ = self.out.lock().unwrap_or_else(|e| e.into_inner()).flush();
+    }
+}
+
+/// Escapes a string for inclusion in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn attr_to_json(v: &AttrValue) -> String {
+    match v {
+        AttrValue::U64(n) => n.to_string(),
+        AttrValue::F64(f) if f.is_finite() => format!("{f}"),
+        AttrValue::F64(_) => "null".to_owned(),
+        AttrValue::Str(s) => format!("\"{}\"", json_escape(s)),
+    }
+}
+
+/// Renders one event as a single-line JSON object.
+pub fn event_to_json(ev: &TraceEvent) -> String {
+    let mut out = String::with_capacity(128);
+    match &ev.kind {
+        EventKind::SpanStart { id, parent, name } => {
+            out.push_str(&format!(
+                "{{\"type\":\"span_start\",\"id\":{id},\"parent\":{},\"name\":\"{}\"",
+                parent.map_or("null".to_owned(), |p| p.to_string()),
+                json_escape(name),
+            ));
+        }
+        EventKind::SpanEnd {
+            id,
+            parent,
+            name,
+            dur_ns,
+            attrs,
+        } => {
+            out.push_str(&format!(
+                "{{\"type\":\"span_end\",\"id\":{id},\"parent\":{},\"name\":\"{}\",\"dur_ns\":{dur_ns},\"attrs\":{{",
+                parent.map_or("null".to_owned(), |p| p.to_string()),
+                json_escape(name),
+            ));
+            for (i, (k, v)) in attrs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("\"{}\":{}", json_escape(k), attr_to_json(v)));
+            }
+            out.push('}');
+        }
+        EventKind::Point {
+            name,
+            level,
+            message,
+        } => {
+            out.push_str(&format!(
+                "{{\"type\":\"event\",\"name\":\"{}\",\"level\":\"{}\",\"message\":\"{}\"",
+                json_escape(name),
+                level.name(),
+                json_escape(message),
+            ));
+        }
+    }
+    out.push_str(&format!(",\"t_ns\":{},\"thread\":{}}}", ev.t_ns, ev.thread));
+    out
+}
+
+/// Renders the span tree of a collected event stream: spans indented
+/// under their parents in start order, point events listed after. The
+/// human-readable half of `repsim profile` and `--trace`.
+pub fn render_tree(events: &[TraceEvent]) -> String {
+    struct Node {
+        name: &'static str,
+        start_ns: u64,
+        dur_ns: u64,
+        attrs: Vec<(&'static str, AttrValue)>,
+        children: Vec<usize>,
+    }
+    let mut nodes: Vec<Node> = Vec::new();
+    let mut parents: Vec<Option<u64>> = Vec::new();
+    let mut by_id: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+    let mut roots: Vec<usize> = Vec::new();
+    let mut points: Vec<&TraceEvent> = Vec::new();
+    for ev in events {
+        match &ev.kind {
+            EventKind::SpanEnd {
+                id,
+                parent,
+                name,
+                dur_ns,
+                attrs,
+            } => {
+                let idx = nodes.len();
+                nodes.push(Node {
+                    name,
+                    start_ns: ev.t_ns.saturating_sub(*dur_ns),
+                    dur_ns: *dur_ns,
+                    attrs: attrs.clone(),
+                    children: Vec::new(),
+                });
+                parents.push(*parent);
+                by_id.insert(*id, idx);
+            }
+            EventKind::Point { .. } => points.push(ev),
+            EventKind::SpanStart { .. } => {}
+        }
+    }
+    // Children close (and are thus indexed) before their parents, so
+    // linking needs a second pass; spans whose parent never closed (or
+    // workers spawned outside any span) attach as roots.
+    for (idx, parent) in parents.iter().enumerate() {
+        match parent.and_then(|p| by_id.get(&p).copied()) {
+            Some(p) => nodes[p].children.push(idx),
+            None => roots.push(idx),
+        }
+    }
+    // Sort every child list (and the roots) by start time.
+    let starts: Vec<u64> = nodes.iter().map(|n| n.start_ns).collect();
+    for n in &mut nodes {
+        n.children.sort_by_key(|&c| starts[c]);
+    }
+    roots.sort_by_key(|&r| starts[r]);
+
+    fn fmt_dur(ns: u64) -> String {
+        if ns >= 1_000_000 {
+            format!("{:.2} ms", ns as f64 / 1e6)
+        } else if ns >= 1_000 {
+            format!("{:.1} µs", ns as f64 / 1e3)
+        } else {
+            format!("{ns} ns")
+        }
+    }
+    fn emit(nodes: &[Node], idx: usize, depth: usize, out: &mut String) {
+        let n = &nodes[idx];
+        let indent = "  ".repeat(depth);
+        out.push_str(&format!("{indent}{} [{}]", n.name, fmt_dur(n.dur_ns)));
+        if !n.attrs.is_empty() {
+            let rendered: Vec<String> = n.attrs.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            out.push_str(&format!("  {{{}}}", rendered.join(", ")));
+        }
+        out.push('\n');
+        for &c in &n.children {
+            emit(nodes, c, depth + 1, out);
+        }
+    }
+    let mut out = String::new();
+    for &r in &roots {
+        emit(&nodes, r, 0, &mut out);
+    }
+    if !points.is_empty() {
+        out.push_str("events:\n");
+        for ev in points {
+            if let EventKind::Point {
+                name,
+                level,
+                message,
+            } = &ev.kind
+            {
+                out.push_str(&format!("  [{}] {name}: {message}\n", level.name()));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn install_flips_enabled_and_clear_restores() {
+        let _x = exclusive();
+        assert!(!enabled());
+        let sink: Arc<dyn Sink> = Arc::new(NullSink);
+        install(Arc::clone(&sink));
+        assert!(enabled());
+        remove_sink(&sink);
+        assert!(!enabled());
+        install(Arc::new(NullSink));
+        clear_sinks();
+        assert!(!enabled());
+    }
+
+    #[test]
+    fn collect_sink_buffers_events() {
+        let c = CollectSink::new();
+        let ev = TraceEvent {
+            t_ns: 5,
+            thread: 0,
+            kind: EventKind::Point {
+                name: "repsim.test.point",
+                level: Level::Info,
+                message: "hello".to_owned(),
+            },
+        };
+        c.record(&ev);
+        assert_eq!(c.events(), vec![ev]);
+        c.clear();
+        assert!(c.events().is_empty());
+    }
+
+    #[test]
+    fn json_escaping_is_safe() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn tree_renders_nesting_and_attrs() {
+        let events = vec![
+            TraceEvent {
+                t_ns: 30,
+                thread: 0,
+                kind: EventKind::SpanEnd {
+                    id: 2,
+                    parent: Some(1),
+                    name: "child",
+                    dur_ns: 10,
+                    attrs: vec![("nnz", AttrValue::U64(7))],
+                },
+            },
+            TraceEvent {
+                t_ns: 50,
+                thread: 0,
+                kind: EventKind::SpanEnd {
+                    id: 1,
+                    parent: None,
+                    name: "root",
+                    dur_ns: 40,
+                    attrs: vec![],
+                },
+            },
+            TraceEvent {
+                t_ns: 60,
+                thread: 0,
+                kind: EventKind::Point {
+                    name: "note",
+                    level: Level::Warn,
+                    message: "tripped".to_owned(),
+                },
+            },
+        ];
+        let tree = render_tree(&events);
+        assert!(tree.contains("root [40 ns]"), "{tree}");
+        assert!(tree.contains("  child [10 ns]  {nnz=7}"), "{tree}");
+        assert!(tree.contains("[warn] note: tripped"), "{tree}");
+    }
+}

@@ -1,0 +1,210 @@
+//! RAII timing spans with thread-local parent nesting.
+//!
+//! `let _s = span("repsim.sparse.spgemm");` opens a span: start time is
+//! taken from [`crate::now_ns`], the parent is whatever span is open on
+//! the same thread, and dropping the guard emits a `SpanEnd` carrying
+//! the duration and any attached attributes. When no sink is installed
+//! ([`crate::enabled`] is false) the guard is inert: no allocation, no
+//! events, no thread-local traffic beyond one relaxed load.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::sink::{self, AttrValue, EventKind, TraceEvent};
+
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// Stack of open span ids on this thread; the top is the parent of
+    /// the next span opened here. Spans opened inside `thread::scope`
+    /// workers start fresh stacks — their parent linkage is the worker
+    /// thread's, by design (the tree renderer attaches orphans as
+    /// roots, and aggregate metrics stay deterministic regardless).
+    static STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Opens a span named `name` (`repsim.<crate>.<unit>`); the returned
+/// guard closes it on drop. Inert when observability is disabled.
+#[must_use = "a span measures the time until the guard is dropped"]
+pub fn span(name: &'static str) -> SpanGuard {
+    if !sink::enabled() {
+        return SpanGuard { inner: None };
+    }
+    let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+    let parent = STACK.with(|s| {
+        let mut s = s.borrow_mut();
+        let parent = s.last().copied();
+        s.push(id);
+        parent
+    });
+    let start_ns = crate::now_ns();
+    sink::record(&TraceEvent {
+        t_ns: start_ns,
+        thread: sink::thread_ordinal(),
+        kind: EventKind::SpanStart { id, parent, name },
+    });
+    SpanGuard {
+        inner: Some(ActiveSpan {
+            id,
+            parent,
+            name,
+            start_ns,
+            attrs: Vec::new(),
+        }),
+    }
+}
+
+struct ActiveSpan {
+    id: u64,
+    parent: Option<u64>,
+    name: &'static str,
+    start_ns: u64,
+    attrs: Vec<(&'static str, AttrValue)>,
+}
+
+/// RAII guard returned by [`span`]; emits the `SpanEnd` event on drop.
+pub struct SpanGuard {
+    inner: Option<ActiveSpan>,
+}
+
+impl SpanGuard {
+    /// Attaches a typed attribute, reported on the span's end event.
+    /// No-op on an inert guard.
+    pub fn attr(&mut self, key: &'static str, value: impl Into<AttrValue>) {
+        if let Some(a) = self.inner.as_mut() {
+            a.attrs.push((key, value.into()));
+        }
+    }
+
+    /// Whether this guard is actually recording (a sink was installed
+    /// when it was opened). Lets callers skip expensive attribute
+    /// construction.
+    pub fn is_active(&self) -> bool {
+        self.inner.is_some()
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(a) = self.inner.take() else { return };
+        STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            // Guards are dropped in reverse open order on a thread, so
+            // the top of the stack is this span; be defensive anyway.
+            match s.last() {
+                Some(&top) if top == a.id => {
+                    s.pop();
+                }
+                _ => s.retain(|&x| x != a.id),
+            }
+        });
+        let end_ns = crate::now_ns();
+        sink::record(&TraceEvent {
+            t_ns: end_ns,
+            thread: sink::thread_ordinal(),
+            kind: EventKind::SpanEnd {
+                id: a.id,
+                parent: a.parent,
+                name: a.name,
+                dur_ns: end_ns.saturating_sub(a.start_ns),
+                attrs: a.attrs,
+            },
+        });
+    }
+}
+
+/// Emits a point event (budget trip, failpoint, tier transition, …) to
+/// the installed sinks. Callers should gate message construction on
+/// [`crate::enabled`]; this function re-checks and is a no-op when
+/// disabled.
+pub fn point(name: &'static str, level: crate::Level, message: String) {
+    if !sink::enabled() {
+        return;
+    }
+    sink::record(&TraceEvent {
+        t_ns: crate::now_ns(),
+        thread: sink::thread_ordinal(),
+        kind: EventKind::Point {
+            name,
+            level,
+            message,
+        },
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::CollectSink;
+    use std::sync::Arc;
+
+    #[test]
+    fn disabled_span_is_inert() {
+        let _x = sink::exclusive();
+        let mut g = span("repsim.test.inert");
+        assert!(!g.is_active());
+        g.attr("k", 1u64);
+        drop(g);
+        // Nothing to assert against — the contract is that no event was
+        // recorded, which the enabled test below verifies by contrast.
+    }
+
+    #[test]
+    fn spans_nest_and_carry_attrs() {
+        let _x = sink::exclusive();
+        let collect = Arc::new(CollectSink::new());
+        sink::install(collect.clone());
+        {
+            let mut outer = span("repsim.test.outer");
+            outer.attr("rows", 3usize);
+            {
+                let _inner = span("repsim.test.inner");
+            }
+            point("repsim.test.note", crate::Level::Info, "hi".to_owned());
+        }
+        sink::clear_sinks();
+        let events = collect.events();
+        assert_eq!(events.len(), 5, "{events:?}");
+        let (mut outer_id, mut inner_parent) = (None, None);
+        for ev in &events {
+            match &ev.kind {
+                EventKind::SpanStart { id, parent, name } => {
+                    if *name == "repsim.test.outer" {
+                        outer_id = Some(*id);
+                        assert_eq!(*parent, None);
+                    } else if *name == "repsim.test.inner" {
+                        inner_parent = Some(*parent);
+                    }
+                }
+                EventKind::SpanEnd { name, attrs, .. } => {
+                    if *name == "repsim.test.outer" {
+                        assert_eq!(attrs, &[("rows", AttrValue::U64(3))]);
+                    }
+                }
+                EventKind::Point { message, .. } => assert_eq!(message, "hi"),
+            }
+        }
+        assert_eq!(inner_parent, Some(outer_id), "inner nests under outer");
+    }
+
+    #[test]
+    fn end_order_is_child_before_parent() {
+        let _x = sink::exclusive();
+        let collect = Arc::new(CollectSink::new());
+        sink::install(collect.clone());
+        {
+            let _a = span("repsim.test.a");
+            let _b = span("repsim.test.b");
+        }
+        sink::clear_sinks();
+        let ends: Vec<&str> = collect
+            .events()
+            .iter()
+            .filter_map(|e| match &e.kind {
+                EventKind::SpanEnd { name, .. } => Some(*name),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(ends, vec!["repsim.test.b", "repsim.test.a"]);
+    }
+}

@@ -10,6 +10,7 @@ use std::process::Command;
 use repsim_repro::ReproError;
 
 fn main() -> Result<(), ReproError> {
+    let _timing = repsim_repro::timing_guard("all");
     let args: Vec<String> = std::env::args().skip(1).collect();
     let bins = [
         "figure1",

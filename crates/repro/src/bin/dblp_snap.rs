@@ -17,6 +17,7 @@ use repsim_transform::EntityMap;
 
 fn main() -> Result<(), ReproError> {
     let scale = repsim_repro::init_from_args()?;
+    let _timing = repsim_repro::timing_guard("dblp_snap");
     let cfg = match scale {
         Scale::Tiny => CitationConfig::tiny(),
         Scale::Small => CitationConfig::small(),

@@ -51,6 +51,7 @@ fn ndcg_scores(
 
 fn main() -> Result<(), ReproError> {
     let scale = repsim_repro::init_from_args()?;
+    let _timing = repsim_repro::timing_guard("effectiveness");
     let cfg = match scale {
         Scale::Tiny => MasConfig::tiny(),
         Scale::Small => MasConfig::small(),

@@ -65,6 +65,7 @@ fn report(g: &Graph, name: &str) -> (f64, f64, f64, f64) {
 
 fn main() -> Result<(), ReproError> {
     repsim_repro::init_from_args()?;
+    let _timing = repsim_repro::timing_guard("figure1");
     banner("Figure 1: IMDb vs Freebase representations of the same facts");
     let imdb = imdb_fragment();
     repsim_repro::lint_dataset("imdb fragment", &imdb);

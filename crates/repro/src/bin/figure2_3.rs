@@ -40,6 +40,7 @@ fn niagara() -> Graph {
 
 fn main() -> Result<(), ReproError> {
     repsim_repro::init_from_args()?;
+    let _timing = repsim_repro::timing_guard("figure2_3");
     banner("Figures 2-3: Niagara's cast grouping and its reorganization");
     let ng = niagara();
     // Figure 3's variant: cast dissolved into direct film-actor edges.

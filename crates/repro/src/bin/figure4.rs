@@ -36,6 +36,7 @@ fn snap() -> (Graph, [NodeId; 4]) {
 
 fn main() -> Result<(), ReproError> {
     repsim_repro::init_from_args()?;
+    let _timing = repsim_repro::timing_guard("figure4");
     banner("Figure 4: citation database in DBLP (cite nodes) vs SNAP (edges) form");
     let (gd, [d1, d2, d3, d4]) = dblp();
     let (gs, [s1, s2, s3, s4]) = snap();

@@ -58,6 +58,7 @@ fn scores(g: &Graph, mw_text: &str) -> Result<(f64, f64), ReproError> {
 
 fn main() -> Result<(), ReproError> {
     repsim_repro::init_from_args()?;
+    let _timing = repsim_repro::timing_guard("figure5");
     banner("Figure 5: MAS original (5a) vs rearranged (5b) representations");
     let g5a = mas_fragment();
     let g5b = catalog::mas2alt()

@@ -37,6 +37,7 @@ fn show_fds(g: &Graph, name: &str) {
 
 fn main() -> Result<(), ReproError> {
     repsim_repro::init_from_args()?;
+    let _timing = repsim_repro::timing_guard("figure6_7");
     banner("Figure 6: DBLP (paper–area) vs SIGMOD Record (proc–area)");
     let dblp = bibliographic::dblp(&BibliographicConfig::tiny());
     let sigm = catalog::dblp2sigm()

@@ -52,6 +52,7 @@ fn columns(cfg: &MoviesConfig) -> Result<Columns, ReproError> {
 
 fn main() -> Result<(), ReproError> {
     let scale = repsim_repro::init_from_args()?;
+    let _timing = repsim_repro::timing_guard("table1");
     let cfg = movies_config(scale);
     banner(&format!(
         "Table 1: relationship reorganizing transformations (movies, scale={})",

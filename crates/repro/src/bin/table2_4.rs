@@ -66,6 +66,7 @@ fn columns(scale: Scale) -> Vec<Column> {
 
 fn main() -> Result<(), ReproError> {
     let scale = repsim_repro::init_from_args()?;
+    let _timing = repsim_repro::timing_guard("table2_4");
     banner(&format!(
         "Tables 2 and 4: entity rearranging transformations (scale={})",
         scale.name()

@@ -160,7 +160,63 @@ pub fn parse_walk(g: &Graph, text: &str) -> Result<repsim_metawalk::MetaWalk, Re
 /// `repsim check` applies the same analyzers gating-style).
 pub fn lint_dataset(name: &str, g: &Graph) {
     for d in repsim_check::model::check_model(g) {
-        eprintln!("warning: dataset {name}: {d}");
+        // Leveled: stderr output stays `warning: dataset …`, and the
+        // record lands in the trace when a sink is installed.
+        repsim_obs::log_warn!("repsim.repro.lint", "dataset {name}: {d}");
+    }
+}
+
+/// RAII per-binary timing. When `REPSIM_TIMING_DIR` is set, metric
+/// collection is switched on (via a [`repsim_obs::NullSink`]) for the
+/// guard's lifetime and, on drop, `TIMING_<bin>.json` is written into
+/// that directory: wall-clock milliseconds plus the full metrics
+/// snapshot (per-phase SpGEMM timings, chain/cache counters, …). With
+/// the variable unset the guard is inert and the binary pays nothing.
+pub struct TimingGuard {
+    bin: &'static str,
+    dir: Option<String>,
+    start: std::time::Instant,
+    sink: Option<std::sync::Arc<dyn repsim_obs::Sink>>,
+}
+
+/// Starts the per-binary [`TimingGuard`]; call once at the top of each
+/// reproduction `main`, binding the guard for the whole run.
+pub fn timing_guard(bin: &'static str) -> TimingGuard {
+    let dir = std::env::var("REPSIM_TIMING_DIR").ok();
+    let sink = dir.as_ref().map(|_| {
+        repsim_obs::Registry::global().reset();
+        let sink: std::sync::Arc<dyn repsim_obs::Sink> = std::sync::Arc::new(repsim_obs::NullSink);
+        repsim_obs::install(std::sync::Arc::clone(&sink));
+        sink
+    });
+    TimingGuard {
+        bin,
+        dir,
+        start: std::time::Instant::now(),
+        sink,
+    }
+}
+
+impl Drop for TimingGuard {
+    fn drop(&mut self) {
+        let Some(dir) = self.dir.take() else { return };
+        if let Some(sink) = self.sink.take() {
+            repsim_obs::remove_sink(&sink);
+        }
+        let wall_ms = self.start.elapsed().as_secs_f64() * 1e3;
+        let json = format!(
+            "{{\"type\":\"timing\",\"bin\":\"{}\",\"wall_ms\":{wall_ms:.3},\"metrics\":{}}}\n",
+            self.bin,
+            repsim_obs::Registry::global().snapshot().render_json()
+        );
+        let path = std::path::Path::new(&dir).join(format!("TIMING_{}.json", self.bin));
+        if let Err(e) = std::fs::write(&path, json) {
+            repsim_obs::log_warn!(
+                "repsim.repro.timing",
+                "cannot write {}: {e}",
+                path.display()
+            );
+        }
     }
 }
 

@@ -236,40 +236,70 @@ impl Budget {
             .is_some_and(|c| c.load(Ordering::Relaxed))
     }
 
-    /// Whether the named failpoint should fire for this budget.
+    /// Whether the named failpoint should fire for this budget. A firing
+    /// failpoint is reported to the trace stream
+    /// (`repsim.sparse.failpoint`) so fault-injection runs show *where*
+    /// the fault was injected.
     pub fn injected(&self, point: &str) -> bool {
-        self.inject && failpoints::armed(point)
+        let fires = self.inject && failpoints::armed(point);
+        if fires && repsim_obs::enabled() {
+            repsim_obs::point(
+                "repsim.sparse.failpoint",
+                repsim_obs::Level::Warn,
+                point.to_owned(),
+            );
+        }
+        fires
+    }
+
+    /// Reports a failed budget check to the trace stream
+    /// (`repsim.sparse.budget.trip`), so traces show where execution was
+    /// cut short.
+    fn trip(e: ExecError) -> ExecError {
+        if repsim_obs::enabled() {
+            repsim_obs::point(
+                "repsim.sparse.budget.trip",
+                repsim_obs::Level::Warn,
+                e.to_string(),
+            );
+        }
+        e
     }
 
     /// The cancellation/deadline check, called at row-band granularity
     /// inside the kernels. The `deadline-now` failpoint forces expiry here.
+    /// Failures are reported to the trace stream as
+    /// `repsim.sparse.budget.trip` point events.
     pub fn check(&self) -> Result<(), ExecError> {
         if self.injected(failpoints::DEADLINE_NOW) {
-            return Err(ExecError::DeadlineExceeded {
+            return Err(Self::trip(ExecError::DeadlineExceeded {
                 limit_ms: self.deadline_ms,
-            });
+            }));
         }
         if self.is_cancelled() {
-            return Err(ExecError::Cancelled);
+            return Err(Self::trip(ExecError::Cancelled));
         }
         if let Some(d) = self.deadline {
             if Instant::now() >= d {
-                return Err(ExecError::DeadlineExceeded {
+                return Err(Self::trip(ExecError::DeadlineExceeded {
                     limit_ms: self.deadline_ms,
-                });
+                }));
             }
         }
         Ok(())
     }
 
     /// The allocation check, called before sizing output arrays. The
-    /// `alloc-fail` failpoint forces failure here.
+    /// `alloc-fail` failpoint forces failure here. Failures are reported
+    /// to the trace stream as `repsim.sparse.budget.trip` point events.
     pub fn check_alloc(&self, nnz: usize) -> Result<(), ExecError> {
         if self.injected(failpoints::ALLOC_FAIL) {
-            return Err(ExecError::MemoryExceeded { nnz, limit: 0 });
+            return Err(Self::trip(ExecError::MemoryExceeded { nnz, limit: 0 }));
         }
         match self.max_nnz {
-            Some(cap) if nnz > cap => Err(ExecError::MemoryExceeded { nnz, limit: cap }),
+            Some(cap) if nnz > cap => {
+                Err(Self::trip(ExecError::MemoryExceeded { nnz, limit: cap }))
+            }
             _ => Ok(()),
         }
     }

@@ -16,6 +16,11 @@
 use crate::budget::{failpoints, Budget, ExecError};
 use crate::ops::try_spmm_with_budget;
 use crate::Csr;
+use repsim_obs::CounterHandle;
+
+/// Planner metrics (`repsim.sparse.chain.*`).
+static CHAIN_CALLS: CounterHandle = CounterHandle::new("repsim.sparse.chain.calls");
+static CHAIN_JOINS: CounterHandle = CounterHandle::new("repsim.sparse.chain.joins");
 
 /// Shape and occupancy statistics of one chain factor.
 #[derive(Clone, Copy, Debug)]
@@ -174,6 +179,7 @@ fn eval<'a>(
             if budget.injected(failpoints::SPGEMM_CANCEL) {
                 return Err(ExecError::Cancelled);
             }
+            CHAIN_JOINS.add(1);
             Ok(Factor::Owned(try_spmm_with_budget(
                 left.as_ref(),
                 right.as_ref(),
@@ -228,12 +234,30 @@ pub fn try_spmm_chain_with_budget(
         budget.check()?;
         return Ok(matrices[0].clone());
     }
-    let stats: Vec<ChainStats> = matrices.iter().map(|m| ChainStats::of(m)).collect();
-    let plan = plan_chain(&stats);
-    match eval(&plan.order, matrices, threads, budget)? {
-        Factor::Owned(m) => Ok(m),
-        Factor::Borrowed(m) => Ok(m.clone()),
+    CHAIN_CALLS.add(1);
+    let mut chain_span = repsim_obs::span("repsim.sparse.chain");
+    let plan = {
+        let mut plan_span = repsim_obs::span("repsim.sparse.chain.plan");
+        let stats: Vec<ChainStats> = matrices.iter().map(|m| ChainStats::of(m)).collect();
+        let plan = plan_chain(&stats);
+        if plan_span.is_active() {
+            plan_span.attr("n", matrices.len());
+            plan_span.attr("order", plan.order.render());
+            plan_span.attr("est_flops", plan.est_flops);
+            plan_span.attr("est_nnz", plan.est_nnz);
+        }
+        plan
+    };
+    let out = match eval(&plan.order, matrices, threads, budget)? {
+        Factor::Owned(m) => m,
+        Factor::Borrowed(m) => m.clone(),
+    };
+    if chain_span.is_active() {
+        chain_span.attr("n", matrices.len());
+        chain_span.attr("order", plan.order.render());
+        chain_span.attr("out_nnz", out.nnz());
     }
+    Ok(out)
 }
 
 #[cfg(test)]

@@ -11,6 +11,17 @@
 use crate::budget::{failpoints, Budget, ExecError};
 use crate::par::chunks;
 use crate::{Csr, Dense};
+use repsim_obs::{CounterHandle, HistogramHandle};
+
+/// Kernel metrics (`repsim.sparse.spgemm.*`): call/phase counters and
+/// log₂ histograms of phase latencies and output sizes. All no-ops
+/// until a sink is installed (see [`repsim_obs::enabled`]).
+static SPGEMM_CALLS: CounterHandle = CounterHandle::new("repsim.sparse.spgemm.calls");
+static SPGEMM_SYMBOLIC_NS: HistogramHandle =
+    HistogramHandle::new("repsim.sparse.spgemm.symbolic_ns");
+static SPGEMM_NUMERIC_NS: HistogramHandle = HistogramHandle::new("repsim.sparse.spgemm.numeric_ns");
+static SPGEMM_OUT_NNZ: HistogramHandle = HistogramHandle::new("repsim.sparse.spgemm.out_nnz");
+static SPGEMM_FLOPS: HistogramHandle = HistogramHandle::new("repsim.sparse.spgemm.flops");
 
 /// Reusable per-thread scratch for Gustavson row products: a dense
 /// accumulator over the output row, an occupancy mask, and the list of
@@ -161,7 +172,37 @@ pub fn try_spmm_with_budget(
     let bands = chunks(nrows, threads);
     let stop = std::sync::atomic::AtomicBool::new(false);
 
+    SPGEMM_CALLS.add(1);
+    let mut kernel_span = repsim_obs::span("repsim.sparse.spgemm");
+    if kernel_span.is_active() {
+        kernel_span.attr("rows", nrows);
+        kernel_span.attr("cols", ncols);
+        kernel_span.attr("nnz_a", a.nnz());
+        kernel_span.attr("nnz_b", b.nnz());
+        kernel_span.attr("bands", bands.len());
+        // The chain planner's cost model for this pair, reported next to
+        // the measured Gustavson flops so estimate quality is auditable.
+        let est = crate::chain::estimate_chain_nnz(&[
+            crate::chain::ChainStats::of(a),
+            crate::chain::ChainStats::of(b),
+        ]);
+        kernel_span.attr("est_nnz", est);
+        // Actual Gustavson flops: one b-row scan per stored a-entry.
+        let flops: u64 = (0..nrows)
+            .flat_map(|r| a.row(r).0)
+            .map(|&k| b.row(k as usize).0.len() as u64)
+            .sum();
+        kernel_span.attr("flops", flops);
+        SPGEMM_FLOPS.record(flops);
+    }
+
     // Phase 1 — symbolic: per-row nnz upper bounds.
+    let symbolic_t0 = if repsim_obs::enabled() {
+        repsim_obs::now_ns()
+    } else {
+        0
+    };
+    let symbolic_span = repsim_obs::span("repsim.sparse.spgemm.symbolic");
     let mut bound = vec![0usize; nrows];
     let mut errs: Vec<Option<ExecError>> = vec![None; bands.len()];
     {
@@ -191,6 +232,10 @@ pub fn try_spmm_with_budget(
             }
         });
     }
+    drop(symbolic_span);
+    if repsim_obs::enabled() {
+        SPGEMM_SYMBOLIC_NS.record(repsim_obs::now_ns().saturating_sub(symbolic_t0));
+    }
     if let Some(e) = errs.iter_mut().find_map(Option::take) {
         return Err(e);
     }
@@ -207,6 +252,12 @@ pub fn try_spmm_with_budget(
 
     // Phase 2 — numeric: write each row's entries at its bounded offset;
     // record the actual count (cancellation may fall short of the bound).
+    let numeric_t0 = if repsim_obs::enabled() {
+        repsim_obs::now_ns()
+    } else {
+        0
+    };
+    let numeric_span = repsim_obs::span("repsim.sparse.spgemm.numeric");
     let mut col_idx = vec![0u32; total];
     let mut values = vec![0.0f64; total];
     let mut count = vec![0usize; nrows];
@@ -254,6 +305,10 @@ pub fn try_spmm_with_budget(
             }
         });
     }
+    drop(numeric_span);
+    if repsim_obs::enabled() {
+        SPGEMM_NUMERIC_NS.record(repsim_obs::now_ns().saturating_sub(numeric_t0));
+    }
     if let Some(e) = errs.iter_mut().find_map(Option::take) {
         return Err(e);
     }
@@ -277,6 +332,10 @@ pub fn try_spmm_with_budget(
     values.truncate(dst);
     col_idx.shrink_to_fit();
     values.shrink_to_fit();
+    if kernel_span.is_active() {
+        kernel_span.attr("out_nnz", dst);
+        SPGEMM_OUT_NNZ.record(dst as u64);
+    }
     Ok(Csr::from_parts(nrows, ncols, row_ptr, col_idx, values))
 }
 

@@ -1,0 +1,181 @@
+//! Observability integration for the parallel SpGEMM kernel: span
+//! nesting under `thread::scope` workers and determinism of the
+//! recorded aggregates across `REPSIM_THREADS` settings.
+
+// Tests may panic freely: the workspace panic-freedom lints target
+// library code, not assertions.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+use std::sync::Arc;
+
+use repsim_obs::{AttrValue, CollectSink, EventKind, TraceEvent};
+use repsim_sparse::ops::try_spmm_with_budget;
+use repsim_sparse::{Budget, Csr};
+
+/// A deterministic sparse square matrix with > 4096 stored entries, so
+/// the kernel actually engages its multi-band parallel path.
+fn fixture(n: usize, stride: usize) -> Csr {
+    let rows: Vec<Vec<(u32, f64)>> = (0..n)
+        .map(|r| {
+            (0..20)
+                .map(|j| {
+                    let c = (r * stride + j * 7) % n;
+                    (c as u32, 1.0 + ((r + j) % 5) as f64)
+                })
+                .collect::<std::collections::BTreeMap<u32, f64>>()
+                .into_iter()
+                .collect()
+        })
+        .collect();
+    Csr::from_rows(n, &rows)
+}
+
+struct SpanView {
+    id: u64,
+    parent: Option<u64>,
+    name: &'static str,
+    attrs: Vec<(&'static str, AttrValue)>,
+}
+
+fn span_ends(events: &[TraceEvent]) -> Vec<SpanView> {
+    events
+        .iter()
+        .filter_map(|ev| match &ev.kind {
+            EventKind::SpanEnd {
+                id,
+                parent,
+                name,
+                attrs,
+                ..
+            } => Some(SpanView {
+                id: *id,
+                parent: *parent,
+                name,
+                attrs: attrs.clone(),
+            }),
+            _ => None,
+        })
+        .collect()
+}
+
+fn attr_u64(span: &SpanView, key: &str) -> Option<u64> {
+    span.attrs.iter().find_map(|(k, v)| match v {
+        AttrValue::U64(n) if *k == key => Some(*n),
+        _ => None,
+    })
+}
+
+/// One observed kernel run: the aggregates that must not depend on the
+/// thread count.
+#[derive(Debug, PartialEq, Eq)]
+struct RunAggregates {
+    kernel_spans: usize,
+    symbolic_spans: usize,
+    numeric_spans: usize,
+    phases_nested_under_kernel: bool,
+    out_nnz: Option<u64>,
+    flops: Option<u64>,
+    calls_delta: u64,
+    out_nnz_hist_sum: u64,
+    flops_hist_sum: u64,
+}
+
+fn observe(threads: usize, a: &Csr, b: &Csr) -> (Csr, RunAggregates) {
+    let registry = repsim_obs::Registry::global();
+    registry.reset();
+    let collect = Arc::new(CollectSink::new());
+    let sink: Arc<dyn repsim_obs::Sink> = Arc::clone(&collect) as _;
+    repsim_obs::install(Arc::clone(&sink));
+    let out = try_spmm_with_budget(a, b, threads, &Budget::unlimited()).expect("in-shape product");
+    repsim_obs::remove_sink(&sink);
+
+    let spans = span_ends(&collect.events());
+    let kernel: Vec<&SpanView> = spans
+        .iter()
+        .filter(|s| s.name == "repsim.sparse.spgemm")
+        .collect();
+    let symbolic: Vec<&SpanView> = spans
+        .iter()
+        .filter(|s| s.name == "repsim.sparse.spgemm.symbolic")
+        .collect();
+    let numeric: Vec<&SpanView> = spans
+        .iter()
+        .filter(|s| s.name == "repsim.sparse.spgemm.numeric")
+        .collect();
+    let kernel_id = kernel.first().map(|s| s.id);
+    let nested = symbolic
+        .iter()
+        .chain(numeric.iter())
+        .all(|s| s.parent.is_some() && s.parent == kernel_id);
+    let snapshot = registry.snapshot();
+    let counter = |name: &str| {
+        snapshot
+            .counters
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map_or(0, |&(_, v)| v)
+    };
+    let hist_sum = |name: &str| {
+        snapshot
+            .histograms
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map_or(0, |&(_, s)| s.sum)
+    };
+    let agg = RunAggregates {
+        kernel_spans: kernel.len(),
+        symbolic_spans: symbolic.len(),
+        numeric_spans: numeric.len(),
+        phases_nested_under_kernel: nested,
+        out_nnz: kernel.first().and_then(|s| attr_u64(s, "out_nnz")),
+        flops: kernel.first().and_then(|s| attr_u64(s, "flops")),
+        calls_delta: counter("repsim.sparse.spgemm.calls"),
+        out_nnz_hist_sum: hist_sum("repsim.sparse.spgemm.out_nnz"),
+        flops_hist_sum: hist_sum("repsim.sparse.spgemm.flops"),
+    };
+    (out, agg)
+}
+
+#[test]
+fn spgemm_span_aggregates_match_across_parallel_thread_counts() {
+    // Serializes global sink/metric state against other observability
+    // tests in this binary.
+    let _x = repsim_obs::exclusive();
+    let a = fixture(300, 3);
+    let b = fixture(300, 5);
+    assert!(a.nnz() >= 4096, "fixture must engage the banded path");
+
+    let (serial_out, serial) = observe(1, &a, &b);
+    assert_eq!(serial.kernel_spans, 1, "{serial:?}");
+    assert_eq!(serial.symbolic_spans, 1, "{serial:?}");
+    assert_eq!(serial.numeric_spans, 1, "{serial:?}");
+    assert!(serial.phases_nested_under_kernel, "{serial:?}");
+    assert_eq!(serial.calls_delta, 1);
+    assert_eq!(serial.out_nnz, Some(serial_out.nnz() as u64));
+    assert_eq!(serial.out_nnz_hist_sum, serial_out.nnz() as u64);
+    assert!(serial.flops.is_some_and(|f| f > 0));
+    assert_eq!(serial.flops, Some(serial.flops_hist_sum));
+
+    for threads in [2, 4, 8] {
+        let (out, par) = observe(threads, &a, &b);
+        assert_eq!(out, serial_out, "threads={threads} must be bit-identical");
+        assert_eq!(par, serial, "threads={threads} aggregates must match");
+    }
+}
+
+#[test]
+fn spgemm_records_nothing_when_disabled_even_in_parallel() {
+    let _x = repsim_obs::exclusive();
+    let a = fixture(300, 3);
+    let b = fixture(300, 5);
+    repsim_obs::Registry::global().reset();
+    assert!(!repsim_obs::enabled());
+    let out = try_spmm_with_budget(&a, &b, 4, &Budget::unlimited()).expect("in-shape product");
+    assert!(out.nnz() > 0);
+    let snapshot = repsim_obs::Registry::global().snapshot();
+    assert!(
+        snapshot.is_empty(),
+        "disabled run must not record metrics: {}",
+        snapshot.render_table()
+    );
+}

@@ -1,0 +1,153 @@
+//! The JSON-lines trace schema the workspace holds itself to.
+//!
+//! `repsim … --trace-out FILE` writes one self-contained JSON object per
+//! line. This test drives a real query through the CLI and validates
+//! every line against the schema CI relies on:
+//!
+//! * `span_start`: `id`, `parent` (number|null), `name`, `t_ns`, `thread`
+//! * `span_end`: the above plus `dur_ns` and an `attrs` object
+//! * `event`: `name`, `level` (error|warn|info|debug), `message`
+//! * `metrics` (final line): `counters`/`gauges`/`histograms` objects
+
+// Tests may panic freely: the workspace panic-freedom lints target
+// library code, not assertions.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+use repsim_obs::json::{self, Json};
+
+/// Split a command line on whitespace; `~` inside a token stands for a
+/// space (meta-walks are space-separated label lists).
+fn run(cmd: &str) -> String {
+    let argv: Vec<String> = cmd
+        .split_whitespace()
+        .map(|t| t.replace('~', " "))
+        .collect();
+    repsim_cli::run(&argv).expect("command succeeds")
+}
+
+fn num(obj: &Json, key: &str) -> f64 {
+    obj.get(key)
+        .and_then(Json::as_num)
+        .unwrap_or_else(|| panic!("{key} must be a number in {obj:?}"))
+}
+
+fn string<'a>(obj: &'a Json, key: &str) -> &'a str {
+    obj.get(key)
+        .and_then(Json::as_str)
+        .unwrap_or_else(|| panic!("{key} must be a string in {obj:?}"))
+}
+
+#[test]
+fn trace_out_lines_conform_to_the_schema() {
+    let _x = repsim_obs::exclusive();
+    let dir = std::env::temp_dir().join("repsim-trace-schema-test");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let graph = dir.join("movies.graph").to_string_lossy().into_owned();
+    let trace = dir.join("query.trace.jsonl").to_string_lossy().into_owned();
+    run(&format!(
+        "generate --dataset movies --scale tiny --out {graph}"
+    ));
+    // A finite (but generous) budget routes the query through the
+    // budgeted tier cascade, so the trace also carries point events.
+    repsim_sparse::Budget::set_global_max_nnz(100_000_000);
+    run(&format!(
+        "query {graph} --algorithm rpathsim --meta-walk=film~actor~film~actor~film \
+         --query film:film00000 -k 3 --trace-out {trace}"
+    ));
+
+    let text = std::fs::read_to_string(&trace).expect("trace file");
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(
+        lines.len() >= 3,
+        "a real query leaves a real trace:\n{text}"
+    );
+
+    let mut span_names = Vec::new();
+    let mut event_names = Vec::new();
+    let mut open_ids = std::collections::HashSet::new();
+    for (i, line) in lines.iter().enumerate() {
+        let obj = json::parse(line)
+            .unwrap_or_else(|e| panic!("line {} is not valid JSON ({e:?}): {line}", i + 1));
+        let ty = string(&obj, "type");
+        match ty {
+            "span_start" | "span_end" => {
+                let id = num(&obj, "id");
+                assert!(id >= 0.0);
+                assert!(num(&obj, "t_ns") >= 0.0);
+                assert!(num(&obj, "thread") >= 0.0);
+                let name = string(&obj, "name");
+                assert!(
+                    name.starts_with("repsim."),
+                    "span names are namespaced: {name}"
+                );
+                let parent = obj.get("parent").expect("parent key present");
+                assert!(
+                    matches!(parent, Json::Null) || parent.as_num().is_some(),
+                    "parent is a number or null: {parent:?}"
+                );
+                if ty == "span_start" {
+                    open_ids.insert(id as u64);
+                } else {
+                    assert!(num(&obj, "dur_ns") >= 0.0);
+                    assert!(
+                        obj.get("attrs").is_some_and(|a| a.as_obj().is_some()),
+                        "span_end carries an attrs object: {line}"
+                    );
+                    assert!(
+                        open_ids.remove(&(id as u64)),
+                        "span {id} ended without starting: {line}"
+                    );
+                    span_names.push(name.to_owned());
+                }
+            }
+            "event" => {
+                let name = string(&obj, "name");
+                assert!(name.starts_with("repsim."));
+                event_names.push(name.to_owned());
+                let level = string(&obj, "level");
+                assert!(
+                    ["error", "warn", "info", "debug"].contains(&level),
+                    "unknown level {level:?}"
+                );
+                string(&obj, "message");
+            }
+            "metrics" => {
+                assert_eq!(i + 1, lines.len(), "metrics is the closing line");
+                let metrics = obj.get("metrics").expect("metrics payload");
+                for section in ["counters", "gauges", "histograms"] {
+                    assert!(
+                        metrics.get(section).is_some_and(|s| s.as_obj().is_some()),
+                        "metrics.{section} must be an object: {line}"
+                    );
+                }
+            }
+            other => panic!("unknown trace line type {other:?}: {line}"),
+        }
+    }
+    assert_eq!(
+        string(
+            &json::parse(lines[lines.len() - 1]).expect("parsed above"),
+            "type"
+        ),
+        "metrics",
+        "the trace must close with a metrics snapshot"
+    );
+    assert!(open_ids.is_empty(), "spans left open: {open_ids:?}");
+
+    // The instrumented layers the acceptance criteria call out must all
+    // be present in a single query trace.
+    for layer in [
+        "repsim.sparse.spgemm",
+        "repsim.sparse.chain.plan",
+        "repsim.metawalk.commuting.build",
+    ] {
+        assert!(
+            span_names.iter().any(|n| n == layer),
+            "missing {layer} in {span_names:?}"
+        );
+    }
+    assert!(
+        event_names.iter().any(|n| n == "repsim.core.budgeted.tier"),
+        "the budgeted tier announcement must appear: {event_names:?}"
+    );
+}
