@@ -33,7 +33,7 @@ pub struct Args {
 
 /// Long options that are flags (no value): `--trace` must not swallow the
 /// next token the way `--key value` options do.
-const BOOL_FLAGS: &[&str] = &["trace"];
+const BOOL_FLAGS: &[&str] = &["trace", "fault-injection"];
 
 impl Args {
     /// Parses everything after the command word.
@@ -86,6 +86,16 @@ impl Args {
     /// Whether a flag (or any option) was given at all.
     pub fn has(&self, key: &str) -> bool {
         self.get(key).is_some()
+    }
+
+    /// Every occurrence of a repeatable option, in argv order
+    /// (`--request A --request B`).
+    pub fn get_all(&self, key: &str) -> Vec<&str> {
+        self.options
+            .iter()
+            .filter(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+            .collect()
     }
 
     /// A required option.

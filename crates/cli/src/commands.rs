@@ -25,7 +25,8 @@ fn load(path: &str) -> Result<Graph, CliError> {
 }
 
 fn save_or_print(args: &Args, g: &Graph) -> Result<String, CliError> {
-    let text = io::write(g);
+    let text =
+        io::write(g).map_err(|e| CliError::Command(format!("cannot serialize graph: {e}")))?;
     match args.get("out") {
         Some(path) => {
             std::fs::write(path, &text)
@@ -406,18 +407,46 @@ pub fn profile(args: &Args) -> Result<String, CliError> {
     repsim_obs::Registry::global().reset();
     repsim_obs::install(Arc::clone(&sink));
     // The profiled work, fenced so the sink comes back out on error too.
-    let profiled = (|| -> Result<_, repsim_sparse::ExecError> {
+    let profiled = (|| -> Result<_, CliError> {
+        let exhausted =
+            |e: repsim_sparse::ExecError| CliError::Command(format!("budget exhausted: {e}"));
         let mut cache = repsim_metawalk::commuting::CommutingCache::new();
-        cache.try_informative_with(&g, &half, par, &budget)?;
+        cache
+            .try_informative_with(&g, &half, par, &budget)
+            .map_err(exhausted)?;
         // Warm repeat: must be a cache hit, not a rebuild.
-        cache.try_informative_with(&g, &half, par, &budget)?;
-        let mut engine = repsim_core::QueryEngine::try_with_budget(&g, half.clone(), par, &budget)?;
-        Ok((engine.rank(q, g.label_of(q), k), cache.stats()))
+        cache
+            .try_informative_with(&g, &half, par, &budget)
+            .map_err(exhausted)?;
+        // Optional persistence leg: save the index snapshot and load it
+        // back so the save/load spans and duration histograms land in
+        // the same profile as the build they bracket.
+        let snap = match args.get("snapshot") {
+            Some(path) => {
+                let p = std::path::Path::new(path);
+                let saved = repsim_serve::snapshot::save(p, &g, &cache, &budget)
+                    .map_err(|e| CliError::Command(format!("snapshot save: {e}")))?;
+                let loaded = match repsim_serve::snapshot::load(p, &g)
+                    .map_err(|e| CliError::Command(format!("snapshot load: {e}")))?
+                {
+                    repsim_serve::snapshot::LoadOutcome::Restored(entries) => entries.len(),
+                    other => {
+                        return Err(CliError::Command(format!(
+                            "snapshot failed its own round-trip: {other:?}"
+                        )))
+                    }
+                };
+                Some((saved, loaded))
+            }
+            None => None,
+        };
+        let mut engine = repsim_core::QueryEngine::try_with_budget(&g, half.clone(), par, &budget)
+            .map_err(exhausted)?;
+        Ok((engine.rank(q, g.label_of(q), k), cache.stats(), snap))
     })();
     repsim_obs::remove_sink(&sink);
 
-    let (list, stats) =
-        profiled.map_err(|e| CliError::Command(format!("budget exhausted: {e}")))?;
+    let (list, stats, snap) = profiled?;
     let mut out = format!(
         "profile of rpathsim {meta_walk:?} for {}:\n",
         g.display_node(q)
@@ -430,6 +459,13 @@ pub fn profile(args: &Args) -> Result<String, CliError> {
         "cache: {} hits / {} misses / {} inserts",
         stats.hits, stats.misses, stats.inserts
     );
+    if let Some((saved, loaded)) = snap {
+        let _ = writeln!(
+            out,
+            "snapshot: saved {} entries ({} bytes), reloaded {loaded}",
+            saved.entries, saved.bytes
+        );
+    }
     out.push_str("\nspan tree:\n");
     out.push_str(&repsim_obs::render_tree(&collect.events()));
     out.push_str("\nmetrics:\n");
@@ -533,7 +569,8 @@ pub fn export(args: &Args) -> Result<String, CliError> {
         "dot" => repsim_graph::export::to_dot(&g),
         "graphml" => repsim_graph::export::to_graphml(&g),
         other => return Err(CliError::Usage(format!("unknown format {other:?}"))),
-    };
+    }
+    .map_err(|e| CliError::Command(format!("cannot export graph: {e}")))?;
     match args.get("out") {
         Some(path) => {
             std::fs::write(path, &text)
@@ -573,6 +610,121 @@ pub fn explain(args: &Args) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// The `repsim serve` shutdown flag: set by SIGINT/SIGTERM (unix) or a
+/// client `shutdown` op, polled by the accept loop. Process-global so
+/// the signal handler can reach it; re-armed on every `serve` call.
+static SERVE_SHUTDOWN: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+/// Routes SIGINT and SIGTERM into [`SERVE_SHUTDOWN`] so `repsim serve`
+/// drains its queue and writes a final snapshot instead of dying with
+/// in-flight work. `kill -9` still skips this — that is the crash the
+/// snapshot layer's quarantine-and-rebuild path exists for.
+#[cfg(unix)]
+fn install_shutdown_signals() {
+    extern "C" fn on_signal(_sig: i32) {
+        // Only async-signal-safe work here: one atomic store.
+        SERVE_SHUTDOWN.store(true, std::sync::atomic::Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    // SAFETY: installs a handler that performs a single atomic store,
+    // which is async-signal-safe; the handler never allocates or locks.
+    unsafe {
+        signal(SIGINT, on_signal);
+        signal(SIGTERM, on_signal);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_shutdown_signals() {}
+
+/// `repsim serve FILE [--addr A] [--snapshot FILE] [--queue-cap N]
+/// [--port-file FILE] [--fault-injection]`.
+///
+/// Blocks until SIGINT/SIGTERM or a client `shutdown` op, then drains
+/// the queue and (with `--snapshot`) writes a final snapshot.
+pub fn serve(args: &Args) -> Result<String, CliError> {
+    let g = load(args.input_file()?)?;
+    let cfg = repsim_serve::ServeConfig {
+        addr: args.get("addr").unwrap_or("127.0.0.1:7878").to_owned(),
+        snapshot: args.get("snapshot").map(std::path::PathBuf::from),
+        queue_cap: args.get_usize("queue-cap", 64)?,
+        port_file: args.get("port-file").map(std::path::PathBuf::from),
+        service: repsim_serve::ServiceConfig {
+            par: repsim_sparse::Parallelism::default(),
+            default_deadline_ms: args.deadline_ms()?,
+            breaker: repsim_serve::BreakerConfig::default(),
+            fault_injection: args.has("fault-injection"),
+        },
+    };
+    SERVE_SHUTDOWN.store(false, std::sync::atomic::Ordering::SeqCst);
+    install_shutdown_signals();
+    let report = repsim_serve::run(&g, &cfg, &SERVE_SHUTDOWN)
+        .map_err(|e| CliError::Command(e.to_string()))?;
+    let mut out = format!("served on {}: {} requests", report.addr, report.requests);
+    if report.shed > 0 {
+        let _ = write!(out, ", {} shed", report.shed);
+    }
+    match report.restore {
+        Some(repsim_serve::Restore::Restored { entries }) => {
+            let _ = write!(out, "; restored {entries} indexes from snapshot");
+        }
+        Some(repsim_serve::Restore::Quarantined { reason }) => {
+            let _ = write!(out, "; snapshot quarantined ({reason}), rebuilt cold");
+        }
+        Some(repsim_serve::Restore::ColdStart) | None => {}
+    }
+    if let Some(s) = report.final_snapshot {
+        let _ = write!(
+            out,
+            "; final snapshot: {} entries, {} bytes",
+            s.entries, s.bytes
+        );
+    }
+    Ok(out)
+}
+
+/// `repsim serve-client --addr HOST:PORT [--request JSON]...`
+///
+/// One-shot client for scripts and CI: sends each `--request` line (or,
+/// with none given, each non-empty stdin line) and prints one response
+/// line per request.
+pub fn serve_client(args: &Args) -> Result<String, CliError> {
+    let addr = args.require("addr")?;
+    let mut lines: Vec<String> = args
+        .get_all("request")
+        .iter()
+        .map(|s| (*s).to_owned())
+        .collect();
+    if lines.is_empty() {
+        use std::io::BufRead as _;
+        for line in std::io::stdin().lock().lines() {
+            let line = line.map_err(|e| CliError::Io(format!("stdin: {e}")))?;
+            if !line.trim().is_empty() {
+                lines.push(line);
+            }
+        }
+    }
+    if lines.is_empty() {
+        return Err(CliError::Usage(
+            "serve-client needs at least one --request (or request lines on stdin)".to_owned(),
+        ));
+    }
+    let responses = repsim_serve::client_roundtrip(addr, &lines)
+        .map_err(|e| CliError::Io(format!("cannot reach {addr}: {e}")))?;
+    if responses.len() < lines.len() {
+        return Err(CliError::Command(format!(
+            "server closed the connection after {} of {} responses",
+            responses.len(),
+            lines.len()
+        )));
+    }
+    Ok(responses.join("\n"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -598,6 +750,61 @@ mod tests {
         .unwrap();
         assert!(out.contains("wrote"));
         path
+    }
+
+    #[test]
+    fn serve_and_serve_client_roundtrip() {
+        let path = write_movies("serve.graph");
+        let dir = std::env::temp_dir().join(format!("repsim-cli-serve-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let port_file = dir.join("port");
+        let snap = dir.join("idx.snap");
+        let serve_args = argv(&format!(
+            "{path} --addr 127.0.0.1:0 --port-file {} --snapshot {} --queue-cap 4",
+            port_file.display(),
+            snap.display()
+        ));
+        let handle = std::thread::spawn(move || serve(&serve_args));
+        let addr = loop {
+            match std::fs::read_to_string(&port_file) {
+                Ok(text) if !text.trim().is_empty() => break text.trim().to_owned(),
+                _ => std::thread::sleep(std::time::Duration::from_millis(5)),
+            }
+        };
+        let tokens: Vec<String> = [
+            "--addr",
+            &addr,
+            "--request",
+            r#"{"id":1,"op":"ping"}"#,
+            "--request",
+            r#"{"id":2,"walk":"film actor film","label":"film","value":"film00000","k":3}"#,
+            "--request",
+            r#"{"id":3,"op":"shutdown"}"#,
+        ]
+        .iter()
+        .map(|s| (*s).to_owned())
+        .collect();
+        let out = serve_client(&Args::parse(&tokens).unwrap()).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 3, "{out}");
+        assert!(lines[0].contains("pong"), "{out}");
+        assert!(lines[1].contains(r#""ok":true"#), "{out}");
+        assert!(lines[1].contains("exact"), "{out}");
+        assert!(lines[2].contains("shutting_down"), "{out}");
+        let summary = handle.join().unwrap().unwrap();
+        assert!(summary.contains("served on"), "{summary}");
+        assert!(summary.contains("final snapshot"), "{summary}");
+        assert!(snap.exists(), "shutdown persisted the index");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn serve_client_requires_addr_and_requests() {
+        assert!(matches!(
+            serve_client(&argv("--request {}")),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]

@@ -68,6 +68,8 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "export" => commands::export(&args),
         "explain" => commands::explain(&args),
         "profile" => commands::profile(&args),
+        "serve" => commands::serve(&args),
+        "serve-client" => commands::serve_client(&args),
         "help" | "--help" | "-h" => Ok(USAGE.to_owned()),
         other => Err(CliError::Usage(format!(
             "unknown command {other:?}\n\n{USAGE}"
@@ -181,9 +183,18 @@ COMMANDS:
   explain      FILE --meta-walk \"...\" --query label:value
                --candidate label:value [-k N]   show witnessing walks
   profile      FILE --meta-walk \"...\" --query label:value [-k N]
-                                        run one rpathsim query twice (cold
+               [--snapshot FILE]        run one rpathsim query twice (cold
                                         cache, then warm) and print the span
-                                        tree + metrics table
+                                        tree + metrics table; with --snapshot,
+                                        also time a snapshot save + reload
+  serve        FILE [--addr HOST:PORT] [--snapshot FILE] [--queue-cap N]
+               [--port-file FILE] [--fault-injection]
+                                        resident query service over newline-
+                                        delimited JSON; SIGTERM/ctrl-c drains
+                                        and writes a final snapshot
+  serve-client --addr HOST:PORT [--request JSON]...
+                                        send request lines (or stdin) to a
+                                        running server, print the responses
 
 GLOBAL OPTIONS:
   --threads N | -t N   worker threads for matrix builds and query sweeps

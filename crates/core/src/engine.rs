@@ -80,9 +80,49 @@ impl<'g> QueryEngine<'g> {
         })
     }
 
+    /// Constructs an engine directly from a prebuilt half matrix — the
+    /// snapshot-restore hook used by `repsim-serve`, which skips the
+    /// commuting-matrix chain entirely on a warm start.
+    ///
+    /// `m_half` must be the informative commuting matrix of `half` on
+    /// `g`. Its shape is validated against the graph's label partitions
+    /// here; content integrity (checksums, graph fingerprint) is the
+    /// snapshot loader's job before calling.
+    pub fn try_from_half_matrix(
+        g: &'g Graph,
+        half: MetaWalk,
+        m_half: Csr,
+        par: Parallelism,
+    ) -> Result<Self, ExecError> {
+        let nrows = g.nodes_of_label(half.source()).len();
+        let ncols = g.nodes_of_label(half.target()).len();
+        if m_half.nrows() != nrows || m_half.ncols() != ncols {
+            return Err(ExecError::ShapeMismatch {
+                op: "engine_restore",
+                lhs: (nrows, ncols),
+                rhs: (m_half.nrows(), m_half.ncols()),
+            });
+        }
+        let diag = m_half.row_sq_sums();
+        Ok(QueryEngine {
+            g,
+            half,
+            m_half,
+            diag,
+            par,
+        })
+    }
+
     /// The half meta-walk.
     pub fn half(&self) -> &MetaWalk {
         &self.half
+    }
+
+    /// The informative commuting matrix of the half walk — the snapshot
+    /// export hook ([`QueryEngine::try_from_half_matrix`] restores from
+    /// it).
+    pub fn half_matrix(&self) -> &Csr {
+        &self.m_half
     }
 
     /// The closed meta-walk actually scored.
@@ -165,12 +205,11 @@ impl<'g> QueryEngine<'g> {
     }
 }
 
-impl SimilarityAlgorithm for QueryEngine<'_> {
-    fn name(&self) -> String {
-        "R-PathSim (query engine)".to_owned()
-    }
-
-    fn rank(&mut self, query: NodeId, target_label: LabelId, k: usize) -> RankedList {
+impl QueryEngine<'_> {
+    /// The ranking of [`SimilarityAlgorithm::rank`] through a shared
+    /// reference — the engine never mutates to rank, and the serve
+    /// workers share one engine per walk across threads.
+    pub fn rank_ref(&self, query: NodeId, target_label: LabelId, k: usize) -> RankedList {
         assert_eq!(
             target_label,
             self.half.source(),
@@ -204,6 +243,16 @@ impl SimilarityAlgorithm for QueryEngine<'_> {
             query,
             k,
         )
+    }
+}
+
+impl SimilarityAlgorithm for QueryEngine<'_> {
+    fn name(&self) -> String {
+        "R-PathSim (query engine)".to_owned()
+    }
+
+    fn rank(&mut self, query: NodeId, target_label: LabelId, k: usize) -> RankedList {
+        self.rank_ref(query, target_label, k)
     }
 }
 

@@ -21,6 +21,10 @@ pub enum GraphError {
         /// What went wrong.
         message: String,
     },
+    /// A formatter error while serializing a graph ([`crate::io::write`],
+    /// [`crate::export`]). Cannot occur when writing into a `String`, but
+    /// the serializers accept any `fmt::Write` sink, and those can fail.
+    Format,
 }
 
 impl fmt::Display for GraphError {
@@ -32,6 +36,7 @@ impl fmt::Display for GraphError {
             GraphError::Parse { line, message } => {
                 write!(f, "parse error at line {line}: {message}")
             }
+            GraphError::Format => write!(f, "formatter error while serializing graph"),
         }
     }
 }

@@ -5,8 +5,9 @@
 //! (GraphML). Entities render with their values, relationship nodes as
 //! small unlabeled points.
 
-use std::fmt::Write as _;
+use std::fmt;
 
+use crate::error::GraphError;
 use crate::graph::Graph;
 
 /// Escapes a string for a double-quoted DOT identifier.
@@ -14,32 +15,39 @@ fn dot_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
-/// Renders the graph in Graphviz DOT format (undirected).
-pub fn to_dot(g: &Graph) -> String {
-    let mut out = String::from("graph repsim {\n  node [fontsize=10];\n");
+/// Renders the graph in Graphviz DOT format (undirected) into any
+/// formatter sink, propagating the sink's errors.
+pub fn dot_to<W: fmt::Write>(g: &Graph, out: &mut W) -> fmt::Result {
+    out.write_str("graph repsim {\n  node [fontsize=10];\n")?;
     for n in g.node_ids() {
         let label = g.labels().name(g.label_of(n));
-        let _ = match g.value_of(n) {
+        match g.value_of(n) {
             Some(v) => writeln!(
                 out,
                 "  n{} [label=\"{}:{}\", shape=box];",
                 n.0,
                 dot_escape(label),
                 dot_escape(v)
-            ),
+            )?,
             None => writeln!(
                 out,
                 "  n{} [label=\"{}\", shape=point, width=0.12];",
                 n.0,
                 dot_escape(label)
-            ),
-        };
+            )?,
+        }
     }
     for (a, b) in g.edges() {
-        let _ = writeln!(out, "  n{} -- n{};", a.0, b.0);
+        writeln!(out, "  n{} -- n{};", a.0, b.0)?;
     }
-    out.push_str("}\n");
-    out
+    out.write_str("}\n")
+}
+
+/// Renders the graph in Graphviz DOT format (undirected).
+pub fn to_dot(g: &Graph) -> Result<String, GraphError> {
+    let mut out = String::new();
+    dot_to(g, &mut out).map_err(|fmt::Error| GraphError::Format)?;
+    Ok(out)
 }
 
 /// Escapes XML text content and attribute values.
@@ -50,17 +58,18 @@ fn xml_escape(s: &str) -> String {
         .replace('"', "&quot;")
 }
 
-/// Renders the graph in GraphML with `label` and `value` node attributes.
-pub fn to_graphml(g: &Graph) -> String {
-    let mut out = String::from(
+/// Renders the graph in GraphML into any formatter sink, propagating the
+/// sink's errors.
+pub fn graphml_to<W: fmt::Write>(g: &Graph, out: &mut W) -> fmt::Result {
+    out.write_str(
         "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n\
          <graphml xmlns=\"http://graphml.graphdrawing.org/xmlns\">\n\
          <key id=\"label\" for=\"node\" attr.name=\"label\" attr.type=\"string\"/>\n\
          <key id=\"value\" for=\"node\" attr.name=\"value\" attr.type=\"string\"/>\n\
          <graph edgedefault=\"undirected\">\n",
-    );
+    )?;
     for n in g.node_ids() {
-        let _ = writeln!(
+        writeln!(
             out,
             "  <node id=\"n{}\"><data key=\"label\">{}</data>{}</node>",
             n.0,
@@ -69,17 +78,23 @@ pub fn to_graphml(g: &Graph) -> String {
                 Some(v) => format!("<data key=\"value\">{}</data>", xml_escape(v)),
                 None => String::new(),
             }
-        );
+        )?;
     }
     for (i, (a, b)) in g.edges().enumerate() {
-        let _ = writeln!(
+        writeln!(
             out,
             "  <edge id=\"e{i}\" source=\"n{}\" target=\"n{}\"/>",
             a.0, b.0
-        );
+        )?;
     }
-    out.push_str("</graph>\n</graphml>\n");
-    out
+    out.write_str("</graph>\n</graphml>\n")
+}
+
+/// Renders the graph in GraphML with `label` and `value` node attributes.
+pub fn to_graphml(g: &Graph) -> Result<String, GraphError> {
+    let mut out = String::new();
+    graphml_to(g, &mut out).map_err(|fmt::Error| GraphError::Format)?;
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -100,8 +115,20 @@ mod tests {
     }
 
     #[test]
+    fn failing_sink_errors_propagate() {
+        struct FailingSink;
+        impl std::fmt::Write for FailingSink {
+            fn write_str(&mut self, _: &str) -> std::fmt::Result {
+                Err(std::fmt::Error)
+            }
+        }
+        assert!(dot_to(&graph(), &mut FailingSink).is_err());
+        assert!(graphml_to(&graph(), &mut FailingSink).is_err());
+    }
+
+    #[test]
     fn dot_output_shape() {
-        let d = to_dot(&graph());
+        let d = to_dot(&graph()).unwrap();
         assert!(d.starts_with("graph repsim {"));
         assert!(d.contains("shape=box"));
         assert!(d.contains("shape=point"));
@@ -112,7 +139,7 @@ mod tests {
 
     #[test]
     fn graphml_output_escapes() {
-        let x = to_graphml(&graph());
+        let x = to_graphml(&graph()).unwrap();
         assert!(x.contains("&quot;hi&quot; &amp; left"));
         assert!(x.contains("Other&lt;film&gt;"));
         assert!(x.contains("<edge id=\"e0\""));
@@ -124,9 +151,9 @@ mod tests {
     #[test]
     fn edge_counts_match() {
         let g = graph();
-        let d = to_dot(&g);
+        let d = to_dot(&g).unwrap();
         assert_eq!(d.matches(" -- ").count(), g.num_edges());
-        let x = to_graphml(&g);
+        let x = to_graphml(&g).unwrap();
         assert_eq!(x.matches("<edge ").count(), g.num_edges());
     }
 }

@@ -18,7 +18,7 @@
 //! observable).
 
 use std::collections::HashMap;
-use std::fmt::Write as _;
+use std::fmt;
 
 use crate::builder::GraphBuilder;
 use crate::error::GraphError;
@@ -26,26 +26,33 @@ use crate::graph::Graph;
 use crate::ids::NodeId;
 use crate::label::LabelKind;
 
-/// Serializes a graph to the text format.
-pub fn write(g: &Graph) -> String {
-    let mut out = String::new();
+/// Serializes a graph to the text format into any formatter sink,
+/// propagating the sink's errors.
+pub fn write_to<W: fmt::Write>(g: &Graph, out: &mut W) -> fmt::Result {
     for l in g.labels().ids() {
         let kind = match g.labels().kind(l) {
             LabelKind::Entity => "entity",
             LabelKind::Relationship => "relationship",
         };
-        let _ = writeln!(out, "label {} {}", g.labels().name(l), kind);
+        writeln!(out, "label {} {}", g.labels().name(l), kind)?;
     }
     for n in g.node_ids() {
-        let _ = match g.value_of(n) {
-            Some(v) => writeln!(out, "node {} {} {}", n.0, g.labels().name(g.label_of(n)), v),
-            None => writeln!(out, "node {} {}", n.0, g.labels().name(g.label_of(n))),
-        };
+        match g.value_of(n) {
+            Some(v) => writeln!(out, "node {} {} {}", n.0, g.labels().name(g.label_of(n)), v)?,
+            None => writeln!(out, "node {} {}", n.0, g.labels().name(g.label_of(n)))?,
+        }
     }
     for (a, b) in g.edges() {
-        let _ = writeln!(out, "edge {} {}", a.0, b.0);
+        writeln!(out, "edge {} {}", a.0, b.0)?;
     }
-    out
+    Ok(())
+}
+
+/// Serializes a graph to the text format.
+pub fn write(g: &Graph) -> Result<String, GraphError> {
+    let mut out = String::new();
+    write_to(g, &mut out).map_err(|fmt::Error| GraphError::Format)?;
+    Ok(out)
 }
 
 /// Parses a graph from the text format.
@@ -143,7 +150,7 @@ mod tests {
     #[test]
     fn roundtrip_preserves_structure() {
         let g = fixture();
-        let text = write(&g);
+        let text = write(&g).unwrap();
         let g2 = read(&text).unwrap();
         assert_eq!(g2.num_nodes(), g.num_nodes());
         assert_eq!(g2.num_edges(), g.num_edges());
@@ -153,6 +160,17 @@ mod tests {
         let s = g2.neighbors(a)[0];
         assert!(g2.has_edge(s, f));
         assert_eq!(g2.value_of(s), None);
+    }
+
+    #[test]
+    fn write_to_propagates_sink_errors() {
+        struct FailingSink;
+        impl std::fmt::Write for FailingSink {
+            fn write_str(&mut self, _: &str) -> std::fmt::Result {
+                Err(std::fmt::Error)
+            }
+        }
+        assert!(write_to(&fixture(), &mut FailingSink).is_err());
     }
 
     #[test]

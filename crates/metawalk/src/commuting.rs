@@ -362,6 +362,54 @@ impl CommutingCache {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Iterates every cached entry, in unspecified order — the snapshot
+    /// export hook used by `repsim-serve` persistence.
+    pub fn entries(&self) -> impl Iterator<Item = (CacheKind, &MetaWalk, &Csr)> {
+        self.plain
+            .iter()
+            .map(|(mw, m)| (CacheKind::Plain, mw, m))
+            .chain(
+                self.informative
+                    .iter()
+                    .map(|(mw, m)| (CacheKind::Informative, mw, m)),
+            )
+    }
+
+    /// Looks up a cached matrix without building on miss (and without
+    /// touching hit/miss stats) — the read-only twin of the `try_*`
+    /// getters for callers that degrade instead of building.
+    pub fn peek(&self, kind: CacheKind, mw: &MetaWalk) -> Option<&Csr> {
+        match kind {
+            CacheKind::Plain => self.plain.get(mw),
+            CacheKind::Informative => self.informative.get(mw),
+        }
+    }
+
+    /// Inserts a prebuilt matrix — the snapshot import hook. The matrix
+    /// must have been produced by the matching build for `mw` on the same
+    /// graph (snapshot loading verifies this via checksums and graph
+    /// fingerprints before calling). Counts as an insert; replaces any
+    /// existing entry.
+    pub fn import(&mut self, kind: CacheKind, mw: MetaWalk, m: Csr) {
+        let map = match kind {
+            CacheKind::Plain => &mut self.plain,
+            CacheKind::Informative => &mut self.informative,
+        };
+        map.insert(mw, m);
+        self.stats.inserts += 1;
+        CACHE_INSERT.add(1);
+    }
+}
+
+/// Which of a [`CommutingCache`]'s two maps an entry belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CacheKind {
+    /// All instances — PathSim's semantics ([`CommutingCache::plain`]).
+    Plain,
+    /// Informative instances only — R-PathSim's semantics
+    /// ([`CommutingCache::informative`]).
+    Informative,
 }
 
 #[cfg(test)]

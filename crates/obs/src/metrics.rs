@@ -345,6 +345,40 @@ impl CounterHandle {
     }
 }
 
+/// A lazily resolved gauge slot, declared `static` at the call site.
+/// All operations are no-ops while observability is disabled.
+pub struct GaugeHandle {
+    name: &'static str,
+    cell: OnceLock<Arc<Gauge>>,
+}
+
+impl GaugeHandle {
+    /// A handle for the gauge named `name`.
+    pub const fn new(name: &'static str) -> GaugeHandle {
+        GaugeHandle {
+            name,
+            cell: OnceLock::new(),
+        }
+    }
+
+    /// The metric name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Sets the gauge if observability is enabled.
+    pub fn set(&self, v: i64) {
+        if crate::enabled() {
+            self.resolve().set(v);
+        }
+    }
+
+    fn resolve(&self) -> &Arc<Gauge> {
+        self.cell
+            .get_or_init(|| Registry::global().gauge(self.name))
+    }
+}
+
 /// A lazily resolved histogram slot, declared `static` at the call
 /// site. All operations are no-ops while observability is disabled.
 pub struct HistogramHandle {

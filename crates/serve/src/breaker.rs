@@ -1,0 +1,298 @@
+//! A circuit breaker over budget-exhausted responses.
+//!
+//! When consecutive requests exhaust their budgets the server is
+//! evidently past its capacity envelope; admitting more work only makes
+//! every in-flight deadline worse. The breaker trips **open** after a
+//! threshold of consecutive exhaustions and rejects instantly with a
+//! retry-after hint. After a cool-down it **half-opens**: exactly one
+//! probe request is admitted, and its outcome decides between closing
+//! (recovered) and re-opening with doubled backoff. Jitter is
+//! deterministic (a xorshift64 stream seeded at construction) so
+//! replayed traces are reproducible while still decorrelating client
+//! retries.
+//!
+//! State transitions surface as `repsim.serve.breaker.*` counters and
+//! Warn/Info point events.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use repsim_obs::CounterHandle;
+
+static BREAKER_OPEN: CounterHandle = CounterHandle::new("repsim.serve.breaker.open");
+static BREAKER_HALF_OPEN: CounterHandle = CounterHandle::new("repsim.serve.breaker.half_open");
+static BREAKER_CLOSE: CounterHandle = CounterHandle::new("repsim.serve.breaker.close");
+
+/// Tuning for [`CircuitBreaker`].
+#[derive(Clone, Copy, Debug)]
+pub struct BreakerConfig {
+    /// Consecutive budget-exhausted responses that trip the breaker.
+    pub threshold: u32,
+    /// First open interval; doubles on every re-open.
+    pub base_ms: u64,
+    /// Backoff ceiling.
+    pub max_ms: u64,
+    /// Seed for the deterministic jitter stream.
+    pub jitter_seed: u64,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            threshold: 3,
+            base_ms: 50,
+            max_ms: 5_000,
+            jitter_seed: 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Kind {
+    Closed,
+    Open,
+    HalfOpen,
+}
+
+struct State {
+    kind: Kind,
+    consecutive: u32,
+    open_until: Option<Instant>,
+    /// Consecutive opens; exponent of the backoff.
+    reopens: u32,
+    rng: u64,
+}
+
+/// See the module docs. All methods take `&self`; the state lives behind
+/// one small mutex (the breaker is consulted once per request, far from
+/// any hot loop).
+pub struct CircuitBreaker {
+    cfg: BreakerConfig,
+    state: Mutex<State>,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with the given tuning.
+    pub fn new(cfg: BreakerConfig) -> CircuitBreaker {
+        CircuitBreaker {
+            state: Mutex::new(State {
+                kind: Kind::Closed,
+                consecutive: 0,
+                open_until: None,
+                reopens: 0,
+                rng: cfg.jitter_seed | 1,
+            }),
+            cfg,
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Admission check. `Ok(())` admits the request; `Err(ms)` rejects
+    /// with a retry-after hint. While half-open, exactly one probe is
+    /// admitted; concurrent requests are rejected until its verdict.
+    pub fn admit(&self) -> Result<(), u64> {
+        let mut s = self.lock();
+        match s.kind {
+            Kind::Closed => Ok(()),
+            Kind::HalfOpen => Err(self.cfg.base_ms.max(1)),
+            Kind::Open => {
+                let until = match s.open_until {
+                    Some(u) => u,
+                    None => {
+                        // Unreachable by construction; recover by probing.
+                        Self::transition(&mut s, Kind::HalfOpen);
+                        return Ok(());
+                    }
+                };
+                let now = Instant::now();
+                if now < until {
+                    Err(duration_ms(until - now).max(1))
+                } else {
+                    Self::transition(&mut s, Kind::HalfOpen);
+                    Ok(())
+                }
+            }
+        }
+    }
+
+    /// Records a successfully answered request (exact or degraded — any
+    /// response that was *not* budget-exhausted).
+    pub fn on_success(&self) {
+        let mut s = self.lock();
+        s.consecutive = 0;
+        if s.kind != Kind::Closed {
+            s.reopens = 0;
+            s.open_until = None;
+            Self::transition(&mut s, Kind::Closed);
+        }
+    }
+
+    /// Records a budget-exhausted response. Returns the retry-after hint
+    /// when this failure tripped (or re-tripped) the breaker.
+    pub fn on_exhausted(&self) -> Option<u64> {
+        let mut s = self.lock();
+        match s.kind {
+            Kind::HalfOpen => Some(self.trip(&mut s)),
+            Kind::Open => None,
+            Kind::Closed => {
+                s.consecutive += 1;
+                if s.consecutive >= self.cfg.threshold {
+                    Some(self.trip(&mut s))
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// The current state, for the stats envelope and metrics table.
+    pub fn state_name(&self) -> &'static str {
+        match self.lock().kind {
+            Kind::Closed => "closed",
+            Kind::Open => "open",
+            Kind::HalfOpen => "half-open",
+        }
+    }
+
+    /// Opens (or re-opens) the breaker: exponential backoff with
+    /// deterministic jitter in `[0, backoff/4]`.
+    fn trip(&self, s: &mut State) -> u64 {
+        let exp = s.reopens.min(32);
+        let backoff = self
+            .cfg
+            .base_ms
+            .saturating_mul(1u64 << exp)
+            .min(self.cfg.max_ms.max(self.cfg.base_ms));
+        let jitter = if backoff >= 4 {
+            xorshift(&mut s.rng) % (backoff / 4 + 1)
+        } else {
+            0
+        };
+        let wait = backoff + jitter;
+        s.reopens += 1;
+        s.consecutive = 0;
+        s.open_until = Some(Instant::now() + Duration::from_millis(wait));
+        Self::transition(s, Kind::Open);
+        wait
+    }
+
+    fn transition(s: &mut State, to: Kind) {
+        if s.kind == to {
+            return;
+        }
+        s.kind = to;
+        let (counter, level, name) = match to {
+            Kind::Open => (&BREAKER_OPEN, repsim_obs::Level::Warn, "open"),
+            Kind::HalfOpen => (&BREAKER_HALF_OPEN, repsim_obs::Level::Info, "half-open"),
+            Kind::Closed => (&BREAKER_CLOSE, repsim_obs::Level::Info, "closed"),
+        };
+        counter.add(1);
+        if repsim_obs::enabled() {
+            repsim_obs::point("repsim.serve.breaker.transition", level, name.to_owned());
+        }
+    }
+}
+
+fn duration_ms(d: Duration) -> u64 {
+    u64::try_from(d.as_millis()).unwrap_or(u64::MAX)
+}
+
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast() -> CircuitBreaker {
+        CircuitBreaker::new(BreakerConfig {
+            threshold: 3,
+            base_ms: 20,
+            max_ms: 200,
+            jitter_seed: 42,
+        })
+    }
+
+    #[test]
+    fn trips_after_threshold_consecutive_exhaustions() {
+        let b = fast();
+        assert!(b.on_exhausted().is_none());
+        assert!(b.on_exhausted().is_none());
+        let wait = b.on_exhausted().expect("third failure trips");
+        assert!(wait >= 20, "at least the base backoff, got {wait}");
+        assert_eq!(b.state_name(), "open");
+        assert!(b.admit().is_err(), "open breaker rejects");
+    }
+
+    #[test]
+    fn successes_reset_the_streak() {
+        let b = fast();
+        b.on_exhausted();
+        b.on_exhausted();
+        b.on_success();
+        b.on_exhausted();
+        b.on_exhausted();
+        assert!(
+            b.on_exhausted().is_some(),
+            "streak restarted after the success"
+        );
+    }
+
+    #[test]
+    fn half_open_probe_closes_on_success() {
+        let b = fast();
+        for _ in 0..3 {
+            b.on_exhausted();
+        }
+        // Wait out the first backoff (base 20ms + ≤5ms jitter).
+        std::thread::sleep(Duration::from_millis(40));
+        assert!(b.admit().is_ok(), "cool-down elapsed: probe admitted");
+        assert_eq!(b.state_name(), "half-open");
+        assert!(b.admit().is_err(), "only one probe at a time");
+        b.on_success();
+        assert_eq!(b.state_name(), "closed");
+        assert!(b.admit().is_ok());
+    }
+
+    #[test]
+    fn failed_probe_reopens_with_doubled_backoff() {
+        let b = fast();
+        for _ in 0..3 {
+            b.on_exhausted();
+        }
+        std::thread::sleep(Duration::from_millis(40));
+        assert!(b.admit().is_ok());
+        let second = b.on_exhausted().expect("probe failure re-trips");
+        assert!(second >= 40, "backoff doubled from 20 to 40, got {second}");
+        assert_eq!(b.state_name(), "open");
+    }
+
+    #[test]
+    fn backoff_is_capped() {
+        let b = CircuitBreaker::new(BreakerConfig {
+            threshold: 1,
+            base_ms: 100,
+            max_ms: 150,
+            jitter_seed: 7,
+        });
+        let mut last = 0;
+        for _ in 0..10 {
+            last = b.on_exhausted().unwrap_or(last);
+            // Force back to half-open to fail the probe again.
+            std::thread::sleep(Duration::from_millis(1));
+            let mut s = b.lock();
+            s.kind = Kind::HalfOpen;
+            drop(s);
+        }
+        assert!(last <= 150 + 150 / 4, "cap plus jitter, got {last}");
+    }
+}

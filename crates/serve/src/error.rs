@@ -1,0 +1,64 @@
+//! The service-level error taxonomy reported in response envelopes.
+
+use std::fmt;
+
+use repsim_sparse::ExecError;
+
+/// Why a request was not answered exactly. Every variant maps to a
+/// stable `code` string in the JSON response envelope, so clients can
+/// branch without parsing prose.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// Admission control rejected the request: the bounded queue is full
+    /// or the circuit breaker is open. The request was *not* executed;
+    /// retry after the hinted delay.
+    Overloaded {
+        /// Client backoff hint in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// The request was executed but its budget exhausted even the last
+    /// degradation tier (expired deadline, cancellation). Consecutive
+    /// exhaustions trip the circuit breaker.
+    Exhausted(ExecError),
+    /// The request itself is malformed: unparsable JSON, an unknown
+    /// meta-walk label, an unknown query entity, a label mismatch.
+    BadRequest(String),
+    /// The server is draining its queue for shutdown; no new work is
+    /// admitted.
+    ShuttingDown,
+}
+
+impl ServiceError {
+    /// The stable machine-readable code for the response envelope.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ServiceError::Overloaded { .. } => "overloaded",
+            ServiceError::Exhausted(_) => "exhausted",
+            ServiceError::BadRequest(_) => "bad_request",
+            ServiceError::ShuttingDown => "shutting_down",
+        }
+    }
+
+    /// The retry-after hint, for the variants that carry one.
+    pub fn retry_after_ms(&self) -> Option<u64> {
+        match self {
+            ServiceError::Overloaded { retry_after_ms } => Some(*retry_after_ms),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Overloaded { retry_after_ms } => {
+                write!(f, "overloaded; retry after {retry_after_ms} ms")
+            }
+            ServiceError::Exhausted(e) => write!(f, "budget exhausted: {e}"),
+            ServiceError::BadRequest(m) => write!(f, "bad request: {m}"),
+            ServiceError::ShuttingDown => write!(f, "server shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}

@@ -1,0 +1,472 @@
+//! The newline-delimited JSON wire protocol.
+//!
+//! One request per line, one response line per request, in order.
+//! Requests are parsed with [`repsim_obs::json`] (the workspace's
+//! zero-dependency parser); responses are emitted by hand with the same
+//! escaping rules. The envelope is versioned implicitly by the server's
+//! snapshot/protocol docs in DESIGN.md ("Serving & persistence").
+//!
+//! Request (`op` defaults to `"rank"` when a `walk` is present):
+//!
+//! ```json
+//! {"id":1,"op":"rank","walk":"conf paper dom kw","label":"conf","value":"c0","k":10,"deadline_ms":250}
+//! {"id":2,"op":"ping"}
+//! {"id":3,"op":"stats"}
+//! {"id":4,"op":"snapshot"}
+//! {"id":5,"op":"shutdown"}
+//! ```
+//!
+//! Success envelope: `{"id":…,"ok":true,…}` with an op-specific payload;
+//! rank responses carry `"tier"` (the degradation tier that actually
+//! answered) and `"results":[{"label":…,"value":…,"score":…},…]`.
+//! Failure envelope: `{"id":…,"ok":false,"error":{"code":…,"message":…}}`
+//! plus `"retry_after_ms"` on `overloaded` rejections.
+
+use std::fmt::Write as _;
+
+use repsim_obs::json::{self, Json};
+
+use crate::error::ServiceError;
+
+/// A request id, echoed verbatim into the response envelope.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ReqId {
+    /// A numeric id.
+    Num(f64),
+    /// A string id.
+    Str(String),
+    /// No id supplied.
+    Absent,
+}
+
+impl ReqId {
+    fn from_json(v: Option<&Json>) -> ReqId {
+        match v {
+            Some(Json::Num(n)) => ReqId::Num(*n),
+            Some(Json::Str(s)) => ReqId::Str(s.clone()),
+            _ => ReqId::Absent,
+        }
+    }
+
+    fn render(&self, out: &mut String) {
+        match self {
+            ReqId::Num(n) => {
+                let _ = write!(out, "\"id\":{},", fmt_num(*n));
+            }
+            ReqId::Str(s) => {
+                let _ = write!(out, "\"id\":\"{}\",", esc(s));
+            }
+            ReqId::Absent => {}
+        }
+    }
+}
+
+/// A parsed request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Rank entities similar to `(label, value)` under `walk`'s closure.
+    Rank {
+        /// Echoed request id.
+        id: ReqId,
+        /// The half meta-walk, in text form (`"conf paper dom kw"`).
+        walk: String,
+        /// Query entity label name.
+        label: String,
+        /// Query entity value.
+        value: String,
+        /// Top-k size.
+        k: usize,
+        /// Per-request deadline; `None` uses the server default.
+        deadline_ms: Option<u64>,
+    },
+    /// Liveness check.
+    Ping {
+        /// Echoed request id.
+        id: ReqId,
+    },
+    /// Serving-layer counters and breaker state.
+    Stats {
+        /// Echoed request id.
+        id: ReqId,
+    },
+    /// Persist the index snapshot now.
+    Snapshot {
+        /// Echoed request id.
+        id: ReqId,
+    },
+    /// Drain the queue and exit gracefully (final snapshot included).
+    Shutdown {
+        /// Echoed request id.
+        id: ReqId,
+    },
+}
+
+impl Request {
+    /// Parses one request line. Errors are protocol-level (malformed
+    /// JSON, unknown op, missing fields) and map to `bad_request`.
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let v = json::parse(line).map_err(|e| e.to_string())?;
+        let id = ReqId::from_json(v.get("id"));
+        let op = match v.get("op").and_then(Json::as_str) {
+            Some(op) => op,
+            None if v.get("walk").is_some() => "rank",
+            None => return Err("missing \"op\"".to_owned()),
+        };
+        match op {
+            "rank" => {
+                let field = |name: &str| -> Result<String, String> {
+                    v.get(name)
+                        .and_then(Json::as_str)
+                        .map(str::to_owned)
+                        .ok_or_else(|| format!("rank requires string field {name:?}"))
+                };
+                let k = match v.get("k").and_then(Json::as_num) {
+                    Some(k) if k >= 1.0 && k.fract() == 0.0 && k <= 1e6 => k as usize,
+                    Some(_) => return Err("\"k\" must be a positive integer".to_owned()),
+                    None => 10,
+                };
+                let deadline_ms = match v.get("deadline_ms").and_then(Json::as_num) {
+                    Some(d) if d >= 0.0 && d.fract() == 0.0 => Some(d as u64),
+                    Some(_) => {
+                        return Err("\"deadline_ms\" must be a non-negative integer".to_owned())
+                    }
+                    None => None,
+                };
+                Ok(Request::Rank {
+                    id,
+                    walk: field("walk")?,
+                    label: field("label")?,
+                    value: field("value")?,
+                    k,
+                    deadline_ms,
+                })
+            }
+            "ping" => Ok(Request::Ping { id }),
+            "stats" => Ok(Request::Stats { id }),
+            "snapshot" => Ok(Request::Snapshot { id }),
+            "shutdown" => Ok(Request::Shutdown { id }),
+            other => Err(format!("unknown op {other:?}")),
+        }
+    }
+
+    /// The request id, for error envelopes built outside the handler.
+    pub fn id(&self) -> &ReqId {
+        match self {
+            Request::Rank { id, .. }
+            | Request::Ping { id }
+            | Request::Stats { id }
+            | Request::Snapshot { id }
+            | Request::Shutdown { id } => id,
+        }
+    }
+}
+
+/// One ranked entity in a rank response.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RankEntry {
+    /// Entity label name.
+    pub label: String,
+    /// Entity value.
+    pub value: String,
+    /// R-PathSim score under the tier that answered.
+    pub score: f64,
+}
+
+/// Serving-layer counters for the `stats` op.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct StatsBody {
+    /// Requests admitted over the server's lifetime.
+    pub requests: u64,
+    /// Requests shed by admission control.
+    pub shed: u64,
+    /// Requests answered by a degraded tier.
+    pub degraded: u64,
+    /// Requests whose budget exhausted every tier.
+    pub exhausted: u64,
+    /// Current queue depth.
+    pub queue_depth: usize,
+    /// Queue capacity.
+    pub queue_capacity: usize,
+    /// Commuting matrices resident in the cache.
+    pub cache_entries: usize,
+    /// Query engines resident (one per distinct half walk served).
+    pub engines: usize,
+    /// Breaker state: `"closed"`, `"open"`, `"half-open"`.
+    pub breaker: String,
+    /// Whether the index was restored from a snapshot at startup.
+    pub snapshot_restored: bool,
+}
+
+/// A response, rendered as one JSON line.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// A ranked answer, possibly degraded (see `tier`).
+    Rank {
+        /// Echoed request id.
+        id: ReqId,
+        /// Degradation tier: `"exact"`, `"half-factorized"`, or
+        /// `"prefix:<walk>"`.
+        tier: String,
+        /// Top-k entries, best first.
+        results: Vec<RankEntry>,
+    },
+    /// Ping reply.
+    Pong {
+        /// Echoed request id.
+        id: ReqId,
+    },
+    /// Stats reply.
+    Stats {
+        /// Echoed request id.
+        id: ReqId,
+        /// The counters.
+        body: StatsBody,
+    },
+    /// Snapshot-now reply.
+    Snapshot {
+        /// Echoed request id.
+        id: ReqId,
+        /// Entries persisted.
+        entries: usize,
+        /// Snapshot size in bytes (header + payload).
+        bytes: usize,
+    },
+    /// Shutdown acknowledged; the server drains and exits.
+    ShuttingDown {
+        /// Echoed request id.
+        id: ReqId,
+    },
+    /// A typed failure.
+    Error {
+        /// Echoed request id.
+        id: ReqId,
+        /// What went wrong.
+        error: ServiceError,
+    },
+}
+
+impl Response {
+    /// Renders the response as one JSON line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let mut out = String::from("{");
+        match self {
+            Response::Rank { id, tier, results } => {
+                id.render(&mut out);
+                let _ = write!(out, "\"ok\":true,\"tier\":\"{}\",\"results\":[", esc(tier));
+                for (i, r) in results.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(
+                        out,
+                        "{{\"label\":\"{}\",\"value\":\"{}\",\"score\":{}}}",
+                        esc(&r.label),
+                        esc(&r.value),
+                        fmt_num(r.score)
+                    );
+                }
+                out.push(']');
+            }
+            Response::Pong { id } => {
+                id.render(&mut out);
+                out.push_str("\"ok\":true,\"pong\":true");
+            }
+            Response::Stats { id, body } => {
+                id.render(&mut out);
+                let _ = write!(
+                    out,
+                    "\"ok\":true,\"stats\":{{\"requests\":{},\"shed\":{},\"degraded\":{},\
+                     \"exhausted\":{},\"queue_depth\":{},\"queue_capacity\":{},\
+                     \"cache_entries\":{},\"engines\":{},\"breaker\":\"{}\",\
+                     \"snapshot_restored\":{}}}",
+                    body.requests,
+                    body.shed,
+                    body.degraded,
+                    body.exhausted,
+                    body.queue_depth,
+                    body.queue_capacity,
+                    body.cache_entries,
+                    body.engines,
+                    esc(&body.breaker),
+                    body.snapshot_restored
+                );
+            }
+            Response::Snapshot { id, entries, bytes } => {
+                id.render(&mut out);
+                let _ = write!(
+                    out,
+                    "\"ok\":true,\"snapshot\":{{\"entries\":{entries},\"bytes\":{bytes}}}"
+                );
+            }
+            Response::ShuttingDown { id } => {
+                id.render(&mut out);
+                out.push_str("\"ok\":true,\"shutting_down\":true");
+            }
+            Response::Error { id, error } => {
+                id.render(&mut out);
+                let _ = write!(
+                    out,
+                    "\"ok\":false,\"error\":{{\"code\":\"{}\",\"message\":\"{}\"",
+                    error.code(),
+                    esc(&error.to_string())
+                );
+                if let Some(ms) = error.retry_after_ms() {
+                    let _ = write!(out, ",\"retry_after_ms\":{ms}");
+                }
+                out.push('}');
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Escapes a string for a double-quoted JSON literal.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats a finite `f64` as a JSON number (integers without a trailing
+/// `.0`; non-finite values, which the scorers never produce, as `null`).
+fn fmt_num(n: f64) -> String {
+    if !n.is_finite() {
+        return "null".to_owned();
+    }
+    if n.fract() == 0.0 && n.abs() < 1e15 {
+        format!("{}", n as i64)
+    } else {
+        format!("{n}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_request_parses_with_defaults() {
+        let r =
+            Request::parse(r#"{"id":1,"walk":"conf paper dom kw","label":"conf","value":"c0"}"#)
+                .unwrap();
+        match r {
+            Request::Rank {
+                id,
+                walk,
+                label,
+                value,
+                k,
+                deadline_ms,
+            } => {
+                assert_eq!(id, ReqId::Num(1.0));
+                assert_eq!(walk, "conf paper dom kw");
+                assert_eq!(label, "conf");
+                assert_eq!(value, "c0");
+                assert_eq!(k, 10, "k defaults to 10");
+                assert_eq!(deadline_ms, None);
+            }
+            other => panic!("expected rank, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ops_parse() {
+        for (op, want) in [
+            ("ping", Request::Ping { id: ReqId::Absent }),
+            ("stats", Request::Stats { id: ReqId::Absent }),
+            ("snapshot", Request::Snapshot { id: ReqId::Absent }),
+            ("shutdown", Request::Shutdown { id: ReqId::Absent }),
+        ] {
+            assert_eq!(
+                Request::parse(&format!("{{\"op\":\"{op}\"}}")).unwrap(),
+                want
+            );
+        }
+    }
+
+    #[test]
+    fn malformed_requests_are_typed_errors() {
+        assert!(Request::parse("not json").is_err());
+        assert!(Request::parse("{}").is_err(), "no op, no walk");
+        assert!(Request::parse(r#"{"op":"frobnicate"}"#).is_err());
+        assert!(
+            Request::parse(r#"{"op":"rank","walk":"a b c"}"#).is_err(),
+            "rank without label/value"
+        );
+        assert!(
+            Request::parse(r#"{"walk":"a","label":"a","value":"x","k":0}"#).is_err(),
+            "k must be >= 1"
+        );
+        assert!(
+            Request::parse(r#"{"walk":"a","label":"a","value":"x","deadline_ms":-5}"#).is_err()
+        );
+    }
+
+    #[test]
+    fn responses_roundtrip_through_the_obs_parser() {
+        let resp = Response::Rank {
+            id: ReqId::Num(7.0),
+            tier: "exact".to_owned(),
+            results: vec![
+                RankEntry {
+                    label: "conf".to_owned(),
+                    value: "He said \"hi\"".to_owned(),
+                    score: 1.0,
+                },
+                RankEntry {
+                    label: "conf".to_owned(),
+                    value: "c1".to_owned(),
+                    score: 0.25,
+                },
+            ],
+        };
+        let line = resp.to_json_line();
+        let v = repsim_obs::json::parse(&line).unwrap();
+        assert_eq!(v.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(v.get("id").and_then(Json::as_num), Some(7.0));
+        let results = v.get("results").and_then(Json::as_arr).unwrap();
+        assert_eq!(results.len(), 2);
+        assert_eq!(
+            results[0].get("value").and_then(Json::as_str),
+            Some("He said \"hi\"")
+        );
+        assert_eq!(results[1].get("score").and_then(Json::as_num), Some(0.25));
+    }
+
+    #[test]
+    fn error_envelope_carries_code_and_retry_hint() {
+        let resp = Response::Error {
+            id: ReqId::Str("a".to_owned()),
+            error: ServiceError::Overloaded { retry_after_ms: 40 },
+        };
+        let v = repsim_obs::json::parse(&resp.to_json_line()).unwrap();
+        assert_eq!(v.get("ok"), Some(&Json::Bool(false)));
+        let err = v.get("error").unwrap();
+        assert_eq!(err.get("code").and_then(Json::as_str), Some("overloaded"));
+        assert_eq!(err.get("retry_after_ms").and_then(Json::as_num), Some(40.0));
+    }
+
+    #[test]
+    fn control_characters_escape() {
+        let resp = Response::Error {
+            id: ReqId::Absent,
+            error: ServiceError::BadRequest("tab\there\nnewline".to_owned()),
+        };
+        let line = resp.to_json_line();
+        assert!(!line.contains('\n'), "one line per response: {line:?}");
+        assert!(repsim_obs::json::parse(&line).is_ok());
+    }
+}

@@ -1,0 +1,162 @@
+//! A bounded MPMC queue with shed-on-full semantics.
+//!
+//! Admission control's first line: producers never block. A push against
+//! a full queue fails immediately so the connection handler can answer
+//! `overloaded` while the system still has breath to say so — queueing
+//! unbounded work and timing out later is how servers melt. Consumers
+//! (the worker pool) block on a condvar until work or close.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+/// Returned by [`Bounded::try_push`] when the queue is at capacity,
+/// handing the rejected item back to the caller.
+#[derive(Debug)]
+pub struct Full<T>(pub T);
+
+/// A bounded multi-producer multi-consumer queue.
+pub struct Bounded<T> {
+    inner: Mutex<Inner<T>>,
+    notify: Condvar,
+    cap: usize,
+}
+
+struct Inner<T> {
+    q: VecDeque<T>,
+    closed: bool,
+}
+
+impl<T> Bounded<T> {
+    /// A queue admitting at most `cap` pending items (`cap` is clamped
+    /// to at least 1 — a zero-capacity queue could never serve anything).
+    pub fn new(cap: usize) -> Bounded<T> {
+        Bounded {
+            inner: Mutex::new(Inner {
+                q: VecDeque::new(),
+                closed: false,
+            }),
+            notify: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner<T>> {
+        // A poisoned queue mutex means a worker panicked mid-pop; the
+        // queue itself holds plain data and stays consistent.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Enqueues without blocking. `Err(Full)` when at capacity or
+    /// closed — the caller sheds. `Ok(depth)` reports the depth after
+    /// the push for the queue-depth gauge.
+    pub fn try_push(&self, item: T) -> Result<usize, Full<T>> {
+        let mut g = self.lock();
+        if g.closed || g.q.len() >= self.cap {
+            return Err(Full(item));
+        }
+        g.q.push_back(item);
+        let depth = g.q.len();
+        drop(g);
+        self.notify.notify_one();
+        Ok(depth)
+    }
+
+    /// Blocks until an item is available or the queue is closed *and*
+    /// drained (`None`). Closing does not discard queued work: shutdown
+    /// drains in-flight requests before the workers exit.
+    pub fn pop(&self) -> Option<T> {
+        let mut g = self.lock();
+        loop {
+            if let Some(item) = g.q.pop_front() {
+                return Some(item);
+            }
+            if g.closed {
+                return None;
+            }
+            g = self.notify.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Stops admitting new items; queued items still drain through
+    /// [`Bounded::pop`], after which every popper gets `None`.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.notify.notify_all();
+    }
+
+    /// Items currently queued.
+    pub fn depth(&self) -> usize {
+        self.lock().q.len()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn push_pop_fifo() {
+        let q = Bounded::new(4);
+        assert_eq!(q.try_push(1).unwrap(), 1);
+        assert_eq!(q.try_push(2).unwrap(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+    }
+
+    #[test]
+    fn full_queue_sheds_immediately() {
+        let q = Bounded::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        let Full(rejected) = q.try_push(3).unwrap_err();
+        assert_eq!(rejected, 3);
+        assert_eq!(q.depth(), 2);
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let q = Bounded::new(4);
+        q.try_push(1).unwrap();
+        q.close();
+        assert!(q.try_push(2).is_err(), "closed queue admits nothing");
+        assert_eq!(q.pop(), Some(1), "queued work still drains");
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let q = Bounded::new(0);
+        assert_eq!(q.capacity(), 1);
+        q.try_push(1).unwrap();
+        assert!(q.try_push(2).is_err());
+    }
+
+    #[test]
+    fn blocked_poppers_wake_on_close() {
+        let q = std::sync::Arc::new(Bounded::<u32>::new(2));
+        let served = std::sync::Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let (q, served) = (q.clone(), served.clone());
+                std::thread::spawn(move || {
+                    while q.pop().is_some() {
+                        served.fetch_add(1, Ordering::SeqCst);
+                    }
+                })
+            })
+            .collect();
+        q.try_push(7).unwrap();
+        q.try_push(8).unwrap();
+        q.close();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(served.load(Ordering::SeqCst), 2);
+    }
+}

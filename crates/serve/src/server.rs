@@ -1,0 +1,597 @@
+//! The TCP transport: accept loop, worker pool, graceful drain.
+//!
+//! One connection per client thread, newline-delimited JSON both ways
+//! (see [`crate::protocol`]). Control ops (`ping`, `stats`, `snapshot`,
+//! `shutdown`) answer inline on the connection thread — they must keep
+//! working while the rank pipeline is saturated, or operators lose
+//! sight of an overloaded server exactly when they need it. Rank
+//! requests go through the bounded queue to the worker pool; a full
+//! queue answers `overloaded` immediately instead of stacking latency.
+//!
+//! Shutdown (the `shutdown` op, or the caller's flag — the CLI wires
+//! SIGTERM/ctrl-c to it) is graceful: stop accepting, close the queue,
+//! drain queued work, join the workers, write a final snapshot.
+
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::time::Duration;
+
+use repsim_graph::Graph;
+use repsim_obs::GaugeHandle;
+
+use crate::error::ServiceError;
+use crate::protocol::{ReqId, Request, Response};
+use crate::queue::Bounded;
+use crate::service::{QueryService, Restore, ServiceConfig};
+use crate::snapshot::SaveStats;
+
+static QUEUE_DEPTH: GaugeHandle = GaugeHandle::new("repsim.serve.queue.depth");
+
+/// How long a blocked read waits before re-checking the shutdown flag.
+const POLL: Duration = Duration::from_millis(50);
+
+/// Server tuning over and above [`ServiceConfig`].
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks a free port (written to `port_file`).
+    pub addr: String,
+    /// Snapshot path: loaded at startup, written on `snapshot` ops and
+    /// at shutdown. `None` disables persistence.
+    pub snapshot: Option<PathBuf>,
+    /// Rank-queue capacity; pushes beyond it shed with `overloaded`.
+    pub queue_cap: usize,
+    /// Written with the actual `ip:port` once bound — how tests and
+    /// scripts find a port-0 server.
+    pub port_file: Option<PathBuf>,
+    /// The service tuning.
+    pub service: ServiceConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            snapshot: None,
+            queue_cap: 64,
+            port_file: None,
+            service: ServiceConfig::default(),
+        }
+    }
+}
+
+/// What a completed [`run`] did, for the CLI's summary line.
+#[derive(Debug)]
+pub struct ServeReport {
+    /// The address actually bound.
+    pub addr: SocketAddr,
+    /// Startup snapshot outcome (`None` when persistence is off).
+    pub restore: Option<Restore>,
+    /// Final shutdown snapshot (`None` when persistence is off or the
+    /// final save failed — the failure is reported as a Warn event, not
+    /// an error: the server is exiting either way and the previous
+    /// snapshot on disk is still valid thanks to atomic replace).
+    pub final_snapshot: Option<SaveStats>,
+    /// Requests admitted over the server's lifetime.
+    pub requests: u64,
+    /// Requests shed by admission control.
+    pub shed: u64,
+}
+
+/// Transport-level failures (the per-request taxonomy is
+/// [`ServiceError`] and travels in response envelopes instead).
+#[derive(Debug)]
+pub enum ServeError {
+    /// Binding or configuring the listener failed.
+    Bind {
+        /// The requested address.
+        addr: String,
+        /// The OS error.
+        message: String,
+    },
+    /// Reading or writing the snapshot at startup failed at the I/O
+    /// level (a *corrupt* snapshot is not an error; it quarantines).
+    Snapshot(crate::snapshot::SnapshotError),
+    /// Writing the port file failed.
+    PortFile {
+        /// The configured path.
+        path: PathBuf,
+        /// The OS error.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Bind { addr, message } => write!(f, "cannot bind {addr}: {message}"),
+            ServeError::Snapshot(e) => write!(f, "snapshot: {e}"),
+            ServeError::PortFile { path, message } => {
+                write!(f, "cannot write port file {}: {message}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<crate::snapshot::SnapshotError> for ServeError {
+    fn from(e: crate::snapshot::SnapshotError) -> Self {
+        ServeError::Snapshot(e)
+    }
+}
+
+/// One queued rank request plus the reply channel back to its
+/// connection thread.
+struct Job {
+    id: ReqId,
+    walk: String,
+    label: String,
+    value: String,
+    k: usize,
+    deadline_ms: Option<u64>,
+    reply: mpsc::Sender<String>,
+}
+
+/// Runs the server until `shutdown` is set (by a signal handler or a
+/// `shutdown` request). Blocks the calling thread for the server's
+/// lifetime; returns a summary after the graceful drain.
+pub fn run(g: &Graph, cfg: &ServeConfig, shutdown: &AtomicBool) -> Result<ServeReport, ServeError> {
+    let svc = QueryService::new(g, cfg.service.clone());
+
+    let restore = match &cfg.snapshot {
+        Some(path) => Some(svc.restore(path)?),
+        None => None,
+    };
+
+    let listener = TcpListener::bind(&cfg.addr).map_err(|e| ServeError::Bind {
+        addr: cfg.addr.clone(),
+        message: e.to_string(),
+    })?;
+    let addr = listener.local_addr().map_err(|e| ServeError::Bind {
+        addr: cfg.addr.clone(),
+        message: e.to_string(),
+    })?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| ServeError::Bind {
+            addr: cfg.addr.clone(),
+            message: e.to_string(),
+        })?;
+    if let Some(pf) = &cfg.port_file {
+        std::fs::write(pf, format!("{addr}\n")).map_err(|e| ServeError::PortFile {
+            path: pf.clone(),
+            message: e.to_string(),
+        })?;
+    }
+    repsim_obs::point(
+        "repsim.serve.listening",
+        repsim_obs::Level::Info,
+        format!("listening on {addr}"),
+    );
+
+    let queue: Bounded<Job> = Bounded::new(cfg.queue_cap);
+    let workers = cfg.service.par.threads().max(1);
+
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| worker_loop(&svc, &queue));
+        }
+
+        // Accept loop: non-blocking with a short poll so the shutdown
+        // flag is honoured promptly even with no clients.
+        while !shutdown.load(Ordering::SeqCst) {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let svc = &svc;
+                    let queue = &queue;
+                    let snapshot = cfg.snapshot.as_deref();
+                    s.spawn(move || serve_connection(stream, svc, queue, shutdown, snapshot));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(5)),
+            }
+        }
+        // Graceful drain: no new work, queued requests still answer.
+        queue.close();
+    });
+
+    let final_snapshot = match &cfg.snapshot {
+        Some(path) => match svc.save_snapshot(path) {
+            Ok(stats) => Some(stats),
+            Err(e) => {
+                repsim_obs::point(
+                    "repsim.serve.snapshot.final_save_failed",
+                    repsim_obs::Level::Warn,
+                    e.to_string(),
+                );
+                None
+            }
+        },
+        None => None,
+    };
+
+    let stats = svc.stats_body(0, cfg.queue_cap);
+    Ok(ServeReport {
+        addr,
+        restore,
+        final_snapshot,
+        requests: stats.requests,
+        shed: stats.shed,
+    })
+}
+
+fn worker_loop(svc: &QueryService<'_>, queue: &Bounded<Job>) {
+    while let Some(job) = queue.pop() {
+        QUEUE_DEPTH.set(queue.depth() as i64);
+        let resp = match svc.handle_rank(&job.walk, &job.label, &job.value, job.k, job.deadline_ms)
+        {
+            Ok((tier, results)) => Response::Rank {
+                id: job.id,
+                tier,
+                results,
+            },
+            Err(error) => Response::Error { id: job.id, error },
+        };
+        // A dropped receiver means the connection died; nothing to do.
+        let _ = job.reply.send(resp.to_json_line());
+    }
+}
+
+/// Drives one client connection: reads newline-delimited requests,
+/// answers in order. Control ops answer inline; rank ops go through the
+/// queue (shedding when full) and the thread waits for the worker's
+/// reply to preserve ordering.
+fn serve_connection(
+    stream: TcpStream,
+    svc: &QueryService<'_>,
+    queue: &Bounded<Job>,
+    shutdown: &AtomicBool,
+    snapshot: Option<&std::path::Path>,
+) {
+    if stream.set_read_timeout(Some(POLL)).is_err() {
+        return;
+    }
+    let mut acc: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        // Drain complete lines before reading more.
+        while let Some(pos) = acc.iter().position(|&b| b == b'\n') {
+            let line: Vec<u8> = acc.drain(..=pos).collect();
+            let text = String::from_utf8_lossy(&line[..line.len() - 1]);
+            let reply = handle_line(text.trim(), svc, queue, shutdown, snapshot);
+            if let Some(reply) = reply {
+                if write_line(&stream, &reply).is_err() {
+                    return;
+                }
+            }
+        }
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match (&stream).read(&mut chunk) {
+            Ok(0) => return,
+            Ok(n) => acc.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut
+                    || e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+}
+
+/// Handles one request line, returning the response line (or `None` for
+/// a blank line).
+fn handle_line(
+    line: &str,
+    svc: &QueryService<'_>,
+    queue: &Bounded<Job>,
+    shutdown: &AtomicBool,
+    snapshot: Option<&std::path::Path>,
+) -> Option<String> {
+    if line.is_empty() {
+        return None;
+    }
+    let req = match Request::parse(line) {
+        Ok(req) => req,
+        Err(message) => {
+            return Some(
+                Response::Error {
+                    id: ReqId::Absent,
+                    error: ServiceError::BadRequest(message),
+                }
+                .to_json_line(),
+            );
+        }
+    };
+    let resp = match req {
+        Request::Ping { id } => Response::Pong { id },
+        Request::Stats { id } => Response::Stats {
+            id,
+            body: svc.stats_body(queue.depth(), queue.capacity()),
+        },
+        Request::Snapshot { id } => match snapshot {
+            Some(path) => match svc.save_snapshot(path) {
+                Ok(stats) => Response::Snapshot {
+                    id,
+                    entries: stats.entries,
+                    bytes: stats.bytes,
+                },
+                Err(e) => Response::Error {
+                    id,
+                    error: ServiceError::BadRequest(format!("snapshot failed: {e}")),
+                },
+            },
+            None => Response::Error {
+                id,
+                error: ServiceError::BadRequest("no snapshot path configured".to_owned()),
+            },
+        },
+        Request::Shutdown { id } => {
+            shutdown.store(true, Ordering::SeqCst);
+            Response::ShuttingDown { id }
+        }
+        Request::Rank {
+            id,
+            walk,
+            label,
+            value,
+            k,
+            deadline_ms,
+        } => {
+            if shutdown.load(Ordering::SeqCst) {
+                Response::Error {
+                    id,
+                    error: ServiceError::ShuttingDown,
+                }
+            } else {
+                let (tx, rx) = mpsc::channel();
+                let job = Job {
+                    id: id.clone(),
+                    walk,
+                    label,
+                    value,
+                    k,
+                    deadline_ms,
+                    reply: tx,
+                };
+                match queue.try_push(job) {
+                    Ok(depth) => {
+                        QUEUE_DEPTH.set(depth as i64);
+                        // Ordering: wait for this request's answer before
+                        // reading the next line of this connection.
+                        match rx.recv() {
+                            Ok(reply) => return Some(reply),
+                            Err(_) => Response::Error {
+                                id,
+                                error: ServiceError::ShuttingDown,
+                            },
+                        }
+                    }
+                    Err(crate::queue::Full(job)) => {
+                        svc.note_shed();
+                        let error = if shutdown.load(Ordering::SeqCst) {
+                            ServiceError::ShuttingDown
+                        } else {
+                            ServiceError::Overloaded {
+                                retry_after_ms: shed_retry_hint(queue),
+                            }
+                        };
+                        Response::Error { id: job.id, error }
+                    }
+                }
+            }
+        }
+    };
+    Some(resp.to_json_line())
+}
+
+/// Retry hint for queue sheds: proportional to how much work is already
+/// queued, so clients back off harder the deeper the backlog.
+fn shed_retry_hint(queue: &Bounded<Job>) -> u64 {
+    10 + 5 * queue.depth() as u64
+}
+
+fn write_line(mut stream: &TcpStream, line: &str) -> std::io::Result<()> {
+    stream.write_all(line.as_bytes())?;
+    stream.write_all(b"\n")?;
+    stream.flush()
+}
+
+/// A one-shot client for scripts and CI: connects, sends each request
+/// line, collects one response line per request. Not a general client —
+/// requests are sent up front and responses read back in order, which
+/// is exactly the protocol contract.
+pub fn client_roundtrip(addr: &str, lines: &[String]) -> std::io::Result<Vec<String>> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true).ok();
+    for line in lines {
+        write_line(&stream, line)?;
+    }
+    let mut out = Vec::with_capacity(lines.len());
+    let mut acc = Vec::new();
+    let mut chunk = [0u8; 4096];
+    while out.len() < lines.len() {
+        match (&stream).read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => {
+                acc.extend_from_slice(&chunk[..n]);
+                while let Some(pos) = acc.iter().position(|&b| b == b'\n') {
+                    let line: Vec<u8> = acc.drain(..=pos).collect();
+                    out.push(String::from_utf8_lossy(&line[..line.len() - 1]).into_owned());
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use repsim_graph::GraphBuilder;
+    use repsim_obs::json::{self, Json};
+
+    fn mas_like() -> Graph {
+        let mut b = GraphBuilder::new();
+        let conf = b.entity_label("conf");
+        let paper = b.entity_label("paper");
+        let dom = b.entity_label("dom");
+        let confs: Vec<_> = (0..3).map(|i| b.entity(conf, &format!("c{i}"))).collect();
+        let doms: Vec<_> = (0..2).map(|i| b.entity(dom, &format!("d{i}"))).collect();
+        // Dom attachments vary per conf so self-similarity is strictly
+        // maximal (an all-one-dom graph ties every conf at 1.0 and the
+        // top-1 assertion would hinge on tie-break order).
+        for (i, (c, d)) in [(0, 0), (0, 1), (1, 0), (2, 1), (0, 0), (1, 1)]
+            .iter()
+            .enumerate()
+        {
+            let p = b.entity(paper, &format!("p{i}"));
+            b.edge(p, confs[*c]).unwrap();
+            b.edge(p, doms[*d]).unwrap();
+        }
+        b.build()
+    }
+
+    /// Boots a server on a free port, runs `f` against it, shuts down.
+    fn with_server<F: FnOnce(SocketAddr)>(cfg: ServeConfig, f: F) {
+        let g = mas_like();
+        let shutdown = AtomicBool::new(false);
+        let (tx, rx) = mpsc::channel();
+        std::thread::scope(|s| {
+            let (shutdown, cfgref, gref) = (&shutdown, &cfg, &g);
+            s.spawn(move || {
+                let report = run(gref, cfgref, shutdown);
+                let _ = tx.send(report.map(|r| r.addr));
+            });
+            // The port file is written once bound.
+            let pf = cfg.port_file.clone().expect("tests use a port file");
+            let addr = loop {
+                if let Ok(text) = std::fs::read_to_string(&pf) {
+                    if let Ok(a) = text.trim().parse::<SocketAddr>() {
+                        break a;
+                    }
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            };
+            // A panicking assertion must still stop the server, or the
+            // scope would wait on the accept loop forever and the whole
+            // suite hangs instead of reporting the failure.
+            let verdict = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(addr)));
+            shutdown.store(true, Ordering::SeqCst);
+            if let Err(p) = verdict {
+                std::panic::resume_unwind(p);
+            }
+        });
+        rx.recv().unwrap().unwrap();
+    }
+
+    fn test_cfg(name: &str) -> (ServeConfig, std::path::PathBuf) {
+        let dir = std::env::temp_dir().join(format!("repsim-serve-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let cfg = ServeConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            snapshot: Some(dir.join("idx.snap")),
+            queue_cap: 8,
+            port_file: Some(dir.join("port")),
+            service: ServiceConfig::default(),
+        };
+        (cfg, dir)
+    }
+
+    #[test]
+    fn rank_ping_stats_over_tcp() {
+        let (cfg, dir) = test_cfg("basic");
+        with_server(cfg, |addr| {
+            let lines = vec![
+                r#"{"id":1,"op":"ping"}"#.to_owned(),
+                r#"{"id":2,"walk":"conf paper dom","label":"conf","value":"c0","k":3}"#.to_owned(),
+                r#"{"id":3,"op":"stats"}"#.to_owned(),
+            ];
+            let out = client_roundtrip(&addr.to_string(), &lines).unwrap();
+            assert_eq!(out.len(), 3);
+            let pong = json::parse(&out[0]).unwrap();
+            assert_eq!(pong.get("pong"), Some(&Json::Bool(true)));
+            let rank = json::parse(&out[1]).unwrap();
+            assert_eq!(rank.get("ok"), Some(&Json::Bool(true)));
+            assert_eq!(rank.get("tier").and_then(Json::as_str), Some("exact"));
+            let results = rank.get("results").and_then(Json::as_arr).unwrap();
+            assert!(!results.is_empty());
+            // The query (c0) is excluded; c1 is its nearest other conf.
+            assert_eq!(results[0].get("value").and_then(Json::as_str), Some("c1"));
+            let stats = json::parse(&out[2]).unwrap();
+            let body = stats.get("stats").unwrap();
+            assert_eq!(body.get("requests").and_then(Json::as_num), Some(1.0));
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn malformed_lines_get_typed_errors_not_hangs() {
+        let (cfg, dir) = test_cfg("bad");
+        with_server(cfg, |addr| {
+            let lines = vec![
+                "this is not json".to_owned(),
+                r#"{"op":"frobnicate"}"#.to_owned(),
+                r#"{"id":9,"walk":"conf paper dom","label":"dom","value":"d0"}"#.to_owned(),
+            ];
+            let out = client_roundtrip(&addr.to_string(), &lines).unwrap();
+            assert_eq!(out.len(), 3);
+            for line in &out {
+                let v = json::parse(line).unwrap();
+                assert_eq!(v.get("ok"), Some(&Json::Bool(false)), "{line}");
+                assert_eq!(
+                    v.get("error")
+                        .and_then(|e| e.get("code"))
+                        .and_then(Json::as_str),
+                    Some("bad_request"),
+                    "{line}"
+                );
+            }
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shutdown_op_drains_and_writes_final_snapshot() {
+        let (cfg, dir) = test_cfg("drain");
+        let snap = cfg.snapshot.clone().unwrap();
+        let g = mas_like();
+        let shutdown = AtomicBool::new(false);
+        let report = std::thread::scope(|s| {
+            let (shutdown, cfgref, gref) = (&shutdown, &cfg, &g);
+            let h = s.spawn(move || run(gref, cfgref, shutdown));
+            let pf = cfg.port_file.clone().unwrap();
+            let addr = loop {
+                if let Ok(text) = std::fs::read_to_string(&pf) {
+                    if let Ok(a) = text.trim().parse::<SocketAddr>() {
+                        break a;
+                    }
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            };
+            let lines = vec![
+                r#"{"id":1,"walk":"conf paper dom","label":"conf","value":"c1","k":2}"#.to_owned(),
+                r#"{"id":2,"op":"shutdown"}"#.to_owned(),
+            ];
+            let out = client_roundtrip(&addr.to_string(), &lines).unwrap();
+            assert_eq!(out.len(), 2);
+            assert!(out[1].contains("shutting_down"), "{}", out[1]);
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert!(report.requests >= 1);
+        let final_snap = report.final_snapshot.expect("final snapshot written");
+        assert!(final_snap.entries >= 1, "index persisted at shutdown");
+        assert!(snap.exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

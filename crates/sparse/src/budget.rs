@@ -322,6 +322,17 @@ pub mod failpoints {
     pub const ALLOC_FAIL: &str = "alloc-fail";
     /// Forces [`ExecError::DeadlineExceeded`] at the next budget check.
     pub const DEADLINE_NOW: &str = "deadline-now";
+    /// Makes snapshot persistence fail mid-write (after the temp file has
+    /// partial contents, before the atomic rename), exercising the
+    /// crash-during-save recovery path in `repsim-serve`.
+    pub const SNAPSHOT_WRITE: &str = "snapshot.write";
+    /// Makes snapshot persistence flip a byte in the payload before the
+    /// checksum is stamped, so the next load sees a checksum mismatch and
+    /// must quarantine-and-rebuild.
+    pub const SNAPSHOT_CORRUPT: &str = "snapshot.corrupt";
+    /// Stalls a serve worker mid-request, backing up the bounded queue so
+    /// admission control (shedding, breaker) can be driven in tests.
+    pub const SERVE_SLOW_WORKER: &str = "serve.slow_worker";
 
     /// 0 = uninitialized, 1 = known off, 2 = possibly armed.
     static STATE: AtomicU8 = AtomicU8::new(0);

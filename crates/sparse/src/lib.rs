@@ -40,6 +40,7 @@
 //! instead of panicking; see [`budget`] for the taxonomy and the
 //! fault-injection failpoints used to test the abort paths.
 
+pub mod binio;
 pub mod budget;
 pub mod chain;
 pub mod csr;
@@ -49,6 +50,7 @@ pub mod par;
 pub mod parallelism;
 pub mod vector;
 
+pub use binio::{checksum, DecodeError};
 pub use budget::{Budget, ExecError};
 pub use csr::{Csr, CsrInvariant};
 pub use dense::Dense;

@@ -177,11 +177,11 @@ fn fds_map_across_rearrangement() {
 #[test]
 fn graph_io_roundtrips_generated_databases() {
     let g = movies::imdb(&MoviesConfig::tiny());
-    let text = repsim_graph::io::write(&g);
+    let text = repsim_graph::io::write(&g).unwrap();
     let back = repsim_graph::io::read(&text).unwrap();
     assert!(same_information(&g, &back));
 
     let (masg, _) = mas::mas(&MasConfig::tiny());
-    let back = repsim_graph::io::read(&repsim_graph::io::write(&masg)).unwrap();
+    let back = repsim_graph::io::read(&repsim_graph::io::write(&masg).unwrap()).unwrap();
     assert!(same_information(&masg, &back));
 }

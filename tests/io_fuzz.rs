@@ -58,7 +58,7 @@ proptest! {
     ) {
         let input = lines.join("\n");
         if let Ok(g) = io::read(&input) {
-            let again = io::read(&io::write(&g)).expect("own output parses");
+            let again = io::read(&io::write(&g).unwrap()).expect("own output parses");
             prop_assert!(same_information(&g, &again));
         }
     }

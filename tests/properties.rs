@@ -178,7 +178,7 @@ proptest! {
     #[test]
     fn io_roundtrip_random_graphs(rg in random_graph_strategy()) {
         let g = build(&rg);
-        let back = repsim::graph::io::read(&repsim::graph::io::write(&g)).unwrap();
+        let back = repsim::graph::io::read(&repsim::graph::io::write(&g).unwrap()).unwrap();
         prop_assert!(same_information(&g, &back));
     }
 
