@@ -377,12 +377,16 @@ pub fn query(args: &Args) -> Result<String, CliError> {
     Ok(out)
 }
 
-/// `repsim profile FILE --meta-walk "..." --query label:value [-k N]`.
+/// `repsim profile FILE --meta-walk "..." --query label:value [-k N]
+/// [--kernel]`.
 ///
 /// Runs one rpathsim ranking query end to end under an in-memory trace
 /// sink — a cold commuting-cache miss (commuting build → SpGEMM chain),
 /// a warm repeat hit, then the query-engine build and ranking — and
-/// prints the resulting span tree plus the metrics table.
+/// prints the resulting span tree plus the metrics table. `--kernel`
+/// appends a numeric-phase breakdown: how many output rows the adaptive
+/// accumulator routed to the dense tiled path vs the sparse hash path,
+/// and how many column tiles the dense path actually visited.
 pub fn profile(args: &Args) -> Result<String, CliError> {
     use repsim_baselines::ranking::SimilarityAlgorithm;
     use std::sync::Arc;
@@ -465,6 +469,41 @@ pub fn profile(args: &Args) -> Result<String, CliError> {
             "snapshot: saved {} entries ({} bytes), reloaded {loaded}",
             saved.entries, saved.bytes
         );
+    }
+    if args.has("kernel") {
+        // Counters were reset before the run, so the totals here cover
+        // exactly the profiled work: the cold cache-miss chain build plus
+        // the query-engine build (the warm repeat is a cache hit and runs
+        // no SpGEMM).
+        let reg = repsim_obs::Registry::global();
+        let dense = reg.counter("repsim.sparse.spgemm.numeric.dense_rows").get();
+        let sparse = reg
+            .counter("repsim.sparse.spgemm.numeric.sparse_rows")
+            .get();
+        let tiles = reg.counter("repsim.sparse.spgemm.numeric.tile_count").get();
+        let rows = dense + sparse;
+        let pct = |n: u64| {
+            if rows == 0 {
+                0.0
+            } else {
+                100.0 * n as f64 / rows as f64
+            }
+        };
+        out.push_str("\nkernel (numeric phase):\n");
+        let _ = writeln!(out, "  dense-tiled rows  {dense:>12}  ({:.1}%)", pct(dense));
+        let _ = writeln!(
+            out,
+            "  sparse-hash rows  {sparse:>12}  ({:.1}%)",
+            pct(sparse)
+        );
+        let _ = writeln!(out, "  tiles visited     {tiles:>12}");
+        if dense > 0 {
+            let _ = writeln!(
+                out,
+                "  tiles per dense row  {:.2}",
+                tiles as f64 / dense as f64
+            );
+        }
     }
     out.push_str("\nspan tree:\n");
     out.push_str(&repsim_obs::render_tree(&collect.events()));

@@ -183,10 +183,13 @@ COMMANDS:
   explain      FILE --meta-walk \"...\" --query label:value
                --candidate label:value [-k N]   show witnessing walks
   profile      FILE --meta-walk \"...\" --query label:value [-k N]
-               [--snapshot FILE]        run one rpathsim query twice (cold
+               [--snapshot FILE] [--kernel]
+                                        run one rpathsim query twice (cold
                                         cache, then warm) and print the span
                                         tree + metrics table; with --snapshot,
-                                        also time a snapshot save + reload
+                                        also time a snapshot save + reload;
+                                        --kernel adds the SpGEMM numeric-phase
+                                        dense/sparse row and tile breakdown
   serve        FILE [--addr HOST:PORT] [--snapshot FILE] [--queue-cap N]
                [--port-file FILE] [--fault-injection]
                                         resident query service over newline-
@@ -259,7 +262,7 @@ mod tests {
         // planner and the SpGEMM kernel, not just a single biadjacency.
         let out = run(&argv(&format!(
             "profile {path} --meta-walk=film~actor~film~actor~film \
-             --query film:film00000 -k 3"
+             --query film:film00000 -k 3 --kernel"
         )))
         .unwrap();
         for layer in [
@@ -278,6 +281,25 @@ mod tests {
             "{out}"
         );
         assert!(out.contains("repsim.metawalk.cache.hit"), "{out}");
+        // --kernel leg: the numeric-phase routing breakdown is present and
+        // the cold build routed at least one row through an accumulator.
+        assert!(out.contains("kernel (numeric phase):"), "{out}");
+        assert!(out.contains("dense-tiled rows"), "{out}");
+        assert!(out.contains("sparse-hash rows"), "{out}");
+        assert!(out.contains("tiles visited"), "{out}");
+        let routed: u64 = ["dense-tiled rows", "sparse-hash rows"]
+            .iter()
+            .map(|label| {
+                let line = out
+                    .lines()
+                    .find(|l| l.contains(label))
+                    .unwrap_or_else(|| panic!("missing {label}"));
+                line.split_whitespace()
+                    .find_map(|w| w.parse::<u64>().ok())
+                    .unwrap_or_else(|| panic!("no count in {line:?}"))
+            })
+            .sum();
+        assert!(routed > 0, "no rows routed through the kernel:\n{out}");
 
         // --trace-out writes one JSON object per line, closing with a
         // metrics snapshot.

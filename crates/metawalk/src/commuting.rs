@@ -25,8 +25,8 @@ use std::collections::HashMap;
 use repsim_graph::biadjacency::biadjacency;
 use repsim_graph::{Graph, LabelId};
 use repsim_obs::CounterHandle;
-use repsim_sparse::chain::try_spmm_chain_with_budget;
-use repsim_sparse::{Budget, Csr, ExecError, Parallelism};
+use repsim_sparse::chain::try_spmm_chain_with_budget_in;
+use repsim_sparse::{Budget, Csr, ExecError, Parallelism, SpgemmArena};
 
 use crate::metawalk::MetaWalk;
 
@@ -130,6 +130,11 @@ fn compute(
     // Corrections (diagonal removal per hop, binarization per segment)
     // happen before any cross-hop or cross-segment product, so the chain
     // planner is free to reassociate each product level.
+    //
+    // One SpGEMM arena serves every product of the build — hop chains,
+    // segment chains, and the final join all reuse the same accumulator
+    // scratch, so a build allocates kernel workspace once per worker.
+    let mut arena = SpgemmArena::new();
     let mut segments: Vec<Csr> = Vec::new();
     let mut hops: Vec<Csr> = Vec::new();
     let mut segment_has_star = false;
@@ -140,13 +145,14 @@ fn compute(
             informative,
             par,
             budget,
+            &mut arena,
         )?);
         if steps[w[1]].is_star() {
             segment_has_star = true;
             continue;
         }
         // Arrived at a plain entity: close the current segment.
-        let mut seg = chain_product(std::mem::take(&mut hops), par, budget)?;
+        let mut seg = chain_product(std::mem::take(&mut hops), par, budget, &mut arena)?;
         if segment_has_star {
             seg = seg.binarized();
             segment_has_star = false;
@@ -154,15 +160,20 @@ fn compute(
         segments.push(seg);
     }
     debug_assert!(hops.is_empty(), "meta-walk must end at a plain entity");
-    chain_product(segments, par, budget)
+    chain_product(segments, par, budget, &mut arena)
 }
 
 /// Cost-ordered product of an owned chain (single factors pass through
 /// without a copy; an empty chain is an [`ExecError::InvalidInput`]).
-fn chain_product(mut mats: Vec<Csr>, par: Parallelism, budget: &Budget) -> Result<Csr, ExecError> {
+fn chain_product(
+    mut mats: Vec<Csr>,
+    par: Parallelism,
+    budget: &Budget,
+    arena: &mut SpgemmArena,
+) -> Result<Csr, ExecError> {
     if mats.len() > 1 {
         let refs: Vec<&Csr> = mats.iter().collect();
-        return try_spmm_chain_with_budget(&refs, par.threads(), budget);
+        return try_spmm_chain_with_budget_in(&refs, par.threads(), budget, arena);
     }
     // No product to run, but an expired deadline or set cancellation
     // flag still aborts — trivial builds observe the budget too.
@@ -182,6 +193,7 @@ fn hop_matrix(
     informative: bool,
     par: Parallelism,
     budget: &Budget,
+    arena: &mut SpgemmArena,
 ) -> Result<Csr, ExecError> {
     let labels: Vec<LabelId> = labels.into_iter().collect();
     debug_assert!(labels.len() >= 2);
@@ -189,7 +201,7 @@ fn hop_matrix(
         .windows(2)
         .map(|pair| biadjacency(g, pair[0], pair[1]))
         .collect();
-    let mut m = chain_product(mats, par, budget)?;
+    let mut m = chain_product(mats, par, budget, arena)?;
     if informative && labels.first() == labels.last() {
         m = m.subtract_diagonal();
     }
@@ -611,6 +623,39 @@ mod tests {
         }
         // A later un-faulted miss rebuilds from scratch and gets the exact
         // matrix, proving the abort left no partial state anywhere.
+        let rebuilt = cache
+            .try_informative_with(&g, &mw, Parallelism::serial(), &Budget::unlimited())
+            .unwrap()
+            .clone();
+        assert_eq!(rebuilt, exact);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn mid_numeric_abort_never_poisons_cache_failpoint() {
+        // Like the SPGEMM_CANCEL case, but firing *inside* the numeric
+        // phase — after the symbolic pass sized the output, while tiles
+        // and hash accumulators are mid-flight — so an abort there must
+        // also leave no cache entry and no reusable-scratch corruption.
+        use repsim_sparse::budget::failpoints;
+        let (g, _) = dblp();
+        let mw = MetaWalk::parse_in(&g, "paper cite paper cite paper").unwrap();
+        let exact = informative_commuting(&g, &mw);
+        let mut cache = CommutingCache::new();
+        {
+            let _guard = failpoints::scoped(&[failpoints::SPGEMM_NUMERIC_CANCEL]);
+            let inject = Budget::unlimited().with_fault_injection();
+            let err = cache
+                .try_informative_with(&g, &mw, Parallelism::serial(), &inject)
+                .unwrap_err();
+            assert_eq!(err, ExecError::Cancelled);
+            assert!(
+                cache.is_empty(),
+                "mid-numeric abort cached a partial matrix"
+            );
+        }
+        // The rebuild reuses the same code paths (fresh arena per build);
+        // bit-exact equality proves the abort corrupted nothing.
         let rebuilt = cache
             .try_informative_with(&g, &mw, Parallelism::serial(), &Budget::unlimited())
             .unwrap()

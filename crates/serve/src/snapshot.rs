@@ -16,7 +16,10 @@
 //!
 //! Each payload entry is `kind: u8` (0 = plain, 1 = informative),
 //! `walk_len: u64 LE`, the walk's UTF-8 text form, then the matrix in
-//! [`Csr::encode_into`]'s layout. Walks persist as *text* and are
+//! [`Csr::encode_auto_into`]'s layout — the succinct delta-encoded
+//! record when the matrix shape permits, the plain record otherwise;
+//! [`Csr::decode`] reads both, so snapshots written before the compact
+//! record existed keep loading. Walks persist as *text* and are
 //! re-parsed against the live graph on load, so label-id renumbering or
 //! schema drift is caught structurally, not trusted.
 //!
@@ -170,7 +173,7 @@ fn encode(g: &Graph, cache: &CommutingCache, graph_fp: u64) -> Vec<u8> {
         payload.push(*kind);
         payload.extend_from_slice(&(text.len() as u64).to_le_bytes());
         payload.extend_from_slice(text.as_bytes());
-        m.encode_into(&mut payload);
+        m.encode_auto_into(&mut payload);
     }
 
     let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
@@ -470,6 +473,61 @@ mod tests {
         let path2 = dir.join("idx2.snap");
         save(&path2, &g, &cache, &Budget::unlimited()).unwrap();
         assert_eq!(fs::read(&path).unwrap(), fs::read(&path2).unwrap());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn old_format_plain_record_snapshot_still_loads() {
+        // Reconstruct, byte for byte, the file a pre-compact-record binary
+        // would have written: same header, same entry framing, but every
+        // matrix in the plain (non-delta) record layout. It must restore
+        // bit-identically through the current loader.
+        let g = mas_like();
+        let cache = populated_cache(&g);
+        let fp = graph_fingerprint(&g);
+        let mut entries: Vec<(u8, String, &Csr)> = cache
+            .entries()
+            .map(|(kind, mw, m)| {
+                let kind_byte = match kind {
+                    CacheKind::Plain => 0u8,
+                    CacheKind::Informative => 1u8,
+                };
+                (kind_byte, mw.display(g.labels()), m)
+            })
+            .collect();
+        entries.sort_by(|a, b| (a.0, &a.1).cmp(&(b.0, &b.1)));
+        let mut payload = Vec::new();
+        for (kind, text, m) in &entries {
+            payload.push(*kind);
+            payload.extend_from_slice(&(text.len() as u64).to_le_bytes());
+            payload.extend_from_slice(text.as_bytes());
+            m.encode_into(&mut payload); // plain records, as the old binary wrote
+        }
+        let mut old = Vec::with_capacity(HEADER_LEN + payload.len());
+        old.extend_from_slice(MAGIC);
+        old.extend_from_slice(&VERSION.to_le_bytes());
+        old.extend_from_slice(&fp.to_le_bytes());
+        old.extend_from_slice(&(entries.len() as u64).to_le_bytes());
+        old.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        old.extend_from_slice(&checksum(&payload).to_le_bytes());
+        old.extend_from_slice(&payload);
+
+        let dir = tmp_dir("oldfmt");
+        let path = dir.join("idx.snap");
+        fs::write(&path, &old).unwrap();
+        let restored = match load(&path, &g).unwrap() {
+            LoadOutcome::Restored(e) => e,
+            other => panic!("expected restore, got {other:?}"),
+        };
+        assert_eq!(restored.len(), 4);
+        for (kind, mw, m) in &restored {
+            assert_eq!(cache.peek(*kind, mw), Some(m));
+        }
+        // The new writer produces a strictly smaller file for the same
+        // cache (these matrices are all compact-eligible).
+        let new_path = dir.join("new.snap");
+        let stats = save(&new_path, &g, &cache, &Budget::unlimited()).unwrap();
+        assert!(stats.bytes < old.len(), "{} vs {}", stats.bytes, old.len());
         let _ = fs::remove_dir_all(&dir);
     }
 

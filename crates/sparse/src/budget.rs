@@ -318,6 +318,11 @@ pub mod failpoints {
     /// Forces [`ExecError::Cancelled`] at the start of every SpGEMM band
     /// and between chain joins.
     pub const SPGEMM_CANCEL: &str = "spgemm-cancel";
+    /// Forces [`ExecError::Cancelled`] at the first in-band checkpoint of
+    /// the SpGEMM *numeric* phase — after the symbolic pass has sized the
+    /// output and accumulator tiles are in flight — exercising the
+    /// mid-tile abort path (no partial matrix, no poisoned caches).
+    pub const SPGEMM_NUMERIC_CANCEL: &str = "spgemm-numeric-cancel";
     /// Forces [`ExecError::MemoryExceeded`] where SpGEMM sizes its output.
     pub const ALLOC_FAIL: &str = "alloc-fail";
     /// Forces [`ExecError::DeadlineExceeded`] at the next budget check.

@@ -13,8 +13,10 @@
 //! The estimator is deliberately a function of the *sub-chain*, not of the
 //! association order, so the DP's size table is well-defined.
 
+use crate::accum::{SpgemmArena, COMPACT_CONVERT_COST, COMPACT_FLOP_DISCOUNT, COMPACT_MIN_REUSE};
 use crate::budget::{failpoints, Budget, ExecError};
-use crate::ops::try_spmm_with_budget;
+use crate::compact::MAX_COMPACT_NCOLS;
+use crate::ops::try_spmm_with_budget_in;
 use crate::Csr;
 use repsim_obs::CounterHandle;
 
@@ -120,7 +122,18 @@ pub fn plan_chain(stats: &[ChainStats]) -> ChainPlan {
             let mut best_k = i;
             for k in i..j {
                 // Gustavson flops of L·R ≈ nnz(L) · avg nnz per row of R.
-                let join = est[i][k] * est[k + 1][j] / stats[k + 1].rows.max(1.0);
+                let flops = est[i][k] * est[k + 1][j] / stats[k + 1].rows.max(1.0);
+                // Mirror the kernel's auto-compaction: a narrow right
+                // operand re-scanned often enough is streamed delta-encoded
+                // — cheaper per flop, plus a linear conversion pass.
+                let rnnz = est[k + 1][j];
+                let join = if stats[j].cols <= MAX_COMPACT_NCOLS as f64
+                    && flops >= COMPACT_MIN_REUSE * rnnz
+                {
+                    flops * COMPACT_FLOP_DISCOUNT + rnnz * COMPACT_CONVERT_COST
+                } else {
+                    flops
+                };
                 let total = cost[i][k] + cost[k + 1][j] + join;
                 if total <= best {
                     best = total;
@@ -168,23 +181,27 @@ fn eval<'a>(
     matrices: &[&'a Csr],
     threads: usize,
     budget: &Budget,
+    arena: &mut SpgemmArena,
 ) -> Result<Factor<'a>, ExecError> {
     match order {
         ChainOrder::Leaf(i) => Ok(Factor::Borrowed(matrices[*i])),
         ChainOrder::Join(l, r) => {
-            let left = eval(l, matrices, threads, budget)?;
-            let right = eval(r, matrices, threads, budget)?;
+            let left = eval(l, matrices, threads, budget, arena)?;
+            let right = eval(r, matrices, threads, budget, arena)?;
             // Each join is a fresh cancellation point: a long chain aborts
             // between joins (and, via the banded kernel, within one).
             if budget.injected(failpoints::SPGEMM_CANCEL) {
                 return Err(ExecError::Cancelled);
             }
             CHAIN_JOINS.add(1);
-            Ok(Factor::Owned(try_spmm_with_budget(
+            // Every join reuses the one arena, so the chain performs a
+            // single accumulator allocation per worker, not one per join.
+            Ok(Factor::Owned(try_spmm_with_budget_in(
                 left.as_ref(),
                 right.as_ref(),
                 threads,
                 budget,
+                arena,
             )?))
         }
     }
@@ -214,6 +231,21 @@ pub fn try_spmm_chain_with_budget(
     matrices: &[&Csr],
     threads: usize,
     budget: &Budget,
+) -> Result<Csr, ExecError> {
+    let mut arena = SpgemmArena::new();
+    try_spmm_chain_with_budget_in(matrices, threads, budget, &mut arena)
+}
+
+/// [`try_spmm_chain_with_budget`] with caller-provided scratch: every
+/// join of the chain (and, for callers like `metawalk`'s commuting
+/// builds, every chain of a multi-chain construction) reuses the one
+/// [`SpgemmArena`], so accumulator buffers are allocated once per worker
+/// for the whole build instead of once per product.
+pub fn try_spmm_chain_with_budget_in(
+    matrices: &[&Csr],
+    threads: usize,
+    budget: &Budget,
+    arena: &mut SpgemmArena,
 ) -> Result<Csr, ExecError> {
     if matrices.is_empty() {
         return Err(ExecError::InvalidInput {
@@ -248,7 +280,7 @@ pub fn try_spmm_chain_with_budget(
         }
         plan
     };
-    let out = match eval(&plan.order, matrices, threads, budget)? {
+    let out = match eval(&plan.order, matrices, threads, budget, arena)? {
         Factor::Owned(m) => m,
         Factor::Borrowed(m) => m.clone(),
     };

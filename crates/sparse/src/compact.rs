@@ -1,0 +1,268 @@
+//! Succinct CSR: narrowed, delta-encoded column storage.
+//!
+//! [`CsrCompact`] stores the same matrix as [`Csr`] in ~60% of the
+//! column-structure bytes: row pointers narrowed to `u32` and column
+//! indices as `u16` *deltas* from the previous column in the row (the
+//! first entry of a row is its delta from column 0). Values stay `f64`
+//! bit-for-bit — the representation is lossless, so a round trip through
+//! it is bit-identical, which is what lets the SpGEMM kernel stream a
+//! compacted operand and still produce output equal to the plain kernel.
+//!
+//! Eligibility is a property of the shape: every column must fit a
+//! `u16` delta (`ncols <= 65_536`; deltas of a strictly increasing row
+//! are then `<= 65_535`) and the entry count must fit the narrowed row
+//! pointers (`nnz <= u32::MAX`). [`CsrCompact::try_from_csr`] returns
+//! `None` otherwise, and callers fall back to the plain representation.
+//!
+//! Decode happens *on the fly* in the kernel inner loops (a running
+//! prefix sum, one add per entry) — the compact form is never expanded
+//! to a plain CSR on the hot path. `binio` persists it as a versioned
+//! record type so snapshots of eligible matrices shrink too.
+
+use crate::csr::Csr;
+
+/// The widest matrix whose columns delta-encode into `u16`.
+pub const MAX_COMPACT_NCOLS: usize = u16::MAX as usize + 1;
+
+/// A sparse matrix in delta-encoded compressed sparse row format.
+///
+/// See the module docs for the layout; construct via
+/// [`CsrCompact::try_from_csr`] and convert back with
+/// [`CsrCompact::to_csr`]. Both directions are lossless.
+#[derive(Clone, PartialEq)]
+pub struct CsrCompact {
+    nrows: usize,
+    ncols: usize,
+    row_ptr: Vec<u32>,
+    /// Per-entry column deltas: entry `i` of row `r` stores
+    /// `col[i] - col[i-1]` (`col[-1]` taken as 0), so columns decode by
+    /// running prefix sum restarted at each row.
+    col_delta: Vec<u16>,
+    values: Vec<f64>,
+}
+
+impl std::fmt::Debug for CsrCompact {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "CsrCompact({}x{}, nnz={})",
+            self.nrows,
+            self.ncols,
+            self.nnz()
+        )
+    }
+}
+
+impl CsrCompact {
+    /// Whether a matrix of this shape can be represented compactly.
+    pub fn eligible(ncols: usize, nnz: usize) -> bool {
+        ncols <= MAX_COMPACT_NCOLS && nnz <= u32::MAX as usize
+    }
+
+    /// Compacts `m`, or returns `None` when the shape is ineligible
+    /// (too many columns for `u16` deltas or too many entries for `u32`
+    /// row pointers).
+    pub fn try_from_csr(m: &Csr) -> Option<CsrCompact> {
+        if !Self::eligible(m.ncols(), m.nnz()) {
+            return None;
+        }
+        let mut row_ptr = Vec::with_capacity(m.nrows() + 1);
+        let mut col_delta = Vec::with_capacity(m.nnz());
+        let mut values = Vec::with_capacity(m.nnz());
+        row_ptr.push(0u32);
+        for r in 0..m.nrows() {
+            let (cols, vals) = m.row(r);
+            let mut prev = 0u32;
+            for (&c, &v) in cols.iter().zip(vals) {
+                // Strictly increasing in-bounds columns (a CSR invariant)
+                // keep every delta within u16.
+                col_delta.push((c - prev) as u16);
+                values.push(v);
+                prev = c;
+            }
+            row_ptr.push(col_delta.len() as u32);
+        }
+        Some(CsrCompact {
+            nrows: m.nrows(),
+            ncols: m.ncols(),
+            row_ptr,
+            col_delta,
+            values,
+        })
+    }
+
+    /// Expands back to plain CSR parts `(row_ptr, col_idx, values)` by
+    /// prefix-summing the deltas. Values are moved/copied verbatim, so
+    /// the expansion is bit-lossless.
+    fn expand(&self) -> (Vec<usize>, Vec<u32>, Vec<f64>) {
+        let row_ptr: Vec<usize> = self.row_ptr.iter().map(|&p| p as usize).collect();
+        let mut col_idx = Vec::with_capacity(self.col_delta.len());
+        for r in 0..self.nrows {
+            let (lo, hi) = (self.row_ptr[r] as usize, self.row_ptr[r + 1] as usize);
+            let mut prev = 0u32;
+            for &d in &self.col_delta[lo..hi] {
+                prev += u32::from(d);
+                col_idx.push(prev);
+            }
+        }
+        (row_ptr, col_idx, self.values.clone())
+    }
+
+    /// Expands back to a plain [`Csr`], bit-identical to the compacted
+    /// input. Only call on values built by [`CsrCompact::try_from_csr`]
+    /// (whose invariants came from a valid `Csr`); decoded untrusted
+    /// data goes through [`CsrCompact::try_to_csr`] instead.
+    pub fn to_csr(&self) -> Csr {
+        let (row_ptr, col_idx, values) = self.expand();
+        Csr::from_parts(self.nrows, self.ncols, row_ptr, col_idx, values)
+    }
+
+    /// Fallible expansion for untrusted (deserialized) data: the plain
+    /// parts are re-checked against every CSR structural invariant.
+    pub fn try_to_csr(&self) -> Result<Csr, crate::csr::CsrInvariant> {
+        let (row_ptr, col_idx, values) = self.expand();
+        Csr::try_from_parts(self.nrows, self.ncols, row_ptr, col_idx, values)
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.col_delta.len()
+    }
+
+    /// Heap bytes of the three arrays — the number the succinct format
+    /// is trying to shrink (plain CSR: `8·(nrows+1) + 12·nnz`).
+    pub fn heap_bytes(&self) -> usize {
+        self.row_ptr.len() * 4 + self.col_delta.len() * 2 + self.values.len() * 8
+    }
+
+    /// The raw parts `(row_ptr, col_delta, values)` — the kernel's
+    /// zero-copy view for on-the-fly decode.
+    pub(crate) fn raw(&self) -> (&[u32], &[u16], &[f64]) {
+        (&self.row_ptr, &self.col_delta, &self.values)
+    }
+
+    /// Builds from raw parts, used by `binio` decoding. Returns `None`
+    /// when the parts are structurally inconsistent (the caller maps
+    /// this to its own error type); full CSR invariants are re-checked
+    /// by converting through [`Csr::try_from_parts`] in `binio`.
+    pub(crate) fn from_raw(
+        nrows: usize,
+        ncols: usize,
+        row_ptr: Vec<u32>,
+        col_delta: Vec<u16>,
+        values: Vec<f64>,
+    ) -> Option<CsrCompact> {
+        if row_ptr.len() != nrows + 1
+            || row_ptr.first() != Some(&0)
+            || row_ptr.last().copied() != Some(col_delta.len() as u32)
+            || col_delta.len() != values.len()
+            || !Self::eligible(ncols, col_delta.len())
+        {
+            return None;
+        }
+        if row_ptr.windows(2).any(|w| w[0] > w[1]) {
+            return None;
+        }
+        Some(CsrCompact {
+            nrows,
+            ncols,
+            row_ptr,
+            col_delta,
+            values,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Csr {
+        Csr::from_triplets(
+            4,
+            7,
+            vec![
+                (0, 0, 1.0),
+                (0, 6, 2.0),
+                (1, 3, -3.5),
+                (3, 0, 4.0),
+                (3, 1, 5.0),
+                (3, 6, 6.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn roundtrip_is_bit_identical() {
+        let m = sample();
+        let c = CsrCompact::try_from_csr(&m).expect("eligible");
+        assert_eq!((c.nrows(), c.ncols(), c.nnz()), (4, 7, 6));
+        let back = c.to_csr();
+        assert_eq!(back, m);
+        for r in 0..m.nrows() {
+            let (ca, va) = m.row(r);
+            let (cb, vb) = back.row(r);
+            assert_eq!(ca, cb);
+            for (x, y) in va.iter().zip(vb) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn negative_zero_survives() {
+        let m = Csr::try_from_parts(1, 2, vec![0, 1], vec![1], vec![-0.0]).unwrap();
+        let c = CsrCompact::try_from_csr(&m).unwrap();
+        let back = c.to_csr();
+        assert_eq!(back.row(0).1[0].to_bits(), (-0.0f64).to_bits());
+    }
+
+    #[test]
+    fn wide_matrices_are_ineligible() {
+        assert!(!CsrCompact::eligible(MAX_COMPACT_NCOLS + 1, 0));
+        assert!(CsrCompact::eligible(MAX_COMPACT_NCOLS, 10));
+        let wide = Csr::zeros(2, MAX_COMPACT_NCOLS + 1);
+        assert!(CsrCompact::try_from_csr(&wide).is_none());
+    }
+
+    #[test]
+    fn boundary_columns_encode() {
+        // First and last representable columns, adjacent duplicates of
+        // the maximum delta.
+        let n = MAX_COMPACT_NCOLS;
+        let m = Csr::from_triplets(1, n, vec![(0, 0, 1.0), (0, (n - 1) as u32, 2.0)]);
+        let c = CsrCompact::try_from_csr(&m).unwrap();
+        assert_eq!(c.to_csr(), m);
+    }
+
+    #[test]
+    fn heap_bytes_shrink() {
+        let m = sample();
+        let c = CsrCompact::try_from_csr(&m).unwrap();
+        let plain = (m.nrows() + 1) * 8 + m.nnz() * 12;
+        assert!(c.heap_bytes() < plain, "{} vs {plain}", c.heap_bytes());
+    }
+
+    #[test]
+    fn from_raw_rejects_inconsistent_parts() {
+        assert!(CsrCompact::from_raw(1, 4, vec![0, 1], vec![1], vec![1.0]).is_some());
+        // Wrong row_ptr length.
+        assert!(CsrCompact::from_raw(2, 4, vec![0, 1], vec![1], vec![1.0]).is_none());
+        // row_ptr not ending at nnz.
+        assert!(CsrCompact::from_raw(1, 4, vec![0, 2], vec![1], vec![1.0]).is_none());
+        // Decreasing row_ptr.
+        assert!(CsrCompact::from_raw(2, 4, vec![0, 1, 0], vec![1], vec![1.0]).is_none());
+        // cols/values disagree.
+        assert!(CsrCompact::from_raw(1, 4, vec![0, 1], vec![1], vec![]).is_none());
+    }
+}

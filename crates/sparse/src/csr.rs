@@ -367,6 +367,12 @@ impl Csr {
         (&self.col_idx[lo..hi], &self.values[lo..hi])
     }
 
+    /// The raw CSR arrays `(row_ptr, col_idx, values)` — the kernels'
+    /// zero-copy view for operand streaming and compaction.
+    pub(crate) fn parts(&self) -> (&[usize], &[u32], &[f64]) {
+        (&self.row_ptr, &self.col_idx, &self.values)
+    }
+
     /// The value at `(r, c)`, zero if not stored.
     pub fn get(&self, r: usize, c: usize) -> f64 {
         let (cols, vals) = self.row(r);

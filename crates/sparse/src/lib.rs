@@ -40,9 +40,11 @@
 //! instead of panicking; see [`budget`] for the taxonomy and the
 //! fault-injection failpoints used to test the abort paths.
 
+pub mod accum;
 pub mod binio;
 pub mod budget;
 pub mod chain;
+pub mod compact;
 pub mod csr;
 pub mod dense;
 pub mod ops;
@@ -50,8 +52,13 @@ pub mod par;
 pub mod parallelism;
 pub mod vector;
 
+pub use accum::{
+    accumulator, compact_mode, set_accumulator, set_compact_mode, Accumulator, CompactMode,
+    SpgemmArena,
+};
 pub use binio::{checksum, DecodeError};
 pub use budget::{Budget, ExecError};
+pub use compact::CsrCompact;
 pub use csr::{Csr, CsrInvariant};
 pub use dense::Dense;
 pub use parallelism::Parallelism;

@@ -8,100 +8,32 @@
 //! cancelled or over-deadline product aborts mid-sweep. The infallible
 //! wrappers delegate to the fallible ones with an unlimited budget.
 
+use crate::accum::{
+    accumulator, compact_into, compact_mode, sparse_cutoff, Accumulator, CompactMode, NumericTally,
+    Operand, PlainView, SpgemmArena, WorkerScratch,
+};
 use crate::budget::{failpoints, Budget, ExecError};
-use crate::par::chunks;
+use crate::compact::CsrCompact;
+use crate::par::weighted_chunks;
 use crate::{Csr, Dense};
 use repsim_obs::{CounterHandle, HistogramHandle};
 
-/// Kernel metrics (`repsim.sparse.spgemm.*`): call/phase counters and
-/// log₂ histograms of phase latencies and output sizes. All no-ops
-/// until a sink is installed (see [`repsim_obs::enabled`]).
+/// Kernel metrics (`repsim.sparse.spgemm.*`): call/phase counters, log₂
+/// histograms of phase latencies and output sizes, and the adaptive
+/// accumulator's per-row policy tallies. All no-ops until a sink is
+/// installed (see [`repsim_obs::enabled`]).
 static SPGEMM_CALLS: CounterHandle = CounterHandle::new("repsim.sparse.spgemm.calls");
 static SPGEMM_SYMBOLIC_NS: HistogramHandle =
     HistogramHandle::new("repsim.sparse.spgemm.symbolic_ns");
 static SPGEMM_NUMERIC_NS: HistogramHandle = HistogramHandle::new("repsim.sparse.spgemm.numeric_ns");
 static SPGEMM_OUT_NNZ: HistogramHandle = HistogramHandle::new("repsim.sparse.spgemm.out_nnz");
 static SPGEMM_FLOPS: HistogramHandle = HistogramHandle::new("repsim.sparse.spgemm.flops");
-
-/// Reusable per-thread scratch for Gustavson row products: a dense
-/// accumulator over the output row, an occupancy mask, and the list of
-/// touched columns. One instance serves every row a worker computes, so
-/// the serial and parallel kernels share the exact same inner loop (and
-/// therefore the exact same floating-point accumulation order per row).
-pub(crate) struct RowWorkspace {
-    acc: Vec<f64>,
-    seen: Vec<bool>,
-    touched: Vec<u32>,
-}
-
-impl RowWorkspace {
-    pub(crate) fn new(ncols: usize) -> Self {
-        RowWorkspace {
-            acc: vec![0.0; ncols],
-            seen: vec![false; ncols],
-            touched: Vec::new(),
-        }
-    }
-
-    /// Symbolic pass: the number of distinct columns touched by output row
-    /// `r` of `a·b` — an upper bound on its nnz (exact-zero cancellation
-    /// can only shrink it).
-    fn symbolic_row(&mut self, a: &Csr, b: &Csr, r: usize) -> usize {
-        self.touched.clear();
-        let (ac, _) = a.row(r);
-        for &k in ac {
-            let (bc, _) = b.row(k as usize);
-            for &c in bc {
-                if !self.seen[c as usize] {
-                    self.seen[c as usize] = true;
-                    self.touched.push(c);
-                }
-            }
-        }
-        for &c in &self.touched {
-            self.seen[c as usize] = false;
-        }
-        self.touched.len()
-    }
-
-    /// Numeric pass: computes output row `r` of `a·b`, writing sorted
-    /// column indices and values (exact-zero sums dropped) into the
-    /// pre-sized slices. Returns the number of entries written.
-    fn numeric_row(
-        &mut self,
-        a: &Csr,
-        b: &Csr,
-        r: usize,
-        cols: &mut [u32],
-        vals: &mut [f64],
-    ) -> usize {
-        self.touched.clear();
-        let (ac, av) = a.row(r);
-        for (&k, &va) in ac.iter().zip(av) {
-            let (bc, bv) = b.row(k as usize);
-            for (&c, &vb) in bc.iter().zip(bv) {
-                if !self.seen[c as usize] {
-                    self.seen[c as usize] = true;
-                    self.touched.push(c);
-                }
-                self.acc[c as usize] += va * vb;
-            }
-        }
-        self.touched.sort_unstable();
-        let mut n = 0;
-        for &c in &self.touched {
-            let v = self.acc[c as usize];
-            self.acc[c as usize] = 0.0;
-            self.seen[c as usize] = false;
-            if v != 0.0 {
-                cols[n] = c;
-                vals[n] = v;
-                n += 1;
-            }
-        }
-        n
-    }
-}
+static SPGEMM_DENSE_ROWS: CounterHandle =
+    CounterHandle::new("repsim.sparse.spgemm.numeric.dense_rows");
+static SPGEMM_SPARSE_ROWS: CounterHandle =
+    CounterHandle::new("repsim.sparse.spgemm.numeric.sparse_rows");
+static SPGEMM_TILE_COUNT: CounterHandle =
+    CounterHandle::new("repsim.sparse.spgemm.numeric.tile_count");
 
 /// How many rows a band worker processes between budget checks. Checks
 /// cost one `Instant::now` plus two atomic loads — negligible at this
@@ -143,11 +75,34 @@ pub(crate) fn spmm_with_threads(a: &Csr, b: &Csr, threads: usize) -> Csr {
 /// symbolic phase) is checked against the budget's nnz cap. On any
 /// failure every band stops at its next checkpoint and the first error is
 /// returned — no partial matrix escapes.
+///
+/// Allocates a fresh [`SpgemmArena`] per call; chains of products should
+/// use [`try_spmm_with_budget_in`] to reuse one arena throughout.
 pub fn try_spmm_with_budget(
     a: &Csr,
     b: &Csr,
     threads: usize,
     budget: &Budget,
+) -> Result<Csr, ExecError> {
+    let mut arena = SpgemmArena::new();
+    try_spmm_with_budget_in(a, b, threads, budget, &mut arena)
+}
+
+/// [`try_spmm_with_budget`] with caller-provided scratch.
+///
+/// The arena holds every transient the product needs — per-worker
+/// accumulators, symbolic bounds, flop weights, and the delta-encoded
+/// operand buffers — so a chain of joins driven through one arena
+/// performs one scratch allocation per worker for the whole chain. The
+/// adaptive accumulator policy, flop-balanced banding, and automatic
+/// operand compaction all happen here; output is bit-identical for every
+/// policy, thread count, and representation (see [`crate::accum`]).
+pub fn try_spmm_with_budget_in(
+    a: &Csr,
+    b: &Csr,
+    threads: usize,
+    budget: &Budget,
+    arena: &mut SpgemmArena,
 ) -> Result<Csr, ExecError> {
     if a.ncols() != b.nrows() {
         return Err(ExecError::ShapeMismatch {
@@ -162,6 +117,39 @@ pub fn try_spmm_with_budget(
     budget.check()?;
     let nrows = a.nrows();
     let ncols = b.ncols();
+    let SpgemmArena {
+        workers,
+        bound,
+        bound_ptr,
+        row_flops,
+        count,
+        out_cols,
+        out_vals,
+        compact_row_ptr,
+        compact_delta,
+        compact_vals,
+    } = arena;
+
+    // Exact per-row Gustavson flop counts (one b-row scan per stored
+    // a-entry). These drive the flop-balanced bands, the adaptive
+    // symbolic-phase policy, and the compaction decision, so they are
+    // always computed — the sweep is two pointer arrays, far cheaper than
+    // either phase it steers.
+    let (a_ptr, a_cols, _) = a.parts();
+    let (b_ptr, _, _) = b.parts();
+    row_flops.clear();
+    row_flops.reserve(nrows);
+    let mut flops_total = 0u64;
+    for w in a_ptr.windows(2) {
+        let mut f = 0u64;
+        for &k in &a_cols[w[0]..w[1]] {
+            let k = k as usize;
+            f += (b_ptr[k + 1] - b_ptr[k]) as u64;
+        }
+        flops_total += f;
+        row_flops.push(f);
+    }
+
     // Thread spawn/join costs ~10µs per worker; for tiny products one band
     // (run inline, no spawn) is faster than any parallel split.
     let threads = if a.nnz().max(b.nnz()) < 4096 {
@@ -169,8 +157,27 @@ pub fn try_spmm_with_budget(
     } else {
         threads.max(1)
     };
-    let bands = chunks(nrows, threads);
-    let stop = std::sync::atomic::AtomicBool::new(false);
+    let bands = weighted_chunks(row_flops, threads);
+    if workers.len() < bands.len() {
+        workers.resize_with(bands.len(), WorkerScratch::new);
+    }
+    let workers = &mut workers[..bands.len()];
+    for w in workers.iter_mut() {
+        w.prepare(ncols);
+    }
+
+    // Stream the right operand delta-encoded when the shape permits and
+    // the flop volume amortizes the conversion pass (or the process-wide
+    // mode forces it). Only `b` is compacted: each of its rows is
+    // re-scanned once per referencing a-entry, while `a` is read once.
+    let eligible = CsrCompact::eligible(ncols, b.nnz());
+    let use_compact = match compact_mode() {
+        CompactMode::Off => false,
+        CompactMode::On => eligible,
+        CompactMode::Auto => {
+            eligible && flops_total as f64 >= crate::accum::COMPACT_MIN_REUSE * b.nnz() as f64
+        }
+    };
 
     SPGEMM_CALLS.add(1);
     let mut kernel_span = repsim_obs::span("repsim.sparse.spgemm");
@@ -180,6 +187,7 @@ pub fn try_spmm_with_budget(
         kernel_span.attr("nnz_a", a.nnz());
         kernel_span.attr("nnz_b", b.nnz());
         kernel_span.attr("bands", bands.len());
+        kernel_span.attr("compact_b", usize::from(use_compact));
         // The chain planner's cost model for this pair, reported next to
         // the measured Gustavson flops so estimate quality is auditable.
         let est = crate::chain::estimate_chain_nnz(&[
@@ -187,35 +195,108 @@ pub fn try_spmm_with_budget(
             crate::chain::ChainStats::of(b),
         ]);
         kernel_span.attr("est_nnz", est);
-        // Actual Gustavson flops: one b-row scan per stored a-entry.
-        let flops: u64 = (0..nrows)
-            .flat_map(|r| a.row(r).0)
-            .map(|&k| b.row(k as usize).0.len() as u64)
-            .sum();
-        kernel_span.attr("flops", flops);
-        SPGEMM_FLOPS.record(flops);
+        kernel_span.attr("flops", flops_total);
+        SPGEMM_FLOPS.record(flops_total);
     }
 
-    // Phase 1 — symbolic: per-row nnz upper bounds.
+    let scratch = PhaseScratch {
+        workers,
+        bound,
+        bound_ptr,
+        count,
+        out_cols,
+        out_vals,
+    };
+    let (out, tally) = if use_compact {
+        let view = compact_into(b, compact_row_ptr, compact_delta, compact_vals);
+        spgemm_phases(a, view, ncols, &bands, row_flops, budget, scratch)?
+    } else {
+        spgemm_phases(
+            a,
+            PlainView::of(b),
+            ncols,
+            &bands,
+            row_flops,
+            budget,
+            scratch,
+        )?
+    };
+
+    SPGEMM_DENSE_ROWS.add(tally.dense_rows);
+    SPGEMM_SPARSE_ROWS.add(tally.sparse_rows);
+    SPGEMM_TILE_COUNT.add(tally.tile_count);
+    if kernel_span.is_active() {
+        kernel_span.attr("out_nnz", out.nnz());
+        kernel_span.attr("dense_rows", tally.dense_rows);
+        kernel_span.attr("sparse_rows", tally.sparse_rows);
+        kernel_span.attr("tile_count", tally.tile_count);
+        SPGEMM_OUT_NNZ.record(out.nnz() as u64);
+    }
+    Ok(out)
+}
+
+/// The shared per-product scratch slices [`spgemm_phases`] fills, carved
+/// out of a [`SpgemmArena`] by the caller.
+struct PhaseScratch<'a> {
+    workers: &'a mut [WorkerScratch],
+    bound: &'a mut Vec<usize>,
+    bound_ptr: &'a mut Vec<usize>,
+    count: &'a mut Vec<usize>,
+    out_cols: &'a mut Vec<u32>,
+    out_vals: &'a mut Vec<f64>,
+}
+
+/// The two-phase Gustavson engine, monomorphized over the right operand's
+/// representation (plain or delta-encoded CSR). Each band's rows run
+/// through the symbolic then numeric pass with the per-row accumulator
+/// chosen by the process-wide [`Accumulator`] policy; output rows are
+/// bit-identical under every choice because every path accumulates each
+/// column's products in ascending-`k` order (see [`crate::accum`]).
+fn spgemm_phases<B: Operand>(
+    a: &Csr,
+    b: B,
+    ncols: usize,
+    bands: &[(usize, usize)],
+    row_flops: &[u64],
+    budget: &Budget,
+    scratch: PhaseScratch<'_>,
+) -> Result<(Csr, NumericTally), ExecError> {
+    let nrows = a.nrows();
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    let policy = accumulator();
+    // The hash path's empty-slot sentinel is u32::MAX; a matrix wide
+    // enough to use that as a real column index must stay dense.
+    let sparse_ok = ncols <= u32::MAX as usize;
+    let cutoff = sparse_cutoff(ncols);
+
+    // Phase 1 — symbolic: per-row nnz upper bounds (distinct columns;
+    // exact-zero cancellation can only shrink them). Rows whose flop
+    // count is small go through the hash counter, hub rows through the
+    // bitmap; flops bound distinct columns from above, so the choice is
+    // conservative and free.
     let symbolic_t0 = if repsim_obs::enabled() {
         repsim_obs::now_ns()
     } else {
         0
     };
     let symbolic_span = repsim_obs::span("repsim.sparse.spgemm.symbolic");
-    let mut bound = vec![0usize; nrows];
+    scratch.bound.clear();
+    scratch.bound.resize(nrows, 0);
     let mut errs: Vec<Option<ExecError>> = vec![None; bands.len()];
     {
-        let mut rest = bound.as_mut_slice();
+        let mut rest = scratch.bound.as_mut_slice();
         let mut err_rest = errs.as_mut_slice();
-        run_bands(&bands, |&(lo, hi)| {
+        let mut work_rest: &mut [WorkerScratch] = &mut *scratch.workers;
+        run_bands(bands, |&(lo, hi)| {
             let (band, tail) = std::mem::take(&mut rest).split_at_mut(hi - lo);
             rest = tail;
             let (err, etail) = std::mem::take(&mut err_rest).split_at_mut(1);
             err_rest = etail;
+            let (w, wtail) = std::mem::take(&mut work_rest).split_at_mut(1);
+            work_rest = wtail;
             let stop = &stop;
             move || {
-                let mut ws = RowWorkspace::new(ncols);
+                let ws = &mut w[0];
                 for (i, (r, slot)) in (lo..hi).zip(band.iter_mut()).enumerate() {
                     if i % ROWS_PER_CHECK == 0 {
                         if stop.load(std::sync::atomic::Ordering::Relaxed) {
@@ -227,7 +308,18 @@ pub fn try_spmm_with_budget(
                             return;
                         }
                     }
-                    *slot = ws.symbolic_row(a, b, r);
+                    let (acols, _) = a.row(r);
+                    let go_sparse = sparse_ok
+                        && match policy {
+                            Accumulator::Sparse => true,
+                            Accumulator::Dense => false,
+                            Accumulator::Adaptive => row_flops[r] <= cutoff as u64,
+                        };
+                    *slot = if go_sparse {
+                        ws.symbolic_row_sparse(acols, &b, row_flops[r] as usize)
+                    } else {
+                        ws.symbolic_row_dense(acols, &b)
+                    };
                 }
             }
         });
@@ -239,34 +331,50 @@ pub fn try_spmm_with_budget(
     if let Some(e) = errs.iter_mut().find_map(Option::take) {
         return Err(e);
     }
-    let mut bound_ptr = Vec::with_capacity(nrows + 1);
+    scratch.bound_ptr.clear();
+    scratch.bound_ptr.reserve(nrows + 1);
     let mut total = 0usize;
-    bound_ptr.push(0);
-    for &n in &bound {
+    scratch.bound_ptr.push(0);
+    for &n in scratch.bound.iter() {
         total += n;
-        bound_ptr.push(total);
+        scratch.bound_ptr.push(total);
     }
+    let bound_ptr: &[usize] = scratch.bound_ptr;
     // The symbolic phase sized the output exactly (up to cancellation):
     // this is the allocation the memory budget caps.
     budget.check_alloc(total)?;
 
     // Phase 2 — numeric: write each row's entries at its bounded offset;
     // record the actual count (cancellation may fall short of the bound).
+    // The accumulator is chosen per row from the now-exact bound: at most
+    // `cutoff` distinct columns fits a few-KiB hash table; anything
+    // larger sweeps the L1-resident column tile.
     let numeric_t0 = if repsim_obs::enabled() {
         repsim_obs::now_ns()
     } else {
         0
     };
     let numeric_span = repsim_obs::span("repsim.sparse.spgemm.numeric");
-    let mut col_idx = vec![0u32; total];
-    let mut values = vec![0.0f64; total];
-    let mut count = vec![0usize; nrows];
+    // Stage rows at their bound offsets in the arena buffers — grown to
+    // the chain's high-water size once, then reused without the zero-fill
+    // a fresh allocation would pay. Phase 3 copies the exact entries out.
+    if scratch.out_cols.len() < total {
+        scratch.out_cols.resize(total, 0);
+    }
+    if scratch.out_vals.len() < total {
+        scratch.out_vals.resize(total, 0.0);
+    }
+    scratch.count.clear();
+    scratch.count.resize(nrows, 0);
+    let mut tallies = vec![NumericTally::default(); bands.len()];
     {
-        let mut col_rest = col_idx.as_mut_slice();
-        let mut val_rest = values.as_mut_slice();
-        let mut cnt_rest = count.as_mut_slice();
+        let mut col_rest = &mut scratch.out_cols[..total];
+        let mut val_rest = &mut scratch.out_vals[..total];
+        let mut cnt_rest = scratch.count.as_mut_slice();
         let mut err_rest = errs.as_mut_slice();
-        run_bands(&bands, |&(lo, hi)| {
+        let mut tally_rest = tallies.as_mut_slice();
+        let mut work_rest: &mut [WorkerScratch] = &mut *scratch.workers;
+        run_bands(bands, |&(lo, hi)| {
             let width = bound_ptr[hi] - bound_ptr[lo];
             let (cols_band, ct) = std::mem::take(&mut col_rest).split_at_mut(width);
             col_rest = ct;
@@ -276,14 +384,23 @@ pub fn try_spmm_with_budget(
             cnt_rest = nt;
             let (err, etail) = std::mem::take(&mut err_rest).split_at_mut(1);
             err_rest = etail;
-            let bound_ptr = &bound_ptr;
+            let (tally, ttail) = std::mem::take(&mut tally_rest).split_at_mut(1);
+            tally_rest = ttail;
+            let (w, wtail) = std::mem::take(&mut work_rest).split_at_mut(1);
+            work_rest = wtail;
             let stop = &stop;
             move || {
-                let mut ws = RowWorkspace::new(ncols);
+                let ws = &mut w[0];
+                let t = &mut tally[0];
                 let base = bound_ptr[lo];
                 for (i, (r, cnt)) in (lo..hi).zip(cnt_band.iter_mut()).enumerate() {
                     if i % ROWS_PER_CHECK == 0 {
                         if stop.load(std::sync::atomic::Ordering::Relaxed) {
+                            return;
+                        }
+                        if budget.injected(failpoints::SPGEMM_NUMERIC_CANCEL) {
+                            err[0] = Some(ExecError::Cancelled);
+                            stop.store(true, std::sync::atomic::Ordering::Relaxed);
                             return;
                         }
                         if let Err(e) = budget.check() {
@@ -294,13 +411,36 @@ pub fn try_spmm_with_budget(
                     }
                     let off = bound_ptr[r] - base;
                     let len = bound_ptr[r + 1] - bound_ptr[r];
-                    *cnt = ws.numeric_row(
-                        a,
-                        b,
-                        r,
-                        &mut cols_band[off..off + len],
-                        &mut vals_band[off..off + len],
-                    );
+                    if len == 0 {
+                        *cnt = 0;
+                        continue;
+                    }
+                    let (acols, avals) = a.row(r);
+                    let cols_out = &mut cols_band[off..off + len];
+                    let vals_out = &mut vals_band[off..off + len];
+                    let go_sparse = sparse_ok
+                        && match policy {
+                            Accumulator::Sparse => true,
+                            Accumulator::Dense => false,
+                            Accumulator::Adaptive => len <= cutoff,
+                        };
+                    if go_sparse {
+                        *cnt = ws.numeric_row_sparse(acols, avals, &b, len, cols_out, vals_out);
+                        t.sparse_rows += 1;
+                    } else {
+                        let (n, tiles) = ws.numeric_row_dense(
+                            acols,
+                            avals,
+                            &b,
+                            ncols,
+                            row_flops[r],
+                            cols_out,
+                            vals_out,
+                        );
+                        *cnt = n;
+                        t.dense_rows += 1;
+                        t.tile_count += tiles;
+                    }
                 }
             }
         });
@@ -312,31 +452,42 @@ pub fn try_spmm_with_budget(
     if let Some(e) = errs.iter_mut().find_map(Option::take) {
         return Err(e);
     }
+    let mut tally = NumericTally::default();
+    for t in &tallies {
+        tally.absorb(*t);
+    }
 
-    // Phase 3 — compact: close the cancellation gaps in place and build
-    // the final row pointers.
+    // Phase 3 — compact: copy the staged rows out of the arena into
+    // exact-size vectors, closing any cancellation gaps. Contiguous runs
+    // of gap-free rows are coalesced into single memcpys.
     let mut row_ptr = Vec::with_capacity(nrows + 1);
     row_ptr.push(0);
-    let mut dst = 0usize;
+    let mut nnz_out = 0usize;
     for r in 0..nrows {
-        let src = bound_ptr[r];
-        let n = count[r];
-        if src != dst {
-            col_idx.copy_within(src..src + n, dst);
-            values.copy_within(src..src + n, dst);
+        nnz_out += scratch.count[r];
+        row_ptr.push(nnz_out);
+    }
+    let mut col_idx = Vec::with_capacity(nnz_out);
+    let mut values = Vec::with_capacity(nnz_out);
+    let mut run_start = 0usize;
+    let mut run_len = 0usize;
+    for (&src, &n) in bound_ptr[..nrows].iter().zip(&scratch.count[..nrows]) {
+        if src == run_start + run_len {
+            run_len += n;
+        } else {
+            col_idx.extend_from_slice(&scratch.out_cols[run_start..run_start + run_len]);
+            values.extend_from_slice(&scratch.out_vals[run_start..run_start + run_len]);
+            run_start = src;
+            run_len = n;
         }
-        dst += n;
-        row_ptr.push(dst);
     }
-    col_idx.truncate(dst);
-    values.truncate(dst);
-    col_idx.shrink_to_fit();
-    values.shrink_to_fit();
-    if kernel_span.is_active() {
-        kernel_span.attr("out_nnz", dst);
-        SPGEMM_OUT_NNZ.record(dst as u64);
-    }
-    Ok(Csr::from_parts(nrows, ncols, row_ptr, col_idx, values))
+    col_idx.extend_from_slice(&scratch.out_cols[run_start..run_start + run_len]);
+    values.extend_from_slice(&scratch.out_vals[run_start..run_start + run_len]);
+    debug_assert_eq!(col_idx.len(), nnz_out);
+    Ok((
+        Csr::from_parts(nrows, ncols, row_ptr, col_idx, values),
+        tally,
+    ))
 }
 
 /// Runs one closure per band: inline when there is a single band, on
@@ -742,6 +893,82 @@ mod tests {
             try_spmm_with_budget(&a, &b, 1, &Budget::unlimited()).unwrap(),
             spmm(&a, &b)
         );
+    }
+
+    #[test]
+    fn numeric_cancel_failpoint_aborts_mid_product() {
+        // Fires after the symbolic pass sized the output, at the numeric
+        // phase's first in-band checkpoint — mid-tile from the caller's
+        // point of view. No partial matrix escapes and the same inputs
+        // multiply cleanly afterwards.
+        let a = crate::par::tests::sample(30, 20, 16);
+        let b = crate::par::tests::sample(20, 25, 17);
+        let _guard = failpoints::scoped(&[failpoints::SPGEMM_NUMERIC_CANCEL]);
+        let inject = Budget::unlimited().with_fault_injection();
+        for threads in [1, 3] {
+            assert_eq!(
+                try_spmm_with_budget(&a, &b, threads, &inject).unwrap_err(),
+                ExecError::Cancelled,
+                "threads={threads}"
+            );
+        }
+        assert_eq!(
+            try_spmm_with_budget(&a, &b, 1, &Budget::unlimited()).unwrap(),
+            spmm(&a, &b)
+        );
+    }
+
+    #[test]
+    fn arena_reuse_is_bit_identical_across_products() {
+        // One arena through a sequence of differently-shaped products —
+        // including one aborted mid-numeric — always matches the
+        // fresh-arena kernel bit for bit.
+        let mut arena = crate::accum::SpgemmArena::new();
+        let shapes = [(40, 30, 25), (7, 9, 4), (120, 40, 60), (1, 5, 3)];
+        for (i, &(n, k, m)) in shapes.iter().enumerate() {
+            let a = crate::par::tests::sample(n, k, 40 + i as u64);
+            let b = crate::par::tests::sample(k, m, 50 + i as u64);
+            if i == 1 {
+                let _guard = failpoints::scoped(&[failpoints::SPGEMM_NUMERIC_CANCEL]);
+                let inject = Budget::unlimited().with_fault_injection();
+                assert_eq!(
+                    try_spmm_with_budget_in(&a, &b, 2, &inject, &mut arena).unwrap_err(),
+                    ExecError::Cancelled
+                );
+            }
+            let got = try_spmm_with_budget_in(&a, &b, 2, &Budget::unlimited(), &mut arena).unwrap();
+            assert_eq!(got, spmm(&a, &b), "product {i}");
+        }
+    }
+
+    #[test]
+    fn forced_policies_and_compaction_are_bit_identical() {
+        use crate::accum::{set_accumulator, set_compact_mode, Accumulator, CompactMode};
+        let a = crate::par::tests::sample(60, 45, 18);
+        let b = crate::par::tests::sample(45, 50, 19);
+        let reference = seed_reference_spmm(&a, &b);
+        for policy in [
+            Accumulator::Dense,
+            Accumulator::Sparse,
+            Accumulator::Adaptive,
+        ] {
+            for mode in [CompactMode::Off, CompactMode::On, CompactMode::Auto] {
+                set_accumulator(policy);
+                set_compact_mode(mode);
+                let got = spmm(&a, &b);
+                set_accumulator(Accumulator::Adaptive);
+                set_compact_mode(CompactMode::Auto);
+                assert_eq!(got, reference, "{policy:?}/{mode:?}");
+                for r in 0..got.nrows() {
+                    let (gc, gv) = got.row(r);
+                    let (rc, rv) = reference.row(r);
+                    assert_eq!(gc, rc, "{policy:?}/{mode:?} row {r}");
+                    for (x, y) in gv.iter().zip(rv) {
+                        assert_eq!(x.to_bits(), y.to_bits(), "{policy:?}/{mode:?} row {r}");
+                    }
+                }
+            }
+        }
     }
 
     #[test]

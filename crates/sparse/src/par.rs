@@ -29,6 +29,38 @@ pub fn chunks(n: usize, threads: usize) -> Vec<(usize, usize)> {
     out
 }
 
+/// Splits `0..weights.len()` into at most `threads` contiguous bands of
+/// roughly equal total *weight* (for SpGEMM: per-row flop counts from the
+/// symbolic pass), so one hub-heavy band no longer serializes the whole
+/// product the way equal-row-count [`chunks`] did. Bands close at the
+/// first row where the running weight reaches the next `total/threads`
+/// boundary; zero-weight tails merge into the last band.
+pub fn weighted_chunks(weights: &[u64], threads: usize) -> Vec<(usize, usize)> {
+    let n = weights.len();
+    let threads = threads.clamp(1, n.max(1));
+    let total: u128 = weights.iter().map(|&w| u128::from(w)).sum();
+    if threads <= 1 || total == 0 {
+        return chunks(n, threads);
+    }
+    let mut out = Vec::with_capacity(threads);
+    let mut start = 0usize;
+    let mut acc: u128 = 0;
+    for (r, &w) in weights.iter().enumerate() {
+        acc += u128::from(w);
+        // Close the current band once it reaches its share of the total;
+        // the final band always absorbs whatever remains.
+        let target = total * (out.len() as u128 + 1) / threads as u128;
+        if acc >= target && out.len() < threads - 1 {
+            out.push((start, r + 1));
+            start = r + 1;
+        }
+    }
+    if start < n {
+        out.push((start, n));
+    }
+    out
+}
+
 /// Parallel sparse × sparse multiplication; equals [`crate::ops::spmm`].
 ///
 /// Delegates to the two-phase engine shared with the serial kernel
@@ -179,6 +211,41 @@ pub(crate) mod tests {
                 "threads={threads}"
             );
         }
+    }
+
+    #[test]
+    fn weighted_chunking_covers_everything() {
+        let cases: Vec<(Vec<u64>, usize)> = vec![
+            (vec![1, 1, 1, 1, 1, 1], 3),
+            (vec![100, 1, 1, 1, 1, 1], 3),
+            (vec![0, 0, 0, 0], 2),
+            (vec![], 4),
+            (vec![5], 3),
+            (vec![1, 2, 3, 4, 5, 6, 7, 8], 4),
+            (vec![0, 0, 0, 9], 2),
+        ];
+        for (w, t) in cases {
+            let ranges = weighted_chunks(&w, t);
+            let total: usize = ranges.iter().map(|(lo, hi)| hi - lo).sum();
+            assert_eq!(total, w.len(), "coverage for {w:?} x{t}");
+            assert!(ranges.len() <= t.max(1), "band count for {w:?} x{t}");
+            for r in &ranges {
+                assert!(r.0 < r.1, "no empty bands for {w:?} x{t}");
+            }
+            for win in ranges.windows(2) {
+                assert_eq!(win[0].1, win[1].0, "contiguous for {w:?} x{t}");
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_chunking_isolates_heavy_prefix() {
+        // One hub row dominating the flop count gets a band to itself
+        // instead of dragging half the matrix with it.
+        let mut w = vec![1u64; 16];
+        w[0] = 1_000;
+        let ranges = weighted_chunks(&w, 4);
+        assert_eq!(ranges.first(), Some(&(0, 1)));
     }
 
     #[test]

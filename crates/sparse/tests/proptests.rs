@@ -19,7 +19,9 @@ use proptest::prelude::*;
 use repsim_sparse::chain::{spmm_chain_with_threads, try_spmm_chain_with_budget};
 use repsim_sparse::ops::{spmm, spmm_chain, try_spmm_with_budget};
 use repsim_sparse::par::spmm_par;
-use repsim_sparse::{Budget, Csr, ExecError};
+use repsim_sparse::{
+    set_accumulator, set_compact_mode, Accumulator, Budget, CompactMode, Csr, CsrCompact, ExecError,
+};
 
 /// Raw triplet material: positions are reduced modulo the actual matrix
 /// dimensions, values map to non-zero integers in `-6..=6` so cancellation
@@ -174,6 +176,81 @@ proptest! {
             }
             Err(other) => prop_assert!(false, "unexpected error {:?}", other),
         }
+    }
+
+    // Accumulator policy must never show through: whether a row runs the
+    // tiled-dense path, the hash-sparse path, or the adaptive mix, and
+    // whether the right operand is delta-compacted or plain, the output
+    // must be bit-identical to the dense reference at every thread count.
+    // (The policy knobs are process-global atomics; every policy yields
+    // the same bits, so concurrently running tests are unaffected.)
+    #[test]
+    fn forced_accumulators_bit_identical_across_threads(
+        nrows in 1..40usize,
+        inner in 1..16usize,
+        ncols in 1..16usize,
+        raw_a in triplets(),
+        raw_b in triplets(),
+    ) {
+        let a = build(nrows, inner, &raw_a);
+        let b = build(inner, ncols, &raw_b);
+        let reference = dense_reference(&a, &b);
+        for policy in [Accumulator::Dense, Accumulator::Sparse, Accumulator::Adaptive] {
+            for mode in [CompactMode::Off, CompactMode::On] {
+                set_accumulator(policy);
+                set_compact_mode(mode);
+                for threads in [1usize, 3, 8] {
+                    let got = spmm_par(&a, &b, threads);
+                    set_accumulator(Accumulator::Adaptive);
+                    set_compact_mode(CompactMode::Auto);
+                    prop_assert_eq!(
+                        &got, &reference,
+                        "policy={:?} compact={:?} threads={}", policy, mode, threads
+                    );
+                    // Bit-level check on top of Eq: identical raw f64 bits.
+                    for r in 0..got.nrows() {
+                        let (gc, gv) = got.row(r);
+                        let (rc, rv) = reference.row(r);
+                        prop_assert_eq!(gc, rc);
+                        for (x, y) in gv.iter().zip(rv) {
+                            prop_assert_eq!(x.to_bits(), y.to_bits());
+                        }
+                    }
+                    set_accumulator(policy);
+                    set_compact_mode(mode);
+                }
+            }
+        }
+        set_accumulator(Accumulator::Adaptive);
+        set_compact_mode(CompactMode::Auto);
+    }
+
+    // The succinct CSR is lossless on every matrix narrow enough to
+    // qualify: expansion restores the exact bits (including negative
+    // zeros), and re-compacting the expansion reproduces the encoding.
+    #[test]
+    fn csr_compact_round_trip_is_lossless(
+        nrows in 1..30usize,
+        ncols in 1..30usize,
+        raw in triplets(),
+    ) {
+        let m = build(nrows, ncols, &raw);
+        let compact = CsrCompact::try_from_csr(&m).expect("small dims are always eligible");
+        let back = compact.to_csr();
+        prop_assert_eq!(&back, &m);
+        for r in 0..m.nrows() {
+            let (_, mv) = m.row(r);
+            let (_, bv) = back.row(r);
+            for (x, y) in mv.iter().zip(bv) {
+                prop_assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+        let again = CsrCompact::try_from_csr(&back).expect("round trip stays eligible");
+        let mut bytes = Vec::new();
+        let mut bytes_again = Vec::new();
+        compact.encode_into(&mut bytes);
+        again.encode_into(&mut bytes_again);
+        prop_assert_eq!(bytes, bytes_again);
     }
 
     // Same all-or-nothing property through the chain planner: whatever
