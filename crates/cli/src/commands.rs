@@ -377,8 +377,103 @@ pub fn query(args: &Args) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// Outcome of the `profile --mutate` leg, for rendering.
+struct MutateLeg {
+    /// The edge that was removed and re-added, in `a -- b` display form.
+    edge: String,
+    /// Records replayed when the log was re-opened from disk.
+    replayed: usize,
+    /// Maintenance path taken for the remove, then for the re-add.
+    paths: (String, String),
+    /// Where the write-ahead log was written.
+    wal_path: std::path::PathBuf,
+    /// The graph after remove + re-add (same walk multiset as the input).
+    final_graph: Graph,
+}
+
+/// The `profile --mutate` leg: picks the first graph edge whose endpoint
+/// labels are adjacent in the half walk, removes and re-adds it —
+/// write-ahead logging both operations, pushing each through the
+/// incremental cache maintainer — then re-opens the log from disk and
+/// checks the replayed graph against the live mutation path. The caller
+/// verifies that ranking over the final graph still matches the original
+/// (remove + re-add restores the walk multiset exactly).
+fn profile_mutate_leg(
+    g: &Graph,
+    half: &repsim_metawalk::MetaWalk,
+    cache: &mut repsim_metawalk::commuting::CommutingCache,
+    budget: &repsim_sparse::Budget,
+    wal_override: Option<&str>,
+) -> Result<MutateLeg, CliError> {
+    use repsim_graph::mutation::{self, MutationOp, NodeRef, Touch};
+    let labels: Vec<_> = half.steps().iter().map(|s| s.label()).collect();
+    let mut picked = None;
+    'outer: for w in labels.windows(2) {
+        for &n in g.nodes_of_label(w[0]) {
+            if let Some(m) = g.neighbors_with_label(n, w[1]).next() {
+                picked = Some((n, m));
+                break 'outer;
+            }
+        }
+    }
+    let (n, m) =
+        picked.ok_or_else(|| CliError::Command("no edge on the meta-walk to mutate".to_owned()))?;
+    let (ra, rb) = (NodeRef::of(g, n), NodeRef::of(g, m));
+    let edge = format!("{ra} -- {rb}");
+    let wal_path = match wal_override {
+        Some(p) => std::path::PathBuf::from(p),
+        None => std::env::temp_dir().join(format!("repsim-profile-{}.wal", std::process::id())),
+    };
+    // The leg always profiles a fresh log, not whatever a previous run left.
+    let _ = std::fs::remove_file(&wal_path);
+    let wal_err = |e: repsim_serve::WalError| CliError::Command(format!("wal: {e}"));
+    let mut wal = repsim_serve::Wal::recover(&wal_path, g)
+        .map_err(wal_err)?
+        .wal;
+    let mut maint = repsim_metawalk::delta::DeltaMaintainer::new();
+    let mut cur = g.clone();
+    let mut paths = Vec::new();
+    let op_rm = MutationOp::RemoveEdge {
+        a: ra.clone(),
+        b: rb.clone(),
+    };
+    let op_add = MutationOp::AddEdge { a: ra, b: rb };
+    for op in [op_rm, op_add] {
+        let touched =
+            mutation::touch(&cur, &op).map_err(|e| CliError::Command(format!("mutate: {e}")))?;
+        let Touch::Edge(la, lb) = touched else {
+            return Err(CliError::Command("edge op must touch an edge".to_owned()));
+        };
+        let next =
+            mutation::apply(&cur, &op).map_err(|e| CliError::Command(format!("mutate: {e}")))?;
+        let fp = repsim_serve::snapshot::graph_fingerprint(&next);
+        wal.append(&op, fp, budget).map_err(wal_err)?;
+        let report = maint.apply_edge_change(cache, &next, la, lb, budget);
+        paths.push(report.path().to_owned());
+        cur = next;
+    }
+    drop(wal);
+    let replayed = repsim_serve::Wal::recover(&wal_path, g).map_err(wal_err)?;
+    if replayed.fingerprint != repsim_serve::snapshot::graph_fingerprint(&cur) {
+        return Err(CliError::Command(
+            "wal replay diverged from the live mutation path".to_owned(),
+        ));
+    }
+    let (rm_path, add_path) = match (paths.first(), paths.get(1)) {
+        (Some(a), Some(b)) => (a.clone(), b.clone()),
+        _ => ("none".to_owned(), "none".to_owned()),
+    };
+    Ok(MutateLeg {
+        edge,
+        replayed: replayed.records.len(),
+        paths: (rm_path, add_path),
+        wal_path,
+        final_graph: cur,
+    })
+}
+
 /// `repsim profile FILE --meta-walk "..." --query label:value [-k N]
-/// [--kernel]`.
+/// [--kernel] [--mutate [--wal FILE]]`.
 ///
 /// Runs one rpathsim ranking query end to end under an in-memory trace
 /// sink — a cold commuting-cache miss (commuting build → SpGEMM chain),
@@ -386,7 +481,10 @@ pub fn query(args: &Args) -> Result<String, CliError> {
 /// prints the resulting span tree plus the metrics table. `--kernel`
 /// appends a numeric-phase breakdown: how many output rows the adaptive
 /// accumulator routed to the dense tiled path vs the sparse hash path,
-/// and how many column tiles the dense path actually visited.
+/// and how many column tiles the dense path actually visited. `--mutate`
+/// appends a mutation leg — WAL append, incremental cache maintenance,
+/// replay from disk, and a ranking over the mutated graph that must
+/// match the original.
 pub fn profile(args: &Args) -> Result<String, CliError> {
     use repsim_baselines::ranking::SimilarityAlgorithm;
     use std::sync::Arc;
@@ -444,13 +542,43 @@ pub fn profile(args: &Args) -> Result<String, CliError> {
             }
             None => None,
         };
+        // Optional mutation leg: WAL-logged remove + re-add of one edge
+        // on the walk, maintained incrementally, replayed from disk.
+        let mutate = match args.has("mutate") {
+            true => Some(profile_mutate_leg(
+                &g,
+                &half,
+                &mut cache,
+                &budget,
+                args.get("wal"),
+            )?),
+            false => None,
+        };
         let mut engine = repsim_core::QueryEngine::try_with_budget(&g, half.clone(), par, &budget)
             .map_err(exhausted)?;
-        Ok((engine.rank(q, g.label_of(q), k), cache.stats(), snap))
+        let list = engine.rank(q, g.label_of(q), k);
+        // Remove + re-add restores the walk multiset, so ranking over the
+        // mutated graph must be bit-identical to the original.
+        let mutate = match mutate {
+            Some(leg) => {
+                let mut e2 = repsim_core::QueryEngine::try_with_budget(
+                    &leg.final_graph,
+                    half.clone(),
+                    par,
+                    &budget,
+                )
+                .map_err(exhausted)?;
+                let l2 = e2.rank(q, leg.final_graph.label_of(q), k);
+                let matches = l2.entries() == list.entries();
+                Some((leg, matches))
+            }
+            None => None,
+        };
+        Ok((list, cache.stats(), snap, mutate))
     })();
     repsim_obs::remove_sink(&sink);
 
-    let (list, stats, snap) = profiled?;
+    let (list, stats, snap, mutate) = profiled?;
     let mut out = format!(
         "profile of rpathsim {meta_walk:?} for {}:\n",
         g.display_node(q)
@@ -469,6 +597,33 @@ pub fn profile(args: &Args) -> Result<String, CliError> {
             "snapshot: saved {} entries ({} bytes), reloaded {loaded}",
             saved.entries, saved.bytes
         );
+    }
+    if let Some((leg, matches)) = mutate {
+        out.push_str("\nmutation leg:\n");
+        let _ = writeln!(out, "  edge removed + re-added   {}", leg.edge);
+        let _ = writeln!(
+            out,
+            "  wal                       2 appended, {} replayed ({})",
+            leg.replayed,
+            leg.wal_path.display()
+        );
+        let _ = writeln!(
+            out,
+            "  cache maintenance         {} then {}",
+            leg.paths.0, leg.paths.1
+        );
+        let _ = writeln!(
+            out,
+            "  post-mutate ranking       {}",
+            if matches {
+                "matches the original bit-for-bit"
+            } else {
+                "DIVERGED from the original"
+            }
+        );
+        if !matches {
+            return Err(CliError::Command(out));
+        }
     }
     if args.has("kernel") {
         // Counters were reset before the run, so the totals here cover
@@ -680,16 +835,20 @@ fn install_shutdown_signals() {
 #[cfg(not(unix))]
 fn install_shutdown_signals() {}
 
-/// `repsim serve FILE [--addr A] [--snapshot FILE] [--queue-cap N]
-/// [--port-file FILE] [--fault-injection]`.
+/// `repsim serve FILE [--addr A] [--snapshot FILE] [--wal FILE]
+/// [--queue-cap N] [--port-file FILE] [--fault-injection]`.
 ///
 /// Blocks until SIGINT/SIGTERM or a client `shutdown` op, then drains
-/// the queue and (with `--snapshot`) writes a final snapshot.
+/// the queue and (with `--snapshot`) writes a final snapshot. With
+/// `--wal`, mutations are appended to a write-ahead log before they are
+/// acknowledged, and on boot the log is replayed — recovering any
+/// mutations a crash separated from the last snapshot.
 pub fn serve(args: &Args) -> Result<String, CliError> {
     let g = load(args.input_file()?)?;
     let cfg = repsim_serve::ServeConfig {
         addr: args.get("addr").unwrap_or("127.0.0.1:7878").to_owned(),
         snapshot: args.get("snapshot").map(std::path::PathBuf::from),
+        wal: args.get("wal").map(std::path::PathBuf::from),
         queue_cap: args.get_usize("queue-cap", 64)?,
         port_file: args.get("port-file").map(std::path::PathBuf::from),
         service: repsim_serve::ServiceConfig {
@@ -706,6 +865,15 @@ pub fn serve(args: &Args) -> Result<String, CliError> {
     let mut out = format!("served on {}: {} requests", report.addr, report.requests);
     if report.shed > 0 {
         let _ = write!(out, ", {} shed", report.shed);
+    }
+    if let Some(w) = report.wal {
+        let _ = write!(out, "; wal: {} mutations replayed", w.replayed);
+        if w.torn_truncated {
+            out.push_str(", torn tail truncated");
+        }
+        if w.quarantined {
+            out.push_str(", corrupt suffix quarantined");
+        }
     }
     match report.restore {
         Some(repsim_serve::Restore::Restored { entries }) => {
@@ -799,10 +967,12 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let port_file = dir.join("port");
         let snap = dir.join("idx.snap");
+        let wal = dir.join("g.wal");
         let serve_args = argv(&format!(
-            "{path} --addr 127.0.0.1:0 --port-file {} --snapshot {} --queue-cap 4",
+            "{path} --addr 127.0.0.1:0 --port-file {} --snapshot {} --wal {} --queue-cap 4",
             port_file.display(),
-            snap.display()
+            snap.display(),
+            wal.display()
         ));
         let handle = std::thread::spawn(move || serve(&serve_args));
         let addr = loop {
@@ -819,23 +989,54 @@ mod tests {
             "--request",
             r#"{"id":2,"walk":"film actor film","label":"film","value":"film00000","k":3}"#,
             "--request",
-            r#"{"id":3,"op":"shutdown"}"#,
+            r#"{"id":3,"op":"mutate","action":"add_entity","label":"actor","value":"zzz_new"}"#,
+            "--request",
+            r#"{"id":4,"op":"shutdown"}"#,
         ]
         .iter()
         .map(|s| (*s).to_owned())
         .collect();
         let out = serve_client(&Args::parse(&tokens).unwrap()).unwrap();
         let lines: Vec<&str> = out.lines().collect();
-        assert_eq!(lines.len(), 3, "{out}");
+        assert_eq!(lines.len(), 4, "{out}");
         assert!(lines[0].contains("pong"), "{out}");
         assert!(lines[1].contains(r#""ok":true"#), "{out}");
         assert!(lines[1].contains("exact"), "{out}");
-        assert!(lines[2].contains("shutting_down"), "{out}");
+        assert!(lines[2].contains(r#""mutate""#), "{out}");
+        assert!(lines[2].contains(r#""seq":1"#), "{out}");
+        assert!(lines[3].contains("shutting_down"), "{out}");
         let summary = handle.join().unwrap().unwrap();
         assert!(summary.contains("served on"), "{summary}");
+        assert!(summary.contains("wal: 0 mutations replayed"), "{summary}");
         assert!(summary.contains("final snapshot"), "{summary}");
         assert!(snap.exists(), "shutdown persisted the index");
+        assert!(wal.exists(), "the acked mutation reached the log");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn profile_mutate_leg_appends_replays_and_reranks() {
+        // Serializes global sink state against other observability tests.
+        let _x = repsim_obs::exclusive();
+        let path = write_movies("profile-mutate.graph");
+        let wal = tmp("profile-mutate.wal");
+        let out = profile(&argv(&format!(
+            "{path} --meta-walk=film~actor~film --query film:film00000 -k 3 \
+             --mutate --wal {wal}"
+        )))
+        .unwrap();
+        assert!(out.contains("mutation leg:"), "{out}");
+        assert!(out.contains("2 appended, 2 replayed"), "{out}");
+        // Cold maintainer: the remove rebuilds (warming the incremental
+        // state), the re-add then rides the delta path.
+        assert!(out.contains("rebuild then delta"), "{out}");
+        assert!(out.contains("matches the original bit-for-bit"), "{out}");
+        // The WAL and delta layers landed in the span tree and metrics.
+        assert!(out.contains("repsim.graph.wal.append"), "{out}");
+        assert!(out.contains("repsim.graph.wal.replay"), "{out}");
+        assert!(out.contains("repsim.metawalk.delta.apply"), "{out}");
+        assert!(out.contains("repsim.cache.delta.applied"), "{out}");
+        assert!(std::path::Path::new(&wal).exists(), "wal file persists");
     }
 
     #[test]

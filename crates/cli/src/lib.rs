@@ -183,18 +183,22 @@ COMMANDS:
   explain      FILE --meta-walk \"...\" --query label:value
                --candidate label:value [-k N]   show witnessing walks
   profile      FILE --meta-walk \"...\" --query label:value [-k N]
-               [--snapshot FILE] [--kernel]
+               [--snapshot FILE] [--kernel] [--mutate [--wal FILE]]
                                         run one rpathsim query twice (cold
                                         cache, then warm) and print the span
                                         tree + metrics table; with --snapshot,
                                         also time a snapshot save + reload;
                                         --kernel adds the SpGEMM numeric-phase
-                                        dense/sparse row and tile breakdown
-  serve        FILE [--addr HOST:PORT] [--snapshot FILE] [--queue-cap N]
-               [--port-file FILE] [--fault-injection]
+                                        dense/sparse row and tile breakdown;
+                                        --mutate adds a WAL append + replay +
+                                        incremental-maintenance + re-rank leg
+  serve        FILE [--addr HOST:PORT] [--snapshot FILE] [--wal FILE]
+               [--queue-cap N] [--port-file FILE] [--fault-injection]
                                         resident query service over newline-
                                         delimited JSON; SIGTERM/ctrl-c drains
-                                        and writes a final snapshot
+                                        and writes a final snapshot; --wal
+                                        write-ahead logs mutations and replays
+                                        them on boot after a crash
   serve-client --addr HOST:PORT [--request JSON]...
                                         send request lines (or stdin) to a
                                         running server, print the responses

@@ -19,6 +19,8 @@
 //! the gap, and the unit tests assert score equality against
 //! [`crate::rpathsim::RPathSim`].
 
+use std::sync::Arc;
+
 use repsim_graph::{Graph, LabelId, NodeId};
 use repsim_metawalk::commuting::try_informative_commuting_with;
 use repsim_metawalk::MetaWalk;
@@ -31,9 +33,11 @@ use repsim_baselines::ranking::{RankedList, SimilarityAlgorithm};
 pub struct QueryEngine<'g> {
     g: &'g Graph,
     half: MetaWalk,
-    m_half: Csr,
+    /// Shared so `repsim-serve` can cache `(matrix, diag)` seeds across
+    /// graph epochs and stamp out per-request engines without copying.
+    m_half: Arc<Csr>,
     /// `M̂_p(e,e)` per source-label index.
-    diag: Vec<f64>,
+    diag: Arc<Vec<f64>>,
     /// Thread budget for builds and query-time row sweeps.
     par: Parallelism,
 }
@@ -74,8 +78,8 @@ impl<'g> QueryEngine<'g> {
         Ok(QueryEngine {
             g,
             half,
-            m_half,
-            diag,
+            m_half: Arc::new(m_half),
+            diag: Arc::new(diag),
             par,
         })
     }
@@ -107,6 +111,38 @@ impl<'g> QueryEngine<'g> {
         Ok(QueryEngine {
             g,
             half,
+            m_half: Arc::new(m_half),
+            diag: Arc::new(diag),
+            par,
+        })
+    }
+
+    /// Constructs an engine from a shared half matrix and its precomputed
+    /// row-norm diagonal — the zero-copy epoch hook used by `repsim-serve`,
+    /// which keeps `(Arc<Csr>, Arc<Vec<f64>>)` seeds per walk and stamps
+    /// out a borrowing engine per request.
+    ///
+    /// Shape is validated like [`QueryEngine::try_from_half_matrix`];
+    /// `diag` must be `m_half.row_sq_sums()` (also length-checked).
+    pub fn try_from_shared(
+        g: &'g Graph,
+        half: MetaWalk,
+        m_half: Arc<Csr>,
+        diag: Arc<Vec<f64>>,
+        par: Parallelism,
+    ) -> Result<Self, ExecError> {
+        let nrows = g.nodes_of_label(half.source()).len();
+        let ncols = g.nodes_of_label(half.target()).len();
+        if m_half.nrows() != nrows || m_half.ncols() != ncols || diag.len() != nrows {
+            return Err(ExecError::ShapeMismatch {
+                op: "engine_restore",
+                lhs: (nrows, ncols),
+                rhs: (m_half.nrows(), m_half.ncols()),
+            });
+        }
+        Ok(QueryEngine {
+            g,
+            half,
             m_half,
             diag,
             par,
@@ -123,6 +159,13 @@ impl<'g> QueryEngine<'g> {
     /// it).
     pub fn half_matrix(&self) -> &Csr {
         &self.m_half
+    }
+
+    /// The shared `(matrix, diag)` pair backing this engine — cheap to
+    /// clone and free of the graph lifetime, so a server can park it in a
+    /// cache keyed by walk and graph fingerprint.
+    pub fn shared_parts(&self) -> (Arc<Csr>, Arc<Vec<f64>>) {
+        (Arc::clone(&self.m_half), Arc::clone(&self.diag))
     }
 
     /// The closed meta-walk actually scored.

@@ -138,6 +138,29 @@ impl GraphBuilder {
         }
     }
 
+    /// Removes an existing undirected edge.
+    ///
+    /// Returns an error on unknown node ids or if the edge is not present.
+    /// Removal may leave a relationship node dangling; structural mutations
+    /// are validated as a batch (see `repsim check`), not per-operation.
+    pub fn remove_edge(&mut self, a: NodeId, b: NodeId) -> Result<(), GraphError> {
+        let n = self.node_labels.len() as u32;
+        for x in [a, b] {
+            if x.0 >= n {
+                return Err(GraphError::UnknownNode(x));
+            }
+        }
+        let pos_a = self.adjacency[a.index()]
+            .iter()
+            .position(|&x| x == b)
+            .ok_or(GraphError::MissingEdge(a, b))?;
+        self.adjacency[a.index()].remove(pos_a);
+        if let Some(pos_b) = self.adjacency[b.index()].iter().position(|&x| x == a) {
+            self.adjacency[b.index()].remove(pos_b);
+        }
+        Ok(())
+    }
+
     /// Whether an edge is already present.
     pub fn has_edge(&self, a: NodeId, b: NodeId) -> bool {
         self.adjacency

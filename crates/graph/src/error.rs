@@ -14,6 +14,34 @@ pub enum GraphError {
     DuplicateEdge(NodeId, NodeId),
     /// A node id referenced a node that does not exist.
     UnknownNode(NodeId),
+    /// An edge removal referenced an edge that is not present.
+    MissingEdge(NodeId, NodeId),
+    /// A label name that is not registered in the graph.
+    UnknownLabel(String),
+    /// A `(label, value)` pair that names no entity in the graph.
+    UnknownEntity {
+        /// The entity label name.
+        label: String,
+        /// The entity value.
+        value: String,
+    },
+    /// An entity insertion whose `(label, value)` pair already exists —
+    /// mutations are explicit, so get-or-insert semantics would hide
+    /// replay bugs.
+    DuplicateEntity {
+        /// The entity label name.
+        label: String,
+        /// The entity value.
+        value: String,
+    },
+    /// An operation that requires an entity label was given a
+    /// relationship label (or vice versa).
+    LabelKindMismatch {
+        /// The label name.
+        label: String,
+        /// What the operation required (`"entity"` or `"relationship"`).
+        expected: &'static str,
+    },
     /// A parse error from [`crate::io`].
     Parse {
         /// 1-based line number of the offending input line.
@@ -33,6 +61,20 @@ impl fmt::Display for GraphError {
             GraphError::SelfLoop(n) => write!(f, "self-loop at node {n}"),
             GraphError::DuplicateEdge(a, b) => write!(f, "duplicate edge {a}-{b}"),
             GraphError::UnknownNode(n) => write!(f, "unknown node {n}"),
+            GraphError::MissingEdge(a, b) => write!(f, "no such edge {a}-{b}"),
+            GraphError::UnknownLabel(l) => write!(f, "unknown label '{l}'"),
+            GraphError::UnknownEntity { label, value } => {
+                write!(f, "unknown entity {label}:{value}")
+            }
+            GraphError::DuplicateEntity { label, value } => {
+                write!(f, "entity {label}:{value} already exists")
+            }
+            GraphError::LabelKindMismatch { label, expected } => {
+                write!(
+                    f,
+                    "label '{label}' has the wrong kind (expected {expected})"
+                )
+            }
             GraphError::Parse { line, message } => {
                 write!(f, "parse error at line {line}: {message}")
             }

@@ -42,6 +42,7 @@ pub mod graph;
 pub mod ids;
 pub mod io;
 pub mod label;
+pub mod mutation;
 pub mod schema;
 pub mod stats;
 pub mod subgraph;
@@ -52,4 +53,5 @@ pub use error::GraphError;
 pub use graph::Graph;
 pub use ids::NodeId;
 pub use label::{LabelId, LabelKind, LabelSet};
+pub use mutation::{MutationOp, NodeRef};
 pub use schema::SchemaGraph;

@@ -1,0 +1,579 @@
+//! Live graph mutations: typed operations, node references, and the
+//! byte-level encoding used by the write-ahead delta log.
+//!
+//! A [`MutationOp`] is a single edit against an existing [`Graph`]:
+//! `add_entity`, `add_edge`, or `remove_edge`. Operations are *explicit* —
+//! adding an entity that already exists or removing an absent edge is a
+//! typed error, never a silent no-op, so that replaying a log cannot drift
+//! from the state the log was recorded against.
+//!
+//! Nodes are addressed by [`NodeRef`], never by raw [`NodeId`]: node ids are
+//! an internal artifact of construction order, while a `NodeRef` names a
+//! node the way the paper does — `label:value` for entities, or
+//! `label:#index` (position within [`Graph::nodes_of_label`]) for valueless
+//! relationship nodes. Both forms are stable under mutation replay because
+//! the builder appends nodes and never reorders label partitions.
+//!
+//! [`apply`] produces a fresh immutable [`Graph`] (the builder re-finalizes
+//! in `O(V + E)`); callers that need to know which cached matrices an
+//! operation can perturb use [`touch`] *before* applying.
+
+use crate::builder::GraphBuilder;
+use crate::error::GraphError;
+use crate::graph::Graph;
+use crate::ids::NodeId;
+use crate::label::{LabelId, LabelKind};
+use std::fmt;
+
+/// A representation-independent reference to a node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeRef {
+    /// An entity, addressed by its unique `(label, value)` pair.
+    Entity {
+        /// The entity label name.
+        label: String,
+        /// The entity value.
+        value: String,
+    },
+    /// A valueless node, addressed by its position within
+    /// [`Graph::nodes_of_label`] for its label.
+    Indexed {
+        /// The label name.
+        label: String,
+        /// Position within the label partition.
+        index: usize,
+    },
+}
+
+impl NodeRef {
+    /// Parses the textual form: `label:value` for entities, `label:#index`
+    /// for indexed (relationship) references.
+    pub fn parse(text: &str) -> Result<NodeRef, GraphError> {
+        let (label, rest) = text.split_once(':').ok_or_else(|| GraphError::Parse {
+            line: 0,
+            message: format!("node reference '{text}' missing ':' separator"),
+        })?;
+        if label.is_empty() || rest.is_empty() {
+            return Err(GraphError::Parse {
+                line: 0,
+                message: format!("node reference '{text}' has an empty label or value"),
+            });
+        }
+        if let Some(idx) = rest.strip_prefix('#') {
+            let index: usize = idx.parse().map_err(|_| GraphError::Parse {
+                line: 0,
+                message: format!("node reference '{text}' has a non-numeric index"),
+            })?;
+            return Ok(NodeRef::Indexed {
+                label: label.to_owned(),
+                index,
+            });
+        }
+        Ok(NodeRef::Entity {
+            label: label.to_owned(),
+            value: rest.to_owned(),
+        })
+    }
+
+    /// A reference to an existing node, in whichever form is canonical for
+    /// it (`Entity` when the node carries a value, `Indexed` otherwise).
+    pub fn of(g: &Graph, n: NodeId) -> NodeRef {
+        let label = g.labels().name(g.label_of(n)).to_owned();
+        match g.value_of(n) {
+            Some(v) => NodeRef::Entity {
+                label,
+                value: v.to_owned(),
+            },
+            None => NodeRef::Indexed {
+                label,
+                index: g.index_in_label(n),
+            },
+        }
+    }
+
+    /// The label name this reference points into.
+    pub fn label(&self) -> &str {
+        match self {
+            NodeRef::Entity { label, .. } | NodeRef::Indexed { label, .. } => label,
+        }
+    }
+}
+
+impl fmt::Display for NodeRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeRef::Entity { label, value } => write!(f, "{label}:{value}"),
+            NodeRef::Indexed { label, index } => write!(f, "{label}:#{index}"),
+        }
+    }
+}
+
+/// A single mutation against a [`Graph`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MutationOp {
+    /// Insert a new entity with an already-registered entity label.
+    /// Duplicate `(label, value)` pairs are a typed error.
+    AddEntity {
+        /// The entity label name (must already exist in the graph).
+        label: String,
+        /// The new entity's value.
+        value: String,
+    },
+    /// Add an undirected edge between two existing nodes.
+    AddEdge {
+        /// One endpoint.
+        a: NodeRef,
+        /// The other endpoint.
+        b: NodeRef,
+    },
+    /// Remove an existing undirected edge.
+    RemoveEdge {
+        /// One endpoint.
+        a: NodeRef,
+        /// The other endpoint.
+        b: NodeRef,
+    },
+}
+
+impl fmt::Display for MutationOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MutationOp::AddEntity { label, value } => write!(f, "add_entity {label}:{value}"),
+            MutationOp::AddEdge { a, b } => write!(f, "add_edge {a} {b}"),
+            MutationOp::RemoveEdge { a, b } => write!(f, "remove_edge {a} {b}"),
+        }
+    }
+}
+
+/// What part of the cached index a mutation can perturb (resolved against
+/// the *pre-mutation* graph).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Touch {
+    /// An edge between these two labels changed: only meta-walks containing
+    /// the pair as adjacent steps are affected.
+    Edge(LabelId, LabelId),
+    /// A node of this label was added: every meta-walk mentioning the label
+    /// changes dimension.
+    Node(LabelId),
+}
+
+/// Resolves a [`NodeRef`] against a graph.
+pub fn resolve(g: &Graph, r: &NodeRef) -> Result<NodeId, GraphError> {
+    let l = g
+        .labels()
+        .get(r.label())
+        .ok_or_else(|| GraphError::UnknownLabel(r.label().to_owned()))?;
+    match r {
+        NodeRef::Entity { label, value } => {
+            if g.labels().kind(l) != LabelKind::Entity {
+                return Err(GraphError::LabelKindMismatch {
+                    label: label.clone(),
+                    expected: "entity",
+                });
+            }
+            g.entity(l, value).ok_or_else(|| GraphError::UnknownEntity {
+                label: label.clone(),
+                value: value.clone(),
+            })
+        }
+        NodeRef::Indexed { index, .. } => g
+            .nodes_of_label(l)
+            .get(*index)
+            .copied()
+            // The echoed id is the out-of-range index, not a real node.
+            .ok_or(GraphError::UnknownNode(NodeId(*index as u32))),
+    }
+}
+
+/// The label(s) a mutation touches, resolved against the pre-mutation graph.
+pub fn touch(g: &Graph, op: &MutationOp) -> Result<Touch, GraphError> {
+    match op {
+        MutationOp::AddEntity { label, .. } => {
+            let l = g
+                .labels()
+                .get(label)
+                .ok_or_else(|| GraphError::UnknownLabel(label.clone()))?;
+            Ok(Touch::Node(l))
+        }
+        MutationOp::AddEdge { a, b } | MutationOp::RemoveEdge { a, b } => {
+            let na = resolve(g, a)?;
+            let nb = resolve(g, b)?;
+            Ok(Touch::Edge(g.label_of(na), g.label_of(nb)))
+        }
+    }
+}
+
+/// Applies one mutation, producing a fresh immutable [`Graph`].
+///
+/// The pre-mutation graph is untouched; on error nothing is built. Edge
+/// removal may leave a relationship node dangling with respect to the §2.2
+/// path condition — mutations are validated as a batch (`repsim check`),
+/// not per-operation, so a remove/add pair can pass through an
+/// intermediate state that the full validator would flag.
+pub fn apply(g: &Graph, op: &MutationOp) -> Result<Graph, GraphError> {
+    let mut b = GraphBuilder::from_graph(g);
+    match op {
+        MutationOp::AddEntity { label, value } => {
+            let l = g
+                .labels()
+                .get(label)
+                .ok_or_else(|| GraphError::UnknownLabel(label.clone()))?;
+            if g.labels().kind(l) != LabelKind::Entity {
+                return Err(GraphError::LabelKindMismatch {
+                    label: label.clone(),
+                    expected: "entity",
+                });
+            }
+            if g.entity(l, value).is_some() {
+                return Err(GraphError::DuplicateEntity {
+                    label: label.clone(),
+                    value: value.clone(),
+                });
+            }
+            b.entity(l, value);
+        }
+        MutationOp::AddEdge { a, b: rb } => {
+            let na = resolve(g, a)?;
+            let nb = resolve(g, rb)?;
+            b.edge(na, nb)?;
+        }
+        MutationOp::RemoveEdge { a, b: rb } => {
+            let na = resolve(g, a)?;
+            let nb = resolve(g, rb)?;
+            b.remove_edge(na, nb)?;
+        }
+    }
+    Ok(b.build())
+}
+
+// ---------------------------------------------------------------------------
+// Byte-level encoding (write-ahead log record payloads).
+//
+// All integers little-endian. Strings are u32 length + UTF-8 bytes.
+//   NodeRef: tag u8 (0 = entity → label, value; 1 = indexed → label, u64)
+//   MutationOp: tag u8 (1 = add_entity → label, value;
+//                       2 = add_edge / 3 = remove_edge → NodeRef, NodeRef)
+// ---------------------------------------------------------------------------
+
+const REF_ENTITY: u8 = 0;
+const REF_INDEXED: u8 = 1;
+const OP_ADD_ENTITY: u8 = 1;
+const OP_ADD_EDGE: u8 = 2;
+const OP_REMOVE_EDGE: u8 = 3;
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_ref(out: &mut Vec<u8>, r: &NodeRef) {
+    match r {
+        NodeRef::Entity { label, value } => {
+            out.push(REF_ENTITY);
+            put_str(out, label);
+            put_str(out, value);
+        }
+        NodeRef::Indexed { label, index } => {
+            out.push(REF_INDEXED);
+            put_str(out, label);
+            out.extend_from_slice(&(*index as u64).to_le_bytes());
+        }
+    }
+}
+
+/// A streaming byte reader with typed out-of-bounds errors (never panics —
+/// this is a trust boundary: log bytes come from disk, possibly torn).
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| format!("record truncated at byte {}", self.pos))?;
+        let slice = self.buf.get(self.pos..end).unwrap_or(&[]);
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        let b = self.take(4)?;
+        let mut a = [0u8; 4];
+        a.copy_from_slice(b);
+        Ok(u32::from_le_bytes(a))
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_le_bytes(a))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| "non-UTF-8 string in record".to_owned())
+    }
+
+    fn node_ref(&mut self) -> Result<NodeRef, String> {
+        match self.u8()? {
+            REF_ENTITY => Ok(NodeRef::Entity {
+                label: self.string()?,
+                value: self.string()?,
+            }),
+            REF_INDEXED => Ok(NodeRef::Indexed {
+                label: self.string()?,
+                index: self.u64()? as usize,
+            }),
+            t => Err(format!("unknown node-ref tag {t}")),
+        }
+    }
+}
+
+impl MutationOp {
+    /// Appends the binary encoding of this operation to `out`.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            MutationOp::AddEntity { label, value } => {
+                out.push(OP_ADD_ENTITY);
+                put_str(out, label);
+                put_str(out, value);
+            }
+            MutationOp::AddEdge { a, b } => {
+                out.push(OP_ADD_EDGE);
+                put_ref(out, a);
+                put_ref(out, b);
+            }
+            MutationOp::RemoveEdge { a, b } => {
+                out.push(OP_REMOVE_EDGE);
+                put_ref(out, a);
+                put_ref(out, b);
+            }
+        }
+    }
+
+    /// Decodes one operation from the front of `buf`, returning it together
+    /// with the number of bytes consumed. Any malformed input — short
+    /// buffers, bad tags, non-UTF-8 strings — is a typed error, never a
+    /// panic.
+    pub fn decode(buf: &[u8]) -> Result<(MutationOp, usize), String> {
+        let mut r = Reader { buf, pos: 0 };
+        let op = match r.u8()? {
+            OP_ADD_ENTITY => MutationOp::AddEntity {
+                label: r.string()?,
+                value: r.string()?,
+            },
+            OP_ADD_EDGE => MutationOp::AddEdge {
+                a: r.node_ref()?,
+                b: r.node_ref()?,
+            },
+            OP_REMOVE_EDGE => MutationOp::RemoveEdge {
+                a: r.node_ref()?,
+                b: r.node_ref()?,
+            },
+            t => return Err(format!("unknown mutation op tag {t}")),
+        };
+        Ok((op, r.pos))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label::LabelKind;
+
+    fn tiny() -> Graph {
+        let mut b = GraphBuilder::new();
+        let paper = b.label("paper", LabelKind::Entity);
+        let cite = b.label("cite", LabelKind::Relationship);
+        let p1 = b.entity(paper, "p1");
+        let p2 = b.entity(paper, "p2");
+        let c = b.relationship(cite);
+        b.edge(p1, c).unwrap();
+        b.edge(c, p2).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn noderef_parse_and_display_roundtrip() {
+        for text in ["paper:p1", "cite:#0", "paper:va:lue"] {
+            let r = NodeRef::parse(text).unwrap();
+            assert_eq!(r.to_string(), text);
+        }
+        assert!(NodeRef::parse("nocolon").is_err());
+        assert!(NodeRef::parse(":empty").is_err());
+        assert!(NodeRef::parse("label:").is_err());
+        assert!(NodeRef::parse("cite:#x9").is_err());
+    }
+
+    #[test]
+    fn resolve_both_forms() {
+        let g = tiny();
+        let p1 = resolve(&g, &NodeRef::parse("paper:p1").unwrap()).unwrap();
+        assert_eq!(g.display_node(p1), "paper:p1");
+        let c = resolve(&g, &NodeRef::parse("cite:#0").unwrap()).unwrap();
+        assert_eq!(g.value_of(c), None);
+        assert_eq!(NodeRef::of(&g, p1).to_string(), "paper:p1");
+        assert_eq!(NodeRef::of(&g, c).to_string(), "cite:#0");
+        assert!(matches!(
+            resolve(&g, &NodeRef::parse("paper:p9").unwrap()),
+            Err(GraphError::UnknownEntity { .. })
+        ));
+        assert!(matches!(
+            resolve(&g, &NodeRef::parse("zz:p1").unwrap()),
+            Err(GraphError::UnknownLabel(_))
+        ));
+        assert!(matches!(
+            resolve(&g, &NodeRef::parse("cite:#7").unwrap()),
+            Err(GraphError::UnknownNode(_))
+        ));
+        assert!(matches!(
+            resolve(&g, &NodeRef::parse("cite:val").unwrap()),
+            Err(GraphError::LabelKindMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn apply_add_remove_roundtrip() {
+        let g = tiny();
+        let op_rm = MutationOp::RemoveEdge {
+            a: NodeRef::parse("paper:p2").unwrap(),
+            b: NodeRef::parse("cite:#0").unwrap(),
+        };
+        let g2 = apply(&g, &op_rm).unwrap();
+        assert_eq!(g2.num_edges(), 1);
+        // Removing again is a typed error against the new graph.
+        assert!(matches!(
+            apply(&g2, &op_rm),
+            Err(GraphError::MissingEdge(..))
+        ));
+        let op_add = MutationOp::AddEdge {
+            a: NodeRef::parse("paper:p2").unwrap(),
+            b: NodeRef::parse("cite:#0").unwrap(),
+        };
+        let g3 = apply(&g2, &op_add).unwrap();
+        assert_eq!(g3.num_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn apply_add_entity_rules() {
+        let g = tiny();
+        let g2 = apply(
+            &g,
+            &MutationOp::AddEntity {
+                label: "paper".into(),
+                value: "p3".into(),
+            },
+        )
+        .unwrap();
+        assert_eq!(g2.num_entities(), 3);
+        assert!(matches!(
+            apply(
+                &g2,
+                &MutationOp::AddEntity {
+                    label: "paper".into(),
+                    value: "p3".into()
+                }
+            ),
+            Err(GraphError::DuplicateEntity { .. })
+        ));
+        assert!(matches!(
+            apply(
+                &g,
+                &MutationOp::AddEntity {
+                    label: "cite".into(),
+                    value: "v".into()
+                }
+            ),
+            Err(GraphError::LabelKindMismatch { .. })
+        ));
+        assert!(matches!(
+            apply(
+                &g,
+                &MutationOp::AddEntity {
+                    label: "venue".into(),
+                    value: "v".into()
+                }
+            ),
+            Err(GraphError::UnknownLabel(_))
+        ));
+    }
+
+    #[test]
+    fn touch_resolves_labels() {
+        let g = tiny();
+        let paper = g.labels().get("paper").unwrap();
+        let cite = g.labels().get("cite").unwrap();
+        let t = touch(
+            &g,
+            &MutationOp::AddEdge {
+                a: NodeRef::parse("paper:p1").unwrap(),
+                b: NodeRef::parse("cite:#0").unwrap(),
+            },
+        )
+        .unwrap();
+        assert_eq!(t, Touch::Edge(paper, cite));
+        let t = touch(
+            &g,
+            &MutationOp::AddEntity {
+                label: "paper".into(),
+                value: "p9".into(),
+            },
+        )
+        .unwrap();
+        assert_eq!(t, Touch::Node(paper));
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let ops = [
+            MutationOp::AddEntity {
+                label: "paper".into(),
+                value: "p3".into(),
+            },
+            MutationOp::AddEdge {
+                a: NodeRef::parse("paper:p1").unwrap(),
+                b: NodeRef::parse("cite:#0").unwrap(),
+            },
+            MutationOp::RemoveEdge {
+                a: NodeRef::parse("cite:#0").unwrap(),
+                b: NodeRef::parse("paper:p2").unwrap(),
+            },
+        ];
+        for op in &ops {
+            let mut buf = Vec::new();
+            op.encode_into(&mut buf);
+            let (back, used) = MutationOp::decode(&buf).unwrap();
+            assert_eq!(&back, op);
+            assert_eq!(used, buf.len());
+        }
+    }
+
+    #[test]
+    fn decode_rejects_malformed_without_panic() {
+        // Empty, bad tags, truncated strings, non-UTF-8.
+        assert!(MutationOp::decode(&[]).is_err());
+        assert!(MutationOp::decode(&[9]).is_err());
+        assert!(MutationOp::decode(&[1, 4, 0, 0, 0, b'a']).is_err());
+        assert!(MutationOp::decode(&[1, 1, 0, 0, 0, 0xFF, 1, 0, 0, 0, b'x']).is_err());
+        // Every truncation of a valid record errors rather than panics.
+        let mut buf = Vec::new();
+        MutationOp::AddEdge {
+            a: NodeRef::parse("paper:p1").unwrap(),
+            b: NodeRef::parse("cite:#0").unwrap(),
+        }
+        .encode_into(&mut buf);
+        for cut in 0..buf.len() {
+            assert!(MutationOp::decode(&buf[..cut]).is_err(), "cut={cut}");
+        }
+    }
+}

@@ -412,6 +412,22 @@ impl CommutingCache {
         self.stats.inserts += 1;
         CACHE_INSERT.add(1);
     }
+
+    /// Drops a single entry (counted as an eviction when present) — the
+    /// invalidation hook used by incremental maintenance when a mutation
+    /// makes a cached matrix stale.
+    pub fn evict(&mut self, kind: CacheKind, mw: &MetaWalk) -> bool {
+        let map = match kind {
+            CacheKind::Plain => &mut self.plain,
+            CacheKind::Informative => &mut self.informative,
+        };
+        let removed = map.remove(mw).is_some();
+        if removed {
+            self.stats.evictions += 1;
+            CACHE_EVICTION.add(1);
+        }
+        removed
+    }
 }
 
 /// Which of a [`CommutingCache`]'s two maps an entry belongs to.

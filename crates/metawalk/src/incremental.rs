@@ -22,10 +22,18 @@
 
 use repsim_graph::biadjacency::biadjacency;
 use repsim_graph::{Graph, LabelId};
-use repsim_sparse::ops::spmm;
+use repsim_sparse::budget::{failpoints, Budget, ExecError};
+use repsim_sparse::ops::try_spmm_with_budget;
 use repsim_sparse::Csr;
 
 use crate::metawalk::MetaWalk;
+
+/// A heuristic SpGEMM cost estimate: `nnz(A)` rows drawn against the
+/// average row density of `B`. Used only for the delta-vs-rebuild policy,
+/// never for correctness.
+fn est_flops(a: &Csr, b: &Csr) -> f64 {
+    a.nnz() as f64 * (b.nnz() as f64 / b.nrows().max(1) as f64)
+}
 
 /// One hop of the meta-walk: the label sequence between two consecutive
 /// entity positions.
@@ -42,16 +50,44 @@ impl Hop {
             .any(|w| (w[0] == a && w[1] == b) || (w[0] == b && w[1] == a))
     }
 
-    fn compute(&self, g: &Graph) -> Csr {
+    fn try_compute(&self, g: &Graph, budget: &Budget, flops: &mut f64) -> Result<Csr, ExecError> {
         let mut m = biadjacency(g, self.labels[0], self.labels[1]);
         for pair in self.labels.windows(2).skip(1) {
-            m = spmm(&m, &biadjacency(g, pair[0], pair[1]));
+            let next = biadjacency(g, pair[0], pair[1]);
+            *flops += est_flops(&m, &next);
+            m = try_spmm_with_budget(&m, &next, 1, budget)?;
         }
         if self.subtract_diag {
             m = m.subtract_diagonal();
         }
-        m
+        Ok(m)
     }
+}
+
+/// How a budgeted delta application ended (see
+/// [`IncrementalCommuting::try_apply_edge_change`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeltaOutcome {
+    /// The delta was applied; the maintained matrix is current.
+    Applied(DeltaStats),
+    /// The accumulated delta cost crossed the caller's flop cap before the
+    /// update finished; **no state was changed** — the caller should
+    /// rebuild from scratch instead.
+    Abandoned {
+        /// Estimated flops spent before abandoning.
+        flops_spent: f64,
+    },
+}
+
+/// Cost accounting for one applied delta.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct DeltaStats {
+    /// Estimated flops of the delta path.
+    pub flops: f64,
+    /// Estimated flops a cold chain rebuild would have cost at the time.
+    pub rebuild_flops: f64,
+    /// Total nonzeros across the propagated prefix deltas.
+    pub delta_nnz: usize,
 }
 
 /// A maintained informative commuting matrix.
@@ -75,9 +111,29 @@ impl IncrementalCommuting {
             !mw.has_star(),
             "*-label meta-walks cannot be maintained incrementally"
         );
+        assert!(
+            mw.steps().iter().filter(|s| s.is_entity()).count() >= 2,
+            "need at least one hop"
+        );
+        match Self::try_new(g, mw, &Budget::unlimited()) {
+            Ok(inc) => inc,
+            #[allow(clippy::panic)] // documented infallible wrapper over the try_ API
+            Err(e) => panic!("incremental build without a budget: {e}"),
+        }
+    }
+
+    /// Budget-governed [`Self::new`]: rejects unsupported walks with a
+    /// typed error instead of panicking, and aborts the warm-up chain when
+    /// the budget trips.
+    pub fn try_new(g: &Graph, mw: MetaWalk, budget: &Budget) -> Result<Self, ExecError> {
+        if !Self::supports(&mw) {
+            return Err(ExecError::InvalidInput {
+                op: "incremental",
+                message: format!("meta-walk '{mw}' cannot be maintained incrementally"),
+            });
+        }
         let steps = mw.steps();
         let entity_pos: Vec<usize> = (0..steps.len()).filter(|&i| steps[i].is_entity()).collect();
-        assert!(entity_pos.len() >= 2, "need at least one hop");
         let hops: Vec<Hop> = entity_pos
             .windows(2)
             .map(|w| {
@@ -89,20 +145,45 @@ impl IncrementalCommuting {
                 }
             })
             .collect();
-        let hop_mats: Vec<Csr> = hops.iter().map(|h| h.compute(g)).collect();
-        let mut prefix = Vec::with_capacity(hop_mats.len() + 1);
-        prefix.push(Csr::identity(hop_mats[0].nrows()));
+        let mut flops = 0.0;
+        let mut hop_mats = Vec::with_capacity(hops.len());
+        for h in &hops {
+            budget.check()?;
+            hop_mats.push(h.try_compute(g, budget, &mut flops)?);
+        }
+        let mut prefix: Vec<Csr> = Vec::with_capacity(hop_mats.len() + 1);
+        prefix.push(Csr::identity(hop_mats.first().map(Csr::nrows).unwrap_or(0)));
         for h in &hop_mats {
             // `prefix` is seeded with the identity above, so it is never empty.
-            let next = prefix.last().map(|last| spmm(last, h));
-            prefix.extend(next);
+            let last = prefix.last().map(|p| try_spmm_with_budget(p, h, 1, budget));
+            match last {
+                Some(next) => prefix.push(next?),
+                None => break,
+            }
         }
-        IncrementalCommuting {
+        Ok(IncrementalCommuting {
             mw,
             hops,
             hop_mats,
             prefix,
-        }
+        })
+    }
+
+    /// Whether a meta-walk can be maintained incrementally: star-free with
+    /// at least one hop (two entity positions).
+    pub fn supports(mw: &MetaWalk) -> bool {
+        !mw.has_star() && mw.steps().iter().filter(|s| s.is_entity()).count() >= 2
+    }
+
+    /// A heuristic flop estimate for rebuilding the full prefix chain from
+    /// the current hop matrices — the rebuild side of the delta-vs-rebuild
+    /// policy.
+    pub fn rebuild_flops(&self) -> f64 {
+        self.prefix
+            .iter()
+            .zip(&self.hop_mats)
+            .map(|(p, h)| est_flops(p, h))
+            .sum()
     }
 
     /// The maintained matrix `M̂_p`.
@@ -123,29 +204,68 @@ impl IncrementalCommuting {
     /// Hops not touching `(a, b)` keep their matrices; everything
     /// downstream updates via sparse delta propagation.
     pub fn apply_edge_change(&mut self, g_new: &Graph, a: LabelId, b: LabelId) {
+        match self.try_apply_edge_change(g_new, a, b, None, &Budget::unlimited()) {
+            Ok(_) => {}
+            #[allow(clippy::panic)] // documented infallible wrapper over the try_ API
+            Err(e) => panic!("node sets must not change under incremental updates: {e}"),
+        }
+    }
+
+    /// The budgeted, policy-aware form of [`Self::apply_edge_change`].
+    ///
+    /// The update is *staged*: new hop matrices and prefixes are computed
+    /// into temporaries and committed only when the whole propagation
+    /// succeeds, so a mid-flight budget failure or an
+    /// [`DeltaOutcome::Abandoned`] policy exit leaves the maintained state
+    /// exactly as it was.
+    ///
+    /// `max_flops` is the delta-vs-rebuild policy cap: when the accumulated
+    /// (estimated) delta cost crosses it, the update is abandoned and the
+    /// caller should rebuild. `None` disables the policy. The applied path
+    /// performs the same operation sequence as the unbudgeted one, so its
+    /// result is bit-identical to a cold rebuild (walk counts are integers,
+    /// exact in `f64` below 2⁵³).
+    ///
+    /// The `delta.apply` failpoint ([`failpoints::DELTA_APPLY`]) reports
+    /// [`ExecError::Cancelled`] here when armed and the budget opted in.
+    pub fn try_apply_edge_change(
+        &mut self,
+        g_new: &Graph,
+        a: LabelId,
+        b: LabelId,
+        max_flops: Option<f64>,
+        budget: &Budget,
+    ) -> Result<DeltaOutcome, ExecError> {
+        if budget.injected(failpoints::DELTA_APPLY) {
+            return Err(ExecError::Cancelled);
+        }
         // The maintained matrices are dimensioned by the node set at
         // construction; guard every hop (touched or not) so a node-set
         // change cannot silently desynchronize the cache.
         for (hop, mat) in self.hops.iter().zip(&self.hop_mats) {
             let rows = g_new.nodes_of_label(hop.labels[0]).len();
             let cols = g_new.nodes_of_label(hop.labels[hop.labels.len() - 1]).len();
-            assert_eq!(
-                (rows, cols),
-                (mat.nrows(), mat.ncols()),
-                "node sets must not change under incremental updates"
-            );
+            if (rows, cols) != (mat.nrows(), mat.ncols()) {
+                return Err(ExecError::ShapeMismatch {
+                    op: "delta-apply",
+                    lhs: (rows, cols),
+                    rhs: (mat.nrows(), mat.ncols()),
+                });
+            }
         }
+        let rebuild = self.rebuild_flops();
+        let n = self.hops.len();
+        let mut new_hops: Vec<Option<Csr>> = vec![None; n];
+        let mut new_prefix: Vec<Option<Csr>> = vec![None; n + 1];
         let mut delta_prefix: Option<Csr> = None; // None = zero so far
-        for i in 0..self.hops.len() {
+        let mut flops = 0.0;
+        let mut delta_nnz = 0usize;
+        for i in 0..n {
+            budget.check()?;
             let delta_h: Option<Csr> = if self.hops[i].touches(a, b) {
-                let new_h = self.hops[i].compute(g_new);
-                assert_eq!(
-                    (new_h.nrows(), new_h.ncols()),
-                    (self.hop_mats[i].nrows(), self.hop_mats[i].ncols()),
-                    "node sets must not change under incremental updates"
-                );
+                let new_h = self.hops[i].try_compute(g_new, budget, &mut flops)?;
                 let d = new_h.sub(&self.hop_mats[i]);
-                self.hop_mats[i] = new_h;
+                new_hops[i] = Some(new_h);
                 if d.nnz() == 0 {
                     None
                 } else {
@@ -155,24 +275,62 @@ impl IncrementalCommuting {
                 None
             };
 
-            // ΔP_{i+1} = ΔP_i·H_i^new + P_i^old·ΔH_i. At this point
-            // `hop_mats[i]` holds H_i^new and `prefix[i]` already holds
-            // P_i^new (updated in the previous iteration), so the second
-            // term needs P_i^old = P_i^new − ΔP_i.
+            // ΔP_{i+1} = ΔP_i·H_i^new + P_i^old·ΔH_i. `new_hops[i]` (falling
+            // back to the stored matrix) holds H_i^new and `new_prefix[i]`
+            // (falling back likewise) holds P_i^new, staged by the previous
+            // iteration, so the second term needs P_i^old = P_i^new − ΔP_i.
+            let h_i = new_hops[i].as_ref().unwrap_or(&self.hop_mats[i]);
+            let p_i = new_prefix[i].as_ref().unwrap_or(&self.prefix[i]);
             let next = match (&delta_prefix, &delta_h) {
                 (None, None) => None,
-                (Some(dp), None) => Some(spmm(dp, &self.hop_mats[i])),
-                (None, Some(dh)) => Some(spmm(&self.prefix[i], dh)),
+                (Some(dp), None) => {
+                    flops += est_flops(dp, h_i);
+                    Some(try_spmm_with_budget(dp, h_i, 1, budget)?)
+                }
+                (None, Some(dh)) => {
+                    flops += est_flops(p_i, dh);
+                    Some(try_spmm_with_budget(p_i, dh, 1, budget)?)
+                }
                 (Some(dp), Some(dh)) => {
-                    let prefix_old = self.prefix[i].sub(dp);
-                    Some(spmm(dp, &self.hop_mats[i]).add(&spmm(&prefix_old, dh)))
+                    let prefix_old = p_i.sub(dp);
+                    flops += est_flops(dp, h_i) + est_flops(&prefix_old, dh);
+                    Some(
+                        try_spmm_with_budget(dp, h_i, 1, budget)?.add(&try_spmm_with_budget(
+                            &prefix_old,
+                            dh,
+                            1,
+                            budget,
+                        )?),
+                    )
                 }
             };
+            if let Some(cap) = max_flops {
+                if flops > cap {
+                    return Ok(DeltaOutcome::Abandoned { flops_spent: flops });
+                }
+            }
             if let Some(ref d) = next {
-                self.prefix[i + 1] = self.prefix[i + 1].add(d).pruned();
+                delta_nnz += d.nnz();
+                new_prefix[i + 1] = Some(self.prefix[i + 1].add(d).pruned());
             }
             delta_prefix = next;
         }
+        // Commit: every staged matrix replaces its stored counterpart.
+        for (slot, staged) in self.hop_mats.iter_mut().zip(new_hops.iter_mut()) {
+            if let Some(h) = staged.take() {
+                *slot = h;
+            }
+        }
+        for (slot, staged) in self.prefix.iter_mut().zip(new_prefix.iter_mut()) {
+            if let Some(p) = staged.take() {
+                *slot = p;
+            }
+        }
+        Ok(DeltaOutcome::Applied(DeltaStats {
+            flops,
+            rebuild_flops: rebuild,
+            delta_nnz,
+        }))
     }
 }
 
@@ -285,6 +443,90 @@ mod tests {
         let mut inc = IncrementalCommuting::new(&big, mw.clone());
         inc.apply_edge_change(&small, paper, cite);
         assert_eq!(inc.matrix(), &informative_commuting(&small, &mw));
+    }
+
+    #[test]
+    fn supports_classifies_walks() {
+        let (g, _) = base();
+        let ok = MetaWalk::parse_in(&g, "paper cite paper").unwrap();
+        assert!(IncrementalCommuting::supports(&ok));
+        let single = MetaWalk::parse_in(&g, "paper").unwrap();
+        assert!(!IncrementalCommuting::supports(&single));
+    }
+
+    #[test]
+    fn abandoned_update_leaves_state_unchanged() {
+        let (g, _) = base();
+        let mw = MetaWalk::parse_in(&g, "paper cite paper cite paper").unwrap();
+        let paper = g.labels().get("paper").unwrap();
+        let cite = g.labels().get("cite").unwrap();
+        let mut inc = IncrementalCommuting::new(&g, mw.clone());
+        let before = inc.matrix().clone();
+        let g2 = with_extra_edge(&g, "p5", 0);
+        let out = inc
+            .try_apply_edge_change(&g2, paper, cite, Some(0.0), &Budget::unlimited())
+            .unwrap();
+        assert!(matches!(out, DeltaOutcome::Abandoned { .. }));
+        assert_eq!(inc.matrix(), &before);
+        // Re-running without the cap applies and matches a cold rebuild.
+        let out = inc
+            .try_apply_edge_change(&g2, paper, cite, None, &Budget::unlimited())
+            .unwrap();
+        assert!(matches!(out, DeltaOutcome::Applied(_)));
+        assert_eq!(inc.matrix(), &informative_commuting(&g2, &mw));
+    }
+
+    #[test]
+    fn applied_stats_report_costs() {
+        let (g, _) = base();
+        let mw = MetaWalk::parse_in(&g, "paper cite paper cite paper").unwrap();
+        let paper = g.labels().get("paper").unwrap();
+        let cite = g.labels().get("cite").unwrap();
+        let mut inc = IncrementalCommuting::new(&g, mw);
+        let rebuild = inc.rebuild_flops();
+        let g2 = with_extra_edge(&g, "p5", 0);
+        match inc
+            .try_apply_edge_change(&g2, paper, cite, None, &Budget::unlimited())
+            .unwrap()
+        {
+            DeltaOutcome::Applied(stats) => {
+                assert!(stats.delta_nnz > 0);
+                assert_eq!(stats.rebuild_flops, rebuild);
+            }
+            other => panic!("expected Applied, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn delta_failpoint_is_double_gated() {
+        let (g, _) = base();
+        let mw = MetaWalk::parse_in(&g, "paper cite paper").unwrap();
+        let paper = g.labels().get("paper").unwrap();
+        let cite = g.labels().get("cite").unwrap();
+        let mut inc = IncrementalCommuting::new(&g, mw.clone());
+        let g2 = with_extra_edge(&g, "p5", 0);
+        let _guard = repsim_sparse::budget::failpoints::scoped(&[
+            repsim_sparse::budget::failpoints::DELTA_APPLY,
+        ]);
+        // Armed but not opted in: the update applies normally.
+        let out = inc
+            .try_apply_edge_change(&g2, paper, cite, None, &Budget::unlimited())
+            .unwrap();
+        assert!(matches!(out, DeltaOutcome::Applied(_)));
+        assert_eq!(inc.matrix(), &informative_commuting(&g2, &mw));
+        // Armed and opted in: typed cancellation, state untouched.
+        let before = inc.matrix().clone();
+        let err = inc
+            .try_apply_edge_change(
+                &g2,
+                paper,
+                cite,
+                None,
+                &Budget::unlimited().with_fault_injection(),
+            )
+            .unwrap_err();
+        assert_eq!(err, ExecError::Cancelled);
+        assert_eq!(inc.matrix(), &before);
     }
 
     #[test]

@@ -30,6 +30,8 @@
 //!   discovery, and maximal chains under the `≺` order;
 //! * [`incremental`] — delta-propagated maintenance of informative
 //!   commuting matrices under edge updates (a dynamic-graph extension);
+//! * [`delta`] — cache-wide maintenance policy over [`incremental`]:
+//!   delta-apply, targeted rebuild, or evict per touched entry;
 //! * [`enumerate`] — meta-walk enumeration over the schema graph, the
 //!   inclusion relation (Definition 6) and maximal meta-walks
 //!   (Definition 7) for small databases;
@@ -37,6 +39,7 @@
 //!   across two databases (Definitions 3 and 5).
 
 pub mod commuting;
+pub mod delta;
 pub mod enumerate;
 pub mod equivalence;
 pub mod fd;

@@ -11,8 +11,14 @@
 //! replayed traces are reproducible while still decorrelating client
 //! retries.
 //!
+//! The breaker is *per operation class* ([`OpClass`]): `rank` and
+//! `mutate` exhaustions are tracked by independent states, so a poisoned
+//! mutation stream (every delta blowing its budget) trips only the mutate
+//! breaker and cannot shed read traffic — and vice versa. The legacy
+//! class-less methods operate on the `rank` state.
+//!
 //! State transitions surface as `repsim.serve.breaker.*` counters and
-//! Warn/Info point events.
+//! Warn/Info point events (tagged with the class).
 
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
@@ -47,6 +53,25 @@ impl Default for BreakerConfig {
     }
 }
 
+/// Which admission stream a request belongs to. Each class has its own
+/// breaker state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OpClass {
+    /// Read traffic: rank queries.
+    Rank,
+    /// Write traffic: graph mutations.
+    Mutate,
+}
+
+impl OpClass {
+    fn name(self) -> &'static str {
+        match self {
+            OpClass::Rank => "rank",
+            OpClass::Mutate => "mutate",
+        }
+    }
+}
+
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum Kind {
     Closed,
@@ -68,33 +93,45 @@ struct State {
 /// any hot loop).
 pub struct CircuitBreaker {
     cfg: BreakerConfig,
-    state: Mutex<State>,
+    rank: Mutex<State>,
+    mutate: Mutex<State>,
 }
 
 impl CircuitBreaker {
-    /// A closed breaker with the given tuning.
+    /// A closed breaker (both classes) with the given tuning.
     pub fn new(cfg: BreakerConfig) -> CircuitBreaker {
+        let fresh = |seed_salt: u64| State {
+            kind: Kind::Closed,
+            consecutive: 0,
+            open_until: None,
+            reopens: 0,
+            rng: (cfg.jitter_seed ^ seed_salt) | 1,
+        };
         CircuitBreaker {
-            state: Mutex::new(State {
-                kind: Kind::Closed,
-                consecutive: 0,
-                open_until: None,
-                reopens: 0,
-                rng: cfg.jitter_seed | 1,
-            }),
+            rank: Mutex::new(fresh(0)),
+            mutate: Mutex::new(fresh(0x6d75_7461_7465)), // decorrelate streams
             cfg,
         }
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, State> {
-        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    fn lock(&self, class: OpClass) -> std::sync::MutexGuard<'_, State> {
+        let m = match class {
+            OpClass::Rank => &self.rank,
+            OpClass::Mutate => &self.mutate,
+        };
+        m.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Admission check for the rank class (legacy name).
+    pub fn admit(&self) -> Result<(), u64> {
+        self.admit_class(OpClass::Rank)
     }
 
     /// Admission check. `Ok(())` admits the request; `Err(ms)` rejects
     /// with a retry-after hint. While half-open, exactly one probe is
     /// admitted; concurrent requests are rejected until its verdict.
-    pub fn admit(&self) -> Result<(), u64> {
-        let mut s = self.lock();
+    pub fn admit_class(&self, class: OpClass) -> Result<(), u64> {
+        let mut s = self.lock(class);
         match s.kind {
             Kind::Closed => Ok(()),
             Kind::HalfOpen => Err(self.cfg.base_ms.max(1)),
@@ -103,7 +140,7 @@ impl CircuitBreaker {
                     Some(u) => u,
                     None => {
                         // Unreachable by construction; recover by probing.
-                        Self::transition(&mut s, Kind::HalfOpen);
+                        Self::transition(&mut s, class, Kind::HalfOpen);
                         return Ok(());
                     }
                 };
@@ -111,36 +148,47 @@ impl CircuitBreaker {
                 if now < until {
                     Err(duration_ms(until - now).max(1))
                 } else {
-                    Self::transition(&mut s, Kind::HalfOpen);
+                    Self::transition(&mut s, class, Kind::HalfOpen);
                     Ok(())
                 }
             }
         }
     }
 
+    /// Records a successful rank response (legacy name).
+    pub fn on_success(&self) {
+        self.on_success_class(OpClass::Rank)
+    }
+
     /// Records a successfully answered request (exact or degraded — any
     /// response that was *not* budget-exhausted).
-    pub fn on_success(&self) {
-        let mut s = self.lock();
+    pub fn on_success_class(&self, class: OpClass) {
+        let mut s = self.lock(class);
         s.consecutive = 0;
         if s.kind != Kind::Closed {
             s.reopens = 0;
             s.open_until = None;
-            Self::transition(&mut s, Kind::Closed);
+            Self::transition(&mut s, class, Kind::Closed);
         }
     }
 
-    /// Records a budget-exhausted response. Returns the retry-after hint
-    /// when this failure tripped (or re-tripped) the breaker.
+    /// Records a rank budget exhaustion (legacy name).
     pub fn on_exhausted(&self) -> Option<u64> {
-        let mut s = self.lock();
+        self.on_exhausted_class(OpClass::Rank)
+    }
+
+    /// Records a budget-exhausted response for one class. Returns the
+    /// retry-after hint when this failure tripped (or re-tripped) that
+    /// class's breaker. The other class is untouched.
+    pub fn on_exhausted_class(&self, class: OpClass) -> Option<u64> {
+        let mut s = self.lock(class);
         match s.kind {
-            Kind::HalfOpen => Some(self.trip(&mut s)),
+            Kind::HalfOpen => Some(self.trip(&mut s, class)),
             Kind::Open => None,
             Kind::Closed => {
                 s.consecutive += 1;
                 if s.consecutive >= self.cfg.threshold {
-                    Some(self.trip(&mut s))
+                    Some(self.trip(&mut s, class))
                 } else {
                     None
                 }
@@ -148,9 +196,14 @@ impl CircuitBreaker {
         }
     }
 
-    /// The current state, for the stats envelope and metrics table.
+    /// The rank-class state, for the stats envelope and metrics table.
     pub fn state_name(&self) -> &'static str {
-        match self.lock().kind {
+        self.state_name_class(OpClass::Rank)
+    }
+
+    /// The current state of one class's breaker.
+    pub fn state_name_class(&self, class: OpClass) -> &'static str {
+        match self.lock(class).kind {
             Kind::Closed => "closed",
             Kind::Open => "open",
             Kind::HalfOpen => "half-open",
@@ -159,7 +212,7 @@ impl CircuitBreaker {
 
     /// Opens (or re-opens) the breaker: exponential backoff with
     /// deterministic jitter in `[0, backoff/4]`.
-    fn trip(&self, s: &mut State) -> u64 {
+    fn trip(&self, s: &mut State, class: OpClass) -> u64 {
         let exp = s.reopens.min(32);
         let backoff = self
             .cfg
@@ -175,11 +228,11 @@ impl CircuitBreaker {
         s.reopens += 1;
         s.consecutive = 0;
         s.open_until = Some(Instant::now() + Duration::from_millis(wait));
-        Self::transition(s, Kind::Open);
+        Self::transition(s, class, Kind::Open);
         wait
     }
 
-    fn transition(s: &mut State, to: Kind) {
+    fn transition(s: &mut State, class: OpClass, to: Kind) {
         if s.kind == to {
             return;
         }
@@ -191,7 +244,11 @@ impl CircuitBreaker {
         };
         counter.add(1);
         if repsim_obs::enabled() {
-            repsim_obs::point("repsim.serve.breaker.transition", level, name.to_owned());
+            repsim_obs::point(
+                "repsim.serve.breaker.transition",
+                level,
+                format!("{}:{}", class.name(), name),
+            );
         }
     }
 }
@@ -289,10 +346,35 @@ mod tests {
             last = b.on_exhausted().unwrap_or(last);
             // Force back to half-open to fail the probe again.
             std::thread::sleep(Duration::from_millis(1));
-            let mut s = b.lock();
+            let mut s = b.lock(OpClass::Rank);
             s.kind = Kind::HalfOpen;
             drop(s);
         }
         assert!(last <= 150 + 150 / 4, "cap plus jitter, got {last}");
+    }
+
+    #[test]
+    fn classes_are_independent() {
+        let b = fast();
+        // Trip the mutate breaker...
+        for _ in 0..3 {
+            b.on_exhausted_class(OpClass::Mutate);
+        }
+        assert_eq!(b.state_name_class(OpClass::Mutate), "open");
+        assert!(b.admit_class(OpClass::Mutate).is_err());
+        // ...and the rank class still admits, fails and trips on its own.
+        assert_eq!(b.state_name_class(OpClass::Rank), "closed");
+        assert!(b.admit_class(OpClass::Rank).is_ok());
+        assert!(b.on_exhausted_class(OpClass::Rank).is_none());
+        // A mutate success must not reset the rank streak.
+        std::thread::sleep(Duration::from_millis(40));
+        assert!(b.admit_class(OpClass::Mutate).is_ok());
+        b.on_success_class(OpClass::Mutate);
+        assert_eq!(b.state_name_class(OpClass::Mutate), "closed");
+        assert!(b.on_exhausted_class(OpClass::Rank).is_none());
+        assert!(
+            b.on_exhausted_class(OpClass::Rank).is_some(),
+            "rank streak was preserved across mutate activity"
+        );
     }
 }

@@ -26,6 +26,10 @@ pub enum ServiceError {
     /// The server is draining its queue for shutdown; no new work is
     /// admitted.
     ShuttingDown,
+    /// The write-ahead log rejected the append, so the mutation was
+    /// *not* applied (the log is the acknowledgment barrier). The
+    /// in-memory index and the graph are unchanged; safe to retry.
+    WalFailed(String),
 }
 
 impl ServiceError {
@@ -36,6 +40,7 @@ impl ServiceError {
             ServiceError::Exhausted(_) => "exhausted",
             ServiceError::BadRequest(_) => "bad_request",
             ServiceError::ShuttingDown => "shutting_down",
+            ServiceError::WalFailed(_) => "wal_failed",
         }
     }
 
@@ -57,6 +62,7 @@ impl fmt::Display for ServiceError {
             ServiceError::Exhausted(e) => write!(f, "budget exhausted: {e}"),
             ServiceError::BadRequest(m) => write!(f, "bad request: {m}"),
             ServiceError::ShuttingDown => write!(f, "server shutting down"),
+            ServiceError::WalFailed(m) => write!(f, "wal append failed: {m}"),
         }
     }
 }

@@ -30,7 +30,7 @@
 //!    [`repsim_core::budgeted::BudgetedRPathSim`] and the response
 //!    envelope reports the [`repsim_core::budgeted::Degradation`] tier
 //!    instead of dropping the connection.
-//! 3. **Crash-safe persistence** ([`snapshot`]) — commuting-matrix cache
+//! 3. **Crash-safe persistence** ([`snapshot`], [`wal`]) — commuting-matrix cache
 //!    entries (which double as the engines' half-matrix indexes) persist
 //!    in a versioned, checksummed snapshot written temp-file + fsync +
 //!    atomic rename. Loads validate magic, version, graph fingerprint
@@ -38,6 +38,10 @@
 //!    the server transparently rebuilds — answers are bit-identical to a
 //!    cold rebuild either way (the paper's whole point is that rankings
 //!    are representation-stable; a warm start must not perturb them).
+//!    Live mutations append to a checksummed write-ahead log ([`wal`])
+//!    before they are acknowledged; recovery replays it, truncating a
+//!    torn tail and quarantining corrupt suffixes through the bounded
+//!    [`quarantine`] rotation.
 //!
 //! The serving path is observable end-to-end: queue depth, sheds,
 //! breaker transitions and snapshot save/load durations surface as
@@ -47,13 +51,16 @@
 pub mod breaker;
 pub mod error;
 pub mod protocol;
+pub mod quarantine;
 pub mod queue;
 pub mod server;
 pub mod service;
 pub mod snapshot;
+pub mod wal;
 
-pub use breaker::{BreakerConfig, CircuitBreaker};
+pub use breaker::{BreakerConfig, CircuitBreaker, OpClass};
 pub use error::ServiceError;
 pub use protocol::{Request, Response};
 pub use server::{client_roundtrip, run, ServeConfig, ServeError, ServeReport};
 pub use service::{QueryService, Restore, ServiceConfig};
+pub use wal::{RecoveredLog, Wal, WalError};

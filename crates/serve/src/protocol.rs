@@ -14,7 +14,17 @@
 //! {"id":3,"op":"stats"}
 //! {"id":4,"op":"snapshot"}
 //! {"id":5,"op":"shutdown"}
+//! {"id":6,"op":"mutate","action":"add_entity","label":"actor","value":"new"}
+//! {"id":7,"op":"mutate","action":"add_edge","a":"film:f0","b":"actor:new"}
+//! {"id":8,"op":"mutate","action":"remove_edge","a":"film:f0","b":"actor:new"}
 //! ```
+//!
+//! Mutate node references are `label:value` for entities or
+//! `label:#index` for relationship nodes ([`repsim_graph::NodeRef`]'s
+//! text form). Mutate responses carry the post-mutation graph
+//! fingerprint (hex), the WAL sequence number that made the write
+//! durable, and the index-maintenance path taken (`"delta"`,
+//! `"rebuild"`, `"evict"` or `"none"`).
 //!
 //! Success envelope: `{"id":…,"ok":true,…}` with an op-specific payload;
 //! rank responses carry `"tier"` (the degradation tier that actually
@@ -24,6 +34,7 @@
 
 use std::fmt::Write as _;
 
+use repsim_graph::{MutationOp, NodeRef};
 use repsim_obs::json::{self, Json};
 
 use crate::error::ServiceError;
@@ -99,6 +110,15 @@ pub enum Request {
         /// Echoed request id.
         id: ReqId,
     },
+    /// Apply one graph mutation (WAL-logged before acknowledgment).
+    Mutate {
+        /// Echoed request id.
+        id: ReqId,
+        /// The mutation to apply.
+        op: MutationOp,
+        /// Per-request deadline; `None` uses the server default.
+        deadline_ms: Option<u64>,
+    },
 }
 
 impl Request {
@@ -145,6 +165,44 @@ impl Request {
             "stats" => Ok(Request::Stats { id }),
             "snapshot" => Ok(Request::Snapshot { id }),
             "shutdown" => Ok(Request::Shutdown { id }),
+            "mutate" => {
+                let field = |name: &str| -> Result<String, String> {
+                    v.get(name)
+                        .and_then(Json::as_str)
+                        .map(str::to_owned)
+                        .ok_or_else(|| format!("mutate requires string field {name:?}"))
+                };
+                let node = |name: &str| -> Result<NodeRef, String> {
+                    NodeRef::parse(&field(name)?).map_err(|e| format!("field {name:?}: {e}"))
+                };
+                let deadline_ms = match v.get("deadline_ms").and_then(Json::as_num) {
+                    Some(d) if d >= 0.0 && d.fract() == 0.0 => Some(d as u64),
+                    Some(_) => {
+                        return Err("\"deadline_ms\" must be a non-negative integer".to_owned())
+                    }
+                    None => None,
+                };
+                let op = match field("action")?.as_str() {
+                    "add_entity" => MutationOp::AddEntity {
+                        label: field("label")?,
+                        value: field("value")?,
+                    },
+                    "add_edge" => MutationOp::AddEdge {
+                        a: node("a")?,
+                        b: node("b")?,
+                    },
+                    "remove_edge" => MutationOp::RemoveEdge {
+                        a: node("a")?,
+                        b: node("b")?,
+                    },
+                    other => return Err(format!("unknown mutate action {other:?}")),
+                };
+                Ok(Request::Mutate {
+                    id,
+                    op,
+                    deadline_ms,
+                })
+            }
             other => Err(format!("unknown op {other:?}")),
         }
     }
@@ -156,7 +214,8 @@ impl Request {
             | Request::Ping { id }
             | Request::Stats { id }
             | Request::Snapshot { id }
-            | Request::Shutdown { id } => id,
+            | Request::Shutdown { id }
+            | Request::Mutate { id, .. } => id,
         }
     }
 }
@@ -191,10 +250,21 @@ pub struct StatsBody {
     pub cache_entries: usize,
     /// Query engines resident (one per distinct half walk served).
     pub engines: usize,
-    /// Breaker state: `"closed"`, `"open"`, `"half-open"`.
+    /// Rank breaker state: `"closed"`, `"open"`, `"half-open"`.
     pub breaker: String,
+    /// Mutate breaker state: `"closed"`, `"open"`, `"half-open"`.
+    pub breaker_mutate: String,
     /// Whether the index was restored from a snapshot at startup.
     pub snapshot_restored: bool,
+    /// Mutations acknowledged (durably WAL-logged) over the lifetime.
+    pub mutations: u64,
+    /// Mutations rejected with a budget exhaustion (counted apart from
+    /// rank exhaustions; they trip a separate breaker class).
+    pub mutate_exhausted: u64,
+    /// Current graph fingerprint, `0x`-prefixed hex.
+    pub fingerprint: String,
+    /// Last acknowledged WAL sequence number (0 = none yet).
+    pub seq: u64,
 }
 
 /// A response, rendered as one JSON line.
@@ -235,6 +305,18 @@ pub enum Response {
     ShuttingDown {
         /// Echoed request id.
         id: ReqId,
+    },
+    /// Mutation acknowledged: durable in the WAL, index maintained.
+    Mutate {
+        /// Echoed request id.
+        id: ReqId,
+        /// Post-mutation graph fingerprint, `0x`-prefixed hex.
+        fingerprint: String,
+        /// The WAL sequence number that made the write durable.
+        seq: u64,
+        /// Index maintenance path: `"delta"`, `"rebuild"`, `"evict"`
+        /// or `"none"`.
+        path: String,
     },
     /// A typed failure.
     Error {
@@ -278,7 +360,9 @@ impl Response {
                     "\"ok\":true,\"stats\":{{\"requests\":{},\"shed\":{},\"degraded\":{},\
                      \"exhausted\":{},\"queue_depth\":{},\"queue_capacity\":{},\
                      \"cache_entries\":{},\"engines\":{},\"breaker\":\"{}\",\
-                     \"snapshot_restored\":{}}}",
+                     \"breaker_mutate\":\"{}\",\"snapshot_restored\":{},\
+                     \"mutations\":{},\"mutate_exhausted\":{},\
+                     \"fingerprint\":\"{}\",\"seq\":{}}}",
                     body.requests,
                     body.shed,
                     body.degraded,
@@ -288,7 +372,12 @@ impl Response {
                     body.cache_entries,
                     body.engines,
                     esc(&body.breaker),
-                    body.snapshot_restored
+                    esc(&body.breaker_mutate),
+                    body.snapshot_restored,
+                    body.mutations,
+                    body.mutate_exhausted,
+                    esc(&body.fingerprint),
+                    body.seq
                 );
             }
             Response::Snapshot { id, entries, bytes } => {
@@ -301,6 +390,20 @@ impl Response {
             Response::ShuttingDown { id } => {
                 id.render(&mut out);
                 out.push_str("\"ok\":true,\"shutting_down\":true");
+            }
+            Response::Mutate {
+                id,
+                fingerprint,
+                seq,
+                path,
+            } => {
+                id.render(&mut out);
+                let _ = write!(
+                    out,
+                    "\"ok\":true,\"mutate\":{{\"fingerprint\":\"{}\",\"seq\":{seq},\"path\":\"{}\"}}",
+                    esc(fingerprint),
+                    esc(path)
+                );
             }
             Response::Error { id, error } => {
                 id.render(&mut out);

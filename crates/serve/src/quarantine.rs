@@ -1,0 +1,118 @@
+//! Bounded quarantine rotation for corrupt persistence artifacts.
+//!
+//! Snapshot load and WAL recovery both move rejected bytes *aside*
+//! rather than deleting them, so an operator can post-mortem a
+//! corruption. Unbounded, that policy turns a flapping disk into a
+//! disk-full outage: every crash-loop iteration would mint another
+//! `.corrupt` file. This module caps the pile at [`MAX_QUARANTINED`]
+//! generations per artifact:
+//!
+//! * the newest rejection always lands at `<path>.corrupt`,
+//! * older generations shift to `<path>.corrupt.1`, `<path>.corrupt.2`,
+//! * anything beyond the cap is deleted, with a Warn
+//!   `repsim.serve.quarantine.evict` event recording the loss.
+//!
+//! Keeping the newest at the bare `.corrupt` name preserves the
+//! operator contract (and the CI drill) that the most recent corpse is
+//! always at a predictable path.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// How many quarantined generations of one artifact are kept.
+pub const MAX_QUARANTINED: usize = 3;
+
+/// The quarantine slot for generation `gen` of `path` (0 = newest).
+fn slot(path: &Path, gen: usize) -> PathBuf {
+    let mut os = path.as_os_str().to_owned();
+    os.push(".corrupt");
+    if gen > 0 {
+        os.push(format!(".{gen}"));
+    }
+    PathBuf::from(os)
+}
+
+/// Shifts existing quarantine generations of `path` down one slot,
+/// deleting whatever falls off the end, and returns the now-free
+/// newest slot (`<path>.corrupt`).
+fn make_room(path: &Path) -> io::Result<PathBuf> {
+    let oldest = slot(path, MAX_QUARANTINED - 1);
+    if oldest.exists() {
+        fs::remove_file(&oldest)?;
+        repsim_obs::point(
+            "repsim.serve.quarantine.evict",
+            repsim_obs::Level::Warn,
+            format!(
+                "quarantine cap ({MAX_QUARANTINED}) reached; deleted {}",
+                oldest.display()
+            ),
+        );
+    }
+    for gen in (0..MAX_QUARANTINED - 1).rev() {
+        let from = slot(path, gen);
+        if from.exists() {
+            fs::rename(&from, slot(path, gen + 1))?;
+        }
+    }
+    Ok(slot(path, 0))
+}
+
+/// Quarantines the whole file at `path`: rotates prior generations,
+/// then renames `path` to `<path>.corrupt`. Returns the destination.
+pub fn rotate_file(path: &Path) -> io::Result<PathBuf> {
+    let dest = make_room(path)?;
+    fs::rename(path, &dest)?;
+    Ok(dest)
+}
+
+/// Quarantines loose bytes (e.g. a corrupt WAL tail that was truncated
+/// out of the live log): rotates prior generations, then writes `bytes`
+/// to `<path>.corrupt`. Returns the destination.
+pub fn rotate_bytes(path: &Path, bytes: &[u8]) -> io::Result<PathBuf> {
+    let dest = make_room(path)?;
+    fs::write(&dest, bytes)?;
+    Ok(dest)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("repsim-quar-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn newest_is_always_bare_corrupt_and_cap_holds() {
+        let dir = tmp_dir("cap");
+        let base = dir.join("idx.snap");
+        for round in 0..5u32 {
+            fs::write(&base, round.to_le_bytes()).unwrap();
+            let dest = rotate_file(&base).unwrap();
+            assert_eq!(dest, slot(&base, 0));
+            assert!(!base.exists());
+        }
+        // Newest three generations survive: rounds 4, 3, 2.
+        for (gen, round) in [(0usize, 4u32), (1, 3), (2, 2)] {
+            let bytes = fs::read(slot(&base, gen)).unwrap();
+            assert_eq!(bytes, round.to_le_bytes());
+        }
+        assert!(!slot(&base, 3).exists(), "beyond-cap generation deleted");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rotate_bytes_writes_the_newest_slot() {
+        let dir = tmp_dir("bytes");
+        let base = dir.join("log.wal");
+        rotate_bytes(&base, b"tail-1").unwrap();
+        rotate_bytes(&base, b"tail-2").unwrap();
+        assert_eq!(fs::read(slot(&base, 0)).unwrap(), b"tail-2");
+        assert_eq!(fs::read(slot(&base, 1)).unwrap(), b"tail-1");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -25,7 +25,7 @@ use repsim_obs::GaugeHandle;
 use crate::error::ServiceError;
 use crate::protocol::{ReqId, Request, Response};
 use crate::queue::Bounded;
-use crate::service::{QueryService, Restore, ServiceConfig};
+use crate::service::{QueryService, Restore, ServiceConfig, WalRecovery};
 use crate::snapshot::SaveStats;
 
 static QUEUE_DEPTH: GaugeHandle = GaugeHandle::new("repsim.serve.queue.depth");
@@ -41,6 +41,11 @@ pub struct ServeConfig {
     /// Snapshot path: loaded at startup, written on `snapshot` ops and
     /// at shutdown. `None` disables persistence.
     pub snapshot: Option<PathBuf>,
+    /// Write-ahead log path: recovered (replayed, torn tail truncated)
+    /// at startup, appended on every acknowledged mutation. `None`
+    /// disables mutation durability (mutations still apply, but do not
+    /// survive a crash).
+    pub wal: Option<PathBuf>,
     /// Rank-queue capacity; pushes beyond it shed with `overloaded`.
     pub queue_cap: usize,
     /// Written with the actual `ip:port` once bound — how tests and
@@ -55,6 +60,7 @@ impl Default for ServeConfig {
         ServeConfig {
             addr: "127.0.0.1:0".to_owned(),
             snapshot: None,
+            wal: None,
             queue_cap: 64,
             port_file: None,
             service: ServiceConfig::default(),
@@ -69,6 +75,8 @@ pub struct ServeReport {
     pub addr: SocketAddr,
     /// Startup snapshot outcome (`None` when persistence is off).
     pub restore: Option<Restore>,
+    /// Startup WAL recovery outcome (`None` when no log is configured).
+    pub wal: Option<WalRecovery>,
     /// Final shutdown snapshot (`None` when persistence is off or the
     /// final save failed — the failure is reported as a Warn event, not
     /// an error: the server is exiting either way and the previous
@@ -94,6 +102,10 @@ pub enum ServeError {
     /// Reading or writing the snapshot at startup failed at the I/O
     /// level (a *corrupt* snapshot is not an error; it quarantines).
     Snapshot(crate::snapshot::SnapshotError),
+    /// Opening, repairing or replaying the write-ahead log failed at
+    /// the I/O level (corruption inside the log is repaired, not an
+    /// error).
+    Wal(crate::wal::WalError),
     /// Writing the port file failed.
     PortFile {
         /// The configured path.
@@ -108,6 +120,7 @@ impl std::fmt::Display for ServeError {
         match self {
             ServeError::Bind { addr, message } => write!(f, "cannot bind {addr}: {message}"),
             ServeError::Snapshot(e) => write!(f, "snapshot: {e}"),
+            ServeError::Wal(e) => write!(f, "wal: {e}"),
             ServeError::PortFile { path, message } => {
                 write!(f, "cannot write port file {}: {message}", path.display())
             }
@@ -120,6 +133,12 @@ impl std::error::Error for ServeError {}
 impl From<crate::snapshot::SnapshotError> for ServeError {
     fn from(e: crate::snapshot::SnapshotError) -> Self {
         ServeError::Snapshot(e)
+    }
+}
+
+impl From<crate::wal::WalError> for ServeError {
+    fn from(e: crate::wal::WalError) -> Self {
+        ServeError::Wal(e)
     }
 }
 
@@ -141,6 +160,14 @@ struct Job {
 pub fn run(g: &Graph, cfg: &ServeConfig, shutdown: &AtomicBool) -> Result<ServeReport, ServeError> {
     let svc = QueryService::new(g, cfg.service.clone());
 
+    // Boot order matters: the WAL replays first (rebuilding the graph
+    // the process died with), then the snapshot validates against the
+    // *post-replay* fingerprint — a snapshot taken before the logged
+    // mutations simply quarantines and the index rebuilds on demand.
+    let wal = match &cfg.wal {
+        Some(path) => Some(svc.recover_wal(path)?),
+        None => None,
+    };
     let restore = match &cfg.snapshot {
         Some(path) => Some(svc.restore(path)?),
         None => None,
@@ -219,13 +246,14 @@ pub fn run(g: &Graph, cfg: &ServeConfig, shutdown: &AtomicBool) -> Result<ServeR
     Ok(ServeReport {
         addr,
         restore,
+        wal,
         final_snapshot,
         requests: stats.requests,
         shed: stats.shed,
     })
 }
 
-fn worker_loop(svc: &QueryService<'_>, queue: &Bounded<Job>) {
+fn worker_loop(svc: &QueryService, queue: &Bounded<Job>) {
     while let Some(job) = queue.pop() {
         QUEUE_DEPTH.set(queue.depth() as i64);
         let resp = match svc.handle_rank(&job.walk, &job.label, &job.value, job.k, job.deadline_ms)
@@ -248,7 +276,7 @@ fn worker_loop(svc: &QueryService<'_>, queue: &Bounded<Job>) {
 /// reply to preserve ordering.
 fn serve_connection(
     stream: TcpStream,
-    svc: &QueryService<'_>,
+    svc: &QueryService,
     queue: &Bounded<Job>,
     shutdown: &AtomicBool,
     snapshot: Option<&std::path::Path>,
@@ -289,7 +317,7 @@ fn serve_connection(
 /// a blank line).
 fn handle_line(
     line: &str,
-    svc: &QueryService<'_>,
+    svc: &QueryService,
     queue: &Bounded<Job>,
     shutdown: &AtomicBool,
     snapshot: Option<&std::path::Path>,
@@ -335,6 +363,28 @@ fn handle_line(
         Request::Shutdown { id } => {
             shutdown.store(true, Ordering::SeqCst);
             Response::ShuttingDown { id }
+        }
+        Request::Mutate {
+            id,
+            op,
+            deadline_ms,
+        } => {
+            if shutdown.load(Ordering::SeqCst) {
+                Response::Error {
+                    id,
+                    error: ServiceError::ShuttingDown,
+                }
+            } else {
+                match svc.handle_mutate(&op, deadline_ms) {
+                    Ok((fingerprint, seq, path)) => Response::Mutate {
+                        id,
+                        fingerprint,
+                        seq,
+                        path,
+                    },
+                    Err(error) => Response::Error { id, error },
+                }
+            }
         }
         Request::Rank {
             id,
@@ -500,6 +550,7 @@ mod tests {
         let cfg = ServeConfig {
             addr: "127.0.0.1:0".to_owned(),
             snapshot: Some(dir.join("idx.snap")),
+            wal: Some(dir.join("g.wal")),
             queue_cap: 8,
             port_file: Some(dir.join("port")),
             service: ServiceConfig::default(),

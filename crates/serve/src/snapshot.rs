@@ -29,8 +29,9 @@
 //! snapshot or none, never a torn one. **Load** validates magic,
 //! version, fingerprint, length and checksum before decoding, and every
 //! decoded matrix re-passes CSR validation; anything suspect is
-//! *quarantined* (renamed to `<path>.corrupt`) and reported as
-//! [`LoadOutcome::Quarantined`] so the caller rebuilds transparently.
+//! *quarantined* (renamed to `<path>.corrupt`, with prior generations
+//! rotated through [`crate::quarantine`]'s bounded scheme) and reported
+//! as [`LoadOutcome::Quarantined`] so the caller rebuilds transparently.
 //! The `snapshot.write` and `snapshot.corrupt` failpoints force the
 //! crash-mid-save and corrupt-file paths under the fault-injection
 //! harness.
@@ -250,12 +251,6 @@ fn tmp_path(path: &Path) -> PathBuf {
     PathBuf::from(os)
 }
 
-fn quarantine_path(path: &Path) -> PathBuf {
-    let mut os = path.as_os_str().to_owned();
-    os.push(".corrupt");
-    PathBuf::from(os)
-}
-
 /// Loads and validates a snapshot. Corruption in any form — bad magic,
 /// version or fingerprint mismatch, checksum failure, truncation, a
 /// walk that no longer parses, a matrix that fails CSR validation —
@@ -279,8 +274,8 @@ pub fn load(path: &Path, g: &Graph) -> Result<LoadOutcome, SnapshotError> {
             Ok(LoadOutcome::Restored(entries))
         }
         Err(reason) => {
-            let quarantined_to = quarantine_path(path);
-            fs::rename(path, &quarantined_to).map_err(io_err("quarantine", path))?;
+            let quarantined_to =
+                crate::quarantine::rotate_file(path).map_err(io_err("quarantine", path))?;
             repsim_obs::point(
                 "repsim.serve.snapshot.quarantine",
                 repsim_obs::Level::Warn,

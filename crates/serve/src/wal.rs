@@ -1,0 +1,677 @@
+//! Write-ahead delta log for live graph mutations.
+//!
+//! Every accepted mutation is appended — and fsynced — to the log
+//! *before* it is acknowledged, so an acknowledged write survives any
+//! crash. The file layout is append-only:
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic  b"RSIMWAL1"
+//! 8       4     version (u32 LE, currently 1)
+//! 12      8     base graph fingerprint (u64 LE)
+//! 20      …     records, back to back
+//! ```
+//!
+//! Each record is `len: u32 LE` (body length), `checksum: u64 LE`
+//! (FNV-1a over the body), then the body: `seq: u64 LE` (1-based,
+//! gap-free), `fp_after: u64 LE` (the graph fingerprint *after* the
+//! mutation), and the [`MutationOp`] in its binary encoding.
+//!
+//! **Recovery** ([`Wal::recover`]) replays the log against the boot
+//! graph, re-applying each mutation and checking the recomputed
+//! fingerprint against the recorded `fp_after` — the log is not
+//! trusted, it is re-derived. Two failure shapes are distinguished:
+//!
+//! * a **torn tail** (the file ends mid-record — the classic
+//!   crash-during-append): the partial record was never acknowledged,
+//!   so it is truncated away with a Warn event and
+//!   `repsim.graph.wal.torn_truncations` tick;
+//! * a **corrupt suffix** (checksum, sequence, decode, apply or
+//!   fingerprint failure): the bytes from the first bad record onward
+//!   are quarantined through the bounded [`crate::quarantine`]
+//!   rotation, then truncated, and `repsim.graph.wal.quarantined`
+//!   ticks. Everything before the bad record is kept — prefix
+//!   durability is exactly what the per-record checksum buys.
+//!
+//! The `wal.append` failpoint fails an append before any byte is
+//! written (clean typed error, log unchanged); `wal.torn_tail` writes
+//! half a record and then errors, manufacturing the crash-mid-append
+//! state deterministically. Both are double-gated behind
+//! [`Budget::with_fault_injection`].
+
+use std::fs::{self, File, OpenOptions};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use repsim_graph::mutation::{self, MutationOp};
+use repsim_graph::Graph;
+use repsim_sparse::budget::failpoints;
+use repsim_sparse::{checksum, Budget};
+
+use repsim_obs::{CounterHandle, HistogramHandle};
+
+use crate::snapshot::graph_fingerprint;
+
+static WAL_APPENDS: CounterHandle = CounterHandle::new("repsim.graph.wal.appends");
+static WAL_BYTES: CounterHandle = CounterHandle::new("repsim.graph.wal.bytes");
+static WAL_REPLAYED: CounterHandle = CounterHandle::new("repsim.graph.wal.replayed");
+static WAL_TORN: CounterHandle = CounterHandle::new("repsim.graph.wal.torn_truncations");
+static WAL_QUARANTINED: CounterHandle = CounterHandle::new("repsim.graph.wal.quarantined");
+static WAL_APPEND_NS: HistogramHandle = HistogramHandle::new("repsim.graph.wal.append_ns");
+
+const MAGIC: &[u8; 8] = b"RSIMWAL1";
+/// Current log format version.
+pub const VERSION: u32 = 1;
+/// Fixed header size (magic + version + base fingerprint).
+pub const HEADER_LEN: usize = 20;
+/// Per-record prefix: body length (u32) + body checksum (u64).
+const RECORD_PREFIX: usize = 12;
+
+/// Errors from the log itself. Corruption found during recovery is
+/// *not* an error — it is repaired (truncate/quarantine) and reported
+/// in [`RecoveredLog`]; only environment failures surface here.
+#[derive(Debug)]
+pub enum WalError {
+    /// A filesystem operation failed.
+    Io {
+        /// The operation (`"append"`, `"truncate"`, …).
+        op: &'static str,
+        /// The log path.
+        path: PathBuf,
+        /// The OS error.
+        message: String,
+    },
+    /// The `wal.append` failpoint rejected the append before any byte
+    /// was written; the log and the in-memory state are unchanged.
+    Injected,
+    /// The `wal.torn_tail` failpoint wrote a partial record and then
+    /// simulated a crash; the tail will be truncated on recovery.
+    InjectedTorn,
+}
+
+impl std::fmt::Display for WalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WalError::Io { op, path, message } => {
+                write!(f, "wal {op} {}: {message}", path.display())
+            }
+            WalError::Injected => write!(f, "wal append rejected by failpoint"),
+            WalError::InjectedTorn => write!(f, "wal append torn mid-write by failpoint"),
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+fn io_err<'a>(op: &'static str, path: &'a Path) -> impl FnOnce(std::io::Error) -> WalError + 'a {
+    move |e| WalError::Io {
+        op,
+        path: path.to_path_buf(),
+        message: e.to_string(),
+    }
+}
+
+/// One replayed log record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WalRecord {
+    /// 1-based, gap-free sequence number.
+    pub seq: u64,
+    /// Graph fingerprint after the mutation applied.
+    pub fp_after: u64,
+    /// The mutation itself.
+    pub op: MutationOp,
+}
+
+/// An open, append-positioned log.
+#[derive(Debug)]
+pub struct Wal {
+    path: PathBuf,
+    file: File,
+    next_seq: u64,
+}
+
+/// What [`Wal::recover`] reconstructed.
+#[derive(Debug)]
+pub struct RecoveredLog {
+    /// The log, positioned for further appends.
+    pub wal: Wal,
+    /// The graph after replaying every valid record onto the boot graph.
+    pub graph: Graph,
+    /// Fingerprint of [`RecoveredLog::graph`].
+    pub fingerprint: u64,
+    /// Every record that replayed cleanly, in order.
+    pub records: Vec<WalRecord>,
+    /// A partial trailing record was truncated away.
+    pub torn_truncated: bool,
+    /// A corrupt suffix (or a foreign/corrupt whole file) was moved
+    /// aside; where it went.
+    pub quarantined_to: Option<PathBuf>,
+}
+
+fn header_bytes(base_fp: u64) -> Vec<u8> {
+    let mut h = Vec::with_capacity(HEADER_LEN);
+    h.extend_from_slice(MAGIC);
+    h.extend_from_slice(&VERSION.to_le_bytes());
+    h.extend_from_slice(&base_fp.to_le_bytes());
+    h
+}
+
+fn encode_record(seq: u64, fp_after: u64, op: &MutationOp) -> Vec<u8> {
+    let mut body = Vec::new();
+    body.extend_from_slice(&seq.to_le_bytes());
+    body.extend_from_slice(&fp_after.to_le_bytes());
+    op.encode_into(&mut body);
+    let mut rec = Vec::with_capacity(RECORD_PREFIX + body.len());
+    rec.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    rec.extend_from_slice(&checksum(&body).to_le_bytes());
+    rec.extend_from_slice(&body);
+    rec
+}
+
+fn le_u32(b: &[u8], at: usize) -> u32 {
+    let mut a = [0u8; 4];
+    if let Some(s) = b.get(at..at + 4) {
+        a.copy_from_slice(s);
+    }
+    u32::from_le_bytes(a)
+}
+
+fn le_u64(b: &[u8], at: usize) -> u64 {
+    let mut a = [0u8; 8];
+    if let Some(s) = b.get(at..at + 8) {
+        a.copy_from_slice(s);
+    }
+    u64::from_le_bytes(a)
+}
+
+fn duration_ns(start: Instant) -> u64 {
+    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// What the record-scan decided about the bytes from `pos` on.
+enum TailFate {
+    Clean,
+    Torn,
+    Corrupt(String),
+}
+
+impl Wal {
+    /// Creates a fresh log at `path` (header only), fsynced.
+    fn create(path: &Path, base_fp: u64) -> Result<Wal, WalError> {
+        let mut f = File::create(path).map_err(io_err("create", path))?;
+        f.write_all(&header_bytes(base_fp))
+            .map_err(io_err("write", path))?;
+        f.sync_all().map_err(io_err("fsync", path))?;
+        Ok(Wal {
+            path: path.to_path_buf(),
+            file: f,
+            next_seq: 1,
+        })
+    }
+
+    /// Opens (or creates) the log at `path` and replays it against the
+    /// boot graph `g`. Always returns a usable log: corruption is
+    /// repaired in place (truncation + quarantine), never fatal. A log
+    /// whose base fingerprint does not match `g` — or whose header is
+    /// unreadable — belongs to some other graph and is quarantined
+    /// whole; recovery then starts a fresh log.
+    pub fn recover(path: &Path, g: &Graph) -> Result<RecoveredLog, WalError> {
+        let mut span = repsim_obs::span("repsim.graph.wal.replay");
+        let base_fp = graph_fingerprint(g);
+        let bytes = match fs::read(path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                let wal = Wal::create(path, base_fp)?;
+                return Ok(RecoveredLog {
+                    wal,
+                    graph: g.clone(),
+                    fingerprint: base_fp,
+                    records: Vec::new(),
+                    torn_truncated: false,
+                    quarantined_to: None,
+                });
+            }
+            Err(e) => return Err(io_err("read", path)(e)),
+        };
+
+        let header_ok = bytes.len() >= HEADER_LEN
+            && bytes.get(..8).map(|m| m == MAGIC) == Some(true)
+            && le_u32(&bytes, 8) == VERSION
+            && le_u64(&bytes, 12) == base_fp;
+        if !header_ok {
+            // Foreign or mangled log: not ours to replay. Move it aside
+            // whole and start over from the boot graph.
+            let quarantined_to =
+                crate::quarantine::rotate_file(path).map_err(io_err("quarantine", path))?;
+            WAL_QUARANTINED.add(1);
+            repsim_obs::point(
+                "repsim.graph.wal.quarantine",
+                repsim_obs::Level::Warn,
+                format!(
+                    "log header invalid or base fingerprint mismatch; moved to {}",
+                    quarantined_to.display()
+                ),
+            );
+            let wal = Wal::create(path, base_fp)?;
+            return Ok(RecoveredLog {
+                wal,
+                graph: g.clone(),
+                fingerprint: base_fp,
+                records: Vec::new(),
+                torn_truncated: false,
+                quarantined_to: Some(quarantined_to),
+            });
+        }
+
+        // Scan records, replaying each onto the running graph. `pos`
+        // always marks the end of the last fully-validated record.
+        let mut graph = g.clone();
+        let mut fingerprint = base_fp;
+        let mut records: Vec<WalRecord> = Vec::new();
+        let mut pos = HEADER_LEN;
+        let mut expected_seq = 1u64;
+        let fate = loop {
+            let rest = bytes.get(pos..).unwrap_or(&[]);
+            if rest.is_empty() {
+                break TailFate::Clean;
+            }
+            if rest.len() < RECORD_PREFIX {
+                break TailFate::Torn;
+            }
+            let body_len = le_u32(rest, 0) as usize;
+            let declared_sum = le_u64(rest, 4);
+            let body = match rest.get(RECORD_PREFIX..RECORD_PREFIX + body_len) {
+                Some(b) => b,
+                None => break TailFate::Torn,
+            };
+            if checksum(body) != declared_sum {
+                break TailFate::Corrupt(format!("record {expected_seq}: checksum mismatch"));
+            }
+            if body.len() < 16 {
+                break TailFate::Corrupt(format!("record {expected_seq}: body too short"));
+            }
+            let seq = le_u64(body, 0);
+            let fp_after = le_u64(body, 8);
+            if seq != expected_seq {
+                break TailFate::Corrupt(format!(
+                    "sequence gap (expected {expected_seq}, found {seq})"
+                ));
+            }
+            let op_bytes = body.get(16..).unwrap_or(&[]);
+            let (op, used) = match MutationOp::decode(op_bytes) {
+                Ok(d) => d,
+                Err(e) => break TailFate::Corrupt(format!("record {seq}: {e}")),
+            };
+            if used != op_bytes.len() {
+                break TailFate::Corrupt(format!("record {seq}: trailing bytes in body"));
+            }
+            // Re-derive, don't trust: the mutation must apply and land
+            // on exactly the fingerprint that was acknowledged.
+            let next = match mutation::apply(&graph, &op) {
+                Ok(gn) => gn,
+                Err(e) => break TailFate::Corrupt(format!("record {seq}: replay failed: {e}")),
+            };
+            let fp = graph_fingerprint(&next);
+            if fp != fp_after {
+                break TailFate::Corrupt(format!(
+                    "record {seq}: fingerprint diverged (log {fp_after:#018x}, replay {fp:#018x})"
+                ));
+            }
+            graph = next;
+            fingerprint = fp;
+            records.push(WalRecord { seq, fp_after, op });
+            pos += RECORD_PREFIX + body_len;
+            expected_seq += 1;
+        };
+
+        let mut torn_truncated = false;
+        let mut quarantined_to = None;
+        match fate {
+            TailFate::Clean => {}
+            TailFate::Torn => {
+                torn_truncated = true;
+                WAL_TORN.add(1);
+                repsim_obs::point(
+                    "repsim.graph.wal.torn_tail",
+                    repsim_obs::Level::Warn,
+                    format!(
+                        "truncating {} torn byte(s) after record {}",
+                        bytes.len() - pos,
+                        expected_seq.saturating_sub(1)
+                    ),
+                );
+            }
+            TailFate::Corrupt(reason) => {
+                let tail = bytes.get(pos..).unwrap_or(&[]);
+                let dest = crate::quarantine::rotate_bytes(path, tail)
+                    .map_err(io_err("quarantine", path))?;
+                WAL_QUARANTINED.add(1);
+                repsim_obs::point(
+                    "repsim.graph.wal.quarantine",
+                    repsim_obs::Level::Warn,
+                    format!(
+                        "{reason}; {} suffix byte(s) moved to {}",
+                        tail.len(),
+                        dest.display()
+                    ),
+                );
+                quarantined_to = Some(dest);
+            }
+        }
+        if pos < bytes.len() {
+            let f = OpenOptions::new()
+                .write(true)
+                .open(path)
+                .map_err(io_err("open", path))?;
+            f.set_len(pos as u64).map_err(io_err("truncate", path))?;
+            f.sync_all().map_err(io_err("fsync", path))?;
+        }
+
+        let file = OpenOptions::new()
+            .append(true)
+            .open(path)
+            .map_err(io_err("open", path))?;
+        WAL_REPLAYED.add(records.len() as u64);
+        if span.is_active() {
+            span.attr("records", records.len());
+            span.attr("torn", u64::from(torn_truncated));
+        }
+        Ok(RecoveredLog {
+            wal: Wal {
+                path: path.to_path_buf(),
+                file,
+                next_seq: expected_seq,
+            },
+            graph,
+            fingerprint,
+            records,
+            torn_truncated,
+            quarantined_to,
+        })
+    }
+
+    /// The sequence number the next append will carry.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// The log's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one mutation (durably: write + fsync) and returns its
+    /// sequence number. This is the acknowledgment barrier: callers
+    /// must not report a mutation as applied until this returns `Ok`.
+    ///
+    /// `budget` gates the `wal.append` (reject cleanly before writing)
+    /// and `wal.torn_tail` (write half a record, then "crash")
+    /// failpoints.
+    pub fn append(
+        &mut self,
+        op: &MutationOp,
+        fp_after: u64,
+        budget: &Budget,
+    ) -> Result<u64, WalError> {
+        let start = Instant::now();
+        let mut span = repsim_obs::span("repsim.graph.wal.append");
+        if budget.injected(failpoints::WAL_APPEND) {
+            return Err(WalError::Injected);
+        }
+        let seq = self.next_seq;
+        let rec = encode_record(seq, fp_after, op);
+        if budget.injected(failpoints::WAL_TORN_TAIL) {
+            // Crash-mid-append simulation: half the record reaches the
+            // disk, the acknowledgment never happens. Recovery must
+            // truncate this tail.
+            let half = rec.get(..rec.len() / 2).unwrap_or(&rec);
+            self.file
+                .write_all(half)
+                .map_err(io_err("append", &self.path))?;
+            self.file.sync_all().map_err(io_err("fsync", &self.path))?;
+            return Err(WalError::InjectedTorn);
+        }
+        self.file
+            .write_all(&rec)
+            .map_err(io_err("append", &self.path))?;
+        self.file.sync_all().map_err(io_err("fsync", &self.path))?;
+        self.next_seq += 1;
+        WAL_APPENDS.add(1);
+        WAL_BYTES.add(rec.len() as u64);
+        WAL_APPEND_NS.record(duration_ns(start));
+        if span.is_active() {
+            span.attr("seq", seq);
+            span.attr("bytes", rec.len());
+        }
+        Ok(seq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use repsim_graph::{GraphBuilder, NodeRef};
+
+    fn base_graph() -> Graph {
+        let mut b = GraphBuilder::new();
+        let film = b.entity_label("film");
+        let actor = b.entity_label("actor");
+        let f0 = b.entity(film, "f0");
+        let f1 = b.entity(film, "f1");
+        let a0 = b.entity(actor, "a0");
+        b.edge(f0, a0).unwrap();
+        b.edge(f1, a0).unwrap();
+        b.build()
+    }
+
+    fn ops() -> Vec<MutationOp> {
+        let actor_b = NodeRef::Entity {
+            label: "actor".to_owned(),
+            value: "b0".to_owned(),
+        };
+        let f0 = NodeRef::Entity {
+            label: "film".to_owned(),
+            value: "f0".to_owned(),
+        };
+        let f1 = NodeRef::Entity {
+            label: "film".to_owned(),
+            value: "f1".to_owned(),
+        };
+        vec![
+            MutationOp::AddEntity {
+                label: "actor".to_owned(),
+                value: "b0".to_owned(),
+            },
+            MutationOp::AddEdge {
+                a: f0.clone(),
+                b: actor_b.clone(),
+            },
+            MutationOp::AddEdge { a: f1, b: actor_b },
+            MutationOp::RemoveEdge {
+                a: f0,
+                b: NodeRef::Entity {
+                    label: "actor".to_owned(),
+                    value: "a0".to_owned(),
+                },
+            },
+        ]
+    }
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("repsim-wal-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    /// Appends every op from `ops()` to a fresh log, returning the
+    /// final graph and its fingerprint.
+    fn populate(path: &Path, g: &Graph) -> (Graph, u64) {
+        let rec = Wal::recover(path, g).unwrap();
+        let mut wal = rec.wal;
+        let mut cur = rec.graph;
+        let mut fp = rec.fingerprint;
+        for op in ops() {
+            cur = mutation::apply(&cur, &op).unwrap();
+            fp = graph_fingerprint(&cur);
+            wal.append(&op, fp, &Budget::unlimited()).unwrap();
+        }
+        (cur, fp)
+    }
+
+    #[test]
+    fn append_replay_roundtrip_is_exact() {
+        let g = base_graph();
+        let dir = tmp_dir("roundtrip");
+        let path = dir.join("g.wal");
+        let (expect, expect_fp) = populate(&path, &g);
+
+        let rec = Wal::recover(&path, &g).unwrap();
+        assert_eq!(rec.records.len(), 4);
+        assert!(!rec.torn_truncated);
+        assert!(rec.quarantined_to.is_none());
+        assert_eq!(rec.fingerprint, expect_fp);
+        assert_eq!(rec.fingerprint, graph_fingerprint(&expect));
+        assert_eq!(rec.wal.next_seq(), 5);
+        assert_eq!(
+            rec.records.iter().map(|r| r.seq).collect::<Vec<_>>(),
+            vec![1, 2, 3, 4]
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_log_stays_usable() {
+        let g = base_graph();
+        let dir = tmp_dir("torn");
+        let path = dir.join("g.wal");
+        populate(&path, &g);
+        let full = fs::read(&path).unwrap();
+        // Sever the file mid-final-record, at several depths.
+        for cut in [full.len() - 1, full.len() - 10, full.len() - 20] {
+            fs::write(&path, &full[..cut]).unwrap();
+            let rec = Wal::recover(&path, &g).unwrap();
+            assert!(rec.torn_truncated, "cut at {cut}");
+            assert!(rec.quarantined_to.is_none());
+            assert_eq!(rec.records.len(), 3, "last record lost, prefix kept");
+            // The file was repaired: a second recovery is clean.
+            let again = Wal::recover(&path, &g).unwrap();
+            assert!(!again.torn_truncated);
+            assert_eq!(again.records.len(), 3);
+            // And the log still accepts appends after repair.
+            let mut wal = again.wal;
+            let op = ops().remove(3);
+            let next = mutation::apply(&again.graph, &op).unwrap();
+            wal.append(&op, graph_fingerprint(&next), &Budget::unlimited())
+                .unwrap();
+            let healed = Wal::recover(&path, &g).unwrap();
+            assert_eq!(healed.records.len(), 4);
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_suffix_is_quarantined_prefix_survives() {
+        let g = base_graph();
+        let dir = tmp_dir("corrupt");
+        let path = dir.join("g.wal");
+        populate(&path, &g);
+        let full = fs::read(&path).unwrap();
+        // Flip a byte inside the second record's body: records 1 keeps,
+        // 2.. quarantined. Record 1 starts at HEADER_LEN; find record 2.
+        let r1_body = le_u32(&full, HEADER_LEN) as usize;
+        let r2_at = HEADER_LEN + RECORD_PREFIX + r1_body;
+        let mut bad = full.clone();
+        bad[r2_at + RECORD_PREFIX + 3] ^= 0x40;
+        fs::write(&path, &bad).unwrap();
+
+        let rec = Wal::recover(&path, &g).unwrap();
+        assert_eq!(rec.records.len(), 1, "only the intact prefix replays");
+        let dest = rec.quarantined_to.expect("suffix quarantined");
+        assert!(dest.exists());
+        assert_eq!(fs::read(&dest).unwrap(), &bad[r2_at..]);
+        assert_eq!(fs::read(&path).unwrap().len(), r2_at);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn foreign_log_is_quarantined_whole() {
+        let g = base_graph();
+        let dir = tmp_dir("foreign");
+        let path = dir.join("g.wal");
+        populate(&path, &g);
+        // Recover against a *different* graph: base fingerprint
+        // mismatch, whole file moved aside, fresh log started.
+        let mut b = GraphBuilder::new();
+        let l = b.entity_label("thing");
+        b.entity(l, "only");
+        let g2 = b.build();
+        let rec = Wal::recover(&path, &g2).unwrap();
+        assert!(rec.records.is_empty());
+        assert!(rec.quarantined_to.is_some());
+        assert_eq!(rec.fingerprint, graph_fingerprint(&g2));
+        // The fresh log is a bare header for g2.
+        let fresh = fs::read(&path).unwrap();
+        assert_eq!(fresh.len(), HEADER_LEN);
+        assert_eq!(le_u64(&fresh, 12), graph_fingerprint(&g2));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn append_failpoints_are_double_gated() {
+        let g = base_graph();
+        let dir = tmp_dir("failpoints");
+        let path = dir.join("g.wal");
+        let rec = Wal::recover(&path, &g).unwrap();
+        let mut wal = rec.wal;
+        let op = ops().remove(0);
+        let next = mutation::apply(&g, &op).unwrap();
+        let fp = graph_fingerprint(&next);
+
+        let _guard = failpoints::scoped(&[failpoints::WAL_APPEND]);
+        // Armed but the budget does not opt in: append succeeds.
+        wal.append(&op, fp, &Budget::unlimited()).unwrap();
+        let len_after_ok = fs::read(&path).unwrap().len();
+        // Armed and opted in: clean rejection, not one byte written.
+        let inject = Budget::unlimited().with_fault_injection();
+        match wal.append(&op, fp, &inject) {
+            Err(WalError::Injected) => {}
+            other => panic!("expected injected rejection, got {other:?}"),
+        }
+        assert_eq!(fs::read(&path).unwrap().len(), len_after_ok);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_failpoint_manufactures_a_recoverable_tear() {
+        let g = base_graph();
+        let dir = tmp_dir("torn-fp");
+        let path = dir.join("g.wal");
+        let rec = Wal::recover(&path, &g).unwrap();
+        let mut wal = rec.wal;
+        let op = ops().remove(0);
+        let next = mutation::apply(&g, &op).unwrap();
+        let fp = graph_fingerprint(&next);
+
+        {
+            let _guard = failpoints::scoped(&[failpoints::WAL_TORN_TAIL]);
+            let inject = Budget::unlimited().with_fault_injection();
+            match wal.append(&op, fp, &inject) {
+                Err(WalError::InjectedTorn) => {}
+                other => panic!("expected torn append, got {other:?}"),
+            }
+        }
+        assert!(
+            fs::read(&path).unwrap().len() > HEADER_LEN,
+            "partial record reached the disk"
+        );
+        // The unacknowledged half-record must vanish on recovery.
+        let rec = Wal::recover(&path, &g).unwrap();
+        assert!(rec.torn_truncated);
+        assert!(rec.records.is_empty());
+        assert_eq!(rec.fingerprint, graph_fingerprint(&g));
+        assert_eq!(fs::read(&path).unwrap().len(), HEADER_LEN);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -338,6 +338,16 @@ pub mod failpoints {
     /// Stalls a serve worker mid-request, backing up the bounded queue so
     /// admission control (shedding, breaker) can be driven in tests.
     pub const SERVE_SLOW_WORKER: &str = "serve.slow_worker";
+    /// Makes a write-ahead-log append fail before any bytes reach the
+    /// file: the mutation is rejected cleanly and the log is unchanged.
+    pub const WAL_APPEND: &str = "wal.append";
+    /// Makes a write-ahead-log append write only a prefix of the record
+    /// and then fail, simulating a crash mid-append; recovery must detect
+    /// the torn tail and truncate it.
+    pub const WAL_TORN_TAIL: &str = "wal.torn_tail";
+    /// Makes the incremental commuting-matrix delta path report failure,
+    /// forcing the caller onto its rebuild/evict fallback.
+    pub const DELTA_APPLY: &str = "delta.apply";
 
     /// 0 = uninitialized, 1 = known off, 2 = possibly armed.
     static STATE: AtomicU8 = AtomicU8::new(0);

@@ -43,6 +43,30 @@ proptest! {
         let _ = io::read(&input);
     }
 
+    /// CRLF line endings and byte-level truncation — what a partially
+    /// transferred or Windows-authored file looks like — must produce a
+    /// parse or a typed error, never a panic.
+    #[test]
+    fn parser_survives_crlf_and_truncation(
+        lines in prop::collection::vec(
+            prop_oneof![
+                Just("label a entity".to_owned()),
+                Just("label r relationship".to_owned()),
+                "node [0-9]{1,2} a v[0-9]{1,3}",
+                "edge [0-9]{1,2} [0-9]{1,2}",
+                "\\PC{0,30}",
+            ],
+            0..12,
+        ),
+        cut in 0usize..4096,
+    ) {
+        let crlf = lines.join("\r\n");
+        let _ = io::read(&crlf);
+        let bytes = crlf.as_bytes();
+        let cut = cut % (bytes.len() + 1);
+        let _ = io::read(&String::from_utf8_lossy(&bytes[..cut]));
+    }
+
     #[test]
     fn successful_parses_roundtrip(
         lines in prop::collection::vec(

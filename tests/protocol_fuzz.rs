@@ -1,0 +1,133 @@
+//! Fuzz-style robustness of the serve JSON request parser: arbitrary
+//! bytes, truncated frames, and CRLF line endings must never panic —
+//! every malformed input is a typed `Err(String)`, every well-formed
+//! request parses, and a truncation of a valid frame is rejected
+//! cleanly rather than misparsed.
+
+// Tests may panic freely: the workspace panic-freedom lints target
+// library code, not assertions.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::indexing_slicing
+)]
+
+use proptest::prelude::*;
+use repsim_serve::Request;
+
+/// A generator of syntactically valid request lines across every op the
+/// wire protocol knows, with fuzzable field content.
+fn valid_request() -> impl Strategy<Value = String> {
+    let ident = "[a-z][a-z0-9_]{0,10}";
+    prop_oneof![
+        Just(r#"{"id":1,"op":"ping"}"#.to_owned()),
+        Just(r#"{"id":2,"op":"stats"}"#.to_owned()),
+        Just(r#"{"id":3,"op":"snapshot"}"#.to_owned()),
+        Just(r#"{"id":4,"op":"shutdown"}"#.to_owned()),
+        (ident, ident, ident, 1u32..50).prop_map(|(w, l, v, k)| {
+            format!(
+                r#"{{"id":5,"op":"rank","walk":"{w} {l} {w}","label":"{w}","value":"{v}","k":{k}}}"#
+            )
+        }),
+        (ident, ident).prop_map(|(l, v)| {
+            format!(r#"{{"id":6,"op":"mutate","action":"add_entity","label":"{l}","value":"{v}"}}"#)
+        }),
+        (ident, ident, ident, 0usize..99).prop_map(|(la, va, lb, i)| {
+            format!(
+                r#"{{"id":7,"op":"mutate","action":"add_edge","a":"{la}:{va}","b":"{lb}:#{i}"}}"#
+            )
+        }),
+        (ident, ident, ident, ident).prop_map(|(la, va, lb, vb)| {
+            format!(
+                r#"{{"id":8,"op":"mutate","action":"remove_edge","a":"{la}:{va}","b":"{lb}:{vb}"}}"#
+            )
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary printable garbage: a typed error or a parse, never a
+    /// panic.
+    #[test]
+    fn request_parser_never_panics(input in "\\PC{0,300}") {
+        let _ = Request::parse(&input);
+    }
+
+    /// JSON-shaped garbage — braces, quotes, colons, partial keywords —
+    /// the worst case for a hand-rolled scanner.
+    #[test]
+    fn request_parser_survives_json_shaped_noise(
+        tokens in prop::collection::vec(
+            prop_oneof![
+                Just("{".to_owned()), Just("}".to_owned()),
+                Just("[".to_owned()), Just("]".to_owned()),
+                Just(":".to_owned()), Just(",".to_owned()),
+                Just("\"".to_owned()), Just("\\".to_owned()),
+                Just("op".to_owned()), Just("mutate".to_owned()),
+                Just("null".to_owned()), Just("tru".to_owned()),
+                Just("-1e999".to_owned()), Just("\u{7f}".to_owned()),
+                "\\PC{0,6}",
+            ],
+            0..40,
+        )
+    ) {
+        let _ = Request::parse(&tokens.concat());
+    }
+
+    /// Well-formed frames parse; every byte-level truncation of one is a
+    /// typed error (or, for prefixes that happen to close a smaller
+    /// valid object, a clean parse) — never a panic.
+    #[test]
+    fn valid_requests_parse_and_truncations_fail_cleanly(line in valid_request()) {
+        prop_assert!(Request::parse(&line).is_ok(), "{line}");
+        let bytes = line.as_bytes();
+        for cut in 0..bytes.len() {
+            let prefix = String::from_utf8_lossy(&bytes[..cut]);
+            let _ = Request::parse(&prefix);
+        }
+    }
+
+    /// CRLF and stray-whitespace framing: the parser sees lines exactly
+    /// as a network reader hands them over, trailing `\r` included.
+    #[test]
+    fn crlf_and_padding_never_panic(line in valid_request(), pad in "[ \t]{0,3}") {
+        for framed in [
+            format!("{line}\r"),
+            format!("{line}\r\n"),
+            format!("{pad}{line}{pad}"),
+            format!("\u{feff}{line}"),
+        ] {
+            let _ = Request::parse(&framed);
+        }
+    }
+}
+
+/// Malformed mutate requests come back as typed errors naming the
+/// offending field — the contract the serve error envelope relies on.
+#[test]
+fn mutate_field_errors_are_typed_and_specific() {
+    for (line, needle) in [
+        (r#"{"op":"mutate"}"#, "action"),
+        (r#"{"op":"mutate","action":"add_entity"}"#, "label"),
+        (
+            r#"{"op":"mutate","action":"add_entity","label":"a"}"#,
+            "value",
+        ),
+        (r#"{"op":"mutate","action":"add_edge","a":"x:1"}"#, "b"),
+        (
+            r#"{"op":"mutate","action":"add_edge","a":"nocolon","b":"x:1"}"#,
+            "a",
+        ),
+        (r#"{"op":"mutate","action":"explode"}"#, "explode"),
+        (
+            r#"{"op":"mutate","action":"add_entity","label":"a","value":"v","deadline_ms":-3}"#,
+            "deadline_ms",
+        ),
+    ] {
+        let err = Request::parse(line).expect_err(line);
+        assert!(err.contains(needle), "{line} -> {err}");
+    }
+}

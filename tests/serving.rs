@@ -283,6 +283,7 @@ fn overload_burst_answers_typed_overloaded() {
     let cfg = ServeConfig {
         addr: "127.0.0.1:0".to_owned(),
         snapshot: None,
+        wal: None,
         queue_cap: 1,
         port_file: Some(port_file.clone()),
         service: ServiceConfig {

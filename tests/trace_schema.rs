@@ -151,3 +151,73 @@ fn trace_out_lines_conform_to_the_schema() {
         "the budgeted tier announcement must appear: {event_names:?}"
     );
 }
+
+/// The `profile --mutate` leg's observability contract: the WAL and
+/// incremental-maintenance span and metric names below are pinned —
+/// dashboards and the CI recovery drill key on them, so renaming any of
+/// these is a breaking change that must show up here.
+#[test]
+fn profile_mutate_trace_pins_wal_and_delta_names() {
+    let _x = repsim_obs::exclusive();
+    let dir = std::env::temp_dir().join("repsim-trace-schema-test");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let graph = dir.join("mutate.graph").to_string_lossy().into_owned();
+    let wal = dir.join("mutate.wal").to_string_lossy().into_owned();
+    let trace = dir
+        .join("mutate.trace.jsonl")
+        .to_string_lossy()
+        .into_owned();
+    run(&format!(
+        "generate --dataset movies --scale tiny --out {graph}"
+    ));
+    let _ = std::fs::remove_file(&wal);
+    run(&format!(
+        "profile {graph} --meta-walk=film~actor~film --query film:film00000 -k 3 \
+         --mutate --wal {wal} --trace-out {trace}"
+    ));
+
+    let text = std::fs::read_to_string(&trace).expect("trace file");
+    let lines: Vec<&str> = text.lines().collect();
+    let mut span_names = Vec::new();
+    let mut counters = Vec::new();
+    for line in &lines {
+        let obj = json::parse(line).expect("trace line parses");
+        match string(&obj, "type") {
+            "span_end" => span_names.push(string(&obj, "name").to_owned()),
+            "metrics" => {
+                let section = obj
+                    .get("metrics")
+                    .and_then(|m| m.get("counters"))
+                    .expect("counters section");
+                if let Some(entries) = section.as_obj() {
+                    counters.extend(entries.keys().cloned());
+                }
+            }
+            _ => {}
+        }
+    }
+    // Pinned span names: one per leg phase (append → replay → delta-apply).
+    for span in [
+        "repsim.graph.wal.append",
+        "repsim.graph.wal.replay",
+        "repsim.metawalk.delta.apply",
+    ] {
+        assert!(
+            span_names.iter().any(|n| n == span),
+            "missing pinned span {span} in {span_names:?}"
+        );
+    }
+    // Pinned metric names: the WAL and delta counters the leg must move.
+    for counter in [
+        "repsim.graph.wal.appends",
+        "repsim.graph.wal.bytes",
+        "repsim.graph.wal.replayed",
+        "repsim.cache.delta.applied",
+        "repsim.cache.delta.rebuilds",
+    ] {
+        assert!(
+            counters.iter().any(|n| n == counter),
+            "missing pinned counter {counter} in {counters:?}"
+        );
+    }
+}
