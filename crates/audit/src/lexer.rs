@@ -1,0 +1,520 @@
+//! A hand-rolled Rust lexer, just deep enough for auditing.
+//!
+//! The rule passes in [`crate::rules`] reason about *token streams*, not
+//! text: a `loop` inside a string literal or a `Mutex` named in a doc
+//! comment must never trigger a diagnostic. This scanner therefore
+//! handles exactly the lexical features that can hide tokens —
+//!
+//! * `//` line comments (including `///` and `//!` doc comments),
+//! * nested `/* */` block comments,
+//! * string literals with escapes (`"..."`, `b"..."`),
+//! * raw strings with any hash arity (`r"..."`, `r#"..."#`, `br##"..."##`),
+//! * char and byte-char literals (`'x'`, `'\n'`, `b'\''`) versus
+//!   lifetimes (`'a`, `'static`) and the loop-label quote,
+//!
+//! — and deliberately nothing else. No keywords table, no operator
+//! gluing: idents, string contents, numbers and single punctuation
+//! characters come out with 1-based line numbers, which is all the rule
+//! engine needs (consistent with the workspace's no-`syn` vendored-shim
+//! policy).
+//!
+//! Comments are not discarded entirely: `// audit:allow(RA0101, reason)`
+//! suppression directives are harvested and attached to both the line the
+//! comment sits on and the line of the next code token, so a trailing
+//! same-line comment and a comment on the line above a loop both work.
+
+/// What one token is.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (the lexer does not distinguish).
+    Ident,
+    /// A string/char literal; `text` holds the *content* (no quotes,
+    /// escapes left as written).
+    Str,
+    /// A numeric literal.
+    Num,
+    /// One punctuation character, in `text`.
+    Punct,
+}
+
+/// One token with its 1-based source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Tok {
+    /// Classification.
+    pub kind: TokKind,
+    /// The token text (content only, for `Str`).
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+}
+
+impl Tok {
+    /// Whether this is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Whether this is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+}
+
+/// One `audit:allow(CODE, reason)` suppression harvested from a comment.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Allow {
+    /// The suppressed diagnostic code, e.g. `"RA0101"`.
+    pub code: String,
+    /// The justification text after the comma (may be empty — the rule
+    /// that consumes the allow decides whether to demand one).
+    pub reason: String,
+    /// Line the comment itself sits on.
+    pub comment_line: u32,
+    /// Line of the first code token after the comment (0 when the
+    /// comment is the last thing in the file).
+    pub effective_line: u32,
+}
+
+/// A lexed source file: the token stream plus harvested suppressions.
+#[derive(Clone, Debug, Default)]
+pub struct Lexed {
+    /// All code tokens in order.
+    pub tokens: Vec<Tok>,
+    /// All `audit:allow` directives.
+    pub allows: Vec<Allow>,
+}
+
+impl Lexed {
+    /// Whether an allow for `code` covers `line` (the comment's own line
+    /// or the first code line after it).
+    pub fn allowed(&self, code: &str, line: u32) -> bool {
+        self.allows
+            .iter()
+            .any(|a| a.code == code && (a.comment_line == line || a.effective_line == line))
+    }
+}
+
+/// Lexes `src`. Never fails: unterminated literals or comments consume
+/// to end-of-file (auditing runs over sources that already compile, and
+/// over fixture files where graceful degradation beats a panic).
+pub fn lex(src: &str) -> Lexed {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Lexed::default(),
+        pending_allows: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Lexed,
+    /// Allows whose `effective_line` is still unknown (no code token
+    /// has followed their comment yet).
+    pending_allows: Vec<Allow>,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32) {
+        for mut a in self.pending_allows.drain(..) {
+            a.effective_line = line;
+            self.out.allows.push(a);
+        }
+        self.out.tokens.push(Tok { kind, text, line });
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek(0) {
+            match c {
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => self.string(),
+                '\'' => self.quote(),
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                c if is_ident_start(c) => self.ident_or_prefixed(),
+                c if c.is_ascii_digit() => self.number(),
+                _ => {
+                    let line = self.line;
+                    let c = self.bump().unwrap_or(' ');
+                    self.push(TokKind::Punct, c.to_string(), line);
+                }
+            }
+        }
+        // Comments with no code after them: effective_line stays 0.
+        let trailing = std::mem::take(&mut self.pending_allows);
+        self.out.allows.extend(trailing);
+        self.out
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        // `///` and `//!` are documentation: an `audit:allow` written
+        // there is an example being *described*, not a directive. The
+        // `//` itself is still unconsumed here, so the marker is at
+        // offset 2.
+        let doc = matches!(self.peek(2), Some('/' | '!'));
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        if !doc {
+            self.harvest_allow(&text, line);
+        }
+    }
+
+    fn block_comment(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        self.bump();
+        self.bump(); // consume "/*"
+                     // `/**` (not `/**/`) and `/*!` are documentation — see above.
+        let doc =
+            self.peek(0) == Some('!') || (self.peek(0) == Some('*') && self.peek(1) != Some('/'));
+        let mut depth = 1usize;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                self.bump();
+                self.bump();
+                text.push_str("/*");
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+                text.push_str("*/");
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        if !doc {
+            self.harvest_allow(&text, line);
+        }
+    }
+
+    /// Extracts `audit:allow(CODE)` / `audit:allow(CODE, reason)` from
+    /// one comment's text.
+    fn harvest_allow(&mut self, text: &str, comment_line: u32) {
+        let mut rest = text;
+        while let Some(at) = rest.find("audit:allow(") {
+            let after = &rest[at + "audit:allow(".len()..];
+            let Some(close) = after.find(')') else { break };
+            let inner = &after[..close];
+            let (code, reason) = match inner.split_once(',') {
+                Some((c, r)) => (c.trim(), r.trim()),
+                None => (inner.trim(), ""),
+            };
+            if !code.is_empty() {
+                self.pending_allows.push(Allow {
+                    code: code.to_owned(),
+                    reason: reason.to_owned(),
+                    comment_line,
+                    effective_line: 0,
+                });
+            }
+            rest = &after[close..];
+        }
+    }
+
+    fn string(&mut self) {
+        let line = self.line;
+        self.bump(); // opening quote
+        let mut text = String::new();
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    if let Some(e) = self.bump() {
+                        text.push('\\');
+                        text.push(e);
+                    }
+                }
+                '"' => break,
+                _ => text.push(c),
+            }
+        }
+        self.push(TokKind::Str, text, line);
+    }
+
+    /// `'` starts a char literal, a lifetime, or a loop label. A char
+    /// literal closes with `'` after one (possibly escaped) character; a
+    /// lifetime is `'` + ident with no closing quote.
+    fn quote(&mut self) {
+        let line = self.line;
+        self.bump(); // the quote
+        match self.peek(0) {
+            Some('\\') => {
+                // Escaped char literal: consume escape + closing quote.
+                self.bump();
+                let mut text = String::from("\\");
+                if let Some(e) = self.bump() {
+                    text.push(e);
+                }
+                if self.peek(0) == Some('\'') {
+                    self.bump();
+                }
+                self.push(TokKind::Str, text, line);
+            }
+            Some(c) if is_ident_start(c) && self.peek(1) != Some('\'') => {
+                // Lifetime or label: consume the identifier, emit nothing
+                // (rules never key on lifetimes).
+                while let Some(c) = self.peek(0) {
+                    if is_ident_continue(c) {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+            }
+            Some(c) => {
+                // Plain char literal 'x' (or the degenerate '' — tolerate).
+                self.bump();
+                if self.peek(0) == Some('\'') {
+                    self.bump();
+                }
+                self.push(TokKind::Str, c.to_string(), line);
+            }
+            None => {}
+        }
+    }
+
+    /// An identifier — unless it prefixes a raw/byte string (`r"`,
+    /// `r#"`, `b"`, `br#"`, …), which is consumed as a string literal.
+    fn ident_or_prefixed(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if is_ident_continue(c) {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let raw_capable = matches!(text.as_str(), "r" | "br");
+        let byte_str = text == "b";
+        match self.peek(0) {
+            Some('"') if raw_capable => self.raw_string(0, line),
+            Some('"') if byte_str => self.string(),
+            Some('#') if raw_capable => {
+                let mut hashes = 0usize;
+                while self.peek(hashes) == Some('#') {
+                    hashes += 1;
+                }
+                if self.peek(hashes) == Some('"') {
+                    for _ in 0..hashes {
+                        self.bump();
+                    }
+                    self.raw_string(hashes, line);
+                } else {
+                    // `r#ident` raw identifier: emit the ident sans prefix.
+                    self.push(TokKind::Ident, text, line);
+                }
+            }
+            _ => self.push(TokKind::Ident, text, line),
+        }
+    }
+
+    /// Consumes `"..."#*hashes` with no escape processing.
+    fn raw_string(&mut self, hashes: usize, line: u32) {
+        self.bump(); // opening quote
+        let mut text = String::new();
+        while let Some(c) = self.bump() {
+            if c == '"' {
+                let mut seen = 0usize;
+                while seen < hashes && self.peek(seen) == Some('#') {
+                    seen += 1;
+                }
+                if seen == hashes {
+                    for _ in 0..hashes {
+                        self.bump();
+                    }
+                    break;
+                }
+                text.push('"');
+            } else {
+                text.push(c);
+            }
+        }
+        self.push(TokKind::Str, text, line);
+    }
+
+    fn number(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            // Good enough for auditing: digits, underscores, hex/float
+            // letters and the dot glue into one numeric token.
+            if c.is_ascii_alphanumeric() || c == '_' || c == '.' {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Num, text, line);
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_hide_tokens() {
+        let src = "fn a() {} // loop while Mutex\n/* for x in y { Mutex } */ fn b() {}";
+        let ids = idents(src);
+        assert_eq!(ids, ["fn", "a", "fn", "b"]);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner loop */ still comment */ fn c() {}";
+        assert_eq!(idents(src), ["fn", "c"]);
+    }
+
+    #[test]
+    fn strings_hide_tokens_and_keep_content() {
+        let lexed = lex(r#"let s = "loop { Mutex }"; let t = 'x';"#);
+        let strs: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Str)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(strs, ["loop { Mutex }", "x"]);
+        assert!(!lexed.tokens.iter().any(|t| t.is_ident("loop")));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let lexed = lex(r###"let s = r#"a "quoted" loop"#; fn d() {}"###);
+        let strs: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Str)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(strs, [r#"a "quoted" loop"#]);
+        assert!(lexed.tokens.iter().any(|t| t.is_ident("d")));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lexed = lex("fn f<'a>(x: &'a str) -> &'static str { x }");
+        assert!(lexed.tokens.iter().all(|t| t.kind != TokKind::Str));
+        assert!(lexed.tokens.iter().any(|t| t.is_ident("str")));
+    }
+
+    #[test]
+    fn escaped_quote_char_literal() {
+        let lexed = lex(r"let q = '\''; let n = '\n'; fn e() {}");
+        assert!(lexed.tokens.iter().any(|t| t.is_ident("e")));
+        let strs = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Str)
+            .count();
+        assert_eq!(strs, 2);
+    }
+
+    #[test]
+    fn allow_directives_attach_to_comment_and_next_code_line() {
+        let src = "fn f() {\n    // audit:allow(RA0101, bounded pre-pass)\n    for x in y {}\n}";
+        let lexed = lex(src);
+        assert_eq!(lexed.allows.len(), 1);
+        let a = &lexed.allows[0];
+        assert_eq!(a.code, "RA0101");
+        assert_eq!(a.reason, "bounded pre-pass");
+        assert_eq!(a.comment_line, 2);
+        assert_eq!(a.effective_line, 3);
+        assert!(lexed.allowed("RA0101", 3));
+        assert!(lexed.allowed("RA0101", 2));
+        assert!(!lexed.allowed("RA0101", 4));
+        assert!(!lexed.allowed("RA0502", 3));
+    }
+
+    #[test]
+    fn trailing_same_line_allow_covers_its_own_line() {
+        let src = "for x in y {} // audit:allow(RA0101, tiny)\n";
+        let lexed = lex(src);
+        assert!(lexed.allowed("RA0101", 1));
+    }
+
+    #[test]
+    fn doc_comments_do_not_harvest_allows() {
+        let src = "/// use audit:allow(RA0101, why) to suppress\n\
+                   //! audit:allow(RA0501, example)\n\
+                   /** audit:allow(RA0202, x) */\n\
+                   /*! audit:allow(RA0203, x) */\n\
+                   fn f() {}\n\
+                   // audit:allow(RA0102, a real directive)\n\
+                   fn g() {}";
+        let lexed = lex(src);
+        assert_eq!(lexed.allows.len(), 1, "{:?}", lexed.allows);
+        assert_eq!(lexed.allows[0].code, "RA0102");
+    }
+
+    #[test]
+    fn empty_block_comment_is_not_a_doc_comment() {
+        // `/**/` must not trip the doc heuristic or swallow input.
+        let src = "/**/ fn h() {} /* audit:allow(RA0101, plain block) */ loop {}";
+        let lexed = lex(src);
+        assert!(lexed.tokens.iter().any(|t| t.is_ident("h")));
+        assert_eq!(lexed.allows.len(), 1);
+    }
+
+    #[test]
+    fn line_numbers_advance_through_multiline_literals() {
+        let src = "let a = \"line\nline\nline\";\nfn g() {}";
+        let lexed = lex(src);
+        let g = lexed
+            .tokens
+            .iter()
+            .find(|t| t.is_ident("g"))
+            .expect("g token");
+        assert_eq!(g.line, 4);
+    }
+}

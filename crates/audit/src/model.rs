@@ -1,0 +1,939 @@
+//! A deterministic schedule model checker for the serve layer's
+//! concurrency protocols.
+//!
+//! TSan and stress tests sample interleavings; this module *enumerates*
+//! them. Each scenario abstracts one protocol from the serve layer into
+//! a small explicit-state transition system — a `Clone + Eq + Hash`
+//! state plus a table of guarded [`Step`]s — and the [`Explorer`] walks
+//! every schedule up to a preemption bound (CHESS-style: a context
+//! switch away from a still-runnable actor costs one preemption;
+//! switching off a blocked actor is free). Empirically, almost all
+//! real concurrency bugs manifest within two preemptions, so a clean
+//! exhaustive pass at bound 2–3 is strong evidence, and the bounded
+//! state space stays small enough to run in CI on every push.
+//!
+//! Checked properties, per schedule prefix:
+//!
+//! * **no deadlock** — some step is enabled unless every actor ran to
+//!   completion;
+//! * **no torn epoch** — any observed `(fp, seq)` pair is coherent, and
+//!   a ranker holding the state lock never sees the cache tag disagree
+//!   with the epoch fingerprint;
+//! * **queue close/drain** — closing loses no admitted work: at
+//!   quiescence everything pushed was popped exactly once;
+//! * **breaker-class isolation** — tripping the rank breaker is
+//!   invisible to the mutate class.
+//!
+//! The scenarios mirror `repsim-serve`'s code shape (same lock set,
+//! same acquisition order, same publish points) but are hand-abstracted
+//! — the lexical `RA05xx` rule keeps the real source tied to the same
+//! declared order the models encode. Seeded-bug variants of each model
+//! (torn two-step publish, lock inversion, unlocked cache update,
+//! cross-class write) live in the tests and MUST be caught; they pin
+//! the checker's detection power, not just its acceptance.
+
+use std::collections::HashSet;
+use std::hash::Hash;
+
+/// One guarded transition of one actor.
+pub struct Step<S> {
+    /// Schedule-trace label, e.g. `"mutator: publish epoch"`.
+    pub name: &'static str,
+    /// Owning actor index (for preemption accounting).
+    pub actor: usize,
+    /// Whether the step can fire in `S` (lock free, guard true, pc
+    /// matches).
+    pub enabled: fn(&S) -> bool,
+    /// Fires the step.
+    pub apply: fn(&mut S),
+}
+
+/// Why exploration stopped.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// No step enabled, yet some actor has not finished.
+    Deadlock,
+    /// An invariant failed; the payload says which.
+    Invariant(String),
+}
+
+/// A counterexample: what failed plus the schedule that reaches it.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// Deadlock or named invariant failure.
+    pub kind: ViolationKind,
+    /// Step names from the initial state to the bad state.
+    pub trace: Vec<&'static str>,
+}
+
+/// Exploration accounting for the report.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Stats {
+    /// Distinct `(state, last actor, preemptions left)` nodes expanded.
+    pub states: usize,
+    /// Maximal schedules that ran every actor to completion.
+    pub schedules: usize,
+}
+
+/// Bounded-preemption DFS over a scenario's schedules.
+pub struct Explorer<'a, S> {
+    /// The transition table.
+    pub steps: &'a [Step<S>],
+    /// `None` when `S` is healthy, `Some(why)` otherwise. Checked at
+    /// every state, including intermediate ones.
+    pub invariant: fn(&S) -> Option<String>,
+    /// Whether every actor has run to completion.
+    pub done: fn(&S) -> bool,
+    /// Max context switches away from a still-enabled actor per
+    /// schedule.
+    pub preemption_bound: usize,
+}
+
+impl<S: Clone + Eq + Hash> Explorer<'_, S> {
+    /// Explores every schedule from `init` within the preemption
+    /// bound. `Ok` means the full bounded space is violation-free.
+    pub fn explore(&self, init: S) -> Result<Stats, Violation> {
+        let mut visited: HashSet<(S, usize, usize)> = HashSet::new();
+        let mut stats = Stats::default();
+        let mut trace: Vec<&'static str> = Vec::new();
+        self.dfs(
+            init,
+            usize::MAX,
+            self.preemption_bound,
+            &mut visited,
+            &mut stats,
+            &mut trace,
+        )?;
+        Ok(stats)
+    }
+
+    fn dfs(
+        &self,
+        s: S,
+        last_actor: usize,
+        preemptions_left: usize,
+        visited: &mut HashSet<(S, usize, usize)>,
+        stats: &mut Stats,
+        trace: &mut Vec<&'static str>,
+    ) -> Result<(), Violation> {
+        if let Some(why) = (self.invariant)(&s) {
+            return Err(Violation {
+                kind: ViolationKind::Invariant(why),
+                trace: trace.clone(),
+            });
+        }
+        if !visited.insert((s.clone(), last_actor, preemptions_left)) {
+            return Ok(());
+        }
+        stats.states += 1;
+
+        let enabled: Vec<&Step<S>> = self.steps.iter().filter(|st| (st.enabled)(&s)).collect();
+        if enabled.is_empty() {
+            if (self.done)(&s) {
+                stats.schedules += 1;
+                return Ok(());
+            }
+            return Err(Violation {
+                kind: ViolationKind::Deadlock,
+                trace: trace.clone(),
+            });
+        }
+        let last_still_runnable = enabled.iter().any(|st| st.actor == last_actor);
+        for step in &enabled {
+            let preempts =
+                last_actor != usize::MAX && step.actor != last_actor && last_still_runnable;
+            let budget = if preempts {
+                match preemptions_left.checked_sub(1) {
+                    Some(b) => b,
+                    None => continue, // over the bound: prune this switch
+                }
+            } else {
+                preemptions_left
+            };
+            let mut next = s.clone();
+            (step.apply)(&mut next);
+            trace.push(step.name);
+            let r = self.dfs(next, step.actor, budget, visited, stats, trace);
+            trace.pop();
+            r?;
+        }
+        Ok(())
+    }
+}
+
+/// Result of checking one scenario.
+#[derive(Clone, Debug)]
+pub struct ModelReport {
+    /// Scenario name as shown in `repsim audit --schedules` output.
+    pub scenario: &'static str,
+    /// Exploration size, for the report.
+    pub stats: Stats,
+}
+
+/// Runs every serve-layer scenario at `preemption_bound`; the first
+/// counterexample aborts with its scenario name.
+pub fn run_all(preemption_bound: usize) -> Result<Vec<ModelReport>, (&'static str, Violation)> {
+    let mut out = Vec::new();
+    for (name, run) in SCENARIOS {
+        match run(preemption_bound) {
+            Ok(stats) => out.push(ModelReport {
+                scenario: name,
+                stats,
+            }),
+            Err(v) => return Err((name, v)),
+        }
+    }
+    Ok(out)
+}
+
+/// A scenario runner: preemption bound in, exploration stats (or the
+/// first violation) out.
+pub type Runner = fn(usize) -> Result<Stats, Violation>;
+
+/// Every scenario, name → runner.
+pub const SCENARIOS: &[(&str, Runner)] = &[
+    ("serve.epoch-publish", epoch::run),
+    ("serve.queue-close-drain", queue::run),
+    ("serve.breaker-isolation", breaker::run),
+];
+
+// ---------------------------------------------------------------------
+// Scenario: epoch publish under mutate / rank / snapshot concurrency.
+// ---------------------------------------------------------------------
+
+pub(crate) mod epoch {
+    //! Mirrors `Service::handle_mutate` vs `handle_rank` vs the
+    //! snapshotter: the mutator publishes a new `(fp, seq)` epoch and
+    //! the cache tag under the documented lock order
+    //! (`state < wal < epoch`); the ranker reads cache + epoch under
+    //! the state lock; the snapshotter reads the epoch alone.
+
+    use super::{Explorer, Stats, Step, Violation};
+
+    /// Pc values index the step tables below; `DONE_*` are the final pcs.
+    #[derive(Clone, Debug, PartialEq, Eq, Hash)]
+    pub struct St {
+        /// Program counters: mutator, ranker, snapshotter.
+        pub pc: [u8; 3],
+        pub state_locked: bool,
+        pub wal_locked: bool,
+        pub epoch_readers: u8,
+        pub epoch_writer: bool,
+        /// The published epoch; coherent iff `fp == seq`.
+        pub fp: u8,
+        pub seq: u8,
+        /// Cache consistency tag, guarded by the state lock.
+        pub cache_fp: u8,
+        /// Ranker's observation `(fp, seq, cache_fp)`.
+        pub observed: Option<(u8, u8, u8)>,
+        /// Snapshotter's record `(fp, seq)`.
+        pub snap: Option<(u8, u8)>,
+    }
+
+    pub fn init() -> St {
+        St {
+            pc: [0; 3],
+            state_locked: false,
+            wal_locked: false,
+            epoch_readers: 0,
+            epoch_writer: false,
+            fp: 0,
+            seq: 0,
+            cache_fp: 0,
+            observed: None,
+            snap: None,
+        }
+    }
+
+    pub fn invariant(s: &St) -> Option<String> {
+        if let Some((fp, seq, cache)) = s.observed {
+            if fp != seq {
+                return Some(format!("ranker observed torn epoch fp={fp} seq={seq}"));
+            }
+            if cache != fp {
+                return Some(format!(
+                    "ranker observed cache tag {cache} under the state lock but epoch fp={fp}"
+                ));
+            }
+        }
+        if let Some((fp, seq)) = s.snap {
+            if fp != seq {
+                return Some(format!("snapshot recorded torn epoch fp={fp} seq={seq}"));
+            }
+        }
+        None
+    }
+
+    pub fn done(s: &St) -> bool {
+        s.pc == [7, 5, 3]
+    }
+
+    /// The faithful protocol: publish is a single step under the epoch
+    /// write lock, itself under the state lock.
+    pub fn steps() -> Vec<Step<St>> {
+        vec![
+            // Mutator (actor 0): state → wal → epoch-write, in order.
+            Step {
+                name: "mutator: lock state",
+                actor: 0,
+                enabled: |s| s.pc[0] == 0 && !s.state_locked,
+                apply: |s| {
+                    s.state_locked = true;
+                    s.pc[0] = 1;
+                },
+            },
+            Step {
+                name: "mutator: lock wal",
+                actor: 0,
+                enabled: |s| s.pc[0] == 1 && !s.wal_locked,
+                apply: |s| {
+                    s.wal_locked = true;
+                    s.pc[0] = 2;
+                },
+            },
+            Step {
+                name: "mutator: append + unlock wal",
+                actor: 0,
+                enabled: |s| s.pc[0] == 2,
+                apply: |s| {
+                    s.wal_locked = false;
+                    s.pc[0] = 3;
+                },
+            },
+            Step {
+                name: "mutator: write-lock epoch",
+                actor: 0,
+                enabled: |s| s.pc[0] == 3 && s.epoch_readers == 0 && !s.epoch_writer,
+                apply: |s| {
+                    s.epoch_writer = true;
+                    s.pc[0] = 4;
+                },
+            },
+            Step {
+                name: "mutator: publish epoch + cache tag",
+                actor: 0,
+                enabled: |s| s.pc[0] == 4,
+                apply: |s| {
+                    s.fp += 1;
+                    s.seq += 1;
+                    s.cache_fp = s.fp;
+                    s.pc[0] = 5;
+                },
+            },
+            Step {
+                name: "mutator: unlock epoch",
+                actor: 0,
+                enabled: |s| s.pc[0] == 5,
+                apply: |s| {
+                    s.epoch_writer = false;
+                    s.pc[0] = 6;
+                },
+            },
+            Step {
+                name: "mutator: unlock state",
+                actor: 0,
+                enabled: |s| s.pc[0] == 6,
+                apply: |s| {
+                    s.state_locked = false;
+                    s.pc[0] = 7;
+                },
+            },
+            // Ranker (actor 1): state lock, then epoch read.
+            Step {
+                name: "ranker: lock state",
+                actor: 1,
+                enabled: |s| s.pc[1] == 0 && !s.state_locked,
+                apply: |s| {
+                    s.state_locked = true;
+                    s.pc[1] = 1;
+                },
+            },
+            Step {
+                name: "ranker: read-lock epoch",
+                actor: 1,
+                enabled: |s| s.pc[1] == 1 && !s.epoch_writer,
+                apply: |s| {
+                    s.epoch_readers += 1;
+                    s.pc[1] = 2;
+                },
+            },
+            Step {
+                name: "ranker: observe epoch + cache",
+                actor: 1,
+                enabled: |s| s.pc[1] == 2,
+                apply: |s| {
+                    s.observed = Some((s.fp, s.seq, s.cache_fp));
+                    s.pc[1] = 3;
+                },
+            },
+            Step {
+                name: "ranker: unlock epoch",
+                actor: 1,
+                enabled: |s| s.pc[1] == 3,
+                apply: |s| {
+                    s.epoch_readers -= 1;
+                    s.pc[1] = 4;
+                },
+            },
+            Step {
+                name: "ranker: unlock state",
+                actor: 1,
+                enabled: |s| s.pc[1] == 4,
+                apply: |s| {
+                    s.state_locked = false;
+                    s.pc[1] = 5;
+                },
+            },
+            // Snapshotter (actor 2): epoch read only.
+            Step {
+                name: "snapshot: read-lock epoch",
+                actor: 2,
+                enabled: |s| s.pc[2] == 0 && !s.epoch_writer,
+                apply: |s| {
+                    s.epoch_readers += 1;
+                    s.pc[2] = 1;
+                },
+            },
+            Step {
+                name: "snapshot: record epoch",
+                actor: 2,
+                enabled: |s| s.pc[2] == 1,
+                apply: |s| {
+                    s.snap = Some((s.fp, s.seq));
+                    s.pc[2] = 2;
+                },
+            },
+            Step {
+                name: "snapshot: unlock epoch",
+                actor: 2,
+                enabled: |s| s.pc[2] == 2,
+                apply: |s| {
+                    s.epoch_readers -= 1;
+                    s.pc[2] = 3;
+                },
+            },
+        ]
+    }
+
+    pub fn run(preemption_bound: usize) -> Result<Stats, Violation> {
+        let steps = steps();
+        Explorer {
+            steps: &steps,
+            invariant,
+            done,
+            preemption_bound,
+        }
+        .explore(init())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Scenario: bounded queue close/drain.
+// ---------------------------------------------------------------------
+
+pub(crate) mod queue {
+    //! Mirrors `queue::Bounded`: two producers `try_push` (shedding at
+    //! capacity), one of them closes, a consumer drains via the
+    //! `pop`-until-`None` loop. The consumer's condvar wait is modeled
+    //! as the pop step being *disabled* while the queue is empty and
+    //! open — a lost wakeup would surface as a deadlock.
+
+    use super::{Explorer, Stats, Step, Violation};
+
+    pub const CAP: u8 = 1;
+
+    #[derive(Clone, Debug, PartialEq, Eq, Hash)]
+    pub struct St {
+        /// Producer A (pushes then closes), producer B, consumer.
+        pub pc: [u8; 3],
+        pub locked: bool,
+        /// Items currently queued.
+        pub q: u8,
+        pub pushed: u8,
+        pub shed: u8,
+        pub popped: u8,
+        pub closed: bool,
+    }
+
+    pub fn init() -> St {
+        St {
+            pc: [0; 3],
+            locked: false,
+            q: 0,
+            pushed: 0,
+            shed: 0,
+            popped: 0,
+            closed: false,
+        }
+    }
+
+    pub fn invariant(s: &St) -> Option<String> {
+        if s.popped > s.pushed {
+            return Some(format!(
+                "popped {} items but only {} were ever pushed",
+                s.popped, s.pushed
+            ));
+        }
+        if done(s) && (s.q != 0 || s.popped != s.pushed) {
+            return Some(format!(
+                "quiescent with q={} popped={} pushed={} — admitted work was lost",
+                s.q, s.popped, s.pushed
+            ));
+        }
+        None
+    }
+
+    pub fn done(s: &St) -> bool {
+        s.pc == [4, 2, 1]
+    }
+
+    pub fn steps() -> Vec<Step<St>> {
+        fn push(s: &mut St) {
+            if !s.closed && s.q < CAP {
+                s.q += 1;
+                s.pushed += 1;
+            } else {
+                s.shed += 1;
+            }
+            s.locked = false;
+        }
+        vec![
+            // Producer A (actor 0): push, then close.
+            Step {
+                name: "prodA: lock",
+                actor: 0,
+                enabled: |s| s.pc[0] == 0 && !s.locked,
+                apply: |s| {
+                    s.locked = true;
+                    s.pc[0] = 1;
+                },
+            },
+            Step {
+                name: "prodA: try_push + unlock",
+                actor: 0,
+                enabled: |s| s.pc[0] == 1,
+                apply: |s| {
+                    push(s);
+                    s.pc[0] = 2;
+                },
+            },
+            Step {
+                name: "prodA: lock for close",
+                actor: 0,
+                enabled: |s| s.pc[0] == 2 && !s.locked,
+                apply: |s| {
+                    s.locked = true;
+                    s.pc[0] = 3;
+                },
+            },
+            Step {
+                name: "prodA: close + unlock",
+                actor: 0,
+                enabled: |s| s.pc[0] == 3,
+                apply: |s| {
+                    s.closed = true;
+                    s.locked = false;
+                    s.pc[0] = 4;
+                },
+            },
+            // Producer B (actor 1): one push.
+            Step {
+                name: "prodB: lock",
+                actor: 1,
+                enabled: |s| s.pc[1] == 0 && !s.locked,
+                apply: |s| {
+                    s.locked = true;
+                    s.pc[1] = 1;
+                },
+            },
+            Step {
+                name: "prodB: try_push + unlock",
+                actor: 1,
+                enabled: |s| s.pc[1] == 1,
+                apply: |s| {
+                    push(s);
+                    s.pc[1] = 2;
+                },
+            },
+            // Consumer (actor 2): pop until closed-and-drained. The
+            // enabling condition models the condvar wait.
+            Step {
+                name: "consumer: pop or finish",
+                actor: 2,
+                enabled: |s| s.pc[2] == 0 && !s.locked && (s.q > 0 || s.closed),
+                apply: |s| {
+                    if s.q > 0 {
+                        s.q -= 1;
+                        s.popped += 1;
+                        // loops back to pc 0 for the next pop
+                    } else {
+                        s.pc[2] = 1; // closed and drained: None
+                    }
+                },
+            },
+        ]
+    }
+
+    pub fn run(preemption_bound: usize) -> Result<Stats, Violation> {
+        let steps = steps();
+        Explorer {
+            steps: &steps,
+            invariant,
+            done,
+            preemption_bound,
+        }
+        .explore(init())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Scenario: breaker-class isolation.
+// ---------------------------------------------------------------------
+
+pub(crate) mod breaker {
+    //! Mirrors `CircuitBreaker`'s per-class states: exhaustion on the
+    //! rank class trips the rank breaker; the mutate class must keep
+    //! admitting. Each class has its own leaf mutex.
+
+    use super::{Explorer, Stats, Step, Violation};
+
+    #[derive(Clone, Debug, PartialEq, Eq, Hash)]
+    pub struct St {
+        /// Rank-tripper, mutate-prober.
+        pub pc: [u8; 2],
+        pub rank_locked: bool,
+        pub mutate_locked: bool,
+        pub rank_open: bool,
+        pub mutate_open: bool,
+        /// Whether the mutate prober was ever rejected.
+        pub mutate_rejected: bool,
+    }
+
+    pub fn init() -> St {
+        St {
+            pc: [0; 2],
+            rank_locked: false,
+            mutate_locked: false,
+            rank_open: false,
+            mutate_open: false,
+            mutate_rejected: false,
+        }
+    }
+
+    pub fn invariant(s: &St) -> Option<String> {
+        if s.mutate_open || s.mutate_rejected {
+            return Some("tripping the rank breaker leaked into the mutate class".to_owned());
+        }
+        None
+    }
+
+    pub fn done(s: &St) -> bool {
+        s.pc == [3, 3]
+    }
+
+    pub fn steps() -> Vec<Step<St>> {
+        vec![
+            Step {
+                name: "trip: lock rank",
+                actor: 0,
+                enabled: |s| s.pc[0] == 0 && !s.rank_locked,
+                apply: |s| {
+                    s.rank_locked = true;
+                    s.pc[0] = 1;
+                },
+            },
+            Step {
+                name: "trip: open rank breaker",
+                actor: 0,
+                enabled: |s| s.pc[0] == 1,
+                apply: |s| {
+                    s.rank_open = true;
+                    s.pc[0] = 2;
+                },
+            },
+            Step {
+                name: "trip: unlock rank",
+                actor: 0,
+                enabled: |s| s.pc[0] == 2,
+                apply: |s| {
+                    s.rank_locked = false;
+                    s.pc[0] = 3;
+                },
+            },
+            Step {
+                name: "probe: lock mutate",
+                actor: 1,
+                enabled: |s| s.pc[1] == 0 && !s.mutate_locked,
+                apply: |s| {
+                    s.mutate_locked = true;
+                    s.pc[1] = 1;
+                },
+            },
+            Step {
+                name: "probe: admit mutate",
+                actor: 1,
+                enabled: |s| s.pc[1] == 1,
+                apply: |s| {
+                    if s.mutate_open {
+                        s.mutate_rejected = true;
+                    }
+                    s.pc[1] = 2;
+                },
+            },
+            Step {
+                name: "probe: unlock mutate",
+                actor: 1,
+                enabled: |s| s.pc[1] == 2,
+                apply: |s| {
+                    s.mutate_locked = false;
+                    s.pc[1] = 3;
+                },
+            },
+        ]
+    }
+
+    pub fn run(preemption_bound: usize) -> Result<Stats, Violation> {
+        let steps = steps();
+        Explorer {
+            steps: &steps,
+            invariant,
+            done,
+            preemption_bound,
+        }
+        .explore(init())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_scenarios_pass_at_bound_three() {
+        let reports = run_all(3)
+            .unwrap_or_else(|(name, v)| panic!("{name} violated: {:?} via {:?}", v.kind, v.trace));
+        assert_eq!(reports.len(), SCENARIOS.len());
+        for r in &reports {
+            assert!(
+                r.stats.schedules > 0,
+                "{}: no complete schedule",
+                r.scenario
+            );
+            assert!(
+                r.stats.states > 10,
+                "{}: suspiciously tiny space",
+                r.scenario
+            );
+        }
+    }
+
+    #[test]
+    fn epoch_scenario_explores_real_interleavings() {
+        // At bound 0 (pure round-robin-free: each actor runs until it
+        // blocks) there are already several schedules; higher bounds
+        // strictly grow the space.
+        let s0 = epoch::run(0).unwrap();
+        let s2 = epoch::run(2).unwrap();
+        assert!(s2.states > s0.states, "{s0:?} vs {s2:?}");
+    }
+
+    /// Seeded bug: the mutator publishes `fp` and `seq` in two steps
+    /// without taking the epoch write lock. A snapshot between the two
+    /// halves observes a torn epoch.
+    #[test]
+    fn torn_two_step_publish_is_caught() {
+        let mut steps = epoch::steps();
+        // Replace write-lock/publish/unlock (indices 3..=5) with an
+        // unlocked two-step publish.
+        steps[3] = Step {
+            name: "mutator: publish fp (no lock)",
+            actor: 0,
+            enabled: |s| s.pc[0] == 3,
+            apply: |s| {
+                s.fp += 1;
+                s.pc[0] = 4;
+            },
+        };
+        steps[4] = Step {
+            name: "mutator: publish seq + cache",
+            actor: 0,
+            enabled: |s| s.pc[0] == 4,
+            apply: |s| {
+                s.seq += 1;
+                s.cache_fp = s.fp;
+                s.pc[0] = 5;
+            },
+        };
+        steps[5] = Step {
+            name: "mutator: (no-op unlock)",
+            actor: 0,
+            enabled: |s| s.pc[0] == 5,
+            apply: |s| s.pc[0] = 6,
+        };
+        let v = Explorer {
+            steps: &steps,
+            invariant: epoch::invariant,
+            done: epoch::done,
+            preemption_bound: 2,
+        }
+        .explore(epoch::init())
+        .expect_err("torn publish must be detected");
+        assert!(
+            matches!(&v.kind, ViolationKind::Invariant(m) if m.contains("torn")),
+            "{v:?}"
+        );
+    }
+
+    /// Seeded bug: the snapshotter takes the epoch write lock and then
+    /// the state lock — inverting the mutator's order. Classic AB/BA.
+    #[test]
+    fn lock_inversion_deadlocks() {
+        let mut steps = epoch::steps();
+        steps[12] = Step {
+            name: "snapshot: WRITE-lock epoch (inverted)",
+            actor: 2,
+            enabled: |s| s.pc[2] == 0 && s.epoch_readers == 0 && !s.epoch_writer,
+            apply: |s| {
+                s.epoch_writer = true;
+                s.pc[2] = 1;
+            },
+        };
+        steps[13] = Step {
+            name: "snapshot: lock state under epoch",
+            actor: 2,
+            enabled: |s| s.pc[2] == 1 && !s.state_locked,
+            apply: |s| {
+                s.state_locked = true;
+                s.snap = Some((s.fp, s.seq));
+                s.pc[2] = 2;
+            },
+        };
+        steps[14] = Step {
+            name: "snapshot: unlock both",
+            actor: 2,
+            enabled: |s| s.pc[2] == 2,
+            apply: |s| {
+                s.state_locked = false;
+                s.epoch_writer = false;
+                s.pc[2] = 3;
+            },
+        };
+        let v = Explorer {
+            steps: &steps,
+            invariant: epoch::invariant,
+            done: epoch::done,
+            preemption_bound: 2,
+        }
+        .explore(epoch::init())
+        .expect_err("lock inversion must deadlock some schedule");
+        assert_eq!(v.kind, ViolationKind::Deadlock, "{v:?}");
+        assert!(!v.trace.is_empty());
+    }
+
+    /// Seeded bug: the cache tag is updated after the epoch lock is
+    /// released, outside the state lock. A ranker in the window sees
+    /// the cache disagree with the epoch.
+    #[test]
+    fn unlocked_cache_update_is_caught() {
+        let mut steps = epoch::steps();
+        steps[4] = Step {
+            name: "mutator: publish epoch only",
+            actor: 0,
+            enabled: |s| s.pc[0] == 4,
+            apply: |s| {
+                s.fp += 1;
+                s.seq += 1;
+                s.pc[0] = 5;
+            },
+        };
+        steps[6] = Step {
+            name: "mutator: unlock state BEFORE cache update",
+            actor: 0,
+            enabled: |s| s.pc[0] == 6,
+            apply: |s| {
+                s.state_locked = false;
+                s.pc[0] = 7;
+            },
+        };
+        steps.push(Step {
+            name: "mutator: late cache update (no lock)",
+            actor: 0,
+            enabled: |s| s.pc[0] == 7 && s.cache_fp != s.fp,
+            apply: |s| s.cache_fp = s.fp,
+        });
+        let v = Explorer {
+            steps: &steps,
+            invariant: epoch::invariant,
+            done: |s| epoch::done(s) && s.cache_fp == s.fp,
+            preemption_bound: 2,
+        }
+        .explore(epoch::init())
+        .expect_err("unlocked cache update must be detected");
+        assert!(
+            matches!(&v.kind, ViolationKind::Invariant(m) if m.contains("cache")),
+            "{v:?}"
+        );
+    }
+
+    /// Seeded bug: tripping the rank breaker writes both classes'
+    /// states (a shared-field regression). Isolation fails.
+    #[test]
+    fn cross_class_breaker_write_is_caught() {
+        let mut steps = breaker::steps();
+        steps[1] = Step {
+            name: "trip: open BOTH breakers (bug)",
+            actor: 0,
+            enabled: |s| s.pc[0] == 1,
+            apply: |s| {
+                s.rank_open = true;
+                s.mutate_open = true;
+                s.pc[0] = 2;
+            },
+        };
+        let v = Explorer {
+            steps: &steps,
+            invariant: breaker::invariant,
+            done: breaker::done,
+            preemption_bound: 2,
+        }
+        .explore(breaker::init())
+        .expect_err("cross-class write must be detected");
+        assert!(matches!(v.kind, ViolationKind::Invariant(_)), "{v:?}");
+    }
+
+    /// Dropping the close step starves the consumer: with the queue
+    /// empty and never closed, its pop step stays disabled — deadlock.
+    #[test]
+    fn missing_close_deadlocks_the_consumer() {
+        let steps = queue::steps();
+        let no_close: Vec<_> = steps
+            .into_iter()
+            .map(|mut st| {
+                if st.name == "prodA: close + unlock" {
+                    st.apply = |s| {
+                        s.locked = false; // forgets to set `closed`
+                        s.pc[0] = 4;
+                    };
+                }
+                st
+            })
+            .collect();
+        let v = Explorer {
+            steps: &no_close,
+            invariant: queue::invariant,
+            done: queue::done,
+            preemption_bound: 2,
+        }
+        .explore(queue::init())
+        .expect_err("consumer must starve without close");
+        assert_eq!(v.kind, ViolationKind::Deadlock, "{v:?}");
+    }
+
+    #[test]
+    fn preemption_bound_prunes_schedules() {
+        let s1 = epoch::run(1).unwrap();
+        let s3 = epoch::run(3).unwrap();
+        assert!(s3.schedules >= s1.schedules);
+        assert!(s3.states >= s1.states);
+    }
+}

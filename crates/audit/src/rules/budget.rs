@@ -1,0 +1,201 @@
+//! `RA01xx` — budget coverage in kernel loops.
+//!
+//! The degradation contract (DESIGN.md, "Budgets") says a cancelled or
+//! overdue computation stops within one bounded unit of work. That only
+//! holds if every loop on the kernel paths *reaches a budget poll*:
+//! `budget.check()`, `budget.check_alloc(..)`, a failpoint probe, or
+//! delegation to a `try_*` function that polls internally. This rule
+//! makes the contract structural: in the configured kernel files, every
+//! `for`/`while`/`loop` body inside a function whose signature takes a
+//! [`Budget`] must contain a poll token, or carry
+//! `// audit:allow(RA0101, reason)` stating why it is bounded without
+//! one (e.g. a pre-pass over already-admitted data).
+//!
+//! Functions that do not take a `Budget` are exempt — they are either
+//! infallible wrappers (whose inner `try_*` call is itself audited) or
+//! not on a budgeted path at all.
+
+use repsim_check::{Analyzer, Diagnostic};
+
+use super::{body_after, fn_params, path_matches, AllowTracker, Source};
+use crate::lexer::{Tok, TokKind};
+
+/// Identifiers that count as a budget poll inside a loop body.
+const POLL_IDENTS: &[&str] = &["check", "check_alloc", "injected", "budget"];
+
+/// Runs the rule over every source whose path ends with one of
+/// `kernel_files`.
+pub fn check(
+    sources: &[Source],
+    kernel_files: &[&str],
+    allows: &mut AllowTracker,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for src in sources {
+        if !kernel_files.iter().any(|f| path_matches(&src.path, f)) {
+            continue;
+        }
+        let tokens = &src.lexed.tokens;
+        scan_items(src, tokens, 0, tokens.len(), false, allows, &mut out);
+    }
+    out
+}
+
+/// Walks `tokens[start..end]`, tracking whether the enclosing function
+/// takes a `Budget`, and checks every loop found in budgeted regions.
+fn scan_items(
+    src: &Source,
+    tokens: &[Tok],
+    start: usize,
+    end: usize,
+    in_budget_fn: bool,
+    allows: &mut AllowTracker,
+    out: &mut Vec<Diagnostic>,
+) {
+    let mut i = start;
+    while i < end {
+        let t = &tokens[i];
+        if t.is_ident("fn") {
+            let Some((popen, pclose)) = fn_params(tokens, i) else {
+                i += 1;
+                continue;
+            };
+            let takes_budget = tokens[popen..=pclose.min(end.saturating_sub(1))]
+                .iter()
+                .any(|t| t.is_ident("Budget"));
+            match body_after(tokens, pclose) {
+                Some((bopen, bclose)) => {
+                    scan_items(
+                        src,
+                        tokens,
+                        bopen + 1,
+                        bclose.min(end),
+                        takes_budget,
+                        allows,
+                        out,
+                    );
+                    i = bclose.min(end) + 1;
+                }
+                None => i = pclose + 1,
+            }
+            continue;
+        }
+        if in_budget_fn && (t.is_ident("for") || t.is_ident("while") || t.is_ident("loop")) {
+            let line = t.line;
+            if let Some((bopen, bclose)) = body_after(tokens, i) {
+                let polled = tokens[bopen..bclose.min(tokens.len())].iter().any(is_poll);
+                if !polled && !allows.suppressed(src, "RA0101", line) {
+                    out.push(Diagnostic::error(
+                        "RA0101",
+                        Analyzer::Audit,
+                        format!(
+                            "{}:{}: `{}` body in a budget-accepting function never \
+                             polls the budget (add budget.check()/try_* or \
+                             audit:allow(RA0101, reason))",
+                            src.path, line, t.text
+                        ),
+                    ));
+                }
+            }
+            // Do not skip the body: nested loops are checked on their own.
+            i += 1;
+            continue;
+        }
+        i += 1;
+    }
+}
+
+fn is_poll(t: &Tok) -> bool {
+    t.kind == TokKind::Ident
+        && (POLL_IDENTS.contains(&t.text.as_str()) || t.text.starts_with("try_"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src_text: &str) -> Vec<Diagnostic> {
+        let src = Source::new("crates/sparse/src/ops.rs", src_text);
+        let mut allows = AllowTracker::default();
+        check(&[src], &["crates/sparse/src/ops.rs"], &mut allows)
+    }
+
+    #[test]
+    fn unpolled_loop_in_budget_fn_is_flagged() {
+        let ds = run("fn f(x: u32, budget: &Budget) { for i in 0..x { work(i); } }");
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].code, "RA0101");
+    }
+
+    #[test]
+    fn polled_loops_pass() {
+        for body in [
+            "for i in 0..x { budget.check()?; work(i); }",
+            "while go { budget.check_alloc(n)?; }",
+            "loop { if try_step(x).is_err() { break; } }",
+        ] {
+            let ds = run(&format!("fn f(x: u32, budget: &Budget) {{ {body} }}"));
+            assert!(ds.is_empty(), "{body}: {ds:?}");
+        }
+    }
+
+    #[test]
+    fn non_budget_fns_are_exempt() {
+        let ds = run("fn f(x: u32) { for i in 0..x { work(i); } }");
+        assert!(ds.is_empty(), "{ds:?}");
+    }
+
+    #[test]
+    fn allow_suppresses_and_is_consumed() {
+        let text = "fn f(b: &Budget) {\n    // audit:allow(RA0101, two-element merge)\n    for i in 0..2 { m(i); }\n}";
+        let src = Source::new("crates/sparse/src/ops.rs", text);
+        let mut allows = AllowTracker::default();
+        let ds = check(
+            std::slice::from_ref(&src),
+            &["crates/sparse/src/ops.rs"],
+            &mut allows,
+        );
+        assert!(ds.is_empty(), "{ds:?}");
+        assert!(allows.stale(std::slice::from_ref(&src)).is_empty());
+    }
+
+    #[test]
+    fn stale_allow_is_warned() {
+        let text =
+            "fn f(b: &Budget) {\n    // audit:allow(RA0101, nothing here)\n    let x = 1;\n}";
+        let src = Source::new("crates/sparse/src/ops.rs", text);
+        let mut allows = AllowTracker::default();
+        let ds = check(
+            std::slice::from_ref(&src),
+            &["crates/sparse/src/ops.rs"],
+            &mut allows,
+        );
+        assert!(ds.is_empty());
+        let stale = allows.stale(std::slice::from_ref(&src));
+        assert_eq!(stale.len(), 1);
+        assert_eq!(stale[0].code, "RA0102");
+    }
+
+    #[test]
+    fn loops_in_comments_and_strings_do_not_count() {
+        let text = r#"fn f(b: &Budget) { let s = "for x in y { }"; /* loop { } */ }"#;
+        assert!(run(text).is_empty());
+    }
+
+    #[test]
+    fn nested_unbudgeted_fn_inside_budget_fn_is_exempt() {
+        let text = "fn outer(b: &Budget) { fn helper(n: u32) { for i in 0..n { w(i); } } loop { b.check()?; } }";
+        assert!(run(text).is_empty());
+    }
+
+    #[test]
+    fn files_outside_the_kernel_list_are_ignored() {
+        let src = Source::new(
+            "crates/graph/src/io.rs",
+            "fn f(b: &Budget) { for i in 0..9 { w(i); } }",
+        );
+        let mut allows = AllowTracker::default();
+        let ds = check(&[src], &["crates/sparse/src/ops.rs"], &mut allows);
+        assert!(ds.is_empty());
+    }
+}

@@ -1,0 +1,251 @@
+//! `RA04xx` — protocol/WAL variant exhaustiveness.
+//!
+//! Adding a [`Request`] or [`MutationOp`] variant is a three-file
+//! change: the definition, the wire codec, and every dispatcher/replayer
+//! that must handle it. `match` exhaustiveness catches the miss only
+//! when the handler matches the enum directly; dispatchers that go
+//! through a catch-all arm, a decode table, or string dispatch compile
+//! fine and fail at runtime. This rule pins the full fan-out: for each
+//! configured enum, every variant must be *referenced by name*
+//! (`Enum::Variant`) in every configured handler file.
+//!
+//! * `RA0401` — a variant has no reference in a required handler file;
+//! * `RA0402` — the enum definition (or a required handler file) is
+//!   missing from the audited set — the configuration rotted.
+//!
+//! `RA0401` findings anchor to the variant's definition line, so an
+//! `audit:allow(RA0401, reason)` sits next to the variant it excuses.
+
+use repsim_check::{Analyzer, Diagnostic};
+
+use super::{path_matches, AllowTracker, Source};
+use crate::lexer::{Tok, TokKind};
+
+/// One enum whose variant fan-out is audited.
+pub struct EnumConfig {
+    /// The enum's name as written in source.
+    pub name: &'static str,
+    /// File (path suffix) holding `enum <name> { … }`.
+    pub defined_in: &'static str,
+    /// Files that must reference every variant as `<name>::<variant>`.
+    pub handlers: &'static [&'static str],
+}
+
+/// Runs the rule for each configured enum.
+pub fn check(
+    sources: &[Source],
+    enums: &[EnumConfig],
+    allows: &mut AllowTracker,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for cfg in enums {
+        let Some(def_src) = sources
+            .iter()
+            .find(|s| path_matches(&s.path, cfg.defined_in))
+        else {
+            out.push(Diagnostic::error(
+                "RA0402",
+                Analyzer::Audit,
+                format!(
+                    "enum {} audit: defining file {} is not in the audited set",
+                    cfg.name, cfg.defined_in
+                ),
+            ));
+            continue;
+        };
+        let Some(variants) = variants_of(&def_src.lexed.tokens, cfg.name) else {
+            out.push(Diagnostic::error(
+                "RA0402",
+                Analyzer::Audit,
+                format!(
+                    "enum {} audit: no `enum {}` definition found in {}",
+                    cfg.name, cfg.name, def_src.path
+                ),
+            ));
+            continue;
+        };
+        for handler in cfg.handlers {
+            let Some(h_src) = sources.iter().find(|s| path_matches(&s.path, handler)) else {
+                out.push(Diagnostic::error(
+                    "RA0402",
+                    Analyzer::Audit,
+                    format!(
+                        "enum {} audit: required handler file {handler} is not in \
+                         the audited set",
+                        cfg.name
+                    ),
+                ));
+                continue;
+            };
+            for (variant, def_line) in &variants {
+                if references(&h_src.lexed.tokens, cfg.name, variant) {
+                    continue;
+                }
+                if allows.suppressed(def_src, "RA0401", *def_line) {
+                    continue;
+                }
+                out.push(Diagnostic::error(
+                    "RA0401",
+                    Analyzer::Audit,
+                    format!(
+                        "{}:{}: variant {}::{} is never referenced in required \
+                         handler {} — dispatch/replay there cannot be handling it",
+                        def_src.path, def_line, cfg.name, variant, h_src.path
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// The variant names (with definition lines) of `enum <name> { … }`, or
+/// `None` when no such definition exists in the token stream.
+fn variants_of(tokens: &[Tok], name: &str) -> Option<Vec<(String, u32)>> {
+    let mut i = 0;
+    let open = loop {
+        if i + 2 >= tokens.len() {
+            return None;
+        }
+        if tokens[i].is_ident("enum") && tokens[i + 1].is_ident(name) && tokens[i + 2].is_punct('{')
+        {
+            break i + 2;
+        }
+        i += 1;
+    };
+    let mut variants = Vec::new();
+    let mut depth = 1usize;
+    let mut expect_variant = true;
+    let mut j = open + 1;
+    while j < tokens.len() && depth > 0 {
+        let t = &tokens[j];
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+        } else if depth == 1 {
+            if t.is_punct('#') && tokens.get(j + 1).is_some_and(|n| n.is_punct('[')) {
+                // Skip `#[attr(...)]` so its idents are not variants.
+                j += 2;
+                let mut sq = 1usize;
+                while j < tokens.len() && sq > 0 {
+                    if tokens[j].is_punct('[') {
+                        sq += 1;
+                    } else if tokens[j].is_punct(']') {
+                        sq -= 1;
+                    }
+                    j += 1;
+                }
+                continue;
+            }
+            if t.is_punct(',') {
+                expect_variant = true;
+            } else if expect_variant && t.kind == TokKind::Ident {
+                variants.push((t.text.clone(), t.line));
+                expect_variant = false;
+            }
+        }
+        j += 1;
+    }
+    Some(variants)
+}
+
+/// Whether `tokens` contains `<enum_name> :: <variant>`.
+fn references(tokens: &[Tok], enum_name: &str, variant: &str) -> bool {
+    tokens.windows(4).any(|w| {
+        w[0].is_ident(enum_name)
+            && w[1].is_punct(':')
+            && w[2].is_punct(':')
+            && w[3].is_ident(variant)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DEF: &str = "crates/x/src/proto.rs";
+    const HANDLER: &str = "crates/x/src/server.rs";
+
+    fn cfg() -> EnumConfig {
+        EnumConfig {
+            name: "Op",
+            defined_in: DEF,
+            handlers: &["crates/x/src/server.rs"],
+        }
+    }
+
+    fn run(def_text: &str, handler_text: &str) -> Vec<Diagnostic> {
+        let sources = vec![
+            Source::new(DEF, def_text),
+            Source::new(HANDLER, handler_text),
+        ];
+        let mut allows = AllowTracker::default();
+        check(&sources, &[cfg()], &mut allows)
+    }
+
+    #[test]
+    fn unhandled_variant_is_ra0401() {
+        let ds = run(
+            "pub enum Op { Get { k: u32 }, Put(String), Del }",
+            "fn h(op: Op) { match op { Op::Get { k } => g(k), Op::Put(s) => p(s), _ => {} } }",
+        );
+        assert_eq!(ds.len(), 1, "{ds:?}");
+        assert_eq!(ds[0].code, "RA0401");
+        assert!(ds[0].message.contains("Op::Del"), "{}", ds[0].message);
+    }
+
+    #[test]
+    fn fully_handled_enum_passes() {
+        let ds = run(
+            "pub enum Op { Get, Put }",
+            "fn h(op: Op) { match op { Op::Get => g(), Op::Put => p() } }",
+        );
+        assert!(ds.is_empty(), "{ds:?}");
+    }
+
+    #[test]
+    fn attributes_and_payload_fields_are_not_variants() {
+        let ds = run(
+            "pub enum Op { #[allow(dead_code)] Get { key: u32, val: u64 }, Put }",
+            "fn h() { let _ = Op::Get; let _ = Op::Put; }",
+        );
+        assert!(ds.is_empty(), "{ds:?}");
+    }
+
+    #[test]
+    fn missing_definition_is_ra0402() {
+        let ds = run("pub struct Op;", "fn h() {}");
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].code, "RA0402");
+    }
+
+    #[test]
+    fn missing_handler_file_is_ra0402() {
+        let sources = vec![Source::new(DEF, "pub enum Op { Get }")];
+        let mut allows = AllowTracker::default();
+        let ds = check(&sources, &[cfg()], &mut allows);
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].code, "RA0402");
+        assert!(ds[0].message.contains("server.rs"));
+    }
+
+    #[test]
+    fn allow_on_variant_definition_suppresses() {
+        let ds = run(
+            "pub enum Op {\n    Get,\n    // audit:allow(RA0401, replay intentionally drops Legacy)\n    Legacy,\n}",
+            "fn h() { let _ = Op::Get; }",
+        );
+        assert!(ds.is_empty(), "{ds:?}");
+    }
+
+    #[test]
+    fn references_in_comments_do_not_count() {
+        let ds = run(
+            "pub enum Op { Get }",
+            "// Op::Get is handled elsewhere, honest\nfn h() {}",
+        );
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].code, "RA0401");
+    }
+}

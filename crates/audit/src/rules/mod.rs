@@ -1,0 +1,162 @@
+//! The RA#### rule passes.
+//!
+//! Each rule family lives in its own module and consumes lexed sources
+//! ([`Source`]), emitting [`Diagnostic`]s with `Analyzer::Audit`
+//! provenance:
+//!
+//! * [`budget`] — `RA01xx`: every loop in a budget-accepting kernel
+//!   function polls the budget or carries a justified allow;
+//! * [`obs`] — `RA02xx`: observability names are well-formed, pinned
+//!   trace-schema names exist, metric handles register once;
+//! * [`registry`] — `RA03xx`: diagnostic codes used ⊆ registered, active
+//!   registered ⊆ used, retired codes stay buried;
+//! * [`exhaustive`] — `RA04xx`: protocol/mutation enum variants are
+//!   referenced in every file that must handle them;
+//! * [`locks`] — `RA05xx`: serve-layer locks are acquired in the one
+//!   declared global order.
+//!
+//! Suppression is per-site: `// audit:allow(RA####, reason)` on the
+//! flagged line or the line above. The allow itself is audited — a
+//! directive that suppresses nothing is `RA0102` (warning), so stale
+//! justifications are garbage-collected rather than accreted.
+
+pub mod budget;
+pub mod exhaustive;
+pub mod locks;
+pub mod obs;
+pub mod registry;
+
+use crate::lexer::{lex, Lexed};
+
+/// One lexed source file with its display path.
+#[derive(Clone, Debug)]
+pub struct Source {
+    /// Path as shown in diagnostics (repo-relative when walking the
+    /// workspace).
+    pub path: String,
+    /// The token stream + allows.
+    pub lexed: Lexed,
+}
+
+impl Source {
+    /// Lexes `text` under a display path.
+    pub fn new(path: impl Into<String>, text: &str) -> Source {
+        Source {
+            path: path.into(),
+            lexed: lex(text),
+        }
+    }
+}
+
+/// Whether `path` (with `/` separators) ends with the configured suffix.
+pub(crate) fn path_matches(path: &str, suffix: &str) -> bool {
+    let normalized = path.replace('\\', "/");
+    normalized == suffix || normalized.ends_with(&format!("/{suffix}"))
+}
+
+/// Records which `audit:allow` directives actually suppressed a finding,
+/// so the stale ones can be reported (`RA0102`) instead of rotting.
+#[derive(Default)]
+pub struct AllowTracker {
+    used: std::collections::HashSet<(String, String, u32)>,
+}
+
+impl AllowTracker {
+    /// Whether an allow in `src` covers a `code` finding at `line`;
+    /// records the consumption when it does.
+    pub fn suppressed(&mut self, src: &Source, code: &str, line: u32) -> bool {
+        for a in &src.lexed.allows {
+            if a.code == code && (a.comment_line == line || a.effective_line == line) {
+                self.used
+                    .insert((src.path.clone(), code.to_owned(), a.comment_line));
+                return true;
+            }
+        }
+        false
+    }
+
+    /// One `RA0102` warning per directive that suppressed nothing.
+    pub fn stale(&self, sources: &[Source]) -> Vec<repsim_check::Diagnostic> {
+        let mut out = Vec::new();
+        for src in sources {
+            for a in &src.lexed.allows {
+                let key = (src.path.clone(), a.code.clone(), a.comment_line);
+                if !self.used.contains(&key) {
+                    out.push(repsim_check::Diagnostic::warning(
+                        "RA0102",
+                        repsim_check::Analyzer::Audit,
+                        format!(
+                            "{}:{}: audit:allow({}) suppresses nothing — remove it",
+                            src.path, a.comment_line, a.code
+                        ),
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+use crate::lexer::Tok;
+
+/// Index of the punct closing the bracket opened at `open` (which must
+/// hold `open_c`), or `tokens.len()` when unbalanced.
+pub(crate) fn matching(tokens: &[Tok], open: usize, open_c: char, close_c: char) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < tokens.len() {
+        if tokens[i].is_punct(open_c) {
+            depth += 1;
+        } else if tokens[i].is_punct(close_c) {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+        i += 1;
+    }
+    tokens.len()
+}
+
+/// The parameter-list parens of the `fn` whose keyword sits at `fn_at`:
+/// the first `(` at angle-bracket depth 0 (so `fn f<F: Fn(u32)>` skips
+/// the bound's parens), paired with its matching `)`.
+pub(crate) fn fn_params(tokens: &[Tok], fn_at: usize) -> Option<(usize, usize)> {
+    let mut angle = 0i32;
+    let mut i = fn_at + 1;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.is_punct('-') && tokens.get(i + 1).is_some_and(|n| n.is_punct('>')) {
+            i += 2; // `->` is not a closing angle
+            continue;
+        }
+        if t.is_punct('<') {
+            angle += 1;
+        } else if t.is_punct('>') {
+            angle = (angle - 1).max(0);
+        } else if t.is_punct('(') && angle == 0 {
+            return Some((i, matching(tokens, i, '(', ')')));
+        } else if t.is_punct('{') || t.is_punct(';') {
+            return None; // no parameter list before the body — give up
+        }
+        i += 1;
+    }
+    None
+}
+
+/// The `{`/`}` token range of the body following token `after` (a
+/// closed parameter list or loop header), or `None` for a bodyless item
+/// (`fn f(...);` in a trait).
+pub(crate) fn body_after(tokens: &[Tok], after: usize) -> Option<(usize, usize)> {
+    let mut i = after + 1;
+    while i < tokens.len() {
+        if tokens[i].is_punct('{') {
+            return Some((i, matching(tokens, i, '{', '}')));
+        }
+        if tokens[i].is_punct(';') {
+            return None;
+        }
+        i += 1;
+    }
+    None
+}

@@ -1,0 +1,240 @@
+//! `RA02xx` — observability-registry consistency.
+//!
+//! Dashboards, the CI recovery drill and `tests/trace_schema.rs` key on
+//! exact span/counter names. Three things can silently break that
+//! contract: a pinned name disappearing from the sources (a rename that
+//! forgot the schema test), a malformed name entering the registry (not
+//! `repsim.`-namespaced, so it escapes every dashboard glob), and the
+//! same metric handle being registered twice (double counting). This
+//! rule closes all three:
+//!
+//! * `RA0201` — a name pinned in the trace schema has no registration
+//!   or emission site anywhere in the workspace;
+//! * `RA0202` — a name passed to `span(`/`point(`/`*Handle::new(` does
+//!   not match `repsim.<segment>.<segment>…` (lowercase, digits, `_`);
+//! * `RA0203` — the same name is registered by more than one static
+//!   metric handle.
+
+use repsim_check::{Analyzer, Diagnostic};
+
+use super::{AllowTracker, Source};
+use crate::lexer::TokKind;
+
+/// Metric-handle constructors whose first argument registers a name.
+const HANDLE_TYPES: &[&str] = &["CounterHandle", "GaugeHandle", "HistogramHandle"];
+
+/// Extracts the names pinned by the trace-schema test: every string
+/// literal starting with `repsim.` that names a concrete span/counter
+/// (prefix-only literals like `"repsim."` are schema assertions, not
+/// names, and are skipped).
+pub fn pinned_names(schema: &Source) -> Vec<String> {
+    let mut out: Vec<String> = schema
+        .lexed
+        .tokens
+        .iter()
+        .filter(|t| t.kind == TokKind::Str)
+        .map(|t| t.text.as_str())
+        .filter(|s| s.starts_with("repsim.") && !s.ends_with('.'))
+        .map(str::to_owned)
+        .collect();
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// Runs `RA0201`–`RA0203` over the workspace sources.
+pub fn check(sources: &[Source], pinned: &[String], allows: &mut AllowTracker) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let mut registrations: Vec<(&str, &Source, u32)> = Vec::new();
+    let mut all_names: std::collections::HashSet<&str> = std::collections::HashSet::new();
+
+    for src in sources {
+        let toks = &src.lexed.tokens;
+        for (i, t) in toks.iter().enumerate() {
+            if t.kind == TokKind::Str && t.text.starts_with("repsim.") {
+                all_names.insert(t.text.as_str());
+            }
+            // `span("…")`, `point("…", …)` — ident '(' str.
+            let is_emit = t.kind == TokKind::Ident && (t.text == "span" || t.text == "point");
+            // `CounterHandle::new("…")` — ident ':' ':' "new" '(' str.
+            let is_handle = t.kind == TokKind::Ident && HANDLE_TYPES.contains(&t.text.as_str());
+            if is_emit {
+                if let Some(name) = first_str_arg(toks, i + 1) {
+                    check_name(src, name, &mut out, allows);
+                }
+            }
+            if is_handle
+                && toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+                && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+                && toks.get(i + 3).is_some_and(|t| t.is_ident("new"))
+            {
+                if let Some(name) = first_str_arg(toks, i + 4) {
+                    check_name(src, name, &mut out, allows);
+                    registrations.push((&name.text, src, name.line));
+                }
+            }
+        }
+    }
+
+    // RA0203: duplicate handle registrations.
+    registrations.sort_by(|a, b| a.0.cmp(b.0));
+    for w in registrations.windows(2) {
+        if w[0].0 == w[1].0 {
+            let (name, src, line) = w[1];
+            if !allows.suppressed(src, "RA0203", line) {
+                out.push(Diagnostic::error(
+                    "RA0203",
+                    Analyzer::Audit,
+                    format!(
+                        "{}:{}: metric handle name {:?} is registered more than once \
+                         (first at {}:{})",
+                        src.path, line, name, w[0].1.path, w[0].2
+                    ),
+                ));
+            }
+        }
+    }
+
+    // RA0201: pinned names must exist somewhere in the sources.
+    for name in pinned {
+        if !all_names.contains(name.as_str()) {
+            out.push(Diagnostic::error(
+                "RA0201",
+                Analyzer::Audit,
+                format!(
+                    "trace-schema pinned name {name:?} does not appear in any \
+                     workspace source — renaming a pinned span/counter is a \
+                     breaking change"
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// The first string-literal argument of a call whose `(` is expected at
+/// or just after `from`.
+fn first_str_arg(toks: &[crate::lexer::Tok], from: usize) -> Option<&crate::lexer::Tok> {
+    let open = toks.get(from)?;
+    if !open.is_punct('(') {
+        return None;
+    }
+    let arg = toks.get(from + 1)?;
+    (arg.kind == TokKind::Str).then_some(arg)
+}
+
+fn check_name(
+    src: &Source,
+    name: &crate::lexer::Tok,
+    out: &mut Vec<Diagnostic>,
+    allows: &mut AllowTracker,
+) {
+    if well_formed(&name.text) || allows.suppressed(src, "RA0202", name.line) {
+        return;
+    }
+    out.push(Diagnostic::error(
+        "RA0202",
+        Analyzer::Audit,
+        format!(
+            "{}:{}: observability name {:?} is not of the form \
+             repsim.<seg>.<seg>… (lowercase, digits, '_')",
+            src.path, name.line, name.text
+        ),
+    ));
+}
+
+/// `repsim.` + one or more non-empty lowercase segments.
+fn well_formed(name: &str) -> bool {
+    let Some(rest) = name.strip_prefix("repsim.") else {
+        return false;
+    };
+    !rest.is_empty()
+        && rest.split('.').all(|seg| {
+            !seg.is_empty()
+                && seg
+                    .bytes()
+                    .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'_')
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pinned_names_are_harvested_and_prefix_literals_skipped() {
+        let schema = Source::new(
+            "tests/trace_schema.rs",
+            r#"assert!(n.starts_with("repsim.")); let s = "repsim.sparse.spgemm";"#,
+        );
+        assert_eq!(pinned_names(&schema), ["repsim.sparse.spgemm"]);
+    }
+
+    #[test]
+    fn missing_pinned_name_is_ra0201() {
+        let src = Source::new("crates/a/src/lib.rs", r#"span("repsim.a.b");"#);
+        let mut allows = AllowTracker::default();
+        let ds = check(
+            &[src],
+            &["repsim.a.b".to_owned(), "repsim.gone.name".to_owned()],
+            &mut allows,
+        );
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].code, "RA0201");
+        assert!(ds[0].message.contains("repsim.gone.name"));
+    }
+
+    #[test]
+    fn malformed_names_are_ra0202() {
+        for bad in [
+            r#"span("repsim.Bad.Name");"#,
+            r#"span("repsim..double");"#,
+            r#"span("other.prefix");"#,
+            r#"static C: CounterHandle = CounterHandle::new("repsim.has space");"#,
+        ] {
+            let src = Source::new("crates/a/src/lib.rs", bad);
+            let mut allows = AllowTracker::default();
+            let ds = check(&[src], &[], &mut allows);
+            assert_eq!(ds.len(), 1, "{bad}");
+            assert_eq!(ds[0].code, "RA0202", "{bad}");
+        }
+    }
+
+    #[test]
+    fn duplicate_handle_registration_is_ra0203() {
+        let a = Source::new(
+            "crates/a/src/lib.rs",
+            r#"static X: CounterHandle = CounterHandle::new("repsim.a.hits");"#,
+        );
+        let b = Source::new(
+            "crates/b/src/lib.rs",
+            r#"static Y: CounterHandle = CounterHandle::new("repsim.a.hits");"#,
+        );
+        let mut allows = AllowTracker::default();
+        let ds = check(&[a, b], &[], &mut allows);
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].code, "RA0203");
+    }
+
+    #[test]
+    fn names_in_comments_do_not_register() {
+        let src = Source::new(
+            "crates/a/src/lib.rs",
+            "// CounterHandle::new(\"repsim.BAD\")\nfn f() {}",
+        );
+        let mut allows = AllowTracker::default();
+        assert!(check(&[src], &[], &mut allows).is_empty());
+    }
+
+    #[test]
+    fn repeated_spans_are_not_duplicate_registrations() {
+        // span() call sites may legitimately repeat a name; only static
+        // handle registrations are uniqueness-checked.
+        let src = Source::new(
+            "crates/a/src/lib.rs",
+            r#"span("repsim.a.lookup"); span("repsim.a.lookup");"#,
+        );
+        let mut allows = AllowTracker::default();
+        assert!(check(&[src], &[], &mut allows).is_empty());
+    }
+}

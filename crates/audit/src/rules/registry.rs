@@ -1,0 +1,196 @@
+//! `RA03xx` — diagnostic-code registry consistency.
+//!
+//! `RS####`/`RA####` codes are a public contract: scripts grep for
+//! them, DESIGN.md tables document them, and "never reused for a
+//! different meaning" is what makes them stable. This rule keeps the
+//! registry ([`crate::codes::REGISTRY`]) and the sources in lockstep:
+//!
+//! * `RA0301` — a code-shaped literal appears in source but is not
+//!   registered (typo, or someone minted a code without shipping it);
+//! * `RA0302` — an `Active` registry entry is used nowhere (warning:
+//!   either dead registry weight or the feature it documents was lost);
+//! * `RA0303` — the registry itself contains a code twice;
+//! * `RA0304` — a `Retired` code reappears in source (numbers stay
+//!   burned).
+//!
+//! The registry's own definition file is excluded from the usage scan,
+//! otherwise every entry would count as "used" by its registration and
+//! `RA0302`/`RA0304` would be vacuous.
+
+use std::collections::BTreeSet;
+
+use repsim_check::{Analyzer, Diagnostic};
+
+use super::{path_matches, AllowTracker, Source};
+use crate::codes::{is_code_shaped, spec, Status, REGISTRY};
+use crate::lexer::TokKind;
+
+/// The file whose literals register rather than use codes.
+const REGISTRY_FILE: &str = "crates/audit/src/codes.rs";
+
+/// Runs `RA0301`/`RA0303`/`RA0304` over `sources`; also `RA0302` when
+/// `require_coverage` (workspace mode — fixture runs see too few files
+/// for coverage to be meaningful).
+pub fn check(
+    sources: &[Source],
+    require_coverage: bool,
+    allows: &mut AllowTracker,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+
+    // RA0303: the registry must not register a code twice.
+    for (i, a) in REGISTRY.iter().enumerate() {
+        if REGISTRY[..i].iter().any(|b| b.code == a.code) {
+            out.push(Diagnostic::error(
+                "RA0303",
+                Analyzer::Audit,
+                format!("diagnostic code {} is registered more than once", a.code),
+            ));
+        }
+    }
+
+    let mut used: BTreeSet<&str> = BTreeSet::new();
+    for src in sources {
+        if path_matches(&src.path, REGISTRY_FILE) {
+            continue;
+        }
+        // Code-shaped string literals plus the codes named by
+        // audit:allow directives (a typo'd allow should not pass
+        // silently as "unknown directive").
+        let lits = src
+            .lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Str && is_code_shaped(&t.text))
+            .map(|t| (t.text.as_str(), t.line, true));
+        let allow_refs = src
+            .lexed
+            .allows
+            .iter()
+            .map(|a| (a.code.as_str(), a.comment_line, false));
+        for (code, line, counts_as_use) in lits.chain(allow_refs) {
+            match spec(code) {
+                None => {
+                    if !allows.suppressed(src, "RA0301", line) {
+                        out.push(Diagnostic::error(
+                            "RA0301",
+                            Analyzer::Audit,
+                            format!(
+                                "{}:{}: diagnostic code {code} is not in the registry \
+                                 (crates/audit/src/codes.rs)",
+                                src.path, line
+                            ),
+                        ));
+                    }
+                }
+                Some(s) if s.status == Status::Retired => {
+                    if !allows.suppressed(src, "RA0304", line) {
+                        out.push(Diagnostic::error(
+                            "RA0304",
+                            Analyzer::Audit,
+                            format!(
+                                "{}:{}: diagnostic code {code} is retired — the number \
+                                 is burned and must not be resurrected",
+                                src.path, line
+                            ),
+                        ));
+                    }
+                }
+                Some(s) => {
+                    if counts_as_use {
+                        used.insert(s.code);
+                    }
+                }
+            }
+        }
+    }
+
+    if require_coverage {
+        for s in REGISTRY {
+            if s.status == Status::Active && !used.contains(s.code) {
+                out.push(Diagnostic::warning(
+                    "RA0302",
+                    Analyzer::Audit,
+                    format!(
+                        "registered active code {} ({}) is used nowhere in the \
+                         workspace",
+                        s.code, s.description
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(path: &str, text: &str) -> Vec<Diagnostic> {
+        let src = Source::new(path, text);
+        let mut allows = AllowTracker::default();
+        check(&[src], false, &mut allows)
+    }
+
+    #[test]
+    fn unregistered_code_is_ra0301() {
+        let ds = run("crates/a/src/lib.rs", r#"let c = "RS9901";"#);
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].code, "RA0301");
+        // audit:allow(RA0301, deliberately unregistered code exercising the rule)
+        assert!(ds[0].message.contains("RS9901"));
+    }
+
+    #[test]
+    fn retired_code_is_ra0304() {
+        let ds = run("crates/a/src/lib.rs", r#"let c = "RA0000";"#);
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].code, "RA0304");
+    }
+
+    #[test]
+    fn registered_active_codes_pass() {
+        let ds = run(
+            "crates/a/src/lib.rs",
+            r#"let c = "RS0101"; let d = "RA0501";"#,
+        );
+        assert!(ds.is_empty(), "{ds:?}");
+    }
+
+    #[test]
+    fn non_code_shaped_strings_are_ignored() {
+        let ds = run(
+            "crates/a/src/lib.rs",
+            r#"let c = "RS10"; let d = "ABCDEF";"#,
+        );
+        assert!(ds.is_empty(), "{ds:?}");
+    }
+
+    #[test]
+    fn registry_file_is_excluded_from_usage_scan() {
+        let ds = run(REGISTRY_FILE, r#"retired("RA0000", "reserved")"#);
+        assert!(ds.is_empty(), "{ds:?}");
+    }
+
+    #[test]
+    fn typoed_allow_directive_is_ra0301() {
+        let ds = run(
+            "crates/a/src/lib.rs",
+            "// audit:allow(RA9999, no such rule)\nfn f() {}",
+        );
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].code, "RA0301");
+    }
+
+    #[test]
+    fn coverage_mode_flags_unused_active_codes() {
+        // A single-file workspace uses almost nothing, so coverage mode
+        // must warn about (at least) some active code it does not use.
+        let src = Source::new("crates/a/src/lib.rs", r#"let c = "RS0101";"#);
+        let mut allows = AllowTracker::default();
+        let ds = check(&[src], true, &mut allows);
+        assert!(ds.iter().any(|d| d.code == "RA0302"));
+        assert!(!ds.iter().any(|d| d.message.contains("RS0101 ")));
+    }
+}

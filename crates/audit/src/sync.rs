@@ -1,0 +1,25 @@
+//! The synchronization facade the serve layer builds against.
+//!
+//! In production these are *exactly* `std::sync` — pure re-exports, zero
+//! cost, zero behavior change. The point of the indirection is
+//! auditability: the serve layer's epoch/breaker/admission-queue code
+//! imports its primitives from here, which gives the toolchain one
+//! choke point —
+//!
+//! * the lexical lock-order rule (`RA05xx`) knows every faced file is
+//!   in scope;
+//! * the CI sanitize matrix compiles the faced crates under TSan so the
+//!   real interleavings of this exact surface are raced;
+//! * the deterministic model checker ([`crate::model`]) explores
+//!   abstract schedules of the same protocol shapes (epoch publish,
+//!   queue close/drain, breaker-class isolation) under a bounded
+//!   scheduler.
+//!
+//! Keep imports of `Mutex`/`RwLock`/`Condvar`/atomics in the serve
+//! layer pointed here rather than at `std::sync` directly, so new
+//! concurrency code lands inside the audited surface by default.
+
+pub use std::sync::atomic;
+pub use std::sync::{
+    Arc, Condvar, Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard,
+};

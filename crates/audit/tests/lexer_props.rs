@@ -1,0 +1,123 @@
+//! Property tests for the audit lexer's comment/string discipline: rule
+//! keywords appearing inside comments or string literals are *text*,
+//! not code, and must never produce findings. The lexer is the one
+//! component every rule trusts, so its blind spots are checked against
+//! randomized content rather than a handful of examples.
+
+// Tests may panic freely: the workspace panic-freedom lints target
+// library code, not assertions.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::indexing_slicing
+)]
+
+use proptest::prelude::*;
+use repsim_audit::rules::locks::{LockOrderConfig, Wrapper};
+use repsim_audit::rules::{budget, locks, registry, AllowTracker, Source};
+
+const KERNEL: &str = "crates/sparse/src/ops.rs";
+
+/// A lock-order config matching the shapes the properties generate.
+const LOCK_CFG: &[LockOrderConfig] = &[LockOrderConfig {
+    file: KERNEL,
+    ranks: &[("state", 10), ("epoch", 40), ("inner", 1000)],
+    wrappers: &[Wrapper {
+        method: "state_lock",
+        lock: "state",
+        rank: 10,
+        transient: false,
+    }],
+}];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Loop keywords and poll-shaped identifiers living only in
+    /// comments and strings never make a polled loop look unpolled —
+    /// and never make comment text count as a poll either: the real
+    /// loop below carries the only genuine `budget.check()`.
+    #[test]
+    fn loop_tokens_in_comments_and_strings_never_affect_ra0101(
+        filler in "[a-zA-Z0-9_ .:(){}]{0,40}",
+    ) {
+        let text = format!(
+            "fn f(budget: &Budget, n: usize) {{\n\
+             \x20   // for while loop check {filler}\n\
+             \x20   /* budget.check() {filler} */\n\
+             \x20   let s = \"for while loop budget.check() {filler}\";\n\
+             \x20   touch(s);\n\
+             \x20   for i in 0..n {{ budget.check(); work(i); }}\n\
+             }}\n"
+        );
+        let src = Source::new(KERNEL, &text);
+        let mut allows = AllowTracker::default();
+        let ds = budget::check(&[src], &[KERNEL], &mut allows);
+        prop_assert!(ds.is_empty(), "{ds:?}");
+    }
+
+    /// An *unpolled* loop is still caught no matter what poll-shaped
+    /// text surrounds it in comments and strings: the rule must not be
+    /// fooled into leniency by non-code tokens either.
+    #[test]
+    fn comment_polls_do_not_satisfy_ra0101(
+        filler in "[a-zA-Z0-9_ ]{0,40}",
+    ) {
+        let text = format!(
+            "fn f(budget: &Budget, n: usize) {{\n\
+             \x20   for i in 0..n {{\n\
+             \x20       // budget.check() try_step {filler}\n\
+             \x20       work(i);\n\
+             \x20   }}\n\
+             }}\n"
+        );
+        let src = Source::new(KERNEL, &text);
+        let mut allows = AllowTracker::default();
+        let ds = budget::check(&[src], &[KERNEL], &mut allows);
+        prop_assert_eq!(ds.len(), 1, "{:?}", ds);
+        prop_assert_eq!(ds[0].code, "RA0101");
+    }
+
+    /// Lock-acquisition and lock-type spellings inside comments and
+    /// strings never register as acquisitions or field declarations.
+    #[test]
+    fn lock_tokens_in_comments_and_strings_never_trip_ra05(
+        filler in "[a-zA-Z0-9_ .:]{0,40}",
+    ) {
+        let text = format!(
+            "struct S {{\n\
+             \x20   state: Mutex<u8>,\n\
+             \x20   epoch: RwLock<u8>,\n\
+             }}\n\
+             impl S {{\n\
+             \x20   fn f(&self) {{\n\
+             \x20       // self.epoch.write() then self.state.lock() {filler}\n\
+             \x20       let s = \"rogue: Mutex<u8> self.inner.lock() {filler}\";\n\
+             \x20       touch(s);\n\
+             \x20       let g = self.state.lock();\n\
+             \x20       drop(g);\n\
+             \x20   }}\n\
+             }}\n"
+        );
+        let src = Source::new(KERNEL, &text);
+        let mut allows = AllowTracker::default();
+        let ds = locks::check(&[src], LOCK_CFG, &mut allows);
+        prop_assert!(ds.is_empty(), "{ds:?}");
+    }
+
+    /// Code-shaped text in comments is invisible to the registry rule;
+    /// only string literals count as code references.
+    #[test]
+    fn code_shaped_comment_text_is_invisible_to_ra03(n in 0u32..10_000) {
+        let text = format!(
+            "// this comment discusses RS{n:04} and RA{n:04} at length\n\
+             /* and so does this one: RS{n:04} */\n\
+             fn f() {{}}\n"
+        );
+        let src = Source::new("crates/x/src/a.rs", &text);
+        let mut allows = AllowTracker::default();
+        let ds = registry::check(&[src], false, &mut allows);
+        prop_assert!(ds.is_empty(), "{ds:?}");
+    }
+}

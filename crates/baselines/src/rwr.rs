@@ -84,6 +84,7 @@ impl<'g> Rwr<'g> {
             budget.check()?;
             // rᵀ·W propagates mass along edges; restart re-injects at q.
             let mut next = try_vecmat(&r, &self.walk)?;
+            // audit:allow(RA0101, one dense pass over n entries between the per-iteration polls)
             for v in next.iter_mut() {
                 *v *= 1.0 - self.restart;
             }

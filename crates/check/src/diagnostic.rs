@@ -39,6 +39,10 @@ pub enum Analyzer {
     Matrix,
     /// Transformation applicability and invertibility preconditions.
     Transform,
+    /// Mutation pre-flight checks against a live graph (`RS06xx`).
+    Mutation,
+    /// Source-level invariant audit (`RA####`, produced by `repsim-audit`).
+    Audit,
 }
 
 impl Analyzer {
@@ -50,6 +54,8 @@ impl Analyzer {
             Analyzer::Fd => "fd",
             Analyzer::Matrix => "matrix",
             Analyzer::Transform => "transform",
+            Analyzer::Mutation => "mutation",
+            Analyzer::Audit => "audit",
         }
     }
 }

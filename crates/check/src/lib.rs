@@ -37,6 +37,7 @@
 pub mod diagnostic;
 pub mod matrix;
 pub mod model;
+pub mod mutate;
 pub mod plan;
 pub mod transform;
 

@@ -1,0 +1,345 @@
+//! Mutation pre-flight: validates a batch of mutate requests *before*
+//! they are sent to a running server.
+//!
+//! `repsim serve` rejects bad mutations one at a time at the protocol
+//! layer; a migration script that ships a hundred-line batch learns
+//! about line 73's typo only after lines 1–72 already committed. This
+//! analyzer replays the whole batch against a local graph copy and
+//! reports every problem up front with stable `RS06##` codes:
+//!
+//! * `RS0601` — request malformed: not a JSON object, wrong `"op"`,
+//!   unknown action, or a required field missing / of the wrong type.
+//! * `RS0602` — a node reference's text form does not parse
+//!   (`label:value` for entities, `label:#index` for relationships).
+//! * `RS0603` — a node reference parses but names nothing in the graph
+//!   (unknown label, unknown entity, index out of range, label-kind
+//!   mismatch).
+//! * `RS0604` — the reference resolves but the mutation's precondition
+//!   fails: duplicate entity, duplicate edge, self-loop, or removing an
+//!   edge that is not there.
+//! * `RS0605` — an unrecognized field rides along (likely a misspelled
+//!   required field); warning severity, since servers ignore extras.
+//!
+//! Mutations are validated *cumulatively*: line 2 may add an edge to an
+//! entity line 1 introduced. Lines that fail are skipped, so one bad
+//! line does not cascade phantom failures over the rest of the batch.
+
+use repsim_graph::mutation::{self, NodeRef};
+use repsim_graph::{Graph, GraphError, MutationOp};
+use repsim_obs::json::{self, Json};
+
+use crate::diagnostic::{Analyzer, Diagnostic};
+
+/// Fields every mutate request may carry, regardless of action.
+const COMMON_FIELDS: &[&str] = &["id", "op", "action", "deadline_ms"];
+
+/// Validates a batch of newline-delimited mutate requests read from
+/// `path` (used only for messages). With a graph, references are
+/// resolved and preconditions replayed cumulatively; without one, only
+/// the structural checks (`RS0601`, `RS0602`, `RS0605`) run.
+pub fn check_mutations(path: &str, text: &str, graph: Option<&Graph>) -> Vec<Diagnostic> {
+    let mut ds = Vec::new();
+    // The batch replays against a private copy so earlier lines' effects
+    // are visible to later preconditions.
+    let mut staged: Option<Graph> = None;
+    for (idx, line) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let op = check_line(path, line_no, line, &mut ds);
+        if let (Some(op), Some(g)) = (op, graph) {
+            let current = staged.as_ref().unwrap_or(g);
+            match mutation::apply(current, &op) {
+                // A line with only an extra-field warning still applies
+                // (the server would accept it too).
+                Ok(next) => staged = Some(next),
+                Err(e) => ds.push(graph_error(path, line_no, &op, &e)),
+            }
+        }
+    }
+    ds
+}
+
+/// Structural validation of one request line; returns the decoded op
+/// when the line is well-formed enough to replay.
+fn check_line(
+    path: &str,
+    line_no: usize,
+    line: &str,
+    ds: &mut Vec<Diagnostic>,
+) -> Option<MutationOp> {
+    let at = |msg: String| format!("{path}:{line_no}: {msg}");
+    let v = match json::parse(line) {
+        Ok(v) => v,
+        Err(e) => {
+            ds.push(Diagnostic::error(
+                "RS0601",
+                Analyzer::Mutation,
+                at(format!("not valid JSON: {e}")),
+            ));
+            return None;
+        }
+    };
+    let obj = match v.as_obj() {
+        Some(o) => o,
+        None => {
+            ds.push(Diagnostic::error(
+                "RS0601",
+                Analyzer::Mutation,
+                at("request is not a JSON object".to_owned()),
+            ));
+            return None;
+        }
+    };
+    if let Some(op) = obj.get("op") {
+        if op.as_str() != Some("mutate") {
+            ds.push(Diagnostic::error(
+                "RS0601",
+                Analyzer::Mutation,
+                at("\"op\" must be \"mutate\"".to_owned()),
+            ));
+            return None;
+        }
+    }
+    if let Some(d) = obj.get("deadline_ms") {
+        let ok = matches!(d.as_num(), Some(n) if n >= 0.0 && n.fract() == 0.0);
+        if !ok {
+            ds.push(Diagnostic::error(
+                "RS0601",
+                Analyzer::Mutation,
+                at("\"deadline_ms\" must be a non-negative integer".to_owned()),
+            ));
+        }
+    }
+    let action = match obj.get("action").and_then(Json::as_str) {
+        Some(a) => a,
+        None => {
+            ds.push(Diagnostic::error(
+                "RS0601",
+                Analyzer::Mutation,
+                at("missing string field \"action\"".to_owned()),
+            ));
+            return None;
+        }
+    };
+    let required: &[&str] = match action {
+        "add_entity" => &["label", "value"],
+        "add_edge" | "remove_edge" => &["a", "b"],
+        other => {
+            ds.push(Diagnostic::error(
+                "RS0601",
+                Analyzer::Mutation,
+                at(format!(
+                    "unknown action {other:?} (expected add_entity, add_edge or remove_edge)"
+                )),
+            ));
+            return None;
+        }
+    };
+    for key in obj.keys() {
+        if !COMMON_FIELDS.contains(&key.as_str()) && !required.contains(&key.as_str()) {
+            ds.push(Diagnostic::warning(
+                "RS0605",
+                Analyzer::Mutation,
+                at(format!(
+                    "unknown field {key:?} for action {action:?} (misspelled {required:?}?)"
+                )),
+            ));
+        }
+    }
+    let mut field = |name: &str| -> Option<String> {
+        match obj.get(name).and_then(Json::as_str) {
+            Some(s) => Some(s.to_owned()),
+            None => {
+                ds.push(Diagnostic::error(
+                    "RS0601",
+                    Analyzer::Mutation,
+                    at(format!("{action} requires string field {name:?}")),
+                ));
+                None
+            }
+        }
+    };
+    let op = match action {
+        "add_entity" => {
+            let (label, value) = (field("label"), field("value"));
+            MutationOp::AddEntity {
+                label: label?,
+                value: value?,
+            }
+        }
+        _ => {
+            let (a, b) = (field("a"), field("b"));
+            let mut node = |name: &str, text: String| -> Option<NodeRef> {
+                match NodeRef::parse(&text) {
+                    Ok(r) => Some(r),
+                    Err(e) => {
+                        ds.push(Diagnostic::error(
+                            "RS0602",
+                            Analyzer::Mutation,
+                            at(format!("field {name:?}: {e}")),
+                        ));
+                        None
+                    }
+                }
+            };
+            let (a, b) = (node("a", a?), node("b", b?));
+            let (a, b) = (a?, b?);
+            if action == "add_edge" {
+                MutationOp::AddEdge { a, b }
+            } else {
+                MutationOp::RemoveEdge { a, b }
+            }
+        }
+    };
+    Some(op)
+}
+
+/// Maps a replay failure to the resolve / precondition split: references
+/// that name nothing are `RS0603`; references that resolve into an
+/// operation the graph rejects are `RS0604`.
+fn graph_error(path: &str, line_no: usize, op: &MutationOp, e: &GraphError) -> Diagnostic {
+    let code = match e {
+        GraphError::UnknownLabel(_)
+        | GraphError::UnknownEntity { .. }
+        | GraphError::UnknownNode(_)
+        | GraphError::LabelKindMismatch { .. } => "RS0603",
+        _ => "RS0604",
+    };
+    Diagnostic::error(
+        code,
+        Analyzer::Mutation,
+        format!("{path}:{line_no}: {op}: {e}"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use repsim_graph::GraphBuilder;
+
+    fn movie_fragment() -> Graph {
+        let mut b = GraphBuilder::new();
+        let actor = b.entity_label("actor");
+        let film = b.entity_label("film");
+        let starring = b.relationship_label("starring");
+        let a = b.entity(actor, "H. Ford");
+        let f = b.entity(film, "Star Wars V");
+        let s = b.relationship(starring);
+        b.edge(a, s).unwrap();
+        b.edge(s, f).unwrap();
+        b.build()
+    }
+
+    fn codes(ds: &[Diagnostic]) -> Vec<&'static str> {
+        ds.iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn clean_batch_passes() {
+        let g = movie_fragment();
+        let text = concat!(
+            "{\"op\":\"mutate\",\"action\":\"add_entity\",\"label\":\"actor\",\"value\":\"new\"}\n",
+            "{\"action\":\"add_edge\",\"a\":\"actor:new\",\"b\":\"starring:#0\"}\n",
+        );
+        let ds = check_mutations("batch.jsonl", text, Some(&g));
+        assert!(ds.is_empty(), "{ds:?}");
+    }
+
+    #[test]
+    fn cumulative_replay_sees_earlier_lines() {
+        let g = movie_fragment();
+        // Without cumulative replay line 2 would be RS0603 (entity
+        // "new" unknown in the seed graph).
+        let text = concat!(
+            "{\"action\":\"add_entity\",\"label\":\"actor\",\"value\":\"new\"}\n",
+            "{\"action\":\"add_edge\",\"a\":\"actor:new\",\"b\":\"starring:#0\"}\n",
+            "{\"action\":\"remove_edge\",\"a\":\"actor:new\",\"b\":\"starring:#0\"}\n",
+        );
+        assert!(check_mutations("b.jsonl", text, Some(&g)).is_empty());
+    }
+
+    #[test]
+    fn malformed_lines_are_rs0601() {
+        let text = concat!(
+            "not json at all\n",
+            "[1,2,3]\n",
+            "{\"op\":\"rank\",\"action\":\"add_entity\"}\n",
+            "{\"action\":\"sideways\"}\n",
+            "{\"action\":\"add_entity\",\"label\":\"actor\"}\n",
+            "{\"action\":\"add_edge\",\"a\":\"x:y\",\"b\":\"x:z\",\"deadline_ms\":-4}\n",
+        );
+        let ds = check_mutations("b.jsonl", text, None);
+        assert_eq!(codes(&ds), vec!["RS0601"; 6], "{ds:?}");
+        assert!(ds[4].message.contains("\"value\""), "{}", ds[4].message);
+    }
+
+    #[test]
+    fn bad_node_ref_text_is_rs0602() {
+        let text = "{\"action\":\"add_edge\",\"a\":\"no-colon\",\"b\":\"actor:ok\"}\n";
+        let ds = check_mutations("b.jsonl", text, None);
+        assert_eq!(codes(&ds), vec!["RS0602"], "{ds:?}");
+        assert!(ds[0].message.contains("\"a\""), "{}", ds[0].message);
+    }
+
+    #[test]
+    fn unresolved_refs_are_rs0603() {
+        let g = movie_fragment();
+        let text = concat!(
+            "{\"action\":\"add_entity\",\"label\":\"spaceship\",\"value\":\"Falcon\"}\n",
+            "{\"action\":\"add_edge\",\"a\":\"actor:nobody\",\"b\":\"starring:#0\"}\n",
+            "{\"action\":\"add_edge\",\"a\":\"actor:H. Ford\",\"b\":\"starring:#99\"}\n",
+            "{\"action\":\"add_edge\",\"a\":\"starring:H. Ford\",\"b\":\"starring:#0\"}\n",
+        );
+        let ds = check_mutations("b.jsonl", text, Some(&g));
+        assert_eq!(codes(&ds), vec!["RS0603"; 4], "{ds:?}");
+    }
+
+    #[test]
+    fn failed_preconditions_are_rs0604() {
+        let g = movie_fragment();
+        let text = concat!(
+            "{\"action\":\"add_entity\",\"label\":\"actor\",\"value\":\"H. Ford\"}\n",
+            "{\"action\":\"add_edge\",\"a\":\"actor:H. Ford\",\"b\":\"starring:#0\"}\n",
+            "{\"action\":\"remove_edge\",\"a\":\"actor:H. Ford\",\"b\":\"film:Star Wars V\"}\n",
+        );
+        let ds = check_mutations("b.jsonl", text, Some(&g));
+        assert_eq!(codes(&ds), vec!["RS0604"; 3], "{ds:?}");
+    }
+
+    #[test]
+    fn unknown_fields_warn_rs0605_but_still_replay() {
+        let g = movie_fragment();
+        let text =
+            "{\"action\":\"add_entity\",\"label\":\"actor\",\"value\":\"new\",\"lable\":\"x\"}\n";
+        let ds = check_mutations("b.jsonl", text, Some(&g));
+        assert_eq!(codes(&ds), vec!["RS0605"], "{ds:?}");
+        assert_eq!(ds[0].severity, crate::Severity::Warning);
+        assert!(ds[0].message.contains("lable"), "{}", ds[0].message);
+    }
+
+    #[test]
+    fn failing_line_does_not_cascade() {
+        let g = movie_fragment();
+        // Line 1 fails (duplicate); line 2 must still validate against
+        // the *unchanged* graph and pass.
+        let text = concat!(
+            "{\"action\":\"add_entity\",\"label\":\"actor\",\"value\":\"H. Ford\"}\n",
+            "{\"action\":\"add_entity\",\"label\":\"actor\",\"value\":\"new\"}\n",
+        );
+        let ds = check_mutations("b.jsonl", text, Some(&g));
+        assert_eq!(codes(&ds), vec!["RS0604"], "{ds:?}");
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        assert!(check_mutations("b.jsonl", "\n  \n", None).is_empty());
+    }
+
+    #[test]
+    fn without_graph_only_structural_checks_run() {
+        let text = "{\"action\":\"add_edge\",\"a\":\"actor:nobody\",\"b\":\"starring:#0\"}\n";
+        assert!(check_mutations("b.jsonl", text, None).is_empty());
+    }
+}

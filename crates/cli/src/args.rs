@@ -33,7 +33,14 @@ pub struct Args {
 
 /// Long options that are flags (no value): `--trace` must not swallow the
 /// next token the way `--key value` options do.
-const BOOL_FLAGS: &[&str] = &["trace", "fault-injection", "kernel", "mutate"];
+const BOOL_FLAGS: &[&str] = &[
+    "trace",
+    "fault-injection",
+    "kernel",
+    "mutate",
+    "json",
+    "schedules",
+];
 
 impl Args {
     /// Parses everything after the command word.

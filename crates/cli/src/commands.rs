@@ -148,9 +148,9 @@ pub fn check(args: &Args) -> Result<String, CliError> {
         Some(path) => Some(load(path)?),
         None => None,
     };
-    if graph.is_none() && args.get("csr").is_none() {
+    if graph.is_none() && args.get("csr").is_none() && args.get("mutations").is_none() {
         return Err(CliError::Usage(
-            "check needs a graph file and/or --csr matrices".to_owned(),
+            "check needs a graph file, --csr matrices and/or a --mutations batch".to_owned(),
         ));
     }
     if let Some(g) = &graph {
@@ -183,6 +183,15 @@ pub fn check(args: &Args) -> Result<String, CliError> {
             report.extend(repsim_check::transform::check_transformation(name, g));
         }
     }
+    if let Some(mpath) = args.get("mutations") {
+        let text = std::fs::read_to_string(mpath)
+            .map_err(|e| CliError::Io(format!("cannot read {mpath}: {e}")))?;
+        report.extend(repsim_check::mutate::check_mutations(
+            mpath,
+            &text,
+            graph.as_ref(),
+        ));
+    }
     if let Some(csv) = args.get("csr") {
         let mut factors = Vec::new();
         for path in csv.split(',').map(str::trim).filter(|p| !p.is_empty()) {
@@ -203,6 +212,89 @@ pub fn check(args: &Args) -> Result<String, CliError> {
         Err(CliError::Command(rendered))
     } else {
         Ok(rendered)
+    }
+}
+
+/// `repsim audit [ROOT] [--fixtures DIR] [--json] [--schedules]
+/// [--preemptions N]`.
+///
+/// Runs the `repsim-audit` source-level invariant auditor over the
+/// workspace rooted at ROOT (default `.`), or over a fixture directory
+/// with `--fixtures`. `--json` emits one JSON object per finding plus a
+/// summary line; `--schedules` additionally runs the deterministic
+/// serve-layer model checker at the given preemption bound. Exits
+/// nonzero (an `Err`) iff an error-severity finding or a schedule
+/// counterexample is present.
+pub fn audit(args: &Args) -> Result<String, CliError> {
+    use std::path::Path;
+
+    let report = match args.get("fixtures") {
+        Some(dir) => repsim_audit::audit_fixtures(Path::new(dir)),
+        None => repsim_audit::audit_workspace(Path::new(args.positional(0).unwrap_or("."))),
+    }
+    .map_err(|e| CliError::Io(format!("audit walk failed: {e}")))?;
+
+    let json = args.get("json").is_some();
+    let mut out = String::new();
+    if json {
+        for d in report.diagnostics() {
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"diagnostic\",\"code\":\"{}\",\"severity\":\"{}\",\
+                 \"analyzer\":\"{}\",\"message\":\"{}\"}}",
+                d.code,
+                d.severity,
+                d.analyzer,
+                repsim_obs::sink::json_escape(&d.message),
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"summary\",\"errors\":{},\"warnings\":{}}}",
+            report.error_count(),
+            report.warning_count(),
+        );
+    } else {
+        out.push_str(&report.render());
+    }
+
+    if args.get("schedules").is_some() {
+        let bound = args.get_usize("preemptions", 3)?;
+        match repsim_audit::model::run_all(bound) {
+            Ok(runs) => {
+                for r in runs {
+                    if json {
+                        let _ = writeln!(
+                            out,
+                            "{{\"type\":\"schedule\",\"scenario\":\"{}\",\"states\":{},\
+                             \"schedules\":{},\"preemptions\":{bound}}}",
+                            r.scenario, r.stats.states, r.stats.schedules,
+                        );
+                    } else {
+                        let _ = writeln!(
+                            out,
+                            "schedule {}: ok ({} states, {} schedules, preemption bound {bound})",
+                            r.scenario, r.stats.states, r.stats.schedules,
+                        );
+                    }
+                }
+            }
+            Err((scenario, v)) => {
+                let _ = writeln!(
+                    out,
+                    "schedule {scenario}: {:?} after [{}]",
+                    v.kind,
+                    v.trace.join(", "),
+                );
+                return Err(CliError::Command(out));
+            }
+        }
+    }
+
+    if report.has_errors() {
+        Err(CliError::Command(out))
+    } else {
+        Ok(out)
     }
 }
 

@@ -60,6 +60,7 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "stats" => commands::stats(&args),
         "validate" => commands::validate(&args),
         "check" => commands::check(&args),
+        "audit" => commands::audit(&args),
         "fds" => commands::fds(&args),
         "metawalks" => commands::metawalks(&args),
         "query" => commands::query(&args),
@@ -166,8 +167,23 @@ COMMANDS:
   validate     FILE                     check the §2.2 model assumptions
   check        [FILE] [--meta-walk \"...\"] [--fd \"...\"] [--fd-labels a,b,c]
                [--fd-max-len N] [--transform NAME] [--csr f1,f2,...]
+               [--mutations FILE]
                                         static analysis with stable RS#### codes;
-                                        exits nonzero on error-severity findings
+                                        exits nonzero on error-severity findings;
+                                        --mutations pre-flights a batch of
+                                        newline-delimited mutate requests
+                                        (cumulatively, against FILE if given)
+  audit        [ROOT] [--fixtures DIR] [--json] [--schedules] [--preemptions N]
+                                        source-level invariant audit over the
+                                        workspace's crates with stable RA####
+                                        codes (budget coverage, observability
+                                        names, code registry, enum handler
+                                        exhaustiveness, lock order); exits
+                                        nonzero on error-severity findings;
+                                        --schedules also model-checks the
+                                        serve layer's epoch/queue/breaker
+                                        interleavings at a bounded number of
+                                        preemptions
   fds          FILE [--max-len N]       discover functional dependencies
   metawalks    FILE --label L [--max-len N] [--fd-labels a,b,c]
                                         Algorithm 1's meta-walk set for L

@@ -20,7 +20,7 @@
 //! State transitions surface as `repsim.serve.breaker.*` counters and
 //! Warn/Info point events (tagged with the class).
 
-use std::sync::Mutex;
+use repsim_audit::sync::{Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 use repsim_obs::CounterHandle;
@@ -114,7 +114,7 @@ impl CircuitBreaker {
         }
     }
 
-    fn lock(&self, class: OpClass) -> std::sync::MutexGuard<'_, State> {
+    fn lock(&self, class: OpClass) -> MutexGuard<'_, State> {
         let m = match class {
             OpClass::Rank => &self.rank,
             OpClass::Mutate => &self.mutate,

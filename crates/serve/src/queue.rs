@@ -6,8 +6,8 @@
 //! unbounded work and timing out later is how servers melt. Consumers
 //! (the worker pool) block on a condvar until work or close.
 
+use repsim_audit::sync::{Condvar, Mutex, MutexGuard};
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex, MutexGuard};
 
 /// Returned by [`Bounded::try_push`] when the queue is at capacity,
 /// handing the rejected item back to the caller.

@@ -15,8 +15,9 @@
 use std::io::{Read as _, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
+
+use repsim_audit::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 
 use repsim_graph::Graph;

@@ -29,10 +29,10 @@
 //! matches the epoch that answers, so a rank racing a mutate either
 //! sees the old complete state or the new complete state, never a mix.
 
+use repsim_audit::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use repsim_audit::sync::{Arc, Mutex, MutexGuard, RwLock};
 use std::collections::HashMap;
 use std::path::Path;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard, RwLock};
 use std::time::Duration;
 
 use repsim_baselines::SimilarityAlgorithm as _;

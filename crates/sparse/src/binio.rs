@@ -14,7 +14,7 @@
 //! caller's job (see `repsim-serve`), built on [`checksum`] — a 64-bit
 //! FNV-1a over the encoded bytes.
 
-use crate::compact::CsrCompact;
+use crate::compact::{CompactInvariant, CsrCompact};
 use crate::csr::{Csr, CsrInvariant};
 use std::fmt;
 
@@ -343,36 +343,50 @@ impl CsrCompact {
             arr.copy_from_slice(chunk);
             values.push(f64::from_bits(u64::from_le_bytes(arr)));
         }
-        // Map each structural inconsistency to the invariant it violates
-        // before handing the arrays to the (total) raw constructor.
-        if row_ptr.first() != Some(&0) {
-            return Err(CsrInvariant::RowPtrStart {
-                found: row_ptr.first().copied().unwrap_or(0) as usize,
-            }
-            .into());
-        }
-        if let Some(row) = row_ptr.windows(2).position(|w| w[0] > w[1]) {
-            return Err(CsrInvariant::RowPtrNotMonotone {
-                row,
-                lo: row_ptr[row] as usize,
-                hi: row_ptr[row + 1] as usize,
-            }
-            .into());
-        }
-        if row_ptr.last().copied() != Some(deltas.len() as u32) {
-            return Err(CsrInvariant::NnzMismatch {
-                row_ptr_end: row_ptr.last().copied().unwrap_or(0) as usize,
-                cols: deltas.len(),
-                values: values.len(),
-            }
-            .into());
-        }
-        let c = CsrCompact::from_raw(nrows, ncols, row_ptr, deltas, values).ok_or(
-            // Structure was just verified, so the only remaining reject is
-            // an ineligible (too wide) declared shape.
-            DecodeError::LengthOverflow {
-                field: "ncols",
-                declared: ncols_decl,
+        // The raw constructor names the violated invariant; translate to
+        // the decoder's error vocabulary (the plain-CSR invariant when
+        // one corresponds, a header overflow for ineligible shapes).
+        let c = CsrCompact::try_from_raw(nrows, ncols, row_ptr, deltas, values).map_err(
+            |e| match e {
+                CompactInvariant::RowPtrShape { start, found, .. } if found == nrows + 1 => {
+                    CsrInvariant::RowPtrStart {
+                        found: start as usize,
+                    }
+                    .into()
+                }
+                CompactInvariant::RowPtrShape {
+                    expected, found, ..
+                } => CsrInvariant::RowPtrLength { expected, found }.into(),
+                CompactInvariant::RowPtrNotMonotone { row, lo, hi } => {
+                    CsrInvariant::RowPtrNotMonotone {
+                        row,
+                        lo: lo as usize,
+                        hi: hi as usize,
+                    }
+                    .into()
+                }
+                CompactInvariant::PartsMismatch {
+                    row_ptr_end,
+                    deltas,
+                    values,
+                } => CsrInvariant::NnzMismatch {
+                    row_ptr_end: row_ptr_end as usize,
+                    cols: deltas,
+                    values,
+                }
+                .into(),
+                CompactInvariant::DeltaOutOfBounds { row, col, ncols } => {
+                    CsrInvariant::ColumnOutOfBounds {
+                        row,
+                        col: u32::try_from(col).unwrap_or(u32::MAX),
+                        ncols,
+                    }
+                    .into()
+                }
+                CompactInvariant::Ineligible { .. } => DecodeError::LengthOverflow {
+                    field: "ncols",
+                    declared: ncols_decl,
+                },
             },
         )?;
         Ok((c, r.pos))

@@ -253,6 +253,7 @@ pub fn try_spmm_chain_with_budget_in(
             message: "empty spmm chain".to_owned(),
         });
     }
+    // audit:allow(RA0101, shape validation over factor metadata only — no data touched)
     for pair in matrices.windows(2) {
         if pair[0].ncols() != pair[1].nrows() {
             return Err(ExecError::ShapeMismatch {

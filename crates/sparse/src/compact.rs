@@ -24,6 +24,98 @@ use crate::csr::Csr;
 /// The widest matrix whose columns delta-encode into `u16`.
 pub const MAX_COMPACT_NCOLS: usize = u16::MAX as usize + 1;
 
+/// A structural invariant of the compact representation, violated by
+/// untrusted raw parts. Mirrors [`crate::csr::CsrInvariant`] for the
+/// delta-encoded layout; `repsim check` maps these onto the stable
+/// `RS0406`–`RS0408` codes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CompactInvariant {
+    /// `row_ptr.len()` is not `nrows + 1`, or it does not start at 0.
+    RowPtrShape {
+        /// `nrows + 1`.
+        expected: usize,
+        /// Actual length.
+        found: usize,
+        /// The stored first offset (must be 0).
+        start: u32,
+    },
+    /// `row_ptr` decreases between two consecutive rows.
+    RowPtrNotMonotone {
+        /// First row whose extent is negative.
+        row: usize,
+        /// `row_ptr[row]`.
+        lo: u32,
+        /// `row_ptr[row + 1]`.
+        hi: u32,
+    },
+    /// `row_ptr[nrows]`, the delta count and the value count disagree.
+    PartsMismatch {
+        /// `row_ptr[nrows]` (0 when `row_ptr` is empty).
+        row_ptr_end: u32,
+        /// `col_delta.len()`.
+        deltas: usize,
+        /// `values.len()`.
+        values: usize,
+    },
+    /// A row's deltas prefix-sum past the last column: the record does
+    /// not decode back to in-bounds column indices.
+    DeltaOutOfBounds {
+        /// Row holding the offending entry.
+        row: usize,
+        /// The decoded (out-of-range) column.
+        col: u64,
+        /// The matrix column count.
+        ncols: usize,
+    },
+    /// The declared shape cannot be represented compactly at all
+    /// (`ncols` too wide for `u16` deltas or `nnz` past the `u32` row
+    /// pointers).
+    Ineligible {
+        /// The declared column count.
+        ncols: usize,
+        /// The stored-entry count.
+        nnz: usize,
+    },
+}
+
+impl std::fmt::Display for CompactInvariant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompactInvariant::RowPtrShape {
+                expected,
+                found,
+                start,
+            } => write!(
+                f,
+                "compact row_ptr malformed: expected length {expected} starting at 0, \
+                 got length {found} starting at {start}"
+            ),
+            CompactInvariant::RowPtrNotMonotone { row, lo, hi } => {
+                write!(f, "compact row_ptr decreases at row {row}: {lo} > {hi}")
+            }
+            CompactInvariant::PartsMismatch {
+                row_ptr_end,
+                deltas,
+                values,
+            } => write!(
+                f,
+                "compact parts disagree: row_ptr ends at {row_ptr_end}, \
+                 {deltas} column deltas, {values} values"
+            ),
+            CompactInvariant::DeltaOutOfBounds { row, col, ncols } => write!(
+                f,
+                "row {row} deltas decode to column {col}, past the {ncols}-column shape"
+            ),
+            CompactInvariant::Ineligible { ncols, nnz } => write!(
+                f,
+                "shape ineligible for compact narrowing: ncols {ncols} (max \
+                 {MAX_COMPACT_NCOLS}) or nnz {nnz} (max {})",
+                u32::MAX
+            ),
+        }
+    }
+}
+
 /// A sparse matrix in delta-encoded compressed sparse row format.
 ///
 /// See the module docs for the layout; construct via
@@ -151,29 +243,61 @@ impl CsrCompact {
         (&self.row_ptr, &self.col_delta, &self.values)
     }
 
-    /// Builds from raw parts, used by `binio` decoding. Returns `None`
-    /// when the parts are structurally inconsistent (the caller maps
-    /// this to its own error type); full CSR invariants are re-checked
-    /// by converting through [`Csr::try_from_parts`] in `binio`.
-    pub(crate) fn from_raw(
+    /// Builds from untrusted raw parts (deserialized records, text
+    /// fixtures), naming the first violated invariant. Column
+    /// *sortedness* is not re-checked here — a zero delta after the
+    /// first entry of a row decodes to a duplicate column, which
+    /// [`CsrCompact::try_to_csr`] rejects — but decodability (every
+    /// prefix sum lands inside the shape) is, so a hostile record
+    /// cannot reach the kernels' on-the-fly decode loops.
+    pub fn try_from_raw(
         nrows: usize,
         ncols: usize,
         row_ptr: Vec<u32>,
         col_delta: Vec<u16>,
         values: Vec<f64>,
-    ) -> Option<CsrCompact> {
-        if row_ptr.len() != nrows + 1
-            || row_ptr.first() != Some(&0)
-            || row_ptr.last().copied() != Some(col_delta.len() as u32)
+    ) -> Result<CsrCompact, CompactInvariant> {
+        if row_ptr.len() != nrows + 1 || row_ptr.first() != Some(&0) {
+            return Err(CompactInvariant::RowPtrShape {
+                expected: nrows + 1,
+                found: row_ptr.len(),
+                start: row_ptr.first().copied().unwrap_or(0),
+            });
+        }
+        if let Some(row) = row_ptr.windows(2).position(|w| w[0] > w[1]) {
+            return Err(CompactInvariant::RowPtrNotMonotone {
+                row,
+                lo: row_ptr[row],
+                hi: row_ptr[row + 1],
+            });
+        }
+        if row_ptr.last().copied() != Some(col_delta.len() as u32)
             || col_delta.len() != values.len()
-            || !Self::eligible(ncols, col_delta.len())
         {
-            return None;
+            return Err(CompactInvariant::PartsMismatch {
+                row_ptr_end: row_ptr.last().copied().unwrap_or(0),
+                deltas: col_delta.len(),
+                values: values.len(),
+            });
         }
-        if row_ptr.windows(2).any(|w| w[0] > w[1]) {
-            return None;
+        if !Self::eligible(ncols, col_delta.len()) {
+            return Err(CompactInvariant::Ineligible {
+                ncols,
+                nnz: col_delta.len(),
+            });
         }
-        Some(CsrCompact {
+        for r in 0..nrows {
+            let (lo, hi) = (row_ptr[r] as usize, row_ptr[r + 1] as usize);
+            let decoded: u64 = col_delta[lo..hi].iter().map(|&d| u64::from(d)).sum();
+            if hi > lo && decoded >= ncols as u64 {
+                return Err(CompactInvariant::DeltaOutOfBounds {
+                    row: r,
+                    col: decoded,
+                    ncols,
+                });
+            }
+        }
+        Ok(CsrCompact {
             nrows,
             ncols,
             row_ptr,
@@ -254,15 +378,69 @@ mod tests {
     }
 
     #[test]
-    fn from_raw_rejects_inconsistent_parts() {
-        assert!(CsrCompact::from_raw(1, 4, vec![0, 1], vec![1], vec![1.0]).is_some());
-        // Wrong row_ptr length.
-        assert!(CsrCompact::from_raw(2, 4, vec![0, 1], vec![1], vec![1.0]).is_none());
-        // row_ptr not ending at nnz.
-        assert!(CsrCompact::from_raw(1, 4, vec![0, 2], vec![1], vec![1.0]).is_none());
-        // Decreasing row_ptr.
-        assert!(CsrCompact::from_raw(2, 4, vec![0, 1, 0], vec![1], vec![1.0]).is_none());
+    fn try_from_raw_accepts_consistent_parts() {
+        assert!(CsrCompact::try_from_raw(1, 4, vec![0, 1], vec![1], vec![1.0]).is_ok());
         // cols/values disagree.
-        assert!(CsrCompact::from_raw(1, 4, vec![0, 1], vec![1], vec![]).is_none());
+        assert!(CsrCompact::try_from_raw(1, 4, vec![0, 1], vec![1], vec![]).is_err());
+    }
+
+    #[test]
+    fn try_from_raw_names_the_violated_invariant() {
+        let shape = CsrCompact::try_from_raw(2, 4, vec![0, 1], vec![1], vec![1.0]);
+        assert!(
+            matches!(
+                shape,
+                Err(CompactInvariant::RowPtrShape {
+                    expected: 3,
+                    found: 2,
+                    ..
+                })
+            ),
+            "{shape:?}"
+        );
+        let mono = CsrCompact::try_from_raw(2, 4, vec![0, 1, 0], vec![1], vec![1.0]);
+        assert!(
+            matches!(
+                mono,
+                Err(CompactInvariant::RowPtrNotMonotone { row: 1, .. })
+            ),
+            "{mono:?}"
+        );
+        let parts = CsrCompact::try_from_raw(1, 4, vec![0, 2], vec![1], vec![1.0]);
+        assert!(
+            matches!(
+                parts,
+                Err(CompactInvariant::PartsMismatch { deltas: 1, .. })
+            ),
+            "{parts:?}"
+        );
+        let wide =
+            CsrCompact::try_from_raw(1, MAX_COMPACT_NCOLS + 1, vec![0, 1], vec![1], vec![1.0]);
+        assert!(
+            matches!(wide, Err(CompactInvariant::Ineligible { .. })),
+            "{wide:?}"
+        );
+    }
+
+    #[test]
+    fn try_from_raw_rejects_undecodable_deltas() {
+        // Row 0 decodes to column 3 + 2 = 5 in a 4-column shape.
+        let oob = CsrCompact::try_from_raw(1, 4, vec![0, 2], vec![3, 2], vec![1.0, 2.0]);
+        assert!(
+            matches!(
+                oob,
+                Err(CompactInvariant::DeltaOutOfBounds {
+                    row: 0,
+                    col: 5,
+                    ncols: 4
+                })
+            ),
+            "{oob:?}"
+        );
+        // The same deltas fit once the shape is wide enough.
+        assert!(CsrCompact::try_from_raw(1, 6, vec![0, 2], vec![3, 2], vec![1.0, 2.0]).is_ok());
+        // A boundary delta landing exactly on the last column is fine.
+        let edge = CsrCompact::try_from_raw(1, 4, vec![0, 1], vec![3], vec![1.0]);
+        assert!(edge.is_ok(), "{edge:?}");
     }
 }

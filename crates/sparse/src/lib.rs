@@ -58,7 +58,7 @@ pub use accum::{
 };
 pub use binio::{checksum, DecodeError};
 pub use budget::{Budget, ExecError};
-pub use compact::CsrCompact;
+pub use compact::{CompactInvariant, CsrCompact};
 pub use csr::{Csr, CsrInvariant};
 pub use dense::Dense;
 pub use parallelism::Parallelism;

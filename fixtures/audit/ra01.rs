@@ -1,0 +1,16 @@
+//! Seeded `RA0101`/`RA0102` violations: an unpolled kernel loop and a
+//! stale allow directive. Audited by the golden tests, never compiled.
+
+fn unpolled(budget: &Budget, n: usize) {
+    for i in 0..n {
+        work(i);
+    }
+}
+
+fn polled(budget: &Budget, n: usize) {
+    // audit:allow(RA0101, stale on purpose: the loop below does poll)
+    for i in 0..n {
+        budget.check();
+        work(i);
+    }
+}

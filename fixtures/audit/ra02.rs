@@ -1,0 +1,9 @@
+//! Seeded `RA0202`/`RA0203` violations: a malformed span name and a
+//! metric handle registered twice.
+
+fn emit() {
+    let _g = span("repsim.Fixture.Bad-Name");
+}
+
+static FIRST: CounterHandle = CounterHandle::new("repsim.fixture.dup");
+static SECOND: CounterHandle = CounterHandle::new("repsim.fixture.dup");

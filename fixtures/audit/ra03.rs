@@ -1,0 +1,7 @@
+//! Seeded `RA0301`/`RA0304` violations: a code that was never
+//! registered and a retired code resurrected.
+
+fn report() {
+    let _unregistered = "RS9999";
+    let _resurrected = "RA0000";
+}

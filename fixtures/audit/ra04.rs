@@ -1,0 +1,16 @@
+//! Seeded `RA0401` violation: `FixtureOp::Retire` is parseable but the
+//! handler match never references it.
+
+enum FixtureOp {
+    Apply,
+    Revert,
+    Retire,
+}
+
+fn handle(op: FixtureOp) {
+    match op {
+        FixtureOp::Apply => apply(),
+        FixtureOp::Revert => revert(),
+        _ => ignore(),
+    }
+}

@@ -1,0 +1,26 @@
+//! Seeded `RA0501`/`RA0502` violations: a lock acquired against the
+//! declared order, an acquisition under a leaf lock, and a lock-typed
+//! field missing from the rank table.
+
+struct Service {
+    state: Mutex<State>,
+    epoch: RwLock<Epoch>,
+    inner: Mutex<Queue>,
+    rogue: Mutex<u8>,
+}
+
+impl Service {
+    fn inverted(&self) {
+        let g = self.epoch.write();
+        let s = self.state.lock();
+        drop(s);
+        drop(g);
+    }
+
+    fn under_a_leaf(&self) {
+        let q = self.inner.lock();
+        let s = self.state_lock();
+        drop(s);
+        drop(q);
+    }
+}

@@ -1,0 +1,87 @@
+//! Golden tests for `repsim audit`: every seeded `RA####` violation in
+//! `fixtures/audit/` must surface with its stable code, the real
+//! workspace must audit clean, and the bounded model checker must pass
+//! its serve-layer scenarios. Codes are part of the tool's interface —
+//! changing one is a breaking change and must show up here.
+
+// Tests may panic freely: the workspace panic-freedom lints target
+// library code, not assertions.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::indexing_slicing
+)]
+
+use repsim_cli::{run, CliError};
+
+/// Every code the fixture sources deliberately violate.
+const SEEDED: &[&str] = &[
+    "RA0101", "RA0102", "RA0202", "RA0203", "RA0301", "RA0304", "RA0401", "RA0501", "RA0502",
+];
+
+fn argv(s: &str) -> Vec<String> {
+    s.split_whitespace().map(str::to_owned).collect()
+}
+
+#[test]
+fn seeded_fixtures_report_every_ra_code() {
+    let out = match run(&argv("audit --fixtures fixtures/audit")) {
+        Err(CliError::Command(out)) => out,
+        other => panic!("expected seeded fixtures to fail the audit, got {other:?}"),
+    };
+    for code in SEEDED {
+        assert!(out.contains(code), "missing {code} in:\n{out}");
+    }
+    // RA0102 (stale allow) must stay warning severity: it flags
+    // housekeeping, not a broken invariant.
+    assert!(out.contains("warning[RA0102]"), "{out}");
+}
+
+#[test]
+fn workspace_audits_clean_through_the_cli() {
+    let out = run(&argv("audit")).expect("workspace audit must pass");
+    assert!(out.contains("no issues found"), "{out}");
+}
+
+#[test]
+fn json_mode_emits_machine_readable_lines() {
+    let out = match run(&argv("audit --json --fixtures fixtures/audit")) {
+        Err(CliError::Command(out)) => out,
+        other => panic!("expected fixtures to fail, got {other:?}"),
+    };
+    let lines: Vec<&str> = out.lines().collect();
+    assert!(lines.len() > SEEDED.len(), "{out}");
+    for line in &lines {
+        assert!(
+            line.starts_with('{') && line.ends_with('}'),
+            "not a JSON object line: {line}"
+        );
+    }
+    for code in SEEDED {
+        assert!(
+            lines
+                .iter()
+                .any(|l| l.contains(&format!("\"code\":\"{code}\""))),
+            "missing {code} in JSON output:\n{out}"
+        );
+    }
+    let summary = lines.last().unwrap();
+    assert!(summary.contains("\"type\":\"summary\""), "{summary}");
+    assert!(summary.contains("\"errors\":9"), "{summary}");
+}
+
+#[test]
+fn schedules_flag_model_checks_the_serve_layer() {
+    let out = run(&argv("audit --schedules --preemptions 3")).expect("model check must pass");
+    for scenario in [
+        "serve.epoch-publish",
+        "serve.queue-close-drain",
+        "serve.breaker-isolation",
+    ] {
+        assert!(
+            out.contains(&format!("schedule {scenario}: ok")),
+            "missing {scenario} in:\n{out}"
+        );
+    }
+}

@@ -102,3 +102,47 @@ fn non_invertible_transform_fixture_is_rs0501() {
     let out = check_fails("fixtures/overloaded_cite.graph --transform dblp2snap");
     assert!(out.contains("error[RS0501]"), "{out}");
 }
+
+#[test]
+fn mutation_batch_fixture_passes() {
+    let out = check_passes("fixtures/clean.graph --mutations fixtures/mutations_ok.jsonl");
+    assert!(out.contains("no issues found"), "{out}");
+}
+
+#[test]
+fn seeded_mutation_defects_hit_every_rs06_code() {
+    let out = check_fails("fixtures/clean.graph --mutations fixtures/mutations_bad.jsonl");
+    for code in ["RS0601", "RS0602", "RS0603", "RS0604", "RS0605"] {
+        assert!(out.contains(code), "missing {code} in:\n{out}");
+    }
+    assert!(out.contains("warning[RS0605]"), "{out}");
+}
+
+#[test]
+fn mutation_batch_without_graph_runs_structural_checks_only() {
+    // Resolve/precondition checks need the graph; the structural RS0601
+    // and RS0602 defects must still fail the batch on its own.
+    let out = check_fails("--mutations fixtures/mutations_bad.jsonl");
+    assert!(out.contains("error[RS0601]"), "{out}");
+    assert!(out.contains("error[RS0602]"), "{out}");
+    assert!(!out.contains("RS0603"), "{out}");
+    assert!(!out.contains("RS0604"), "{out}");
+}
+
+#[test]
+fn compact_fixture_passes_and_chains_with_plain() {
+    // The .csrc record expands to the same 2x3 matrix as sound.csr, so
+    // chaining it in front of itself^T-shaped factors type-checks too.
+    let out = check_passes("--csr fixtures/compact_sound.csrc");
+    assert!(out.contains("no issues found"), "{out}");
+}
+
+#[test]
+fn seeded_compact_defects_hit_every_rs040678_code() {
+    let out = check_fails("--csr fixtures/compact_bad_rowptr.csrc");
+    assert!(out.contains("error[RS0406]"), "{out}");
+    let out = check_fails("--csr fixtures/compact_delta_oob.csrc");
+    assert!(out.contains("error[RS0407]"), "{out}");
+    let out = check_fails("--csr fixtures/compact_ineligible.csrc");
+    assert!(out.contains("error[RS0408]"), "{out}");
+}
