@@ -145,6 +145,10 @@ pub const REGISTRY: &[CodeSpec] = &[
         "observability name literal is malformed (not repsim.-namespaced)",
     ),
     active("RA0203", "metric handle name registered more than once"),
+    active(
+        "RA0204",
+        "name in a pinned live-ops family is not pinned in the trace schema",
+    ),
     // RA03xx — diagnostic-code registry consistency.
     active(
         "RA0301",

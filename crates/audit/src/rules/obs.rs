@@ -13,7 +13,13 @@
 //! * `RA0202` — a name passed to `span(`/`point(`/`*Handle::new(` does
 //!   not match `repsim.<segment>.<segment>…` (lowercase, digits, `_`);
 //! * `RA0203` — the same name is registered by more than one static
-//!   metric handle.
+//!   metric handle;
+//! * `RA0204` — a name emitted or registered inside a *pinned family*
+//!   (`repsim.serve.stats.*`, `repsim.serve.capture.*`,
+//!   `repsim.serve.tier.*`, `repsim.bench.replay.*` — the live-ops
+//!   names `repsim top`, the metrics journal and the CI soak job key
+//!   on) is not itself pinned in the trace schema, so a new or renamed
+//!   metric could silently escape the dashboard contract.
 
 use repsim_check::{Analyzer, Diagnostic};
 
@@ -22,6 +28,16 @@ use crate::lexer::TokKind;
 
 /// Metric-handle constructors whose first argument registers a name.
 const HANDLE_TYPES: &[&str] = &["CounterHandle", "GaugeHandle", "HistogramHandle"];
+
+/// Name families whose every member must be pinned in the trace schema
+/// (`RA0204`): the live-ops surface — stats stream, metrics journal,
+/// traffic capture, per-tier dashboard histogram, replay client.
+const PINNED_FAMILIES: &[&str] = &[
+    "repsim.serve.stats.",
+    "repsim.serve.capture.",
+    "repsim.serve.tier.",
+    "repsim.bench.replay.",
+];
 
 /// Extracts the names pinned by the trace-schema test: every string
 /// literal starting with `repsim.` that names a concrete span/counter
@@ -42,10 +58,11 @@ pub fn pinned_names(schema: &Source) -> Vec<String> {
     out
 }
 
-/// Runs `RA0201`–`RA0203` over the workspace sources.
+/// Runs `RA0201`–`RA0204` over the workspace sources.
 pub fn check(sources: &[Source], pinned: &[String], allows: &mut AllowTracker) -> Vec<Diagnostic> {
     let mut out = Vec::new();
     let mut registrations: Vec<(&str, &Source, u32)> = Vec::new();
+    let mut sites: Vec<(&str, &Source, u32)> = Vec::new();
     let mut all_names: std::collections::HashSet<&str> = std::collections::HashSet::new();
 
     for src in sources {
@@ -61,6 +78,7 @@ pub fn check(sources: &[Source], pinned: &[String], allows: &mut AllowTracker) -
             if is_emit {
                 if let Some(name) = first_str_arg(toks, i + 1) {
                     check_name(src, name, &mut out, allows);
+                    sites.push((&name.text, src, name.line));
                 }
             }
             if is_handle
@@ -71,6 +89,7 @@ pub fn check(sources: &[Source], pinned: &[String], allows: &mut AllowTracker) -
                 if let Some(name) = first_str_arg(toks, i + 4) {
                     check_name(src, name, &mut out, allows);
                     registrations.push((&name.text, src, name.line));
+                    sites.push((&name.text, src, name.line));
                 }
             }
         }
@@ -89,6 +108,32 @@ pub fn check(sources: &[Source], pinned: &[String], allows: &mut AllowTracker) -
                         "{}:{}: metric handle name {:?} is registered more than once \
                          (first at {}:{})",
                         src.path, line, name, w[0].1.path, w[0].2
+                    ),
+                ));
+            }
+        }
+    }
+
+    // RA0204: every emission/registration inside a pinned family must
+    // itself be pinned in the trace schema. Skipped when no schema was
+    // found (fixture mode audits synthetic sources with no schema).
+    if !pinned.is_empty() {
+        for (name, src, line) in &sites {
+            if PINNED_FAMILIES.iter().any(|f| name.starts_with(f))
+                && !pinned.iter().any(|p| p == name)
+                && !allows.suppressed(src, "RA0204", *line)
+            {
+                out.push(Diagnostic::error(
+                    "RA0204",
+                    Analyzer::Audit,
+                    format!(
+                        "{}:{}: observability name {:?} is inside a pinned family \
+                         but is not pinned in {} — pin it in the live-ops schema \
+                         test or rename it out of the family",
+                        src.path,
+                        line,
+                        name,
+                        crate::TRACE_SCHEMA_FILE
                     ),
                 ));
             }
@@ -214,6 +259,56 @@ mod tests {
         let ds = check(&[a, b], &[], &mut allows);
         assert_eq!(ds.len(), 1);
         assert_eq!(ds[0].code, "RA0203");
+    }
+
+    #[test]
+    fn unpinned_family_name_is_ra0204() {
+        let src = Source::new(
+            "crates/serve/src/server.rs",
+            r#"static A: CounterHandle = CounterHandle::new("repsim.serve.stats.lines");
+               static B: CounterHandle = CounterHandle::new("repsim.serve.stats.new_thing");
+               point("repsim.serve.capture.oops", Level::Warn, "x");"#,
+        );
+        let mut allows = AllowTracker::default();
+        let ds = check(
+            &[src],
+            &["repsim.serve.stats.lines".to_owned()],
+            &mut allows,
+        );
+        assert_eq!(ds.len(), 2, "{ds:?}");
+        for d in &ds {
+            assert_eq!(d.code, "RA0204");
+        }
+        assert!(ds[0].message.contains("repsim.serve.stats.new_thing"));
+        assert!(ds[1].message.contains("repsim.serve.capture.oops"));
+    }
+
+    #[test]
+    fn pinned_family_members_and_foreign_names_pass_ra0204() {
+        let src = Source::new(
+            "crates/serve/src/server.rs",
+            r#"static A: CounterHandle = CounterHandle::new("repsim.serve.stats.lines");
+               span("repsim.sparse.spgemm");"#,
+        );
+        let mut allows = AllowTracker::default();
+        let ds = check(
+            &[src],
+            &["repsim.serve.stats.lines".to_owned()],
+            &mut allows,
+        );
+        assert!(ds.is_empty(), "{ds:?}");
+    }
+
+    #[test]
+    fn ra0204_is_skipped_without_a_schema() {
+        // Fixture mode has no trace schema: family membership is not
+        // enforceable and must not produce findings.
+        let src = Source::new(
+            "ra_fixture.rs",
+            r#"static B: CounterHandle = CounterHandle::new("repsim.serve.stats.anything");"#,
+        );
+        let mut allows = AllowTracker::default();
+        assert!(check(&[src], &[], &mut allows).is_empty());
     }
 
     #[test]

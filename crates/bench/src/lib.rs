@@ -12,6 +12,12 @@
 //! Benchmarks operate on the `tiny`/`small` dataset presets so `cargo
 //! bench` completes in minutes; the benched code paths are exactly those
 //! behind the paper's tables (see DESIGN.md's bench index).
+//!
+//! [`serve_load`] is different in kind: not a Criterion bench but the
+//! serving-path workload generator and capture/replay client behind
+//! `repsim bench serve`.
+
+pub mod serve_load;
 
 use repsim_datasets::citations::{self, CitationConfig};
 use repsim_datasets::mas::{self, MasConfig};

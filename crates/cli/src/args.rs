@@ -40,6 +40,7 @@ const BOOL_FLAGS: &[&str] = &[
     "mutate",
     "json",
     "schedules",
+    "once",
 ];
 
 impl Args {

@@ -943,6 +943,8 @@ pub fn serve(args: &Args) -> Result<String, CliError> {
         wal: args.get("wal").map(std::path::PathBuf::from),
         queue_cap: args.get_usize("queue-cap", 64)?,
         port_file: args.get("port-file").map(std::path::PathBuf::from),
+        metrics_journal: args.get("metrics-journal").map(std::path::PathBuf::from),
+        metrics_interval_ms: args.get_usize("metrics-interval-ms", 1000)? as u64,
         service: repsim_serve::ServiceConfig {
             par: repsim_sparse::Parallelism::default(),
             default_deadline_ms: args.deadline_ms()?,
@@ -1022,6 +1024,276 @@ pub fn serve_client(args: &Args) -> Result<String, CliError> {
         )));
     }
     Ok(responses.join("\n"))
+}
+
+/// `repsim bench serve FILE --meta-walk "..." [--record CAP|--replay CAP] …`
+///
+/// Serving-path load generator and capture/replay client. With no
+/// `--addr` every run boots its own fresh server over FILE, which is
+/// what replay bit-identity needs: two `--replay` runs of one capture
+/// must produce identical rank responses.
+pub fn bench(args: &Args) -> Result<String, CliError> {
+    match args.positional(0) {
+        Some("serve") => bench_serve(args),
+        other => Err(CliError::Usage(format!(
+            "unknown bench target {other:?} (expected: serve)"
+        ))),
+    }
+}
+
+fn bench_serve(args: &Args) -> Result<String, CliError> {
+    use repsim_bench::serve_load as sl;
+    let record_path = args.get("record").map(std::path::PathBuf::from);
+    let replay_path = args.get("replay").map(std::path::PathBuf::from);
+    if record_path.is_some() && replay_path.is_some() {
+        return Err(CliError::Usage(
+            "--record and --replay are mutually exclusive".to_owned(),
+        ));
+    }
+    let seed = args.get_usize("seed", 42)? as u64;
+    let mode = match args.get("mode").unwrap_or("open") {
+        "open" => sl::Mode::Open,
+        "closed" => sl::Mode::Closed,
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown mode {other:?} (open|closed)"
+            )))
+        }
+    };
+    let max_retries = args.get_usize("max-retries", 3)? as u32;
+    let queue_cap = args.get_usize("queue-cap", 64)?;
+    let external = args.get("addr").map(str::to_owned);
+    let mk_opts = move |addr: &str| sl::ClientOptions {
+        addr: addr.to_owned(),
+        mode,
+        jitter_seed: seed,
+        max_retries,
+        ..sl::ClientOptions::default()
+    };
+
+    // The replay counters and latency histogram need a recording
+    // registry even without --trace.
+    let metrics_on: std::sync::Arc<dyn repsim_obs::Sink> =
+        std::sync::Arc::new(repsim_obs::NullSink);
+    repsim_obs::install(std::sync::Arc::clone(&metrics_on));
+    let result = bench_serve_run(
+        args,
+        seed,
+        mode,
+        queue_cap,
+        external.as_deref(),
+        record_path.as_deref(),
+        replay_path.as_deref(),
+        &mk_opts,
+    );
+    repsim_obs::remove_sink(&metrics_on);
+    result
+}
+
+#[allow(clippy::too_many_arguments)]
+fn bench_serve_run(
+    args: &Args,
+    seed: u64,
+    mode: repsim_bench::serve_load::Mode,
+    queue_cap: usize,
+    external: Option<&str>,
+    record_path: Option<&std::path::Path>,
+    replay_path: Option<&std::path::Path>,
+    mk_opts: &dyn Fn(&str) -> repsim_bench::serve_load::ClientOptions,
+) -> Result<String, CliError> {
+    use repsim_bench::serve_load as sl;
+    // The graph is needed to self-host and to generate a workload;
+    // replaying a capture against an external server needs neither.
+    let need_graph = external.is_none() || replay_path.is_none();
+    let g = if need_graph {
+        Some(load(args.positional(1).ok_or_else(|| {
+            CliError::Usage("bench serve needs a graph FILE".to_owned())
+        })?)?)
+    } else {
+        None
+    };
+    let with_addr = |f: &mut dyn FnMut(&str) -> Result<String, CliError>| match external {
+        Some(a) => f(a),
+        None => match &g {
+            Some(g) => {
+                sl::with_local_server(g, queue_cap, |addr| f(addr)).map_err(CliError::Command)?
+            }
+            None => Err(CliError::Usage("bench serve needs a graph FILE".to_owned())),
+        },
+    };
+
+    let mut summary;
+    let out_path = args.get("out").unwrap_or("BENCH_serve.json").to_owned();
+    let json_doc;
+    if let Some(cap) = replay_path {
+        let mut run = |addr: &str| -> Result<String, CliError> {
+            let (report, recovered) = sl::replay(cap, &mk_opts(addr)).map_err(CliError::Command)?;
+            let mut text = format!(
+                "replayed {} of {} recorded requests (seed {}): {} ok, {} shed first-attempt, \
+                 {} retries, {} retry-exhausted, {} exhausted, p50 {}µs p99 {}µs, \
+                 rank digest {:016x}",
+                report.sent,
+                recovered.records.len(),
+                recovered.seed,
+                report.ok,
+                report.shed_first,
+                report.retries,
+                report.retry_exhausted,
+                report.exhausted,
+                report.latency_percentile_us(0.50),
+                report.latency_percentile_us(0.99),
+                report.rank_digest
+            );
+            if recovered.torn_truncated {
+                text.push_str("; capture torn tail truncated");
+            }
+            if recovered.quarantined_to.is_some() {
+                text.push_str("; corrupt capture suffix quarantined");
+            }
+            Ok(format!(
+                "{text}\n~JSON~{}",
+                sl::report_json("replay", recovered.seed, mode, &report)
+            ))
+        };
+        summary = with_addr(&mut run)?;
+    } else {
+        let g = g
+            .as_ref()
+            .ok_or_else(|| CliError::Usage("bench serve needs a graph FILE".to_owned()))?;
+        let walk = args.require("meta-walk")?;
+        let deadlines = match args.get("deadlines") {
+            None => vec![100, 250, 1000],
+            Some("none") => Vec::new(),
+            Some(list) => list
+                .split(',')
+                .map(|t| {
+                    t.trim().parse().map_err(|_| {
+                        CliError::Usage(format!("--deadlines expects numbers, got {t:?}"))
+                    })
+                })
+                .collect::<Result<_, _>>()?,
+        };
+        let wcfg = sl::WorkloadConfig {
+            seed,
+            requests: args.get_usize("requests", 200)?,
+            rate_per_s: args.get("rate").map_or(Ok(200.0), |v| {
+                v.parse()
+                    .map_err(|_| CliError::Usage(format!("--rate expects a number, got {v:?}")))
+            })?,
+            zipf_exponent: args.get("zipf").map_or(Ok(1.0), |v| {
+                v.parse()
+                    .map_err(|_| CliError::Usage(format!("--zipf expects a number, got {v:?}")))
+            })?,
+            mutate_ratio: args.get("mutate-ratio").map_or(Ok(0.1), |v| {
+                v.parse().map_err(|_| {
+                    CliError::Usage(format!("--mutate-ratio expects a fraction, got {v:?}"))
+                })
+            })?,
+            deadlines_ms: deadlines,
+            k: args.get_usize("k", 5)?,
+        };
+        let requests = sl::generate(g, walk, &wcfg).map_err(CliError::Command)?;
+        let mut run = |addr: &str| -> Result<String, CliError> {
+            let (label, report, recorded) = match record_path {
+                Some(cap) => {
+                    let (report, written) = sl::record(&requests, seed, &mk_opts(addr), cap)
+                        .map_err(CliError::Command)?;
+                    ("record", report, Some((cap.to_path_buf(), written)))
+                }
+                None => {
+                    let report = sl::run_requests(&requests, &mk_opts(addr), None)
+                        .map_err(|e| CliError::Command(e.to_string()))?;
+                    ("load", report, None)
+                }
+            };
+            let mut text = format!(
+                "{label}: {} requests (seed {seed}): {} ok, {} shed first-attempt, {} retries, \
+                 {} retry-exhausted, {} exhausted, {} behind schedule, p50 {}µs p99 {}µs, \
+                 rank digest {:016x}",
+                report.sent,
+                report.ok,
+                report.shed_first,
+                report.retries,
+                report.retry_exhausted,
+                report.exhausted,
+                report.behind_schedule,
+                report.latency_percentile_us(0.50),
+                report.latency_percentile_us(0.99),
+                report.rank_digest
+            );
+            if let Some((cap, written)) = &recorded {
+                let _ = write!(
+                    text,
+                    "; captured {written} admitted requests to {}",
+                    cap.display()
+                );
+            }
+            Ok(format!(
+                "{text}\n~JSON~{}",
+                sl::report_json(label, seed, mode, &report)
+            ))
+        };
+        summary = with_addr(&mut run)?;
+    }
+
+    // The run summary travels back through the self-host closure as
+    // one string; split the JSON document back off.
+    match summary.split_once("\n~JSON~") {
+        Some((text, json)) => {
+            json_doc = json.to_owned();
+            summary = text.to_owned();
+        }
+        None => {
+            return Err(CliError::Command("internal: bench report lost".to_owned()));
+        }
+    }
+    std::fs::write(&out_path, &json_doc)
+        .map_err(|e| CliError::Io(format!("cannot write {out_path}: {e}")))?;
+    let _ = write!(summary, "; wrote {out_path}");
+
+    if let Some(baseline_path) = args.get("check") {
+        let tolerance: f64 = args.get("tolerance").map_or(Ok(0.20), |v| {
+            v.parse()
+                .map_err(|_| CliError::Usage(format!("--tolerance expects a fraction, got {v:?}")))
+        })?;
+        let baseline = std::fs::read_to_string(baseline_path)
+            .map_err(|e| CliError::Io(format!("cannot read {baseline_path}: {e}")))?;
+        let expected = repsim_obs::json::parse(&baseline)
+            .ok()
+            .and_then(|v| v.get("p99_latency_us").and_then(|n| n.as_num()))
+            .ok_or_else(|| CliError::Command(format!("{baseline_path} lacks p99_latency_us")))?;
+        let actual = repsim_obs::json::parse(&json_doc)
+            .ok()
+            .and_then(|v| v.get("p99_latency_us").and_then(|n| n.as_num()))
+            .unwrap_or(0.0);
+        let limit = expected * (1.0 + tolerance);
+        if actual > limit {
+            return Err(CliError::Command(format!(
+                "perf gate FAILED: p99 {actual:.0}µs exceeds baseline {expected:.0}µs \
+                 by more than {:.0}% (limit {limit:.0}µs)",
+                tolerance * 100.0
+            )));
+        }
+        let _ = write!(
+            summary,
+            "; perf gate passed (p99 {actual:.0}µs ≤ limit {limit:.0}µs)"
+        );
+    }
+    Ok(summary)
+}
+
+/// `repsim top (--addr HOST:PORT [--interval-ms N] [--count N] [--once]
+/// | --journal FILE)`.
+pub fn top(args: &Args) -> Result<String, CliError> {
+    let once = args.has("once");
+    if let Some(journal) = args.get("journal") {
+        // Offline renders are artifacts: always plain text.
+        return crate::tui::render_journal(journal, false);
+    }
+    let addr = args.require("addr")?;
+    let interval_ms = args.get_usize("interval-ms", 1000)? as u64;
+    let count = args.get_usize("count", 0)? as u64;
+    crate::tui::live(addr, interval_ms, count, once, !once)
 }
 
 #[cfg(test)]

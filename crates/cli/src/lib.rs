@@ -31,6 +31,7 @@
 
 pub mod args;
 pub mod commands;
+pub mod tui;
 
 pub use args::{Args, CliError};
 
@@ -71,6 +72,8 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "profile" => commands::profile(&args),
         "serve" => commands::serve(&args),
         "serve-client" => commands::serve_client(&args),
+        "bench" => commands::bench(&args),
+        "top" => commands::top(&args),
         "help" | "--help" | "-h" => Ok(USAGE.to_owned()),
         other => Err(CliError::Usage(format!(
             "unknown command {other:?}\n\n{USAGE}"
@@ -210,14 +213,36 @@ COMMANDS:
                                         incremental-maintenance + re-rank leg
   serve        FILE [--addr HOST:PORT] [--snapshot FILE] [--wal FILE]
                [--queue-cap N] [--port-file FILE] [--fault-injection]
+               [--metrics-journal FILE] [--metrics-interval-ms N]
                                         resident query service over newline-
                                         delimited JSON; SIGTERM/ctrl-c drains
                                         and writes a final snapshot; --wal
                                         write-ahead logs mutations and replays
-                                        them on boot after a crash
+                                        them on boot after a crash;
+                                        --metrics-journal appends one stats+
+                                        metrics-delta line per interval
   serve-client --addr HOST:PORT [--request JSON]...
                                         send request lines (or stdin) to a
                                         running server, print the responses
+  bench serve  FILE --meta-walk \"...\" [--addr HOST:PORT] [--seed N]
+               [--requests N] [--rate RPS] [--zipf E] [--mutate-ratio F]
+               [--deadlines a,b,c|none] [-k N] [--mode open|closed]
+               [--max-retries N] [--record CAP | --replay CAP]
+               [-o BENCH_serve.json] [--check BASELINE] [--tolerance 0.20]
+                                        seeded Zipf workload generator and
+                                        capture/replay client; no --addr boots
+                                        a fresh in-process server per run, so
+                                        two --replay runs of one capture assert
+                                        bit-identical rank responses; --check
+                                        gates p99 latency against a baseline
+  top          (--addr HOST:PORT [--interval-ms N] [--count N] [--once]
+               | --journal FILE)        live terminal dashboard over the
+                                        stats stream (queue, sheds, breakers,
+                                        tier histogram, WAL/snapshot age,
+                                        SpGEMM deltas); q + Enter quits;
+                                        --once emits one plain frame for CI;
+                                        --journal renders a recorded metrics
+                                        journal offline
 
 GLOBAL OPTIONS:
   --threads N | -t N   worker threads for matrix builds and query sweeps

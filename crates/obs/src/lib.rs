@@ -57,7 +57,10 @@ pub mod sink;
 pub mod span;
 
 pub use log::Level;
-pub use metrics::{CounterHandle, GaugeHandle, HistogramHandle, Registry};
+pub use metrics::{
+    CounterHandle, DeltaBaseline, GaugeHandle, HistogramHandle, HistogramSummary, Registry,
+    Snapshot,
+};
 pub use sink::{
     clear_sinks, enabled, event_to_json, exclusive, install, remove_sink, render_tree, AttrValue,
     CollectSink, EventKind, JsonLinesSink, NullSink, Sink, TraceEvent,

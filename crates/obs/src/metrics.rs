@@ -203,20 +203,65 @@ impl Registry {
                 .collect(),
             histograms: lock(&self.histograms)
                 .iter()
+                .map(|(&k, v)| (k, HistogramSummary::from_parts(v.buckets(), v.sum())))
+                .filter(|(_, s)| s.count != 0)
+                .collect(),
+        }
+    }
+
+    /// A snapshot of what changed since the previous call with the same
+    /// `base`: counters and histograms report the *increase* since then
+    /// (monotonic deltas), gauges report their current value (they are
+    /// last-write-wins, so a delta would be meaningless). The baseline
+    /// is advanced in place. If a metric went backwards — the registry
+    /// was [`Registry::reset`] between calls — the delta saturates to
+    /// zero and the baseline re-anchors at the new value.
+    pub fn delta_snapshot(&self, base: &mut DeltaBaseline) -> Snapshot {
+        Snapshot {
+            counters: lock(&self.counters)
+                .iter()
                 .map(|(&k, v)| {
+                    let now = v.get();
+                    let prev = base.counters.insert(k, now).unwrap_or(0);
+                    (k, now.saturating_sub(prev))
+                })
+                .filter(|&(_, v)| v != 0)
+                .collect(),
+            gauges: lock(&self.gauges)
+                .iter()
+                .map(|(&k, v)| (k, v.get()))
+                .filter(|&(_, v)| v != 0)
+                .collect(),
+            histograms: lock(&self.histograms)
+                .iter()
+                .map(|(&k, v)| {
+                    let buckets = v.buckets();
+                    let sum = v.sum();
+                    let prev = base
+                        .histograms
+                        .insert(k, (buckets, sum))
+                        .unwrap_or(([0; HISTOGRAM_BUCKETS], 0));
+                    let delta: [u64; HISTOGRAM_BUCKETS] =
+                        std::array::from_fn(|i| buckets[i].saturating_sub(prev.0[i]));
                     (
                         k,
-                        HistogramSummary {
-                            count: v.count(),
-                            sum: v.sum(),
-                            mean: v.mean(),
-                        },
+                        HistogramSummary::from_parts(delta, sum.saturating_sub(prev.1)),
                     )
                 })
                 .filter(|(_, s)| s.count != 0)
                 .collect(),
         }
     }
+}
+
+/// Remembered previous metric values for [`Registry::delta_snapshot`].
+/// One baseline per consumer (stats stream, metrics journal) — deltas
+/// are relative to *this* baseline, so independent consumers don't
+/// steal each other's increments.
+#[derive(Default)]
+pub struct DeltaBaseline {
+    counters: BTreeMap<&'static str, u64>,
+    histograms: BTreeMap<&'static str, ([u64; HISTOGRAM_BUCKETS], u64)>,
 }
 
 /// Aggregates of one histogram at snapshot time.
@@ -228,6 +273,51 @@ pub struct HistogramSummary {
     pub sum: u64,
     /// Mean sample.
     pub mean: f64,
+    /// Per-bucket counts (log₂ buckets, see [`Histogram::bucket_bounds`]).
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl HistogramSummary {
+    /// A summary from raw bucket counts and a sample sum; `count` and
+    /// `mean` are derived.
+    pub fn from_parts(buckets: [u64; HISTOGRAM_BUCKETS], sum: u64) -> HistogramSummary {
+        let count: u64 = buckets.iter().sum();
+        let mean = if count == 0 {
+            0.0
+        } else {
+            sum as f64 / count as f64
+        };
+        HistogramSummary {
+            count,
+            sum,
+            mean,
+            buckets,
+        }
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) estimated from the log₂ buckets:
+    /// nearest-rank to find the bucket, then linear interpolation inside
+    /// its `[lo, hi)` range. Exact to within one bucket width; 0 when
+    /// the histogram is empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut below = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c > 0 && below + c >= target {
+                let (lo, hi) = Histogram::bucket_bounds(i);
+                let frac = (target - below) as f64 / c as f64;
+                return lo + ((hi - lo) as f64 * frac) as u64;
+            }
+            below += c;
+        }
+        // count and buckets disagree (concurrent recording mid-read);
+        // report the top boundary rather than a phantom value.
+        Histogram::bucket_bounds(HISTOGRAM_BUCKETS - 1).1
+    }
 }
 
 /// A rendered view of the registry (see [`Registry::snapshot`]).
@@ -271,8 +361,12 @@ impl Snapshot {
         for &(name, s) in &self.histograms {
             let _ = writeln!(
                 out,
-                "  {name:<width$}  count {}  sum {}  mean {:.1}",
-                s.count, s.sum, s.mean
+                "  {name:<width$}  count {}  sum {}  mean {:.1}  p50 {}  p99 {}",
+                s.count,
+                s.sum,
+                s.mean,
+                s.quantile(0.50),
+                s.quantile(0.99)
             );
         }
         out
@@ -302,9 +396,26 @@ impl Snapshot {
             }
             let _ = write!(
                 out,
-                "\"{name}\":{{\"count\":{},\"sum\":{},\"mean\":{:.3}}}",
-                s.count, s.sum, s.mean
+                "\"{name}\":{{\"count\":{},\"sum\":{},\"mean\":{:.3},\
+                 \"p50\":{},\"p90\":{},\"p99\":{},\"buckets\":[",
+                s.count,
+                s.sum,
+                s.mean,
+                s.quantile(0.50),
+                s.quantile(0.90),
+                s.quantile(0.99)
             );
+            let mut first = true;
+            for (b, &c) in s.buckets.iter().enumerate() {
+                if c != 0 {
+                    if !first {
+                        out.push(',');
+                    }
+                    first = false;
+                    let _ = write!(out, "[{b},{c}]");
+                }
+            }
+            out.push_str("]}");
         }
         out.push_str("}}");
         out
@@ -485,6 +596,109 @@ mod tests {
         assert!(r.snapshot().is_empty());
         // The slot survives the reset (handles keep their Arcs).
         assert_eq!(r.counter("repsim.test.calls").get(), 0);
+    }
+
+    #[test]
+    fn quantiles_on_known_distributions() {
+        // Uniform 1..=1000: true p50 = 500 (bucket [256,512)), true
+        // p99 = 990 (bucket [512,1024)). Log₂ resolution bounds the
+        // estimate to the true value's bucket.
+        let h = Histogram::default();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = HistogramSummary::from_parts(h.buckets(), h.sum());
+        assert_eq!(s.count, 1000);
+        let p50 = s.quantile(0.50);
+        assert!((256..=512).contains(&p50), "p50 {p50}");
+        let p99 = s.quantile(0.99);
+        assert!((512..=1024).contains(&p99), "p99 {p99}");
+        assert!(s.quantile(0.0) <= s.quantile(0.5));
+        assert!(s.quantile(0.5) <= s.quantile(1.0));
+        assert!(s.quantile(1.0) <= 1024);
+
+        // A point mass: every quantile stays inside that one bucket.
+        let h = Histogram::default();
+        for _ in 0..100 {
+            h.record(100);
+        }
+        let s = HistogramSummary::from_parts(h.buckets(), h.sum());
+        for q in [0.01, 0.5, 0.9, 0.99, 1.0] {
+            let v = s.quantile(q);
+            assert!((64..=128).contains(&v), "q {q} -> {v}");
+        }
+
+        // Empty histogram.
+        let s = HistogramSummary::from_parts([0; HISTOGRAM_BUCKETS], 0);
+        assert_eq!(s.quantile(0.99), 0);
+
+        // Bimodal: 90 fast samples at ~8, 10 slow at ~4096. p50 in the
+        // fast mode's bucket, p99 in the slow mode's.
+        let h = Histogram::default();
+        for _ in 0..90 {
+            h.record(8);
+        }
+        for _ in 0..10 {
+            h.record(4096);
+        }
+        let s = HistogramSummary::from_parts(h.buckets(), h.sum());
+        let p50 = s.quantile(0.50);
+        assert!((8..=16).contains(&p50), "p50 {p50}");
+        let p99 = s.quantile(0.99);
+        assert!((4096..=8192).contains(&p99), "p99 {p99}");
+    }
+
+    #[test]
+    fn delta_snapshot_reports_increments_and_reanchors() {
+        let r = Registry::default();
+        let mut base = DeltaBaseline::default();
+        r.counter("repsim.test.delta.calls").add(5);
+        r.histogram("repsim.test.delta.ns").record(100);
+        r.histogram("repsim.test.delta.ns").record(200);
+        r.gauge("repsim.test.delta.depth").set(3);
+
+        let d1 = r.delta_snapshot(&mut base);
+        assert_eq!(d1.counters, vec![("repsim.test.delta.calls", 5)]);
+        assert_eq!(d1.gauges, vec![("repsim.test.delta.depth", 3)]);
+        assert_eq!(d1.histograms.len(), 1);
+        assert_eq!(d1.histograms[0].1.count, 2);
+        assert_eq!(d1.histograms[0].1.sum, 300);
+
+        // Nothing changed: counters/histograms vanish, gauges persist.
+        let d2 = r.delta_snapshot(&mut base);
+        assert!(d2.counters.is_empty());
+        assert!(d2.histograms.is_empty());
+        assert_eq!(d2.gauges, vec![("repsim.test.delta.depth", 3)]);
+
+        // New activity shows up as its own delta.
+        r.counter("repsim.test.delta.calls").add(2);
+        r.histogram("repsim.test.delta.ns").record(50);
+        let d3 = r.delta_snapshot(&mut base);
+        assert_eq!(d3.counters, vec![("repsim.test.delta.calls", 2)]);
+        assert_eq!(d3.histograms[0].1.count, 1);
+        assert_eq!(d3.histograms[0].1.sum, 50);
+
+        // A reset sends values backwards: saturate to zero, re-anchor.
+        r.reset();
+        let d4 = r.delta_snapshot(&mut base);
+        assert!(d4.counters.is_empty());
+        assert!(d4.histograms.is_empty());
+        r.counter("repsim.test.delta.calls").add(1);
+        let d5 = r.delta_snapshot(&mut base);
+        assert_eq!(d5.counters, vec![("repsim.test.delta.calls", 1)]);
+    }
+
+    #[test]
+    fn render_json_carries_quantiles_and_sparse_buckets() {
+        let r = Registry::default();
+        r.histogram("repsim.test.render.ns").record(3);
+        r.histogram("repsim.test.render.ns").record(1000);
+        let json = r.snapshot().render_json();
+        assert!(json.contains("\"p50\":"), "{json}");
+        assert!(json.contains("\"p90\":"), "{json}");
+        assert!(json.contains("\"p99\":"), "{json}");
+        // Sparse bucket pairs: [index, count] only for nonzero buckets.
+        assert!(json.contains("\"buckets\":[[1,1],[9,1]]"), "{json}");
     }
 
     #[test]

@@ -49,6 +49,7 @@
 //! `repsim.serve.request` span.
 
 pub mod breaker;
+pub mod capture;
 pub mod error;
 pub mod protocol;
 pub mod quarantine;
@@ -59,6 +60,7 @@ pub mod snapshot;
 pub mod wal;
 
 pub use breaker::{BreakerConfig, CircuitBreaker, OpClass};
+pub use capture::{CaptureRecord, CaptureWriter, RecoveredCapture};
 pub use error::ServiceError;
 pub use protocol::{Request, Response};
 pub use server::{client_roundtrip, run, ServeConfig, ServeError, ServeReport};

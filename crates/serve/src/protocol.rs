@@ -17,6 +17,7 @@
 //! {"id":6,"op":"mutate","action":"add_entity","label":"actor","value":"new"}
 //! {"id":7,"op":"mutate","action":"add_edge","a":"film:f0","b":"actor:new"}
 //! {"id":8,"op":"mutate","action":"remove_edge","a":"film:f0","b":"actor:new"}
+//! {"id":9,"op":"stats-stream","interval_ms":500,"count":10}
 //! ```
 //!
 //! Mutate node references are `label:value` for entities or
@@ -59,7 +60,7 @@ impl ReqId {
         }
     }
 
-    fn render(&self, out: &mut String) {
+    pub(crate) fn render(&self, out: &mut String) {
         match self {
             ReqId::Num(n) => {
                 let _ = write!(out, "\"id\":{},", fmt_num(*n));
@@ -99,6 +100,19 @@ pub enum Request {
     Stats {
         /// Echoed request id.
         id: ReqId,
+    },
+    /// Subscribe this connection to a periodic stats push: one JSON
+    /// line per `interval_ms` carrying the [`StatsBody`] plus a
+    /// delta-metrics snapshot, until `count` lines were sent (0 =
+    /// until the client disconnects or the server shuts down). A
+    /// control op — bypasses the admission queue.
+    StatsStream {
+        /// Echoed request id.
+        id: ReqId,
+        /// Push interval in milliseconds (floor 10, default 1000).
+        interval_ms: u64,
+        /// Number of lines to push; 0 = unbounded.
+        count: u64,
     },
     /// Persist the index snapshot now.
     Snapshot {
@@ -163,6 +177,23 @@ impl Request {
             }
             "ping" => Ok(Request::Ping { id }),
             "stats" => Ok(Request::Stats { id }),
+            "stats-stream" => {
+                let interval_ms = match v.get("interval_ms").and_then(Json::as_num) {
+                    Some(i) if i >= 1.0 && i.fract() == 0.0 && i <= 1e9 => (i as u64).max(10),
+                    Some(_) => return Err("\"interval_ms\" must be a positive integer".to_owned()),
+                    None => 1000,
+                };
+                let count = match v.get("count").and_then(Json::as_num) {
+                    Some(c) if c >= 0.0 && c.fract() == 0.0 && c <= 1e9 => c as u64,
+                    Some(_) => return Err("\"count\" must be a non-negative integer".to_owned()),
+                    None => 0,
+                };
+                Ok(Request::StatsStream {
+                    id,
+                    interval_ms,
+                    count,
+                })
+            }
             "snapshot" => Ok(Request::Snapshot { id }),
             "shutdown" => Ok(Request::Shutdown { id }),
             "mutate" => {
@@ -213,6 +244,7 @@ impl Request {
             Request::Rank { id, .. }
             | Request::Ping { id }
             | Request::Stats { id }
+            | Request::StatsStream { id, .. }
             | Request::Snapshot { id }
             | Request::Shutdown { id }
             | Request::Mutate { id, .. } => id,
@@ -265,6 +297,49 @@ pub struct StatsBody {
     pub fingerprint: String,
     /// Last acknowledged WAL sequence number (0 = none yet).
     pub seq: u64,
+    /// Milliseconds since the server started serving.
+    pub uptime_ms: u64,
+    /// Milliseconds since the last persisted index snapshot; `None`
+    /// when no snapshot was written or restored this run.
+    pub snapshot_age_ms: Option<u64>,
+}
+
+impl StatsBody {
+    /// The body as a JSON object (no envelope), shared by the `stats`
+    /// reply, the `stats-stream` push lines and the metrics journal.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"requests\":{},\"shed\":{},\"degraded\":{},\
+             \"exhausted\":{},\"queue_depth\":{},\"queue_capacity\":{},\
+             \"cache_entries\":{},\"engines\":{},\"breaker\":\"{}\",\
+             \"breaker_mutate\":\"{}\",\"snapshot_restored\":{},\
+             \"mutations\":{},\"mutate_exhausted\":{},\
+             \"fingerprint\":\"{}\",\"seq\":{},\"uptime_ms\":{}",
+            self.requests,
+            self.shed,
+            self.degraded,
+            self.exhausted,
+            self.queue_depth,
+            self.queue_capacity,
+            self.cache_entries,
+            self.engines,
+            esc(&self.breaker),
+            esc(&self.breaker_mutate),
+            self.snapshot_restored,
+            self.mutations,
+            self.mutate_exhausted,
+            esc(&self.fingerprint),
+            self.seq,
+            self.uptime_ms
+        );
+        if let Some(age) = self.snapshot_age_ms {
+            let _ = write!(out, ",\"snapshot_age_ms\":{age}");
+        }
+        out.push('}');
+        out
+    }
 }
 
 /// A response, rendered as one JSON line.
@@ -355,30 +430,7 @@ impl Response {
             }
             Response::Stats { id, body } => {
                 id.render(&mut out);
-                let _ = write!(
-                    out,
-                    "\"ok\":true,\"stats\":{{\"requests\":{},\"shed\":{},\"degraded\":{},\
-                     \"exhausted\":{},\"queue_depth\":{},\"queue_capacity\":{},\
-                     \"cache_entries\":{},\"engines\":{},\"breaker\":\"{}\",\
-                     \"breaker_mutate\":\"{}\",\"snapshot_restored\":{},\
-                     \"mutations\":{},\"mutate_exhausted\":{},\
-                     \"fingerprint\":\"{}\",\"seq\":{}}}",
-                    body.requests,
-                    body.shed,
-                    body.degraded,
-                    body.exhausted,
-                    body.queue_depth,
-                    body.queue_capacity,
-                    body.cache_entries,
-                    body.engines,
-                    esc(&body.breaker),
-                    esc(&body.breaker_mutate),
-                    body.snapshot_restored,
-                    body.mutations,
-                    body.mutate_exhausted,
-                    esc(&body.fingerprint),
-                    body.seq
-                );
+                let _ = write!(out, "\"ok\":true,\"stats\":{}", body.to_json());
             }
             Response::Snapshot { id, entries, bytes } => {
                 id.render(&mut out);

@@ -21,7 +21,7 @@ use repsim_audit::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 
 use repsim_graph::Graph;
-use repsim_obs::GaugeHandle;
+use repsim_obs::{CounterHandle, DeltaBaseline, GaugeHandle};
 
 use crate::error::ServiceError;
 use crate::protocol::{ReqId, Request, Response};
@@ -30,6 +30,9 @@ use crate::service::{QueryService, Restore, ServiceConfig, WalRecovery};
 use crate::snapshot::SaveStats;
 
 static QUEUE_DEPTH: GaugeHandle = GaugeHandle::new("repsim.serve.queue.depth");
+static STATS_STREAMS: CounterHandle = CounterHandle::new("repsim.serve.stats.streams");
+static STATS_LINES: CounterHandle = CounterHandle::new("repsim.serve.stats.lines");
+static JOURNAL_LINES: CounterHandle = CounterHandle::new("repsim.serve.stats.journal_lines");
 
 /// How long a blocked read waits before re-checking the shutdown flag.
 const POLL: Duration = Duration::from_millis(50);
@@ -52,6 +55,14 @@ pub struct ServeConfig {
     /// Written with the actual `ip:port` once bound — how tests and
     /// scripts find a port-0 server.
     pub port_file: Option<PathBuf>,
+    /// Metrics journal path: when set, one stats+delta-metrics JSON
+    /// line is appended per `metrics_interval_ms` for the server's
+    /// lifetime (same line shape as the `stats-stream` push, minus the
+    /// request id). Lives next to the snapshot/WAL files; `repsim top
+    /// --journal` renders it offline.
+    pub metrics_journal: Option<PathBuf>,
+    /// Journal cadence in milliseconds (ignored without a journal).
+    pub metrics_interval_ms: u64,
     /// The service tuning.
     pub service: ServiceConfig,
 }
@@ -64,6 +75,8 @@ impl Default for ServeConfig {
             wal: None,
             queue_cap: 64,
             port_file: None,
+            metrics_journal: None,
+            metrics_interval_ms: 1000,
             service: ServiceConfig::default(),
         }
     }
@@ -159,6 +172,23 @@ struct Job {
 /// `shutdown` request). Blocks the calling thread for the server's
 /// lifetime; returns a summary after the graceful drain.
 pub fn run(g: &Graph, cfg: &ServeConfig, shutdown: &AtomicBool) -> Result<ServeReport, ServeError> {
+    // Keep the metric registry recording for the server's lifetime even
+    // when no trace sink is attached: the stats stream, the metrics
+    // journal and `repsim top` all read the registry, and a silent
+    // registry would render an idle-looking dashboard under full load.
+    let metrics_on: std::sync::Arc<dyn repsim_obs::Sink> =
+        std::sync::Arc::new(repsim_obs::NullSink);
+    repsim_obs::install(std::sync::Arc::clone(&metrics_on));
+    let report = run_inner(g, cfg, shutdown);
+    repsim_obs::remove_sink(&metrics_on);
+    report
+}
+
+fn run_inner(
+    g: &Graph,
+    cfg: &ServeConfig,
+    shutdown: &AtomicBool,
+) -> Result<ServeReport, ServeError> {
     let svc = QueryService::new(g, cfg.service.clone());
 
     // Boot order matters: the WAL replays first (rebuilding the graph
@@ -207,12 +237,21 @@ pub fn run(g: &Graph, cfg: &ServeConfig, shutdown: &AtomicBool) -> Result<ServeR
         for _ in 0..workers {
             s.spawn(|| worker_loop(&svc, &queue));
         }
+        if let Some(path) = &cfg.metrics_journal {
+            let (svc, queue) = (&svc, &queue);
+            let interval_ms = cfg.metrics_interval_ms.max(10);
+            let path = path.clone();
+            s.spawn(move || journal_loop(&path, svc, queue, shutdown, interval_ms));
+        }
 
         // Accept loop: non-blocking with a short poll so the shutdown
         // flag is honoured promptly even with no clients.
         while !shutdown.load(Ordering::SeqCst) {
             match listener.accept() {
                 Ok((stream, _)) => {
+                    // Request/response lines are small; without nodelay
+                    // Nagle + delayed ACK cost ~40ms per round trip.
+                    stream.set_nodelay(true).ok();
                     let svc = &svc;
                     let queue = &queue;
                     let snapshot = cfg.snapshot.as_deref();
@@ -254,6 +293,114 @@ pub fn run(g: &Graph, cfg: &ServeConfig, shutdown: &AtomicBool) -> Result<ServeR
     })
 }
 
+/// One stats+metrics line: the [`crate::protocol::StatsBody`] plus a
+/// delta snapshot of the metric registry against `base`. Shared by the
+/// `stats-stream` push (with a request id) and the metrics journal
+/// (without). `t_ms` is milliseconds on the process-wide monotonic
+/// clock ([`repsim_obs::now_ns`]).
+fn stats_line(
+    svc: &QueryService,
+    queue: &Bounded<Job>,
+    id: Option<&ReqId>,
+    stream_seq: u64,
+    base: &mut DeltaBaseline,
+) -> String {
+    let body = svc.stats_body(queue.depth(), queue.capacity());
+    let metrics = repsim_obs::Registry::global().delta_snapshot(base);
+    let mut out = String::from("{");
+    if let Some(id) = id {
+        id.render(&mut out);
+    }
+    let _ = std::fmt::Write::write_fmt(
+        &mut out,
+        format_args!(
+            "\"ok\":true,\"stream_seq\":{stream_seq},\"t_ms\":{},\"stats\":{},\"metrics\":{}}}",
+            repsim_obs::now_ns() / 1_000_000,
+            body.to_json(),
+            metrics.render_json()
+        ),
+    );
+    out
+}
+
+/// Sleeps `ms` in short slices, returning early once `shutdown` is set.
+fn sleep_poll(ms: u64, shutdown: &AtomicBool) {
+    let mut left = ms;
+    while left > 0 && !shutdown.load(Ordering::SeqCst) {
+        let step = left.min(20);
+        std::thread::sleep(Duration::from_millis(step));
+        left -= step;
+    }
+}
+
+/// The metrics journal: one [`stats_line`] appended per interval until
+/// shutdown. Uses the [`repsim_obs::JsonLinesSink`] writer directly —
+/// the journal is a metrics timeline, not a trace, so the sink is never
+/// installed and captures no events.
+fn journal_loop(
+    path: &std::path::Path,
+    svc: &QueryService,
+    queue: &Bounded<Job>,
+    shutdown: &AtomicBool,
+    interval_ms: u64,
+) {
+    let sink = match repsim_obs::JsonLinesSink::create(&path.to_string_lossy()) {
+        Ok(sink) => sink,
+        Err(e) => {
+            repsim_obs::point(
+                "repsim.serve.stats.journal_failed",
+                repsim_obs::Level::Warn,
+                format!("cannot create metrics journal {}: {e}", path.display()),
+            );
+            return;
+        }
+    };
+    let mut base = DeltaBaseline::default();
+    let mut seq = 0u64;
+    loop {
+        sink.write_line(&stats_line(svc, queue, None, seq, &mut base));
+        JOURNAL_LINES.add(1);
+        seq += 1;
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        sleep_poll(interval_ms, shutdown);
+    }
+}
+
+/// Pushes `count` stats lines (0 = unbounded) at `interval_ms` over the
+/// connection. Returns `Ok` when the count is reached or the server is
+/// shutting down — the connection then resumes normal request handling —
+/// and `Err` when the client went away.
+fn stream_stats(
+    stream: &TcpStream,
+    svc: &QueryService,
+    queue: &Bounded<Job>,
+    shutdown: &AtomicBool,
+    id: &ReqId,
+    interval_ms: u64,
+    count: u64,
+) -> std::io::Result<()> {
+    STATS_STREAMS.add(1);
+    let mut base = DeltaBaseline::default();
+    let mut sent = 0u64;
+    loop {
+        write_line(stream, &stats_line(svc, queue, Some(id), sent, &mut base))?;
+        STATS_LINES.add(1);
+        sent += 1;
+        if count != 0 && sent >= count {
+            return Ok(());
+        }
+        if shutdown.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        sleep_poll(interval_ms, shutdown);
+        if shutdown.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+    }
+}
+
 fn worker_loop(svc: &QueryService, queue: &Bounded<Job>) {
     while let Some(job) = queue.pop() {
         QUEUE_DEPTH.set(queue.depth() as i64);
@@ -292,10 +439,25 @@ fn serve_connection(
         while let Some(pos) = acc.iter().position(|&b| b == b'\n') {
             let line: Vec<u8> = acc.drain(..=pos).collect();
             let text = String::from_utf8_lossy(&line[..line.len() - 1]);
-            let reply = handle_line(text.trim(), svc, queue, shutdown, snapshot);
-            if let Some(reply) = reply {
-                if write_line(&stream, &reply).is_err() {
-                    return;
+            match handle_line(text.trim(), svc, queue, shutdown, snapshot) {
+                LineOutcome::Silent => {}
+                LineOutcome::Reply(reply) => {
+                    if write_line(&stream, &reply).is_err() {
+                        return;
+                    }
+                }
+                LineOutcome::Stream {
+                    id,
+                    interval_ms,
+                    count,
+                } => {
+                    // The push loop owns the connection until the count
+                    // is reached (or forever for count 0); pipelined
+                    // requests in `acc` are answered afterwards.
+                    if stream_stats(&stream, svc, queue, shutdown, &id, interval_ms, count).is_err()
+                    {
+                        return;
+                    }
                 }
             }
         }
@@ -314,22 +476,38 @@ fn serve_connection(
     }
 }
 
-/// Handles one request line, returning the response line (or `None` for
-/// a blank line).
+/// What one request line asks of the connection thread.
+enum LineOutcome {
+    /// Blank line: nothing to send.
+    Silent,
+    /// One response line.
+    Reply(String),
+    /// Switch the connection into the periodic stats push.
+    Stream {
+        /// Echoed into every push line.
+        id: ReqId,
+        /// Push cadence.
+        interval_ms: u64,
+        /// Lines to push; 0 = unbounded.
+        count: u64,
+    },
+}
+
+/// Handles one request line.
 fn handle_line(
     line: &str,
     svc: &QueryService,
     queue: &Bounded<Job>,
     shutdown: &AtomicBool,
     snapshot: Option<&std::path::Path>,
-) -> Option<String> {
+) -> LineOutcome {
     if line.is_empty() {
-        return None;
+        return LineOutcome::Silent;
     }
     let req = match Request::parse(line) {
         Ok(req) => req,
         Err(message) => {
-            return Some(
+            return LineOutcome::Reply(
                 Response::Error {
                     id: ReqId::Absent,
                     error: ServiceError::BadRequest(message),
@@ -344,6 +522,17 @@ fn handle_line(
             id,
             body: svc.stats_body(queue.depth(), queue.capacity()),
         },
+        Request::StatsStream {
+            id,
+            interval_ms,
+            count,
+        } => {
+            return LineOutcome::Stream {
+                id,
+                interval_ms,
+                count,
+            };
+        }
         Request::Snapshot { id } => match snapshot {
             Some(path) => match svc.save_snapshot(path) {
                 Ok(stats) => Response::Snapshot {
@@ -417,7 +606,7 @@ fn handle_line(
                         // Ordering: wait for this request's answer before
                         // reading the next line of this connection.
                         match rx.recv() {
-                            Ok(reply) => return Some(reply),
+                            Ok(reply) => return LineOutcome::Reply(reply),
                             Err(_) => Response::Error {
                                 id,
                                 error: ServiceError::ShuttingDown,
@@ -439,7 +628,7 @@ fn handle_line(
             }
         }
     };
-    Some(resp.to_json_line())
+    LineOutcome::Reply(resp.to_json_line())
 }
 
 /// Retry hint for queue sheds: proportional to how much work is already
@@ -554,6 +743,8 @@ mod tests {
             wal: Some(dir.join("g.wal")),
             queue_cap: 8,
             port_file: Some(dir.join("port")),
+            metrics_journal: None,
+            metrics_interval_ms: 1000,
             service: ServiceConfig::default(),
         };
         (cfg, dir)
@@ -609,6 +800,69 @@ mod tests {
                 );
             }
         });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stats_stream_pushes_finite_count_then_resumes_requests() {
+        let (cfg, dir) = test_cfg("stream");
+        with_server(cfg, |addr| {
+            // One rank to make activity, then a 3-line stream at a fast
+            // cadence, then a ping — the connection must come back to
+            // normal request handling after the finite stream.
+            // Two trailing blank lines elicit no response, so the
+            // roundtrip helper (one reply per request line) collects
+            // all five replies: rank + 3 pushes + pong.
+            let lines = vec![
+                r#"{"id":1,"walk":"conf paper dom","label":"conf","value":"c0","k":3}"#.to_owned(),
+                r#"{"id":2,"op":"stats-stream","interval_ms":10,"count":3}"#.to_owned(),
+                r#"{"id":3,"op":"ping"}"#.to_owned(),
+                String::new(),
+                String::new(),
+            ];
+            let out = client_roundtrip(&addr.to_string(), &lines).unwrap();
+            assert_eq!(out.len(), 5, "{out:?}");
+            let push = json::parse(&out[1]).unwrap();
+            assert_eq!(push.get("ok"), Some(&Json::Bool(true)));
+            assert_eq!(push.get("id").and_then(Json::as_num), Some(2.0));
+            assert_eq!(push.get("stream_seq").and_then(Json::as_num), Some(0.0));
+            let stats = push.get("stats").unwrap();
+            assert_eq!(stats.get("requests").and_then(Json::as_num), Some(1.0));
+            assert!(stats.get("uptime_ms").and_then(Json::as_num).is_some());
+            assert!(push
+                .get("metrics")
+                .and_then(|m| m.get("counters"))
+                .is_some());
+            let second = json::parse(&out[2]).unwrap();
+            assert_eq!(second.get("stream_seq").and_then(Json::as_num), Some(1.0));
+            let pong = json::parse(&out[4]).unwrap();
+            assert_eq!(pong.get("pong"), Some(&Json::Bool(true)), "{}", out[4]);
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn metrics_journal_records_lines_while_serving() {
+        let (mut cfg, dir) = test_cfg("journal");
+        let journal = dir.join("metrics.jsonl");
+        cfg.metrics_journal = Some(journal.clone());
+        cfg.metrics_interval_ms = 10;
+        with_server(cfg, |addr| {
+            let lines =
+                vec![r#"{"id":1,"walk":"conf paper dom","label":"conf","value":"c0"}"#.to_owned()];
+            client_roundtrip(&addr.to_string(), &lines).unwrap();
+            // Let a couple of journal intervals elapse.
+            std::thread::sleep(Duration::from_millis(60));
+        });
+        let text = std::fs::read_to_string(&journal).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines.len() >= 2, "expected >=2 journal lines:\n{text}");
+        for (i, line) in lines.iter().enumerate() {
+            let v = json::parse(line).unwrap_or_else(|e| panic!("line {i}: {e}: {line}"));
+            assert_eq!(v.get("stream_seq").and_then(Json::as_num), Some(i as f64));
+            assert!(v.get("stats").is_some(), "line {i}");
+            assert!(v.get("metrics").is_some(), "line {i}");
+        }
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -55,6 +55,9 @@ use crate::wal::{Wal, WalError};
 static REQUESTS: CounterHandle = CounterHandle::new("repsim.serve.requests");
 static SHED: CounterHandle = CounterHandle::new("repsim.serve.shed");
 static DEGRADED: CounterHandle = CounterHandle::new("repsim.serve.degraded");
+static TIER_EXACT: CounterHandle = CounterHandle::new("repsim.serve.tier.exact");
+static TIER_HALF: CounterHandle = CounterHandle::new("repsim.serve.tier.half_factorized");
+static TIER_PREFIX: CounterHandle = CounterHandle::new("repsim.serve.tier.prefix");
 static EXHAUSTED: CounterHandle = CounterHandle::new("repsim.serve.exhausted");
 static MUTATIONS: CounterHandle = CounterHandle::new("repsim.serve.mutations");
 static MUTATE_EXHAUSTED: CounterHandle = CounterHandle::new("repsim.serve.mutate_exhausted");
@@ -147,6 +150,10 @@ pub struct QueryService {
     mutations: AtomicU64,
     mutate_exhausted: AtomicU64,
     snapshot_restored: AtomicBool,
+    started_ns: u64,
+    /// `repsim_obs::now_ns` timestamp of the last successful snapshot
+    /// save or restore; 0 = never this run.
+    last_snapshot_ns: AtomicU64,
 }
 
 impl QueryService {
@@ -172,6 +179,8 @@ impl QueryService {
             mutations: AtomicU64::new(0),
             mutate_exhausted: AtomicU64::new(0),
             snapshot_restored: AtomicBool::new(false),
+            started_ns: repsim_obs::now_ns(),
+            last_snapshot_ns: AtomicU64::new(0),
         }
     }
 
@@ -257,6 +266,13 @@ impl QueryService {
 
         match self.rank_with(&epoch, &mw, query, k, &budget) {
             Ok((tier, results)) => {
+                // Per-tier breakdown for the `repsim top` dashboard;
+                // `degraded` stays the roll-up the stats body reports.
+                match tier.as_str() {
+                    "exact" => TIER_EXACT.add(1),
+                    "half-factorized" => TIER_HALF.add(1),
+                    _ => TIER_PREFIX.add(1),
+                }
                 if tier != "exact" {
                     self.degraded.fetch_add(1, Ordering::Relaxed);
                     DEGRADED.add(1);
@@ -512,6 +528,11 @@ impl QueryService {
             mutate_exhausted: self.mutate_exhausted.load(Ordering::Relaxed),
             fingerprint: format!("{:#018x}", epoch.fp),
             seq: epoch.seq,
+            uptime_ms: repsim_obs::now_ns().saturating_sub(self.started_ns) / 1_000_000,
+            snapshot_age_ms: match self.last_snapshot_ns.load(Ordering::Relaxed) {
+                0 => None,
+                t => Some(repsim_obs::now_ns().saturating_sub(t) / 1_000_000),
+            },
         }
     }
 
@@ -525,7 +546,10 @@ impl QueryService {
         };
         let st = self.state_lock();
         let epoch = self.epoch_snapshot();
-        snapshot::save(path, &epoch.g, &st.cache, &budget)
+        let stats = snapshot::save(path, &epoch.g, &st.cache, &budget)?;
+        self.last_snapshot_ns
+            .store(repsim_obs::now_ns(), Ordering::Relaxed);
+        Ok(stats)
     }
 
     /// Loads the snapshot at `path` into the cache, quarantining a
@@ -542,6 +566,8 @@ impl QueryService {
                     st.cache.import(kind, mw, m);
                 }
                 self.snapshot_restored.store(true, Ordering::Relaxed);
+                self.last_snapshot_ns
+                    .store(repsim_obs::now_ns(), Ordering::Relaxed);
                 Ok(Restore::Restored { entries: n })
             }
             LoadOutcome::Absent => Ok(Restore::ColdStart),

@@ -1,0 +1,172 @@
+//! Fuzz-style robustness of the `RSIMCAP1` traffic-capture parser:
+//! arbitrary bytes, truncations, bit-flips, foreign headers and CRLF
+//! noise must never panic. Damage follows the WAL recovery taxonomy —
+//! torn tails truncate in place, corrupt suffixes quarantine with the
+//! intact prefix preserved, foreign files quarantine whole.
+
+// Tests may panic freely: the workspace panic-freedom lints target
+// library code, not assertions.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::indexing_slicing
+)]
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use proptest::prelude::*;
+use repsim_serve::capture::{self, CaptureWriter};
+
+/// A fresh scratch directory per case — quarantine rotation writes
+/// sibling files, so cases must not share a directory.
+fn scratch() -> PathBuf {
+    static N: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "repsim-capfuzz-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A well-formed capture with `n` records; returns its path and the
+/// recorded request lines.
+fn valid_capture(dir: &std::path::Path, n: usize, seed: u64) -> (PathBuf, Vec<String>) {
+    let path = dir.join("cap.rsimcap");
+    let mut w = CaptureWriter::create(&path, seed).unwrap();
+    let mut lines = Vec::new();
+    for i in 0..n {
+        let line = format!(
+            r#"{{"id":{},"op":"rank","walk":"conf paper dom","label":"conf","value":"c{}","k":3}}"#,
+            i + 1,
+            i % 5
+        );
+        w.append(1_000 * i as u64, (i % 2 == 0).then_some(250), &line)
+            .unwrap();
+        lines.push(line);
+    }
+    w.finish().unwrap();
+    (path, lines)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary bytes as a capture file: recovery never panics, and a
+    /// surviving file re-recovers cleanly (repair is idempotent).
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in prop::collection::vec(0u8..=255, 0..400)) {
+        let dir = scratch();
+        let path = dir.join("cap.rsimcap");
+        std::fs::write(&path, &bytes).unwrap();
+        let first = capture::recover(&path).unwrap();
+        if first.quarantined_to.is_none() || path.exists() {
+            let again = capture::recover(&path).unwrap();
+            prop_assert!(!again.torn_truncated, "repair must be idempotent");
+            prop_assert!(again.quarantined_to.is_none());
+            prop_assert_eq!(again.records.len(), first.records.len());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Every byte-level truncation of a valid capture: the prefix of
+    /// intact records always survives, nothing panics, and the repaired
+    /// file re-recovers cleanly.
+    #[test]
+    fn truncations_keep_the_intact_prefix(n in 1usize..6, cut_frac in 0.0f64..1.0) {
+        let dir = scratch();
+        let (path, lines) = valid_capture(&dir, n, 7);
+        let full = std::fs::read(&path).unwrap();
+        let cut = (cut_frac * full.len() as f64) as usize;
+        std::fs::write(&path, &full[..cut]).unwrap();
+        let rec = capture::recover(&path).unwrap();
+        prop_assert!(rec.records.len() <= n);
+        for (r, line) in rec.records.iter().zip(&lines) {
+            prop_assert_eq!(&r.line, line, "prefix must be exact");
+        }
+        if path.exists() {
+            let again = capture::recover(&path).unwrap();
+            prop_assert!(!again.torn_truncated);
+            prop_assert_eq!(again.records.len(), rec.records.len());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A single bit flip anywhere: never a panic, and any record the
+    /// recovery does return is one of the originals, in order.
+    #[test]
+    fn single_bit_flips_never_panic(n in 1usize..5, pos_frac in 0.0f64..1.0, bit in 0u8..8) {
+        let dir = scratch();
+        let (path, lines) = valid_capture(&dir, n, 9);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let pos = ((pos_frac * bytes.len() as f64) as usize).min(bytes.len() - 1);
+        bytes[pos] ^= 1 << bit;
+        std::fs::write(&path, &bytes).unwrap();
+        let rec = capture::recover(&path).unwrap();
+        // The flip hit the header (whole-file quarantine), a record
+        // prefix/body (suffix quarantine), or a don't-care bit the
+        // checksum still covers... which FNV makes impossible — so any
+        // returned record is byte-exact one of the originals.
+        let mut expect = lines.iter();
+        for r in &rec.records {
+            prop_assert!(
+                expect.any(|l| l == &r.line),
+                "recovered record is not an original: {}",
+                r.line
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// CRLF / text noise appended by a misbehaving tool: the recorded
+    /// prefix survives and the noise is quarantined, never replayed.
+    #[test]
+    fn trailing_text_noise_is_quarantined(n in 1usize..5, noise in "[ -~\r\n]{1,60}") {
+        let dir = scratch();
+        let (path, lines) = valid_capture(&dir, n, 11);
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(noise.as_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        let rec = capture::recover(&path).unwrap();
+        prop_assert_eq!(rec.records.len(), n, "every real record survives");
+        for (r, line) in rec.records.iter().zip(&lines) {
+            prop_assert_eq!(&r.line, line);
+        }
+        prop_assert!(
+            rec.torn_truncated || rec.quarantined_to.is_some(),
+            "the noise must be repaired away"
+        );
+        let again = capture::recover(&path).unwrap();
+        prop_assert_eq!(again.records.len(), n);
+        prop_assert!(!again.torn_truncated && again.quarantined_to.is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Foreign headers — other formats' magics, short files, empty files —
+/// quarantine whole without panicking.
+#[test]
+fn foreign_headers_quarantine_whole() {
+    for foreign in [
+        &b"RSIMWAL1everything about this file is some other format"[..],
+        &b"RSIMSNP1snapshot bytes"[..],
+        &b"PK\x03\x04zipfile"[..],
+        &b""[..],
+        &b"RSIMCAP"[..],                   // magic truncated
+        &b"RSIMCAP2wrong version tag"[..], // future version
+    ] {
+        let dir = scratch();
+        let path = dir.join("cap.rsimcap");
+        std::fs::write(&path, foreign).unwrap();
+        let rec = capture::recover(&path).unwrap();
+        assert!(rec.records.is_empty());
+        let dest = rec.quarantined_to.expect("whole file quarantined");
+        assert!(dest.exists());
+        assert!(!path.exists(), "original must be moved aside");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,189 @@
+//! End-to-end live-ops acceptance: traffic capture/replay bit-identity
+//! and the terminal dashboard, all through the real CLI.
+//!
+//! * `repsim bench serve --record` then two `--replay` runs of the same
+//!   capture against fresh self-hosted servers must report the *same*
+//!   rank digest — the paper's representation-stability claim extended
+//!   to the serving path: a recorded workload is a reproducible
+//!   experiment.
+//! * `repsim top --once` renders one dashboard frame from a live
+//!   server's stats stream, and `repsim top --journal` renders the same
+//!   frame shape offline from a recorded metrics journal.
+
+// Tests may panic freely: the workspace panic-freedom lints target
+// library code, not assertions.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+use repsim_obs::json;
+
+/// Split a command line on whitespace; `~` inside a token stands for a
+/// space (meta-walks are space-separated label lists).
+fn run(cmd: &str) -> String {
+    let argv: Vec<String> = cmd
+        .split_whitespace()
+        .map(|t| t.replace('~', " "))
+        .collect();
+    repsim_cli::run(&argv).expect("command succeeds")
+}
+
+fn scratch(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("repsim-live-ops-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    dir
+}
+
+fn digest_of(report_path: &str) -> String {
+    let text = std::fs::read_to_string(report_path).expect("bench report");
+    let obj = json::parse(&text).expect("report parses");
+    obj.get("rank_digest")
+        .and_then(json::Json::as_str)
+        .unwrap_or_else(|| panic!("rank_digest missing in {text}"))
+        .to_owned()
+}
+
+/// Record once, replay twice: same seed, fresh self-hosted server per
+/// run, bit-identical rank responses — and the committed
+/// `BENCH_serve.json` shape carries everything the CI soak gate reads.
+#[test]
+fn record_and_two_replays_are_bit_identical() {
+    let _x = repsim_obs::exclusive();
+    let dir = scratch("replay");
+    let graph = dir.join("live.graph").to_string_lossy().into_owned();
+    let cap = dir.join("traffic.rsimcap").to_string_lossy().into_owned();
+    let r0 = dir.join("record.json").to_string_lossy().into_owned();
+    let r1 = dir.join("replay1.json").to_string_lossy().into_owned();
+    let r2 = dir.join("replay2.json").to_string_lossy().into_owned();
+    run(&format!(
+        "generate --dataset movies --scale tiny --out {graph}"
+    ));
+
+    // Mutation churn on (the default ratio) and deadlines off: the
+    // digest must survive live mutations, but must not depend on how
+    // fast this machine runs.
+    let out = run(&format!(
+        "bench serve {graph} --meta-walk=film~actor~film --requests 24 \
+         --mode closed --deadlines none --seed 7 --record {cap} --out {r0}"
+    ));
+    assert!(out.contains("captured"), "record summary: {out}");
+
+    for out_path in [&r1, &r2] {
+        let out = run(&format!(
+            "bench serve {graph} --replay {cap} --mode closed --out {out_path}"
+        ));
+        assert!(out.contains("replayed"), "replay summary: {out}");
+    }
+
+    let (d0, d1, d2) = (digest_of(&r0), digest_of(&r1), digest_of(&r2));
+    assert_eq!(d1, d2, "two replays of one capture must be bit-identical");
+    assert_eq!(
+        d0, d1,
+        "a replay must reproduce the recorded run's rank responses"
+    );
+
+    // The report shape the soak gate keys on.
+    let obj = json::parse(&std::fs::read_to_string(&r1).expect("report")).expect("parses");
+    for key in [
+        "sent",
+        "ok",
+        "shed_first_attempt",
+        "retries",
+        "p99_latency_us",
+    ] {
+        assert!(
+            obj.get(key).and_then(json::Json::as_num).is_some(),
+            "{key} must be numeric in {obj:?}"
+        );
+    }
+
+    // The perf gate passes against a generous fixed baseline. (Checking
+    // against a prior self-measurement would be flaky here: with 24
+    // debug-build requests one scheduler hiccup can multiply p99.)
+    let baseline = dir.join("baseline.json").to_string_lossy().into_owned();
+    std::fs::write(&baseline, "{\"p99_latency_us\": 1000000}\n").expect("baseline");
+    let out = run(&format!(
+        "bench serve {graph} --replay {cap} --mode closed --out {r2} \
+         --check {baseline}"
+    ));
+    assert!(out.contains("perf gate passed"), "{out}");
+}
+
+/// One dashboard frame from a live stats stream, and the same renderer
+/// offline over the server's recorded metrics journal.
+#[test]
+fn dashboard_renders_live_and_offline() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let _x = repsim_obs::exclusive();
+    let dir = scratch("top");
+    let graph = dir.join("live.graph").to_string_lossy().into_owned();
+    let journal = dir.join("metrics.jsonl");
+    run(&format!(
+        "generate --dataset movies --scale tiny --out {graph}"
+    ));
+    let g = repsim_graph::io::read(&std::fs::read_to_string(&graph).expect("graph file"))
+        .expect("graph parses");
+
+    let port_file = dir.join("port");
+    let cfg = repsim_serve::ServeConfig {
+        port_file: Some(port_file.clone()),
+        metrics_journal: Some(journal.clone()),
+        metrics_interval_ms: 20,
+        ..repsim_serve::ServeConfig::default()
+    };
+    let shutdown = AtomicBool::new(false);
+    let frame = std::thread::scope(|s| {
+        let server = s.spawn(|| repsim_serve::run(&g, &cfg, &shutdown));
+        let addr = {
+            let mut waited = 0u64;
+            loop {
+                if let Ok(a) = std::fs::read_to_string(&port_file) {
+                    if !a.trim().is_empty() {
+                        break a.trim().to_owned();
+                    }
+                }
+                assert!(waited < 5_000, "server did not come up");
+                std::thread::sleep(std::time::Duration::from_millis(10));
+                waited += 10;
+            }
+        };
+        // Put some traffic on the board so the frame shows real totals.
+        run(&format!(
+            "bench serve {graph} --addr {addr} --meta-walk=film~actor~film \
+             --requests 8 --mode closed --mutate-ratio 0 --deadlines none \
+             --out {}",
+            dir.join("load.json").display()
+        ));
+        let frame = run(&format!("top --addr {addr} --once"));
+        // Let a few journal intervals elapse before the drain.
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        shutdown.store(true, Ordering::SeqCst);
+        server
+            .join()
+            .expect("server thread")
+            .expect("clean shutdown");
+        frame
+    });
+
+    // The --once frame is a plain-text artifact: no ANSI escapes, all
+    // dashboard sections present.
+    assert!(
+        !frame.contains('\u{1b}'),
+        "plain mode must not color:\n{frame}"
+    );
+    for needle in ["queue", "requests", "breaker", "tiers"] {
+        assert!(frame.contains(needle), "missing {needle:?} in:\n{frame}");
+    }
+
+    let offline = run(&format!("top --journal {}", journal.display()));
+    assert!(
+        offline.contains("offline render"),
+        "journal render must say so:\n{offline}"
+    );
+    for needle in ["queue", "requests"] {
+        assert!(
+            offline.contains(needle),
+            "missing {needle:?} in:\n{offline}"
+        );
+    }
+}

@@ -286,6 +286,8 @@ fn overload_burst_answers_typed_overloaded() {
         wal: None,
         queue_cap: 1,
         port_file: Some(port_file.clone()),
+        metrics_journal: None,
+        metrics_interval_ms: 1000,
         service: ServiceConfig {
             // Arm the slow-worker failpoint so the single worker holds
             // each request ~25ms and the burst piles up behind it.

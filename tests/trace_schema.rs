@@ -221,3 +221,143 @@ fn profile_mutate_trace_pins_wal_and_delta_names() {
         );
     }
 }
+
+/// The live-ops observability contract: the stats-stream, traffic
+/// capture and replay-client names below are pinned — `repsim top`,
+/// the CI soak job and the `repsim-audit` RA0204 family check key on
+/// them, so renaming any of these is a breaking change that must show
+/// up here. The scenario is real end to end: a journaling server, a
+/// recorded workload, a capture replay and one dashboard frame, all
+/// driven through the CLI.
+#[test]
+fn live_ops_pins_stats_capture_and_replay_names() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let _x = repsim_obs::exclusive();
+    let dir = std::env::temp_dir().join("repsim-trace-schema-live-ops");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let graph = dir.join("live.graph").to_string_lossy().into_owned();
+    let cap = dir.join("traffic.rsimcap").to_string_lossy().into_owned();
+    let b1 = dir.join("b1.json").to_string_lossy().into_owned();
+    let b2 = dir.join("b2.json").to_string_lossy().into_owned();
+    let journal = dir.join("metrics.jsonl");
+    run(&format!(
+        "generate --dataset movies --scale tiny --out {graph}"
+    ));
+
+    // A recording registry for the whole scenario (the CLI resets the
+    // registry only under --trace/--trace-out, which this test avoids).
+    let sink: std::sync::Arc<dyn repsim_obs::Sink> = std::sync::Arc::new(repsim_obs::NullSink);
+    repsim_obs::install(std::sync::Arc::clone(&sink));
+    repsim_obs::Registry::global().reset();
+
+    let g = repsim_graph::io::read(&std::fs::read_to_string(&graph).expect("graph file"))
+        .expect("graph parses");
+    let port_file = dir.join("port");
+    let cfg = repsim_serve::ServeConfig {
+        port_file: Some(port_file.clone()),
+        metrics_journal: Some(journal.clone()),
+        metrics_interval_ms: 10,
+        ..repsim_serve::ServeConfig::default()
+    };
+    let shutdown = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        let server = s.spawn(|| repsim_serve::run(&g, &cfg, &shutdown));
+        let addr = {
+            let mut waited = 0u64;
+            loop {
+                if let Ok(a) = std::fs::read_to_string(&port_file) {
+                    if !a.trim().is_empty() {
+                        break a.trim().to_owned();
+                    }
+                }
+                assert!(waited < 5_000, "server did not come up");
+                std::thread::sleep(std::time::Duration::from_millis(10));
+                waited += 10;
+            }
+        };
+        run(&format!(
+            "bench serve {graph} --addr {addr} --meta-walk=film~actor~film \
+             --requests 12 --mode closed --mutate-ratio 0 --deadlines none \
+             --record {cap} --out {b1}"
+        ));
+        run(&format!(
+            "bench serve --addr {addr} --replay {cap} --mode closed --out {b2}"
+        ));
+        let frame = run(&format!("top --addr {addr} --once"));
+        assert!(
+            frame.contains("queue"),
+            "the dashboard frame must render the queue gauge:\n{frame}"
+        );
+        // Let a few journal ticks land before shutting down.
+        std::thread::sleep(std::time::Duration::from_millis(60));
+        shutdown.store(true, Ordering::SeqCst);
+        server
+            .join()
+            .expect("server thread")
+            .expect("clean shutdown");
+    });
+    repsim_obs::remove_sink(&sink);
+
+    let rendered = json::parse(&repsim_obs::Registry::global().snapshot().render_json())
+        .expect("metrics snapshot renders as JSON");
+    let section_keys = |section: &str| -> Vec<String> {
+        rendered
+            .get(section)
+            .and_then(Json::as_obj)
+            .map(|m| m.keys().cloned().collect())
+            .unwrap_or_default()
+    };
+    let counters = section_keys("counters");
+    let histograms = section_keys("histograms");
+
+    // Pinned counters the scenario must move: the stats stream and the
+    // metrics journal (server side), the capture writer/replayer and
+    // the replay client (bench side), and the per-tier histogram feed.
+    for counter in [
+        "repsim.serve.stats.streams",
+        "repsim.serve.stats.lines",
+        "repsim.serve.stats.journal_lines",
+        "repsim.serve.capture.appends",
+        "repsim.serve.capture.replayed",
+        "repsim.serve.tier.exact",
+        "repsim.bench.replay.sent",
+        "repsim.bench.replay.ok",
+    ] {
+        assert!(
+            counters.iter().any(|n| n == counter),
+            "missing pinned counter {counter} in {counters:?}"
+        );
+    }
+    assert!(
+        histograms
+            .iter()
+            .any(|n| n == "repsim.bench.replay.latency_ns"),
+        "missing pinned histogram repsim.bench.replay.latency_ns in {histograms:?}"
+    );
+
+    // Pinned names that legitimately stay zero in a clean run — the
+    // damage, overload and degradation paths. Listing them here keeps
+    // the audit's RA0201/RA0204 checks holding their spellings.
+    for name in [
+        "repsim.serve.stats.journal_failed",
+        "repsim.serve.capture.replay",
+        "repsim.serve.capture.torn_tail",
+        "repsim.serve.capture.torn_truncations",
+        "repsim.serve.capture.quarantine",
+        "repsim.serve.capture.quarantined",
+        "repsim.serve.tier.half_factorized",
+        "repsim.serve.tier.prefix",
+        "repsim.bench.replay.shed",
+        "repsim.bench.replay.retries",
+        "repsim.bench.replay.retry_exhausted",
+        "repsim.bench.replay.degraded",
+        "repsim.bench.replay.exhausted",
+    ] {
+        assert!(
+            name.starts_with("repsim.") && !name.ends_with('.'),
+            "pinned literal must be a concrete namespaced name: {name}"
+        );
+    }
+}
