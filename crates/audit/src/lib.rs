@@ -134,6 +134,14 @@ pub const SERVE_LOCK_ORDER: &[LockOrderConfig] = &[
             transient: false,
         }],
     },
+    LockOrderConfig {
+        file: "crates/serve/src/singleflight.rs",
+        // The flight registry is a leaf: a leader completes its build
+        // *outside* the registry lock (only the membership set is
+        // guarded), so nothing may be acquired while it is held.
+        ranks: &[("flights", 1000), ("done", 1000)],
+        wrappers: &[],
+    },
 ];
 
 /// Fixture-mode configuration: the seeded-violation sources under

@@ -16,10 +16,11 @@
 //!   metric handle;
 //! * `RA0204` — a name emitted or registered inside a *pinned family*
 //!   (`repsim.serve.stats.*`, `repsim.serve.capture.*`,
-//!   `repsim.serve.tier.*`, `repsim.bench.replay.*` — the live-ops
-//!   names `repsim top`, the metrics journal and the CI soak job key
-//!   on) is not itself pinned in the trace schema, so a new or renamed
-//!   metric could silently escape the dashboard contract.
+//!   `repsim.serve.tier.*`, `repsim.serve.coord.*`,
+//!   `repsim.bench.replay.*` — the live-ops names `repsim top`, the
+//!   metrics journal, the CI soak and chaos jobs key on) is not itself
+//!   pinned in the trace schema, so a new or renamed metric could
+//!   silently escape the dashboard contract.
 
 use repsim_check::{Analyzer, Diagnostic};
 
@@ -31,11 +32,13 @@ const HANDLE_TYPES: &[&str] = &["CounterHandle", "GaugeHandle", "HistogramHandle
 
 /// Name families whose every member must be pinned in the trace schema
 /// (`RA0204`): the live-ops surface — stats stream, metrics journal,
-/// traffic capture, per-tier dashboard histogram, replay client.
+/// traffic capture, per-tier dashboard histogram, the scatter-gather
+/// coordinator, replay client.
 const PINNED_FAMILIES: &[&str] = &[
     "repsim.serve.stats.",
     "repsim.serve.capture.",
     "repsim.serve.tier.",
+    "repsim.serve.coord.",
     "repsim.bench.replay.",
 ];
 

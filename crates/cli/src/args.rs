@@ -41,6 +41,7 @@ const BOOL_FLAGS: &[&str] = &[
     "json",
     "schedules",
     "once",
+    "coordinator",
 ];
 
 impl Args {

@@ -438,6 +438,14 @@ fn query_rpathsim_budgeted(
                 walk.display(g.labels())
             );
         }
+        Degradation::PartialShards { answered, total } => {
+            // Fleet-only tier; a local query never produces it, but the
+            // match stays exhaustive so a new tier is a compile error.
+            let _ = writeln!(
+                out,
+                "note: only {answered} of {total} shards answered; ranking covers the live bands"
+            );
+        }
     }
     Ok(out)
 }
@@ -928,14 +936,47 @@ fn install_shutdown_signals() {
 fn install_shutdown_signals() {}
 
 /// `repsim serve FILE [--addr A] [--snapshot FILE] [--wal FILE]
-/// [--queue-cap N] [--port-file FILE] [--fault-injection]`.
+/// [--queue-cap N] [--port-file FILE] [--fault-injection]
+/// [--shard-index I --shard-count N]`, or
+/// `repsim serve --coordinator --shard addr,addr [--shard addr,addr]...`.
 ///
 /// Blocks until SIGINT/SIGTERM or a client `shutdown` op, then drains
 /// the queue and (with `--snapshot`) writes a final snapshot. With
 /// `--wal`, mutations are appended to a write-ahead log before they are
 /// acknowledged, and on boot the log is replayed — recovering any
 /// mutations a crash separated from the last snapshot.
+///
+/// With `--shard-index I --shard-count N` the instance serves only the
+/// `I`-th of `N` row bands of the candidate label and stamps its shard
+/// identity + epoch into every rank response. With `--coordinator` the
+/// process serves no graph at all: each `--shard` names one shard's
+/// replica set (comma-separated `host:port` addresses, in band order)
+/// and rank requests scatter-gather across the fleet.
 pub fn serve(args: &Args) -> Result<String, CliError> {
+    if args.has("coordinator") {
+        return serve_coordinator(args);
+    }
+    let shard = match (args.get("shard-index"), args.get("shard-count")) {
+        (None, None) => None,
+        (Some(_), Some(_)) => {
+            let index = args.get_usize("shard-index", 0)?;
+            let count = args.get_usize("shard-count", 1)?;
+            if count == 0 || index >= count || count > u32::MAX as usize {
+                return Err(CliError::Usage(format!(
+                    "--shard-index {index} must be below --shard-count {count}"
+                )));
+            }
+            Some(repsim_serve::ShardSpec {
+                index: index as u32,
+                count: count as u32,
+            })
+        }
+        _ => {
+            return Err(CliError::Usage(
+                "--shard-index and --shard-count go together".to_owned(),
+            ));
+        }
+    };
     let g = load(args.input_file()?)?;
     let cfg = repsim_serve::ServeConfig {
         addr: args.get("addr").unwrap_or("127.0.0.1:7878").to_owned(),
@@ -950,6 +991,7 @@ pub fn serve(args: &Args) -> Result<String, CliError> {
             default_deadline_ms: args.deadline_ms()?,
             breaker: repsim_serve::BreakerConfig::default(),
             fault_injection: args.has("fault-injection"),
+            shard,
         },
     };
     SERVE_SHUTDOWN.store(false, std::sync::atomic::Ordering::SeqCst);
@@ -984,6 +1026,48 @@ pub fn serve(args: &Args) -> Result<String, CliError> {
             "; final snapshot: {} entries, {} bytes",
             s.entries, s.bytes
         );
+    }
+    Ok(out)
+}
+
+/// The `--coordinator` arm of [`serve`]: scatter-gather over a fleet of
+/// row-band shards instead of serving a graph locally.
+fn serve_coordinator(args: &Args) -> Result<String, CliError> {
+    let shards: Vec<Vec<String>> = args
+        .get_all("shard")
+        .iter()
+        .map(|set| {
+            set.split(',')
+                .map(|a| a.trim().to_owned())
+                .filter(|a| !a.is_empty())
+                .collect::<Vec<String>>()
+        })
+        .collect();
+    if shards.is_empty() || shards.iter().any(Vec::is_empty) {
+        return Err(CliError::Usage(
+            "--coordinator needs at least one --shard with a non-empty \
+             comma-separated replica list"
+                .to_owned(),
+        ));
+    }
+    let cfg = repsim_serve::CoordConfig {
+        addr: args.get("addr").unwrap_or("127.0.0.1:7878").to_owned(),
+        shards,
+        default_deadline_ms: args.deadline_ms()?,
+        breaker: repsim_serve::BreakerConfig::default(),
+        max_inflight: args.get_usize("max-inflight", 256)?,
+        port_file: args.get("port-file").map(std::path::PathBuf::from),
+    };
+    SERVE_SHUTDOWN.store(false, std::sync::atomic::Ordering::SeqCst);
+    install_shutdown_signals();
+    let report = repsim_serve::run_coordinator(&cfg, &SERVE_SHUTDOWN)
+        .map_err(|e| CliError::Command(e.to_string()))?;
+    let mut out = format!(
+        "coordinated on {}: {} requests",
+        report.addr, report.requests
+    );
+    if report.shed > 0 {
+        let _ = write!(out, ", {} shed", report.shed);
     }
     Ok(out)
 }

@@ -214,13 +214,26 @@ COMMANDS:
   serve        FILE [--addr HOST:PORT] [--snapshot FILE] [--wal FILE]
                [--queue-cap N] [--port-file FILE] [--fault-injection]
                [--metrics-journal FILE] [--metrics-interval-ms N]
+               [--shard-index I --shard-count N]
                                         resident query service over newline-
                                         delimited JSON; SIGTERM/ctrl-c drains
                                         and writes a final snapshot; --wal
                                         write-ahead logs mutations and replays
                                         them on boot after a crash;
                                         --metrics-journal appends one stats+
-                                        metrics-delta line per interval
+                                        metrics-delta line per interval;
+                                        --shard-index/--shard-count serve one
+                                        row band of a fleet and stamp the
+                                        shard's epoch into every response
+  serve        --coordinator --shard addr,addr [--shard addr,addr]...
+               [--addr HOST:PORT] [--port-file FILE] [--max-inflight N]
+                                        scatter-gather coordinator over a
+                                        sharded fleet (one --shard per band,
+                                        comma-separated replicas): merges
+                                        band-local top-k bit-identically to a
+                                        single node, retries+hedges across
+                                        replicas, degrades to a partial-shards
+                                        tier when a whole band is down
   serve-client --addr HOST:PORT [--request JSON]...
                                         send request lines (or stdin) to a
                                         running server, print the responses

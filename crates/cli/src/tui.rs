@@ -118,8 +118,13 @@ pub fn render_frame(line: &Json, source: &str, color: bool) -> String {
 
     let mut out = String::new();
     let seq = num(line.get("stream_seq"));
+    // Pre-shard journals carry no `shard` field; render nothing then.
+    let shard = stats
+        .and_then(|s| s.get("shard"))
+        .map(|v| format!("shard {} ", num(Some(v))))
+        .unwrap_or_default();
     out.push_str(&st.bold(&format!(
-        "repsim top — {source:<40} seq {seq:<6} uptime {}\n",
+        "repsim top — {source:<40} {shard}seq {seq:<6} uptime {}\n",
         fmt_duration_ms(g("uptime_ms"))
     )));
 
@@ -344,7 +349,7 @@ mod tests {
                          "engines":2,"breaker":"closed","breaker_mutate":"open",
                          "snapshot_restored":false,"mutations":7,"mutate_exhausted":0,
                          "fingerprint":"0xabc","seq":7,"uptime_ms":61234,
-                         "snapshot_age_ms":2500},
+                         "snapshot_age_ms":2500,"shard":1},
                 "metrics":{"counters":{"repsim.serve.requests":12,
                                        "repsim.serve.tier.exact":10,
                                        "repsim.serve.tier.half_factorized":2,
@@ -361,7 +366,7 @@ mod tests {
     #[test]
     fn frame_lays_out_stats_and_deltas() {
         let frame = render_frame(&sample_line(), "127.0.0.1:7878", false);
-        assert!(frame.contains("seq 3"), "{frame}");
+        assert!(frame.contains("shard 1 seq 3"), "{frame}");
         assert!(frame.contains("uptime 00:01:01"), "{frame}");
         assert!(frame.contains("8/64"), "{frame}");
         assert!(frame.contains("requests 120 (+12)"), "{frame}");

@@ -58,6 +58,18 @@ pub enum Degradation {
         /// The half-walk prefix actually scored (closed symmetrically).
         walk: MetaWalk,
     },
+    /// Fleet-only tier: a scatter-gathered ranking covers only `answered`
+    /// of `total` shards because some shard (every replica of it) was
+    /// unreachable. Scores are exact over the candidates that *were*
+    /// ranked; candidates on dead shards are simply absent. Never produced
+    /// by [`BudgetedRPathSim`] itself — the serve coordinator attaches it
+    /// when merging partial shard responses.
+    PartialShards {
+        /// Shards whose band made it into the merged ranking.
+        answered: usize,
+        /// Shards the fleet is configured with.
+        total: usize,
+    },
 }
 
 enum TierImpl<'g> {
@@ -198,6 +210,22 @@ impl<'g> BudgetedRPathSim<'g> {
             TierImpl::Half(qe) => qe.score(e, f),
         }
     }
+
+    /// [`SimilarityAlgorithm::rank`] restricted to a contiguous index band
+    /// of the candidate label's node slice (fleet shards rank only their
+    /// own band); `None` ranks every candidate.
+    pub fn rank_band(
+        &self,
+        query: NodeId,
+        target_label: LabelId,
+        k: usize,
+        band: Option<(usize, usize)>,
+    ) -> RankedList {
+        match &self.tier {
+            TierImpl::Full(rp) => rp.rank_band(query, target_label, k, band),
+            TierImpl::Half(qe) => qe.rank_band_ref(query, target_label, k, band),
+        }
+    }
 }
 
 /// Whether the estimated cost of materializing the commuting matrix along
@@ -236,14 +264,12 @@ impl SimilarityAlgorithm for BudgetedRPathSim<'_> {
             Degradation::Exact => "R-PathSim (budgeted)".to_owned(),
             Degradation::HalfFactorized => "R-PathSim (budgeted, half-factorized)".to_owned(),
             Degradation::PrefixWalk { .. } => "R-PathSim (budgeted, prefix walk)".to_owned(),
+            Degradation::PartialShards { .. } => "R-PathSim (budgeted, partial shards)".to_owned(),
         }
     }
 
     fn rank(&mut self, query: NodeId, target_label: LabelId, k: usize) -> RankedList {
-        match &mut self.tier {
-            TierImpl::Full(rp) => rp.rank(query, target_label, k),
-            TierImpl::Half(qe) => qe.rank(query, target_label, k),
-        }
+        self.rank_band(query, target_label, k, None)
     }
 }
 
@@ -364,6 +390,9 @@ mod tests {
             }
             Degradation::HalfFactorized => {} // estimator admitted the half.
             Degradation::Exact => panic!("a 6-entry cap cannot admit the closure"),
+            Degradation::PartialShards { .. } => {
+                panic!("partial-shards is coordinator-only, never budget-produced")
+            }
         }
         assert_scores_match_exact(&g, &b);
     }

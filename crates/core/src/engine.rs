@@ -253,6 +253,24 @@ impl QueryEngine<'_> {
     /// reference — the engine never mutates to rank, and the serve
     /// workers share one engine per walk across threads.
     pub fn rank_ref(&self, query: NodeId, target_label: LabelId, k: usize) -> RankedList {
+        self.rank_band_ref(query, target_label, k, None)
+    }
+
+    /// [`QueryEngine::rank_ref`] restricted to a contiguous index band of
+    /// the candidate label's node slice (`band = (lo, hi)`, half-open over
+    /// `g.nodes_of_label(target_label)`). A fleet shard ranks only its own
+    /// band; the coordinator merges the per-band top-k lists. `None` ranks
+    /// every candidate — identical to [`QueryEngine::rank_ref`].
+    ///
+    /// # Panics
+    /// If the band exceeds the candidate slice.
+    pub fn rank_band_ref(
+        &self,
+        query: NodeId,
+        target_label: LabelId,
+        k: usize,
+        band: Option<(usize, usize)>,
+    ) -> RankedList {
         assert_eq!(
             target_label,
             self.half.source(),
@@ -271,9 +289,11 @@ impl QueryEngine<'_> {
         let qi = self.g.index_in_label(query);
         let cross = self.cross_counts(query);
         let qd = self.diag[qi];
+        let candidates = self.g.nodes_of_label(target_label);
+        let (lo, hi) = band.unwrap_or((0, candidates.len()));
         RankedList::from_scores(
             self.g,
-            self.g.nodes_of_label(target_label).iter().map(|&n| {
+            candidates[lo..hi].iter().map(|&n| {
                 let j = self.g.index_in_label(n);
                 let denom = qd + self.diag[j];
                 let s = if denom == 0.0 {

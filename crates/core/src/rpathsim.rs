@@ -88,14 +88,21 @@ impl<'g> RPathSim<'g> {
         self.m
             .get(self.g.index_in_label(e), self.g.index_in_label(f))
     }
-}
 
-impl SimilarityAlgorithm for RPathSim<'_> {
-    fn name(&self) -> String {
-        "R-PathSim".to_owned()
-    }
-
-    fn rank(&mut self, query: NodeId, target_label: LabelId, k: usize) -> RankedList {
+    /// [`SimilarityAlgorithm::rank`] restricted to a contiguous index band
+    /// of the candidate label's node slice (half-open `(lo, hi)` over
+    /// `g.nodes_of_label(target_label)`); `None` ranks every candidate.
+    /// Fleet shards rank their own band and the coordinator merges.
+    ///
+    /// # Panics
+    /// If the band exceeds the candidate slice.
+    pub fn rank_band(
+        &self,
+        query: NodeId,
+        target_label: LabelId,
+        k: usize,
+        band: Option<(usize, usize)>,
+    ) -> RankedList {
         assert_eq!(
             target_label,
             self.mw.target(),
@@ -108,9 +115,11 @@ impl SimilarityAlgorithm for RPathSim<'_> {
         );
         let qi = self.g.index_in_label(query);
         let m = &self.m;
+        let candidates = self.g.nodes_of_label(target_label);
+        let (lo, hi) = band.unwrap_or((0, candidates.len()));
         RankedList::from_scores(
             self.g,
-            self.g.nodes_of_label(target_label).iter().map(|&n| {
+            candidates[lo..hi].iter().map(|&n| {
                 let j = self.g.index_in_label(n);
                 let denom = m.get(qi, qi) + m.get(j, j);
                 let s = if denom == 0.0 {
@@ -123,6 +132,16 @@ impl SimilarityAlgorithm for RPathSim<'_> {
             query,
             k,
         )
+    }
+}
+
+impl SimilarityAlgorithm for RPathSim<'_> {
+    fn name(&self) -> String {
+        "R-PathSim".to_owned()
+    }
+
+    fn rank(&mut self, query: NodeId, target_label: LabelId, k: usize) -> RankedList {
+        self.rank_band(query, target_label, k, None)
     }
 }
 

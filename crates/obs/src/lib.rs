@@ -58,8 +58,8 @@ pub mod span;
 
 pub use log::Level;
 pub use metrics::{
-    CounterHandle, DeltaBaseline, GaugeHandle, HistogramHandle, HistogramSummary, Registry,
-    Snapshot,
+    CounterHandle, DeltaBaseline, GaugeHandle, Histogram, HistogramHandle, HistogramSummary,
+    Registry, Snapshot,
 };
 pub use sink::{
     clear_sinks, enabled, event_to_json, exclusive, install, remove_sink, render_tree, AttrValue,

@@ -30,6 +30,15 @@ pub enum ServiceError {
     /// *not* applied (the log is the acknowledgment barrier). The
     /// in-memory index and the graph are unchanged; safe to retry.
     WalFailed(String),
+    /// Coordinator only: no shard produced a mergeable answer — every
+    /// shard's replica set was down, expired its deadline slice, or
+    /// answered from a conflicting epoch. Partial coverage degrades via
+    /// the `partial-shards` tier instead; this is the zero-coverage
+    /// floor.
+    ShardsUnavailable {
+        /// Shards the fleet is configured with.
+        total: usize,
+    },
 }
 
 impl ServiceError {
@@ -41,6 +50,7 @@ impl ServiceError {
             ServiceError::BadRequest(_) => "bad_request",
             ServiceError::ShuttingDown => "shutting_down",
             ServiceError::WalFailed(_) => "wal_failed",
+            ServiceError::ShardsUnavailable { .. } => "shards_unavailable",
         }
     }
 
@@ -63,6 +73,9 @@ impl fmt::Display for ServiceError {
             ServiceError::BadRequest(m) => write!(f, "bad request: {m}"),
             ServiceError::ShuttingDown => write!(f, "server shutting down"),
             ServiceError::WalFailed(m) => write!(f, "wal append failed: {m}"),
+            ServiceError::ShardsUnavailable { total } => {
+                write!(f, "no shard of {total} reachable on a consistent epoch")
+            }
         }
     }
 }

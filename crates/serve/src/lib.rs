@@ -50,19 +50,22 @@
 
 pub mod breaker;
 pub mod capture;
+pub mod coord;
 pub mod error;
 pub mod protocol;
 pub mod quarantine;
 pub mod queue;
 pub mod server;
 pub mod service;
+pub mod singleflight;
 pub mod snapshot;
 pub mod wal;
 
 pub use breaker::{BreakerConfig, CircuitBreaker, OpClass};
 pub use capture::{CaptureRecord, CaptureWriter, RecoveredCapture};
+pub use coord::{run_coordinator, CoordConfig, Coordinator};
 pub use error::ServiceError;
-pub use protocol::{Request, Response};
+pub use protocol::{parse_shard_reply, Request, Response, ShardIdent, ShardReply};
 pub use server::{client_roundtrip, run, ServeConfig, ServeError, ServeReport};
-pub use service::{QueryService, Restore, ServiceConfig};
+pub use service::{QueryService, Restore, ServiceConfig, ShardSpec};
 pub use wal::{RecoveredLog, Wal, WalError};

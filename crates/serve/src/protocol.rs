@@ -263,6 +263,173 @@ pub struct RankEntry {
     pub score: f64,
 }
 
+/// The shard identity a fleet member attaches to its rank responses:
+/// which band answered and which graph epoch it answered from. The
+/// coordinator refuses to merge responses whose fingerprints disagree
+/// (a shard mid-mutation is *failed*, never silently merged) and strips
+/// the field from the client-facing line so single-node and fleet
+/// responses stay byte-identical.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardIdent {
+    /// Shard index in `0..count` (row band over the candidate label).
+    pub id: u32,
+    /// Graph fingerprint of the answering epoch.
+    pub fingerprint: u64,
+    /// WAL sequence number of the answering epoch.
+    pub seq: u64,
+}
+
+/// A shard's reply to a scatter-gathered rank request, as parsed by the
+/// coordinator. Anything that is not a well-formed success or typed
+/// error line is a parse error (and the attempt is treated as failed).
+#[derive(Clone, Debug, PartialEq)]
+pub enum ShardReply {
+    /// A successful partial ranking over the shard's band.
+    Rank {
+        /// Degradation tier the shard answered at.
+        tier: String,
+        /// The shard's band-local top-k, best first.
+        results: Vec<RankEntry>,
+        /// The answering shard's identity + epoch.
+        shard: ShardIdent,
+    },
+    /// A typed failure from the shard.
+    Error {
+        /// Error code (`"overloaded"`, `"exhausted"`, …).
+        code: String,
+        /// Human-readable message.
+        message: String,
+        /// Retry hint on `overloaded` rejections.
+        retry_after_ms: Option<u64>,
+    },
+}
+
+/// Parses one shard response line of the coordinator↔shard envelope.
+/// Returns `Err` for malformed JSON, missing fields, or a success line
+/// without a shard identity (a non-shard server answered — never merge
+/// it). Tolerates trailing CR from CRLF framing.
+pub fn parse_shard_reply(line: &str) -> Result<ShardReply, String> {
+    let v = json::parse(line.trim_end_matches(['\r', '\n']))
+        .map_err(|e| format!("shard reply: {e}"))?;
+    match v.get("ok") {
+        Some(Json::Bool(true)) => {}
+        Some(Json::Bool(false)) => {
+            let err = v
+                .get("error")
+                .ok_or_else(|| "error line without \"error\" object".to_owned())?;
+            let code = err
+                .get("code")
+                .and_then(Json::as_str)
+                .ok_or_else(|| "error without \"code\"".to_owned())?
+                .to_owned();
+            let message = err
+                .get("message")
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_owned();
+            let retry_after_ms = match err.get("retry_after_ms").and_then(Json::as_num) {
+                Some(ms) if ms >= 0.0 && ms.fract() == 0.0 && ms <= 1e15 => Some(ms as u64),
+                Some(_) => return Err("\"retry_after_ms\" must be a non-negative integer".into()),
+                None => None,
+            };
+            return Ok(ShardReply::Error {
+                code,
+                message,
+                retry_after_ms,
+            });
+        }
+        _ => return Err("shard reply without boolean \"ok\"".to_owned()),
+    }
+    let tier = v
+        .get("tier")
+        .and_then(Json::as_str)
+        .ok_or_else(|| "success reply without \"tier\"".to_owned())?
+        .to_owned();
+    let results = v
+        .get("results")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| "success reply without \"results\"".to_owned())?;
+    let mut entries = Vec::with_capacity(results.len());
+    for r in results {
+        let field = |name: &str| -> Result<String, String> {
+            r.get(name)
+                .and_then(Json::as_str)
+                .map(str::to_owned)
+                .ok_or_else(|| format!("result entry without string {name:?}"))
+        };
+        let score = r
+            .get("score")
+            .and_then(Json::as_num)
+            .ok_or_else(|| "result entry without numeric \"score\"".to_owned())?;
+        if !score.is_finite() {
+            return Err("non-finite score in shard reply".to_owned());
+        }
+        entries.push(RankEntry {
+            label: field("label")?,
+            value: field("value")?,
+            score,
+        });
+    }
+    let ident = v
+        .get("shard")
+        .ok_or_else(|| "success reply without \"shard\" identity".to_owned())?;
+    let id = match ident.get("id").and_then(Json::as_num) {
+        Some(n) if n >= 0.0 && n.fract() == 0.0 && n <= f64::from(u32::MAX) => n as u32,
+        _ => return Err("shard identity without integer \"id\"".to_owned()),
+    };
+    let fingerprint = ident
+        .get("fingerprint")
+        .and_then(Json::as_str)
+        .and_then(parse_fingerprint_hex)
+        .ok_or_else(|| "shard identity without 0x-hex \"fingerprint\"".to_owned())?;
+    let seq = match ident.get("seq").and_then(Json::as_num) {
+        Some(n) if n >= 0.0 && n.fract() == 0.0 && n <= 1e15 => n as u64,
+        _ => return Err("shard identity without integer \"seq\"".to_owned()),
+    };
+    Ok(ShardReply::Rank {
+        tier,
+        results: entries,
+        shard: ShardIdent {
+            id,
+            fingerprint,
+            seq,
+        },
+    })
+}
+
+/// Renders the rank request line the coordinator forwards to a shard.
+/// The id is omitted on the hop — attempts are matched to responses by
+/// connection, one request per connection attempt.
+pub(crate) fn render_rank_request(
+    walk: &str,
+    label: &str,
+    value: &str,
+    k: usize,
+    deadline_ms: Option<u64>,
+) -> String {
+    let mut out = format!(
+        "{{\"op\":\"rank\",\"walk\":\"{}\",\"label\":\"{}\",\"value\":\"{}\",\"k\":{k}",
+        esc(walk),
+        esc(label),
+        esc(value)
+    );
+    if let Some(ms) = deadline_ms {
+        let _ = write!(out, ",\"deadline_ms\":{ms}");
+    }
+    out.push('}');
+    out
+}
+
+/// Parses the `0x`-prefixed 16-digit hex fingerprint the serve layer
+/// renders everywhere (`{:#018x}`).
+fn parse_fingerprint_hex(s: &str) -> Option<u64> {
+    let hex = s.strip_prefix("0x")?;
+    if hex.is_empty() || hex.len() > 16 {
+        return None;
+    }
+    u64::from_str_radix(hex, 16).ok()
+}
+
 /// Serving-layer counters for the `stats` op.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct StatsBody {
@@ -299,6 +466,11 @@ pub struct StatsBody {
     pub seq: u64,
     /// Milliseconds since the server started serving.
     pub uptime_ms: u64,
+    /// Shard index when this instance serves one band of a fleet;
+    /// `0` for a single-node server (the backward-compatible shape).
+    /// The epoch half of the shard identity is the `fingerprint`/`seq`
+    /// pair already carried by every frame.
+    pub shard: u32,
     /// Milliseconds since the last persisted index snapshot; `None`
     /// when no snapshot was written or restored this run.
     pub snapshot_age_ms: Option<u64>,
@@ -316,7 +488,7 @@ impl StatsBody {
              \"cache_entries\":{},\"engines\":{},\"breaker\":\"{}\",\
              \"breaker_mutate\":\"{}\",\"snapshot_restored\":{},\
              \"mutations\":{},\"mutate_exhausted\":{},\
-             \"fingerprint\":\"{}\",\"seq\":{},\"uptime_ms\":{}",
+             \"fingerprint\":\"{}\",\"seq\":{},\"uptime_ms\":{},\"shard\":{}",
             self.requests,
             self.shed,
             self.degraded,
@@ -332,7 +504,8 @@ impl StatsBody {
             self.mutate_exhausted,
             esc(&self.fingerprint),
             self.seq,
-            self.uptime_ms
+            self.uptime_ms,
+            self.shard
         );
         if let Some(age) = self.snapshot_age_ms {
             let _ = write!(out, ",\"snapshot_age_ms\":{age}");
@@ -349,11 +522,21 @@ pub enum Response {
     Rank {
         /// Echoed request id.
         id: ReqId,
-        /// Degradation tier: `"exact"`, `"half-factorized"`, or
-        /// `"prefix:<walk>"`.
+        /// Degradation tier: `"exact"`, `"half-factorized"`,
+        /// `"prefix:<walk>"`, or `"partial-shards:A/T"` (coordinator
+        /// only, some shards unreachable).
         tier: String,
         /// Top-k entries, best first.
         results: Vec<RankEntry>,
+        /// Shard identity + epoch, attached by fleet members and
+        /// consumed (stripped) by the coordinator. `None` on single-node
+        /// and coordinator client-facing responses, keeping those lines
+        /// byte-identical to the pre-fleet wire format.
+        shard: Option<ShardIdent>,
+        /// `(answered, total)` shard coverage, attached by the
+        /// coordinator only when coverage is partial (the tier then says
+        /// `partial-shards:A/T` too). Full-coverage responses omit it.
+        coverage: Option<(usize, usize)>,
     },
     /// Ping reply.
     Pong {
@@ -407,7 +590,13 @@ impl Response {
     pub fn to_json_line(&self) -> String {
         let mut out = String::from("{");
         match self {
-            Response::Rank { id, tier, results } => {
+            Response::Rank {
+                id,
+                tier,
+                results,
+                shard,
+                coverage,
+            } => {
                 id.render(&mut out);
                 let _ = write!(out, "\"ok\":true,\"tier\":\"{}\",\"results\":[", esc(tier));
                 for (i, r) in results.iter().enumerate() {
@@ -423,6 +612,19 @@ impl Response {
                     );
                 }
                 out.push(']');
+                if let Some(s) = shard {
+                    let _ = write!(
+                        out,
+                        ",\"shard\":{{\"id\":{},\"fingerprint\":\"{:#018x}\",\"seq\":{}}}",
+                        s.id, s.fingerprint, s.seq
+                    );
+                }
+                if let Some((answered, total)) = coverage {
+                    let _ = write!(
+                        out,
+                        ",\"coverage\":{{\"answered\":{answered},\"total\":{total}}}"
+                    );
+                }
             }
             Response::Pong { id } => {
                 id.render(&mut out);
@@ -587,6 +789,8 @@ mod tests {
                     score: 0.25,
                 },
             ],
+            shard: None,
+            coverage: None,
         };
         let line = resp.to_json_line();
         let v = repsim_obs::json::parse(&line).unwrap();
@@ -599,6 +803,120 @@ mod tests {
             Some("He said \"hi\"")
         );
         assert_eq!(results[1].get("score").and_then(Json::as_num), Some(0.25));
+    }
+
+    #[test]
+    fn shard_envelope_roundtrips_and_absent_fields_keep_the_line_shape() {
+        let entry = RankEntry {
+            label: "conf".to_owned(),
+            value: "c0".to_owned(),
+            score: 0.5,
+        };
+        let plain = Response::Rank {
+            id: ReqId::Num(1.0),
+            tier: "exact".to_owned(),
+            results: vec![entry.clone()],
+            shard: None,
+            coverage: None,
+        }
+        .to_json_line();
+        assert!(!plain.contains("shard"), "single-node line unchanged");
+        assert!(!plain.contains("coverage"));
+
+        let ident = ShardIdent {
+            id: 1,
+            fingerprint: 0xdead_beef_0123_4567,
+            seq: 42,
+        };
+        let sharded = Response::Rank {
+            id: ReqId::Num(1.0),
+            tier: "exact".to_owned(),
+            results: vec![entry],
+            shard: Some(ident.clone()),
+            coverage: None,
+        }
+        .to_json_line();
+        match parse_shard_reply(&sharded).unwrap() {
+            ShardReply::Rank {
+                tier,
+                results,
+                shard,
+            } => {
+                assert_eq!(tier, "exact");
+                assert_eq!(results.len(), 1);
+                assert_eq!(results[0].score, 0.5);
+                assert_eq!(shard, ident);
+            }
+            other => panic!("expected rank, got {other:?}"),
+        }
+        // A success line without the shard identity must not merge.
+        assert!(parse_shard_reply(&plain).is_err());
+    }
+
+    #[test]
+    fn shard_reply_parses_typed_errors_and_rejects_noise() {
+        let err = Response::Error {
+            id: ReqId::Num(2.0),
+            error: ServiceError::Overloaded { retry_after_ms: 40 },
+        }
+        .to_json_line();
+        match parse_shard_reply(&err).unwrap() {
+            ShardReply::Error {
+                code,
+                retry_after_ms,
+                ..
+            } => {
+                assert_eq!(code, "overloaded");
+                assert_eq!(retry_after_ms, Some(40));
+            }
+            other => panic!("expected error, got {other:?}"),
+        }
+        for bad in [
+            "",
+            "not json",
+            "{}",
+            r#"{"ok":true}"#,
+            r#"{"ok":true,"tier":"exact"}"#,
+            r#"{"ok":true,"tier":"exact","results":[],"shard":{"id":0}}"#,
+            r#"{"ok":true,"tier":"exact","results":[],"shard":{"id":0,"fingerprint":"nothex","seq":1}}"#,
+            r#"{"ok":false}"#,
+        ] {
+            assert!(parse_shard_reply(bad).is_err(), "{bad:?}");
+        }
+        // CRLF framing is tolerated on otherwise-valid lines.
+        let crlf = format!("{err}\r");
+        assert!(parse_shard_reply(&crlf).is_ok());
+    }
+
+    #[test]
+    fn coverage_field_renders_only_when_partial() {
+        let resp = Response::Rank {
+            id: ReqId::Absent,
+            tier: "partial-shards:1/2".to_owned(),
+            results: vec![],
+            shard: None,
+            coverage: Some((1, 2)),
+        };
+        let line = resp.to_json_line();
+        let v = repsim_obs::json::parse(&line).unwrap();
+        let cov = v.get("coverage").unwrap();
+        assert_eq!(cov.get("answered").and_then(Json::as_num), Some(1.0));
+        assert_eq!(cov.get("total").and_then(Json::as_num), Some(2.0));
+        assert_eq!(
+            v.get("tier").and_then(Json::as_str),
+            Some("partial-shards:1/2")
+        );
+    }
+
+    #[test]
+    fn stats_body_carries_the_shard_field() {
+        let body = StatsBody::default();
+        let v = repsim_obs::json::parse(&body.to_json()).unwrap();
+        assert_eq!(
+            v.get("shard").and_then(Json::as_num),
+            Some(0.0),
+            "single-node frames carry shard 0"
+        );
     }
 
     #[test]

@@ -404,12 +404,27 @@ fn stream_stats(
 fn worker_loop(svc: &QueryService, queue: &Bounded<Job>) {
     while let Some(job) = queue.pop() {
         QUEUE_DEPTH.set(queue.depth() as i64);
-        let resp = match svc.handle_rank(&job.walk, &job.label, &job.value, job.k, job.deadline_ms)
-        {
-            Ok((tier, results)) => Response::Rank {
+        let resp = match svc.handle_rank_epoch(
+            &job.walk,
+            &job.label,
+            &job.value,
+            job.k,
+            job.deadline_ms,
+        ) {
+            Ok(answer) => Response::Rank {
                 id: job.id,
-                tier,
-                results,
+                tier: answer.tier,
+                results: answer.results,
+                // Fleet members stamp the answering epoch so the
+                // coordinator can refuse to merge diverged shards; a
+                // single node omits it, keeping the line byte-identical
+                // to the pre-fleet wire format.
+                shard: svc.shard_spec().map(|s| crate::protocol::ShardIdent {
+                    id: s.index,
+                    fingerprint: answer.fingerprint,
+                    seq: answer.seq,
+                }),
+                coverage: None,
             },
             Err(error) => Response::Error { id: job.id, error },
         };

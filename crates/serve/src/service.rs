@@ -35,10 +35,9 @@ use std::collections::HashMap;
 use std::path::Path;
 use std::time::Duration;
 
-use repsim_baselines::SimilarityAlgorithm as _;
 use repsim_core::{BudgetedRPathSim, Degradation, QueryEngine};
 use repsim_graph::mutation::{self, Touch};
-use repsim_graph::{Graph, MutationOp};
+use repsim_graph::{Graph, LabelId, MutationOp};
 use repsim_metawalk::commuting::CommutingCache;
 use repsim_metawalk::delta::{walk_mentions, walk_touches_edge, DeltaMaintainer};
 use repsim_metawalk::MetaWalk;
@@ -49,6 +48,7 @@ use repsim_sparse::{Budget, Csr, ExecError, Parallelism};
 use crate::breaker::{BreakerConfig, CircuitBreaker, OpClass};
 use crate::error::ServiceError;
 use crate::protocol::{RankEntry, StatsBody};
+use crate::singleflight::{Entry as FlightEntry, SingleFlight};
 use crate::snapshot::{self, graph_fingerprint, LoadOutcome, SaveStats, SnapshotError};
 use crate::wal::{Wal, WalError};
 
@@ -61,6 +61,19 @@ static TIER_PREFIX: CounterHandle = CounterHandle::new("repsim.serve.tier.prefix
 static EXHAUSTED: CounterHandle = CounterHandle::new("repsim.serve.exhausted");
 static MUTATIONS: CounterHandle = CounterHandle::new("repsim.serve.mutations");
 static MUTATE_EXHAUSTED: CounterHandle = CounterHandle::new("repsim.serve.mutate_exhausted");
+
+/// Which row band of a fleet this instance serves. The band is the
+/// `index`-th of `count` contiguous slices of the *candidate* label's
+/// node list ([`repsim_sparse::par::shard_band`]), recomputed against
+/// the answering epoch on every request so all shards on the same
+/// fingerprint agree on disjoint, covering bands.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// Shard index in `0..count`.
+    pub index: u32,
+    /// Total shards in the fleet.
+    pub count: u32,
+}
 
 /// Service tuning, shared by the CLI and the tests.
 #[derive(Clone, Debug, Default)]
@@ -76,6 +89,24 @@ pub struct ServiceConfig {
     /// `snapshot.*`, `wal.*`, `delta.apply`) — the fault-injection
     /// harness for the CI drills.
     pub fault_injection: bool,
+    /// Serve only one row band of the candidate label (fleet member
+    /// mode); `None` ranks every candidate (single node).
+    pub shard: Option<ShardSpec>,
+}
+
+/// A rank answer plus the identity of the epoch that produced it (what
+/// a fleet shard stamps into its response so the coordinator can refuse
+/// to merge answers from diverged epochs).
+#[derive(Clone, Debug, PartialEq)]
+pub struct RankAnswer {
+    /// The degradation tier that answered.
+    pub tier: String,
+    /// Top-k entries over this instance's band, best first.
+    pub results: Vec<RankEntry>,
+    /// Fingerprint of the answering epoch's graph.
+    pub fingerprint: u64,
+    /// WAL sequence number of the answering epoch.
+    pub seq: u64,
 }
 
 /// What [`QueryService::restore`] did at startup.
@@ -143,6 +174,7 @@ pub struct QueryService {
     seeds: RwLock<HashMap<MetaWalk, Seed>>,
     wal: Mutex<Option<Wal>>,
     breaker: CircuitBreaker,
+    flights: SingleFlight,
     requests: AtomicU64,
     shed: AtomicU64,
     degraded: AtomicU64,
@@ -172,6 +204,7 @@ impl QueryService {
             }),
             seeds: RwLock::new(HashMap::new()),
             wal: Mutex::new(None),
+            flights: SingleFlight::new(),
             requests: AtomicU64::new(0),
             shed: AtomicU64::new(0),
             degraded: AtomicU64::new(0),
@@ -187,6 +220,11 @@ impl QueryService {
     /// The graph currently being served (the live epoch's version).
     pub fn graph(&self) -> Arc<Graph> {
         self.epoch_snapshot().g
+    }
+
+    /// The fleet band this instance serves, `None` on a single node.
+    pub fn shard_spec(&self) -> Option<ShardSpec> {
+        self.cfg.shard
     }
 
     /// The current graph fingerprint, `0x`-prefixed hex.
@@ -225,6 +263,21 @@ impl QueryService {
         k: usize,
         deadline_ms: Option<u64>,
     ) -> Result<(String, Vec<RankEntry>), ServiceError> {
+        self.handle_rank_epoch(walk, label, value, k, deadline_ms)
+            .map(|a| (a.tier, a.results))
+    }
+
+    /// [`QueryService::handle_rank`] plus the identity of the epoch that
+    /// answered — what a fleet shard stamps into its response envelope
+    /// so the coordinator can enforce epoch consistency across shards.
+    pub fn handle_rank_epoch(
+        &self,
+        walk: &str,
+        label: &str,
+        value: &str,
+        k: usize,
+        deadline_ms: Option<u64>,
+    ) -> Result<RankAnswer, ServiceError> {
         let mut span = repsim_obs::span("repsim.serve.request");
         if span.is_active() {
             span.attr("walk", walk);
@@ -265,20 +318,20 @@ impl QueryService {
         }
 
         match self.rank_with(&epoch, &mw, query, k, &budget) {
-            Ok((tier, results)) => {
+            Ok(answer) => {
                 // Per-tier breakdown for the `repsim top` dashboard;
                 // `degraded` stays the roll-up the stats body reports.
-                match tier.as_str() {
+                match answer.tier.as_str() {
                     "exact" => TIER_EXACT.add(1),
                     "half-factorized" => TIER_HALF.add(1),
                     _ => TIER_PREFIX.add(1),
                 }
-                if tier != "exact" {
+                if answer.tier != "exact" {
                     self.degraded.fetch_add(1, Ordering::Relaxed);
                     DEGRADED.add(1);
                 }
                 self.breaker.on_success_class(OpClass::Rank);
-                Ok((tier, results))
+                Ok(answer)
             }
             Err(e) if e.is_exhaustion() => {
                 self.exhausted.fetch_add(1, Ordering::Relaxed);
@@ -290,9 +343,22 @@ impl QueryService {
         }
     }
 
+    /// The band of the candidate label this instance ranks, against a
+    /// specific epoch's graph. `None` (single node) ranks everyone.
+    fn band_for(&self, g: &Graph, label: LabelId) -> Option<(usize, usize)> {
+        self.cfg.shard.map(|s| {
+            repsim_sparse::par::shard_band(
+                g.nodes_of_label(label).len(),
+                s.index as usize,
+                s.count as usize,
+            )
+        })
+    }
+
     /// The execution core: seeded engine when the seed matches the
     /// epoch, cache build otherwise, budgeted degradation cascade as
-    /// the fallback.
+    /// the fallback. In shard mode every tier ranks only this
+    /// instance's row band of the answering epoch.
     fn rank_with(
         &self,
         epoch: &Epoch,
@@ -300,17 +366,30 @@ impl QueryService {
         query: repsim_graph::NodeId,
         k: usize,
         budget: &Budget,
-    ) -> Result<(String, Vec<RankEntry>), ExecError> {
+    ) -> Result<RankAnswer, ExecError> {
         // Seed fast path: shared parts tagged with this epoch's
         // fingerprint reconstruct the engine without any matrix work.
-        if let Some((m, diag)) = self.seed_parts(mw, epoch.fp) {
-            if let Ok(engine) =
-                QueryEngine::try_from_shared(&epoch.g, mw.clone(), m, diag, self.cfg.par)
-            {
-                let ranked = engine.rank_ref(query, mw.source(), k);
-                return Ok(("exact".to_owned(), entries_of(&epoch.g, &ranked)));
-            }
+        if let Some(answer) = self.seed_answer(epoch, mw, query, k) {
+            return Ok(answer);
         }
+        // Single-flight: concurrent misses on one (fingerprint, walk)
+        // share the leader's commuting-matrix product and engine build
+        // instead of piling onto the state lock. A follower re-checks
+        // the seed once the leader lands and only builds itself when
+        // the leader failed or timed out.
+        let max_wait = budget
+            .remaining_time()
+            .unwrap_or(Duration::from_secs(5))
+            .min(Duration::from_secs(5));
+        let _flight = match self.flights.join(epoch.fp, mw, max_wait) {
+            FlightEntry::Leader(guard) => Some(guard),
+            FlightEntry::Waited | FlightEntry::TimedOut => {
+                if let Some(answer) = self.seed_answer(epoch, mw, query, k) {
+                    return Ok(answer);
+                }
+                None
+            }
+        };
         // Build path. The epoch cannot advance while we hold the state
         // lock (mutations swap it under the same lock), so re-reading
         // inside gives the graph the cache is consistent with. Node and
@@ -332,14 +411,20 @@ impl QueryService {
             let engine = QueryEngine::try_from_half_matrix(&epoch.g, mw.clone(), m, self.cfg.par)?;
             let (m, diag) = engine.shared_parts();
             self.install_seed(mw, epoch.fp, m, diag);
-            let ranked = engine.rank_ref(query, mw.source(), k);
-            return Ok(("exact".to_owned(), entries_of(&epoch.g, &ranked)));
+            let band = self.band_for(&epoch.g, mw.source());
+            let ranked = engine.rank_band_ref(query, mw.source(), k, band);
+            return Ok(RankAnswer {
+                tier: "exact".to_owned(),
+                results: entries_of(&epoch.g, &ranked),
+                fingerprint: epoch.fp,
+                seq: epoch.seq,
+            });
         }
         // The full index does not fit the remaining budget: degrade.
         // The cascade re-tries cheaper representations of the *same*
         // answer before shortening the walk as a last resort.
         let epoch = self.epoch_snapshot();
-        let mut budgeted = BudgetedRPathSim::try_new(&epoch.g, mw.clone(), self.cfg.par, budget)?;
+        let budgeted = BudgetedRPathSim::try_new(&epoch.g, mw.clone(), self.cfg.par, budget)?;
         let tier = match budgeted.degradation() {
             Degradation::Exact => "exact".to_owned(),
             Degradation::HalfFactorized => "half-factorized".to_owned(),
@@ -349,9 +434,42 @@ impl QueryService {
                     budgeted.effective_half().display(epoch.g.labels())
                 )
             }
+            // Never built here: partial coverage is a coordinator-side
+            // merge outcome, not a per-shard execution tier.
+            Degradation::PartialShards { answered, total } => {
+                format!("partial-shards:{answered}/{total}")
+            }
         };
-        let ranked = budgeted.rank(query, mw.source(), k);
-        Ok((tier, entries_of(&epoch.g, &ranked)))
+        let band = self.band_for(&epoch.g, mw.source());
+        let ranked = budgeted.rank_band(query, mw.source(), k, band);
+        Ok(RankAnswer {
+            tier,
+            results: entries_of(&epoch.g, &ranked),
+            fingerprint: epoch.fp,
+            seq: epoch.seq,
+        })
+    }
+
+    /// Answers from the engine seed tagged with `epoch`'s fingerprint,
+    /// if one is installed (the zero-SpGEMM fast path).
+    fn seed_answer(
+        &self,
+        epoch: &Epoch,
+        mw: &MetaWalk,
+        query: repsim_graph::NodeId,
+        k: usize,
+    ) -> Option<RankAnswer> {
+        let (m, diag) = self.seed_parts(mw, epoch.fp)?;
+        let engine =
+            QueryEngine::try_from_shared(&epoch.g, mw.clone(), m, diag, self.cfg.par).ok()?;
+        let band = self.band_for(&epoch.g, mw.source());
+        let ranked = engine.rank_band_ref(query, mw.source(), k, band);
+        Some(RankAnswer {
+            tier: "exact".to_owned(),
+            results: entries_of(&epoch.g, &ranked),
+            fingerprint: epoch.fp,
+            seq: epoch.seq,
+        })
     }
 
     fn seed_parts(&self, mw: &MetaWalk, fp: u64) -> Option<(Arc<Csr>, Arc<Vec<f64>>)> {
@@ -529,6 +647,7 @@ impl QueryService {
             fingerprint: format!("{:#018x}", epoch.fp),
             seq: epoch.seq,
             uptime_ms: repsim_obs::now_ns().saturating_sub(self.started_ns) / 1_000_000,
+            shard: self.cfg.shard.map_or(0, |s| s.index),
             snapshot_age_ms: match self.last_snapshot_ns.load(Ordering::Relaxed) {
                 0 => None,
                 t => Some(repsim_obs::now_ns().saturating_sub(t) / 1_000_000),

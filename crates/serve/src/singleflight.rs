@@ -1,0 +1,161 @@
+//! Single-flight deduplication of engine builds.
+//!
+//! Concurrent rank requests that miss the seed cache for the same
+//! `(graph fingerprint, meta-walk)` key would each queue on the state
+//! lock and redundantly re-verify the commuting cache. [`SingleFlight`]
+//! elects the first such request the *leader*; followers block on a
+//! condvar until the leader's build completes (installing the shared
+//! engine seed), then answer from the seed without any matrix work.
+//!
+//! The flight key includes the fingerprint, so a build for a stale
+//! epoch never absorbs requests targeting the post-mutation graph.
+//! Waits are bounded: a follower that outlives `max_wait` (or the
+//! leader's failure) simply falls back to its own build — single-flight
+//! is a throughput optimization, never a correctness gate.
+
+use repsim_audit::sync::{Condvar, Mutex};
+use std::collections::HashSet;
+use std::time::Duration;
+
+use repsim_metawalk::MetaWalk;
+use repsim_obs::CounterHandle;
+
+static LEADER: CounterHandle = CounterHandle::new("repsim.serve.singleflight.leader");
+static WAITED: CounterHandle = CounterHandle::new("repsim.serve.singleflight.waited");
+
+/// The in-flight build registry. One per service instance.
+#[derive(Default)]
+pub struct SingleFlight {
+    flights: Mutex<HashSet<(u64, MetaWalk)>>,
+    done: Condvar,
+}
+
+/// What [`SingleFlight::join`] decided for this request.
+pub enum Entry<'a> {
+    /// No build in flight for the key: this request leads. The guard
+    /// completes the flight (and wakes followers) when dropped — on
+    /// success *and* on failure, so a failed leader never wedges its
+    /// followers.
+    Leader(FlightGuard<'a>),
+    /// A leader was in flight and has since completed. The caller
+    /// should re-check the seed cache before building.
+    Waited,
+    /// The leader did not complete within `max_wait`; the caller
+    /// proceeds with its own build.
+    TimedOut,
+}
+
+impl SingleFlight {
+    /// A registry with no flights.
+    pub fn new() -> SingleFlight {
+        SingleFlight::default()
+    }
+
+    /// Joins the flight for `(fp, mw)`: leads when none is active,
+    /// otherwise blocks until the active one completes (bounded by
+    /// `max_wait`).
+    pub fn join(&self, fp: u64, mw: &MetaWalk, max_wait: Duration) -> Entry<'_> {
+        let key = (fp, mw.clone());
+        let mut flights = self.flights.lock().unwrap_or_else(|e| e.into_inner());
+        if !flights.contains(&key) {
+            flights.insert(key.clone());
+            LEADER.add(1);
+            return Entry::Leader(FlightGuard { sf: self, key });
+        }
+        WAITED.add(1);
+        let deadline = std::time::Instant::now() + max_wait;
+        while flights.contains(&key) {
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return Entry::TimedOut;
+            }
+            let (guard, timeout) = self
+                .done
+                .wait_timeout(flights, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            flights = guard;
+            if timeout.timed_out() && flights.contains(&key) {
+                return Entry::TimedOut;
+            }
+        }
+        Entry::Waited
+    }
+}
+
+/// Completes a flight on drop; see [`Entry::Leader`].
+pub struct FlightGuard<'a> {
+    sf: &'a SingleFlight,
+    key: (u64, MetaWalk),
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        let mut flights = self.sf.flights.lock().unwrap_or_else(|e| e.into_inner());
+        flights.remove(&self.key);
+        drop(flights);
+        self.sf.done.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use repsim_graph::GraphBuilder;
+
+    fn walk() -> MetaWalk {
+        let mut b = GraphBuilder::new();
+        let a = b.entity_label("a");
+        let g = b.build();
+        MetaWalk::parse_in(&g, "a").unwrap_or_else(|| {
+            let _ = a;
+            unreachable!("single-label walk parses")
+        })
+    }
+
+    #[test]
+    fn first_joiner_leads_and_completion_releases_followers() {
+        let sf = SingleFlight::new();
+        let mw = walk();
+        let lead = match sf.join(7, &mw, Duration::from_millis(10)) {
+            Entry::Leader(g) => g,
+            _ => panic!("empty registry must elect a leader"),
+        };
+        // While the flight is active a second joiner times out...
+        match sf.join(7, &mw, Duration::from_millis(20)) {
+            Entry::TimedOut => {}
+            _ => panic!("active flight must block the follower"),
+        }
+        // ...a different key still leads...
+        match sf.join(8, &mw, Duration::from_millis(10)) {
+            Entry::Leader(_) => {}
+            _ => panic!("other fingerprints are independent flights"),
+        }
+        // ...and completion lets the next joiner lead again.
+        drop(lead);
+        match sf.join(7, &mw, Duration::from_millis(10)) {
+            Entry::Leader(_) => {}
+            _ => panic!("completed flight must clear the key"),
+        };
+    }
+
+    #[test]
+    fn followers_wake_when_the_leader_finishes() {
+        let sf = std::sync::Arc::new(SingleFlight::new());
+        let mw = walk();
+        let lead = match sf.join(1, &mw, Duration::from_millis(10)) {
+            Entry::Leader(g) => g,
+            _ => panic!("leader"),
+        };
+        let sf2 = std::sync::Arc::clone(&sf);
+        let mw2 = mw.clone();
+        let follower = std::thread::spawn(move || {
+            matches!(sf2.join(1, &mw2, Duration::from_secs(5)), Entry::Waited)
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        drop(lead);
+        assert!(
+            follower.join().unwrap_or(false),
+            "follower must observe the completed flight, not time out"
+        );
+    }
+}

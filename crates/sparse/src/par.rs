@@ -29,6 +29,26 @@ pub fn chunks(n: usize, threads: usize) -> Vec<(usize, usize)> {
     out
 }
 
+/// The `index`-th of `count` contiguous row bands over `0..n`, as a
+/// half-open `(lo, hi)` range. Uses the same arithmetic as [`chunks`]
+/// (base size `n / count`, the first `n % count` bands one longer) but
+/// keeps empty bands: a fleet shard with no rows still exists and must
+/// answer with an empty ranking, whereas [`chunks`] silently drops
+/// zero-length chunks. Bands for `index = 0..count` are disjoint and
+/// cover `0..n` exactly.
+///
+/// # Panics
+/// If `count` is zero or `index >= count`.
+pub fn shard_band(n: usize, index: usize, count: usize) -> (usize, usize) {
+    assert!(count > 0, "shard count must be positive");
+    assert!(index < count, "shard index {index} out of range 0..{count}");
+    let base = n / count;
+    let extra = n % count;
+    let lo = index * base + index.min(extra);
+    let hi = lo + base + usize::from(index < extra);
+    (lo, hi)
+}
+
 /// Splits `0..weights.len()` into at most `threads` contiguous bands of
 /// roughly equal total *weight* (for SpGEMM: per-row flop counts from the
 /// symbolic pass), so one hub-heavy band no longer serializes the whole
@@ -210,6 +230,28 @@ pub(crate) mod tests {
                 sparse_t_dense_mul(&a, &d),
                 "threads={threads}"
             );
+        }
+    }
+
+    #[test]
+    fn shard_bands_are_disjoint_and_covering() {
+        for n in [0usize, 1, 3, 7, 16, 100] {
+            for count in [1usize, 2, 3, 4, 7] {
+                let mut next = 0;
+                for i in 0..count {
+                    let (lo, hi) = shard_band(n, i, count);
+                    assert_eq!(lo, next, "contiguous for n={n} count={count}");
+                    assert!(hi >= lo, "ordered for n={n} count={count}");
+                    next = hi;
+                }
+                assert_eq!(next, n, "covering for n={n} count={count}");
+                // Non-empty bands agree with the chunking the kernels use.
+                let nonempty: Vec<(usize, usize)> = (0..count)
+                    .map(|i| shard_band(n, i, count))
+                    .filter(|(lo, hi)| hi > lo)
+                    .collect();
+                assert_eq!(nonempty, chunks(n, count), "n={n} count={count}");
+            }
         }
     }
 

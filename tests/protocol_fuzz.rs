@@ -1,8 +1,12 @@
-//! Fuzz-style robustness of the serve JSON request parser: arbitrary
+//! Fuzz-style robustness of the serve JSON wire parsers: arbitrary
 //! bytes, truncated frames, and CRLF line endings must never panic —
 //! every malformed input is a typed `Err(String)`, every well-formed
-//! request parses, and a truncation of a valid frame is rejected
-//! cleanly rather than misparsed.
+//! frame parses, and a truncation of a valid frame is rejected
+//! cleanly rather than misparsed. Covers both the client-facing
+//! request parser and the coordinator↔shard reply envelope
+//! ([`repsim_serve::parse_shard_reply`]): a coordinator gathers bytes
+//! from the network too, and a confused shard (or a non-shard server
+//! answering on a shard's port) must fail the attempt, not the process.
 
 // Tests may panic freely: the workspace panic-freedom lints target
 // library code, not assertions.
@@ -14,7 +18,7 @@
 )]
 
 use proptest::prelude::*;
-use repsim_serve::Request;
+use repsim_serve::{parse_shard_reply, Request, ShardReply};
 
 /// A generator of syntactically valid request lines across every op the
 /// wire protocol knows, with fuzzable field content.
@@ -102,6 +106,187 @@ proptest! {
         ] {
             let _ = Request::parse(&framed);
         }
+    }
+}
+
+/// A generator of syntactically valid coordinator↔shard reply lines:
+/// successes across the degradation tiers (epoch identity attached),
+/// partial-result frames, and typed error envelopes.
+fn valid_shard_reply() -> impl Strategy<Value = String> {
+    let ident = "[a-z][a-z0-9_]{0,10}";
+    let entry = (ident, ident, 0u32..400).prop_map(|(l, v, s)| {
+        format!(
+            r#"{{"label":"{l}","value":"{v}","score":{}}}"#,
+            (f64::from(s) - 32.0) / 8.0
+        )
+    });
+    let entries = prop::collection::vec(entry, 0..4).prop_map(|es| es.join(","));
+    let tier = prop_oneof![
+        Just("exact".to_owned()),
+        Just("half-factorized".to_owned()),
+        Just("prefix:l0 l1".to_owned()),
+        Just("partial-shards:1/2".to_owned()),
+    ];
+    prop_oneof![
+        (entries, tier, 0u32..8, 0u64..=u64::MAX, 0u64..1000).prop_map(
+            |(results, tier, id, fp, seq)| {
+                format!(
+                    r#"{{"ok":true,"tier":"{tier}","results":[{results}],"shard":{{"id":{id},"fingerprint":"{fp:#018x}","seq":{seq}}}}}"#
+                )
+            }
+        ),
+        // A partial-result frame as a coordinator would emit it —
+        // if one ever loops back into a coordinator (fleets of
+        // fleets are misconfiguration, not UB) it must parse or
+        // fail cleanly, never panic.
+        Just(
+            r#"{"ok":true,"tier":"partial-shards:1/2","results":[],"coverage":{"answered":1,"total":2}}"#
+                .to_owned()
+        ),
+        (ident, ident).prop_map(|(code, msg)| {
+            format!(r#"{{"ok":false,"error":{{"code":"{code}","message":"{msg}"}}}}"#)
+        }),
+        (0u64..100_000).prop_map(|ms| {
+            format!(
+                r#"{{"ok":false,"error":{{"code":"overloaded","message":"q","retry_after_ms":{ms}}}}}"#
+            )
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary printable garbage on the gather path: a typed error or
+    /// a parse, never a panic.
+    #[test]
+    fn shard_reply_parser_never_panics(input in "\\PC{0,300}") {
+        let _ = parse_shard_reply(&input);
+    }
+
+    /// JSON-shaped garbage with the envelope's own keywords mixed in —
+    /// the worst case for the shard-identity scanner.
+    #[test]
+    fn shard_reply_parser_survives_json_shaped_noise(
+        tokens in prop::collection::vec(
+            prop_oneof![
+                Just("{".to_owned()), Just("}".to_owned()),
+                Just("[".to_owned()), Just("]".to_owned()),
+                Just(":".to_owned()), Just(",".to_owned()),
+                Just("\"".to_owned()), Just("\\".to_owned()),
+                Just("ok".to_owned()), Just("tier".to_owned()),
+                Just("shard".to_owned()), Just("fingerprint".to_owned()),
+                Just("0x".to_owned()), Just("results".to_owned()),
+                Just("true".to_owned()), Just("-1e999".to_owned()),
+                "\\PC{0,6}",
+            ],
+            0..40,
+        )
+    ) {
+        let _ = parse_shard_reply(&tokens.concat());
+    }
+
+    /// Well-formed shard replies parse into the expected arm; every
+    /// byte-level truncation fails cleanly (or, for prefixes closing a
+    /// smaller valid object, parses cleanly) — never a panic.
+    #[test]
+    fn valid_shard_replies_parse_and_truncations_fail_cleanly(line in valid_shard_reply()) {
+        match parse_shard_reply(&line) {
+            Ok(ShardReply::Rank { .. }) => prop_assert!(line.contains(r#""shard""#) , "{line}"),
+            Ok(ShardReply::Error { code, .. }) => prop_assert!(!code.is_empty(), "{line}"),
+            // The coordinator's own partial frame carries no shard
+            // identity: a success without one is refused, by design.
+            Err(e) => prop_assert!(e.contains("shard"), "{line} -> {e}"),
+        }
+        let bytes = line.as_bytes();
+        for cut in 0..bytes.len() {
+            let prefix = String::from_utf8_lossy(&bytes[..cut]);
+            let _ = parse_shard_reply(&prefix);
+        }
+    }
+
+    /// CRLF framing on the gather path is transparent: a trailing `\r`
+    /// or `\r\n` parses identically to the bare line.
+    #[test]
+    fn shard_reply_crlf_is_transparent(line in valid_shard_reply()) {
+        let bare = parse_shard_reply(&line);
+        for framed in [format!("{line}\r"), format!("{line}\r\n")] {
+            prop_assert_eq!(&parse_shard_reply(&framed), &bare, "{}", framed);
+        }
+    }
+}
+
+/// Malformed shard replies come back as typed errors naming the
+/// offending field — a shard answer the coordinator cannot vouch for is
+/// failed with a reason, never merged or panicked on.
+#[test]
+fn shard_reply_field_errors_are_typed_and_specific() {
+    for (line, needle) in [
+        (r#"{"tier":"exact"}"#, "ok"),
+        (r#"{"ok":"yes"}"#, "ok"),
+        (r#"{"ok":true}"#, "tier"),
+        (r#"{"ok":true,"tier":"exact"}"#, "results"),
+        (r#"{"ok":true,"tier":"exact","results":[]}"#, "shard"),
+        (
+            r#"{"ok":true,"tier":"exact","results":[{"label":"a"}],"shard":{"id":0,"fingerprint":"0x1","seq":0}}"#,
+            "score",
+        ),
+        (
+            r#"{"ok":true,"tier":"exact","results":[{"label":"a","score":1}],"shard":{"id":0,"fingerprint":"0x1","seq":0}}"#,
+            "value",
+        ),
+        (
+            r#"{"ok":true,"tier":"exact","results":[{"label":"a","value":"b","score":1e999}],"shard":{"id":0,"fingerprint":"0x1","seq":0}}"#,
+            "score",
+        ),
+        (
+            r#"{"ok":true,"tier":"exact","results":[],"shard":{"id":-1,"fingerprint":"0x1","seq":0}}"#,
+            "id",
+        ),
+        (
+            r#"{"ok":true,"tier":"exact","results":[],"shard":{"id":0,"fingerprint":"beef","seq":0}}"#,
+            "fingerprint",
+        ),
+        (
+            r#"{"ok":true,"tier":"exact","results":[],"shard":{"id":0,"fingerprint":"0x1","seq":0.5}}"#,
+            "seq",
+        ),
+        (r#"{"ok":false}"#, "error"),
+        (r#"{"ok":false,"error":{"message":"m"}}"#, "code"),
+        (
+            r#"{"ok":false,"error":{"code":"overloaded","retry_after_ms":-5}}"#,
+            "retry_after_ms",
+        ),
+    ] {
+        let err = parse_shard_reply(line).expect_err(line);
+        assert!(err.contains(needle), "{line} -> {err}");
+    }
+}
+
+/// The envelope round-trips: a hand-built success frame parses to the
+/// exact identity and entry bits that were rendered into it.
+#[test]
+fn shard_reply_roundtrip_preserves_identity_and_scores() {
+    let fp: u64 = 0xdead_beef_0123_4567;
+    let line = format!(
+        r#"{{"id":9,"ok":true,"tier":"half-factorized","results":[{{"label":"l1","value":"v_7","score":0.09375}}],"shard":{{"id":3,"fingerprint":"{fp:#018x}","seq":41}}}}"#
+    );
+    match parse_shard_reply(&line).expect("parses") {
+        ShardReply::Rank {
+            tier,
+            results,
+            shard,
+        } => {
+            assert_eq!(tier, "half-factorized");
+            assert_eq!(shard.id, 3);
+            assert_eq!(shard.fingerprint, fp);
+            assert_eq!(shard.seq, 41);
+            assert_eq!(results.len(), 1);
+            assert_eq!(results[0].label, "l1");
+            assert_eq!(results[0].value, "v_7");
+            assert_eq!(results[0].score.to_bits(), 0.09375f64.to_bits());
+        }
+        other => panic!("expected a rank reply, got {other:?}"),
     }
 }
 

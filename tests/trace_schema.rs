@@ -361,3 +361,157 @@ fn live_ops_pins_stats_capture_and_replay_names() {
         );
     }
 }
+
+/// The sharded-serving observability contract: the scatter-gather
+/// coordinator's `repsim.serve.coord.*` names are pinned — the CI
+/// chaos job and the `repsim-audit` RA0204 family check key on them,
+/// so renaming any of these is a breaking change that must show up
+/// here. The scenario is real: a two-shard fleet behind a live
+/// coordinator, full-coverage requests, then a whole shard killed to
+/// drive the partial-degradation counters.
+#[test]
+fn sharded_serving_pins_coordinator_names() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let _x = repsim_obs::exclusive();
+    let dir = std::env::temp_dir().join("repsim-trace-schema-coord");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let graph = dir.join("fleet.graph").to_string_lossy().into_owned();
+    run(&format!(
+        "generate --dataset movies --scale tiny --out {graph}"
+    ));
+
+    let sink: std::sync::Arc<dyn repsim_obs::Sink> = std::sync::Arc::new(repsim_obs::NullSink);
+    repsim_obs::install(std::sync::Arc::clone(&sink));
+    repsim_obs::Registry::global().reset();
+
+    let g = repsim_graph::io::read(&std::fs::read_to_string(&graph).expect("graph file"))
+        .expect("graph parses");
+    let shard_cfgs: Vec<repsim_serve::ServeConfig> = (0..2)
+        .map(|i| repsim_serve::ServeConfig {
+            port_file: Some(dir.join(format!("s{i}.port"))),
+            service: repsim_serve::ServiceConfig {
+                shard: Some(repsim_serve::ShardSpec { index: i, count: 2 }),
+                ..repsim_serve::ServiceConfig::default()
+            },
+            ..repsim_serve::ServeConfig::default()
+        })
+        .collect();
+    let shard_down: Vec<AtomicBool> = (0..2).map(|_| AtomicBool::new(false)).collect();
+    let coord_down = AtomicBool::new(false);
+
+    let wait_port = |path: &std::path::Path| -> String {
+        let mut waited = 0u64;
+        loop {
+            if let Ok(a) = std::fs::read_to_string(path) {
+                if a.trim().parse::<std::net::SocketAddr>().is_ok() {
+                    break a.trim().to_owned();
+                }
+            }
+            assert!(waited < 5_000, "fleet member did not come up");
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            waited += 10;
+        }
+    };
+
+    std::thread::scope(|s| {
+        let g = &g;
+        let coord_down = &coord_down;
+        for (cfg, down) in shard_cfgs.iter().zip(&shard_down) {
+            s.spawn(move || {
+                let _ = repsim_serve::run(g, cfg, down);
+            });
+        }
+        let addrs: Vec<String> = (0..2)
+            .map(|i| wait_port(&dir.join(format!("s{i}.port"))))
+            .collect();
+        let coord_cfg = repsim_serve::CoordConfig {
+            shards: addrs.iter().map(|a| vec![a.clone()]).collect(),
+            port_file: Some(dir.join("coord.port")),
+            ..repsim_serve::CoordConfig::default()
+        };
+        s.spawn(move || {
+            let _ = repsim_serve::run_coordinator(&coord_cfg, coord_down);
+        });
+        let coord_addr = wait_port(&dir.join("coord.port"));
+
+        let line = r#"{"id":1,"walk":"film actor film","label":"film","value":"film00000","k":3}"#
+            .to_owned();
+        let full = repsim_serve::client_roundtrip(&coord_addr, std::slice::from_ref(&line))
+            .expect("full-coverage roundtrip");
+        assert!(full[0].contains(r#""ok":true"#), "{}", full[0]);
+
+        // Kill shard 1 outright: the next request must degrade to
+        // partial coverage, moving the failure-path counters.
+        shard_down[1].store(true, Ordering::SeqCst);
+        let mut waited = 0u64;
+        while std::net::TcpStream::connect(&addrs[1]).is_ok() {
+            assert!(waited < 5_000, "shard did not shut down");
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            waited += 10;
+        }
+        let partial = repsim_serve::client_roundtrip(&coord_addr, &[line])
+            .expect("partial-coverage roundtrip");
+        assert!(
+            partial[0].contains(r#""tier":"partial-shards:1/2""#),
+            "{}",
+            partial[0]
+        );
+
+        shard_down[0].store(true, Ordering::SeqCst);
+        coord_down.store(true, Ordering::SeqCst);
+    });
+    repsim_obs::remove_sink(&sink);
+
+    let rendered = json::parse(&repsim_obs::Registry::global().snapshot().render_json())
+        .expect("metrics snapshot renders as JSON");
+    let section_keys = |section: &str| -> Vec<String> {
+        rendered
+            .get(section)
+            .and_then(Json::as_obj)
+            .map(|m| m.keys().cloned().collect())
+            .unwrap_or_default()
+    };
+    let counters = section_keys("counters");
+    let histograms = section_keys("histograms");
+
+    // Pinned counters the scenario must move: admission, the partial
+    // merge and the shard-failure path.
+    for counter in [
+        "repsim.serve.coord.requests",
+        "repsim.serve.coord.partial",
+        "repsim.serve.coord.shard_failed",
+    ] {
+        assert!(
+            counters.iter().any(|n| n == counter),
+            "missing pinned counter {counter} in {counters:?}"
+        );
+    }
+    assert!(
+        histograms
+            .iter()
+            .any(|n| n == "repsim.serve.coord.latency_ns"),
+        "missing pinned histogram repsim.serve.coord.latency_ns in {histograms:?}"
+    );
+
+    // Pinned names that legitimately stay zero (or are spans/points,
+    // not registry metrics) in a clean two-shard run — overload sheds,
+    // replica retries, hedged attempts, epoch divergence, the request
+    // span and the lifecycle points. Listing them here keeps the
+    // audit's RA0201/RA0204 checks holding their spellings.
+    for name in [
+        "repsim.serve.coord.shed",
+        "repsim.serve.coord.retries",
+        "repsim.serve.coord.hedges",
+        "repsim.serve.coord.hedge_wins",
+        "repsim.serve.coord.epoch_mismatch",
+        "repsim.serve.coord.request",
+        "repsim.serve.coord.listening",
+    ] {
+        assert!(
+            name.starts_with("repsim.") && !name.ends_with('.'),
+            "pinned literal must be a concrete namespaced name: {name}"
+        );
+    }
+}
